@@ -1,0 +1,71 @@
+//! Substrate benchmark: the Deflate-class codec on the paper's two input
+//! profiles (Application / Text) across compression levels — the software
+//! baseline side of the Compression rows in Fig. 4 and Table 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snicbench_functions::compress::{compress, corpus, decompress};
+
+const BLOCK: usize = 64 * 1024; // the paper's 64 KB task size
+
+fn bench_compress(c: &mut Criterion) {
+    let inputs = [
+        ("app", corpus::application_corpus(BLOCK, 1)),
+        ("txt", corpus::text_corpus(BLOCK, 1)),
+    ];
+    let mut group = c.benchmark_group("compress/deflate");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Bytes(BLOCK as u64));
+    for (name, data) in &inputs {
+        for level in [1u8, 6, 9] {
+            group.bench_with_input(
+                BenchmarkId::new(*name, level),
+                &(data, level),
+                |b, (data, level)| b.iter(|| compress(data, *level)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let data = corpus::text_corpus(BLOCK, 2);
+    let compressed = compress(&data, 6);
+    let mut group = c.benchmark_group("compress/inflate");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Bytes(BLOCK as u64));
+    group.bench_function("txt-level6", |b| {
+        b.iter(|| decompress(&compressed).expect("valid stream"))
+    });
+    group.finish();
+}
+
+fn bench_ratio_report(c: &mut Criterion) {
+    // Not a timing bench per se: verifies the ratio stays stable while
+    // timing the full block pipeline (compress + decompress), the unit the
+    // accelerator model charges for.
+    let data = corpus::application_corpus(BLOCK, 3);
+    let mut group = c.benchmark_group("compress/round-trip");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Bytes(2 * BLOCK as u64));
+    group.bench_function("app-level6", |b| {
+        b.iter(|| {
+            let z = compress(&data, 6);
+            decompress(&z).expect("valid stream")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compress,
+    bench_decompress,
+    bench_ratio_report
+);
+criterion_main!(benches);

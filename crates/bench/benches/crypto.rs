@@ -1,0 +1,45 @@
+//! Substrate benchmark: the cryptography implementations (AES-128 CTR,
+//! SHA-1, SHA-256, RSA) — the software side of the paper's Cryptography
+//! rows, where ISA extensions decide the host-vs-accelerator verdict.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use snicbench_functions::crypto::aes::Aes128;
+use snicbench_functions::crypto::rsa::KeyPair;
+use snicbench_functions::crypto::sha1::Sha1;
+use snicbench_functions::crypto::sha256::Sha256;
+
+const BUF: usize = 16 * 1024; // the calibration's 16 KB crypto op
+
+fn buffer() -> Vec<u8> {
+    (0..BUF).map(|i| (i * 31 % 256) as u8).collect()
+}
+
+fn bench_bulk(c: &mut Criterion) {
+    let data = buffer();
+    let mut group = c.benchmark_group("crypto/bulk-16k");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Bytes(BUF as u64));
+    let aes = Aes128::new(&[7u8; 16]);
+    group.bench_function("aes128-ctr", |b| b.iter(|| aes.ctr_apply(42, &data)));
+    group.bench_function("sha1", |b| b.iter(|| Sha1::digest(&data)));
+    group.bench_function("sha256", |b| b.iter(|| Sha256::digest(&data)));
+    group.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let kp = KeyPair::demo_512();
+    let msg = b"datacenter tax measurement";
+    let sig = kp.private.sign(msg);
+    let mut group = c.benchmark_group("crypto/rsa-512");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("sign", |b| b.iter(|| kp.private.sign(msg)));
+    group.bench_function("verify", |b| b.iter(|| kp.public.verify(msg, &sig)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulk, bench_rsa);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Substrate benchmark: the two KVS designs under their paper workloads —
+//! Redis + YCSB A/B/C and MICA's batched GETs (batch 4 vs 32, the
+//! amortization ablation behind the paper's MICA rows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snicbench_functions::kvs::mica::{GetRequest, MicaStore};
+use snicbench_functions::kvs::redis::RedisStore;
+use snicbench_functions::kvs::ycsb::{YcsbGenerator, YcsbWorkload};
+use snicbench_sim::rng::Rng;
+
+fn bench_redis_ycsb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvs/redis-ycsb");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    const OPS: u64 = 10_000;
+    group.throughput(Throughput::Elements(OPS));
+    for wl in YcsbWorkload::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(wl), &wl, |b, &wl| {
+            // Paper scale: 30 K x 1 KB records, 10 K ops.
+            let mut store = RedisStore::preloaded(30_000, 1_024);
+            let mut gen = YcsbGenerator::new(wl, 30_000, 1_024, 0x1234);
+            b.iter(|| {
+                for _ in 0..OPS {
+                    store.execute(gen.next_op());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mica_batches(c: &mut Criterion) {
+    let mut store = MicaStore::new(8, 4_096, 65_536);
+    let mut rng = Rng::new(5);
+    let keys: Vec<u64> = (0..50_000).map(|_| rng.next_u64()).collect();
+    for &k in &keys {
+        store.put(k, vec![0u8; 64]);
+    }
+    let mut group = c.benchmark_group("kvs/mica-get");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for batch_size in [4usize, 32] {
+        let batches: Vec<Vec<GetRequest>> = keys
+            .chunks(batch_size)
+            .take(256)
+            .map(|chunk| chunk.iter().map(|&key| GetRequest { key }).collect())
+            .collect();
+        let ops: u64 = batches.iter().map(|b| b.len() as u64).sum();
+        group.throughput(Throughput::Elements(ops));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(batch_size),
+            &batches,
+            |b, batches| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for batch in batches {
+                        hits += store.get_batch(batch).len();
+                    }
+                    hits
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_redis_ycsb, bench_mica_batches);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation benchmark: multi-pattern matching strategies on identical
+//! literal signature sets — Aho–Corasick (the Snort/IDS path) versus the
+//! regex engine's lazy DFA (the REM path). Both are linear-time; the
+//! constant factors explain why IDSes keep a dedicated literal matcher.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snicbench_functions::ids::{AhoCorasick, RulesetKind};
+use snicbench_functions::rem::MultiRegex;
+use snicbench_net::packet::PacketFactory;
+use snicbench_sim::SimTime;
+
+/// Escapes a literal byte pattern into regex syntax.
+fn to_regex(pattern: &[u8]) -> String {
+    pattern.iter().map(|b| format!("\\x{b:02x}")).collect()
+}
+
+fn bench_multipattern(c: &mut Criterion) {
+    let mut factory = PacketFactory::new(0xAB, 8);
+    let corpus: Vec<Vec<u8>> = (0..128)
+        .map(|_| factory.create(1500, SimTime::ZERO).synthesize_payload())
+        .collect();
+    let bytes: u64 = corpus.iter().map(|p| p.len() as u64).sum();
+
+    for ruleset in [RulesetKind::FileImage, RulesetKind::FileExecutable] {
+        let signatures = ruleset.signatures();
+        let ac = AhoCorasick::new(&signatures);
+        let regex_patterns: Vec<String> = signatures.iter().map(|s| to_regex(s)).collect();
+        let regex_refs: Vec<&str> = regex_patterns.iter().map(String::as_str).collect();
+        let mut dfa = MultiRegex::compile(&regex_refs).expect("literals compile");
+        // Warm the lazy DFA.
+        for p in &corpus {
+            dfa.scan(p);
+        }
+
+        let mut group = c.benchmark_group(format!("multipattern/{ruleset}"));
+        group.sample_size(15);
+        group.measurement_time(std::time::Duration::from_secs(3));
+        group.warm_up_time(std::time::Duration::from_secs(1));
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(BenchmarkId::new("aho-corasick", "literal"), &(), |b, ()| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for p in &corpus {
+                    hits += ac.find_distinct(p).len();
+                }
+                hits
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lazy-dfa", "literal"), &(), |b, ()| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for p in &corpus {
+                    hits += dfa.scan(p).len();
+                }
+                hits
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_multipattern);
+criterion_main!(benches);

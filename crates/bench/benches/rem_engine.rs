@@ -1,0 +1,84 @@
+//! Substrate benchmark: the REM engine (parser → NFA → lazy DFA) on the
+//! paper's three rulesets, plus the DFA-vs-NFA ablation — the software
+//! analogue of the per-ruleset cost differences that drive Fig. 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snicbench_functions::rem::RemRuleset;
+use snicbench_net::packet::PacketFactory;
+use snicbench_sim::SimTime;
+
+fn payload_corpus(bytes_total: usize) -> Vec<Vec<u8>> {
+    let mut factory = PacketFactory::new(0xBE, 16);
+    let mut corpus = Vec::new();
+    let mut total = 0;
+    while total < bytes_total {
+        let p = factory.create(1500, SimTime::ZERO).synthesize_payload();
+        total += p.len();
+        corpus.push(p);
+    }
+    corpus
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rem/compile");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for ruleset in RemRuleset::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(ruleset), &ruleset, |b, &rs| {
+            b.iter(|| rs.compile().expect("bundled rules compile"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let corpus = payload_corpus(256 * 1024);
+    let bytes: u64 = corpus.iter().map(|p| p.len() as u64).sum();
+
+    let mut group = c.benchmark_group("rem/dfa-scan");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Bytes(bytes));
+    for ruleset in RemRuleset::ALL {
+        let mut re = ruleset.compile().expect("compiles");
+        // Pre-warm the lazy DFA so the measurement is steady-state.
+        for p in &corpus {
+            re.scan(p);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(ruleset), &ruleset, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for p in &corpus {
+                    hits += re.scan(p).len();
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+
+    // Ablation: the reference NFA path on the same inputs (expected to be
+    // 1-2 orders of magnitude slower — why real engines build DFAs).
+    let mut group = c.benchmark_group("rem/nfa-scan-ablation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Bytes(bytes.min(64 * 1024)));
+    let small: Vec<&Vec<u8>> = corpus.iter().take(corpus.len() / 4).collect();
+    let re = RemRuleset::FileExecutable.compile().expect("compiles");
+    group.bench_function("file_executable", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &small {
+                hits += re.nfa().scan(p).len();
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Harness benchmark: the discrete-event engine itself — event
+//! scheduling, station service, and a full calibrated run — quantifying
+//! how much simulated traffic the framework can push per wall-clock
+//! second (the practical limit on experiment sizes).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use snicbench_core::benchmark::Workload;
+use snicbench_core::runner::{run, OfferedLoad, RunConfig};
+use snicbench_hw::ExecutionPlatform;
+use snicbench_net::PacketSize;
+use snicbench_sim::station::StationHandle;
+use snicbench_sim::{SimDuration, Simulator};
+
+fn bench_event_loop(c: &mut Criterion) {
+    const EVENTS: u64 = 100_000;
+    let mut group = c.benchmark_group("sim/engine");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Elements(EVENTS));
+    group.bench_function("schedule-execute-chain", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            fn tick(sim: &mut Simulator, left: u64) {
+                if left > 0 {
+                    sim.schedule_in(SimDuration::from_nanos(10), move |sim| tick(sim, left - 1));
+                }
+            }
+            sim.schedule_in(SimDuration::ZERO, move |sim| tick(sim, EVENTS));
+            sim.run();
+            sim.events_executed()
+        })
+    });
+    group.finish();
+}
+
+fn bench_station(c: &mut Criterion) {
+    const JOBS: u64 = 50_000;
+    let mut group = c.benchmark_group("sim/station");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Elements(JOBS));
+    group.bench_function("8-server-mm8", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            let station = StationHandle::new("cpu", 8, Some(4096));
+            for i in 0..JOBS {
+                let at = snicbench_sim::SimTime::from_nanos(i * 120);
+                let st = station.clone();
+                sim.schedule_at(at, move |sim| {
+                    st.submit(sim, SimDuration::from_nanos(800), |_, _| {});
+                });
+            }
+            sim.run();
+            station.stats().completions
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/full-run");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    // ~100k simulated UDP packets through the calibrated host model.
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("udp-host-100k-packets", |b| {
+        let mut cfg = RunConfig::new(
+            Workload::MicroUdp(PacketSize::Large),
+            ExecutionPlatform::HostCpu,
+            OfferedLoad::OpsPerSec(2_000_000.0),
+        );
+        cfg.duration = SimDuration::from_millis(55);
+        cfg.warmup = SimDuration::from_millis(5);
+        b.iter(|| run(&cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_loop, bench_station, bench_full_run);
+criterion_main!(benches);

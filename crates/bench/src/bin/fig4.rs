@@ -1,0 +1,103 @@
+//! Regenerates **Fig. 4**: maximum sustainable throughput and p99 latency
+//! of the SNIC processor running every function, normalized to the host
+//! CPU running the same function.
+//!
+//! ```text
+//! cargo run --release -p snicbench-bench --bin fig4 [-- --quick | --list]
+//! ```
+
+use snicbench_core::benchmark::{FunctionCategory, Workload};
+use snicbench_core::experiment::{compare, SearchBudget};
+use snicbench_core::observations;
+use snicbench_core::report::{fmt_throughput, ratio_bar, TextTable};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("Table 3 benchmark matrix (workload, stack, platforms):");
+        let mut t = TextTable::new(vec!["workload", "stack", "platforms", "category"]);
+        for w in Workload::figure4_set() {
+            let platforms: Vec<&str> = w.platforms().iter().map(|p| p.code()).collect();
+            t.row(vec![
+                w.name(),
+                w.stack().to_string(),
+                platforms.join("+"),
+                format!("{:?}", w.category()),
+            ]);
+        }
+        println!("{t}");
+        return;
+    }
+    let budget = if args.iter().any(|a| a == "--quick") {
+        SearchBudget::quick()
+    } else {
+        SearchBudget::default()
+    };
+
+    eprintln!("# measuring 29 workload configurations on host and SNIC platforms...");
+    let mut rows = Vec::new();
+    for (i, w) in Workload::figure4_set().into_iter().enumerate() {
+        eprintln!("#   [{:>2}/29] {}", i + 1, w.name());
+        rows.push(compare(w, budget));
+    }
+
+    println!("Fig. 4 — SNIC/host normalized maximum throughput and p99 latency");
+    println!("(bars: '|' marks 1.0 = host parity; capped at 4.0)\n");
+    for category in [
+        FunctionCategory::SoftwareOnly,
+        FunctionCategory::HardwareAccelerated,
+        FunctionCategory::Microbenchmark,
+    ] {
+        println!("== {category:?} ==");
+        let mut t = TextTable::new(vec![
+            "workload",
+            "snic-on",
+            "host max",
+            "snic max",
+            "tput ratio",
+            "tput bar",
+            "host p99(us)",
+            "snic p99(us)",
+            "p99 ratio",
+        ]);
+        for r in rows.iter().filter(|r| r.workload.category() == category) {
+            let g = r.workload.reports_gbps();
+            t.row(vec![
+                r.workload.name(),
+                r.snic_platform.code().to_string(),
+                fmt_throughput(r.host.max_ops, r.host.max_gbps, g),
+                fmt_throughput(r.snic.max_ops, r.snic.max_gbps, g),
+                format!("{:.2}x", r.throughput_ratio()),
+                ratio_bar(r.throughput_ratio(), 12),
+                format!("{:.1}", r.host.p99_us),
+                format!("{:.1}", r.snic.p99_us),
+                format!("{:.2}x", r.p99_ratio()),
+            ]);
+        }
+        println!("{t}");
+    }
+
+    // Summary band, as the paper states it.
+    let tput: Vec<f64> = rows.iter().map(|r| r.throughput_ratio()).collect();
+    let p99: Vec<f64> = rows.iter().map(|r| r.p99_ratio()).collect();
+    let minmax = |v: &[f64]| {
+        (
+            v.iter().copied().fold(f64::MAX, f64::min),
+            v.iter().copied().fold(f64::MIN, f64::max),
+        )
+    };
+    let (tmin, tmax) = minmax(&tput);
+    let (lmin, lmax) = minmax(&p99);
+    println!("Measured ranges: throughput {tmin:.2}-{tmax:.2}x (paper 0.1-3.5x), p99 {lmin:.2}-{lmax:.2}x (paper 0.1-13.8x)\n");
+
+    println!("Key Observations check:");
+    for report in observations::validate_all(&rows) {
+        println!(
+            "  [{}] {} — {}: {}",
+            if report.holds { "PASS" } else { "FAIL" },
+            report.id,
+            report.claim,
+            report.evidence
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Regenerates **Fig. 6**: average power consumption (system and SNIC
+//! share) and SNIC/host normalized energy efficiency at each function's
+//! maximum-throughput operating point.
+//!
+//! ```text
+//! cargo run --release -p snicbench-bench --bin fig6 [-- --quick]
+//! ```
+
+use snicbench_core::benchmark::{FunctionCategory, Workload};
+use snicbench_core::experiment::{compare, SearchBudget};
+use snicbench_core::report::{ratio_bar, TextTable};
+
+fn main() {
+    let budget = if std::env::args().any(|a| a == "--quick") {
+        SearchBudget::quick()
+    } else {
+        SearchBudget::default()
+    };
+    let workloads: Vec<Workload> = Workload::figure4_set()
+        .into_iter()
+        .filter(|w| w.category() != FunctionCategory::Microbenchmark)
+        .collect();
+    eprintln!(
+        "# measuring power at {} operating points...",
+        workloads.len()
+    );
+    let mut rows = Vec::new();
+    for (i, w) in workloads.into_iter().enumerate() {
+        eprintln!("#   [{:>2}] {}", i + 1, w.name());
+        rows.push(compare(w, budget));
+    }
+
+    println!("Fig. 6 — average power and normalized energy efficiency");
+    println!("(idle server: 252 W including the 29 W idle SNIC)\n");
+    let mut t = TextTable::new(vec![
+        "workload",
+        "host: sys W",
+        "host: SNIC W",
+        "host: active W",
+        "snic: sys W",
+        "snic: SNIC W",
+        "snic: active W",
+        "eff ratio",
+        "efficiency bar",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.workload.name(),
+            format!("{:.1}", r.host_power.system_w),
+            format!("{:.1}", r.host_power.snic_w),
+            format!("{:.1}", r.host_power.active_w),
+            format!("{:.1}", r.snic_power.system_w),
+            format!("{:.1}", r.snic_power.snic_w),
+            format!("{:.1}", r.snic_power.active_w),
+            format!("{:.2}x", r.efficiency_ratio()),
+            ratio_bar(r.efficiency_ratio(), 12),
+        ]);
+    }
+    println!("{t}");
+
+    let effs: Vec<f64> = rows.iter().map(|r| r.efficiency_ratio()).collect();
+    let min = effs.iter().copied().fold(f64::MAX, f64::min);
+    let max = effs.iter().copied().fold(f64::MIN, f64::max);
+    println!("Measured efficiency ratios: {min:.2}-{max:.2}x (paper: 0.2-3.8x).");
+    println!(
+        "Key Observation 5: the 252 W idle floor dominates, so efficiency\n\
+         follows throughput regardless of which processor runs the function."
+    );
+}

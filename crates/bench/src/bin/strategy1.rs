@@ -1,0 +1,63 @@
+//! Strategy 1 projection (Sec. 5.3): re-runs the kernel-stack workloads on
+//! an SNIC CPU whose TCP/UDP stack lives in hardware (FlexTOE/AccelTCP
+//! taken to completion) and reports how much of the Key-Observation-1 gap
+//! that closes.
+//!
+//! ```text
+//! cargo run --release -p snicbench-bench --bin strategy1
+//! ```
+
+use snicbench_core::benchmark::Workload;
+use snicbench_core::experiment::SearchBudget;
+use snicbench_core::report::TextTable;
+use snicbench_core::whatif::project_strategy1;
+use snicbench_functions::ids::RulesetKind;
+use snicbench_functions::kvs::ycsb::YcsbWorkload;
+use snicbench_net::PacketSize;
+
+fn main() {
+    let budget = if std::env::args().any(|a| a == "--quick") {
+        SearchBudget::quick()
+    } else {
+        SearchBudget::default()
+    };
+    let workloads = vec![
+        Workload::MicroUdp(PacketSize::Large),
+        Workload::Redis(YcsbWorkload::A),
+        Workload::Redis(YcsbWorkload::C),
+        Workload::Snort(RulesetKind::FileExecutable),
+        Workload::Nat { entries: 10_000 },
+        Workload::Bm25 { documents: 100 },
+    ];
+    println!("Strategy 1 — projected SNIC/host throughput with a hardware TCP/UDP stack\n");
+    let mut t = TextTable::new(vec![
+        "workload",
+        "ratio today",
+        "ratio projected",
+        "SNIC speedup",
+        "still host-bound?",
+    ]);
+    for w in workloads {
+        eprintln!("# projecting {w}...");
+        let p = project_strategy1(w, budget);
+        t.row(vec![
+            w.name(),
+            format!("{:.2}x", p.ratio_today()),
+            format!("{:.2}x", p.ratio_projected()),
+            format!("{:.1}x", p.snic_speedup()),
+            if p.ratio_projected() < 1.0 {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Reading: the stack offload recovers a large multiple of SNIC throughput\n\
+         (KO1's mechanism confirmed), but app-heavy functions remain below host\n\
+         parity — wimpy cores are the second, independent handicap (KO4).\n\
+         This is why the paper pairs Strategy 1 with Strategies 2 and 3."
+    );
+}

@@ -1,0 +1,148 @@
+//! Regenerates **Table 5**: the 5-year TCO comparison of an SNIC fleet
+//! versus a standard-NIC fleet for fio, OvS, REM, and Compress.
+//!
+//! Capacities come from measured operating points; per-server powers from
+//! the calibrated model at each scenario's deployment load (fio and OvS
+//! run at their full rates, REM at the trace rate, Compress at a
+//! throughput-normalized load). Pass `--paper` to print the paper's own
+//! scenario constants instead of simulating.
+//!
+//! ```text
+//! cargo run --release -p snicbench-bench --bin table5 [-- --paper]
+//! ```
+
+use snicbench_core::benchmark::{CorpusKind, Workload};
+use snicbench_core::experiment::{
+    find_operating_point, measure_power, OperatingPoint, SearchBudget,
+};
+use snicbench_core::report::TextTable;
+use snicbench_core::runner::{run, OfferedLoad, RunConfig};
+use snicbench_core::tco::{analyze, paper_scenarios, TcoInputs, TcoScenario};
+use snicbench_functions::rem::RemRuleset;
+use snicbench_functions::storage::FioDirection;
+use snicbench_hw::ExecutionPlatform;
+use snicbench_net::trace::hyperscaler_trace;
+use snicbench_sim::SimDuration;
+
+fn measured_scenarios(budget: SearchBudget) -> Vec<TcoScenario> {
+    let window = SimDuration::from_secs(60);
+    let mut scenarios = Vec::new();
+    // fio, OvS, and Compress deploy at their maximum throughput; REM
+    // deploys at the hyperscaler trace rate (Sec. 5.1/5.2), where
+    // capacity is not binding on either platform.
+    // (workload, powered-at-trace-rate?, demand-limited-capacity?).
+    // fio's fleet is demand-sized (the paper reports equal throughput);
+    // REM deploys at the trace rate on both axes.
+    let apps: [(&str, Workload, bool, bool); 4] = [
+        ("fio", Workload::Fio(FioDirection::RandRead), false, true),
+        ("OVS", Workload::Ovs { load_pct: 100 }, false, true),
+        (
+            "REM",
+            Workload::RemMtu(RemRuleset::FileExecutable),
+            true,
+            true,
+        ),
+        (
+            "Compress",
+            Workload::Compression(CorpusKind::Application),
+            false,
+            false,
+        ),
+    ];
+    for (name, w, trace_rate, demand_limited) in apps {
+        eprintln!("# measuring {name}...");
+        let snic_platform = snicbench_core::experiment::snic_side(w);
+        let (scenario_host, scenario_snic, cap_host, cap_snic) = if trace_rate {
+            let trace = hyperscaler_trace(30, 0.76, 0xF167);
+            let at_trace = |platform| {
+                let mut cfg = RunConfig::new(w, platform, OfferedLoad::Trace(trace.clone()));
+                cfg.duration = SimDuration::from_secs(30);
+                cfg.warmup = SimDuration::from_secs(2);
+                let metrics = run(&cfg);
+                OperatingPoint {
+                    workload: w,
+                    platform,
+                    max_ops: metrics.achieved_ops,
+                    max_gbps: metrics.achieved_gbps,
+                    p99_us: metrics.latency.p99_us,
+                    metrics,
+                }
+            };
+            // Demand-limited deployment: equal capacity on both sides.
+            (
+                at_trace(ExecutionPlatform::HostCpu),
+                at_trace(snic_platform),
+                1.0,
+                1.0,
+            )
+        } else {
+            let host = find_operating_point(w, ExecutionPlatform::HostCpu, budget);
+            let snic = find_operating_point(w, snic_platform, budget);
+            let (ch, cs) = if demand_limited {
+                (1.0, 1.0)
+            } else {
+                (host.max_gbps.max(1e-6), snic.max_gbps.max(1e-6))
+            };
+            (host, snic, ch, cs)
+        };
+        let host_power = measure_power(&scenario_host, window, 0x7C0);
+        let snic_power = measure_power(&scenario_snic, window, 0x7C1);
+        scenarios.push(TcoScenario {
+            name: name.into(),
+            snic_capacity: cap_snic,
+            nic_capacity: cap_host,
+            snic_power_w: snic_power.system_w,
+            nic_power_w: host_power.system_w,
+        });
+    }
+    scenarios
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let use_paper = args.iter().any(|a| a == "--paper");
+    let budget = if args.iter().any(|a| a == "--quick") {
+        SearchBudget::quick()
+    } else {
+        SearchBudget::default()
+    };
+    let inputs = TcoInputs::paper_default();
+    let scenarios = if use_paper {
+        paper_scenarios()
+    } else {
+        measured_scenarios(budget)
+    };
+
+    println!(
+        "Table 5 — 5-year TCO (server ${:.0}, SNIC ${:.0}, NIC ${:.0}, ${:.3}/kWh)\n",
+        inputs.server_base_cost, inputs.snic_cost, inputs.nic_cost, inputs.electricity_per_kwh
+    );
+    let mut t = TextTable::new(vec![
+        "application",
+        "servers SNIC/NIC",
+        "power W SNIC/NIC",
+        "kWh SNIC/NIC",
+        "power $ SNIC/NIC",
+        "TCO SNIC",
+        "TCO NIC",
+        "savings",
+    ]);
+    for s in &scenarios {
+        let row = analyze(s, &inputs);
+        t.row(vec![
+            row.name.clone(),
+            format!("{}/{}", row.snic_servers, row.nic_servers),
+            format!("{:.0}/{:.0}", row.snic_power_w, row.nic_power_w),
+            format!("{:.0}/{:.0}", row.snic_kwh, row.nic_kwh),
+            format!("{:.0}/{:.0}", row.snic_power_cost, row.nic_power_cost),
+            format!("${:.0}", row.snic_tco),
+            format!("${:.0}", row.nic_tco),
+            format!("{:+.1}%", row.savings() * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!("Paper reference savings: fio +2.7%, OVS +1.7%, REM -2.5%, Compress +70.7%.");
+    if !use_paper {
+        println!("(Re-run with --paper to print the paper's scenario constants.)");
+    }
+}

@@ -1,0 +1,149 @@
+//! Renders the paper's configuration tables from the models that encode
+//! them: Table 1 (BlueField-2 spec), Table 2 (client/server systems),
+//! Table 3 (benchmark matrix), and the full calibration table with each
+//! entry's source in the paper.
+//!
+//! ```text
+//! cargo run -p snicbench-bench --bin tables
+//! ```
+
+use snicbench_core::benchmark::Workload;
+use snicbench_core::calibration::{self, ServiceModel};
+use snicbench_core::report::TextTable;
+use snicbench_hw::server::Testbed;
+use snicbench_hw::specs;
+
+fn table1() {
+    let tb = Testbed::new();
+    let cpu = &tb.snic.cpu;
+    let mem = &tb.snic.memory;
+    println!("Table 1 — BlueField-2 specification (as modeled)\n");
+    let mut t = TextTable::new(vec!["component", "value"]);
+    t.row(vec![
+        "CPU".to_string(),
+        format!("{} x {} @ {} GHz", cpu.cores, cpu.name, cpu.freq_ghz),
+    ]);
+    t.row(vec![
+        "Accelerators".to_string(),
+        tb.snic
+            .accelerators()
+            .iter()
+            .map(|a| a.kind.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+    ]);
+    t.row(vec![
+        "Memory".to_string(),
+        format!(
+            "{} GB DDR4-{} on-board",
+            mem.capacity_bytes >> 30,
+            mem.rate_mts
+        ),
+    ]);
+    t.row(vec![
+        "Network".to_string(),
+        format!(
+            "{} ports of {} Gb/s ({})",
+            tb.snic.nic.ports, tb.snic.nic.line_rate_gbps, tb.snic.nic.name
+        ),
+    ]);
+    t.row(vec![
+        "PCIe".to_string(),
+        format!("x{} Gen {}", tb.snic.pcie.lanes, tb.snic.pcie.generation),
+    ]);
+    t.row(vec!["Mode".to_string(), tb.snic.mode().to_string()]);
+    println!("{t}");
+}
+
+fn table2() {
+    println!("Table 2 — system configurations (as modeled)\n");
+    let mut t = TextTable::new(vec!["", "Client", "Server"]);
+    let (client, server) = (specs::client_cpu(), specs::host_cpu());
+    t.row(vec![
+        "Processor".to_string(),
+        client.name.to_string(),
+        server.name.to_string(),
+    ]);
+    t.row(vec![
+        "Cores x GHz".to_string(),
+        format!("{} x {}", client.cores, client.freq_ghz),
+        format!("{} x {} (pinned)", server.cores, server.freq_ghz),
+    ]);
+    let (cm, sm) = (specs::client_memory(), specs::host_memory());
+    t.row(vec![
+        "Memory".to_string(),
+        format!(
+            "{} GB DDR4-{}, {} ch",
+            cm.capacity_bytes >> 30,
+            cm.rate_mts,
+            cm.channels
+        ),
+        format!(
+            "{} GB DDR4-{}, {} ch",
+            sm.capacity_bytes >> 30,
+            sm.rate_mts,
+            sm.channels
+        ),
+    ]);
+    t.row(vec![
+        "LLC".to_string(),
+        "20 MB".to_string(),
+        format!(
+            "{:.2} MB",
+            specs::host_cache().llc_bytes() as f64 / (1024.0 * 1024.0)
+        ),
+    ]);
+    t.row(vec![
+        "NIC".to_string(),
+        "ConnectX-6 Dx".to_string(),
+        "BlueField-2".to_string(),
+    ]);
+    println!("{t}");
+}
+
+fn table3_with_calibration() {
+    println!("Table 3 + calibration — every cell with its service model and source\n");
+    let mut t = TextTable::new(vec![
+        "workload",
+        "stack",
+        "platform",
+        "service model",
+        "source in paper",
+    ]);
+    for w in Workload::figure4_set() {
+        for p in w.platforms() {
+            let c = calibration::lookup(w, p).expect("Table 3 cell");
+            let model = match c.service {
+                ServiceModel::Cpu(cpu) => {
+                    format!(
+                        "{} cores, app {:.0} ns/op, cv {}",
+                        cpu.cores, cpu.app_ns, cpu.cv
+                    )
+                }
+                ServiceModel::Accelerator {
+                    kind,
+                    op_ns,
+                    staging_us,
+                } => format!("{kind} engine, {op_ns:.0} ns/op, staging {staging_us} us"),
+                ServiceModel::FixedEngine {
+                    rate_gbps,
+                    latency_us,
+                } => format!("engine {rate_gbps} Gb/s, latency {latency_us} us"),
+            };
+            t.row(vec![
+                w.name(),
+                w.stack().to_string(),
+                p.code().to_string(),
+                model,
+                c.source.to_string(),
+            ]);
+        }
+    }
+    println!("{t}");
+}
+
+fn main() {
+    table1();
+    table2();
+    table3_with_calibration();
+}

@@ -1,0 +1,5 @@
+//! # snicbench-bench
+//!
+//! Figure/table regeneration binaries and Criterion benches. See the `bin/`
+//! targets (`fig4`, `fig5`, `fig6`, `fig7`, `table4`, `table5`) and the
+//! Criterion benches under `benches/`.

@@ -1,0 +1,187 @@
+//! The offload advisor (Strategy 2).
+//!
+//! Key Observations 2 and 4 say offload decisions cannot be made per
+//! *function* — inputs, configurations, and operation types flip the
+//! winner. The paper points to Clara-style tools that predict SNIC
+//! performance ahead of deployment. [`recommend`] is that tool for this
+//! workspace: it predicts each candidate platform's operating point from
+//! the calibration tables (cheap analytic pass) or measures it (simulation
+//! pass), filters by an optional SLO, and ranks the survivors by the
+//! requested objective.
+
+use snicbench_hw::ExecutionPlatform;
+
+use crate::benchmark::Workload;
+use crate::experiment::{find_operating_point, measure_power, SearchBudget};
+use crate::slo::Slo;
+use snicbench_sim::SimDuration;
+
+/// What the advisor optimizes among SLO-compliant platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Highest maximum sustainable throughput.
+    Throughput,
+    /// Lowest p99 latency.
+    TailLatency,
+    /// Highest system-wide energy efficiency (Gb/s per watt).
+    EnergyEfficiency,
+}
+
+/// One platform's predicted outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformPrediction {
+    /// The platform.
+    pub platform: ExecutionPlatform,
+    /// Predicted maximum sustainable throughput, ops/s.
+    pub max_ops: f64,
+    /// Predicted maximum sustainable throughput, Gb/s.
+    pub max_gbps: f64,
+    /// Predicted p99 at that operating point, µs.
+    pub p99_us: f64,
+    /// Predicted system power, W.
+    pub system_w: f64,
+    /// Predicted efficiency, Gb/s per W.
+    pub efficiency: f64,
+    /// Whether the platform meets the SLO (true when no SLO given).
+    pub slo_met: bool,
+}
+
+/// The advisor's answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// The workload asked about.
+    pub workload: Workload,
+    /// The chosen platform, if any candidate met the SLO.
+    pub choice: Option<ExecutionPlatform>,
+    /// Every candidate's prediction, best first.
+    pub predictions: Vec<PlatformPrediction>,
+}
+
+/// Predicts all candidate platforms for `workload`, filters by `slo`, and
+/// ranks by `objective`.
+pub fn recommend(
+    workload: Workload,
+    slo: Option<Slo>,
+    objective: Objective,
+    budget: SearchBudget,
+) -> Recommendation {
+    let mut predictions: Vec<PlatformPrediction> = workload
+        .platforms()
+        .into_iter()
+        .map(|platform| {
+            let op = find_operating_point(workload, platform, budget);
+            let power = measure_power(&op, SimDuration::from_secs(20), budget.seed);
+            let slo_met = slo.map(|s| s.check(&op.metrics).met()).unwrap_or(true);
+            PlatformPrediction {
+                platform,
+                max_ops: op.max_ops,
+                max_gbps: op.max_gbps,
+                p99_us: op.p99_us,
+                system_w: power.system_w,
+                efficiency: power.efficiency_gbps_per_w,
+                slo_met,
+            }
+        })
+        .collect();
+    let score = |p: &PlatformPrediction| -> f64 {
+        match objective {
+            Objective::Throughput => p.max_ops,
+            Objective::TailLatency => -p.p99_us,
+            Objective::EnergyEfficiency => p.efficiency,
+        }
+    };
+    predictions.sort_by(|a, b| {
+        // SLO-compliant first, then by objective.
+        b.slo_met
+            .cmp(&a.slo_met)
+            .then(score(b).partial_cmp(&score(a)).expect("finite scores"))
+    });
+    let choice = predictions
+        .first()
+        .filter(|p| p.slo_met)
+        .map(|p| p.platform);
+    Recommendation {
+        workload,
+        choice,
+        predictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::CryptoAlgo;
+    use snicbench_functions::rem::RemRuleset;
+    use snicbench_net::PacketSize;
+
+    #[test]
+    fn udp_recommends_the_host() {
+        let rec = recommend(
+            Workload::MicroUdp(PacketSize::Large),
+            None,
+            Objective::Throughput,
+            SearchBudget::quick(),
+        );
+        assert_eq!(rec.choice, Some(ExecutionPlatform::HostCpu));
+        assert_eq!(rec.predictions.len(), 2);
+    }
+
+    #[test]
+    fn rem_image_recommends_the_accelerator_for_throughput() {
+        let rec = recommend(
+            Workload::Rem(RemRuleset::FileImage),
+            None,
+            Objective::Throughput,
+            SearchBudget::quick(),
+        );
+        assert_eq!(rec.choice, Some(ExecutionPlatform::SnicAccelerator));
+        assert_eq!(rec.predictions.len(), 3);
+    }
+
+    #[test]
+    fn rem_exe_flips_to_the_host() {
+        // KO4: same function, different input, different winner.
+        let rec = recommend(
+            Workload::Rem(RemRuleset::FileExecutable),
+            None,
+            Objective::Throughput,
+            SearchBudget::quick(),
+        );
+        assert_eq!(rec.choice, Some(ExecutionPlatform::HostCpu));
+    }
+
+    #[test]
+    fn tight_slo_disqualifies_the_accelerator() {
+        // The accelerator's ~20 µs staging path cannot meet a 15 µs p99.
+        let rec = recommend(
+            Workload::Rem(RemRuleset::FileImage),
+            Some(Slo::p99(15.0)),
+            Objective::Throughput,
+            SearchBudget::quick(),
+        );
+        assert_ne!(rec.choice, Some(ExecutionPlatform::SnicAccelerator));
+    }
+
+    #[test]
+    fn efficiency_objective_can_pick_the_snic() {
+        // SHA-1: the accelerator wins on both throughput and efficiency.
+        let rec = recommend(
+            Workload::Crypto(CryptoAlgo::Sha1),
+            None,
+            Objective::EnergyEfficiency,
+            SearchBudget::quick(),
+        );
+        assert_eq!(rec.choice, Some(ExecutionPlatform::SnicAccelerator));
+    }
+
+    #[test]
+    fn predictions_are_ranked() {
+        let rec = recommend(
+            Workload::MicroUdp(PacketSize::Large),
+            None,
+            Objective::Throughput,
+            SearchBudget::quick(),
+        );
+        assert!(rec.predictions[0].max_ops >= rec.predictions[1].max_ops);
+    }
+}

@@ -1,0 +1,361 @@
+//! The workload matrix (Table 3 plus the Sec. 3.3 microbenchmarks).
+//!
+//! Every (benchmark, configuration) the paper evaluates is a [`Workload`]
+//! value. The enum carries the configuration data (ruleset, entry count,
+//! batch size, ...) so calibration and reporting key off one type.
+
+use snicbench_functions::ids::RulesetKind;
+use snicbench_functions::kvs::ycsb::YcsbWorkload;
+use snicbench_functions::rem::RemRuleset;
+use snicbench_functions::storage::FioDirection;
+use snicbench_hw::ExecutionPlatform;
+use snicbench_net::stack::NetworkStack;
+use snicbench_net::PacketSize;
+
+/// Cryptography algorithms the paper runs (Sec. 3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CryptoAlgo {
+    /// AES-128 bulk encryption.
+    Aes,
+    /// RSA signing.
+    Rsa,
+    /// SHA-1 hashing.
+    Sha1,
+}
+
+impl std::fmt::Display for CryptoAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CryptoAlgo::Aes => write!(f, "AES"),
+            CryptoAlgo::Rsa => write!(f, "RSA"),
+            CryptoAlgo::Sha1 => write!(f, "SHA-1"),
+        }
+    }
+}
+
+/// Compression benchmark inputs (Sec. 3.4: `Application3` and `Text1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorpusKind {
+    /// Binary application data.
+    Application,
+    /// Natural-language text.
+    Text,
+}
+
+impl std::fmt::Display for CorpusKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusKind::Application => write!(f, "app"),
+            CorpusKind::Text => write!(f, "txt"),
+        }
+    }
+}
+
+/// Fig. 4's two function categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FunctionCategory {
+    /// Networking-stack microbenchmarks (Sec. 3.3).
+    Microbenchmark,
+    /// Functions with no SNIC accelerator support ("Software Only").
+    SoftwareOnly,
+    /// Functions an SNIC accelerator can run ("Hardware Accelerated").
+    HardwareAccelerated,
+}
+
+/// One (benchmark, configuration) cell of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// UDP echo microbenchmark.
+    MicroUdp(PacketSize),
+    /// DPDK ping-pong microbenchmark.
+    MicroDpdk(PacketSize),
+    /// RDMA perftest microbenchmark (RC transport).
+    MicroRdma(PacketSize),
+    /// Redis with a YCSB workload.
+    Redis(YcsbWorkload),
+    /// Snort with a ruleset.
+    Snort(RulesetKind),
+    /// NAT with an entry count.
+    Nat {
+        /// Translation-table entries (10 K or 1 M in the paper).
+        entries: u64,
+    },
+    /// BM25 over a document count.
+    Bm25 {
+        /// Database documents (100 or 1 000 in the paper).
+        documents: u32,
+    },
+    /// A cryptography algorithm.
+    Crypto(CryptoAlgo),
+    /// Regular-expression matching with a ruleset over the CTU PCAP mix
+    /// (the Fig. 4 configuration).
+    Rem(RemRuleset),
+    /// Regular-expression matching with MTU-sized packets (the Fig. 5
+    /// sweep configuration).
+    RemMtu(RemRuleset),
+    /// Deflate compression of a corpus.
+    Compression(CorpusKind),
+    /// Open vSwitch at a traffic load.
+    Ovs {
+        /// Offered load as a percentage of line rate (10 or 100).
+        load_pct: u8,
+    },
+    /// MICA with a batch size.
+    Mica {
+        /// GET batch size (4 or 32 in the paper).
+        batch: u32,
+    },
+    /// fio over NVMe-oF.
+    Fio(FioDirection),
+}
+
+impl Workload {
+    /// Every Fig. 4 cell, in the figure's left-to-right order.
+    pub fn figure4_set() -> Vec<Workload> {
+        use Workload::*;
+        vec![
+            // Software-only functions.
+            Redis(YcsbWorkload::A),
+            Redis(YcsbWorkload::B),
+            Redis(YcsbWorkload::C),
+            Snort(RulesetKind::FileImage),
+            Snort(RulesetKind::FileFlash),
+            Snort(RulesetKind::FileExecutable),
+            Nat { entries: 10_000 },
+            Nat { entries: 1_000_000 },
+            Bm25 { documents: 100 },
+            Bm25 { documents: 1_000 },
+            Mica { batch: 4 },
+            Mica { batch: 32 },
+            Fio(FioDirection::RandRead),
+            Fio(FioDirection::RandWrite),
+            // Hardware-accelerated functions.
+            Crypto(CryptoAlgo::Aes),
+            Crypto(CryptoAlgo::Rsa),
+            Crypto(CryptoAlgo::Sha1),
+            Rem(RemRuleset::FileImage),
+            Rem(RemRuleset::FileFlash),
+            Rem(RemRuleset::FileExecutable),
+            Compression(CorpusKind::Application),
+            Compression(CorpusKind::Text),
+            Ovs { load_pct: 10 },
+            Ovs { load_pct: 100 },
+            // Microbenchmarks.
+            MicroUdp(PacketSize::Small),
+            MicroUdp(PacketSize::Large),
+            MicroDpdk(PacketSize::Small),
+            MicroDpdk(PacketSize::Large),
+            MicroRdma(PacketSize::Large),
+        ]
+    }
+
+    /// Short display name matching the figure labels.
+    pub fn name(&self) -> String {
+        match self {
+            Workload::MicroUdp(p) => format!("UDP-{p}"),
+            Workload::MicroDpdk(p) => format!("DPDK-{p}"),
+            Workload::MicroRdma(p) => format!("RDMA-{p}"),
+            Workload::Redis(w) => format!("Redis-{}", format!("{w}").replace("workload_", "")),
+            Workload::Snort(r) => format!("Snort-{}", short_ruleset(&r.to_string())),
+            Workload::Nat { entries } => {
+                if *entries >= 1_000_000 {
+                    format!("NAT-{}M", entries / 1_000_000)
+                } else {
+                    format!("NAT-{}K", entries / 1_000)
+                }
+            }
+            Workload::Bm25 { documents } => format!("BM25-{documents}"),
+            Workload::Crypto(a) => format!("Crypto-{a}"),
+            Workload::Rem(r) => format!("REM-{}", short_ruleset(&r.to_string())),
+            Workload::RemMtu(r) => format!("REM-MTU-{}", short_ruleset(&r.to_string())),
+            Workload::Compression(c) => format!("Compress-{c}"),
+            Workload::Ovs { load_pct } => format!("OvS-{load_pct}%"),
+            Workload::Mica { batch } => format!("MICA-{batch}"),
+            Workload::Fio(d) => format!("fio-{d}"),
+        }
+    }
+
+    /// The networking stack the benchmark uses (Table 3).
+    pub fn stack(&self) -> NetworkStack {
+        match self {
+            Workload::MicroUdp(_) => NetworkStack::Udp,
+            Workload::MicroDpdk(_) => NetworkStack::Dpdk,
+            Workload::MicroRdma(_) => NetworkStack::Rdma,
+            Workload::Redis(_) => NetworkStack::Tcp,
+            Workload::Snort(_) | Workload::Nat { .. } | Workload::Bm25 { .. } => NetworkStack::Udp,
+            // Crypto runs locally (Sec. 3.4) but its accelerator path is
+            // driven like the other DPDK-staged engines.
+            Workload::Crypto(_) => NetworkStack::Dpdk,
+            Workload::Rem(_)
+            | Workload::RemMtu(_)
+            | Workload::Compression(_)
+            | Workload::Ovs { .. } => NetworkStack::Dpdk,
+            Workload::Mica { .. } | Workload::Fio(_) => NetworkStack::Rdma,
+        }
+    }
+
+    /// Fig. 4 category.
+    pub fn category(&self) -> FunctionCategory {
+        match self {
+            Workload::MicroUdp(_) | Workload::MicroDpdk(_) | Workload::MicroRdma(_) => {
+                FunctionCategory::Microbenchmark
+            }
+            Workload::Crypto(_)
+            | Workload::Rem(_)
+            | Workload::RemMtu(_)
+            | Workload::Compression(_)
+            | Workload::Ovs { .. } => FunctionCategory::HardwareAccelerated,
+            _ => FunctionCategory::SoftwareOnly,
+        }
+    }
+
+    /// The platforms this workload runs on (Table 3's check marks).
+    pub fn platforms(&self) -> Vec<ExecutionPlatform> {
+        use ExecutionPlatform::*;
+        match self.category() {
+            FunctionCategory::HardwareAccelerated => match self {
+                // Crypto's SNIC column is the accelerator (the SNIC CPU
+                // only drives it); OvS runs on all three.
+                Workload::Crypto(_) => vec![HostCpu, SnicCpu, SnicAccelerator],
+                _ => vec![HostCpu, SnicCpu, SnicAccelerator],
+            },
+            _ => vec![HostCpu, SnicCpu],
+        }
+    }
+
+    /// Wire size of one request in bytes.
+    pub fn request_bytes(&self) -> u64 {
+        match self {
+            Workload::MicroUdp(p) | Workload::MicroDpdk(p) | Workload::MicroRdma(p) => p.bytes(),
+            Workload::Redis(_) => 1_024, // 1 KB records
+            Workload::Snort(_) => 1_024,
+            Workload::Nat { .. } => 64,
+            Workload::Bm25 { .. } => 256,            // a query packet
+            Workload::Crypto(CryptoAlgo::Rsa) => 64, // a digest to sign
+            Workload::Crypto(_) => 1_024,            // a bulk block
+            // REM Fig. 4 runs the CTU PCAP mix; its mean size.
+            Workload::Rem(_) => 660,
+            Workload::RemMtu(_) => 1_500,
+            Workload::Compression(_) => 64 * 1024, // file blocks
+            Workload::Ovs { .. } => 1_500,         // MTU (Sec. 3.4)
+            Workload::Mica { .. } => 128,          // key + small value
+            Workload::Fio(_) => 64 * 1024,         // 64 KB block I/O
+        }
+    }
+
+    /// True if the workload's primary metric is data rate (Gb/s) rather
+    /// than operations per second.
+    pub fn reports_gbps(&self) -> bool {
+        matches!(
+            self,
+            Workload::MicroDpdk(_)
+                | Workload::MicroUdp(_)
+                | Workload::MicroRdma(_)
+                | Workload::Rem(_)
+                | Workload::RemMtu(_)
+                | Workload::Compression(_)
+                | Workload::Ovs { .. }
+                | Workload::Fio(_)
+        )
+    }
+}
+
+impl Workload {
+    /// The offered-load cap this configuration prescribes, in Gb/s.
+    /// OvS's two configurations are defined by their traffic load (10% or
+    /// 100% of line rate, Sec. 3.4); everything else is searched to its
+    /// maximum.
+    pub fn offered_cap_gbps(&self) -> Option<f64> {
+        match self {
+            Workload::Ovs { load_pct } => Some(*load_pct as f64),
+            _ => None,
+        }
+    }
+
+    /// Whether the latency-knee criterion applies when searching for the
+    /// maximum sustainable throughput. Request-response services are
+    /// latency-sensitive; Cryptography and Compression are batch
+    /// benchmarks whose maximum throughput is pure saturation throughput.
+    pub fn latency_knee_applies(&self) -> bool {
+        !matches!(self, Workload::Crypto(_) | Workload::Compression(_))
+    }
+}
+
+fn short_ruleset(name: &str) -> &'static str {
+    match name {
+        "file_image" => "img",
+        "file_flash" => "fla",
+        "file_executable" => "exe",
+        _ => "unknown",
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_set_covers_all_29_cells() {
+        let set = Workload::figure4_set();
+        assert_eq!(set.len(), 29);
+        // No duplicates.
+        let unique: std::collections::HashSet<_> = set.iter().collect();
+        assert_eq!(unique.len(), set.len());
+    }
+
+    #[test]
+    fn table3_stacks() {
+        assert_eq!(Workload::Redis(YcsbWorkload::A).stack(), NetworkStack::Tcp);
+        assert_eq!(Workload::Nat { entries: 10_000 }.stack(), NetworkStack::Udp);
+        assert_eq!(
+            Workload::Rem(RemRuleset::FileImage).stack(),
+            NetworkStack::Dpdk
+        );
+        assert_eq!(Workload::Mica { batch: 4 }.stack(), NetworkStack::Rdma);
+        assert_eq!(
+            Workload::Fio(FioDirection::RandRead).stack(),
+            NetworkStack::Rdma
+        );
+    }
+
+    #[test]
+    fn accelerated_functions_run_on_three_platforms() {
+        for w in [
+            Workload::Crypto(CryptoAlgo::Aes),
+            Workload::Rem(RemRuleset::FileFlash),
+            Workload::Compression(CorpusKind::Text),
+            Workload::Ovs { load_pct: 100 },
+        ] {
+            assert_eq!(w.platforms().len(), 3, "{w}");
+            assert_eq!(w.category(), FunctionCategory::HardwareAccelerated);
+        }
+        assert_eq!(Workload::Redis(YcsbWorkload::A).platforms().len(), 2);
+    }
+
+    #[test]
+    fn names_are_figure_labels() {
+        assert_eq!(Workload::Redis(YcsbWorkload::A).name(), "Redis-a");
+        assert_eq!(Workload::Nat { entries: 10_000 }.name(), "NAT-10K");
+        assert_eq!(Workload::Nat { entries: 1_000_000 }.name(), "NAT-1M");
+        assert_eq!(Workload::Rem(RemRuleset::FileImage).name(), "REM-img");
+        assert_eq!(Workload::MicroUdp(PacketSize::Small).name(), "UDP-64B");
+        assert_eq!(
+            Workload::Fio(FioDirection::RandWrite).name(),
+            "fio-randwrite"
+        );
+    }
+
+    #[test]
+    fn request_sizes_are_sane() {
+        for w in Workload::figure4_set() {
+            let b = w.request_bytes();
+            assert!((64..=65536).contains(&b), "{w}: {b}");
+        }
+    }
+}

@@ -1,0 +1,526 @@
+//! Per-(workload, platform) service-cost calibration.
+//!
+//! Every number here is *data*, tagged with the paper statement it was
+//! fitted to. The simulation's structure (queueing, path latencies, line
+//! rate, accelerator caps) lives in the other crates; this table pins the
+//! one free parameter family — how long one operation of each function
+//! occupies its serving resource on each platform — so the simulated
+//! Fig. 4/5/6 reproduce the paper's *shape*: who wins, by roughly what
+//! factor, and where knees fall.
+//!
+//! Deviations we accept knowingly (documented in EXPERIMENTS.md): REM
+//! `file_image` on the host is pinned to its mixed-traffic operating
+//! point, which lands its Fig. 5 knee near ~28 Gb/s rather than the
+//! paper's ~40 Gb/s; the ordering (host knee ≪ accelerator cap ≪ host
+//! `file_executable` rate) is preserved.
+
+use snicbench_functions::ids::RulesetKind;
+use snicbench_functions::kvs::ycsb::YcsbWorkload;
+use snicbench_functions::rem::RemRuleset;
+use snicbench_functions::storage::FioDirection;
+use snicbench_hw::accelerator::AcceleratorKind;
+use snicbench_hw::ExecutionPlatform;
+
+use crate::benchmark::{CorpusKind, CryptoAlgo, Workload};
+
+/// A CPU-served workload's cost on one platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuService {
+    /// Cores devoted to the function (the paper uses 8 on both platforms
+    /// unless noted; DPDK/RDMA microbenchmarks use 1).
+    pub cores: usize,
+    /// Application work per operation on this platform's core, in ns
+    /// (excludes the networking-stack cost, which the runner adds from
+    /// [`StackModel`](snicbench_net::stack::StackModel)).
+    pub app_ns: f64,
+    /// Coefficient of variation of the per-op service time (lognormal
+    /// jitter).
+    pub cv: f64,
+}
+
+/// How a workload is served on a platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceModel {
+    /// General-purpose cores run the stack + the function.
+    Cpu(CpuService),
+    /// A fixed-function SNIC engine processes ops; SNIC CPU cores stage
+    /// them (adding pipelined latency, not occupancy).
+    Accelerator {
+        /// Which engine.
+        kind: AcceleratorKind,
+        /// Engine occupancy per op, ns (sets the throughput cap).
+        op_ns: f64,
+        /// Staging-path latency added to every op, µs.
+        staging_us: f64,
+    },
+    /// A bump-in-the-wire engine (eSwitch data plane, NVMe-oF offload):
+    /// rate-limited pipe, no CPU occupancy beyond a control sliver.
+    FixedEngine {
+        /// Sustained rate in Gb/s.
+        rate_gbps: f64,
+        /// Per-op latency through the engine path, µs.
+        latency_us: f64,
+    },
+}
+
+/// One calibration entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// The service model.
+    pub service: ServiceModel,
+    /// Where the number comes from in the paper.
+    pub source: &'static str,
+}
+
+fn cpu(cores: usize, app_ns: f64, cv: f64) -> ServiceModel {
+    ServiceModel::Cpu(CpuService { cores, app_ns, cv })
+}
+
+/// Looks up the calibration for a workload on a platform.
+///
+/// Returns `None` where Table 3 has no check mark (e.g. Redis on the
+/// accelerator).
+pub fn lookup(workload: Workload, platform: ExecutionPlatform) -> Option<Calibration> {
+    use ExecutionPlatform::{HostCpu, SnicAccelerator, SnicCpu};
+    let cal = |service, source| Some(Calibration { service, source });
+    match (workload, platform) {
+        // ---- Microbenchmarks (Sec. 3.3) --------------------------------
+        // UDP echo on 8 cores; cost is all stack, so app_ns = 0. The
+        // SNIC/host throughput ratio (0.143–0.235) comes from the stack
+        // table.
+        (Workload::MicroUdp(_), HostCpu) => cal(cpu(8, 0.0, 0.15), "Sec 3.3 UDP microbenchmark"),
+        (Workload::MicroUdp(_), SnicCpu) => cal(cpu(8, 0.0, 0.15), "Sec 4 KO1: 76.5-85.7% lower"),
+        // DPDK ping-pong on one core; line rate for 1 KB on both.
+        (Workload::MicroDpdk(_), HostCpu) => cal(cpu(1, 0.0, 0.05), "Sec 3.3 DPDK microbenchmark"),
+        (Workload::MicroDpdk(_), SnicCpu) => cal(cpu(1, 0.0, 0.05), "Sec 3.3: 1 core = line rate"),
+        // RDMA perftest on one core; SNIC up to 1.4x host.
+        (Workload::MicroRdma(_), HostCpu) => cal(cpu(1, 0.0, 0.05), "Sec 3.3 RDMA microbenchmark"),
+        (Workload::MicroRdma(_), SnicCpu) => cal(cpu(1, 0.0, 0.05), "Sec 4 KO1: up to 1.4x host"),
+
+        // ---- TCP/UDP software functions (Sec. 3.4, Fig. 4) -------------
+        (Workload::Redis(w), HostCpu) => {
+            let app = match w {
+                YcsbWorkload::A => 2_500.0,
+                YcsbWorkload::B => 2_200.0,
+                YcsbWorkload::C => 2_000.0,
+            };
+            cal(
+                cpu(8, app, 0.3),
+                "Sec 3.4: YCSB A/B/C over 30K x 1KB records",
+            )
+        }
+        (Workload::Redis(w), SnicCpu) => {
+            let app = match w {
+                YcsbWorkload::A => 8_200.0,
+                YcsbWorkload::B => 7_200.0,
+                YcsbWorkload::C => 6_500.0,
+            };
+            cal(
+                cpu(8, app, 0.3),
+                "Fig 4: TCP functions 20.6-89.5% lower on SNIC",
+            )
+        }
+        (Workload::Snort(r), HostCpu) => {
+            let app = match r {
+                RulesetKind::FileImage => 1_500.0,
+                RulesetKind::FileFlash => 2_500.0,
+                RulesetKind::FileExecutable => 3_000.0,
+            };
+            cal(cpu(8, app, 0.35), "Sec 3.4: Snort with registered rulesets")
+        }
+        (Workload::Snort(r), SnicCpu) => {
+            let app = match r {
+                RulesetKind::FileImage => 4_800.0,
+                RulesetKind::FileFlash => 8_000.0,
+                RulesetKind::FileExecutable => 9_600.0,
+            };
+            cal(cpu(8, app, 0.35), "Fig 4: Snort on SNIC CPU")
+        }
+        (Workload::Nat { entries }, HostCpu) => {
+            // 10K entries stay cache-resident; 1M entries miss to DRAM.
+            let app = if entries >= 1_000_000 { 800.0 } else { 300.0 };
+            cal(cpu(8, app, 0.25), "Sec 3.4: NAT 10K/1M random entries")
+        }
+        (Workload::Nat { entries }, SnicCpu) => {
+            // DRAM-latency-bound lookups narrow the core gap (KO4).
+            let app = if entries >= 1_000_000 { 1_200.0 } else { 700.0 };
+            cal(cpu(8, app, 0.25), "Fig 4: NAT on SNIC CPU")
+        }
+        (Workload::Bm25 { documents }, HostCpu) => {
+            let app = if documents >= 1_000 {
+                40_000.0
+            } else {
+                4_000.0
+            };
+            cal(cpu(8, app, 0.3), "Sec 3.4: BM25 over 100/1K documents")
+        }
+        (Workload::Bm25 { documents }, SnicCpu) => {
+            // Scoring 1K docs is memory-bound: the SNIC's relative gap
+            // narrows with input size (KO4).
+            let app = if documents >= 1_000 {
+                52_000.0
+            } else {
+                10_000.0
+            };
+            cal(cpu(8, app, 0.3), "Sec 4 KO4: BM25 varies with input size")
+        }
+
+        // ---- Cryptography (Sec. 3.4: local, single driving core) -------
+        (Workload::Crypto(a), HostCpu) => {
+            // OpenSSL-style single-threaded rates; AES/RSA ride the host
+            // ISA extensions, SHA-1 does not (KO2).
+            let app = match a {
+                CryptoAlgo::Aes => 6_500.0,   // 16 KB block via AES-NI
+                CryptoAlgo::Rsa => 380_000.0, // one 512-bit sign
+                CryptoAlgo::Sha1 => 16_000.0, // 16 KB, no SHA extension
+            };
+            cal(cpu(1, app, 0.1), "Sec 4 KO2: host ISA extensions")
+        }
+        (Workload::Crypto(a), SnicCpu) => {
+            let app = match a {
+                CryptoAlgo::Aes => 16_000.0,
+                CryptoAlgo::Rsa => 1_300_000.0,
+                CryptoAlgo::Sha1 => 40_000.0,
+            };
+            cal(cpu(1, app, 0.1), "software crypto on A72")
+        }
+        (Workload::Crypto(a), SnicAccelerator) => {
+            let op_ns = match a {
+                // Fitted to Fig 4: host 1.385x accel (AES), 1.912x (RSA);
+                // accel 1.894x host (SHA-1).
+                CryptoAlgo::Aes => 9_000.0,
+                CryptoAlgo::Rsa => 727_000.0,
+                CryptoAlgo::Sha1 => 8_450.0,
+            };
+            cal(
+                ServiceModel::Accelerator {
+                    kind: AcceleratorKind::PublicKeyCrypto,
+                    op_ns,
+                    staging_us: 10.0,
+                },
+                "Fig 4: AES +38.5% / RSA +91.2% host, SHA-1 -47.2%",
+            )
+        }
+
+        // ---- REM (Sec. 3.4 + Fig. 5) ------------------------------------
+        (Workload::Rem(r), HostCpu) | (Workload::RemMtu(r), HostCpu) => {
+            // Per-byte matching costs (ns/B) fitted to Fig 5's knees:
+            // file_image is the host's pathological set.
+            let ns_per_byte = match r {
+                RemRuleset::FileImage => 2.2,
+                RemRuleset::FileFlash => 0.84,
+                RemRuleset::FileExecutable => 0.82,
+            };
+            let app = ns_per_byte * workload.request_bytes() as f64;
+            cal(
+                cpu(8, app, 0.4),
+                "Fig 5: host 40G (img knee) / 78G (exe) @8 cores",
+            )
+        }
+        (Workload::Rem(r), SnicCpu) | (Workload::RemMtu(r), SnicCpu) => {
+            let ns_per_byte = match r {
+                RemRuleset::FileImage => 6.0,
+                RemRuleset::FileFlash => 2.6,
+                RemRuleset::FileExecutable => 2.5,
+            };
+            let app = ns_per_byte * workload.request_bytes() as f64;
+            cal(cpu(8, app, 0.4), "software REM on A72 (Table 3 SC column)")
+        }
+        (Workload::Rem(_), SnicAccelerator) | (Workload::RemMtu(_), SnicAccelerator) => {
+            // Engine cap from the hw spec: ~50 Gb/s regardless of ruleset
+            // (Fig 5: "almost the same throughput ... for the two rule
+            // sets"); per-op occupancy = bytes through a 62.5 Gb/s engine
+            // + 40 ns task overhead.
+            let bytes = workload.request_bytes() as f64;
+            let op_ns = 40.0 + bytes * 8.0 / 62.5;
+            cal(
+                ServiceModel::Accelerator {
+                    kind: AcceleratorKind::RegexMatching,
+                    op_ns,
+                    staging_us: 20.0,
+                },
+                "Sec 4 KO3: accel caps ~50G; Fig 5: p99 ~25us flat",
+            )
+        }
+
+        // ---- Compression (Sec. 3.4) -------------------------------------
+        (Workload::Compression(c), HostCpu) => {
+            let app = match c {
+                CorpusKind::Application => 310_000.0, // 64 KB block, level 9
+                CorpusKind::Text => 302_000.0,
+            };
+            cal(
+                cpu(8, app, 0.2),
+                "Fig 4: accel up to 3.5x host (ISA-L baseline)",
+            )
+        }
+        (Workload::Compression(c), SnicCpu) => {
+            let app = match c {
+                CorpusKind::Application => 1_250_000.0,
+                CorpusKind::Text => 1_215_000.0,
+            };
+            cal(cpu(8, app, 0.2), "software deflate on A72")
+        }
+        (Workload::Compression(_), SnicAccelerator) => {
+            // 64 KB tasks through a 58 Gb/s engine + 2 µs overhead → ~47 G.
+            let bytes = workload.request_bytes() as f64;
+            let op_ns = 2_000.0 + bytes * 8.0 / 58.0;
+            cal(
+                ServiceModel::Accelerator {
+                    kind: AcceleratorKind::Compression,
+                    op_ns,
+                    staging_us: 15.0,
+                },
+                "Sec 4 KO3: compression accel caps ~50G",
+            )
+        }
+
+        // ---- OvS (Sec. 3.4: data plane on the eSwitch in all cases) ----
+        (Workload::Ovs { .. }, HostCpu) => cal(
+            ServiceModel::FixedEngine {
+                rate_gbps: 98.0,
+                latency_us: 6.0,
+            },
+            "Sec 3.4: OvS data plane offloaded to eSwitch (host control)",
+        ),
+        (Workload::Ovs { .. }, SnicCpu) | (Workload::Ovs { .. }, SnicAccelerator) => cal(
+            ServiceModel::FixedEngine {
+                rate_gbps: 98.0,
+                latency_us: 5.0,
+            },
+            "Sec 3.4: OvS data plane offloaded to eSwitch (SNIC control)",
+        ),
+
+        // ---- MICA (Sec. 3.4) --------------------------------------------
+        (Workload::Mica { batch }, HostCpu) => {
+            let app = if batch >= 32 { 310.0 } else { 350.0 };
+            cal(cpu(8, app, 0.2), "Sec 3.4: MICA 100% GET, batch 4/32")
+        }
+        (Workload::Mica { batch }, SnicCpu) => {
+            // Batching amortizes per-request overheads better on the wimpy
+            // cores: the SNIC deficit shrinks from ~54.5% (batch 4) to
+            // ~19.5% (batch 32).
+            let app = if batch >= 32 { 520.0 } else { 1_120.0 };
+            cal(cpu(8, app, 0.2), "Fig 4: MICA 19.5-54.5% lower on SNIC")
+        }
+
+        // ---- fio (Sec. 3.4: NVMe-oF offload engine in the NIC) ----------
+        (Workload::Fio(d), HostCpu) => {
+            let latency_us = match d {
+                FioDirection::RandRead => 80.0,
+                FioDirection::RandWrite => 100.0,
+            };
+            cal(
+                ServiceModel::FixedEngine {
+                    rate_gbps: 55.0,
+                    latency_us,
+                },
+                "Fig 4: fio read p99 36% lower on host; write 18.2% higher",
+            )
+        }
+        (Workload::Fio(d), SnicCpu) => {
+            let latency_us = match d {
+                FioDirection::RandRead => 125.0,
+                FioDirection::RandWrite => 85.0,
+            };
+            cal(
+                ServiceModel::FixedEngine {
+                    rate_gbps: 55.0,
+                    latency_us,
+                },
+                "Sec 4 KO1: fio throughput similar on both platforms",
+            )
+        }
+
+        // Table 3 has no check mark for the remaining combinations.
+        _ => None,
+    }
+}
+
+/// Analytic capacity of a calibrated service in operations per second,
+/// including the stack's CPU cost (used to seed the max-throughput
+/// search).
+pub fn analytic_capacity_ops(workload: Workload, platform: ExecutionPlatform) -> Option<f64> {
+    use snicbench_hw::cpu::Arch;
+    use snicbench_net::stack::StackModel;
+    let calib = lookup(workload, platform)?;
+    let bytes = workload.request_bytes();
+    Some(match calib.service {
+        ServiceModel::Cpu(c) => {
+            let arch = if platform == ExecutionPlatform::HostCpu {
+                Arch::X86_64
+            } else {
+                Arch::Aarch64
+            };
+            let stack_ns = StackModel::for_stack(workload.stack())
+                .cpu_time(arch, bytes)
+                .as_secs_f64()
+                * 1e9;
+            let per_op_ns = stack_ns + c.app_ns;
+            let cpu_cap = c.cores as f64 / (per_op_ns * 1e-9);
+            // The wire caps packet workloads at line rate.
+            let line_cap = 100e9 / 8.0 / bytes as f64;
+            cpu_cap.min(line_cap)
+        }
+        ServiceModel::Accelerator { op_ns, .. } => 1.0 / (op_ns * 1e-9),
+        ServiceModel::FixedEngine { rate_gbps, .. } => rate_gbps * 1e9 / 8.0 / bytes as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snicbench_net::PacketSize;
+
+    fn ratio(w: Workload) -> f64 {
+        let host = analytic_capacity_ops(w, ExecutionPlatform::HostCpu).unwrap();
+        let snic_platform = if lookup(w, ExecutionPlatform::SnicAccelerator).is_some() {
+            ExecutionPlatform::SnicAccelerator
+        } else {
+            ExecutionPlatform::SnicCpu
+        };
+        analytic_capacity_ops(w, snic_platform).unwrap() / host
+    }
+
+    #[test]
+    fn every_table3_cell_has_a_calibration() {
+        for w in Workload::figure4_set() {
+            for p in w.platforms() {
+                assert!(lookup(w, p).is_some(), "{w} on {p} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn unchecked_cells_are_absent() {
+        assert!(lookup(
+            Workload::Redis(YcsbWorkload::A),
+            ExecutionPlatform::SnicAccelerator
+        )
+        .is_none());
+        assert!(lookup(
+            Workload::Mica { batch: 4 },
+            ExecutionPlatform::SnicAccelerator
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn udp_micro_ratio_in_paper_band() {
+        // Fig 4 / KO1: 76.5%-85.7% lower → ratio 0.143-0.235.
+        for p in [PacketSize::Small, PacketSize::Large] {
+            let r = ratio(Workload::MicroUdp(p));
+            assert!((0.13..0.25).contains(&r), "UDP {p}: {r}");
+        }
+    }
+
+    #[test]
+    fn rdma_micro_favors_snic() {
+        let r = ratio(Workload::MicroRdma(PacketSize::Large));
+        assert!((1.2..1.5).contains(&r), "RDMA ratio {r}");
+    }
+
+    #[test]
+    fn dpdk_micro_hits_line_rate_on_both() {
+        for p in [ExecutionPlatform::HostCpu, ExecutionPlatform::SnicCpu] {
+            let ops = analytic_capacity_ops(Workload::MicroDpdk(PacketSize::Large), p).unwrap();
+            let gbps = ops * 1024.0 * 8.0 / 1e9;
+            assert!((gbps - 100.0).abs() < 1.0, "{p}: {gbps} Gb/s");
+        }
+    }
+
+    #[test]
+    fn tcp_udp_functions_fall_in_the_fig4_band() {
+        // 20.6%-89.5% lower → ratio in [0.105, 0.794].
+        for w in [
+            Workload::Redis(YcsbWorkload::A),
+            Workload::Redis(YcsbWorkload::C),
+            Workload::Snort(RulesetKind::FileImage),
+            Workload::Snort(RulesetKind::FileExecutable),
+            Workload::Nat { entries: 10_000 },
+            Workload::Nat { entries: 1_000_000 },
+            Workload::Bm25 { documents: 100 },
+            Workload::Bm25 { documents: 1_000 },
+        ] {
+            let r = ratio(w);
+            assert!((0.105..0.794).contains(&r), "{w}: ratio {r}");
+        }
+    }
+
+    #[test]
+    fn bm25_gap_narrows_with_input_size() {
+        // KO4: relative performance varies with input.
+        let small = ratio(Workload::Bm25 { documents: 100 });
+        let large = ratio(Workload::Bm25 { documents: 1_000 });
+        assert!(large > small * 1.5, "small {small} large {large}");
+    }
+
+    #[test]
+    fn crypto_matches_ko2() {
+        let aes = ratio(Workload::Crypto(CryptoAlgo::Aes));
+        let rsa = ratio(Workload::Crypto(CryptoAlgo::Rsa));
+        let sha = ratio(Workload::Crypto(CryptoAlgo::Sha1));
+        assert!((0.65..0.8).contains(&aes), "AES {aes} (paper ~0.72)");
+        assert!((0.45..0.6).contains(&rsa), "RSA {rsa} (paper ~0.52)");
+        assert!((1.7..2.1).contains(&sha), "SHA-1 {sha} (paper ~1.89)");
+    }
+
+    #[test]
+    fn rem_image_flips_the_winner() {
+        // KO4: accel wins for img, loses for fla/exe.
+        assert!(ratio(Workload::Rem(RemRuleset::FileImage)) > 1.2);
+        assert!(ratio(Workload::Rem(RemRuleset::FileFlash)) < 0.8);
+        assert!(ratio(Workload::Rem(RemRuleset::FileExecutable)) < 0.8);
+    }
+
+    #[test]
+    fn compression_accel_wins_big() {
+        for c in [CorpusKind::Application, CorpusKind::Text] {
+            let r = ratio(Workload::Compression(c));
+            assert!((3.0..4.0).contains(&r), "{c}: {r} (paper up to 3.5)");
+        }
+    }
+
+    #[test]
+    fn mica_batching_narrows_the_gap() {
+        let b4 = ratio(Workload::Mica { batch: 4 });
+        let b32 = ratio(Workload::Mica { batch: 32 });
+        assert!((0.40..0.55).contains(&b4), "batch4 {b4} (paper ~0.455)");
+        assert!((0.75..0.85).contains(&b32), "batch32 {b32} (paper ~0.805)");
+    }
+
+    #[test]
+    fn fio_and_ovs_tie_on_throughput() {
+        for w in [
+            Workload::Fio(FioDirection::RandRead),
+            Workload::Ovs { load_pct: 100 },
+        ] {
+            let r = ratio(w);
+            assert!((0.95..1.05).contains(&r), "{w}: {r}");
+        }
+    }
+
+    #[test]
+    fn accel_caps_stay_below_line_rate() {
+        // KO3.
+        for w in [
+            Workload::Rem(RemRuleset::FileImage),
+            Workload::Compression(CorpusKind::Application),
+        ] {
+            let ops = analytic_capacity_ops(w, ExecutionPlatform::SnicAccelerator).unwrap();
+            let gbps = ops * w.request_bytes() as f64 * 8.0 / 1e9;
+            assert!(gbps < 60.0, "{w}: accel at {gbps} Gb/s");
+            assert!(gbps > 35.0, "{w}: accel at {gbps} Gb/s (too low)");
+        }
+    }
+
+    #[test]
+    fn sources_are_present() {
+        for w in Workload::figure4_set() {
+            for p in w.platforms() {
+                let c = lookup(w, p).unwrap();
+                assert!(!c.source.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Functional execution of the workload implementations.
+//!
+//! The timing layer ([`runner`](crate::runner)) charges calibrated service
+//! times; *this* module actually runs the workloads' real implementations
+//! over synthesized packets/operations, so every benchmark's functional
+//! behavior is exercised end-to-end and reportable alongside the timing
+//! results. The `fig4 --list` matrix says what runs *where*; this says what
+//! the functions actually *do*.
+
+use snicbench_functions::bm25::Bm25Index;
+use snicbench_functions::compress;
+use snicbench_functions::crypto::aes::Aes128;
+use snicbench_functions::crypto::rsa::KeyPair;
+use snicbench_functions::crypto::sha1::Sha1;
+use snicbench_functions::ids::SnortDetector;
+use snicbench_functions::kvs::mica::{GetRequest, GetResult, MicaStore};
+use snicbench_functions::kvs::redis::RedisStore;
+use snicbench_functions::kvs::ycsb::YcsbGenerator;
+use snicbench_functions::nat::{Endpoint, NatTable};
+use snicbench_functions::ovs::{FlowAction, FlowKey, MegaflowCache, OpenFlowRule};
+use snicbench_functions::storage::{FioWorkload, NvmeCommand, NvmeOfTarget, RamDisk};
+use snicbench_net::packet::PacketFactory;
+use snicbench_sim::rng::Rng;
+use snicbench_sim::SimTime;
+
+use crate::benchmark::{CorpusKind, CryptoAlgo, Workload};
+
+/// The outcome of functionally exercising a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionalReport {
+    /// The workload exercised.
+    pub workload: Workload,
+    /// Operations executed.
+    pub ops: u64,
+    /// Operations with a "positive" outcome (hits, matches, successful
+    /// round trips — workload-specific).
+    pub positives: u64,
+    /// A one-line workload-specific observation.
+    pub note: String,
+}
+
+impl FunctionalReport {
+    /// Positive fraction of operations.
+    pub fn positive_rate(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.positives as f64 / self.ops as f64
+        }
+    }
+}
+
+/// Functionally exercises `workload` with `ops` operations of synthesized
+/// input (deterministic per `seed`).
+///
+/// Microbenchmarks (pure stack traffic, no application) report zero-op
+/// pass-through.
+pub fn exercise(workload: Workload, ops: u64, seed: u64) -> FunctionalReport {
+    let mut factory = PacketFactory::new(seed, 64);
+    let mut rng = Rng::new(seed ^ 0xF0);
+    let report = |positives: u64, note: String| FunctionalReport {
+        workload,
+        ops,
+        positives,
+        note,
+    };
+    match workload {
+        Workload::MicroUdp(_) | Workload::MicroDpdk(_) | Workload::MicroRdma(_) => {
+            FunctionalReport {
+                workload,
+                ops: 0,
+                positives: 0,
+                note: "stack microbenchmark: no application function".into(),
+            }
+        }
+        Workload::Redis(wl) => {
+            let records = 10_000u64;
+            let mut store = RedisStore::preloaded(records as usize, 1024);
+            let mut gen = YcsbGenerator::new(wl, records, 1024, seed);
+            for _ in 0..ops {
+                store.execute(gen.next_op());
+            }
+            let s = store.stats();
+            report(
+                s.hits + s.writes,
+                format!("hits {} writes {} misses {}", s.hits, s.writes, s.misses),
+            )
+        }
+        Workload::Snort(ruleset) => {
+            let mut det = SnortDetector::new(ruleset);
+            let mut alerts = 0;
+            for i in 0..ops {
+                let mut payload = factory.create(1024, SimTime::ZERO).synthesize_payload();
+                // 10% of traffic carries a signature of this ruleset.
+                if i % 10 == 0 {
+                    let signatures = ruleset.signatures();
+                    let sig = &signatures[rng.below(signatures.len() as u64) as usize];
+                    let at = rng.below((payload.len() - sig.len()) as u64) as usize;
+                    payload[at..at + sig.len()].copy_from_slice(sig);
+                }
+                if !det.scan(&payload).is_empty() {
+                    alerts += 1;
+                }
+            }
+            report(
+                alerts,
+                format!("alerted on {alerts} of {ops} packets (10% seeded)"),
+            )
+        }
+        Workload::Nat { entries } => {
+            let mut nat = NatTable::with_random_entries(entries.min(50_000) as usize, seed);
+            let publics: Vec<Endpoint> = nat.public_endpoints().take(1024).collect();
+            let mut hits = 0;
+            for _ in 0..ops {
+                // 90% known destinations, 10% unknown (dropped).
+                if rng.chance(0.9) {
+                    let e = publics[rng.below(publics.len() as u64) as usize];
+                    if nat.translate_inbound(e).is_some() {
+                        hits += 1;
+                    }
+                } else {
+                    let _ = nat.translate_inbound(Endpoint::new(rng.next_u32(), 1));
+                }
+            }
+            report(hits, format!("{hits} translations of {ops} lookups"))
+        }
+        Workload::Bm25 { documents } => {
+            let idx = Bm25Index::with_random_documents(documents as usize, 10, seed);
+            let mut hits = 0;
+            for _ in 0..ops {
+                let q = idx.random_query(3, &mut rng);
+                if !idx.query(&q, 10).is_empty() {
+                    hits += 1;
+                }
+            }
+            report(hits, format!("{hits} of {ops} queries returned results"))
+        }
+        Workload::Crypto(algo) => {
+            let data: Vec<u8> = (0..16 * 1024).map(|i| (i % 251) as u8).collect();
+            match algo {
+                CryptoAlgo::Aes => {
+                    let aes = Aes128::new(&[7u8; 16]);
+                    let mut ok = 0;
+                    for nonce in 0..ops {
+                        let ct = aes.ctr_apply(nonce, &data);
+                        if aes.ctr_apply(nonce, &ct) == data {
+                            ok += 1;
+                        }
+                    }
+                    report(ok, format!("{ok} of {ops} 16 KB CTR round trips"))
+                }
+                CryptoAlgo::Rsa => {
+                    let kp = KeyPair::demo_512();
+                    let mut ok = 0;
+                    for i in 0..ops {
+                        let msg = format!("block {i}");
+                        let sig = kp.private.sign(msg.as_bytes());
+                        if kp.public.verify(msg.as_bytes(), &sig) {
+                            ok += 1;
+                        }
+                    }
+                    report(ok, format!("{ok} of {ops} sign/verify cycles"))
+                }
+                CryptoAlgo::Sha1 => {
+                    let mut distinct = std::collections::HashSet::new();
+                    for i in 0..ops {
+                        let mut block = data.clone();
+                        block[0] = i as u8;
+                        block[1] = (i >> 8) as u8;
+                        distinct.insert(Sha1::digest(&block));
+                    }
+                    report(
+                        distinct.len() as u64,
+                        format!("{} distinct digests of {ops} blocks", distinct.len()),
+                    )
+                }
+            }
+        }
+        Workload::Rem(ruleset) | Workload::RemMtu(ruleset) => {
+            let mut re = ruleset.compile().expect("bundled rules compile");
+            let mut matched = 0;
+            for i in 0..ops {
+                let mut payload = factory
+                    .create(workload.request_bytes(), SimTime::ZERO)
+                    .synthesize_payload();
+                if i % 5 == 0 {
+                    // Seed a fifth of the packets with a file signature.
+                    let frag: &[u8] = match ruleset {
+                        snicbench_functions::rem::RemRuleset::FileImage => b"\x89PNG\r\n",
+                        snicbench_functions::rem::RemRuleset::FileFlash => b"FWS\x05",
+                        snicbench_functions::rem::RemRuleset::FileExecutable => b"\x7fELF\x02\x01",
+                    };
+                    payload[..frag.len()].copy_from_slice(frag);
+                }
+                if !re.scan(&payload).is_empty() {
+                    matched += 1;
+                }
+            }
+            report(
+                matched,
+                format!("{matched} of {ops} packets matched (20% seeded)"),
+            )
+        }
+        Workload::Compression(kind) => {
+            let mut ok = 0;
+            let mut in_bytes = 0u64;
+            let mut out_bytes = 0u64;
+            for i in 0..ops {
+                let block = match kind {
+                    CorpusKind::Application => {
+                        compress::corpus::application_corpus(64 * 1024, seed ^ i)
+                    }
+                    CorpusKind::Text => compress::corpus::text_corpus(64 * 1024, seed ^ i),
+                };
+                let z = compress::compress(&block, 6);
+                in_bytes += block.len() as u64;
+                out_bytes += z.len() as u64;
+                if compress::decompress(&z).as_deref() == Ok(&block[..]) {
+                    ok += 1;
+                }
+            }
+            report(
+                ok,
+                format!(
+                    "{ok} of {ops} 64 KB blocks round-tripped; ratio {:.2}",
+                    in_bytes as f64 / out_bytes.max(1) as f64
+                ),
+            )
+        }
+        Workload::Ovs { .. } => {
+            let mut ovs = MegaflowCache::new(4096);
+            ovs.add_rule(OpenFlowRule {
+                dst_prefix: 0x0A000000,
+                prefix_len: 8,
+                priority: 10,
+                action: FlowAction::Output(1),
+            });
+            ovs.add_rule(OpenFlowRule {
+                dst_prefix: 0,
+                prefix_len: 0,
+                priority: 1,
+                action: FlowAction::Drop,
+            });
+            let mut forwarded = 0;
+            for _ in 0..ops {
+                // 256 active flows, mostly inside 10/8.
+                let flow = rng.below(256) as u32;
+                let dst = if flow < 230 {
+                    0x0A000000 | flow
+                } else {
+                    0x0B000000 | flow
+                };
+                let key = FlowKey {
+                    src: 0xC0A80000 | flow,
+                    dst,
+                    src_port: 1000 + flow as u16,
+                    dst_port: 80,
+                    proto: 6,
+                };
+                if ovs.classify(key) == FlowAction::Output(1) {
+                    forwarded += 1;
+                }
+            }
+            report(
+                forwarded,
+                format!(
+                    "{forwarded} forwarded of {ops}; fast-path hit rate {:.3}",
+                    ovs.hit_rate()
+                ),
+            )
+        }
+        Workload::Mica { batch } => {
+            let mut store = MicaStore::new(8, 4096, 65_536);
+            let keys: Vec<u64> = (0..10_000).map(|_| rng.next_u64()).collect();
+            for &k in &keys {
+                store.put(k, vec![0xA5; 64]);
+            }
+            let mut hits = 0;
+            let mut issued = 0;
+            while issued < ops {
+                let b: Vec<GetRequest> = (0..batch as usize)
+                    .map(|_| GetRequest {
+                        key: keys[rng.below(keys.len() as u64) as usize],
+                    })
+                    .collect();
+                for r in store.get_batch(&b) {
+                    if matches!(r, GetResult::Found(_)) {
+                        hits += 1;
+                    }
+                    issued += 1;
+                }
+            }
+            report(hits, format!("{hits} of {issued} batched GETs hit"))
+        }
+        Workload::Fio(direction) => {
+            let mut target = NvmeOfTarget::new(RamDisk::new(64 * 1024, 4096));
+            let mut wl = FioWorkload::paper_default(direction, 4096, seed);
+            let mut ok = 0;
+            for _ in 0..ops {
+                let cmd = wl.next_command();
+                // Verify written data reads back correctly on a sample.
+                let check = if let NvmeCommand::Write { lba, data } = &cmd {
+                    Some((*lba, data.clone()))
+                } else {
+                    None
+                };
+                let completion = target.execute(cmd);
+                let success = !matches!(
+                    completion,
+                    snicbench_functions::storage::NvmeCompletion::LbaOutOfRange
+                        | snicbench_functions::storage::NvmeCompletion::InvalidField
+                );
+                if success {
+                    ok += 1;
+                }
+                if let Some((lba, data)) = check {
+                    assert_eq!(
+                        target.execute(NvmeCommand::Read { lba }),
+                        snicbench_functions::storage::NvmeCompletion::Data(data),
+                        "read-after-write mismatch"
+                    );
+                }
+            }
+            report(ok, format!("{ok} of {ops} block I/Os completed"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snicbench_functions::ids::RulesetKind;
+    use snicbench_functions::kvs::ycsb::YcsbWorkload;
+    use snicbench_functions::rem::RemRuleset;
+    use snicbench_functions::storage::FioDirection;
+
+    #[test]
+    fn every_fig4_workload_exercises_functionally() {
+        for w in Workload::figure4_set() {
+            let ops = match w {
+                // Expensive per-op workloads get fewer iterations.
+                Workload::Crypto(CryptoAlgo::Rsa) => 3,
+                Workload::Compression(_) => 3,
+                Workload::Crypto(_) => 10,
+                _ => 200,
+            };
+            let r = exercise(w, ops, 42);
+            if w.category() == crate::benchmark::FunctionCategory::Microbenchmark {
+                assert_eq!(r.ops, 0, "{w}");
+            } else {
+                assert!(r.ops >= ops, "{w}: {} ops", r.ops);
+                assert!(r.positives > 0, "{w}: no positive outcomes ({})", r.note);
+                assert!(!r.note.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn snort_positive_rate_tracks_seeded_fraction() {
+        let r = exercise(Workload::Snort(RulesetKind::FileImage), 1_000, 7);
+        // 10% seeded + near-zero false positives.
+        assert!(
+            (0.08..0.14).contains(&r.positive_rate()),
+            "rate {} ({})",
+            r.positive_rate(),
+            r.note
+        );
+    }
+
+    #[test]
+    fn rem_positive_rate_tracks_seeded_fraction() {
+        let r = exercise(Workload::Rem(RemRuleset::FileExecutable), 1_000, 8);
+        assert!(
+            (0.18..0.25).contains(&r.positive_rate()),
+            "rate {} ({})",
+            r.positive_rate(),
+            r.note
+        );
+    }
+
+    #[test]
+    fn crypto_round_trips_are_perfect() {
+        for algo in [CryptoAlgo::Aes, CryptoAlgo::Rsa] {
+            let r = exercise(Workload::Crypto(algo), 3, 9);
+            assert_eq!(r.positives, 3, "{algo}: {}", r.note);
+        }
+    }
+
+    #[test]
+    fn redis_functional_run_is_all_hits() {
+        let r = exercise(Workload::Redis(YcsbWorkload::B), 500, 10);
+        assert_eq!(r.positives, 500, "{}", r.note);
+    }
+
+    #[test]
+    fn fio_read_after_write_holds() {
+        let r = exercise(Workload::Fio(FioDirection::RandWrite), 100, 11);
+        assert_eq!(r.positives, 100, "{}", r.note);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = exercise(Workload::Snort(RulesetKind::FileFlash), 300, 5);
+        let b = exercise(Workload::Snort(RulesetKind::FileFlash), 300, 5);
+        assert_eq!(a, b);
+    }
+}

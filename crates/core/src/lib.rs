@@ -1,0 +1,45 @@
+//! # snicbench-core
+//!
+//! The paper's evaluation framework as a library: given a workload from
+//! Table 3 and an execution platform (host CPU, SNIC CPU, or SNIC
+//! accelerator), build the calibrated testbed simulation, find the maximum
+//! sustainable throughput, measure p99 latency at that operating point,
+//! attribute power, and run the paper's SLO/TCO analyses.
+//!
+//! * [`benchmark`] — the workload matrix (Table 3 + the three
+//!   microbenchmarks).
+//! * [`calibration`] — per-(workload, platform) service-cost tables, each
+//!   entry tagged with its source in the paper.
+//! * [`runner`] — one simulation run at a fixed offered load.
+//! * [`functional`] — runs the *real* workload implementations over
+//!   synthesized inputs, so functional behavior is exercised alongside
+//!   the timing results.
+//! * [`experiment`] — the paper's methodology: max-sustainable-throughput
+//!   search + p99-at-max (Fig. 4), with power attribution (Fig. 6).
+//! * [`sweep`] — latency-vs-offered-rate sweeps (Fig. 5).
+//! * [`slo`] — SLO definitions and checks (Sec. 5.1).
+//! * [`tco`] — the 5-year TCO model (Table 5).
+//! * [`advisor`] — Strategy 2: predict the best platform for a workload
+//!   under an SLO.
+//! * [`loadbalancer`] — Strategy 3: SNIC/host load-splitting policies.
+//! * [`observations`] — programmatic validation of Key Observations 1–5.
+//! * [`whatif`] — Strategy 1 projection: how much of the SNIC CPU's
+//!   kernel-stack gap a hardware TCP/UDP offload would close.
+//! * [`report`] — text rendering of the paper's tables and figures.
+
+pub mod advisor;
+pub mod benchmark;
+pub mod calibration;
+pub mod experiment;
+pub mod functional;
+pub mod loadbalancer;
+pub mod observations;
+pub mod report;
+pub mod runner;
+pub mod slo;
+pub mod sweep;
+pub mod tco;
+pub mod whatif;
+
+pub use benchmark::Workload;
+pub use runner::{OfferedLoad, RunConfig, RunMetrics};

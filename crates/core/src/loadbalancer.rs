@@ -1,0 +1,331 @@
+//! SNIC/host load balancing (Strategy 3).
+//!
+//! The paper's third strategy: since the accelerators cap below line rate
+//! (KO3) and the winner is input-dependent (KO4), a balancer should steer
+//! packets between the SNIC processor and host CPU cores. Its preliminary
+//! investigation found the catch: with current BlueField-2 mechanisms, a
+//! balancer "consumes most of the SNIC CPU cycles simply to monitor
+//! packets at high rates and cannot redirect packets fast enough".
+//!
+//! [`simulate`] runs a two-station model (SNIC accelerator + host CPU
+//! pool) under a routing [`Policy`]. Adaptive policies pay a per-packet
+//! monitoring tax on the SNIC path and react only at their control period,
+//! reproducing both the benefit and the caveat.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use snicbench_hw::cpu::Arch;
+use snicbench_hw::server::Testbed;
+use snicbench_hw::ExecutionPlatform;
+use snicbench_metrics::LatencyHistogram;
+use snicbench_net::stack::StackModel;
+use snicbench_net::traffic::{ArrivalKind, OpenLoop, SizeSource};
+use snicbench_sim::dist::{Distribution, LogNormal};
+use snicbench_sim::rng::Rng;
+use snicbench_sim::station::{Admission, StationHandle};
+use snicbench_sim::{SimDuration, SimTime, Simulator};
+
+use crate::benchmark::Workload;
+use crate::calibration::{self, ServiceModel};
+
+/// Per-packet SNIC CPU cost of monitoring/steering under adaptive
+/// policies, ns (the paper's "most of the SNIC CPU cycles" tax, scaled to
+/// the staging path).
+pub const MONITOR_TAX_NS: f64 = 60.0;
+
+/// A routing policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// Everything to the SNIC accelerator.
+    AllSnic,
+    /// Everything to the host CPU pool.
+    AllHost,
+    /// Flow-hash split: this fraction of flows go to the SNIC.
+    StaticSplit {
+        /// Fraction of traffic steered to the SNIC, in `[0, 1]`.
+        snic_fraction: f64,
+    },
+    /// Queue-occupancy threshold: packets go to the SNIC while its backlog
+    /// is below the threshold, else to the host. Adaptive → pays the
+    /// monitoring tax.
+    QueueThreshold {
+        /// Maximum SNIC backlog before spilling to the host.
+        max_backlog: usize,
+    },
+}
+
+impl Policy {
+    /// True if the policy requires per-packet monitoring on the SNIC CPU.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, Policy::QueueThreshold { .. })
+    }
+}
+
+/// Configuration of a balancing simulation.
+#[derive(Debug, Clone)]
+pub struct BalancerConfig {
+    /// The workload (must have both a host and an accelerator
+    /// calibration, e.g. REM or Compression).
+    pub workload: Workload,
+    /// The routing policy.
+    pub policy: Policy,
+    /// Offered load, Gb/s.
+    pub offered_gbps: f64,
+    /// Simulated time.
+    pub duration: SimDuration,
+    /// Warmup excluded from statistics.
+    pub warmup: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BalancerConfig {
+    /// Defaults: 150 ms runs with 15 ms warmup.
+    pub fn new(workload: Workload, policy: Policy, offered_gbps: f64) -> Self {
+        BalancerConfig {
+            workload,
+            policy,
+            offered_gbps,
+            duration: SimDuration::from_millis(165),
+            warmup: SimDuration::from_millis(15),
+            seed: 0xBA1A,
+        }
+    }
+}
+
+/// Results of a balancing simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalancerMetrics {
+    /// Combined achieved rate, Gb/s.
+    pub achieved_gbps: f64,
+    /// Combined p99, µs.
+    pub p99_us: f64,
+    /// Fraction of completed packets served by the SNIC.
+    pub snic_share: f64,
+    /// Loss rate across both paths.
+    pub loss_rate: f64,
+}
+
+/// Runs the balancer simulation.
+///
+/// # Panics
+///
+/// Panics if the workload lacks a host or accelerator calibration.
+pub fn simulate(config: &BalancerConfig) -> BalancerMetrics {
+    let w = config.workload;
+    let bytes = w.request_bytes();
+    let host_cal =
+        calibration::lookup(w, ExecutionPlatform::HostCpu).expect("host calibration required");
+    let accel_cal = calibration::lookup(w, ExecutionPlatform::SnicAccelerator)
+        .expect("accelerator calibration required");
+    let ServiceModel::Cpu(host_cpu) = host_cal.service else {
+        panic!("host side must be CPU-served");
+    };
+    let ServiceModel::Accelerator {
+        op_ns, staging_us, ..
+    } = accel_cal.service
+    else {
+        panic!("SNIC side must be accelerator-served");
+    };
+    let stack = StackModel::for_stack(w.stack());
+    let testbed = Testbed::new();
+
+    // Service distributions.
+    let host_mean_ns = stack.cpu_time(Arch::X86_64, bytes).as_secs_f64() * 1e9 + host_cpu.app_ns;
+    let host_dist = LogNormal::with_mean_cv(host_mean_ns, host_cpu.cv.max(0.01));
+    let tax = if config.policy.is_adaptive() {
+        MONITOR_TAX_NS
+    } else {
+        0.0
+    };
+    let accel_dist = LogNormal::with_mean_cv(op_ns + tax, 0.05);
+
+    // Fixed path latencies.
+    let serialization_rt = SimDuration::from_secs_f64(2.0 * bytes as f64 * 8.0 / 100e9);
+    let host_fixed = testbed.round_trip_fixed_latency(ExecutionPlatform::HostCpu)
+        + stack.added_latency(Arch::X86_64)
+        + serialization_rt;
+    let accel_fixed = testbed.round_trip_fixed_latency(ExecutionPlatform::SnicCpu)
+        + stack.added_latency(Arch::Aarch64)
+        + SimDuration::from_secs_f64(staging_us * 1e-6)
+        + serialization_rt;
+
+    let mut sim = Simulator::new();
+    let host_station = StationHandle::new("host", host_cpu.cores, Some(2048));
+    let accel_station = StationHandle::new("accel", 1, Some(1024));
+    let histogram = Rc::new(RefCell::new(LatencyHistogram::new()));
+    // (sent, completed, dropped, snic_completed)
+    let counters = Rc::new(RefCell::new((0u64, 0u64, 0u64, 0u64)));
+    let rng = Rc::new(RefCell::new(Rng::new(config.seed ^ 0xB4A)));
+    let warmup_at = SimTime::ZERO + config.warmup;
+    let pps = config.offered_gbps * 1e9 / 8.0 / bytes as f64;
+    let policy = config.policy;
+
+    let gen = OpenLoop {
+        arrival: ArrivalKind::Poisson,
+        size: SizeSource::Fixed(bytes),
+        flows: 256,
+        seed: config.seed,
+        start: SimTime::ZERO,
+        stop: SimTime::ZERO + config.duration,
+    };
+    {
+        let host_station = host_station.clone();
+        let accel_station = accel_station.clone();
+        let histogram = histogram.clone();
+        let counters = counters.clone();
+        let rng = rng.clone();
+        gen.launch(
+            &mut sim,
+            move |_| pps,
+            move |sim, packet| {
+                let measured = sim.now() >= warmup_at;
+                if measured {
+                    counters.borrow_mut().0 += 1;
+                }
+                // Route.
+                let to_snic = match policy {
+                    Policy::AllSnic => true,
+                    Policy::AllHost => false,
+                    Policy::StaticSplit { snic_fraction } => {
+                        // Flow-hash: stable per flow.
+                        (packet.flow_id as f64 / 256.0) < snic_fraction
+                    }
+                    Policy::QueueThreshold { max_backlog } => {
+                        accel_station.queue_len() < max_backlog
+                    }
+                };
+                let (station, dist, fixed): (&StationHandle, &LogNormal, SimDuration) = if to_snic {
+                    (&accel_station, &accel_dist, accel_fixed)
+                } else {
+                    (&host_station, &host_dist, host_fixed)
+                };
+                let demand = {
+                    let mut r = rng.borrow_mut();
+                    SimDuration::from_secs_f64(dist.sample(&mut r).max(1.0) * 1e-9)
+                };
+                let histogram = histogram.clone();
+                let counters2 = counters.clone();
+                let created = packet.created;
+                let admission = station.submit(sim, demand, move |sim2, completion| {
+                    if sim2.now() >= warmup_at {
+                        let rtt = completion.finished.duration_since(created) + fixed;
+                        let mut c = counters2.borrow_mut();
+                        c.1 += 1;
+                        if to_snic {
+                            c.3 += 1;
+                        }
+                        histogram.borrow_mut().record(rtt.as_nanos());
+                    }
+                });
+                if admission == Admission::Dropped && measured {
+                    counters.borrow_mut().2 += 1;
+                }
+            },
+        );
+    }
+    sim.run();
+
+    let now = sim.now();
+    let window = now.saturating_duration_since(warmup_at).as_secs_f64();
+    let (sent, completed, _dropped, snic_completed) = *counters.borrow();
+    let hist = histogram.borrow();
+    BalancerMetrics {
+        achieved_gbps: if window > 0.0 {
+            completed as f64 / window * bytes as f64 * 8.0 / 1e9
+        } else {
+            0.0
+        },
+        p99_us: hist.p99() as f64 / 1e3,
+        snic_share: if completed > 0 {
+            snic_completed as f64 / completed as f64
+        } else {
+            0.0
+        },
+        loss_rate: if sent > 0 {
+            1.0 - completed as f64 / sent as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snicbench_functions::rem::RemRuleset;
+
+    fn rem() -> Workload {
+        Workload::RemMtu(RemRuleset::FileExecutable)
+    }
+
+    fn run_policy(policy: Policy, gbps: f64) -> BalancerMetrics {
+        let mut cfg = BalancerConfig::new(rem(), policy, gbps);
+        cfg.duration = SimDuration::from_millis(60);
+        cfg.warmup = SimDuration::from_millis(10);
+        simulate(&cfg)
+    }
+
+    #[test]
+    fn all_snic_saturates_above_the_accel_cap() {
+        // KO3: the accelerator alone cannot carry 80 Gb/s.
+        let m = run_policy(Policy::AllSnic, 80.0);
+        assert!(m.achieved_gbps < 60.0, "{}", m.achieved_gbps);
+        assert!(m.loss_rate > 0.2, "loss {}", m.loss_rate);
+        assert_eq!(m.snic_share, 1.0);
+    }
+
+    #[test]
+    fn split_carries_what_neither_could_alone() {
+        // Strategy 3's payoff: at 80 Gb/s (above the 50 G accel cap and
+        // just above the ~75 G host exe knee), a split absorbs the load.
+        let m = run_policy(
+            Policy::StaticSplit {
+                snic_fraction: 0.45,
+            },
+            80.0,
+        );
+        assert!(m.loss_rate < 0.02, "loss {}", m.loss_rate);
+        assert!(m.achieved_gbps > 75.0, "{}", m.achieved_gbps);
+        assert!((0.3..0.6).contains(&m.snic_share), "share {}", m.snic_share);
+    }
+
+    #[test]
+    fn queue_threshold_adapts_but_pays_the_tax() {
+        let adaptive = run_policy(Policy::QueueThreshold { max_backlog: 64 }, 80.0);
+        assert!(adaptive.loss_rate < 0.05, "loss {}", adaptive.loss_rate);
+        // The monitoring tax lowers the SNIC's effective cap versus the
+        // untaxed static split at the same offered load.
+        let static_split = run_policy(
+            Policy::StaticSplit {
+                snic_fraction: 0.45,
+            },
+            46.0,
+        );
+        let adaptive_light = run_policy(Policy::QueueThreshold { max_backlog: 64 }, 46.0);
+        // At 46 G the threshold policy still sends nearly everything to
+        // the SNIC (backlog rarely exceeds 64), so its share exceeds the
+        // static split's.
+        assert!(
+            adaptive_light.snic_share > static_split.snic_share,
+            "{} vs {}",
+            adaptive_light.snic_share,
+            static_split.snic_share
+        );
+    }
+
+    #[test]
+    fn all_host_matches_host_only_behavior() {
+        let m = run_policy(Policy::AllHost, 40.0);
+        assert_eq!(m.snic_share, 0.0);
+        assert!(m.loss_rate < 0.01);
+    }
+
+    #[test]
+    fn adaptivity_flag() {
+        assert!(Policy::QueueThreshold { max_backlog: 1 }.is_adaptive());
+        assert!(!Policy::AllSnic.is_adaptive());
+        assert!(!Policy::StaticSplit { snic_fraction: 0.5 }.is_adaptive());
+    }
+}

@@ -1,0 +1,208 @@
+//! Text rendering for the figure/table regeneration binaries.
+//!
+//! Plain ASCII tables (aligned columns, optional separators) plus small
+//! helpers for the figure-like outputs: normalized-ratio bars for Fig. 4/6
+//! and rate-series sparklines for Fig. 5/7.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "column-count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as RFC 4180 CSV (quoting cells that need it), so
+    /// figure data can be piped into external plotting tools.
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let mut write_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        write_row(&self.headers);
+        for row in &self.rows {
+            write_row(row);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// A horizontal bar for a normalized ratio, `width` characters at ratio
+/// 1.0, capped at 4.0 (the Fig. 4/6 y-axis style). A `|` marks 1.0.
+pub fn ratio_bar(ratio: f64, width: usize) -> String {
+    let capped = ratio.clamp(0.0, 4.0);
+    let chars = ((capped * width as f64).round() as usize).max(1);
+    let mut bar = "#".repeat(chars);
+    if chars <= width {
+        // Pad to the 1.0 mark and place the marker.
+        bar.push_str(&" ".repeat(width - chars));
+        bar.push('|');
+    } else {
+        bar.insert(width, '|');
+    }
+    bar
+}
+
+/// A sparkline over a series (8 levels), for rate-over-time plots.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let max = values.iter().copied().fold(f64::MIN, f64::max);
+    let min = values.iter().copied().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            LEVELS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Formats a throughput for display: Gb/s with two decimals for
+/// rate-metric workloads, ops/s with thousands separators otherwise.
+pub fn fmt_throughput(ops: f64, gbps: f64, reports_gbps: bool) -> String {
+    if reports_gbps {
+        format!("{gbps:.2} Gb/s")
+    } else if ops >= 1e6 {
+        format!("{:.2} Mops/s", ops / 1e6)
+    } else {
+        format!("{:.1} kops/s", ops / 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["longer-name", "22"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // The "value" column starts at the same offset in every row.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "1");
+        assert_eq!(&lines[3][col..col + 2], "22");
+    }
+
+    #[test]
+    fn csv_escapes_quotes_and_commas() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["plain", "with,comma"]);
+        t.row(vec!["with\"quote", "x"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "plain,\"with,comma\"");
+        assert_eq!(lines[2], "\"with\"\"quote\",x");
+    }
+
+    #[test]
+    #[should_panic(expected = "column-count mismatch")]
+    fn mismatched_row_panics() {
+        TextTable::new(vec!["a", "b"]).row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn ratio_bar_marks_unity() {
+        let half = ratio_bar(0.5, 10);
+        assert_eq!(half.matches('#').count(), 5);
+        assert!(half.ends_with('|'));
+        let double = ratio_bar(2.0, 10);
+        assert_eq!(double.matches('#').count(), 20);
+        let capped = ratio_bar(100.0, 10);
+        assert_eq!(capped.matches('#').count(), 40);
+    }
+
+    #[test]
+    fn sparkline_tracks_shape() {
+        let s = sparkline(&[0.0, 1.0, 0.5]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[1], '█');
+        assert!(sparkline(&[]).is_empty());
+    }
+
+    #[test]
+    fn throughput_formats() {
+        assert_eq!(fmt_throughput(0.0, 50.0, true), "50.00 Gb/s");
+        assert_eq!(fmt_throughput(3_500_000.0, 0.0, false), "3.50 Mops/s");
+        assert_eq!(fmt_throughput(1_500.0, 0.0, false), "1.5 kops/s");
+    }
+}

@@ -1,0 +1,205 @@
+//! Service-level objectives (Sec. 5.1).
+//!
+//! The paper frames offload decisions "under SLO constraints which matter
+//! for many datacenter applications": a p99 latency bound, optionally with
+//! a throughput floor. [`Slo::check`] evaluates a run against one, and
+//! [`Slo::relative_to_host`] builds the paper's Table 4 scenario — an SLO
+//! derived from the host's own performance ("if a given application ...
+//! has to meet a certain SLO constraint based on the performance of the
+//! host CPU").
+
+use crate::runner::RunMetrics;
+
+/// A service-level objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slo {
+    /// p99 round-trip latency bound, µs.
+    pub p99_us: f64,
+    /// Minimum achieved throughput, Gb/s (0 = don't care).
+    pub min_gbps: f64,
+    /// Maximum tolerated loss rate.
+    pub max_loss: f64,
+}
+
+impl Slo {
+    /// A latency-only SLO.
+    pub fn p99(p99_us: f64) -> Self {
+        assert!(p99_us > 0.0, "latency bound must be positive");
+        Slo {
+            p99_us,
+            min_gbps: 0.0,
+            max_loss: 0.005,
+        }
+    }
+
+    /// The Table 4 construction: the SLO is `slack` × the host's measured
+    /// p99 (the paper uses the host as the reference and asks whether the
+    /// SNIC can meet it).
+    pub fn relative_to_host(host_p99_us: f64, slack: f64) -> Self {
+        assert!(
+            slack >= 1.0,
+            "slack below 1 would fail the reference itself"
+        );
+        Slo::p99(host_p99_us * slack)
+    }
+
+    /// The outcome of checking one run.
+    pub fn check(&self, metrics: &RunMetrics) -> SloOutcome {
+        let mut violations = Vec::new();
+        if metrics.latency.p99_us > self.p99_us {
+            violations.push(SloViolation::P99 {
+                measured_us: metrics.latency.p99_us,
+                bound_us: self.p99_us,
+            });
+        }
+        if metrics.achieved_gbps < self.min_gbps {
+            violations.push(SloViolation::Throughput {
+                measured_gbps: metrics.achieved_gbps,
+                floor_gbps: self.min_gbps,
+            });
+        }
+        if metrics.loss_rate() > self.max_loss {
+            violations.push(SloViolation::Loss {
+                measured: metrics.loss_rate(),
+                bound: self.max_loss,
+            });
+        }
+        SloOutcome { violations }
+    }
+}
+
+/// One violated clause of an SLO.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SloViolation {
+    /// The p99 bound was exceeded.
+    P99 {
+        /// Measured p99, µs.
+        measured_us: f64,
+        /// The bound, µs.
+        bound_us: f64,
+    },
+    /// The throughput floor was missed.
+    Throughput {
+        /// Measured throughput, Gb/s.
+        measured_gbps: f64,
+        /// The floor, Gb/s.
+        floor_gbps: f64,
+    },
+    /// Loss exceeded the bound.
+    Loss {
+        /// Measured loss rate.
+        measured: f64,
+        /// The bound.
+        bound: f64,
+    },
+}
+
+impl std::fmt::Display for SloViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SloViolation::P99 {
+                measured_us,
+                bound_us,
+            } => write!(f, "p99 {measured_us:.1}us > bound {bound_us:.1}us"),
+            SloViolation::Throughput {
+                measured_gbps,
+                floor_gbps,
+            } => write!(f, "throughput {measured_gbps:.2}G < floor {floor_gbps:.2}G"),
+            SloViolation::Loss { measured, bound } => {
+                write!(f, "loss {measured:.4} > bound {bound:.4}")
+            }
+        }
+    }
+}
+
+/// The result of [`Slo::check`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloOutcome {
+    /// Every violated clause (empty = SLO met).
+    pub violations: Vec<SloViolation>,
+}
+
+impl SloOutcome {
+    /// True if the SLO was met.
+    pub fn met(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::LatencyStats;
+
+    fn metrics(p99_us: f64, gbps: f64, loss: f64) -> RunMetrics {
+        let sent = 1_000u64;
+        RunMetrics {
+            offered_ops: 1.0,
+            sent,
+            completed: ((1.0 - loss) * sent as f64) as u64,
+            dropped: (loss * sent as f64) as u64,
+            achieved_ops: 1.0,
+            achieved_gbps: gbps,
+            latency: LatencyStats {
+                mean_us: p99_us / 2.0,
+                p50_us: p99_us / 2.0,
+                p99_us,
+                max_us: p99_us * 2.0,
+            },
+            service_util: 0.5,
+            host_cpu_util: 0.1,
+            snic_util: 0.1,
+        }
+    }
+
+    #[test]
+    fn met_when_all_clauses_hold() {
+        let slo = Slo {
+            p99_us: 100.0,
+            min_gbps: 10.0,
+            max_loss: 0.01,
+        };
+        assert!(slo.check(&metrics(80.0, 20.0, 0.0)).met());
+    }
+
+    #[test]
+    fn each_clause_can_fail_independently() {
+        let slo = Slo {
+            p99_us: 100.0,
+            min_gbps: 10.0,
+            max_loss: 0.01,
+        };
+        let late = slo.check(&metrics(150.0, 20.0, 0.0));
+        assert!(!late.met());
+        assert!(matches!(late.violations[0], SloViolation::P99 { .. }));
+        let slow = slo.check(&metrics(80.0, 5.0, 0.0));
+        assert!(matches!(
+            slow.violations[0],
+            SloViolation::Throughput { .. }
+        ));
+        let lossy = slo.check(&metrics(80.0, 20.0, 0.05));
+        assert!(matches!(lossy.violations[0], SloViolation::Loss { .. }));
+    }
+
+    #[test]
+    fn relative_slo_encodes_table4() {
+        // Table 4: host p99 5.07 µs, SNIC 17.43 µs. Even with 2x slack the
+        // SNIC misses an SLO anchored to host performance.
+        let slo = Slo::relative_to_host(5.07, 2.0);
+        assert!(slo.check(&metrics(5.07, 0.76, 0.0)).met());
+        assert!(!slo.check(&metrics(17.43, 0.76, 0.0)).met());
+    }
+
+    #[test]
+    fn violations_render() {
+        let slo = Slo::p99(10.0);
+        let out = slo.check(&metrics(20.0, 0.0, 0.0));
+        assert!(out.violations[0].to_string().contains("p99"));
+    }
+
+    #[test]
+    #[should_panic(expected = "slack")]
+    fn sub_unity_slack_rejected() {
+        let _ = Slo::relative_to_host(10.0, 0.5);
+    }
+}

@@ -1,0 +1,283 @@
+//! The 5-year TCO model (Table 5).
+//!
+//! The paper compares a fleet of servers carrying SNICs against a fleet
+//! carrying standard NICs for four applications. Costs: server without a
+//! NIC $6,287; BlueField-2 $1,817; ConnectX-6 Dx $1,478; electricity
+//! $0.162/kWh over a 5-year lifetime. The SNIC fleet is fixed at 10
+//! servers; the NIC fleet is sized to deliver the same aggregate
+//! throughput (which is why Compress needs 35 NIC servers — the
+//! accelerator is ~3.5× faster).
+
+/// Fleet-level cost inputs (the paper's Sec. 5.2 assumptions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcoInputs {
+    /// Server cost without any NIC, dollars.
+    pub server_base_cost: f64,
+    /// SmartNIC cost, dollars.
+    pub snic_cost: f64,
+    /// Standard NIC cost, dollars.
+    pub nic_cost: f64,
+    /// Electricity price, dollars per kWh.
+    pub electricity_per_kwh: f64,
+    /// Amortization lifetime, years.
+    pub years: f64,
+    /// SNIC-fleet size the comparison is normalized to.
+    pub snic_fleet: u32,
+}
+
+impl TcoInputs {
+    /// The paper's inputs.
+    pub fn paper_default() -> Self {
+        TcoInputs {
+            server_base_cost: 6_287.0,
+            snic_cost: 1_817.0,
+            nic_cost: 1_478.0,
+            electricity_per_kwh: 0.162,
+            years: 5.0,
+            snic_fleet: 10,
+        }
+    }
+
+    /// Hours in the amortization lifetime.
+    pub fn lifetime_hours(&self) -> f64 {
+        self.years * 365.0 * 24.0
+    }
+}
+
+/// One application's measured deployment scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcoScenario {
+    /// Application label ("fio", "OVS", "REM", "Compress").
+    pub name: String,
+    /// Per-server capacity with the SNIC (any throughput unit, consistent
+    /// with `nic_capacity`).
+    pub snic_capacity: f64,
+    /// Per-server capacity with the standard NIC.
+    pub nic_capacity: f64,
+    /// Mean per-server power with the SNIC, W.
+    pub snic_power_w: f64,
+    /// Mean per-server power with the NIC, W.
+    pub nic_power_w: f64,
+}
+
+/// One Table 5 column pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcoRow {
+    /// Application label.
+    pub name: String,
+    /// Servers needed with SNICs.
+    pub snic_servers: u32,
+    /// Servers needed with NICs (sized for equal aggregate capacity).
+    pub nic_servers: u32,
+    /// Per-server power, W.
+    pub snic_power_w: f64,
+    /// Per-server power, W.
+    pub nic_power_w: f64,
+    /// Lifetime energy per server, kWh.
+    pub snic_kwh: f64,
+    /// Lifetime energy per server, kWh.
+    pub nic_kwh: f64,
+    /// Lifetime power cost per server, dollars.
+    pub snic_power_cost: f64,
+    /// Lifetime power cost per server, dollars.
+    pub nic_power_cost: f64,
+    /// Fleet TCO with SNICs, dollars.
+    pub snic_tco: f64,
+    /// Fleet TCO with NICs, dollars.
+    pub nic_tco: f64,
+}
+
+impl TcoRow {
+    /// TCO savings from using the SNIC, as a fraction (negative = SNIC
+    /// costs more, like REM in the paper).
+    pub fn savings(&self) -> f64 {
+        if self.nic_tco <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.snic_tco / self.nic_tco
+        }
+    }
+}
+
+/// Computes one Table 5 row.
+///
+/// # Panics
+///
+/// Panics if either capacity is non-positive.
+pub fn analyze(scenario: &TcoScenario, inputs: &TcoInputs) -> TcoRow {
+    assert!(
+        scenario.snic_capacity > 0.0 && scenario.nic_capacity > 0.0,
+        "capacities must be positive"
+    );
+    let snic_servers = inputs.snic_fleet;
+    // NIC fleet sized for the same aggregate capacity as the SNIC fleet.
+    let demand = snic_servers as f64 * scenario.snic_capacity;
+    let nic_servers = (demand / scenario.nic_capacity).ceil() as u32;
+    let hours = inputs.lifetime_hours();
+    let snic_kwh = scenario.snic_power_w * hours / 1_000.0;
+    let nic_kwh = scenario.nic_power_w * hours / 1_000.0;
+    let snic_power_cost = snic_kwh * inputs.electricity_per_kwh;
+    let nic_power_cost = nic_kwh * inputs.electricity_per_kwh;
+    let snic_tco =
+        snic_servers as f64 * (inputs.server_base_cost + inputs.snic_cost + snic_power_cost);
+    let nic_tco = nic_servers as f64 * (inputs.server_base_cost + inputs.nic_cost + nic_power_cost);
+    TcoRow {
+        name: scenario.name.clone(),
+        snic_servers,
+        nic_servers,
+        snic_power_w: scenario.snic_power_w,
+        nic_power_w: scenario.nic_power_w,
+        snic_kwh,
+        nic_kwh,
+        snic_power_cost,
+        nic_power_cost,
+        snic_tco,
+        nic_tco,
+    }
+}
+
+/// The paper's four Table 5 scenarios with its reported per-server powers
+/// and capacity relationships. (The `table5` binary regenerates these from
+/// simulation instead; this constant set reproduces the paper's arithmetic
+/// exactly and anchors the tests.)
+pub fn paper_scenarios() -> Vec<TcoScenario> {
+    vec![
+        TcoScenario {
+            name: "fio".into(),
+            snic_capacity: 1.0,
+            nic_capacity: 1.0,
+            snic_power_w: 257.0,
+            nic_power_w: 343.0,
+        },
+        TcoScenario {
+            name: "OVS".into(),
+            snic_capacity: 1.0,
+            nic_capacity: 1.0,
+            snic_power_w: 255.0,
+            nic_power_w: 328.0,
+        },
+        TcoScenario {
+            name: "REM".into(),
+            // Trace-rate deployment: both keep up with demand.
+            snic_capacity: 1.0,
+            nic_capacity: 1.0,
+            snic_power_w: 255.0,
+            nic_power_w: 268.0,
+        },
+        TcoScenario {
+            name: "Compress".into(),
+            // Accelerator ~3.5x the host: 10 SNIC servers ≙ 35 NIC servers.
+            snic_capacity: 3.5,
+            nic_capacity: 1.0,
+            snic_power_w: 255.0,
+            nic_power_w: 269.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<TcoRow> {
+        let inputs = TcoInputs::paper_default();
+        paper_scenarios()
+            .iter()
+            .map(|s| analyze(s, &inputs))
+            .collect()
+    }
+
+    #[test]
+    fn reproduces_table5_energy_arithmetic() {
+        let fio = &rows()[0];
+        // Paper: 11,260 kWh and $1,824 for the 257 W SNIC server.
+        assert!((fio.snic_kwh - 11_256.6).abs() < 10.0, "{}", fio.snic_kwh);
+        assert!(
+            (fio.snic_power_cost - 1_823.6).abs() < 3.0,
+            "{}",
+            fio.snic_power_cost
+        );
+        // Paper: 15,023 kWh / $2,434 for the 343 W NIC server.
+        assert!((fio.nic_kwh - 15_023.4).abs() < 10.0);
+        assert!((fio.nic_power_cost - 2_433.8).abs() < 3.0);
+    }
+
+    #[test]
+    fn reproduces_table5_tco_and_savings() {
+        let r = rows();
+        // Paper savings: fio 2.7%, OVS 1.7%, REM -2.5%, Compress 70.7%.
+        let expect = [
+            (0.027, 0.008),
+            (0.017, 0.008),
+            (-0.025, 0.008),
+            (0.707, 0.01),
+        ];
+        for (row, (want, tol)) in r.iter().zip(expect) {
+            let got = row.savings();
+            assert!(
+                (got - want).abs() < tol,
+                "{}: savings {got:.4} vs paper {want}",
+                row.name
+            );
+        }
+        // Fleet sizes: 10/10 except Compress 10/35.
+        assert!(r.iter().all(|row| row.snic_servers == 10));
+        assert_eq!(r[0].nic_servers, 10);
+        assert_eq!(r[3].nic_servers, 35);
+    }
+
+    #[test]
+    fn tco_magnitudes_match_paper() {
+        let r = rows();
+        // fio: paper $99,223 vs $101,928.
+        assert!(
+            (r[0].snic_tco - 99_276.0).abs() < 300.0,
+            "{}",
+            r[0].snic_tco
+        );
+        assert!((r[0].nic_tco - 101_988.0).abs() < 300.0, "{}", r[0].nic_tco);
+        // Compress NIC fleet: paper $338,320.
+        assert!((r[3].nic_tco - 338_538.0).abs() < 900.0, "{}", r[3].nic_tco);
+    }
+
+    #[test]
+    fn capacity_advantage_shrinks_fleet() {
+        let inputs = TcoInputs::paper_default();
+        let row = analyze(
+            &TcoScenario {
+                name: "x".into(),
+                snic_capacity: 2.0,
+                nic_capacity: 1.0,
+                snic_power_w: 255.0,
+                nic_power_w: 255.0,
+            },
+            &inputs,
+        );
+        assert_eq!(row.nic_servers, 20);
+        assert!(row.savings() > 0.4);
+    }
+
+    #[test]
+    fn cheaper_power_can_still_lose_on_capex() {
+        // REM's paradox: the SNIC server draws less power but the SNIC
+        // costs $339 more than the NIC, so TCO increases.
+        let r = rows();
+        assert!(r[2].snic_power_w < r[2].nic_power_w);
+        assert!(r[2].savings() < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacities")]
+    fn zero_capacity_rejected() {
+        analyze(
+            &TcoScenario {
+                name: "bad".into(),
+                snic_capacity: 0.0,
+                nic_capacity: 1.0,
+                snic_power_w: 1.0,
+                nic_power_w: 1.0,
+            },
+            &TcoInputs::paper_default(),
+        );
+    }
+}

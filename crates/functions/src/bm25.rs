@@ -1,0 +1,286 @@
+//! BM25 document ranking (Robertson & Zaragoza).
+//!
+//! The paper's BM25 benchmark (Sec. 3.4) runs a UDP server holding 100 or
+//! 1 000 randomly generated documents of ~10 words each; every arriving
+//! packet triggers one query. [`Bm25Index`] is a full inverted-index
+//! implementation of the Okapi BM25 scoring function:
+//!
+//! ```text
+//! score(D, Q) = Σ_t IDF(t) · f(t,D)·(k1+1) / (f(t,D) + k1·(1 − b + b·|D|/avgdl))
+//! ```
+
+use std::collections::HashMap;
+
+use snicbench_sim::rng::Rng;
+
+/// BM25 free parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bm25Params {
+    /// Term-frequency saturation (`k1`), conventionally 1.2–2.0.
+    pub k1: f64,
+    /// Length normalization (`b`), conventionally 0.75.
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// A scored search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// Document id (index order of insertion).
+    pub doc_id: u32,
+    /// BM25 relevance score.
+    pub score: f64,
+}
+
+/// An inverted index with BM25 scoring.
+///
+/// # Example
+///
+/// ```
+/// use snicbench_functions::bm25::Bm25Index;
+///
+/// let mut idx = Bm25Index::new(Default::default());
+/// idx.add_document("the quick brown fox");
+/// idx.add_document("lazy dogs sleep all day");
+/// let hits = idx.query("quick fox", 10);
+/// assert_eq!(hits[0].doc_id, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bm25Index {
+    params: Bm25Params,
+    // term -> (doc_id, term frequency) postings
+    postings: HashMap<String, Vec<(u32, u32)>>,
+    doc_lengths: Vec<u32>,
+    total_terms: u64,
+}
+
+impl Bm25Index {
+    /// Creates an empty index.
+    pub fn new(params: Bm25Params) -> Self {
+        assert!(
+            params.k1 >= 0.0 && (0.0..=1.0).contains(&params.b),
+            "invalid params"
+        );
+        Bm25Index {
+            params,
+            postings: HashMap::new(),
+            doc_lengths: Vec::new(),
+            total_terms: 0,
+        }
+    }
+
+    /// Builds an index of `n` random documents of ~`words_per_doc` words
+    /// each (the paper uses 100/1 000 documents averaging 10 words).
+    pub fn with_random_documents(n: usize, words_per_doc: usize, seed: u64) -> Self {
+        let mut idx = Self::new(Bm25Params::default());
+        let mut rng = Rng::new(seed);
+        for _ in 0..n {
+            let count = (words_per_doc / 2).max(1) + rng.below(words_per_doc as u64) as usize;
+            let words: Vec<String> = (0..count).map(|_| random_word(&mut rng)).collect();
+            idx.add_document(&words.join(" "));
+        }
+        idx
+    }
+
+    fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
+        text.split(|c: char| !c.is_ascii_alphanumeric())
+            .filter(|t| !t.is_empty())
+            .map(|t| t.to_ascii_lowercase())
+    }
+
+    /// Adds a document; returns its id.
+    pub fn add_document(&mut self, text: &str) -> u32 {
+        let doc_id = self.doc_lengths.len() as u32;
+        let mut tf: HashMap<String, u32> = HashMap::new();
+        let mut len = 0u32;
+        for term in Self::tokenize(text) {
+            *tf.entry(term).or_insert(0) += 1;
+            len += 1;
+        }
+        for (term, freq) in tf {
+            self.postings.entry(term).or_default().push((doc_id, freq));
+        }
+        self.doc_lengths.push(len);
+        self.total_terms += len as u64;
+        doc_id
+    }
+
+    /// Number of documents.
+    pub fn num_documents(&self) -> usize {
+        self.doc_lengths.len()
+    }
+
+    /// Mean document length in terms (0 if empty).
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.doc_lengths.is_empty() {
+            0.0
+        } else {
+            self.total_terms as f64 / self.doc_lengths.len() as f64
+        }
+    }
+
+    /// The Robertson–Sparck-Jones IDF with the standard +1 floor that keeps
+    /// scores positive.
+    fn idf(&self, doc_freq: usize) -> f64 {
+        let n = self.num_documents() as f64;
+        let df = doc_freq as f64;
+        ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+    }
+
+    /// Scores `query` against all documents and returns the top `k` hits,
+    /// highest score first (ties broken by doc id).
+    pub fn query(&self, query: &str, k: usize) -> Vec<Hit> {
+        let avgdl = self.avg_doc_len().max(1e-9);
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        for term in Self::tokenize(query) {
+            let Some(postings) = self.postings.get(&term) else {
+                continue;
+            };
+            let idf = self.idf(postings.len());
+            for &(doc_id, tf) in postings {
+                let dl = self.doc_lengths[doc_id as usize] as f64;
+                let tf = tf as f64;
+                let denom =
+                    tf + self.params.k1 * (1.0 - self.params.b + self.params.b * dl / avgdl);
+                *scores.entry(doc_id).or_insert(0.0) += idf * tf * (self.params.k1 + 1.0) / denom;
+            }
+        }
+        let mut hits: Vec<Hit> = scores
+            .into_iter()
+            .map(|(doc_id, score)| Hit { doc_id, score })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then(a.doc_id.cmp(&b.doc_id))
+        });
+        hits.truncate(k);
+        hits
+    }
+
+    /// Draws a random query of `terms` words from the indexed vocabulary —
+    /// queries that actually hit, as the benchmark intends.
+    pub fn random_query(&self, terms: usize, rng: &mut Rng) -> String {
+        let vocab: Vec<&String> = self.postings.keys().collect();
+        if vocab.is_empty() {
+            return String::new();
+        }
+        (0..terms)
+            .map(|_| vocab[rng.below(vocab.len() as u64) as usize].clone())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Generates a Zipf-flavored random word so vocabularies overlap across
+/// documents (pure-uniform words would almost never repeat).
+fn random_word(rng: &mut Rng) -> String {
+    // 500 common stems with skewed popularity plus a random suffix 10% of
+    // the time.
+    let stem_id = {
+        let u = rng.next_f64();
+        ((u * u) * 500.0) as u64
+    };
+    let mut w = format!("w{stem_id}");
+    if rng.chance(0.1) {
+        w.push(b'a' as char);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relevant_document_ranks_first() {
+        let mut idx = Bm25Index::new(Bm25Params::default());
+        idx.add_document("alpha beta gamma");
+        idx.add_document("delta epsilon zeta");
+        idx.add_document("alpha alpha alpha beta");
+        let hits = idx.query("alpha", 10);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].doc_id, 2, "doc with highest tf wins");
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_ones() {
+        let mut idx = Bm25Index::new(Bm25Params::default());
+        for _ in 0..9 {
+            idx.add_document("common words here");
+        }
+        idx.add_document("common rareword");
+        let common = idx.query("common", 10);
+        let rare = idx.query("rareword", 10);
+        assert!(rare[0].score > common[0].score);
+    }
+
+    #[test]
+    fn unknown_terms_yield_no_hits() {
+        let mut idx = Bm25Index::new(Bm25Params::default());
+        idx.add_document("something");
+        assert!(idx.query("missing", 10).is_empty());
+        assert!(idx.query("", 10).is_empty());
+    }
+
+    #[test]
+    fn length_normalization_penalizes_long_documents() {
+        let mut idx = Bm25Index::new(Bm25Params::default());
+        idx.add_document("target");
+        idx.add_document(&format!("target {}", "filler ".repeat(50)));
+        let hits = idx.query("target", 10);
+        assert_eq!(hits[0].doc_id, 0, "short doc should rank first");
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let mut idx = Bm25Index::new(Bm25Params::default());
+        for i in 0..20 {
+            idx.add_document(&format!("shared unique{i}"));
+        }
+        assert_eq!(idx.query("shared", 5).len(), 5);
+    }
+
+    #[test]
+    fn random_corpus_matches_paper_shape() {
+        let idx = Bm25Index::with_random_documents(1000, 10, 42);
+        assert_eq!(idx.num_documents(), 1000);
+        let avg = idx.avg_doc_len();
+        assert!((5.0..20.0).contains(&avg), "avg doc len {avg}");
+        // Random queries drawn from the vocabulary usually hit.
+        let mut rng = Rng::new(7);
+        let mut hits = 0;
+        for _ in 0..50 {
+            let q = idx.random_query(3, &mut rng);
+            if !idx.query(&q, 10).is_empty() {
+                hits += 1;
+            }
+        }
+        assert!(hits > 45, "hits {hits}");
+    }
+
+    #[test]
+    fn scores_are_finite_and_positive() {
+        let idx = Bm25Index::with_random_documents(100, 10, 3);
+        let mut rng = Rng::new(11);
+        for _ in 0..20 {
+            let q = idx.random_query(2, &mut rng);
+            for hit in idx.query(&q, 10) {
+                assert!(hit.score.is_finite() && hit.score > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid params")]
+    fn bad_params_rejected() {
+        let _ = Bm25Index::new(Bm25Params { k1: 1.2, b: 2.0 });
+    }
+}

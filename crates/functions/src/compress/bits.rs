@@ -1,0 +1,173 @@
+//! LSB-first bit streams (DEFLATE bit order).
+
+/// Writes bits least-significant-first into a byte vector.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_pos: u32, // bits used in the last byte (0..8)
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Writes the low `count` bits of `value`, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn write_bits(&mut self, value: u32, count: u32) {
+        assert!(count <= 32, "too many bits");
+        for i in 0..count {
+            let bit = (value >> i) & 1;
+            if self.bit_pos == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= (bit as u8) << self.bit_pos;
+            self.bit_pos = (self.bit_pos + 1) % 8;
+        }
+    }
+
+    /// Writes a Huffman code, MSB first (canonical codes are defined
+    /// most-significant-bit first).
+    pub fn write_code(&mut self, code: u32, len: u32) {
+        for i in (0..len).rev() {
+            self.write_bits((code >> i) & 1, 1);
+        }
+    }
+
+    /// Total bits written.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Finishes the stream, padding the final byte with zeros.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads bits least-significant-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // absolute bit position
+}
+
+/// Error: the stream ended mid-read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfBits;
+
+impl std::fmt::Display for OutOfBits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bit stream exhausted")
+    }
+}
+
+impl std::error::Error for OutOfBits {}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfBits`] at end of stream.
+    pub fn read_bit(&mut self) -> Result<u32, OutOfBits> {
+        let byte = self.pos / 8;
+        if byte >= self.bytes.len() {
+            return Err(OutOfBits);
+        }
+        let bit = (self.bytes[byte] >> (self.pos % 8)) & 1;
+        self.pos += 1;
+        Ok(bit as u32)
+    }
+
+    /// Reads `count` bits, LSB first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfBits`] at end of stream.
+    pub fn read_bits(&mut self, count: u32) -> Result<u32, OutOfBits> {
+        let mut v = 0;
+        for i in 0..count {
+            v |= self.read_bit()? << i;
+        }
+        Ok(v)
+    }
+
+    /// Bits consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xFF, 8);
+        w.write_bits(0, 1);
+        w.write_bits(0b110011, 6);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+        assert_eq!(r.read_bits(6).unwrap(), 0b110011);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error() {
+        let mut r = BitReader::new(&[0xAB]);
+        assert!(r.read_bits(8).is_ok());
+        assert_eq!(r.read_bit(), Err(OutOfBits));
+    }
+
+    #[test]
+    fn bit_len_counts() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(1, 1);
+        assert_eq!(w.bit_len(), 1);
+        w.write_bits(0, 7);
+        assert_eq!(w.bit_len(), 8);
+        w.write_bits(0b11, 2);
+        assert_eq!(w.bit_len(), 10);
+    }
+
+    #[test]
+    fn code_is_msb_first() {
+        let mut w = BitWriter::new();
+        // Code 0b110 (len 3) must come out as bits 1,1,0 in that order.
+        w.write_code(0b110, 3);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bit().unwrap(), 1);
+        assert_eq!(r.read_bit().unwrap(), 1);
+        assert_eq!(r.read_bit().unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let w = BitWriter::new();
+        let bytes = w.finish();
+        assert!(bytes.is_empty());
+        assert_eq!(BitReader::new(&bytes).read_bit(), Err(OutOfBits));
+    }
+}

@@ -1,0 +1,152 @@
+//! Synthetic benchmark corpora.
+//!
+//! The paper compresses `Application3` and `Text1` from the
+//! compressionratings.com corpus (Sec. 3.4). The originals are third-party
+//! downloads; these generators reproduce the two redundancy profiles that
+//! matter to a Deflate-class codec:
+//!
+//! * [`text_corpus`] — natural-language-like text: a skewed vocabulary of
+//!   repeated words and phrases (high LZ hit rate, strong entropy skew).
+//! * [`application_corpus`] — binary application data: structured records
+//!   with repeated field tags, pointers, and sparse random payloads
+//!   (medium LZ hit rate, partial entropy skew).
+
+use snicbench_sim::rng::Rng;
+
+/// Generates `len` bytes of text-like data (deterministic per seed).
+pub fn text_corpus(len: usize, seed: u64) -> Vec<u8> {
+    const VOCAB: [&str; 32] = [
+        "the",
+        "quick",
+        "network",
+        "packet",
+        "server",
+        "latency",
+        "switch",
+        "during",
+        "measurement",
+        "power",
+        "consumption",
+        "offload",
+        "kernel",
+        "driver",
+        "interface",
+        "buffer",
+        "through",
+        "process",
+        "function",
+        "datacenter",
+        "accelerator",
+        "baseline",
+        "observed",
+        "increase",
+        "decrease",
+        "result",
+        "figure",
+        "table",
+        "between",
+        "system",
+        "thread",
+        "core",
+    ];
+    const PHRASES: [&str; 4] = [
+        "as shown in the figure, ",
+        "the results demonstrate that ",
+        "in contrast to the baseline, ",
+        "we observe that ",
+    ];
+    let mut rng = Rng::new(seed);
+    let mut out = Vec::with_capacity(len + 64);
+    while out.len() < len {
+        if rng.chance(0.08) {
+            out.extend_from_slice(PHRASES[rng.below(PHRASES.len() as u64) as usize].as_bytes());
+        }
+        // Zipf-ish word pick: squared uniform skews to the head.
+        let u = rng.next_f64();
+        let idx = ((u * u) * VOCAB.len() as f64) as usize;
+        out.extend_from_slice(VOCAB[idx.min(VOCAB.len() - 1)].as_bytes());
+        out.push(if rng.chance(0.12) { b'.' } else { b' ' });
+        if rng.chance(0.02) {
+            out.push(b'\n');
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// Generates `len` bytes of application-binary-like data (deterministic
+/// per seed).
+pub fn application_corpus(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Rng::new(seed);
+    let mut out = Vec::with_capacity(len + 64);
+    let tags: [&[u8]; 6] = [
+        b"HDR\x01", b"IDX\x02", b"PTR\x04", b"STR\x08", b"NUM\x10", b"END\xff",
+    ];
+    while out.len() < len {
+        // A record: tag, 4-byte LE id with small deltas, then a payload.
+        let tag = tags[rng.below(tags.len() as u64) as usize];
+        out.extend_from_slice(tag);
+        let id = (out.len() as u32 / 16).wrapping_mul(4);
+        out.extend_from_slice(&id.to_le_bytes());
+        match rng.below(3) {
+            0 => {
+                // Zero padding (very compressible).
+                let n = 8 + rng.below(24) as usize;
+                out.extend(std::iter::repeat_n(0u8, n));
+            }
+            1 => {
+                // Repeated small structure.
+                let unit = [0xDE, 0xAD, rng.below(256) as u8, 0x00];
+                for _ in 0..(2 + rng.below(6)) {
+                    out.extend_from_slice(&unit);
+                }
+            }
+            _ => {
+                // Random payload (incompressible stretch).
+                let n = 4 + rng.below(12) as usize;
+                let mut buf = vec![0u8; n];
+                rng.fill_bytes(&mut buf);
+                out.extend_from_slice(&buf);
+            }
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_lengths() {
+        assert_eq!(text_corpus(1000, 1).len(), 1000);
+        assert_eq!(application_corpus(1000, 1).len(), 1000);
+        assert!(text_corpus(0, 1).is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(text_corpus(5000, 7), text_corpus(5000, 7));
+        assert_ne!(text_corpus(5000, 7), text_corpus(5000, 8));
+        assert_eq!(application_corpus(5000, 7), application_corpus(5000, 7));
+    }
+
+    #[test]
+    fn text_is_ascii() {
+        let t = text_corpus(10_000, 2);
+        assert!(t.iter().all(|&b| b.is_ascii()));
+    }
+
+    #[test]
+    fn profiles_differ() {
+        // Text should compress better than application data at the same
+        // level, mirroring the paper's two input classes.
+        use crate::compress::deflate::compress;
+        let text = text_corpus(32 * 1024, 3);
+        let app = application_corpus(32 * 1024, 3);
+        let rt = text.len() as f64 / compress(&text, 6).len() as f64;
+        let ra = app.len() as f64 / compress(&app, 6).len() as f64;
+        assert!(rt > ra, "text ratio {rt} should beat app ratio {ra}");
+    }
+}

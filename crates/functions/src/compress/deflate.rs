@@ -1,0 +1,390 @@
+//! The Deflate-style container: LZ77 tokens entropy-coded with dynamic
+//! Huffman tables.
+//!
+//! The symbol scheme is RFC 1951's: literal/length symbols 0–285 (0–255
+//! literal bytes, 256 end-of-block, 257–285 length codes with extra bits)
+//! and distance symbols 0–29 (with extra bits). The container differs from
+//! zlib framing only in how the code tables are stored (raw 4-bit lengths
+//! rather than the meta-Huffman of full DEFLATE) — the computational
+//! profile, which is what the benchmark measures, is identical.
+
+use super::bits::{BitReader, BitWriter};
+use super::huffman::{CodeTable, HuffmanError};
+use super::lz77::{self, Token, MAX_MATCH, MIN_MATCH, WINDOW_SIZE};
+
+/// End-of-block symbol.
+const EOB: usize = 256;
+/// Number of literal/length symbols.
+const NUM_LITLEN: usize = 286;
+/// Number of distance symbols.
+const NUM_DIST: usize = 30;
+
+/// RFC 1951 length-code table: `(base_length, extra_bits)` for symbols
+/// 257..=285.
+const LENGTH_CODES: [(u16, u32); 29] = [
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
+    (258, 0),
+];
+
+/// RFC 1951 distance-code table: `(base_distance, extra_bits)` for symbols
+/// 0..=29.
+const DIST_CODES: [(u16, u32); 30] = [
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
+];
+
+/// Errors from decompression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// The input is not a snicbench-deflate container.
+    BadMagic,
+    /// The container is structurally invalid (truncated header, bad code
+    /// tables, invalid symbols or distances).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::BadMagic => write!(f, "not a snicbench-deflate stream"),
+            CompressError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+impl From<HuffmanError> for CompressError {
+    fn from(_: HuffmanError) -> Self {
+        CompressError::Corrupt("entropy stream")
+    }
+}
+
+/// Maps a match length (3–258) to `(symbol, extra_bits, extra_value)`.
+fn length_to_symbol(len: u16) -> (usize, u32, u32) {
+    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&(len as usize)));
+    for (i, &(base, extra)) in LENGTH_CODES.iter().enumerate().rev() {
+        if len >= base {
+            return (257 + i, extra, (len - base) as u32);
+        }
+    }
+    unreachable!("length below MIN_MATCH");
+}
+
+/// Maps a distance (1–32768) to `(symbol, extra_bits, extra_value)`.
+fn dist_to_symbol(dist: u16) -> (usize, u32, u32) {
+    debug_assert!((1..=WINDOW_SIZE as u32).contains(&(dist as u32)));
+    for (i, &(base, extra)) in DIST_CODES.iter().enumerate().rev() {
+        if dist >= base {
+            return (i, extra, (dist - base) as u32);
+        }
+    }
+    unreachable!("distance below 1");
+}
+
+const MAGIC: &[u8; 4] = b"sDFL";
+
+/// Compresses `input` at `level` (1–9, zlib-like).
+///
+/// # Panics
+///
+/// Panics if `level` is outside `1..=9`.
+pub fn compress(input: &[u8], level: u8) -> Vec<u8> {
+    let tokens = lz77::tokenize(input, level);
+    // Frequency pass.
+    let mut litlen_freq = [0u64; NUM_LITLEN];
+    let mut dist_freq = [0u64; NUM_DIST];
+    for &t in &tokens {
+        match t {
+            Token::Literal(b) => litlen_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                litlen_freq[length_to_symbol(len).0] += 1;
+                dist_freq[dist_to_symbol(dist).0] += 1;
+            }
+        }
+    }
+    litlen_freq[EOB] += 1;
+    let litlen_table = CodeTable::from_frequencies(&litlen_freq);
+    let dist_table = CodeTable::from_frequencies(&dist_freq);
+    // Header: magic, original length (LE u64), code lengths packed 4 bits.
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(input.len() as u64).to_le_bytes());
+    let mut header_bits = BitWriter::new();
+    for &l in litlen_table.lengths() {
+        header_bits.write_bits(l, 4);
+    }
+    for &l in dist_table.lengths() {
+        header_bits.write_bits(l, 4);
+    }
+    out.extend_from_slice(&header_bits.finish());
+    // Body.
+    let mut body = BitWriter::new();
+    for &t in &tokens {
+        match t {
+            Token::Literal(b) => {
+                let (code, len) = litlen_table.encode(b as usize);
+                body.write_code(code, len);
+            }
+            Token::Match { len, dist } => {
+                let (sym, extra, value) = length_to_symbol(len);
+                let (code, clen) = litlen_table.encode(sym);
+                body.write_code(code, clen);
+                body.write_bits(value, extra);
+                let (dsym, dextra, dvalue) = dist_to_symbol(dist);
+                let (dcode, dclen) = dist_table.encode(dsym);
+                body.write_code(dcode, dclen);
+                body.write_bits(dvalue, dextra);
+            }
+        }
+    }
+    let (code, len) = litlen_table.encode(EOB);
+    body.write_code(code, len);
+    out.extend_from_slice(&body.finish());
+    out
+}
+
+/// Decompresses a [`compress`] container.
+///
+/// # Errors
+///
+/// Returns [`CompressError`] for anything that is not a valid container.
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CompressError> {
+    if input.len() < 12 || &input[..4] != MAGIC {
+        return Err(CompressError::BadMagic);
+    }
+    let original_len = u64::from_le_bytes(input[4..12].try_into().expect("slice of 8")) as usize;
+    // Header tables: (286 + 30) 4-bit lengths.
+    let header_bytes = (NUM_LITLEN + NUM_DIST).div_ceil(2);
+    if input.len() < 12 + header_bytes {
+        return Err(CompressError::Corrupt("truncated header"));
+    }
+    let mut header = BitReader::new(&input[12..12 + header_bytes]);
+    let mut litlen_lengths = [0u32; NUM_LITLEN];
+    for l in litlen_lengths.iter_mut() {
+        *l = header
+            .read_bits(4)
+            .map_err(|_| CompressError::Corrupt("header"))?;
+    }
+    let mut dist_lengths = [0u32; NUM_DIST];
+    for l in dist_lengths.iter_mut() {
+        *l = header
+            .read_bits(4)
+            .map_err(|_| CompressError::Corrupt("header"))?;
+    }
+    let litlen_table = CodeTable::from_lengths(&litlen_lengths)
+        .map_err(|_| CompressError::Corrupt("literal code table"))?;
+    let dist_table = CodeTable::from_lengths(&dist_lengths)
+        .map_err(|_| CompressError::Corrupt("distance code table"))?;
+    // Body.
+    let mut reader = BitReader::new(&input[12 + header_bytes..]);
+    let mut out = Vec::with_capacity(original_len);
+    loop {
+        let sym = litlen_table.decode(&mut reader)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => break,
+            257..=285 => {
+                let (base, extra) = LENGTH_CODES[sym - 257];
+                let len = base as usize
+                    + reader
+                        .read_bits(extra)
+                        .map_err(|_| CompressError::Corrupt("length extra bits"))?
+                        as usize;
+                let dsym = dist_table.decode(&mut reader)?;
+                if dsym >= NUM_DIST {
+                    return Err(CompressError::Corrupt("distance symbol"));
+                }
+                let (dbase, dextra) = DIST_CODES[dsym];
+                let dist = dbase as usize
+                    + reader
+                        .read_bits(dextra)
+                        .map_err(|_| CompressError::Corrupt("distance extra bits"))?
+                        as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(CompressError::Corrupt("distance out of range"));
+                }
+                let start = out.len() - dist;
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+            _ => return Err(CompressError::Corrupt("literal/length symbol")),
+        }
+    }
+    if out.len() != original_len {
+        return Err(CompressError::Corrupt("length mismatch"));
+    }
+    Ok(out)
+}
+
+/// Compression ratio (original / compressed); >1 means the stream shrank.
+pub fn ratio(original: &[u8], compressed: &[u8]) -> f64 {
+    if compressed.is_empty() {
+        return 0.0;
+    }
+    original.len() as f64 / compressed.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::corpus;
+
+    fn round_trip(data: &[u8], level: u8) -> Vec<u8> {
+        let compressed = compress(data, level);
+        let restored = decompress(&compressed).unwrap();
+        assert_eq!(restored, data, "level {level}");
+        compressed
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        round_trip(b"", 6);
+        round_trip(b"x", 6);
+        round_trip(b"ab", 6);
+    }
+
+    #[test]
+    fn text_compresses_well() {
+        let text = corpus::text_corpus(64 * 1024, 1);
+        let compressed = round_trip(&text, 6);
+        let r = ratio(&text, &compressed);
+        assert!(r > 2.0, "text ratio {r}");
+    }
+
+    #[test]
+    fn application_corpus_compresses() {
+        let app = corpus::application_corpus(64 * 1024, 2);
+        let compressed = round_trip(&app, 6);
+        let r = ratio(&app, &compressed);
+        assert!(r > 1.5, "app ratio {r}");
+    }
+
+    #[test]
+    fn random_data_stays_roughly_flat() {
+        use snicbench_sim::rng::Rng;
+        let mut rng = Rng::new(3);
+        let mut data = vec![0u8; 16 * 1024];
+        rng.fill_bytes(&mut data);
+        let compressed = round_trip(&data, 6);
+        let r = ratio(&data, &compressed);
+        assert!((0.8..1.1).contains(&r), "random ratio {r}");
+    }
+
+    #[test]
+    fn level_9_beats_level_1_on_text() {
+        let text = corpus::text_corpus(32 * 1024, 4);
+        let fast = compress(&text, 1).len();
+        let best = compress(&text, 9).len();
+        assert!(best <= fast, "level9 {best} vs level1 {fast}");
+    }
+
+    #[test]
+    fn long_runs() {
+        let data = vec![b'z'; 100_000];
+        let compressed = round_trip(&data, 6);
+        assert!(
+            compressed.len() < 2500,
+            "run compressed to {}",
+            compressed.len()
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decompress(b"nope"), Err(CompressError::BadMagic));
+        assert_eq!(
+            decompress(b"sDFLtooshort"),
+            Err(CompressError::Corrupt("truncated header"))
+        );
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let data = corpus::text_corpus(4096, 5);
+        let mut compressed = compress(&data, 6);
+        compressed.truncate(compressed.len() - 10);
+        assert!(decompress(&compressed).is_err());
+    }
+
+    #[test]
+    fn corrupted_byte_detected() {
+        let data = corpus::text_corpus(4096, 6);
+        let mut compressed = compress(&data, 6);
+        let mid = compressed.len() / 2;
+        compressed[mid] ^= 0xFF;
+        match decompress(&compressed) {
+            Err(_) => {}
+            // A flipped bit can also decode to *different* bytes; either
+            // way it must not silently return the original.
+            Ok(out) => assert_ne!(out, data),
+        }
+    }
+
+    #[test]
+    fn symbol_tables_cover_boundaries() {
+        assert_eq!(length_to_symbol(3), (257, 0, 0));
+        assert_eq!(length_to_symbol(258), (285, 0, 0));
+        assert_eq!(length_to_symbol(13).0, 266);
+        assert_eq!(dist_to_symbol(1), (0, 0, 0));
+        assert_eq!(dist_to_symbol(24577).0, 29);
+        assert_eq!(dist_to_symbol(32768), (29, 13, 8191));
+    }
+}

@@ -1,0 +1,396 @@
+//! Canonical, length-limited Huffman codes.
+//!
+//! Builds optimal prefix codes from symbol frequencies, limits code lengths
+//! to [`MAX_CODE_LEN`] (DEFLATE's 15) by the standard overflow-rebalancing
+//! adjustment, assigns canonical codes (so only the *lengths* need to be
+//! stored in the container), and decodes bit streams against them.
+
+use super::bits::{BitReader, OutOfBits};
+
+/// Longest permitted code, as in DEFLATE.
+pub const MAX_CODE_LEN: u32 = 15;
+
+/// A canonical Huffman code table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeTable {
+    /// Code length per symbol (0 = symbol unused).
+    lengths: Vec<u32>,
+    /// Canonical code per symbol (valid where length > 0).
+    codes: Vec<u32>,
+    /// `(length, code)` -> symbol, for decoding.
+    decode_map: std::collections::HashMap<(u32, u32), usize>,
+}
+
+/// Errors from building or using code tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HuffmanError {
+    /// The provided lengths do not describe a valid (complete or safe)
+    /// prefix code.
+    InvalidLengths,
+    /// The bit stream ended mid-symbol.
+    Truncated,
+    /// A code was read that no symbol owns.
+    BadCode,
+}
+
+impl std::fmt::Display for HuffmanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HuffmanError::InvalidLengths => write!(f, "invalid code lengths"),
+            HuffmanError::Truncated => write!(f, "bit stream truncated"),
+            HuffmanError::BadCode => write!(f, "unknown code in stream"),
+        }
+    }
+}
+
+impl std::error::Error for HuffmanError {}
+
+impl From<OutOfBits> for HuffmanError {
+    fn from(_: OutOfBits) -> Self {
+        HuffmanError::Truncated
+    }
+}
+
+impl CodeTable {
+    /// Builds an optimal length-limited code for the given frequencies.
+    ///
+    /// Symbols with zero frequency get no code. If fewer than two symbols
+    /// occur, the occurring symbol (if any) gets a 1-bit code so the stream
+    /// is still decodable.
+    pub fn from_frequencies(freqs: &[u64]) -> CodeTable {
+        let mut lengths = vec![0u32; freqs.len()];
+        let used: Vec<usize> = freqs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &f)| (f > 0).then_some(i))
+            .collect();
+        match used.len() {
+            0 => {}
+            1 => lengths[used[0]] = 1,
+            _ => {
+                build_huffman_lengths(freqs, &mut lengths);
+                limit_lengths(&mut lengths, freqs);
+            }
+        }
+        let codes = assign_canonical(&lengths);
+        CodeTable {
+            decode_map: build_decode_map(&lengths, &codes),
+            lengths,
+            codes,
+        }
+    }
+
+    /// Reconstructs the canonical table from stored lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HuffmanError::InvalidLengths`] if the lengths
+    /// oversubscribe the code space or exceed [`MAX_CODE_LEN`].
+    pub fn from_lengths(lengths: &[u32]) -> Result<CodeTable, HuffmanError> {
+        if lengths.iter().any(|&l| l > MAX_CODE_LEN) {
+            return Err(HuffmanError::InvalidLengths);
+        }
+        // Kraft sum must not exceed 1.
+        let kraft: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (MAX_CODE_LEN - l))
+            .sum();
+        if kraft > 1 << MAX_CODE_LEN {
+            return Err(HuffmanError::InvalidLengths);
+        }
+        let codes = assign_canonical(lengths);
+        Ok(CodeTable {
+            decode_map: build_decode_map(lengths, &codes),
+            lengths: lengths.to_vec(),
+            codes,
+        })
+    }
+
+    /// The code lengths (what a container stores).
+    pub fn lengths(&self) -> &[u32] {
+        &self.lengths
+    }
+
+    /// `(code, length)` for a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol has no code.
+    pub fn encode(&self, symbol: usize) -> (u32, u32) {
+        let len = self.lengths[symbol];
+        assert!(len > 0, "symbol {symbol} has no code");
+        (self.codes[symbol], len)
+    }
+
+    /// True if the symbol occurs in the code.
+    pub fn has_code(&self, symbol: usize) -> bool {
+        self.lengths.get(symbol).is_some_and(|&l| l > 0)
+    }
+
+    /// Decodes one symbol from the reader (MSB-first canonical walk).
+    ///
+    /// # Errors
+    ///
+    /// [`HuffmanError::Truncated`] at end of stream,
+    /// [`HuffmanError::BadCode`] for a prefix no symbol owns.
+    pub fn decode(&self, reader: &mut BitReader<'_>) -> Result<usize, HuffmanError> {
+        let mut code = 0u32;
+        let mut len = 0u32;
+        loop {
+            code = (code << 1) | reader.read_bit()?;
+            len += 1;
+            if len > MAX_CODE_LEN {
+                return Err(HuffmanError::BadCode);
+            }
+            if let Some(&sym) = self.decode_map.get(&(len, code)) {
+                return Ok(sym);
+            }
+        }
+    }
+}
+
+/// Standard heap-based Huffman construction producing code lengths.
+fn build_huffman_lengths(freqs: &[u64], lengths: &mut [u32]) {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        freq: u64,
+        id: usize,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Min-heap by frequency, ties by id for determinism.
+            other.freq.cmp(&self.freq).then(other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    // Internal tree: parent pointers.
+    let n = freqs.len();
+    let mut parent = vec![usize::MAX; n * 2];
+    let mut heap = std::collections::BinaryHeap::new();
+    let mut next_internal = n;
+    for (i, &f) in freqs.iter().enumerate() {
+        if f > 0 {
+            heap.push(Node { freq: f, id: i });
+        }
+    }
+    while heap.len() > 1 {
+        let a = heap.pop().expect("len > 1");
+        let b = heap.pop().expect("len > 1");
+        let internal = next_internal;
+        next_internal += 1;
+        parent[a.id] = internal;
+        parent[b.id] = internal;
+        heap.push(Node {
+            freq: a.freq + b.freq,
+            id: internal,
+        });
+    }
+    for (i, &f) in freqs.iter().enumerate() {
+        if f > 0 {
+            let mut depth = 0;
+            let mut node = i;
+            while parent[node] != usize::MAX {
+                node = parent[node];
+                depth += 1;
+            }
+            lengths[i] = depth.max(1);
+        }
+    }
+}
+
+/// Rebalances lengths so none exceeds [`MAX_CODE_LEN`] while keeping the
+/// Kraft sum exactly 1 (complete code).
+fn limit_lengths(lengths: &mut [u32], freqs: &[u64]) {
+    if lengths.iter().all(|&l| l <= MAX_CODE_LEN) {
+        return;
+    }
+    // Clamp overlong codes, then repair the Kraft inequality by deepening
+    // the shallowest other codes (standard zlib-style adjustment).
+    for l in lengths.iter_mut() {
+        if *l > MAX_CODE_LEN {
+            *l = MAX_CODE_LEN;
+        }
+    }
+    let kraft = |lengths: &[u32]| -> i64 {
+        lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1i64 << (MAX_CODE_LEN - l))
+            .sum()
+    };
+    let budget = 1i64 << MAX_CODE_LEN;
+    while kraft(lengths) > budget {
+        // Deepen the least-frequent symbol whose length can still grow.
+        let candidate = lengths
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l > 0 && l < MAX_CODE_LEN)
+            .min_by_key(|&(i, &l)| (freqs[i], std::cmp::Reverse(l)))
+            .map(|(i, _)| i);
+        match candidate {
+            Some(i) => lengths[i] += 1,
+            None => break,
+        }
+    }
+}
+
+/// Builds the `(length, code) -> symbol` decode index.
+fn build_decode_map(
+    lengths: &[u32],
+    codes: &[u32],
+) -> std::collections::HashMap<(u32, u32), usize> {
+    lengths
+        .iter()
+        .zip(codes)
+        .enumerate()
+        .filter(|&(_, (&l, _))| l > 0)
+        .map(|(sym, (&l, &c))| ((l, c), sym))
+        .collect()
+}
+
+/// Assigns canonical codes from lengths (shorter codes first, then symbol
+/// order; RFC 1951 Sec. 3.2.2).
+fn assign_canonical(lengths: &[u32]) -> Vec<u32> {
+    let mut codes = vec![0u32; lengths.len()];
+    let max_len = lengths.iter().copied().max().unwrap_or(0);
+    let mut bl_count = vec![0u32; (max_len + 1) as usize];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; (max_len + 2) as usize];
+    let mut code = 0;
+    for bits in 1..=max_len {
+        code = (code + bl_count[(bits - 1) as usize]) << 1;
+        next_code[bits as usize] = code;
+    }
+    for (sym, &l) in lengths.iter().enumerate() {
+        if l > 0 {
+            codes[sym] = next_code[l as usize];
+            next_code[l as usize] += 1;
+        }
+    }
+    codes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::bits::BitWriter;
+
+    fn round_trip_symbols(freqs: &[u64], symbols: &[usize]) {
+        let table = CodeTable::from_frequencies(freqs);
+        let mut w = BitWriter::new();
+        for &s in symbols {
+            let (code, len) = table.encode(s);
+            w.write_code(code, len);
+        }
+        let bytes = w.finish();
+        let rebuilt = CodeTable::from_lengths(table.lengths()).unwrap();
+        assert_eq!(rebuilt, table, "canonical reconstruction");
+        let mut r = BitReader::new(&bytes);
+        for &s in symbols {
+            assert_eq!(rebuilt.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn skewed_frequencies_round_trip() {
+        let freqs = [100u64, 50, 20, 5, 1, 1, 0, 3];
+        let symbols = [0, 1, 0, 2, 0, 3, 7, 4, 5, 0, 1, 1];
+        round_trip_symbols(&freqs, &symbols);
+    }
+
+    #[test]
+    fn frequent_symbols_get_shorter_codes() {
+        let freqs = [1000u64, 10, 10, 10];
+        let t = CodeTable::from_frequencies(&freqs);
+        assert!(t.lengths()[0] <= t.lengths()[1]);
+        assert!(t.lengths()[0] <= t.lengths()[3]);
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let freqs = [0u64, 42, 0];
+        let t = CodeTable::from_frequencies(&freqs);
+        assert_eq!(t.lengths(), &[0, 1, 0]);
+        round_trip_symbols(&freqs, &[1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_frequencies_yield_empty_table() {
+        let t = CodeTable::from_frequencies(&[0u64; 4]);
+        assert!(t.lengths().iter().all(|&l| l == 0));
+        assert!(!t.has_code(0));
+    }
+
+    #[test]
+    fn prefix_property_holds() {
+        let freqs: Vec<u64> = (1..=40u64).collect();
+        let t = CodeTable::from_frequencies(&freqs);
+        // No code may be a prefix of another.
+        for a in 0..freqs.len() {
+            for b in 0..freqs.len() {
+                if a == b {
+                    continue;
+                }
+                let (ca, la) = t.encode(a);
+                let (cb, lb) = t.encode(b);
+                if la <= lb {
+                    assert_ne!(ca, cb >> (lb - la), "{a} prefixes {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn length_limit_enforced_on_fibonacci_frequencies() {
+        // Fibonacci frequencies force maximally skewed trees (> 15 deep
+        // without limiting).
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let t = CodeTable::from_frequencies(&freqs);
+        assert!(t.lengths().iter().all(|&l| (1..=MAX_CODE_LEN).contains(&l)));
+        // Must still be a valid complete-or-under code.
+        assert!(CodeTable::from_lengths(t.lengths()).is_ok());
+        // And decodable.
+        let symbols: Vec<usize> = (0..40).collect();
+        round_trip_symbols(&freqs, &symbols);
+    }
+
+    #[test]
+    fn invalid_lengths_rejected() {
+        // Three 1-bit codes oversubscribe.
+        assert_eq!(
+            CodeTable::from_lengths(&[1, 1, 1]),
+            Err(HuffmanError::InvalidLengths)
+        );
+        assert_eq!(
+            CodeTable::from_lengths(&[16]),
+            Err(HuffmanError::InvalidLengths)
+        );
+    }
+
+    #[test]
+    fn truncated_stream_is_detected() {
+        let t = CodeTable::from_frequencies(&[5, 5, 5, 5])
+            .lengths()
+            .to_vec();
+        let table = CodeTable::from_lengths(&t).unwrap();
+        let empty: [u8; 0] = [];
+        let mut r = BitReader::new(&empty);
+        assert_eq!(table.decode(&mut r), Err(HuffmanError::Truncated));
+    }
+}

@@ -1,0 +1,230 @@
+//! Hash-chain LZ77 matching with DEFLATE parameters.
+//!
+//! Window 32 KB, match lengths 3–258, distances 1–32768. The compressor
+//! hashes every 3-byte prefix into chains and searches recent chain entries
+//! for the longest match; `level` (1–9) scales how deep the chains are
+//! searched, trading time for ratio exactly as zlib levels do.
+
+/// Maximum backward distance (DEFLATE window).
+pub const WINDOW_SIZE: usize = 32 * 1024;
+/// Shortest encodable match.
+pub const MIN_MATCH: usize = 3;
+/// Longest encodable match.
+pub const MAX_MATCH: usize = 258;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes back.
+    Match {
+        /// Copy length (3–258).
+        len: u16,
+        /// Backward distance (1–32768).
+        dist: u16,
+    },
+}
+
+/// Tokenizes `input` with search effort `level` (1 = fastest, 9 = best).
+///
+/// # Panics
+///
+/// Panics if `level` is outside `1..=9`.
+pub fn tokenize(input: &[u8], level: u8) -> Vec<Token> {
+    assert!((1..=9).contains(&level), "level must be 1..=9");
+    let max_chain = 1usize << level; // 2..512 probes
+    let mut tokens = Vec::new();
+    if input.len() < MIN_MATCH {
+        tokens.extend(input.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    const HASH_BITS: usize = 15;
+    const HASH_SIZE: usize = 1 << HASH_BITS;
+    let hash = |data: &[u8]| -> usize {
+        ((data[0] as usize) << 10 ^ (data[1] as usize) << 5 ^ data[2] as usize) & (HASH_SIZE - 1)
+    };
+    // head[h] = most recent position with hash h; prev[pos % WINDOW] = the
+    // previous position in the chain.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; WINDOW_SIZE];
+    let mut pos = 0;
+    while pos < input.len() {
+        if pos + MIN_MATCH > input.len() {
+            tokens.push(Token::Literal(input[pos]));
+            pos += 1;
+            continue;
+        }
+        let h = hash(&input[pos..]);
+        // Walk the chain for the best match.
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut candidate = head[h];
+        let mut probes = 0;
+        while candidate != usize::MAX && probes < max_chain {
+            let dist = pos - candidate;
+            if dist > WINDOW_SIZE {
+                break;
+            }
+            let limit = (input.len() - pos).min(MAX_MATCH);
+            let mut len = 0;
+            while len < limit && input[candidate + len] == input[pos + len] {
+                len += 1;
+            }
+            if len > best_len {
+                best_len = len;
+                best_dist = dist;
+                if len >= limit {
+                    break;
+                }
+            }
+            candidate = prev[candidate % WINDOW_SIZE];
+            probes += 1;
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match {
+                len: best_len as u16,
+                dist: best_dist as u16,
+            });
+            // Insert all covered positions into the chains so later matches
+            // can reference them.
+            let end = pos + best_len;
+            while pos < end {
+                if pos + MIN_MATCH <= input.len() {
+                    let h = hash(&input[pos..]);
+                    prev[pos % WINDOW_SIZE] = head[h];
+                    head[h] = pos;
+                }
+                pos += 1;
+            }
+        } else {
+            tokens.push(Token::Literal(input[pos]));
+            prev[pos % WINDOW_SIZE] = head[h];
+            head[h] = pos;
+            pos += 1;
+        }
+    }
+    tokens
+}
+
+/// Reconstructs the original bytes from tokens.
+///
+/// # Panics
+///
+/// Panics on malformed tokens (distance beyond output, zero distance) —
+/// the decoder layer validates before calling this.
+pub fn reconstruct(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let dist = dist as usize;
+                assert!(dist >= 1 && dist <= out.len(), "invalid distance");
+                let start = out.len() - dist;
+                // Overlapping copies are the LZ77 idiom for runs.
+                for i in 0..len as usize {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8], level: u8) {
+        let tokens = tokenize(data, level);
+        assert_eq!(reconstruct(&tokens), data, "level {level}");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        round_trip(b"", 6);
+        round_trip(b"a", 6);
+        round_trip(b"ab", 6);
+        round_trip(b"abc", 6);
+    }
+
+    #[test]
+    fn repetitive_input_uses_matches() {
+        let data = b"abcabcabcabcabcabcabcabc";
+        let tokens = tokenize(data, 6);
+        assert!(
+            tokens.iter().any(|t| matches!(t, Token::Match { .. })),
+            "expected back-references: {tokens:?}"
+        );
+        assert!(tokens.len() < data.len() / 2);
+        round_trip(data, 6);
+    }
+
+    #[test]
+    fn run_length_via_overlapping_match() {
+        let data = vec![b'x'; 1000];
+        let tokens = tokenize(&data, 6);
+        assert!(
+            tokens.len() <= 6,
+            "run should collapse: {} tokens",
+            tokens.len()
+        );
+        assert_eq!(reconstruct(&tokens), data);
+    }
+
+    #[test]
+    fn incompressible_input_is_all_literals() {
+        // A de Bruijn-ish sequence with no repeated trigrams in range.
+        let data: Vec<u8> = (0..200u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
+        round_trip(&data, 9);
+    }
+
+    #[test]
+    fn all_levels_round_trip() {
+        let mut data = Vec::new();
+        for i in 0..50 {
+            data.extend_from_slice(format!("record {} value {} ", i, i % 7).as_bytes());
+        }
+        for level in 1..=9 {
+            round_trip(&data, level);
+        }
+    }
+
+    #[test]
+    fn higher_level_never_worse_tokens() {
+        let mut data = Vec::new();
+        for i in 0..300 {
+            data.extend_from_slice(format!("key{}=value{};", i % 20, i % 13).as_bytes());
+        }
+        let fast = tokenize(&data, 1).len();
+        let best = tokenize(&data, 9).len();
+        assert!(best <= fast, "level 9 ({best}) worse than level 1 ({fast})");
+    }
+
+    #[test]
+    fn match_lengths_respect_bounds() {
+        let data = vec![b'q'; 10_000];
+        for t in tokenize(&data, 9) {
+            if let Token::Match { len, dist } = t {
+                assert!((MIN_MATCH..=MAX_MATCH).contains(&(len as usize)));
+                assert!(dist as usize >= 1 && dist as usize <= WINDOW_SIZE);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "level")]
+    fn bad_level_panics() {
+        let _ = tokenize(b"abc", 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid distance")]
+    fn reconstruct_rejects_bad_distance() {
+        let _ = reconstruct(&[Token::Match { len: 3, dist: 5 }]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Deflate-class compression (the paper's Compression benchmark).
+//!
+//! BlueField-2's compression accelerator implements Deflate; the host
+//! baseline is ISA-L/TurboBench. This module is a complete Deflate-class
+//! codec built from scratch:
+//!
+//! * [`bits`] — LSB-first bit-stream reader/writer.
+//! * [`lz77`] — hash-chain LZ77 with a 32 KB window and DEFLATE's 3–258
+//!   match lengths; the `level` knob trades search depth for ratio like
+//!   zlib levels do.
+//! * [`huffman`] — canonical Huffman code construction (length-limited)
+//!   plus encode/decode tables.
+//! * [`deflate`] — the container: RFC 1951's literal/length + distance
+//!   alphabets with extra bits, dynamic code tables, round-trip
+//!   encode/decode.
+//! * [`corpus`] — synthetic `Application` and `Text` benchmark files with
+//!   the redundancy profiles of the paper's inputs.
+
+pub mod bits;
+pub mod corpus;
+pub mod deflate;
+pub mod huffman;
+pub mod lz77;
+
+pub use deflate::{compress, decompress, CompressError};

@@ -1,0 +1,652 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! The minimal bignum substrate RSA needs: base-2³² limbs, schoolbook
+//! multiplication, Knuth Algorithm D division, modular exponentiation by
+//! square-and-multiply, modular inversion via the extended Euclidean
+//! algorithm, and Miller–Rabin primality testing. Little-endian limb order
+//! throughout.
+
+use snicbench_sim::rng::Rng;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// # Example
+///
+/// ```
+/// use snicbench_functions::crypto::bignum::BigUint;
+///
+/// let a = BigUint::from_u64(1 << 40);
+/// let b = BigUint::from_u64(3);
+/// assert_eq!(a.mul(&b).to_hex(), "30000000000");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BigUint {
+    // Little-endian limbs, no trailing zeros (canonical form).
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// From a machine integer.
+    pub fn from_u64(v: u64) -> Self {
+        let mut n = BigUint {
+            limbs: vec![v as u32, (v >> 32) as u32],
+        };
+        n.normalize();
+        n
+    }
+
+    /// Parses a big-endian hexadecimal string (no prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-hex characters.
+    pub fn from_hex(s: &str) -> Self {
+        let mut n = BigUint::zero();
+        for ch in s.chars() {
+            let digit = ch.to_digit(16).expect("invalid hex digit");
+            n = n.shl_bits(4).add(&BigUint::from_u64(digit as u64));
+        }
+        n
+    }
+
+    /// From big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut n = BigUint::zero();
+        for &b in bytes {
+            n = n.shl_bits(8).add(&BigUint::from_u64(b as u64));
+        }
+        n
+    }
+
+    /// To big-endian bytes (no leading zeros; empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 4);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        let skip = out.iter().take_while(|&&b| b == 0).count();
+        out.split_off(skip)
+    }
+
+    /// Lower-case hexadecimal (no prefix, "0" for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = format!("{:x}", self.limbs.last().expect("non-zero"));
+        for limb in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{limb:08x}"));
+        }
+        s
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if the value is odd.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|l| l & 1 == 1)
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() as u32 - 1) * 32 + (32 - top.leading_zeros()),
+        }
+    }
+
+    /// Bit `i` (little-endian indexing).
+    pub fn bit(&self, i: u32) -> bool {
+        let limb = (i / 32) as usize;
+        limb < self.limbs.len() && (self.limbs[limb] >> (i % 32)) & 1 == 1
+    }
+
+    /// Three-way comparison.
+    pub fn cmp_big(&self, other: &BigUint) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let mut out = Vec::with_capacity(self.limbs.len().max(other.limbs.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len().max(other.limbs.len()) {
+            let a = *self.limbs.get(i).unwrap_or(&0) as u64;
+            let b = *other.limbs.get(i).unwrap_or(&0) as u64;
+            let sum = a + b + carry;
+            out.push(sum as u32);
+            carry = sum >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(
+            self.cmp_big(other) != std::cmp::Ordering::Less,
+            "subtraction underflow"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i64;
+            let b = *other.limbs.get(i).unwrap_or(&0) as i64;
+            let mut diff = a - b - borrow;
+            if diff < 0 {
+                diff += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(diff as u32);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self * other` (schoolbook).
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u64 + a as u64 * b as u64 + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Left shift by `bits` bits.
+    pub fn shl_bits(&self, bits: u32) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = (bits / 32) as usize;
+        let bit_shift = bits % 32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Right shift by `bits` bits.
+    pub fn shr_bits(&self, bits: u32) -> BigUint {
+        let limb_shift = (bits / 32) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (32 - bit_shift)
+                } else {
+                    0
+                };
+                out.push(lo | hi);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Quotient and remainder of `self / divisor` (Knuth Algorithm D).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self.cmp_big(divisor) == std::cmp::Ordering::Less {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            // Fast single-limb path.
+            let d = divisor.limbs[0] as u64;
+            let mut q = vec![0u32; self.limbs.len()];
+            let mut rem = 0u64;
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 32) | self.limbs[i] as u64;
+                q[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            let mut qn = BigUint { limbs: q };
+            qn.normalize();
+            return (qn, BigUint::from_u64(rem));
+        }
+        // Normalize so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().expect("multi-limb").leading_zeros();
+        let u = self.shl_bits(shift);
+        let v = divisor.shl_bits(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+        let mut un = u.limbs.clone();
+        un.push(0);
+        let vn = &v.limbs;
+        let mut q = vec![0u32; m + 1];
+        let v_top = vn[n - 1] as u64;
+        let v_second = vn[n - 2] as u64;
+        for j in (0..=m).rev() {
+            let numerator = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
+            let mut qhat = numerator / v_top;
+            let mut rhat = numerator % v_top;
+            while qhat >= 1 << 32 || qhat * v_second > ((rhat << 32) | un[j + n - 2] as u64) {
+                qhat -= 1;
+                rhat += v_top;
+                if rhat >= 1 << 32 {
+                    break;
+                }
+            }
+            // Multiply-subtract qhat * v from un[j..j+n+1].
+            let mut borrow = 0i64;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let p = qhat * vn[i] as u64 + carry;
+                carry = p >> 32;
+                let t = un[j + i] as i64 - (p as u32) as i64 - borrow;
+                un[j + i] = t as u32;
+                borrow = if t < 0 { 1 } else { 0 };
+            }
+            let t = un[j + n] as i64 - carry as i64 - borrow;
+            un[j + n] = t as u32;
+            if t < 0 {
+                // qhat was one too large: add back.
+                qhat -= 1;
+                let mut carry = 0u64;
+                for i in 0..n {
+                    let sum = un[j + i] as u64 + vn[i] as u64 + carry;
+                    un[j + i] = sum as u32;
+                    carry = sum >> 32;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry as u32);
+            }
+            q[j] = qhat as u32;
+        }
+        let mut quotient = BigUint { limbs: q };
+        quotient.normalize();
+        let mut rem = BigUint {
+            limbs: un[..n].to_vec(),
+        };
+        rem.normalize();
+        (quotient, rem.shr_bits(shift))
+    }
+
+    /// `self mod modulus`.
+    pub fn rem(&self, modulus: &BigUint) -> BigUint {
+        self.div_rem(modulus).1
+    }
+
+    /// Modular exponentiation: `self^exp mod modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn modpow(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "zero modulus");
+        if modulus == &BigUint::one() {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let mut base = self.rem(modulus);
+        for i in 0..exp.bits() {
+            if exp.bit(i) {
+                result = result.mul(&base).rem(modulus);
+            }
+            base = base.mul(&base).rem(modulus);
+        }
+        result
+    }
+
+    /// Modular inverse: `self^-1 mod modulus`, or `None` if not coprime.
+    ///
+    /// Extended Euclid over signed coefficient pairs.
+    pub fn modinv(&self, modulus: &BigUint) -> Option<BigUint> {
+        // (old_r, r), with signed Bezout coefficients tracked as
+        // (magnitude, is_negative).
+        let mut old_r = self.rem(modulus);
+        let mut r = modulus.clone();
+        let mut old_s = (BigUint::one(), false);
+        let mut s = (BigUint::zero(), false);
+        while !r.is_zero() {
+            let (q, rem) = old_r.div_rem(&r);
+            old_r = std::mem::replace(&mut r, rem);
+            // new_s = old_s - q * s  (signed).
+            let qs = q.mul(&s.0);
+            let new_s = signed_sub(&old_s, &(qs, s.1));
+            old_s = std::mem::replace(&mut s, new_s);
+        }
+        if old_r != BigUint::one() {
+            return None;
+        }
+        // old_s is the inverse, possibly negative.
+        Some(if old_s.1 {
+            modulus.sub(&old_s.0.rem(modulus))
+        } else {
+            old_s.0.rem(modulus)
+        })
+    }
+
+    /// Miller–Rabin probabilistic primality test with `rounds` random bases.
+    pub fn is_probable_prime(&self, rounds: u32, rng: &mut Rng) -> bool {
+        const SMALL_PRIMES: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+        if self.bits() <= 6 {
+            let v = self.limbs.first().copied().unwrap_or(0) as u64;
+            return SMALL_PRIMES.contains(&v);
+        }
+        for &p in &SMALL_PRIMES {
+            if self.rem(&BigUint::from_u64(p)).is_zero() {
+                return false;
+            }
+        }
+        let one = BigUint::one();
+        let n_minus_1 = self.sub(&one);
+        let trailing = (0..n_minus_1.bits())
+            .take_while(|&i| !n_minus_1.bit(i))
+            .count() as u32;
+        let d = n_minus_1.shr_bits(trailing);
+        'witness: for _ in 0..rounds {
+            // Random base in [2, n-2]: draw bits() random bits, reduce.
+            let mut bytes = vec![0u8; (self.bits() as usize).div_ceil(8)];
+            rng.fill_bytes(&mut bytes);
+            let a = BigUint::from_bytes_be(&bytes)
+                .rem(&self.sub(&BigUint::from_u64(3)))
+                .add(&BigUint::from_u64(2));
+            let mut x = a.modpow(&d, self);
+            if x == one || x == n_minus_1 {
+                continue;
+            }
+            for _ in 0..trailing.saturating_sub(1) {
+                x = x.mul(&x).rem(self);
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Generates a random probable prime of exactly `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 8`.
+    pub fn gen_prime(bits: u32, rng: &mut Rng) -> BigUint {
+        assert!(bits >= 8, "prime too small");
+        loop {
+            let mut bytes = vec![0u8; (bits as usize).div_ceil(8)];
+            rng.fill_bytes(&mut bytes);
+            let mut candidate = BigUint::from_bytes_be(&bytes);
+            // Force exact bit length and oddness.
+            candidate = candidate.rem(&BigUint::one().shl_bits(bits));
+            candidate = candidate.add(&BigUint::one().shl_bits(bits - 1));
+            if candidate.bit(bits - 1) && candidate.bits() == bits {
+                if !candidate.is_odd() {
+                    candidate = candidate.add(&BigUint::one());
+                }
+                if candidate.bits() == bits && candidate.is_probable_prime(12, rng) {
+                    return candidate;
+                }
+            }
+        }
+    }
+}
+
+/// Signed subtraction helper for the extended Euclid: `a - b` where each is
+/// `(magnitude, is_negative)`.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        (false, true) => (a.0.add(&b.0), false), // a - (-b) = a + b
+        (true, false) => (a.0.add(&b.0), true),  // -a - b = -(a+b)
+        (false, false) => {
+            if a.0.cmp_big(&b.0) != std::cmp::Ordering::Less {
+                (a.0.sub(&b.0), false)
+            } else {
+                (b.0.sub(&a.0), true)
+            }
+        }
+        (true, true) => {
+            // -a - (-b) = b - a
+            if b.0.cmp_big(&a.0) != std::cmp::Ordering::Less {
+                (b.0.sub(&a.0), false)
+            } else {
+                (a.0.sub(&b.0), true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let cases = [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+        ];
+        for c in cases {
+            assert_eq!(BigUint::from_hex(c).to_hex(), c);
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let n = BigUint::from_hex("deadbeefcafebabe1234");
+        assert_eq!(BigUint::from_bytes_be(&n.to_bytes_be()), n);
+        assert!(BigUint::zero().to_bytes_be().is_empty());
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = BigUint::from_hex("ffffffffffffffffffffffff");
+        let b = BigUint::from_hex("123456789");
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.sub(&a), BigUint::zero());
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = BigUint::from_hex("ffffffff");
+        assert_eq!(a.add(&BigUint::one()).to_hex(), "100000000");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = BigUint::one().sub(&BigUint::from_u64(2));
+    }
+
+    #[test]
+    fn mul_known_values() {
+        let a = BigUint::from_hex("ffffffffffffffff");
+        let b = BigUint::from_hex("ffffffffffffffff");
+        assert_eq!(a.mul(&b).to_hex(), "fffffffffffffffe0000000000000001");
+        assert_eq!(a.mul(&BigUint::zero()), BigUint::zero());
+    }
+
+    #[test]
+    fn shifts() {
+        let a = BigUint::from_hex("1234");
+        assert_eq!(a.shl_bits(8).to_hex(), "123400");
+        assert_eq!(a.shl_bits(8).shr_bits(8), a);
+        assert_eq!(a.shr_bits(16), BigUint::zero());
+        assert_eq!(a.shl_bits(33).shr_bits(33), a);
+    }
+
+    #[test]
+    fn div_rem_reconstructs() {
+        let a = BigUint::from_hex("fedcba9876543210fedcba9876543210fedcba98");
+        let b = BigUint::from_hex("123456789abcdef1");
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r.cmp_big(&b) == std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn div_by_single_limb() {
+        let a = BigUint::from_hex("10000000000000000"); // 2^64
+        let (q, r) = a.div_rem(&BigUint::from_u64(10));
+        assert_eq!(q.to_hex(), "1999999999999999");
+        assert_eq!(r, BigUint::from_u64(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = BigUint::one().div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn modpow_small_values() {
+        // 3^5 mod 7 = 5; 2^10 mod 1000 = 24.
+        assert_eq!(
+            BigUint::from_u64(3).modpow(&BigUint::from_u64(5), &BigUint::from_u64(7)),
+            BigUint::from_u64(5)
+        );
+        assert_eq!(
+            BigUint::from_u64(2).modpow(&BigUint::from_u64(10), &BigUint::from_u64(1000)),
+            BigUint::from_u64(24)
+        );
+    }
+
+    #[test]
+    fn modpow_fermat_little_theorem() {
+        // a^(p-1) ≡ 1 mod p for prime p and a not divisible by p.
+        let p = BigUint::from_u64(1_000_000_007);
+        let a = BigUint::from_u64(123_456_789);
+        assert_eq!(a.modpow(&p.sub(&BigUint::one()), &p), BigUint::one());
+    }
+
+    #[test]
+    fn modinv_works_and_detects_non_coprime() {
+        let m = BigUint::from_u64(97);
+        let a = BigUint::from_u64(35);
+        let inv = a.modinv(&m).unwrap();
+        assert_eq!(a.mul(&inv).rem(&m), BigUint::one());
+        assert!(BigUint::from_u64(6).modinv(&BigUint::from_u64(9)).is_none());
+    }
+
+    #[test]
+    fn miller_rabin_classifies_known_numbers() {
+        let mut rng = Rng::new(1);
+        for p in [2u64, 3, 5, 101, 65537, 1_000_000_007] {
+            assert!(
+                BigUint::from_u64(p).is_probable_prime(16, &mut rng),
+                "{p} should be prime"
+            );
+        }
+        for c in [
+            1u64,
+            4,
+            100,
+            65535,
+            561, /* Carmichael */
+            1_000_000_008,
+        ] {
+            assert!(
+                !BigUint::from_u64(c).is_probable_prime(16, &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn gen_prime_has_exact_bits() {
+        let mut rng = Rng::new(5);
+        let p = BigUint::gen_prime(64, &mut rng);
+        assert_eq!(p.bits(), 64);
+        assert!(p.is_odd());
+    }
+
+    #[test]
+    fn bit_access() {
+        let n = BigUint::from_u64(0b1010);
+        assert!(!n.bit(0));
+        assert!(n.bit(1));
+        assert!(!n.bit(2));
+        assert!(n.bit(3));
+        assert!(!n.bit(64));
+        assert_eq!(n.bits(), 4);
+    }
+}

@@ -1,0 +1,20 @@
+//! Cryptographic primitives (the paper's Cryptography benchmark).
+//!
+//! The paper runs AES, RSA, and SHA-1 "used by OpenSSL" on the host CPU
+//! (with RDRAND/AES-NI assists) and on the BlueField-2 PKA accelerator
+//! (Sec. 3.4). These are complete from-scratch implementations, validated
+//! against published test vectors:
+//!
+//! * [`aes`] — AES-128 block cipher with CTR-mode streaming.
+//! * [`sha1`] — SHA-1 (FIPS 180-4), the paper's hash benchmark.
+//! * [`sha256`] — SHA-256, used by signatures and available for
+//!   experiments.
+//! * [`bignum`] — arbitrary-precision unsigned arithmetic (the substrate
+//!   RSA needs).
+//! * [`rsa`] — RSA encrypt/decrypt/sign/verify via modular exponentiation.
+
+pub mod aes;
+pub mod bignum;
+pub mod rsa;
+pub mod sha1;
+pub mod sha256;

@@ -1,0 +1,207 @@
+//! RSA (Rivest–Shamir–Adleman) over [`BigUint`].
+//!
+//! Textbook RSA with SHA-256 digests for signatures — the computational
+//! profile the paper's RSA benchmark measures (modular exponentiation
+//! dominates). Not padded for production use (no OAEP/PSS); this is a
+//! benchmark substrate.
+
+use snicbench_sim::rng::Rng;
+
+use super::bignum::BigUint;
+use super::sha256::Sha256;
+
+/// An RSA public key `(n, e)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublicKey {
+    /// The modulus.
+    pub n: BigUint,
+    /// The public exponent (65537 by convention).
+    pub e: BigUint,
+}
+
+/// An RSA private key `(n, d)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrivateKey {
+    /// The modulus.
+    pub n: BigUint,
+    /// The private exponent.
+    pub d: BigUint,
+}
+
+/// An RSA key pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyPair {
+    /// The public half.
+    pub public: PublicKey,
+    /// The private half.
+    pub private: PrivateKey,
+}
+
+/// Errors from RSA operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsaError {
+    /// The message, as an integer, is not smaller than the modulus.
+    MessageTooLarge,
+}
+
+impl std::fmt::Display for RsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsaError::MessageTooLarge => write!(f, "message does not fit below the modulus"),
+        }
+    }
+}
+
+impl std::error::Error for RsaError {}
+
+impl KeyPair {
+    /// Generates a fresh key pair with a modulus of `2 * prime_bits` bits.
+    ///
+    /// Deterministic per seed. Generation cost grows steeply with size;
+    /// tests use 128–256-bit moduli, benchmarks use
+    /// [`KeyPair::demo_512`].
+    pub fn generate(prime_bits: u32, rng: &mut Rng) -> KeyPair {
+        let e = BigUint::from_u64(65_537);
+        loop {
+            let p = BigUint::gen_prime(prime_bits, rng);
+            let q = BigUint::gen_prime(prime_bits, rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let phi = p.sub(&BigUint::one()).mul(&q.sub(&BigUint::one()));
+            if let Some(d) = e.modinv(&phi) {
+                return KeyPair {
+                    public: PublicKey { n: n.clone(), e },
+                    private: PrivateKey { n, d },
+                };
+            }
+        }
+    }
+
+    /// A fixed, pre-generated 512-bit key pair for benchmarks (generated
+    /// with the same Miller–Rabin machinery offline; the primes are real).
+    pub fn demo_512() -> KeyPair {
+        let n = BigUint::from_hex(
+            "d2130e0f0a7800d0227ac746946847f32094f2a6f93777781a0ffba7150bebfd\
+             2a966603f8ac2431e895b35083832b4eedcb408b6ebcaee9b826754830052a99",
+        );
+        let d = BigUint::from_hex(
+            "a9edfa0056b28dcdcf264c0e1ebc5fff1e4afe21ed145e128bda83f13ac82302\
+             76b272998da4fc89675c5c9fd6ef27d37139154efaf699a28124dc86d3d07df5",
+        );
+        KeyPair {
+            public: PublicKey {
+                n: n.clone(),
+                e: BigUint::from_u64(65_537),
+            },
+            private: PrivateKey { n, d },
+        }
+    }
+
+    /// Modulus size in bits.
+    pub fn modulus_bits(&self) -> u32 {
+        self.public.n.bits()
+    }
+}
+
+impl PublicKey {
+    /// Encrypts `message` (must be numerically smaller than the modulus).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsaError::MessageTooLarge`] if the message does not fit.
+    pub fn encrypt(&self, message: &[u8]) -> Result<Vec<u8>, RsaError> {
+        let m = BigUint::from_bytes_be(message);
+        if m.cmp_big(&self.n) != std::cmp::Ordering::Less {
+            return Err(RsaError::MessageTooLarge);
+        }
+        Ok(m.modpow(&self.e, &self.n).to_bytes_be())
+    }
+
+    /// Verifies `signature` over `message` (SHA-256 digest comparison).
+    pub fn verify(&self, message: &[u8], signature: &[u8]) -> bool {
+        let s = BigUint::from_bytes_be(signature);
+        if s.cmp_big(&self.n) != std::cmp::Ordering::Less {
+            return false;
+        }
+        let recovered = s.modpow(&self.e, &self.n).to_bytes_be();
+        recovered == Sha256::digest(message)
+    }
+}
+
+impl PrivateKey {
+    /// Decrypts `ciphertext`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsaError::MessageTooLarge`] if the ciphertext does not fit
+    /// below the modulus.
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, RsaError> {
+        let c = BigUint::from_bytes_be(ciphertext);
+        if c.cmp_big(&self.n) != std::cmp::Ordering::Less {
+            return Err(RsaError::MessageTooLarge);
+        }
+        Ok(c.modpow(&self.d, &self.n).to_bytes_be())
+    }
+
+    /// Signs `message`: SHA-256 digest raised to the private exponent.
+    pub fn sign(&self, message: &[u8]) -> Vec<u8> {
+        let digest = Sha256::digest(message);
+        BigUint::from_bytes_be(&digest)
+            .modpow(&self.d, &self.n)
+            .to_bytes_be()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_key_round_trips() {
+        let mut rng = Rng::new(2024);
+        let kp = KeyPair::generate(96, &mut rng);
+        assert!(kp.modulus_bits() >= 190);
+        let msg = b"hello snic";
+        let ct = kp.public.encrypt(msg).unwrap();
+        assert_ne!(ct, msg.to_vec());
+        assert_eq!(kp.private.decrypt(&ct).unwrap(), msg.to_vec());
+    }
+
+    #[test]
+    fn demo_key_round_trips() {
+        let kp = KeyPair::demo_512();
+        assert_eq!(kp.modulus_bits(), 512);
+        let msg = b"datacenter tax";
+        let ct = kp.public.encrypt(msg).unwrap();
+        assert_eq!(kp.private.decrypt(&ct).unwrap(), msg.to_vec());
+    }
+
+    #[test]
+    fn sign_verify() {
+        let kp = KeyPair::demo_512();
+        let msg = b"offload me";
+        let sig = kp.private.sign(msg);
+        assert!(kp.public.verify(msg, &sig));
+        assert!(!kp.public.verify(b"tampered", &sig));
+        let mut bad = sig.clone();
+        bad[0] ^= 1;
+        assert!(!kp.public.verify(msg, &bad));
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let kp = KeyPair::demo_512();
+        let huge = vec![0xFFu8; 65];
+        assert_eq!(kp.public.encrypt(&huge), Err(RsaError::MessageTooLarge));
+        assert_eq!(kp.private.decrypt(&huge), Err(RsaError::MessageTooLarge));
+    }
+
+    #[test]
+    fn different_seeds_different_keys() {
+        let a = KeyPair::generate(64, &mut Rng::new(1));
+        let b = KeyPair::generate(64, &mut Rng::new(2));
+        assert_ne!(a.public.n, b.public.n);
+    }
+}

@@ -1,0 +1,216 @@
+//! SHA-1 (FIPS 180-4).
+//!
+//! The paper benchmarks SHA-1 because OpenSSL deployments still use it for
+//! non-security-critical digests, and because it is the one algorithm where
+//! the BlueField-2 accelerator *beats* the host (the host's "RDRAND
+//! technology does not efficiently support SHA-1", Sec. 4 / KO2). SHA-1 is
+//! cryptographically broken for collision resistance; it is implemented
+//! here as a benchmark workload, not for security use.
+
+/// Digest size in bytes.
+pub const DIGEST_BYTES: usize = 20;
+
+/// A streaming SHA-1 hasher.
+///
+/// # Example
+///
+/// ```
+/// use snicbench_functions::crypto::sha1::Sha1;
+///
+/// let digest = Sha1::digest(b"abc");
+/// assert_eq!(
+///     hex(&digest),
+///     "a9993e364706816aba3e25717850c26c9cd0d89d"
+/// );
+/// # fn hex(d: &[u8]) -> String { d.iter().map(|b| format!("{b:02x}")).collect() }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: [u8; 64],
+    buffered: usize,
+    length_bits: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            buffer: [0; 64],
+            buffered: 0,
+            length_bits: 0,
+        }
+    }
+
+    /// One-shot digest of `data`.
+    pub fn digest(data: &[u8]) -> [u8; DIGEST_BYTES] {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Absorbs more input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.length_bits = self
+            .length_bits
+            .wrapping_add((data.len() as u64).wrapping_mul(8));
+        if self.buffered > 0 {
+            let take = (64 - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            } else {
+                // Input exhausted into a partial buffer.
+                debug_assert!(data.is_empty());
+                return;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        self.buffer[..data.len()].copy_from_slice(data);
+        self.buffered = data.len();
+    }
+
+    /// Completes the hash and returns the digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_BYTES] {
+        let len = self.length_bits;
+        self.update(&[0x80]);
+        while self.buffered != 56 {
+            self.update(&[0]);
+        }
+        // The two updates above also bumped length_bits; restore and append
+        // the original length.
+        self.length_bits = len;
+        let mut block_tail = [0u8; 8];
+        block_tail.copy_from_slice(&len.to_be_bytes());
+        self.buffer[56..64].copy_from_slice(&block_tail);
+        let block = self.buffer;
+        self.compress(&block);
+        let mut out = [0u8; DIGEST_BYTES];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | (!b & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_vectors() {
+        assert_eq!(
+            hex(&Sha1::digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+        assert_eq!(
+            hex(&Sha1::digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            hex(&Sha1::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let one_shot = Sha1::digest(&data);
+        for split in [1usize, 13, 63, 64, 65, 500] {
+            let mut h = Sha1::new();
+            for chunk in data.chunks(split) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), one_shot, "split {split}");
+        }
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // Lengths around the 55/56/64 padding boundaries must all work.
+        for len in 50..70 {
+            let data = vec![0x5Au8; len];
+            let d1 = Sha1::digest(&data);
+            let mut h = Sha1::new();
+            h.update(&data[..len / 2]);
+            h.update(&data[len / 2..]);
+            assert_eq!(h.finalize(), d1, "len {len}");
+        }
+    }
+}

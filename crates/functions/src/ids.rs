@@ -1,0 +1,394 @@
+//! Snort-style intrusion detection.
+//!
+//! Snort's hot loop is multi-pattern content matching: every packet payload
+//! is scanned against the content strings of the active ruleset, and rules
+//! whose contents all appear fire an alert. This module implements the
+//! industry-standard algorithm for that scan — **Aho–Corasick** with full
+//! failure-link construction — plus a rule layer and the paper's three
+//! registered rulesets (`file_image`, `file_flash`, `file_executable`,
+//! Sec. 3.4).
+
+use std::collections::{HashMap, VecDeque};
+
+/// A compiled Aho–Corasick automaton over byte patterns.
+///
+/// # Example
+///
+/// ```
+/// use snicbench_functions::ids::AhoCorasick;
+///
+/// let ac = AhoCorasick::new(&[b"he".to_vec(), b"she".to_vec(), b"hers".to_vec()]);
+/// let hits = ac.find_all(b"ushers");
+/// // "she" at 1, "he" at 2, "hers" at 2.
+/// assert_eq!(hits.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    // goto function: state -> byte -> state
+    goto_fn: Vec<HashMap<u8, u32>>,
+    fail: Vec<u32>,
+    // outputs per state: indices of patterns ending here
+    output: Vec<Vec<u32>>,
+    patterns: Vec<Vec<u8>>,
+}
+
+/// A single match: which pattern, ending where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    /// Index of the pattern in construction order.
+    pub pattern: u32,
+    /// Byte offset of the first byte of the match.
+    pub start: usize,
+}
+
+impl AhoCorasick {
+    /// Builds the automaton for the given patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pattern is empty.
+    pub fn new(patterns: &[Vec<u8>]) -> Self {
+        assert!(
+            patterns.iter().all(|p| !p.is_empty()),
+            "patterns must be non-empty"
+        );
+        let mut ac = AhoCorasick {
+            goto_fn: vec![HashMap::new()],
+            fail: vec![0],
+            output: vec![Vec::new()],
+            patterns: patterns.to_vec(),
+        };
+        // Phase 1: trie.
+        for (idx, pattern) in patterns.iter().enumerate() {
+            let mut state = 0u32;
+            for &b in pattern {
+                state = match ac.goto_fn[state as usize].get(&b) {
+                    Some(&next) => next,
+                    None => {
+                        let next = ac.goto_fn.len() as u32;
+                        ac.goto_fn.push(HashMap::new());
+                        ac.fail.push(0);
+                        ac.output.push(Vec::new());
+                        ac.goto_fn[state as usize].insert(b, next);
+                        next
+                    }
+                };
+            }
+            ac.output[state as usize].push(idx as u32);
+        }
+        // Phase 2: failure links (BFS).
+        let mut queue = VecDeque::new();
+        let depth1: Vec<u32> = ac.goto_fn[0].values().copied().collect();
+        for s in depth1 {
+            ac.fail[s as usize] = 0;
+            queue.push_back(s);
+        }
+        while let Some(state) = queue.pop_front() {
+            let transitions: Vec<(u8, u32)> = ac.goto_fn[state as usize]
+                .iter()
+                .map(|(&b, &s)| (b, s))
+                .collect();
+            for (b, next) in transitions {
+                queue.push_back(next);
+                // Follow failures of `state` to find the longest proper
+                // suffix with a `b` transition.
+                let mut f = ac.fail[state as usize];
+                loop {
+                    if let Some(&t) = ac.goto_fn[f as usize].get(&b) {
+                        ac.fail[next as usize] = t;
+                        break;
+                    }
+                    if f == 0 {
+                        ac.fail[next as usize] = 0;
+                        break;
+                    }
+                    f = ac.fail[f as usize];
+                }
+                let inherited = ac.output[ac.fail[next as usize] as usize].clone();
+                ac.output[next as usize].extend(inherited);
+            }
+        }
+        ac
+    }
+
+    /// Number of automaton states.
+    pub fn num_states(&self) -> usize {
+        self.goto_fn.len()
+    }
+
+    /// The patterns this automaton matches.
+    pub fn patterns(&self) -> &[Vec<u8>] {
+        &self.patterns
+    }
+
+    fn step(&self, mut state: u32, b: u8) -> u32 {
+        loop {
+            if let Some(&next) = self.goto_fn[state as usize].get(&b) {
+                return next;
+            }
+            if state == 0 {
+                return 0;
+            }
+            state = self.fail[state as usize];
+        }
+    }
+
+    /// Finds every occurrence of every pattern in `haystack`.
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
+        let mut matches = Vec::new();
+        let mut state = 0u32;
+        for (i, &b) in haystack.iter().enumerate() {
+            state = self.step(state, b);
+            for &p in &self.output[state as usize] {
+                matches.push(Match {
+                    pattern: p,
+                    start: i + 1 - self.patterns[p as usize].len(),
+                });
+            }
+        }
+        matches
+    }
+
+    /// Returns the set of distinct pattern indices present in `haystack`
+    /// (what an IDS verdict needs; cheaper than full match lists).
+    pub fn find_distinct(&self, haystack: &[u8]) -> Vec<u32> {
+        let mut seen = vec![false; self.patterns.len()];
+        let mut state = 0u32;
+        for &b in haystack {
+            state = self.step(state, b);
+            for &p in &self.output[state as usize] {
+                seen[p as usize] = true;
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter_map(|(i, &s)| s.then_some(i as u32))
+            .collect()
+    }
+}
+
+/// The paper's three registered rulesets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RulesetKind {
+    /// `file_image` — image-format signatures.
+    FileImage,
+    /// `file_flash` — Flash/SWF signatures.
+    FileFlash,
+    /// `file_executable` — executable-format signatures.
+    FileExecutable,
+}
+
+impl std::fmt::Display for RulesetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RulesetKind::FileImage => write!(f, "file_image"),
+            RulesetKind::FileFlash => write!(f, "file_flash"),
+            RulesetKind::FileExecutable => write!(f, "file_executable"),
+        }
+    }
+}
+
+impl RulesetKind {
+    /// All three rulesets in paper order.
+    pub const ALL: [RulesetKind; 3] = [
+        RulesetKind::FileImage,
+        RulesetKind::FileFlash,
+        RulesetKind::FileExecutable,
+    ];
+
+    /// The content signatures of this ruleset — real magic bytes and
+    /// protocol markers of the file class, as the Snort registered rules
+    /// carry.
+    pub fn signatures(self) -> Vec<Vec<u8>> {
+        match self {
+            RulesetKind::FileImage => vec![
+                b"\x89PNG\r\n".to_vec(),
+                b"\xFF\xD8\xFF\xE0".to_vec(), // JPEG/JFIF
+                b"\xFF\xD8\xFF\xE1".to_vec(), // JPEG/Exif
+                b"GIF87a".to_vec(),
+                b"GIF89a".to_vec(),
+                b"BM".to_vec(),      // BMP
+                b"II*\x00".to_vec(), // TIFF LE
+                b"MM\x00*".to_vec(), // TIFF BE
+                b"RIFF".to_vec(),
+                b"WEBP".to_vec(),
+            ],
+            RulesetKind::FileFlash => vec![
+                b"FWS".to_vec(),
+                b"CWS".to_vec(),
+                b"ZWS".to_vec(),
+                b"application/x-shockwave-flash".to_vec(),
+                b".swf".to_vec(),
+                b"DefineBits".to_vec(),
+            ],
+            RulesetKind::FileExecutable => vec![
+                b"MZ".to_vec(),
+                b"This program cannot be run in DOS mode".to_vec(),
+                b"\x7FELF".to_vec(),
+                b"PE\x00\x00".to_vec(),
+                b"#!/bin/sh".to_vec(),
+                b"#!/bin/bash".to_vec(),
+                b"\xCA\xFE\xBA\xBE".to_vec(), // Mach-O fat / Java class
+                b".dll".to_vec(),
+                b"kernel32".to_vec(),
+                b"CreateProcess".to_vec(),
+            ],
+        }
+    }
+}
+
+/// A Snort-like detector: a ruleset compiled to an automaton plus alert
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct SnortDetector {
+    kind: RulesetKind,
+    automaton: AhoCorasick,
+    packets_scanned: u64,
+    alerts: u64,
+}
+
+impl SnortDetector {
+    /// Compiles a detector for one ruleset.
+    pub fn new(kind: RulesetKind) -> Self {
+        SnortDetector {
+            kind,
+            automaton: AhoCorasick::new(&kind.signatures()),
+            packets_scanned: 0,
+            alerts: 0,
+        }
+    }
+
+    /// Scans one packet payload; returns the distinct signature indices
+    /// found (empty = clean).
+    pub fn scan(&mut self, payload: &[u8]) -> Vec<u32> {
+        self.packets_scanned += 1;
+        let hits = self.automaton.find_distinct(payload);
+        if !hits.is_empty() {
+            self.alerts += 1;
+        }
+        hits
+    }
+
+    /// Which ruleset this detector runs.
+    pub fn ruleset(&self) -> RulesetKind {
+        self.kind
+    }
+
+    /// `(packets_scanned, packets_alerted)`.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.packets_scanned, self.alerts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_ushers_example() {
+        let ac = AhoCorasick::new(&[
+            b"he".to_vec(),
+            b"she".to_vec(),
+            b"his".to_vec(),
+            b"hers".to_vec(),
+        ]);
+        let hits = ac.find_all(b"ushers");
+        let set: Vec<(u32, usize)> = hits.iter().map(|m| (m.pattern, m.start)).collect();
+        assert!(set.contains(&(1, 1)), "she at 1: {set:?}");
+        assert!(set.contains(&(0, 2)), "he at 2: {set:?}");
+        assert!(set.contains(&(3, 2)), "hers at 2: {set:?}");
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn overlapping_and_nested_patterns() {
+        let ac = AhoCorasick::new(&[b"aa".to_vec(), b"aaa".to_vec()]);
+        let hits = ac.find_all(b"aaaa");
+        // "aa" at 0,1,2 and "aaa" at 0,1.
+        assert_eq!(hits.len(), 5);
+    }
+
+    #[test]
+    fn no_false_positives() {
+        let ac = AhoCorasick::new(&[b"needle".to_vec()]);
+        assert!(ac.find_all(b"haystack without it").is_empty());
+        assert!(ac.find_all(b"").is_empty());
+        assert!(ac.find_all(b"needl").is_empty());
+    }
+
+    #[test]
+    fn find_distinct_deduplicates() {
+        let ac = AhoCorasick::new(&[b"ab".to_vec(), b"cd".to_vec()]);
+        let d = ac.find_distinct(b"ab ab ab cd");
+        assert_eq!(d, vec![0, 1]);
+    }
+
+    #[test]
+    fn matches_against_naive_search() {
+        // Property-style check against a naive matcher on random-ish data.
+        use snicbench_sim::rng::Rng;
+        let mut rng = Rng::new(99);
+        let patterns: Vec<Vec<u8>> = (0..8)
+            .map(|_| {
+                let len = 1 + rng.below(4) as usize;
+                (0..len).map(|_| b'a' + rng.below(3) as u8).collect()
+            })
+            .collect();
+        let ac = AhoCorasick::new(&patterns);
+        let haystack: Vec<u8> = (0..500).map(|_| b'a' + rng.below(3) as u8).collect();
+        let got = {
+            let mut v = ac.find_all(&haystack);
+            v.sort_by_key(|m| (m.start, m.pattern));
+            v.dedup();
+            v
+        };
+        let mut expected = Vec::new();
+        for (pi, p) in patterns.iter().enumerate() {
+            for start in 0..=haystack.len().saturating_sub(p.len()) {
+                if &haystack[start..start + p.len()] == p.as_slice() {
+                    expected.push(Match {
+                        pattern: pi as u32,
+                        start,
+                    });
+                }
+            }
+        }
+        expected.sort_by_key(|m| (m.start, m.pattern));
+        expected.dedup();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn detector_flags_executables() {
+        let mut det = SnortDetector::new(RulesetKind::FileExecutable);
+        let mut payload = b"MZ\x90\x00 some bytes ".to_vec();
+        payload.extend_from_slice(b"This program cannot be run in DOS mode");
+        let hits = det.scan(&payload);
+        assert!(hits.len() >= 2, "hits {hits:?}");
+        assert!(det.scan(b"just text").is_empty());
+        assert_eq!(det.counters(), (2, 1));
+    }
+
+    #[test]
+    fn all_rulesets_compile_and_differ() {
+        let mut state_counts = Vec::new();
+        for kind in RulesetKind::ALL {
+            let det = SnortDetector::new(kind);
+            state_counts.push(det.automaton.num_states());
+        }
+        assert!(state_counts.iter().all(|&c| c > 5));
+        assert_ne!(state_counts[0], state_counts[2]);
+    }
+
+    #[test]
+    fn image_ruleset_catches_png() {
+        let mut det = SnortDetector::new(RulesetKind::FileImage);
+        assert!(!det.scan(b"....\x89PNG\r\n\x1a\n....").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pattern_rejected() {
+        let _ = AhoCorasick::new(&[Vec::new()]);
+    }
+}

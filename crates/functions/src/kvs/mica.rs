@@ -1,0 +1,315 @@
+//! A MICA-style partitioned key-value store (Lim et al., NSDI'14).
+//!
+//! MICA's design points, reproduced here: keys hash to *partitions* (one
+//! per core — no cross-core locking); each partition keeps a lossy,
+//! fixed-size bucketed hash index over a circular append-only log (old
+//! entries are overwritten, reads of evicted items miss); and clients
+//! submit *batches* of requests so per-request overheads amortize. The
+//! paper runs a 100% GET workload with batch sizes 4 and 32.
+
+/// A 64-bit key hash (MICA keys are hashed client-side).
+pub type KeyHash = u64;
+
+/// One GET request in a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetRequest {
+    /// The key's hash.
+    pub key: KeyHash,
+}
+
+/// Result of one GET.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GetResult {
+    /// The value, as stored.
+    Found(Vec<u8>),
+    /// Key absent (never stored, or evicted from the circular log).
+    Miss,
+}
+
+/// Per-store counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MicaStats {
+    /// Successful GETs.
+    pub get_hits: u64,
+    /// Failed GETs.
+    pub get_misses: u64,
+    /// PUTs applied.
+    pub puts: u64,
+    /// Log entries overwritten by the circular log wrapping.
+    pub evictions: u64,
+}
+
+const BUCKET_WAYS: usize = 8;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct IndexEntry {
+    key: KeyHash,
+    // Offset+1 into the partition log; 0 = empty slot.
+    offset_plus_one: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Partition {
+    // Bucketed index: buckets × ways.
+    index: Vec<[IndexEntry; BUCKET_WAYS]>,
+    // Circular log of (key, value) records.
+    log: Vec<Option<(KeyHash, Vec<u8>)>>,
+    head: usize,
+    wrapped: bool,
+}
+
+impl Partition {
+    fn new(buckets: usize, log_slots: usize) -> Self {
+        Partition {
+            index: vec![[IndexEntry::default(); BUCKET_WAYS]; buckets],
+            log: vec![None; log_slots],
+            head: 0,
+            wrapped: false,
+        }
+    }
+
+    fn bucket_of(&self, key: KeyHash) -> usize {
+        (key as usize) % self.index.len()
+    }
+
+    fn put(&mut self, key: KeyHash, value: Vec<u8>, stats: &mut MicaStats) {
+        // Append to the circular log (possibly evicting).
+        if self.wrapped && self.log[self.head].is_some() {
+            stats.evictions += 1;
+        }
+        let offset = self.head;
+        self.log[offset] = Some((key, value));
+        self.head = (self.head + 1) % self.log.len();
+        if self.head == 0 {
+            self.wrapped = true;
+        }
+        // Update the index: reuse the key's slot, else an empty slot, else
+        // displace the oldest entry in the bucket (lossy index).
+        let b = self.bucket_of(key);
+        let bucket = &mut self.index[b];
+        let slot = bucket
+            .iter()
+            .position(|e| e.offset_plus_one != 0 && e.key == key)
+            .or_else(|| bucket.iter().position(|e| e.offset_plus_one == 0))
+            .unwrap_or_else(|| {
+                // Displace the entry whose log offset is farthest behind
+                // the head (oldest data) — the lossy-index trade-off.
+                let head = self.head;
+                let log_len = self.log.len();
+                (0..BUCKET_WAYS)
+                    .max_by_key(|&i| {
+                        let off = bucket[i].offset_plus_one as usize - 1;
+                        (head + log_len - off) % log_len
+                    })
+                    .expect("bucket non-empty")
+            });
+        bucket[slot] = IndexEntry {
+            key,
+            offset_plus_one: offset as u32 + 1,
+        };
+    }
+
+    fn get(&self, key: KeyHash) -> Option<&[u8]> {
+        let b = self.bucket_of(key);
+        for e in &self.index[b] {
+            if e.offset_plus_one != 0 && e.key == key {
+                let off = e.offset_plus_one as usize - 1;
+                if let Some((k, v)) = &self.log[off] {
+                    if *k == key {
+                        return Some(v);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The partitioned store.
+///
+/// # Example
+///
+/// ```
+/// use snicbench_functions::kvs::mica::{GetRequest, GetResult, MicaStore};
+///
+/// let mut store = MicaStore::new(8, 1024, 4096);
+/// store.put(42, b"value".to_vec());
+/// let results = store.get_batch(&[GetRequest { key: 42 }]);
+/// assert_eq!(results[0], GetResult::Found(b"value".to_vec()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MicaStore {
+    partitions: Vec<Partition>,
+    stats: MicaStats,
+}
+
+impl MicaStore {
+    /// Creates a store with `partitions` partitions, each with
+    /// `buckets_per_partition` index buckets and `log_slots_per_partition`
+    /// circular-log slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        partitions: usize,
+        buckets_per_partition: usize,
+        log_slots_per_partition: usize,
+    ) -> Self {
+        assert!(
+            partitions > 0 && buckets_per_partition > 0 && log_slots_per_partition > 0,
+            "dimensions must be positive"
+        );
+        MicaStore {
+            partitions: (0..partitions)
+                .map(|_| Partition::new(buckets_per_partition, log_slots_per_partition))
+                .collect(),
+            stats: MicaStats::default(),
+        }
+    }
+
+    fn partition_of(&self, key: KeyHash) -> usize {
+        // High bits pick the partition (low bits pick the bucket), like
+        // MICA's keyhash split.
+        ((key >> 48) as usize) % self.partitions.len()
+    }
+
+    /// Stores a value.
+    pub fn put(&mut self, key: KeyHash, value: Vec<u8>) {
+        let p = self.partition_of(key);
+        let mut stats = self.stats;
+        self.partitions[p].put(key, value, &mut stats);
+        stats.puts += 1;
+        self.stats = stats;
+    }
+
+    /// Executes a batch of GETs (the MICA client API).
+    pub fn get_batch(&mut self, batch: &[GetRequest]) -> Vec<GetResult> {
+        let mut out = Vec::with_capacity(batch.len());
+        for req in batch {
+            let p = self.partition_of(req.key);
+            match self.partitions[p].get(req.key) {
+                Some(v) => {
+                    self.stats.get_hits += 1;
+                    out.push(GetResult::Found(v.to_vec()));
+                }
+                None => {
+                    self.stats.get_misses += 1;
+                    out.push(GetResult::Miss);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> MicaStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snicbench_sim::rng::Rng;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut s = MicaStore::new(4, 64, 256);
+        for i in 0..100u64 {
+            s.put(i << 32 | i, format!("v{i}").into_bytes());
+        }
+        for i in 0..100u64 {
+            let r = s.get_batch(&[GetRequest { key: i << 32 | i }]);
+            assert_eq!(r[0], GetResult::Found(format!("v{i}").into_bytes()));
+        }
+        assert_eq!(s.stats().get_hits, 100);
+    }
+
+    #[test]
+    fn missing_keys_miss() {
+        let mut s = MicaStore::new(2, 16, 64);
+        let r = s.get_batch(&[GetRequest { key: 12345 }]);
+        assert_eq!(r[0], GetResult::Miss);
+        assert_eq!(s.stats().get_misses, 1);
+    }
+
+    #[test]
+    fn update_supersedes() {
+        let mut s = MicaStore::new(1, 16, 64);
+        s.put(7, b"old".to_vec());
+        s.put(7, b"new".to_vec());
+        let r = s.get_batch(&[GetRequest { key: 7 }]);
+        assert_eq!(r[0], GetResult::Found(b"new".to_vec()));
+    }
+
+    #[test]
+    fn circular_log_evicts_old_data() {
+        let mut s = MicaStore::new(1, 64, 8);
+        for i in 0..32u64 {
+            s.put(i, vec![i as u8]);
+        }
+        assert!(s.stats().evictions > 0, "log must wrap");
+        // The earliest keys are gone; the most recent survive.
+        let recent = s.get_batch(&[GetRequest { key: 31 }]);
+        assert_eq!(recent[0], GetResult::Found(vec![31]));
+        let old = s.get_batch(&[GetRequest { key: 0 }]);
+        assert_eq!(old[0], GetResult::Miss);
+    }
+
+    #[test]
+    fn batch_results_align_with_requests() {
+        let mut s = MicaStore::new(4, 64, 256);
+        s.put(1, b"a".to_vec());
+        s.put(2, b"b".to_vec());
+        let batch = [
+            GetRequest { key: 2 },
+            GetRequest { key: 99 },
+            GetRequest { key: 1 },
+        ];
+        let r = s.get_batch(&batch);
+        assert_eq!(r[0], GetResult::Found(b"b".to_vec()));
+        assert_eq!(r[1], GetResult::Miss);
+        assert_eq!(r[2], GetResult::Found(b"a".to_vec()));
+    }
+
+    #[test]
+    fn keys_spread_over_partitions() {
+        let mut s = MicaStore::new(8, 256, 1024);
+        let mut rng = Rng::new(5);
+        for _ in 0..1000 {
+            s.put(rng.next_u64(), b"x".to_vec());
+        }
+        // All partitions should hold data: check via hits when reading back
+        // is complicated by the lossy index, so check the hash spread.
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[s.partition_of(rng.next_u64())] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn paper_batch_sizes_work() {
+        let mut s = MicaStore::new(8, 1024, 8192);
+        let mut rng = Rng::new(6);
+        let keys: Vec<u64> = (0..1000).map(|_| rng.next_u64()).collect();
+        for &k in &keys {
+            s.put(k, vec![0u8; 64]);
+        }
+        for batch_size in [4usize, 32] {
+            let batch: Vec<GetRequest> = keys
+                .iter()
+                .take(batch_size)
+                .map(|&key| GetRequest { key })
+                .collect();
+            let r = s.get_batch(&batch);
+            assert_eq!(r.len(), batch_size);
+        }
+    }
+}

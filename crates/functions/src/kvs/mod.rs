@@ -1,0 +1,20 @@
+//! Key-value stores (the paper's Redis and MICA benchmarks).
+//!
+//! Two deliberately different designs, matching the systems the paper runs:
+//!
+//! * [`redis`] — a single-namespace in-memory store with TCP-style
+//!   request/response commands (GET/SET/DEL/EXISTS), driven by [`ycsb`]
+//!   workloads A (50/50), B (95/5), and C (100% read) over 30 K × 1 KB
+//!   records, exactly the paper's setup.
+//! * [`mica`] — a MICA-style partitioned store: keys hash to partitions,
+//!   each partition is a lossy hash index over a circular log, and reads
+//!   are batched (the paper evaluates batch sizes 4 and 32).
+//! * [`ycsb`] — the YCSB workload generator (Zipf-0.99 key popularity,
+//!   read/update mixes).
+//! * [`resp`] — the Redis wire protocol (RESP2), so simulated TCP packets
+//!   carry real command bytes.
+
+pub mod mica;
+pub mod redis;
+pub mod resp;
+pub mod ycsb;

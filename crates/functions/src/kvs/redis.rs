@@ -1,0 +1,191 @@
+//! A Redis-like in-memory key-value store.
+//!
+//! Supports the command set the YCSB workloads exercise (GET/SET/DEL/
+//! EXISTS) over binary-safe keys and values, with hit/miss accounting and
+//! memory-use tracking. Single-threaded by design, like a Redis shard.
+
+use std::collections::HashMap;
+
+/// A command for the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Read a key.
+    Get(Vec<u8>),
+    /// Write a key.
+    Set(Vec<u8>, Vec<u8>),
+    /// Delete a key.
+    Del(Vec<u8>),
+    /// Existence check.
+    Exists(Vec<u8>),
+}
+
+/// A command's result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Value for a successful GET.
+    Value(Vec<u8>),
+    /// GET/DEL on a missing key.
+    Nil,
+    /// SET acknowledged.
+    Ok,
+    /// EXISTS / DEL result count (0 or 1).
+    Integer(u64),
+}
+
+/// Operation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// GETs that found the key.
+    pub hits: u64,
+    /// GETs that missed.
+    pub misses: u64,
+    /// SETs applied.
+    pub writes: u64,
+    /// DELs that removed a key.
+    pub deletes: u64,
+}
+
+/// The store.
+///
+/// # Example
+///
+/// ```
+/// use snicbench_functions::kvs::redis::{Command, RedisStore, Reply};
+///
+/// let mut store = RedisStore::new();
+/// store.execute(Command::Set(b"k".to_vec(), b"v".to_vec()));
+/// assert_eq!(store.execute(Command::Get(b"k".to_vec())), Reply::Value(b"v".to_vec()));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RedisStore {
+    map: HashMap<Vec<u8>, Vec<u8>>,
+    stats: StoreStats,
+    value_bytes: u64,
+}
+
+impl RedisStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        RedisStore::default()
+    }
+
+    /// Pre-loads `records` keys (`key{i}`) of `value_size` bytes — the
+    /// paper loads 30 K × 1 KB records before running YCSB.
+    pub fn preloaded(records: usize, value_size: usize) -> Self {
+        let mut store = Self::new();
+        for i in 0..records {
+            let key = format!("key{i}").into_bytes();
+            // Deterministic value content derived from the key index.
+            let value: Vec<u8> = (0..value_size).map(|j| ((i + j) % 251) as u8).collect();
+            store.execute(Command::Set(key, value));
+        }
+        store.stats = StoreStats::default(); // loading doesn't count
+        store
+    }
+
+    /// Executes one command.
+    pub fn execute(&mut self, cmd: Command) -> Reply {
+        match cmd {
+            Command::Get(key) => match self.map.get(&key) {
+                Some(v) => {
+                    self.stats.hits += 1;
+                    Reply::Value(v.clone())
+                }
+                None => {
+                    self.stats.misses += 1;
+                    Reply::Nil
+                }
+            },
+            Command::Set(key, value) => {
+                self.stats.writes += 1;
+                self.value_bytes += value.len() as u64;
+                if let Some(old) = self.map.insert(key, value) {
+                    self.value_bytes -= old.len() as u64;
+                }
+                Reply::Ok
+            }
+            Command::Del(key) => match self.map.remove(&key) {
+                Some(old) => {
+                    self.stats.deletes += 1;
+                    self.value_bytes -= old.len() as u64;
+                    Reply::Integer(1)
+                }
+                None => Reply::Integer(0),
+            },
+            Command::Exists(key) => Reply::Integer(self.map.contains_key(&key) as u64),
+        }
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total bytes of stored values.
+    pub fn value_bytes(&self) -> u64 {
+        self.value_bytes
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_del_exists() {
+        let mut s = RedisStore::new();
+        assert_eq!(s.execute(Command::Get(b"a".to_vec())), Reply::Nil);
+        assert_eq!(
+            s.execute(Command::Set(b"a".to_vec(), b"1".to_vec())),
+            Reply::Ok
+        );
+        assert_eq!(s.execute(Command::Exists(b"a".to_vec())), Reply::Integer(1));
+        assert_eq!(
+            s.execute(Command::Get(b"a".to_vec())),
+            Reply::Value(b"1".to_vec())
+        );
+        assert_eq!(s.execute(Command::Del(b"a".to_vec())), Reply::Integer(1));
+        assert_eq!(s.execute(Command::Del(b"a".to_vec())), Reply::Integer(0));
+        assert_eq!(s.execute(Command::Exists(b"a".to_vec())), Reply::Integer(0));
+    }
+
+    #[test]
+    fn overwrite_updates_byte_accounting() {
+        let mut s = RedisStore::new();
+        s.execute(Command::Set(b"k".to_vec(), vec![0; 100]));
+        assert_eq!(s.value_bytes(), 100);
+        s.execute(Command::Set(b"k".to_vec(), vec![0; 30]));
+        assert_eq!(s.value_bytes(), 30);
+        assert_eq!(s.len(), 1);
+        s.execute(Command::Del(b"k".to_vec()));
+        assert_eq!(s.value_bytes(), 0);
+    }
+
+    #[test]
+    fn preload_matches_paper_shape() {
+        let s = RedisStore::preloaded(30_000, 1024);
+        assert_eq!(s.len(), 30_000);
+        assert_eq!(s.value_bytes(), 30_000 * 1024);
+        let stats = s.stats();
+        assert_eq!(stats.writes, 0, "loading must not count as workload ops");
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut s = RedisStore::preloaded(10, 8);
+        s.execute(Command::Get(b"key3".to_vec()));
+        s.execute(Command::Get(b"missing".to_vec()));
+        let st = s.stats();
+        assert_eq!((st.hits, st.misses), (1, 1));
+    }
+}

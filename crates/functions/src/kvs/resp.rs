@@ -1,0 +1,290 @@
+//! The Redis serialization protocol (RESP2).
+//!
+//! The paper's Redis benchmark is TCP-based: every YCSB operation crosses
+//! the wire as a RESP command and returns as a RESP reply. This module
+//! implements the protocol — command encoding, reply encoding, and an
+//! incremental parser — so simulated packets can carry real Redis bytes
+//! and the byte counts charged to the TCP stack are honest.
+
+use super::redis::{Command, Reply};
+
+/// Errors from parsing RESP bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RespError {
+    /// More bytes are needed (not an error over a stream; retry after the
+    /// next read).
+    Incomplete,
+    /// The bytes violate the protocol.
+    Protocol(&'static str),
+    /// A structurally valid command array that is not a command this store
+    /// implements.
+    UnknownCommand(String),
+}
+
+impl std::fmt::Display for RespError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RespError::Incomplete => write!(f, "incomplete RESP frame"),
+            RespError::Protocol(what) => write!(f, "RESP protocol violation: {what}"),
+            RespError::UnknownCommand(cmd) => write!(f, "unknown command {cmd:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RespError {}
+
+/// Encodes a command as a RESP array of bulk strings (what `redis-cli`
+/// sends).
+pub fn encode_command(cmd: &Command) -> Vec<u8> {
+    let parts: Vec<&[u8]> = match cmd {
+        Command::Get(k) => vec![b"GET", k],
+        Command::Set(k, v) => vec![b"SET", k, v],
+        Command::Del(k) => vec![b"DEL", k],
+        Command::Exists(k) => vec![b"EXISTS", k],
+    };
+    let mut out = format!("*{}\r\n", parts.len()).into_bytes();
+    for p in parts {
+        out.extend_from_slice(format!("${}\r\n", p.len()).as_bytes());
+        out.extend_from_slice(p);
+        out.extend_from_slice(b"\r\n");
+    }
+    out
+}
+
+/// Encodes a reply in RESP2.
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    match reply {
+        Reply::Ok => b"+OK\r\n".to_vec(),
+        Reply::Nil => b"$-1\r\n".to_vec(),
+        Reply::Integer(n) => format!(":{n}\r\n").into_bytes(),
+        Reply::Value(v) => {
+            let mut out = format!("${}\r\n", v.len()).into_bytes();
+            out.extend_from_slice(v);
+            out.extend_from_slice(b"\r\n");
+            out
+        }
+    }
+}
+
+/// Reads one CRLF-terminated line starting at `pos`; returns the line body
+/// and the position after the CRLF.
+fn read_line(buf: &[u8], pos: usize) -> Result<(&[u8], usize), RespError> {
+    let rest = &buf[pos.min(buf.len())..];
+    match rest.windows(2).position(|w| w == b"\r\n") {
+        Some(i) => Ok((&rest[..i], pos + i + 2)),
+        None => Err(RespError::Incomplete),
+    }
+}
+
+fn parse_len(line: &[u8]) -> Result<i64, RespError> {
+    std::str::from_utf8(line)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or(RespError::Protocol("bad length"))
+}
+
+/// Parses one bulk string starting at `pos` (after its `$` marker line has
+/// *not* yet been read). Returns `(bytes, next_pos)`.
+fn parse_bulk(buf: &[u8], pos: usize) -> Result<(Vec<u8>, usize), RespError> {
+    let (line, pos) = read_line(buf, pos)?;
+    if line.first() != Some(&b'$') {
+        return Err(RespError::Protocol("expected bulk string"));
+    }
+    let len = parse_len(&line[1..])?;
+    if len < 0 {
+        return Err(RespError::Protocol("null bulk in command"));
+    }
+    let len = len as usize;
+    if buf.len() < pos + len + 2 {
+        return Err(RespError::Incomplete);
+    }
+    if &buf[pos + len..pos + len + 2] != b"\r\n" {
+        return Err(RespError::Protocol("bulk not CRLF-terminated"));
+    }
+    Ok((buf[pos..pos + len].to_vec(), pos + len + 2))
+}
+
+/// Parses one command frame from the head of `buf`.
+///
+/// Returns the command and the number of bytes consumed.
+///
+/// # Errors
+///
+/// [`RespError::Incomplete`] when the buffer holds only part of a frame;
+/// [`RespError::Protocol`]/[`RespError::UnknownCommand`] on invalid input.
+pub fn parse_command(buf: &[u8]) -> Result<(Command, usize), RespError> {
+    let (line, mut pos) = read_line(buf, 0)?;
+    if line.first() != Some(&b'*') {
+        return Err(RespError::Protocol("expected array"));
+    }
+    let argc = parse_len(&line[1..])?;
+    if !(1..=3).contains(&argc) {
+        return Err(RespError::Protocol("bad argument count"));
+    }
+    let mut args = Vec::with_capacity(argc as usize);
+    for _ in 0..argc {
+        let (arg, next) = parse_bulk(buf, pos)?;
+        args.push(arg);
+        pos = next;
+    }
+    let name = String::from_utf8_lossy(&args[0]).to_ascii_uppercase();
+    let cmd = match (name.as_str(), args.len()) {
+        ("GET", 2) => Command::Get(args.swap_remove(1)),
+        ("DEL", 2) => Command::Del(args.swap_remove(1)),
+        ("EXISTS", 2) => Command::Exists(args.swap_remove(1)),
+        ("SET", 3) => {
+            let value = args.pop().expect("argc 3");
+            let key = args.pop().expect("argc 3");
+            Command::Set(key, value)
+        }
+        _ => return Err(RespError::UnknownCommand(name)),
+    };
+    Ok((cmd, pos))
+}
+
+/// Parses one reply frame from the head of `buf`; returns the reply and
+/// the bytes consumed.
+///
+/// # Errors
+///
+/// [`RespError::Incomplete`] or [`RespError::Protocol`] as for
+/// [`parse_command`].
+pub fn parse_reply(buf: &[u8]) -> Result<(Reply, usize), RespError> {
+    let (line, pos) = read_line(buf, 0)?;
+    match line.first() {
+        Some(b'+') if &line[1..] == b"OK" => Ok((Reply::Ok, pos)),
+        Some(b'+') => Err(RespError::Protocol("unexpected status")),
+        Some(b':') => Ok((
+            Reply::Integer(
+                parse_len(&line[1..])?
+                    .try_into()
+                    .map_err(|_| RespError::Protocol("negative integer reply"))?,
+            ),
+            pos,
+        )),
+        Some(b'$') => {
+            let len = parse_len(&line[1..])?;
+            if len < 0 {
+                return Ok((Reply::Nil, pos));
+            }
+            let len = len as usize;
+            if buf.len() < pos + len + 2 {
+                return Err(RespError::Incomplete);
+            }
+            Ok((Reply::Value(buf[pos..pos + len].to_vec()), pos + len + 2))
+        }
+        _ => Err(RespError::Protocol("unknown reply type")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kvs::redis::RedisStore;
+
+    #[test]
+    fn command_wire_format_matches_redis() {
+        let c = Command::Set(b"key".to_vec(), b"val".to_vec());
+        assert_eq!(
+            encode_command(&c),
+            b"*3\r\n$3\r\nSET\r\n$3\r\nkey\r\n$3\r\nval\r\n".to_vec()
+        );
+        let g = Command::Get(b"k".to_vec());
+        assert_eq!(
+            encode_command(&g),
+            b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n".to_vec()
+        );
+    }
+
+    #[test]
+    fn commands_round_trip() {
+        let cases = vec![
+            Command::Get(b"alpha".to_vec()),
+            Command::Set(b"k".to_vec(), vec![0, 255, 13, 10]), // binary-safe
+            Command::Del(b"".to_vec()),
+            Command::Exists(b"x y".to_vec()),
+        ];
+        for c in cases {
+            let wire = encode_command(&c);
+            let (parsed, consumed) = parse_command(&wire).unwrap();
+            assert_eq!(parsed, c);
+            assert_eq!(consumed, wire.len());
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let cases = vec![
+            Reply::Ok,
+            Reply::Nil,
+            Reply::Integer(42),
+            Reply::Value(b"hello\r\nworld".to_vec()),
+        ];
+        for r in cases {
+            let wire = encode_reply(&r);
+            let (parsed, consumed) = parse_reply(&wire).unwrap();
+            assert_eq!(parsed, r);
+            assert_eq!(consumed, wire.len());
+        }
+    }
+
+    #[test]
+    fn incomplete_frames_ask_for_more() {
+        let wire = encode_command(&Command::Set(b"key".to_vec(), b"value".to_vec()));
+        for cut in 1..wire.len() {
+            assert_eq!(
+                parse_command(&wire[..cut]).unwrap_err(),
+                RespError::Incomplete,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_parse_sequentially() {
+        let mut wire = encode_command(&Command::Get(b"a".to_vec()));
+        wire.extend(encode_command(&Command::Get(b"b".to_vec())));
+        let (first, used) = parse_command(&wire).unwrap();
+        assert_eq!(first, Command::Get(b"a".to_vec()));
+        let (second, used2) = parse_command(&wire[used..]).unwrap();
+        assert_eq!(second, Command::Get(b"b".to_vec()));
+        assert_eq!(used + used2, wire.len());
+    }
+
+    #[test]
+    fn protocol_violations_are_rejected() {
+        assert!(matches!(
+            parse_command(b"+PING\r\n"),
+            Err(RespError::Protocol(_))
+        ));
+        assert!(matches!(
+            parse_command(b"*2\r\n$4\r\nPING\r\n$1\r\nx\r\n"),
+            Err(RespError::UnknownCommand(_))
+        ));
+        assert!(matches!(
+            parse_command(b"*1\r\n:5\r\n"),
+            Err(RespError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn full_wire_session_against_the_store() {
+        // Encode → parse → execute → encode reply → parse reply: the whole
+        // wire path the TCP benchmark exercises.
+        let mut store = RedisStore::new();
+        let script = vec![
+            (Command::Set(b"k".to_vec(), b"v1".to_vec()), Reply::Ok),
+            (Command::Get(b"k".to_vec()), Reply::Value(b"v1".to_vec())),
+            (Command::Del(b"k".to_vec()), Reply::Integer(1)),
+            (Command::Get(b"k".to_vec()), Reply::Nil),
+        ];
+        for (cmd, expected) in script {
+            let wire = encode_command(&cmd);
+            let (parsed, _) = parse_command(&wire).unwrap();
+            let reply = store.execute(parsed);
+            let reply_wire = encode_reply(&reply);
+            let (parsed_reply, _) = parse_reply(&reply_wire).unwrap();
+            assert_eq!(parsed_reply, expected);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! YCSB workload generation (Cooper et al., SoCC'10).
+//!
+//! The paper drives Redis with YCSB workloads A (50% read / 50% update),
+//! B (95% read / 5% update), and C (100% read) over 30 K records of 1 KB,
+//! 10 K operations per run (Sec. 3.4). Key popularity follows YCSB's
+//! default Zipf(0.99) distribution.
+
+use snicbench_sim::dist::Zipf;
+use snicbench_sim::rng::Rng;
+
+use super::redis::Command;
+
+/// The three workloads the paper uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum YcsbWorkload {
+    /// 50% read, 50% update.
+    A,
+    /// 95% read, 5% update.
+    B,
+    /// 100% read.
+    C,
+}
+
+impl std::fmt::Display for YcsbWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            YcsbWorkload::A => write!(f, "workload_a"),
+            YcsbWorkload::B => write!(f, "workload_b"),
+            YcsbWorkload::C => write!(f, "workload_c"),
+        }
+    }
+}
+
+impl YcsbWorkload {
+    /// All three, paper order.
+    pub const ALL: [YcsbWorkload; 3] = [YcsbWorkload::A, YcsbWorkload::B, YcsbWorkload::C];
+
+    /// Fraction of operations that are reads.
+    pub fn read_fraction(self) -> f64 {
+        match self {
+            YcsbWorkload::A => 0.5,
+            YcsbWorkload::B => 0.95,
+            YcsbWorkload::C => 1.0,
+        }
+    }
+}
+
+/// A YCSB operation stream generator.
+#[derive(Debug, Clone)]
+pub struct YcsbGenerator {
+    workload: YcsbWorkload,
+    zipf: Zipf,
+    rng: Rng,
+    value_size: usize,
+    issued_reads: u64,
+    issued_writes: u64,
+}
+
+impl YcsbGenerator {
+    /// YCSB's default Zipf skew.
+    pub const ZIPF_THETA: f64 = 0.99;
+
+    /// Creates a generator over `records` keys with `value_size`-byte
+    /// update payloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is zero.
+    pub fn new(workload: YcsbWorkload, records: u64, value_size: usize, seed: u64) -> Self {
+        assert!(records > 0, "need at least one record");
+        YcsbGenerator {
+            workload,
+            zipf: Zipf::new(records, Self::ZIPF_THETA),
+            rng: Rng::new(seed),
+            value_size,
+            issued_reads: 0,
+            issued_writes: 0,
+        }
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> Command {
+        let key = format!("key{}", self.zipf.sample(&mut self.rng)).into_bytes();
+        if self.rng.chance(self.workload.read_fraction()) {
+            self.issued_reads += 1;
+            Command::Get(key)
+        } else {
+            self.issued_writes += 1;
+            let mut value = vec![0u8; self.value_size];
+            self.rng.fill_bytes(&mut value);
+            Command::Set(key, value)
+        }
+    }
+
+    /// `(reads, writes)` issued so far.
+    pub fn issued(&self) -> (u64, u64) {
+        (self.issued_reads, self.issued_writes)
+    }
+
+    /// The workload this generator runs.
+    pub fn workload(&self) -> YcsbWorkload {
+        self.workload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kvs::redis::RedisStore;
+
+    #[test]
+    fn mixes_match_specification() {
+        for wl in YcsbWorkload::ALL {
+            let mut g = YcsbGenerator::new(wl, 30_000, 1024, 42);
+            for _ in 0..10_000 {
+                g.next_op();
+            }
+            let (reads, writes) = g.issued();
+            let read_frac = reads as f64 / (reads + writes) as f64;
+            assert!(
+                (read_frac - wl.read_fraction()).abs() < 0.02,
+                "{wl}: read fraction {read_frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn workload_c_is_read_only() {
+        let mut g = YcsbGenerator::new(YcsbWorkload::C, 100, 64, 1);
+        for _ in 0..1000 {
+            assert!(matches!(g.next_op(), Command::Get(_)));
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_hot_keys() {
+        let mut g = YcsbGenerator::new(YcsbWorkload::C, 30_000, 64, 2);
+        let mut hot = 0;
+        for _ in 0..10_000 {
+            if let Command::Get(k) = g.next_op() {
+                // "key0".."key9" are the 10 hottest of 30 000 keys.
+                let id: u64 = String::from_utf8(k[3..].to_vec()).unwrap().parse().unwrap();
+                if id < 10 {
+                    hot += 1;
+                }
+            }
+        }
+        // Under uniform access the hottest 10 keys would get ~3 ops.
+        assert!(hot > 500, "hot-key ops {hot}");
+    }
+
+    #[test]
+    fn full_paper_run_against_store() {
+        // The paper's configuration: 30 K records × 1 KB, 10 K operations.
+        let mut store = RedisStore::preloaded(30_000, 1024);
+        let mut g = YcsbGenerator::new(YcsbWorkload::A, 30_000, 1024, 3);
+        for _ in 0..10_000 {
+            store.execute(g.next_op());
+        }
+        let st = store.stats();
+        assert_eq!(st.hits + st.misses + st.writes, 10_000);
+        assert_eq!(st.misses, 0, "all keys were preloaded");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = YcsbGenerator::new(YcsbWorkload::B, 100, 16, 9);
+        let mut b = YcsbGenerator::new(YcsbWorkload::B, 100, 16, 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # snicbench-functions
+//!
+//! From-scratch Rust implementations of the thirteen workload functions the
+//! paper benchmarks (Table 3). These are the *real algorithms*, not stubs:
+//! the simulator assigns platform-specific time to their work, but the work
+//! itself — matching regexes, compressing buffers, hashing, translating
+//! addresses, scoring documents, serving key-value operations — actually
+//! executes and is unit/property-tested for functional correctness.
+//!
+//! | Paper benchmark | Module |
+//! |---|---|
+//! | Redis (+YCSB A/B/C)   | [`kvs::redis`], [`kvs::ycsb`] |
+//! | Snort (3 rulesets)    | [`ids`] (Aho–Corasick multi-pattern IDS) + [`snort_rules`] (clause engine) |
+//! | NAT (10 K / 1 M)      | [`nat`] |
+//! | BM25 (100 / 1 K docs) | [`bm25`] |
+//! | Cryptography (AES / RSA / SHA) | [`crypto`] |
+//! | REM (3 rulesets)      | [`rem`] (regex engine: parser → NFA → DFA) |
+//! | Compression (app/txt) | [`compress`] (LZ77 + canonical Huffman) |
+//! | OvS                   | [`ovs`] (megaflow cache) |
+//! | MICA (batch 4 / 32)   | [`kvs::mica`] |
+//! | fio (NVMe-oF R/W)     | [`storage`] (RAM-disk NVMe-oF target) |
+
+pub mod bm25;
+pub mod compress;
+pub mod crypto;
+pub mod ids;
+pub mod kvs;
+pub mod nat;
+pub mod ovs;
+pub mod rem;
+pub mod snort_rules;
+pub mod storage;

@@ -1,0 +1,265 @@
+//! Network address translation (RFC 1631-style).
+//!
+//! The paper's NAT benchmark (Sec. 3.4) runs a UDP server that, for each
+//! ingress packet, looks up the destination address in a translation table
+//! of 10 K or 1 M randomly generated entries and rewrites it; egress
+//! packets are rewritten in the opposite direction. [`NatTable`] implements
+//! the bidirectional table with hit/miss accounting and dynamic entry
+//! allocation for unknown outbound flows.
+
+use std::collections::HashMap;
+
+use snicbench_sim::rng::Rng;
+
+/// An IPv4 address + port endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Endpoint {
+    /// IPv4 address as a u32.
+    pub addr: u32,
+    /// UDP/TCP port.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Creates an endpoint.
+    pub fn new(addr: u32, port: u16) -> Self {
+        Endpoint { addr, port }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let a = self.addr.to_be_bytes();
+        write!(f, "{}.{}.{}.{}:{}", a[0], a[1], a[2], a[3], self.port)
+    }
+}
+
+/// Lookup statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NatStats {
+    /// Inbound translations that hit an entry.
+    pub inbound_hits: u64,
+    /// Inbound packets with no matching entry (dropped).
+    pub inbound_misses: u64,
+    /// Outbound translations served by existing entries.
+    pub outbound_hits: u64,
+    /// Outbound flows that allocated a new entry.
+    pub outbound_allocs: u64,
+}
+
+/// A bidirectional NAT translation table.
+///
+/// Maps public endpoints to private endpoints (inbound) and private to
+/// public (outbound).
+///
+/// # Example
+///
+/// ```
+/// use snicbench_functions::nat::{Endpoint, NatTable};
+///
+/// let mut nat = NatTable::with_random_entries(1_000, 7);
+/// // Outbound from an unknown private host allocates a public mapping...
+/// let private = Endpoint::new(0x0A00_0001, 5555);
+/// let public = nat.translate_outbound(private).unwrap();
+/// // ...which then translates back on the inbound path.
+/// assert_eq!(nat.translate_inbound(public), Some(private));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NatTable {
+    inbound: HashMap<Endpoint, Endpoint>,
+    outbound: HashMap<Endpoint, Endpoint>,
+    next_public_port: u16,
+    public_addr: u32,
+    stats: NatStats,
+}
+
+impl NatTable {
+    /// The public address the table NATs behind.
+    pub const DEFAULT_PUBLIC_ADDR: u32 = 0xC633_6401; // 198.51.100.1
+
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        NatTable {
+            inbound: HashMap::new(),
+            outbound: HashMap::new(),
+            next_public_port: 20_000,
+            public_addr: Self::DEFAULT_PUBLIC_ADDR,
+            stats: NatStats::default(),
+        }
+    }
+
+    /// Creates a table pre-populated with `n` randomly generated entries
+    /// (the paper's 10 K and 1 M configurations, "the content of which is
+    /// randomly generated").
+    pub fn with_random_entries(n: usize, seed: u64) -> Self {
+        let mut table = Self::new();
+        let mut rng = Rng::new(seed);
+        while table.inbound.len() < n {
+            let public = Endpoint::new(table.public_addr, (1024 + rng.below(60_000)) as u16);
+            let private = Endpoint::new(
+                0x0A00_0000 | rng.below(1 << 24) as u32, // 10.0.0.0/8
+                (1024 + rng.below(60_000)) as u16,
+            );
+            // Skip colliding public ports to keep the mapping bijective.
+            if table.inbound.contains_key(&public) || table.outbound.contains_key(&private) {
+                continue;
+            }
+            table.inbound.insert(public, private);
+            table.outbound.insert(private, public);
+        }
+        table
+    }
+
+    /// Number of active entries.
+    pub fn len(&self) -> usize {
+        self.inbound.len()
+    }
+
+    /// True if no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.inbound.is_empty()
+    }
+
+    /// Translates an inbound (public-side) destination to its private
+    /// endpoint, or `None` if no mapping exists (packet dropped).
+    pub fn translate_inbound(&mut self, public: Endpoint) -> Option<Endpoint> {
+        match self.inbound.get(&public) {
+            Some(&private) => {
+                self.stats.inbound_hits += 1;
+                Some(private)
+            }
+            None => {
+                self.stats.inbound_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Translates an outbound (private-side) source to its public endpoint,
+    /// allocating a new mapping if the flow is unknown. Returns `None` only
+    /// when the port space is exhausted.
+    pub fn translate_outbound(&mut self, private: Endpoint) -> Option<Endpoint> {
+        if let Some(&public) = self.outbound.get(&private) {
+            self.stats.outbound_hits += 1;
+            return Some(public);
+        }
+        // Allocate the next free public port.
+        let start = self.next_public_port;
+        loop {
+            let candidate = Endpoint::new(self.public_addr, self.next_public_port);
+            self.next_public_port = self.next_public_port.wrapping_add(1).max(1024);
+            if let std::collections::hash_map::Entry::Vacant(slot) = self.inbound.entry(candidate) {
+                slot.insert(private);
+                self.outbound.insert(private, candidate);
+                self.stats.outbound_allocs += 1;
+                return Some(candidate);
+            }
+            if self.next_public_port == start {
+                return None; // port space exhausted
+            }
+        }
+    }
+
+    /// Removes the mapping for a private endpoint (connection teardown).
+    pub fn remove(&mut self, private: Endpoint) -> bool {
+        if let Some(public) = self.outbound.remove(&private) {
+            self.inbound.remove(&public);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Lookup statistics.
+    pub fn stats(&self) -> NatStats {
+        self.stats
+    }
+
+    /// Iterates the public endpoints currently mapped (useful for driving
+    /// inbound traffic at known-hit addresses).
+    pub fn public_endpoints(&self) -> impl Iterator<Item = Endpoint> + '_ {
+        self.inbound.keys().copied()
+    }
+}
+
+impl Default for NatTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_population_has_exact_count() {
+        let nat = NatTable::with_random_entries(10_000, 1);
+        assert_eq!(nat.len(), 10_000);
+    }
+
+    #[test]
+    fn inbound_hits_and_misses() {
+        let mut nat = NatTable::with_random_entries(100, 2);
+        let known: Vec<Endpoint> = nat.public_endpoints().take(10).collect();
+        for e in &known {
+            assert!(nat.translate_inbound(*e).is_some());
+        }
+        assert!(nat.translate_inbound(Endpoint::new(1, 1)).is_none());
+        let s = nat.stats();
+        assert_eq!(s.inbound_hits, 10);
+        assert_eq!(s.inbound_misses, 1);
+    }
+
+    #[test]
+    fn outbound_allocation_round_trips() {
+        let mut nat = NatTable::new();
+        let private = Endpoint::new(0x0A01_0203, 4242);
+        let public = nat.translate_outbound(private).unwrap();
+        assert_eq!(public.addr, NatTable::DEFAULT_PUBLIC_ADDR);
+        assert_eq!(nat.translate_inbound(public), Some(private));
+        // Second outbound packet reuses the entry.
+        assert_eq!(nat.translate_outbound(private), Some(public));
+        assert_eq!(nat.stats().outbound_allocs, 1);
+        assert_eq!(nat.stats().outbound_hits, 1);
+    }
+
+    #[test]
+    fn mapping_is_bijective() {
+        let nat = NatTable::with_random_entries(5_000, 3);
+        let mut privates = std::collections::HashSet::new();
+        let mut clone = nat.clone();
+        for public in nat.public_endpoints() {
+            let private = clone.translate_inbound(public).unwrap();
+            assert!(privates.insert(private), "duplicate private {private}");
+        }
+    }
+
+    #[test]
+    fn remove_tears_down_both_directions() {
+        let mut nat = NatTable::new();
+        let private = Endpoint::new(0x0A000001, 1);
+        let public = nat.translate_outbound(private).unwrap();
+        assert!(nat.remove(private));
+        assert!(!nat.remove(private));
+        assert_eq!(nat.translate_inbound(public), None);
+        assert!(nat.is_empty());
+    }
+
+    #[test]
+    fn endpoint_display() {
+        let e = Endpoint::new(0xC0A80101, 80);
+        assert_eq!(e.to_string(), "192.168.1.1:80");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = NatTable::with_random_entries(100, 9);
+        let b = NatTable::with_random_entries(100, 9);
+        let mut ea: Vec<_> = a.public_endpoints().collect();
+        let mut eb: Vec<_> = b.public_endpoints().collect();
+        ea.sort_unstable();
+        eb.sort_unstable();
+        assert_eq!(ea, eb);
+    }
+}

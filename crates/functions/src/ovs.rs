@@ -1,0 +1,293 @@
+//! Open vSwitch-style flow classification (megaflow cache).
+//!
+//! OvS (Pfaff et al., NSDI'15) splits switching into a slow path (full
+//! OpenFlow rule evaluation in the control plane) and a fast path (an
+//! exact-match "megaflow" cache). The paper offloads the OvS *data plane*
+//! to the embedded switch and keeps only the control plane on a CPU
+//! (Sec. 3.4); [`MegaflowCache`] implements the cache + slow-path structure
+//! so both placements can be simulated and the slow-path rate measured.
+
+use std::collections::HashMap;
+
+/// A flow key (5-tuple surrogate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Source address.
+    pub src: u32,
+    /// Destination address.
+    pub dst: u32,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// IP protocol number.
+    pub proto: u8,
+}
+
+/// The action a flow resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowAction {
+    /// Forward out a numbered port.
+    Output(u16),
+    /// Drop the packet.
+    Drop,
+}
+
+/// A slow-path rule: wildcard match on destination prefix, priority ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenFlowRule {
+    /// Destination prefix value.
+    pub dst_prefix: u32,
+    /// Number of significant leading bits in `dst_prefix`.
+    pub prefix_len: u8,
+    /// Higher wins.
+    pub priority: u16,
+    /// Action on match.
+    pub action: FlowAction,
+}
+
+impl OpenFlowRule {
+    fn matches(&self, key: &FlowKey) -> bool {
+        if self.prefix_len == 0 {
+            return true;
+        }
+        let shift = 32 - self.prefix_len as u32;
+        (key.dst >> shift) == (self.dst_prefix >> shift)
+    }
+}
+
+/// Classification statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OvsStats {
+    /// Fast-path (cache) hits.
+    pub cache_hits: u64,
+    /// Slow-path upcalls (cache misses resolved by rule lookup).
+    pub upcalls: u64,
+    /// Packets matching no rule (default drop).
+    pub unmatched: u64,
+    /// Cache entries evicted to make room.
+    pub evictions: u64,
+}
+
+/// The two-tier OvS classifier: exact-match cache over a priority rule set.
+///
+/// # Example
+///
+/// ```
+/// use snicbench_functions::ovs::*;
+///
+/// let mut ovs = MegaflowCache::new(1024);
+/// ovs.add_rule(OpenFlowRule {
+///     dst_prefix: 0x0A000000, prefix_len: 8, priority: 10,
+///     action: FlowAction::Output(1),
+/// });
+/// let key = FlowKey { src: 1, dst: 0x0A000001, src_port: 1, dst_port: 2, proto: 17 };
+/// assert_eq!(ovs.classify(key), FlowAction::Output(1));   // slow path
+/// assert_eq!(ovs.classify(key), FlowAction::Output(1));   // cached
+/// assert_eq!(ovs.stats().cache_hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MegaflowCache {
+    rules: Vec<OpenFlowRule>,
+    cache: HashMap<FlowKey, FlowAction>,
+    // FIFO eviction order (real OvS uses revalidation; FIFO keeps the model
+    // deterministic).
+    insertion_order: std::collections::VecDeque<FlowKey>,
+    capacity: usize,
+    stats: OvsStats,
+}
+
+impl MegaflowCache {
+    /// Creates a classifier whose cache holds `capacity` megaflows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        MegaflowCache {
+            rules: Vec::new(),
+            cache: HashMap::new(),
+            insertion_order: std::collections::VecDeque::new(),
+            capacity,
+            stats: OvsStats::default(),
+        }
+    }
+
+    /// Installs a slow-path rule. Rules are consulted highest priority
+    /// first; insertion order breaks priority ties.
+    pub fn add_rule(&mut self, rule: OpenFlowRule) {
+        assert!(rule.prefix_len <= 32, "prefix length out of range");
+        // Keep sorted by descending priority (stable for ties).
+        let pos = self.rules.partition_point(|r| r.priority >= rule.priority);
+        self.rules.insert(pos, rule);
+        // Installed rules can change classifications: flush the cache, as
+        // real OvS revalidation would.
+        self.cache.clear();
+        self.insertion_order.clear();
+    }
+
+    /// Classifies a packet, consulting the cache first and falling back to
+    /// the rule table (an "upcall").
+    pub fn classify(&mut self, key: FlowKey) -> FlowAction {
+        if let Some(&action) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            return action;
+        }
+        self.stats.upcalls += 1;
+        let action = self
+            .rules
+            .iter()
+            .find(|r| r.matches(&key))
+            .map(|r| r.action)
+            .unwrap_or_else(|| {
+                self.stats.unmatched += 1;
+                FlowAction::Drop
+            });
+        if self.cache.len() >= self.capacity {
+            if let Some(old) = self.insertion_order.pop_front() {
+                self.cache.remove(&old);
+                self.stats.evictions += 1;
+            }
+        }
+        self.cache.insert(key, action);
+        self.insertion_order.push_back(key);
+        action
+    }
+
+    /// Current cache occupancy.
+    pub fn cached_flows(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Number of installed rules.
+    pub fn num_rules(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Classification statistics.
+    pub fn stats(&self) -> OvsStats {
+        self.stats
+    }
+
+    /// Fraction of classifications served by the fast path.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.stats.cache_hits + self.stats.upcalls;
+        if total == 0 {
+            0.0
+        } else {
+            self.stats.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(dst: u32, port: u16) -> FlowKey {
+        FlowKey {
+            src: 0xC0A80001,
+            dst,
+            src_port: 1000,
+            dst_port: port,
+            proto: 17,
+        }
+    }
+
+    #[test]
+    fn priority_ordering_wins() {
+        let mut ovs = MegaflowCache::new(16);
+        ovs.add_rule(OpenFlowRule {
+            dst_prefix: 0,
+            prefix_len: 0,
+            priority: 1,
+            action: FlowAction::Drop,
+        });
+        ovs.add_rule(OpenFlowRule {
+            dst_prefix: 0x0A000000,
+            prefix_len: 8,
+            priority: 100,
+            action: FlowAction::Output(3),
+        });
+        assert_eq!(ovs.classify(key(0x0A010203, 1)), FlowAction::Output(3));
+        assert_eq!(ovs.classify(key(0x0B000000, 1)), FlowAction::Drop);
+    }
+
+    #[test]
+    fn unmatched_defaults_to_drop() {
+        let mut ovs = MegaflowCache::new(16);
+        assert_eq!(ovs.classify(key(1, 1)), FlowAction::Drop);
+        assert_eq!(ovs.stats().unmatched, 1);
+    }
+
+    #[test]
+    fn cache_serves_repeats() {
+        let mut ovs = MegaflowCache::new(16);
+        ovs.add_rule(OpenFlowRule {
+            dst_prefix: 0,
+            prefix_len: 0,
+            priority: 1,
+            action: FlowAction::Output(1),
+        });
+        let k = key(5, 5);
+        ovs.classify(k);
+        for _ in 0..9 {
+            ovs.classify(k);
+        }
+        let s = ovs.stats();
+        assert_eq!(s.upcalls, 1);
+        assert_eq!(s.cache_hits, 9);
+        assert!((ovs.hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_at_capacity() {
+        let mut ovs = MegaflowCache::new(2);
+        ovs.add_rule(OpenFlowRule {
+            dst_prefix: 0,
+            prefix_len: 0,
+            priority: 1,
+            action: FlowAction::Output(1),
+        });
+        ovs.classify(key(1, 1));
+        ovs.classify(key(2, 2));
+        ovs.classify(key(3, 3)); // evicts key(1,1)
+        assert_eq!(ovs.cached_flows(), 2);
+        assert_eq!(ovs.stats().evictions, 1);
+        ovs.classify(key(1, 1)); // miss again
+        assert_eq!(ovs.stats().upcalls, 4);
+    }
+
+    #[test]
+    fn adding_rules_flushes_cache() {
+        let mut ovs = MegaflowCache::new(16);
+        ovs.add_rule(OpenFlowRule {
+            dst_prefix: 0,
+            prefix_len: 0,
+            priority: 1,
+            action: FlowAction::Drop,
+        });
+        let k = key(0x0A000001, 1);
+        assert_eq!(ovs.classify(k), FlowAction::Drop);
+        ovs.add_rule(OpenFlowRule {
+            dst_prefix: 0x0A000000,
+            prefix_len: 8,
+            priority: 50,
+            action: FlowAction::Output(9),
+        });
+        // Without the flush this would return the stale cached Drop.
+        assert_eq!(ovs.classify(k), FlowAction::Output(9));
+    }
+
+    #[test]
+    fn prefix_zero_matches_everything() {
+        let rule = OpenFlowRule {
+            dst_prefix: 0,
+            prefix_len: 0,
+            priority: 1,
+            action: FlowAction::Drop,
+        };
+        assert!(rule.matches(&key(u32::MAX, 9)));
+    }
+}

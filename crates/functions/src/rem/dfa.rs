@@ -1,0 +1,246 @@
+//! Lazy-DFA multi-pattern scanning.
+//!
+//! [`MultiRegex`] wraps the multi-pattern [`Nfa`] with a lazily built DFA:
+//! each distinct set of live NFA states becomes one DFA state, transitions
+//! are constructed on first use and memoized, and every DFA state knows
+//! which pattern ids it accepts. This is the same block-mode architecture
+//! Hyperscan and the BlueField-2 RXP engine present to callers: compile a
+//! ruleset once, stream payloads through, read out matched rule ids.
+
+use std::collections::HashMap;
+
+use super::nfa::{Nfa, RegexError, State};
+
+/// A compiled multi-pattern matcher with a lazy DFA fast path.
+///
+/// # Example
+///
+/// ```
+/// use snicbench_functions::rem::MultiRegex;
+///
+/// let mut re = MultiRegex::compile(&["GET /[a-z]+", "\\d{3}-\\d{4}"]).unwrap();
+/// assert_eq!(re.scan(b"GET /index and call 555-1234"), vec![0, 1]);
+/// assert!(re.scan(b"POST /x").is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiRegex {
+    nfa: Nfa,
+    // DFA state -> 256 transitions (u32::MAX = not yet built).
+    transitions: Vec<[u32; 256]>,
+    // DFA state -> sorted accepting pattern ids.
+    accepts: Vec<Vec<u32>>,
+    // NFA state-set (sorted) -> DFA state id.
+    state_ids: HashMap<Vec<u32>, u32>,
+    // DFA state -> its NFA state-set (needed to build transitions lazily).
+    state_sets: Vec<Vec<u32>>,
+    start: u32,
+}
+
+const UNBUILT: u32 = u32::MAX;
+
+impl MultiRegex {
+    /// Compiles a pattern set. Pattern `i` reports as id `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegexError`] for invalid patterns.
+    pub fn compile(patterns: &[&str]) -> Result<MultiRegex, RegexError> {
+        let nfa = Nfa::compile(patterns)?;
+        let mut re = MultiRegex {
+            nfa,
+            transitions: Vec::new(),
+            accepts: Vec::new(),
+            state_ids: HashMap::new(),
+            state_sets: Vec::new(),
+            start: 0,
+        };
+        // The start DFA state: closure of all pattern starts (unanchored
+        // scanning keeps the start set alive in every state, see `step`).
+        let mut set = Vec::new();
+        let mut seen = vec![false; re.nfa.num_states()];
+        for &s in re.nfa.starts().to_vec().iter() {
+            re.nfa.closure_into(s, &mut set, &mut seen);
+        }
+        re.start = re.intern(set);
+        Ok(re)
+    }
+
+    fn intern(&mut self, mut set: Vec<u32>) -> u32 {
+        set.sort_unstable();
+        set.dedup();
+        if let Some(&id) = self.state_ids.get(&set) {
+            return id;
+        }
+        let id = self.transitions.len() as u32;
+        let accepts: Vec<u32> = set
+            .iter()
+            .filter_map(|&s| match self.nfa.states()[s as usize] {
+                State::Match(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        self.transitions.push([UNBUILT; 256]);
+        self.accepts.push({
+            let mut a = accepts;
+            a.sort_unstable();
+            a.dedup();
+            a
+        });
+        self.state_ids.insert(set.clone(), id);
+        self.state_sets.push(set);
+        id
+    }
+
+    fn step(&mut self, from: u32, byte: u8) -> u32 {
+        let cached = self.transitions[from as usize][byte as usize];
+        if cached != UNBUILT {
+            return cached;
+        }
+        let mut next = Vec::new();
+        let mut seen = vec![false; self.nfa.num_states()];
+        let source = self.state_sets[from as usize].clone();
+        for s in source {
+            if let State::Class(class, target) = &self.nfa.states()[s as usize] {
+                if class.contains(byte) {
+                    let t = *target;
+                    self.nfa.closure_into(t, &mut next, &mut seen);
+                }
+            }
+        }
+        // Unanchored scan: a fresh match attempt starts at every offset.
+        for &s in self.nfa.starts().to_vec().iter() {
+            self.nfa.closure_into(s, &mut next, &mut seen);
+        }
+        let id = self.intern(next);
+        self.transitions[from as usize][byte as usize] = id;
+        id
+    }
+
+    /// Scans `haystack` and returns the sorted distinct ids of all matching
+    /// patterns.
+    pub fn scan(&mut self, haystack: &[u8]) -> Vec<u32> {
+        let mut matched = vec![false; self.nfa.num_patterns()];
+        let mut state = self.start;
+        for &id in &self.accepts[state as usize] {
+            matched[id as usize] = true;
+        }
+        for &b in haystack {
+            state = self.step(state, b);
+            for &id in &self.accepts[state as usize] {
+                matched[id as usize] = true;
+            }
+        }
+        matched
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| m.then_some(i as u32))
+            .collect()
+    }
+
+    /// True if any pattern matches anywhere.
+    pub fn is_match(&mut self, haystack: &[u8]) -> bool {
+        // Cannot early-return via scan (it collects all); do a light pass.
+        let mut state = self.start;
+        if !self.accepts[state as usize].is_empty() {
+            return true;
+        }
+        for &b in haystack {
+            state = self.step(state, b);
+            if !self.accepts[state as usize].is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of DFA states materialized so far.
+    pub fn dfa_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Number of compiled patterns.
+    pub fn num_patterns(&self) -> usize {
+        self.nfa.num_patterns()
+    }
+
+    /// The underlying NFA (reference scanning path).
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snicbench_sim::rng::Rng;
+
+    #[test]
+    fn agrees_with_nfa_on_random_inputs() {
+        let patterns = ["abc", "a(b|c)*d", "[0-9]{2,4}x", "z+", "(foo|bar|baz)qux?"];
+        let mut re = MultiRegex::compile(&patterns).unwrap();
+        let mut rng = Rng::new(7);
+        for _ in 0..300 {
+            let len = rng.below(60) as usize;
+            let input: Vec<u8> = (0..len)
+                .map(|_| {
+                    let alphabet = b"abcdfoqruxz0123 ";
+                    alphabet[rng.below(alphabet.len() as u64) as usize]
+                })
+                .collect();
+            let dfa_result = re.scan(&input);
+            let nfa_result = re.nfa().scan(&input);
+            assert_eq!(
+                dfa_result,
+                nfa_result,
+                "input {:?}",
+                String::from_utf8_lossy(&input)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_basic_patterns() {
+        let mut re = MultiRegex::compile(&["hello", "wor+ld"]).unwrap();
+        assert_eq!(re.scan(b"hello world"), vec![0, 1]);
+        assert_eq!(re.scan(b"worrrrld only"), vec![1]);
+        assert!(re.scan(b"nothing here").is_empty());
+    }
+
+    #[test]
+    fn is_match_early_exits() {
+        let mut re = MultiRegex::compile(&["x"]).unwrap();
+        let mut input = vec![b'y'; 100_000];
+        input[5] = b'x';
+        assert!(re.is_match(&input));
+        assert!(!re.is_match(&vec![b'y'; 1000]));
+    }
+
+    #[test]
+    fn dfa_states_are_memoized() {
+        let mut re = MultiRegex::compile(&["ab", "cd"]).unwrap();
+        re.scan(b"abcdabcdabcd");
+        let after_first = re.dfa_states();
+        re.scan(b"abcdabcdabcdabcdabcd");
+        assert_eq!(re.dfa_states(), after_first, "no new states for same input");
+    }
+
+    #[test]
+    fn binary_patterns() {
+        let mut re = MultiRegex::compile(&["\\x89PNG", "\\xff\\xd8\\xff"]).unwrap();
+        assert_eq!(re.scan(&[0x00, 0x89, b'P', b'N', b'G', 0x00]), vec![0]);
+        assert_eq!(re.scan(&[0xff, 0xd8, 0xff, 0xe0]), vec![1]);
+    }
+
+    #[test]
+    fn empty_haystack() {
+        let mut re = MultiRegex::compile(&["a+"]).unwrap();
+        assert!(re.scan(b"").is_empty());
+        let mut any = MultiRegex::compile(&["a*"]).unwrap();
+        assert_eq!(any.scan(b""), vec![0]);
+    }
+
+    #[test]
+    fn compile_error_surfaces() {
+        assert!(MultiRegex::compile(&["(oops"]).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! Regular-expression matching (the paper's REM benchmark).
+//!
+//! BlueField-2's RXP engine and the host's Hyperscan both answer the same
+//! question: *which of a compiled set of regex rules occur anywhere in this
+//! payload?* This module is a complete from-scratch engine for that
+//! question:
+//!
+//! * [`parser`] — regex syntax → AST (literals, `.`, classes, escapes,
+//!   `*` `+` `?` `{m,n}`, alternation, grouping).
+//! * [`nfa`] — Thompson construction and a Pike-style NFA simulator
+//!   (the always-correct reference path).
+//! * [`dfa`] — lazy-subset-construction DFA over the combined multi-pattern
+//!   NFA (the fast path, Hyperscan-style block-mode scanning).
+//! * [`ruleset`] — the paper's three rule sets (`file_image`, `file_flash`,
+//!   `file_executable`) expressed as regex rules.
+//!
+//! The public entry point is [`MultiRegex`]: compile a set of patterns
+//! once, scan payloads for the set of matching rule ids.
+
+pub mod dfa;
+pub mod nfa;
+pub mod parser;
+pub mod ruleset;
+
+pub use dfa::MultiRegex;
+pub use parser::ParseError;
+pub use ruleset::RemRuleset;

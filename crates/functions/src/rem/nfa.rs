@@ -1,0 +1,447 @@
+//! Thompson NFA construction and Pike-style simulation.
+//!
+//! The NFA is the correctness reference: linear-time, no state explosion,
+//! always right. The DFA in [`dfa`](super::dfa) is the fast path and is
+//! property-tested against this simulator.
+
+use super::parser::{parse, Ast, ByteClass, ParseError};
+
+/// Errors from compiling a pattern set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegexError {
+    /// The pattern failed to parse.
+    Parse(ParseError),
+    /// A bounded repetition was too large to expand.
+    RepetitionTooLarge {
+        /// The offending count.
+        count: u32,
+    },
+}
+
+impl std::fmt::Display for RegexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegexError::Parse(e) => write!(f, "{e}"),
+            RegexError::RepetitionTooLarge { count } => {
+                write!(f, "bounded repetition {count} exceeds the expansion limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+impl From<ParseError> for RegexError {
+    fn from(e: ParseError) -> Self {
+        RegexError::Parse(e)
+    }
+}
+
+/// Largest allowed bounded-repetition count (each copy duplicates states).
+pub const MAX_REPEAT: u32 = 256;
+
+/// One NFA state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum State {
+    /// Consume one byte in the class, go to `next`.
+    Class(ByteClass, u32),
+    /// Epsilon-branch to both targets.
+    Split(u32, u32),
+    /// Accept: pattern `id` has matched.
+    Match(u32),
+}
+
+/// A compiled multi-pattern NFA.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    states: Vec<State>,
+    /// Start state per pattern.
+    starts: Vec<u32>,
+}
+
+/// Placeholder for unpatched transitions.
+const HOLE: u32 = u32::MAX;
+
+/// A fragment under construction: entry state + dangling exits to patch.
+struct Frag {
+    start: u32,
+    /// `(state index, branch)` pairs whose target is still [`HOLE`];
+    /// branch 0 = Class target or Split first, 1 = Split second.
+    outs: Vec<(u32, u8)>,
+}
+
+struct Compiler {
+    states: Vec<State>,
+}
+
+impl Compiler {
+    fn push(&mut self, s: State) -> u32 {
+        self.states.push(s);
+        (self.states.len() - 1) as u32
+    }
+
+    fn patch(&mut self, outs: &[(u32, u8)], target: u32) {
+        for &(idx, branch) in outs {
+            match &mut self.states[idx as usize] {
+                State::Class(_, next) => {
+                    debug_assert_eq!(*next, HOLE);
+                    *next = target;
+                }
+                State::Split(a, b) => {
+                    let slot = if branch == 0 { a } else { b };
+                    debug_assert_eq!(*slot, HOLE);
+                    *slot = target;
+                }
+                State::Match(_) => unreachable!("match states have no exits"),
+            }
+        }
+    }
+
+    fn compile(&mut self, ast: &Ast) -> Result<Frag, RegexError> {
+        match ast {
+            Ast::Empty => {
+                // An epsilon fragment: a split whose both branches dangle to
+                // the same continuation.
+                let s = self.push(State::Split(HOLE, HOLE));
+                // Patch the second branch to the first's eventual target by
+                // listing both; simpler: treat as single dangling exit by
+                // making branch 1 point at branch 0's hole too. To keep the
+                // invariant simple, patch branch 1 to s itself is wrong;
+                // instead, list both exits.
+                Ok(Frag {
+                    start: s,
+                    outs: vec![(s, 0), (s, 1)],
+                })
+            }
+            Ast::Class(c) => {
+                let s = self.push(State::Class(c.clone(), HOLE));
+                Ok(Frag {
+                    start: s,
+                    outs: vec![(s, 0)],
+                })
+            }
+            Ast::Concat(parts) => {
+                let mut iter = parts.iter();
+                let first = iter.next().expect("concat is non-empty");
+                let mut frag = self.compile(first)?;
+                for part in iter {
+                    let next = self.compile(part)?;
+                    self.patch(&frag.outs, next.start);
+                    frag.outs = next.outs;
+                }
+                Ok(frag)
+            }
+            Ast::Alternate(branches) => {
+                let mut starts = Vec::new();
+                let mut outs = Vec::new();
+                for b in branches {
+                    let f = self.compile(b)?;
+                    starts.push(f.start);
+                    outs.extend(f.outs);
+                }
+                // Chain splits over the branch starts.
+                let mut entry = *starts.last().expect("non-empty");
+                for &s in starts.iter().rev().skip(1) {
+                    entry = self.push(State::Split(s, entry));
+                }
+                Ok(Frag { start: entry, outs })
+            }
+            Ast::Repeat { node, min, max } => self.compile_repeat(node, *min, *max),
+        }
+    }
+
+    fn compile_repeat(
+        &mut self,
+        node: &Ast,
+        min: u32,
+        max: Option<u32>,
+    ) -> Result<Frag, RegexError> {
+        if min > MAX_REPEAT || max.unwrap_or(0) > MAX_REPEAT {
+            return Err(RegexError::RepetitionTooLarge {
+                count: min.max(max.unwrap_or(0)),
+            });
+        }
+        match max {
+            None => {
+                // min copies then a star.
+                let star = {
+                    let inner = self.compile(node)?;
+                    let split = self.push(State::Split(inner.start, HOLE));
+                    self.patch(&inner.outs, split);
+                    Frag {
+                        start: split,
+                        outs: vec![(split, 1)],
+                    }
+                };
+                if min == 0 {
+                    return Ok(star);
+                }
+                // Prefix with `min` mandatory copies.
+                let mut frag = self.compile(node)?;
+                for _ in 1..min {
+                    let next = self.compile(node)?;
+                    self.patch(&frag.outs, next.start);
+                    frag.outs = next.outs;
+                }
+                self.patch(&frag.outs, star.start);
+                Ok(Frag {
+                    start: frag.start,
+                    outs: star.outs,
+                })
+            }
+            Some(max) => {
+                // min mandatory copies + (max - min) optional copies.
+                let mut frag: Option<Frag> = None;
+                for _ in 0..min {
+                    let next = self.compile(node)?;
+                    frag = Some(match frag {
+                        None => next,
+                        Some(mut f) => {
+                            self.patch(&f.outs, next.start);
+                            f.outs = next.outs;
+                            f
+                        }
+                    });
+                }
+                let mut optional_outs: Vec<(u32, u8)> = Vec::new();
+                for _ in min..max {
+                    let inner = self.compile(node)?;
+                    let split = self.push(State::Split(inner.start, HOLE));
+                    optional_outs.push((split, 1));
+                    frag = Some(match frag {
+                        None => Frag {
+                            start: split,
+                            outs: inner.outs,
+                        },
+                        Some(mut f) => {
+                            self.patch(&f.outs, split);
+                            f.outs = inner.outs;
+                            f
+                        }
+                    });
+                }
+                match frag {
+                    Some(mut f) => {
+                        f.outs.extend(optional_outs);
+                        Ok(f)
+                    }
+                    None => self.compile(&Ast::Empty), // {0,0}
+                }
+            }
+        }
+    }
+}
+
+impl Nfa {
+    /// Compiles a set of patterns into one multi-pattern NFA; pattern `i`
+    /// reports matches as id `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegexError`] on parse failures or oversized repetitions.
+    pub fn compile(patterns: &[&str]) -> Result<Nfa, RegexError> {
+        let mut c = Compiler { states: Vec::new() };
+        let mut starts = Vec::with_capacity(patterns.len());
+        for (id, pattern) in patterns.iter().enumerate() {
+            let ast = parse(pattern)?;
+            let frag = c.compile(&ast)?;
+            let accept = c.push(State::Match(id as u32));
+            c.patch(&frag.outs, accept);
+            starts.push(frag.start);
+        }
+        Ok(Nfa {
+            states: c.states,
+            starts,
+        })
+    }
+
+    /// Number of NFA states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of patterns.
+    pub fn num_patterns(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The states (for subset construction).
+    pub(crate) fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// The per-pattern start states.
+    pub(crate) fn starts(&self) -> &[u32] {
+        &self.starts
+    }
+
+    /// Adds `state` and everything epsilon-reachable from it to `set`
+    /// (deduplicated via `seen`).
+    pub(crate) fn closure_into(&self, state: u32, set: &mut Vec<u32>, seen: &mut [bool]) {
+        if seen[state as usize] {
+            return;
+        }
+        seen[state as usize] = true;
+        match &self.states[state as usize] {
+            State::Split(a, b) => {
+                let (a, b) = (*a, *b);
+                self.closure_into(a, set, seen);
+                self.closure_into(b, set, seen);
+            }
+            _ => set.push(state),
+        }
+    }
+
+    /// Scans `haystack` unanchored and returns the sorted distinct ids of
+    /// every pattern that occurs anywhere (Pike-VM style, linear time).
+    pub fn scan(&self, haystack: &[u8]) -> Vec<u32> {
+        let mut matched = vec![false; self.starts.len()];
+        let mut current: Vec<u32> = Vec::new();
+        let mut seen = vec![false; self.states.len()];
+        // Seed with all starts (matches may begin at offset 0), noting
+        // empty-pattern matches immediately.
+        for &s in &self.starts {
+            self.closure_into(s, &mut current, &mut seen);
+        }
+        self.harvest(&current, &mut matched);
+        for &b in haystack {
+            let mut next: Vec<u32> = Vec::new();
+            let mut seen_next = vec![false; self.states.len()];
+            for &s in &current {
+                if let State::Class(class, target) = &self.states[s as usize] {
+                    if class.contains(b) {
+                        self.closure_into(*target, &mut next, &mut seen_next);
+                    }
+                }
+            }
+            // Unanchored: a new match attempt can start at the next offset.
+            for &s in &self.starts {
+                self.closure_into(s, &mut next, &mut seen_next);
+            }
+            self.harvest(&next, &mut matched);
+            current = next;
+        }
+        matched
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| m.then_some(i as u32))
+            .collect()
+    }
+
+    fn harvest(&self, set: &[u32], matched: &mut [bool]) {
+        for &s in set {
+            if let State::Match(id) = self.states[s as usize] {
+                matched[id as usize] = true;
+            }
+        }
+    }
+
+    /// True if any pattern matches anywhere in `haystack`.
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        !self.scan(haystack).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(pattern: &str, input: &[u8]) -> bool {
+        Nfa::compile(&[pattern]).unwrap().is_match(input)
+    }
+
+    #[test]
+    fn literal_substring_search() {
+        assert!(scan("abc", b"xxabcxx"));
+        assert!(scan("abc", b"abc"));
+        assert!(!scan("abc", b"ab c"));
+        assert!(!scan("abc", b""));
+    }
+
+    #[test]
+    fn star_and_plus() {
+        assert!(scan("ab*c", b"ac"));
+        assert!(scan("ab*c", b"abbbbc"));
+        assert!(!scan("ab+c", b"ac"));
+        assert!(scan("ab+c", b"abc"));
+    }
+
+    #[test]
+    fn optional_and_bounded() {
+        assert!(scan("colou?r", b"color"));
+        assert!(scan("colou?r", b"colour"));
+        assert!(scan("a{3}", b"xxaaax"));
+        assert!(!scan("a{3}", b"aa"));
+        assert!(scan("a{2,4}b", b"aaab"));
+        assert!(!scan("a{2,4}b", b"ab"));
+        assert!(scan("a{2,}b", b"aaaaaaab"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(scan("cat|dog", b"hotdog"));
+        assert!(scan("(ab)+c", b"zababc"));
+        assert!(!scan("(ab)+c", b"zac"));
+    }
+
+    #[test]
+    fn classes_and_escapes() {
+        assert!(scan("[0-9]+px", b"width: 42px"));
+        assert!(!scan("[0-9]+px", b"width: px"));
+        assert!(scan("\\d\\d:\\d\\d", b"at 12:34 today"));
+        assert!(scan("\\x89PNG", &[0x00, 0x89, b'P', b'N', b'G']));
+        assert!(scan("[^a]b", b"xb"));
+        assert!(!scan("[^a]b", b"ab"));
+    }
+
+    #[test]
+    fn dot_spans_any_byte() {
+        assert!(scan("a.c", b"a\0c"));
+        assert!(scan("a.*z", b"a whole lot of stuff z"));
+    }
+
+    #[test]
+    fn multi_pattern_reports_each_id() {
+        let nfa = Nfa::compile(&["foo", "ba+r", "\\d{3}"]).unwrap();
+        assert_eq!(nfa.num_patterns(), 3);
+        assert_eq!(nfa.scan(b"foo baaar 123"), vec![0, 1, 2]);
+        assert_eq!(nfa.scan(b"only foo"), vec![0]);
+        assert_eq!(nfa.scan(b"nothing"), Vec::<u32>::new());
+        assert_eq!(nfa.scan(b"12 ba r"), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        let nfa = Nfa::compile(&[""]).unwrap();
+        assert!(nfa.is_match(b""));
+        assert!(nfa.is_match(b"anything"));
+    }
+
+    #[test]
+    fn repetition_limit_enforced() {
+        let err = Nfa::compile(&["a{9999}"]).unwrap_err();
+        assert!(matches!(
+            err,
+            RegexError::RepetitionTooLarge { count: 9999 }
+        ));
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(matches!(
+            Nfa::compile(&["(unclosed"]).unwrap_err(),
+            RegexError::Parse(_)
+        ));
+    }
+
+    #[test]
+    fn pathological_pattern_is_linear() {
+        // (a|a)* style patterns blow up backtrackers; Pike-VM is linear.
+        let nfa = Nfa::compile(&["(a|a)*b"]).unwrap();
+        let input = vec![b'a'; 2000];
+        assert!(!nfa.is_match(&input));
+        let mut with_b = input.clone();
+        with_b.push(b'b');
+        assert!(nfa.is_match(&with_b));
+    }
+}

@@ -1,0 +1,551 @@
+//! Regex parsing.
+//!
+//! Supported syntax (a practical subset of PCRE, covering what IDS/file
+//! signatures use):
+//!
+//! * literal bytes; `\xNN` hex escapes; `\n \r \t \\ \. \* \+ \? \( \) \[ \] \| \{ \}`
+//! * `.` (any byte), character classes `[a-z0-9_]`, negated `[^...]`
+//! * escape classes `\d \w \s` (and negations `\D \W \S`), inside and
+//!   outside classes
+//! * postfix `*`, `+`, `?`, bounded `{n}`, `{m,n}`, `{m,}`
+//! * alternation `|`, grouping `( ... )`
+//!
+//! Parsing is recursive descent into [`Ast`]; compilation to an NFA lives
+//! in [`nfa`](super::nfa).
+
+/// A 256-bit byte-set used by classes and `.`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ByteClass {
+    bits: [u64; 4],
+}
+
+impl ByteClass {
+    /// The empty class.
+    pub fn empty() -> Self {
+        ByteClass { bits: [0; 4] }
+    }
+
+    /// The class containing exactly one byte.
+    pub fn single(b: u8) -> Self {
+        let mut c = Self::empty();
+        c.insert(b);
+        c
+    }
+
+    /// The class matching any byte (`.`).
+    pub fn any() -> Self {
+        ByteClass {
+            bits: [u64::MAX; 4],
+        }
+    }
+
+    /// Adds a byte.
+    pub fn insert(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] |= 1 << (b & 63);
+    }
+
+    /// Adds the inclusive range `lo..=hi`.
+    pub fn insert_range(&mut self, lo: u8, hi: u8) {
+        for b in lo..=hi {
+            self.insert(b);
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, b: u8) -> bool {
+        self.bits[(b >> 6) as usize] >> (b & 63) & 1 == 1
+    }
+
+    /// The complement class.
+    pub fn negate(&self) -> ByteClass {
+        ByteClass {
+            bits: [!self.bits[0], !self.bits[1], !self.bits[2], !self.bits[3]],
+        }
+    }
+
+    /// Union with another class.
+    pub fn union(&mut self, other: &ByteClass) {
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Number of bytes in the class.
+    pub fn len(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// True if no byte matches.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+}
+
+/// The regex abstract syntax tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// The empty string.
+    Empty,
+    /// One byte from a class.
+    Class(ByteClass),
+    /// Concatenation of sub-expressions.
+    Concat(Vec<Ast>),
+    /// Alternation between sub-expressions.
+    Alternate(Vec<Ast>),
+    /// `e*` / `e+` / `e?` / `e{m,n}` normalized to `{min, max}` with
+    /// `max == None` meaning unbounded.
+    Repeat {
+        /// The repeated expression.
+        node: Box<Ast>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions (`None` = unbounded).
+        max: Option<u32>,
+    },
+}
+
+/// Errors produced by the parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the pattern where the error was detected.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "regex parse error at {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a pattern into an [`Ast`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed syntax (unbalanced parentheses,
+/// dangling quantifiers, bad escapes, inverted `{m,n}` bounds, ...).
+pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
+    let mut p = Parser {
+        bytes: pattern.as_bytes(),
+        pos: 0,
+    };
+    let ast = p.alternation()?;
+    if p.pos != p.bytes.len() {
+        return Err(p.error("unexpected character"));
+    }
+    Ok(ast)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alternation(&mut self) -> Result<Ast, ParseError> {
+        let mut branches = vec![self.concat()?];
+        while self.eat(b'|') {
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alternate(branches)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Ast, ParseError> {
+        let mut parts = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, ParseError> {
+        let atom = self.atom()?;
+        let (min, max) = match self.peek() {
+            Some(b'*') => {
+                self.pos += 1;
+                (0, None)
+            }
+            Some(b'+') => {
+                self.pos += 1;
+                (1, None)
+            }
+            Some(b'?') => {
+                self.pos += 1;
+                (0, Some(1))
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let bounds = self.bounds()?;
+                (bounds.0, bounds.1)
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(atom, Ast::Empty) {
+            return Err(self.error("quantifier with nothing to repeat"));
+        }
+        if let Some(m) = max {
+            if m < min {
+                return Err(self.error("repetition bounds inverted"));
+            }
+        }
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+        })
+    }
+
+    fn bounds(&mut self) -> Result<(u32, Option<u32>), ParseError> {
+        let min = self.number()?;
+        let result = if self.eat(b',') {
+            if self.peek() == Some(b'}') {
+                (min, None)
+            } else {
+                (min, Some(self.number()?))
+            }
+        } else {
+            (min, Some(min))
+        };
+        if !self.eat(b'}') {
+            return Err(self.error("expected '}'"));
+        }
+        Ok(result)
+    }
+
+    fn number(&mut self) -> Result<u32, ParseError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected a number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are UTF-8")
+            .parse()
+            .map_err(|_| self.error("repetition count too large"))
+    }
+
+    fn atom(&mut self) -> Result<Ast, ParseError> {
+        match self.bump() {
+            Some(b'(') => {
+                let inner = self.alternation()?;
+                if !self.eat(b')') {
+                    return Err(self.error("expected ')'"));
+                }
+                Ok(inner)
+            }
+            Some(b'.') => Ok(Ast::Class(ByteClass::any())),
+            Some(b'[') => self.class(),
+            Some(b'\\') => Ok(Ast::Class(self.escape()?)),
+            Some(b) if !b"*+?{".contains(&b) => Ok(Ast::Class(ByteClass::single(b))),
+            Some(_) => {
+                self.pos -= 1;
+                Err(self.error("dangling quantifier"))
+            }
+            None => Err(self.error("unexpected end of pattern")),
+        }
+    }
+
+    fn escape(&mut self) -> Result<ByteClass, ParseError> {
+        let Some(b) = self.bump() else {
+            return Err(self.error("dangling escape"));
+        };
+        let class = match b {
+            b'd' => digit_class(),
+            b'D' => digit_class().negate(),
+            b'w' => word_class(),
+            b'W' => word_class().negate(),
+            b's' => space_class(),
+            b'S' => space_class().negate(),
+            b'n' => ByteClass::single(b'\n'),
+            b'r' => ByteClass::single(b'\r'),
+            b't' => ByteClass::single(b'\t'),
+            b'0' => ByteClass::single(0),
+            b'x' => {
+                let hi = self.hex_digit()?;
+                let lo = self.hex_digit()?;
+                ByteClass::single(hi * 16 + lo)
+            }
+            // Any punctuation escape is the literal byte.
+            b if b.is_ascii_punctuation() => ByteClass::single(b),
+            _ => return Err(self.error("unknown escape")),
+        };
+        Ok(class)
+    }
+
+    fn hex_digit(&mut self) -> Result<u8, ParseError> {
+        match self.bump().and_then(|b| (b as char).to_digit(16)) {
+            Some(d) => Ok(d as u8),
+            None => Err(self.error("expected hex digit")),
+        }
+    }
+
+    fn class(&mut self) -> Result<Ast, ParseError> {
+        let negated = self.eat(b'^');
+        let mut class = ByteClass::empty();
+        let mut first = true;
+        loop {
+            let Some(b) = self.bump() else {
+                return Err(self.error("unterminated class"));
+            };
+            match b {
+                b']' if !first => break,
+                b'\\' => {
+                    let c = self.escape()?;
+                    // An escaped single byte can open a range: [\x01-\x20].
+                    match self.single_byte_of(&c) {
+                        Some(lo) if self.range_follows() => {
+                            self.insert_class_range(&mut class, lo)?;
+                        }
+                        _ => class.union(&c),
+                    }
+                }
+                lo => {
+                    if self.range_follows() {
+                        self.insert_class_range(&mut class, lo)?;
+                    } else {
+                        class.insert(lo);
+                    }
+                }
+            }
+            first = false;
+        }
+        if class.is_empty() {
+            return Err(self.error("empty class"));
+        }
+        Ok(Ast::Class(if negated { class.negate() } else { class }))
+    }
+
+    /// True if the cursor sits on `-` followed by a range upper endpoint
+    /// (i.e. not the closing `]`).
+    fn range_follows(&self) -> bool {
+        self.peek() == Some(b'-') && self.bytes.get(self.pos + 1).is_some_and(|&n| n != b']')
+    }
+
+    /// If `c` contains exactly one byte, returns it.
+    fn single_byte_of(&self, c: &ByteClass) -> Option<u8> {
+        if c.len() == 1 {
+            (0..=255u8).find(|&x| c.contains(x))
+        } else {
+            None
+        }
+    }
+
+    /// Consumes `-<hi>` and inserts `lo..=hi` into `class`.
+    fn insert_class_range(&mut self, class: &mut ByteClass, lo: u8) -> Result<(), ParseError> {
+        self.pos += 1; // consume '-'
+        let hi = match self.bump().expect("range_follows checked a byte exists") {
+            b'\\' => {
+                let c = self.escape()?;
+                self.single_byte_of(&c)
+                    .ok_or_else(|| self.error("class range endpoint must be a single byte"))?
+            }
+            raw => raw,
+        };
+        if hi < lo {
+            return Err(self.error("class range inverted"));
+        }
+        class.insert_range(lo, hi);
+        Ok(())
+    }
+}
+
+fn digit_class() -> ByteClass {
+    let mut c = ByteClass::empty();
+    c.insert_range(b'0', b'9');
+    c
+}
+
+fn word_class() -> ByteClass {
+    let mut c = digit_class();
+    c.insert_range(b'a', b'z');
+    c.insert_range(b'A', b'Z');
+    c.insert(b'_');
+    c
+}
+
+fn space_class() -> ByteClass {
+    let mut c = ByteClass::empty();
+    for b in [b' ', b'\t', b'\n', b'\r', 0x0B, 0x0C] {
+        c.insert(b);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_concat() {
+        let ast = parse("abc").unwrap();
+        match ast {
+            Ast::Concat(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected concat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantifiers_normalize() {
+        for (pat, min, max) in [("a*", 0, None), ("a+", 1, None), ("a?", 0, Some(1))] {
+            match parse(pat).unwrap() {
+                Ast::Repeat { min: m, max: x, .. } => {
+                    assert_eq!((m, x), (min, max), "{pat}");
+                }
+                other => panic!("{pat}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_repetitions() {
+        match parse("a{3}").unwrap() {
+            Ast::Repeat { min, max, .. } => assert_eq!((min, max), (3, Some(3))),
+            other => panic!("{other:?}"),
+        }
+        match parse("a{2,5}").unwrap() {
+            Ast::Repeat { min, max, .. } => assert_eq!((min, max), (2, Some(5))),
+            other => panic!("{other:?}"),
+        }
+        match parse("a{2,}").unwrap() {
+            Ast::Repeat { min, max, .. } => assert_eq!((min, max), (2, None)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        match parse("ab|cd|(ef)+").unwrap() {
+            Ast::Alternate(branches) => assert_eq!(branches.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn classes() {
+        match parse("[a-z0-9_]").unwrap() {
+            Ast::Class(c) => {
+                assert!(c.contains(b'm') && c.contains(b'5') && c.contains(b'_'));
+                assert!(!c.contains(b'A'));
+                assert_eq!(c.len(), 37);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse("[^\\d]").unwrap() {
+            Ast::Class(c) => {
+                assert!(!c.contains(b'3'));
+                assert!(c.contains(b'x'));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_with_literal_dash_and_bracket() {
+        match parse("[a-]").unwrap() {
+            Ast::Class(c) => {
+                assert!(c.contains(b'a') && c.contains(b'-'));
+                assert_eq!(c.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        // First position ']' is a literal.
+        match parse("[]a]").unwrap() {
+            Ast::Class(c) => assert!(c.contains(b']') && c.contains(b'a')),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn hex_and_control_escapes() {
+        match parse("\\x89\\n").unwrap() {
+            Ast::Concat(parts) => {
+                match &parts[0] {
+                    Ast::Class(c) => assert!(c.contains(0x89)),
+                    other => panic!("{other:?}"),
+                }
+                match &parts[1] {
+                    Ast::Class(c) => assert!(c.contains(b'\n')),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dot_matches_everything() {
+        match parse(".").unwrap() {
+            Ast::Class(c) => assert_eq!(c.len(), 256),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        for (pat, expect) in [
+            ("(ab", "expected ')'"),
+            ("a{5,2}", "inverted"),
+            ("*a", "dangling quantifier"),
+            ("[", "unterminated"),
+            ("a\\", "dangling escape"),
+            ("a{x}", "expected a number"),
+            ("[z-a]", "range inverted"),
+        ] {
+            let err = parse(pat).unwrap_err();
+            assert!(err.message.contains(expect), "{pat}: got {:?}", err.message);
+        }
+    }
+
+    #[test]
+    fn empty_pattern_is_empty_ast() {
+        assert_eq!(parse("").unwrap(), Ast::Empty);
+    }
+}

@@ -1,0 +1,146 @@
+//! The paper's REM rule sets.
+//!
+//! The paper programs the RXP accelerator and Hyperscan with three rule
+//! sets from the Snort registered rules (`file_image`, `file_flash`,
+//! `file_executable`, Sec. 3.4). The registered rules are license-gated;
+//! these sets reproduce their *shape* — per-file-class magic-byte and
+//! structure regexes of comparable count and complexity — which is what
+//! drives matcher performance.
+
+use super::dfa::MultiRegex;
+use super::nfa::RegexError;
+
+/// Which rule set to compile (mirrors
+/// [`ids::RulesetKind`](crate::ids::RulesetKind) but with regex rules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RemRuleset {
+    /// `file_image`.
+    FileImage,
+    /// `file_flash`.
+    FileFlash,
+    /// `file_executable`.
+    FileExecutable,
+}
+
+impl std::fmt::Display for RemRuleset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemRuleset::FileImage => write!(f, "file_image"),
+            RemRuleset::FileFlash => write!(f, "file_flash"),
+            RemRuleset::FileExecutable => write!(f, "file_executable"),
+        }
+    }
+}
+
+impl RemRuleset {
+    /// All three rule sets, in paper order.
+    pub const ALL: [RemRuleset; 3] = [
+        RemRuleset::FileImage,
+        RemRuleset::FileFlash,
+        RemRuleset::FileExecutable,
+    ];
+
+    /// The regex rules of this set.
+    pub fn rules(self) -> Vec<&'static str> {
+        match self {
+            RemRuleset::FileImage => vec![
+                "\\x89PNG\\r\\n",
+                "\\xff\\xd8\\xff(\\xe0|\\xe1|\\xdb)",
+                "GIF8(7|9)a",
+                "BM.{8}",
+                "II\\*\\x00",
+                "MM\\x00\\*",
+                "RIFF....WEBP",
+                "\\x00\\x00\\x01\\x00.\\x00", // ICO
+                "8BPS\\x00\\x01",             // PSD
+                "(image|img)/(png|jpe?g|gif|webp)",
+            ],
+            RemRuleset::FileFlash => vec![
+                "(F|C|Z)WS[\\x01-\\x20]",
+                "application/x-shockwave-flash",
+                "\\.swf(\\?|\"|')?",
+                "DefineBits(JPEG|Lossless)?2?",
+                "ActionScript[23]?",
+                "flash\\.(display|events|net)",
+            ],
+            RemRuleset::FileExecutable => vec![
+                "MZ.{50,120}This program cannot be run in DOS mode",
+                "\\x7fELF[\\x01\\x02][\\x01\\x02]",
+                "PE\\x00\\x00(\\x4c\\x01|\\x64\\x86)",
+                "#!/bin/(ba|z|da)?sh",
+                "\\xca\\xfe\\xba\\xbe",
+                "(kernel|user|advapi)32\\.dll",
+                "(Create|Open)Process[AW]?",
+                "VirtualAlloc(Ex)?",
+                "powershell(\\.exe)? -e[nc]*",
+                "\\\\x[0-9a-f]{2}\\\\x[0-9a-f]{2}", // embedded shellcode escapes
+            ],
+        }
+    }
+
+    /// Compiles this rule set into a multi-pattern matcher.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegexError`] only if the bundled rules are malformed
+    /// (covered by tests, so practically infallible).
+    pub fn compile(self) -> Result<MultiRegex, RegexError> {
+        MultiRegex::compile(&self.rules())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rulesets_compile() {
+        for rs in RemRuleset::ALL {
+            let re = rs.compile().unwrap_or_else(|e| panic!("{rs}: {e}"));
+            assert!(re.num_patterns() >= 6, "{rs} too small");
+        }
+    }
+
+    #[test]
+    fn image_rules_hit_png_and_jpeg() {
+        let mut re = RemRuleset::FileImage.compile().unwrap();
+        let png = [0x89, b'P', b'N', b'G', b'\r', b'\n', 0x1a, 0x0a];
+        assert!(!re.scan(&png).is_empty());
+        let jpeg = [0xff, 0xd8, 0xff, 0xe0, 0x00, 0x10];
+        assert!(!re.scan(&jpeg).is_empty());
+        assert!(re.scan(b"plain text payload").is_empty());
+    }
+
+    #[test]
+    fn flash_rules_hit_swf() {
+        let mut re = RemRuleset::FileFlash.compile().unwrap();
+        assert!(!re.scan(b"CWS\x08 compressed swf body").is_empty());
+        assert!(!re
+            .scan(b"Content-Type: application/x-shockwave-flash")
+            .is_empty());
+        assert!(re.scan(b"CWS~ wrong version byte").is_empty());
+    }
+
+    #[test]
+    fn executable_rules_hit_pe_and_elf() {
+        let mut re = RemRuleset::FileExecutable.compile().unwrap();
+        let mut pe = b"MZ".to_vec();
+        pe.extend(vec![0x90; 60]);
+        pe.extend_from_slice(b"This program cannot be run in DOS mode");
+        assert!(!re.scan(&pe).is_empty());
+        assert!(!re.scan(&[0x7f, b'E', b'L', b'F', 0x02, 0x01]).is_empty());
+        assert!(!re
+            .scan(b"loads kernel32.dll then CreateProcessW")
+            .is_empty());
+        assert!(re.scan(b"innocent document").is_empty());
+    }
+
+    #[test]
+    fn rulesets_are_distinct() {
+        let mut img = RemRuleset::FileImage.compile().unwrap();
+        let mut exe = RemRuleset::FileExecutable.compile().unwrap();
+        let elf = [0x7f, b'E', b'L', b'F', 0x01, 0x01];
+        assert!(img.scan(&elf).is_empty());
+        assert!(!exe.scan(&elf).is_empty());
+    }
+}

@@ -1,0 +1,326 @@
+//! Snort-style rule evaluation on top of the multi-pattern matcher.
+//!
+//! Real Snort rules are more than content strings: each rule carries one
+//! or more `content` clauses with positional modifiers (`offset`, `depth`,
+//! `distance`) and an action. The engine runs one Aho–Corasick pass over
+//! the payload for *all* contents of *all* rules, then evaluates each
+//! rule's clause structure against the match positions — exactly the
+//! two-phase architecture Snort's fast pattern matcher uses.
+
+use std::collections::HashMap;
+
+use crate::ids::AhoCorasick;
+
+/// What a matched rule asks the sensor to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleAction {
+    /// Log and raise an alert.
+    Alert,
+    /// Silently drop the packet (inline/IPS mode).
+    Drop,
+    /// Explicitly allow (whitelist overrides).
+    Pass,
+}
+
+/// One `content` clause with Snort's positional modifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContentClause {
+    /// The bytes that must appear.
+    pub content: Vec<u8>,
+    /// Match must start at or after this payload offset.
+    pub offset: usize,
+    /// If set, the match must start within `depth` bytes of `offset`.
+    pub depth: Option<usize>,
+    /// If set, the match must start at least `distance` bytes after the
+    /// end of the previous clause's match.
+    pub distance: Option<usize>,
+}
+
+impl ContentClause {
+    /// A clause matching `content` anywhere.
+    pub fn anywhere(content: &[u8]) -> Self {
+        ContentClause {
+            content: content.to_vec(),
+            offset: 0,
+            depth: None,
+            distance: None,
+        }
+    }
+}
+
+/// A rule: ordered content clauses plus an action and identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnortRule {
+    /// Snort rule id (`sid`).
+    pub sid: u32,
+    /// Human-readable message.
+    pub msg: &'static str,
+    /// What to do on match.
+    pub action: RuleAction,
+    /// All clauses must match, in order, respecting `distance`.
+    pub contents: Vec<ContentClause>,
+}
+
+/// Per-engine counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuleEngineStats {
+    /// Payloads evaluated.
+    pub scanned: u64,
+    /// Payloads that matched at least one alert/drop rule.
+    pub flagged: u64,
+    /// Payloads dropped (a Drop rule matched and no Pass rule did).
+    pub dropped: u64,
+}
+
+/// The verdict for one payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// `sid`s of every matching rule.
+    pub matched_sids: Vec<u32>,
+    /// The effective action (Pass overrides Drop overrides Alert).
+    pub action: Option<RuleAction>,
+}
+
+/// A compiled rule set.
+#[derive(Debug, Clone)]
+pub struct RuleEngine {
+    rules: Vec<SnortRule>,
+    matcher: AhoCorasick,
+    // pattern index -> (rule index, clause index)
+    pattern_owner: Vec<(usize, usize)>,
+    stats: RuleEngineStats,
+}
+
+impl RuleEngine {
+    /// Compiles a rule set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rule has no content clauses (uncompilable in Snort
+    /// too) or an empty content string.
+    pub fn new(rules: Vec<SnortRule>) -> Self {
+        assert!(
+            rules.iter().all(|r| !r.contents.is_empty()),
+            "rules need at least one content clause"
+        );
+        let mut patterns = Vec::new();
+        let mut pattern_owner = Vec::new();
+        for (ri, rule) in rules.iter().enumerate() {
+            for (ci, clause) in rule.contents.iter().enumerate() {
+                patterns.push(clause.content.clone());
+                pattern_owner.push((ri, ci));
+            }
+        }
+        RuleEngine {
+            matcher: AhoCorasick::new(&patterns),
+            rules,
+            pattern_owner,
+            stats: RuleEngineStats::default(),
+        }
+    }
+
+    /// Evaluates one payload.
+    pub fn evaluate(&mut self, payload: &[u8]) -> Verdict {
+        self.stats.scanned += 1;
+        // Phase 1: one multi-pattern pass collecting start positions per
+        // (rule, clause).
+        let mut positions: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        for m in self.matcher.find_all(payload) {
+            let owner = self.pattern_owner[m.pattern as usize];
+            positions.entry(owner).or_default().push(m.start);
+        }
+        // Phase 2: clause logic per rule.
+        let mut matched_sids = Vec::new();
+        let mut effective: Option<RuleAction> = None;
+        for (ri, rule) in self.rules.iter().enumerate() {
+            if Self::rule_matches(rule, ri, &positions) {
+                matched_sids.push(rule.sid);
+                effective = Some(match (effective, rule.action) {
+                    // Pass wins, then Drop, then Alert.
+                    (Some(RuleAction::Pass), _) | (_, RuleAction::Pass) => RuleAction::Pass,
+                    (Some(RuleAction::Drop), _) | (_, RuleAction::Drop) => RuleAction::Drop,
+                    _ => RuleAction::Alert,
+                });
+            }
+        }
+        if matched_sids.iter().any(|sid| {
+            self.rules
+                .iter()
+                .any(|r| r.sid == *sid && r.action != RuleAction::Pass)
+        }) {
+            self.stats.flagged += 1;
+        }
+        if effective == Some(RuleAction::Drop) {
+            self.stats.dropped += 1;
+        }
+        Verdict {
+            matched_sids,
+            action: effective,
+        }
+    }
+
+    /// Checks one rule's clause chain against the collected positions.
+    fn rule_matches(
+        rule: &SnortRule,
+        rule_idx: usize,
+        positions: &HashMap<(usize, usize), Vec<usize>>,
+    ) -> bool {
+        // Greedy left-to-right: for each clause take the earliest match
+        // satisfying its constraints relative to the previous clause's end.
+        let mut min_start = 0usize;
+        for (ci, clause) in rule.contents.iter().enumerate() {
+            let Some(starts) = positions.get(&(rule_idx, ci)) else {
+                return false;
+            };
+            let lower = match clause.distance {
+                Some(d) => min_start.saturating_add(d),
+                None => 0,
+            }
+            .max(clause.offset);
+            let upper = clause.depth.map(|d| clause.offset.saturating_add(d));
+            let hit = starts
+                .iter()
+                .copied()
+                .filter(|&s| s >= lower && upper.is_none_or(|u| s < u))
+                .min();
+            match hit {
+                Some(s) => min_start = s + clause.content.len(),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Number of compiled rules.
+    pub fn num_rules(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> RuleEngineStats {
+        self.stats
+    }
+}
+
+/// A small realistic demo rule set exercising every modifier.
+pub fn demo_rules() -> Vec<SnortRule> {
+    vec![
+        SnortRule {
+            sid: 1_000_001,
+            msg: "EXE download: MZ header followed by DOS stub",
+            action: RuleAction::Alert,
+            contents: vec![
+                ContentClause {
+                    content: b"MZ".to_vec(),
+                    offset: 0,
+                    depth: Some(4),
+                    distance: None,
+                },
+                ContentClause {
+                    content: b"This program cannot be run in DOS mode".to_vec(),
+                    offset: 0,
+                    depth: None,
+                    distance: Some(30),
+                },
+            ],
+        },
+        SnortRule {
+            sid: 1_000_002,
+            msg: "shellcode staging marker",
+            action: RuleAction::Drop,
+            contents: vec![ContentClause::anywhere(b"\x90\x90\x90\x90")],
+        },
+        SnortRule {
+            sid: 1_000_003,
+            msg: "allow signed updater",
+            action: RuleAction::Pass,
+            contents: vec![ContentClause::anywhere(b"TRUSTED-UPDATER-V2")],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exe_payload(stub_gap: usize) -> Vec<u8> {
+        let mut p = b"MZ".to_vec();
+        p.extend(vec![0u8; stub_gap]);
+        p.extend_from_slice(b"This program cannot be run in DOS mode");
+        p.extend(vec![0u8; 32]);
+        p
+    }
+
+    #[test]
+    fn multi_clause_rule_matches_in_order() {
+        let mut engine = RuleEngine::new(demo_rules());
+        let verdict = engine.evaluate(&exe_payload(60));
+        assert_eq!(verdict.matched_sids, vec![1_000_001]);
+        assert_eq!(verdict.action, Some(RuleAction::Alert));
+    }
+
+    #[test]
+    fn distance_constraint_rejects_close_matches() {
+        let mut engine = RuleEngine::new(demo_rules());
+        // The DOS stub appears only 10 bytes after MZ: distance(30) fails.
+        let verdict = engine.evaluate(&exe_payload(10));
+        assert!(verdict.matched_sids.is_empty());
+    }
+
+    #[test]
+    fn offset_depth_anchor_the_first_clause() {
+        let mut engine = RuleEngine::new(demo_rules());
+        // MZ not at the start: depth(4) from offset 0 rejects it.
+        let mut p = vec![0u8; 16];
+        p.extend(exe_payload(60));
+        assert!(engine.evaluate(&p).matched_sids.is_empty());
+    }
+
+    #[test]
+    fn drop_beats_alert_and_pass_beats_drop() {
+        let mut engine = RuleEngine::new(demo_rules());
+        let mut payload = exe_payload(60);
+        payload.extend_from_slice(b"\x90\x90\x90\x90");
+        let v = engine.evaluate(&payload);
+        assert_eq!(v.action, Some(RuleAction::Drop));
+        payload.extend_from_slice(b"TRUSTED-UPDATER-V2");
+        let v = engine.evaluate(&payload);
+        assert_eq!(v.action, Some(RuleAction::Pass));
+        // Drop counter only moved for the first payload.
+        assert_eq!(engine.stats().dropped, 1);
+    }
+
+    #[test]
+    fn clean_traffic_matches_nothing() {
+        let mut engine = RuleEngine::new(demo_rules());
+        let v = engine.evaluate(b"an entirely ordinary request body");
+        assert!(v.matched_sids.is_empty());
+        assert_eq!(v.action, None);
+        let s = engine.stats();
+        assert_eq!((s.scanned, s.flagged, s.dropped), (1, 0, 0));
+    }
+
+    #[test]
+    fn overlapping_candidates_pick_earliest_legal() {
+        // Two MZ occurrences; only the in-depth one can anchor the rule.
+        let mut engine = RuleEngine::new(demo_rules());
+        let mut p = b"MZ??".to_vec();
+        p.extend(vec![0u8; 56]);
+        p.extend_from_slice(b"MZ");
+        p.extend_from_slice(b"This program cannot be run in DOS mode");
+        // First MZ at 0 (legal anchor); stub starts at 60 >= 0+2+30 ✓.
+        let v = engine.evaluate(&p);
+        assert_eq!(v.matched_sids, vec![1_000_001]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one content")]
+    fn empty_rule_rejected() {
+        RuleEngine::new(vec![SnortRule {
+            sid: 1,
+            msg: "bad",
+            action: RuleAction::Alert,
+            contents: vec![],
+        }]);
+    }
+}

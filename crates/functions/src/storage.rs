@@ -1,0 +1,358 @@
+//! Remote storage access (the paper's fio / NVMe-oF benchmark).
+//!
+//! The paper's setup (Sec. 3.4): the server runs fio against a remote
+//! storage server over NVMe-oF/RDMA; the storage server backs the
+//! namespace with a 16 GB RAMDisk; requests are 64 KB block I/Os at queue
+//! depth 4. This module implements the data-plane pieces: a sparse
+//! [`RamDisk`], an [`NvmeOfTarget`] that validates and executes NVMe-oF
+//! style commands against it, and a [`FioWorkload`] generator issuing the
+//! paper's access patterns.
+
+use std::collections::HashMap;
+
+use snicbench_sim::rng::Rng;
+
+/// A sparse in-memory block device (unwritten blocks read as zeros).
+#[derive(Debug, Clone)]
+pub struct RamDisk {
+    block_size: usize,
+    num_blocks: u64,
+    blocks: HashMap<u64, Vec<u8>>,
+}
+
+impl RamDisk {
+    /// Creates a device of `num_blocks` blocks of `block_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(block_size: usize, num_blocks: u64) -> Self {
+        assert!(
+            block_size > 0 && num_blocks > 0,
+            "dimensions must be positive"
+        );
+        RamDisk {
+            block_size,
+            num_blocks,
+            blocks: HashMap::new(),
+        }
+    }
+
+    /// The paper's device: 16 GB of 64 KB blocks.
+    pub fn paper_default() -> Self {
+        RamDisk::new(64 * 1024, (16u64 << 30) / (64 * 1024))
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.block_size as u64 * self.num_blocks
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    /// Reads block `lba` (zeros if never written).
+    pub fn read_block(&self, lba: u64) -> Option<Vec<u8>> {
+        if lba >= self.num_blocks {
+            return None;
+        }
+        Some(
+            self.blocks
+                .get(&lba)
+                .cloned()
+                .unwrap_or_else(|| vec![0u8; self.block_size]),
+        )
+    }
+
+    /// Writes block `lba`. Returns false if out of range or wrong size.
+    pub fn write_block(&mut self, lba: u64, data: Vec<u8>) -> bool {
+        if lba >= self.num_blocks || data.len() != self.block_size {
+            return false;
+        }
+        self.blocks.insert(lba, data);
+        true
+    }
+
+    /// Bytes of actually allocated (written) blocks.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.blocks.len() as u64 * self.block_size as u64
+    }
+}
+
+/// An NVMe-oF command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NvmeCommand {
+    /// Read one block.
+    Read {
+        /// Logical block address.
+        lba: u64,
+    },
+    /// Write one block.
+    Write {
+        /// Logical block address.
+        lba: u64,
+        /// Exactly one block of data.
+        data: Vec<u8>,
+    },
+    /// Flush (no-op for a RAM disk, but protocol-complete).
+    Flush,
+}
+
+/// An NVMe-oF completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NvmeCompletion {
+    /// Read data.
+    Data(Vec<u8>),
+    /// Command done.
+    Success,
+    /// LBA out of range.
+    LbaOutOfRange,
+    /// Write payload was not exactly one block.
+    InvalidField,
+}
+
+/// Counters for a target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TargetStats {
+    /// Reads completed successfully.
+    pub reads: u64,
+    /// Writes completed successfully.
+    pub writes: u64,
+    /// Commands that failed validation.
+    pub errors: u64,
+}
+
+/// The NVMe-oF target: command validation + execution against a RAM disk.
+#[derive(Debug, Clone)]
+pub struct NvmeOfTarget {
+    disk: RamDisk,
+    stats: TargetStats,
+}
+
+impl NvmeOfTarget {
+    /// Wraps a device.
+    pub fn new(disk: RamDisk) -> Self {
+        NvmeOfTarget {
+            disk,
+            stats: TargetStats::default(),
+        }
+    }
+
+    /// Executes one command.
+    pub fn execute(&mut self, cmd: NvmeCommand) -> NvmeCompletion {
+        match cmd {
+            NvmeCommand::Read { lba } => match self.disk.read_block(lba) {
+                Some(data) => {
+                    self.stats.reads += 1;
+                    NvmeCompletion::Data(data)
+                }
+                None => {
+                    self.stats.errors += 1;
+                    NvmeCompletion::LbaOutOfRange
+                }
+            },
+            NvmeCommand::Write { lba, data } => {
+                if data.len() != self.disk.block_size() {
+                    self.stats.errors += 1;
+                    return NvmeCompletion::InvalidField;
+                }
+                if self.disk.write_block(lba, data) {
+                    self.stats.writes += 1;
+                    NvmeCompletion::Success
+                } else {
+                    self.stats.errors += 1;
+                    NvmeCompletion::LbaOutOfRange
+                }
+            }
+            NvmeCommand::Flush => NvmeCompletion::Success,
+        }
+    }
+
+    /// The backing device.
+    pub fn disk(&self) -> &RamDisk {
+        &self.disk
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> TargetStats {
+        self.stats
+    }
+}
+
+/// fio access direction (the paper runs randread and randwrite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FioDirection {
+    /// Random reads.
+    RandRead,
+    /// Random writes.
+    RandWrite,
+}
+
+impl std::fmt::Display for FioDirection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FioDirection::RandRead => write!(f, "randread"),
+            FioDirection::RandWrite => write!(f, "randwrite"),
+        }
+    }
+}
+
+/// A fio-style command generator: uniform-random LBAs, fixed block size.
+#[derive(Debug, Clone)]
+pub struct FioWorkload {
+    direction: FioDirection,
+    num_blocks: u64,
+    block_size: usize,
+    rng: Rng,
+    /// The paper's queue depth.
+    pub iodepth: usize,
+}
+
+impl FioWorkload {
+    /// Creates the paper's workload (64 KB blocks, iodepth 4) over a
+    /// device of `num_blocks` blocks.
+    pub fn paper_default(direction: FioDirection, num_blocks: u64, seed: u64) -> Self {
+        FioWorkload {
+            direction,
+            num_blocks,
+            block_size: 64 * 1024,
+            rng: Rng::new(seed),
+            iodepth: 4,
+        }
+    }
+
+    /// Draws the next command.
+    pub fn next_command(&mut self) -> NvmeCommand {
+        let lba = self.rng.below(self.num_blocks);
+        match self.direction {
+            FioDirection::RandRead => NvmeCommand::Read { lba },
+            FioDirection::RandWrite => {
+                let mut data = vec![0u8; self.block_size];
+                self.rng.fill_bytes(&mut data);
+                NvmeCommand::Write { lba, data }
+            }
+        }
+    }
+
+    /// The direction.
+    pub fn direction(&self) -> FioDirection {
+        self.direction
+    }
+
+    /// Request payload size per command in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramdisk_reads_zeros_until_written() {
+        let mut disk = RamDisk::new(512, 8);
+        assert_eq!(disk.read_block(3), Some(vec![0u8; 512]));
+        assert!(disk.write_block(3, vec![7u8; 512]));
+        assert_eq!(disk.read_block(3), Some(vec![7u8; 512]));
+        assert_eq!(disk.read_block(8), None);
+        assert_eq!(disk.allocated_bytes(), 512);
+    }
+
+    #[test]
+    fn ramdisk_rejects_bad_writes() {
+        let mut disk = RamDisk::new(512, 8);
+        assert!(!disk.write_block(99, vec![0u8; 512]));
+        assert!(!disk.write_block(0, vec![0u8; 100]));
+    }
+
+    #[test]
+    fn paper_device_is_16gb() {
+        let disk = RamDisk::paper_default();
+        assert_eq!(disk.capacity_bytes(), 16 << 30);
+        assert_eq!(disk.block_size(), 64 * 1024);
+    }
+
+    #[test]
+    fn target_round_trips() {
+        let mut target = NvmeOfTarget::new(RamDisk::new(64, 16));
+        let data = vec![0xAB; 64];
+        assert_eq!(
+            target.execute(NvmeCommand::Write {
+                lba: 5,
+                data: data.clone()
+            }),
+            NvmeCompletion::Success
+        );
+        assert_eq!(
+            target.execute(NvmeCommand::Read { lba: 5 }),
+            NvmeCompletion::Data(data)
+        );
+        assert_eq!(target.execute(NvmeCommand::Flush), NvmeCompletion::Success);
+        let s = target.stats();
+        assert_eq!((s.reads, s.writes, s.errors), (1, 1, 0));
+    }
+
+    #[test]
+    fn target_validates_commands() {
+        let mut target = NvmeOfTarget::new(RamDisk::new(64, 16));
+        assert_eq!(
+            target.execute(NvmeCommand::Read { lba: 999 }),
+            NvmeCompletion::LbaOutOfRange
+        );
+        assert_eq!(
+            target.execute(NvmeCommand::Write {
+                lba: 0,
+                data: vec![0; 3]
+            }),
+            NvmeCompletion::InvalidField
+        );
+        assert_eq!(target.stats().errors, 2);
+    }
+
+    #[test]
+    fn fio_workload_stays_in_range_and_matches_direction() {
+        let mut target = NvmeOfTarget::new(RamDisk::new(64 * 1024, 256));
+        for dir in [FioDirection::RandRead, FioDirection::RandWrite] {
+            let mut wl = FioWorkload::paper_default(dir, 256, 11);
+            assert_eq!(wl.iodepth, 4);
+            for _ in 0..200 {
+                let cmd = wl.next_command();
+                match (&cmd, dir) {
+                    (NvmeCommand::Read { .. }, FioDirection::RandRead) => {}
+                    (NvmeCommand::Write { .. }, FioDirection::RandWrite) => {}
+                    other => panic!("direction mismatch: {other:?}"),
+                }
+                let completion = target.execute(cmd);
+                assert!(!matches!(
+                    completion,
+                    NvmeCompletion::LbaOutOfRange | NvmeCompletion::InvalidField
+                ));
+            }
+        }
+        let s = target.stats();
+        assert_eq!((s.reads, s.writes), (200, 200));
+    }
+
+    #[test]
+    fn fio_is_deterministic_per_seed() {
+        let mut a = FioWorkload::paper_default(FioDirection::RandRead, 1000, 3);
+        let mut b = FioWorkload::paper_default(FioDirection::RandRead, 1000, 3);
+        for _ in 0..50 {
+            assert_eq!(a.next_command(), b.next_command());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_sized_disk_rejected() {
+        let _ = RamDisk::new(0, 1);
+    }
+}

@@ -1,0 +1,311 @@
+//! Property-based tests over the workload-function substrates: the
+//! invariants that must hold for *any* input, not just the unit-test
+//! corpus.
+
+use proptest::prelude::*;
+
+use snicbench_functions::compress::{compress, decompress};
+use snicbench_functions::crypto::aes::Aes128;
+use snicbench_functions::crypto::bignum::BigUint;
+use snicbench_functions::crypto::sha1::Sha1;
+use snicbench_functions::crypto::sha256::Sha256;
+use snicbench_functions::ids::AhoCorasick;
+use snicbench_functions::kvs::mica::{GetRequest, GetResult, MicaStore};
+use snicbench_functions::kvs::redis::{Command, RedisStore, Reply};
+use snicbench_functions::nat::{Endpoint, NatTable};
+use snicbench_functions::rem::MultiRegex;
+
+// ---------------------------------------------------------------- compress
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Deflate round-trips arbitrary byte strings at every level.
+    #[test]
+    fn deflate_round_trips(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                           level in 1u8..=9) {
+        let z = compress(&data, level);
+        prop_assert_eq!(decompress(&z).unwrap(), data);
+    }
+
+    /// Highly repetitive inputs always shrink.
+    #[test]
+    fn runs_always_compress(byte in any::<u8>(), len in 512usize..8192) {
+        let data = vec![byte; len];
+        let z = compress(&data, 6);
+        prop_assert!(z.len() < data.len() / 2, "{} -> {}", data.len(), z.len());
+    }
+
+    /// Truncating a stream never yields a silent wrong answer: either an
+    /// error, or (never) the original data.
+    #[test]
+    fn truncation_is_detected(data in proptest::collection::vec(any::<u8>(), 64..1024),
+                              cut in 1usize..32) {
+        let z = compress(&data, 6);
+        let cut = cut.min(z.len() - 1);
+        let truncated = &z[..z.len() - cut];
+        match decompress(truncated) {
+            Err(_) => {}
+            Ok(out) => prop_assert_ne!(out, data),
+        }
+    }
+}
+
+// ------------------------------------------------------------------ crypto
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CTR mode is an involution for any key, nonce, and payload.
+    #[test]
+    fn aes_ctr_involution(key in any::<[u8; 16]>(), nonce in any::<u64>(),
+                          data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let aes = Aes128::new(&key);
+        prop_assert_eq!(aes.ctr_apply(nonce, &aes.ctr_apply(nonce, &data)), data);
+    }
+
+    /// Hash functions are deterministic and injective-in-practice: a
+    /// single flipped bit changes the digest.
+    #[test]
+    fn hashes_are_bit_sensitive(mut data in proptest::collection::vec(any::<u8>(), 1..512),
+                                flip in any::<(usize, u8)>()) {
+        let d1_sha1 = Sha1::digest(&data);
+        let d1_sha256 = Sha256::digest(&data);
+        let idx = flip.0 % data.len();
+        let bit = 1u8 << (flip.1 % 8);
+        data[idx] ^= bit;
+        prop_assert_ne!(Sha1::digest(&data), d1_sha1);
+        prop_assert_ne!(Sha256::digest(&data), d1_sha256);
+    }
+
+    /// Streaming in arbitrary chunkings equals one-shot hashing.
+    #[test]
+    fn sha_chunking_invariance(data in proptest::collection::vec(any::<u8>(), 0..600),
+                               splits in proptest::collection::vec(1usize..100, 0..8)) {
+        let expected = Sha256::digest(&data);
+        let mut h = Sha256::new();
+        let mut rest: &[u8] = &data;
+        for s in splits {
+            if rest.is_empty() { break; }
+            let take = s.min(rest.len());
+            h.update(&rest[..take]);
+            rest = &rest[take..];
+        }
+        h.update(rest);
+        prop_assert_eq!(h.finalize(), expected);
+    }
+}
+
+// ------------------------------------------------------------------ bignum
+
+fn big(limbs: &[u64]) -> BigUint {
+    // Build from bytes so arbitrary values normalize.
+    let mut bytes = Vec::new();
+    for l in limbs {
+        bytes.extend_from_slice(&l.to_be_bytes());
+    }
+    BigUint::from_bytes_be(&bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Addition is commutative and subtraction inverts it.
+    #[test]
+    fn bignum_add_sub_laws(a in proptest::collection::vec(any::<u64>(), 1..5),
+                           b in proptest::collection::vec(any::<u64>(), 1..5)) {
+        let (x, y) = (big(&a), big(&b));
+        prop_assert_eq!(x.add(&y), y.add(&x));
+        prop_assert_eq!(x.add(&y).sub(&y), x);
+    }
+
+    /// Multiplication is commutative and distributes over addition.
+    #[test]
+    fn bignum_mul_laws(a in proptest::collection::vec(any::<u64>(), 1..4),
+                       b in proptest::collection::vec(any::<u64>(), 1..4),
+                       c in proptest::collection::vec(any::<u64>(), 1..4)) {
+        let (x, y, z) = (big(&a), big(&b), big(&c));
+        prop_assert_eq!(x.mul(&y), y.mul(&x));
+        prop_assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
+    }
+
+    /// Division reconstructs: a = q*d + r with r < d.
+    #[test]
+    fn bignum_div_rem_reconstructs(a in proptest::collection::vec(any::<u64>(), 1..6),
+                                   d in proptest::collection::vec(any::<u64>(), 1..4)) {
+        let x = big(&a);
+        let y = big(&d);
+        prop_assume!(!y.is_zero());
+        let (q, r) = x.div_rem(&y);
+        prop_assert_eq!(q.mul(&y).add(&r), x);
+        prop_assert!(r.cmp_big(&y) == std::cmp::Ordering::Less);
+    }
+
+    /// Shifts are exact inverses when no bits fall off.
+    #[test]
+    fn bignum_shift_inverse(a in proptest::collection::vec(any::<u64>(), 1..4),
+                            shift in 0u32..100) {
+        let x = big(&a);
+        prop_assert_eq!(x.shl_bits(shift).shr_bits(shift), x);
+    }
+
+    /// Modular exponentiation matches u128 arithmetic on small values.
+    #[test]
+    fn modpow_matches_u128(base in 1u64..1000, exp in 0u64..24, modulus in 2u64..10_000) {
+        let expected = {
+            let mut acc: u128 = 1;
+            for _ in 0..exp {
+                acc = acc * base as u128 % modulus as u128;
+            }
+            acc as u64
+        };
+        let got = BigUint::from_u64(base)
+            .modpow(&BigUint::from_u64(exp), &BigUint::from_u64(modulus));
+        prop_assert_eq!(got, BigUint::from_u64(expected));
+    }
+
+    /// A modular inverse, when it exists, actually inverts.
+    #[test]
+    fn modinv_inverts(a in 1u64..100_000, m in 2u64..100_000) {
+        let x = BigUint::from_u64(a);
+        let modulus = BigUint::from_u64(m);
+        if let Some(inv) = x.modinv(&modulus) {
+            prop_assert_eq!(x.mul(&inv).rem(&modulus), BigUint::one());
+        }
+    }
+}
+
+// ----------------------------------------------------------- pattern match
+
+/// A naive reference matcher for literal multi-pattern search.
+fn naive_distinct(patterns: &[Vec<u8>], haystack: &[u8]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (i, p) in patterns.iter().enumerate() {
+        if haystack.windows(p.len()).any(|w| w == p.as_slice()) {
+            out.push(i as u32);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Aho–Corasick agrees with the naive matcher on arbitrary inputs
+    /// over a small alphabet (small alphabets maximize overlaps).
+    #[test]
+    fn aho_corasick_equals_naive(
+        patterns in proptest::collection::vec(
+            proptest::collection::vec(0u8..4, 1..5), 1..6),
+        haystack in proptest::collection::vec(0u8..4, 0..256)) {
+        let ac = AhoCorasick::new(&patterns);
+        prop_assert_eq!(ac.find_distinct(&haystack), naive_distinct(&patterns, &haystack));
+    }
+
+    /// The regex engine agrees with the naive matcher on escaped literal
+    /// patterns.
+    #[test]
+    fn regex_equals_naive_on_literals(
+        patterns in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..5), 1..5),
+        haystack in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let regex_sources: Vec<String> = patterns
+            .iter()
+            .map(|p| p.iter().map(|b| format!("\\x{b:02x}")).collect())
+            .collect();
+        let refs: Vec<&str> = regex_sources.iter().map(String::as_str).collect();
+        let mut re = MultiRegex::compile(&refs).unwrap();
+        prop_assert_eq!(re.scan(&haystack), naive_distinct(&patterns, &haystack));
+    }
+}
+
+// --------------------------------------------------------------------- kvs
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Redis store behaves like a HashMap under any command sequence.
+    #[test]
+    fn redis_matches_hashmap_model(
+        ops in proptest::collection::vec((0u8..4, 0u8..16, any::<u8>()), 0..200)) {
+        let mut store = RedisStore::new();
+        let mut model = std::collections::HashMap::<Vec<u8>, Vec<u8>>::new();
+        for (op, key_id, value_byte) in ops {
+            let key = vec![b'k', key_id];
+            match op {
+                0 => {
+                    let value = vec![value_byte; 3];
+                    store.execute(Command::Set(key.clone(), value.clone()));
+                    model.insert(key, value);
+                }
+                1 => {
+                    let got = store.execute(Command::Get(key.clone()));
+                    match model.get(&key) {
+                        Some(v) => prop_assert_eq!(got, Reply::Value(v.clone())),
+                        None => prop_assert_eq!(got, Reply::Nil),
+                    }
+                }
+                2 => {
+                    let got = store.execute(Command::Del(key.clone()));
+                    let existed = model.remove(&key).is_some();
+                    prop_assert_eq!(got, Reply::Integer(existed as u64));
+                }
+                _ => {
+                    let got = store.execute(Command::Exists(key.clone()));
+                    prop_assert_eq!(got, Reply::Integer(model.contains_key(&key) as u64));
+                }
+            }
+        }
+        prop_assert_eq!(store.len(), model.len());
+    }
+
+    /// MICA never returns a *wrong* value: every Found is the most recent
+    /// put for that key (misses are allowed — the index is lossy).
+    #[test]
+    fn mica_never_lies(puts in proptest::collection::vec((any::<u64>(), any::<u8>()), 1..200)) {
+        let mut store = MicaStore::new(2, 8, 32);
+        let mut latest = std::collections::HashMap::new();
+        for (key, v) in &puts {
+            store.put(*key, vec![*v]);
+            latest.insert(*key, vec![*v]);
+        }
+        for (key, _) in &puts {
+            let r = store.get_batch(&[GetRequest { key: *key }]);
+            match &r[0] {
+                GetResult::Found(v) => prop_assert_eq!(v, latest.get(key).unwrap()),
+                GetResult::Miss => {} // lossy eviction is legal
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------- nat
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// NAT stays bijective under arbitrary interleavings of outbound
+    /// allocations and removals.
+    #[test]
+    fn nat_stays_bijective(ops in proptest::collection::vec((any::<bool>(), 0u32..64), 0..200)) {
+        let mut nat = NatTable::new();
+        let mut live = std::collections::HashMap::new();
+        for (add, host) in ops {
+            let private = Endpoint::new(0x0A00_0000 | host, 1000 + host as u16);
+            if add {
+                let public = nat.translate_outbound(private).unwrap();
+                if let Some(prev) = live.insert(private, public) {
+                    // Re-translation of a live flow must be stable.
+                    prop_assert_eq!(prev, public);
+                }
+            } else {
+                nat.remove(private);
+                live.remove(&private);
+            }
+        }
+        prop_assert_eq!(nat.len(), live.len());
+        for (private, public) in live {
+            prop_assert_eq!(nat.translate_inbound(public), Some(private));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! SNIC fixed-function accelerator models.
+//!
+//! BlueField-2 carries three accelerators (Sec. 2.2): regular-expression
+//! matching (REM), public-key cryptography (PKA), and Deflate
+//! compression/decompression. All three share the same usage pattern: a CPU
+//! (SNIC Arm cores, or the host across PCIe) stages data into buffers and
+//! submits batched tasks; the engine processes them at a fixed internal
+//! rate and returns results. Two properties measured by the paper define
+//! the model:
+//!
+//! * a hard throughput cap well below line rate (~50 Gb/s for REM and
+//!   compression — Key Observation 3), and
+//! * a fixed per-task latency floor from staging + batching + engine
+//!   traversal (why the accelerator's p99 sits near 25 µs in Fig. 5 while
+//!   an unloaded host core answers in ~5 µs).
+
+use snicbench_sim::SimDuration;
+
+/// Which fixed-function engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AcceleratorKind {
+    /// Regular-expression matching (the RXP engine).
+    RegexMatching,
+    /// Public-key algorithms (RSA, DSA, ECC, ...) plus symmetric/hash
+    /// offload paths.
+    PublicKeyCrypto,
+    /// Deflate compression / decompression.
+    Compression,
+}
+
+impl std::fmt::Display for AcceleratorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AcceleratorKind::RegexMatching => write!(f, "REM"),
+            AcceleratorKind::PublicKeyCrypto => write!(f, "PKA"),
+            AcceleratorKind::Compression => write!(f, "Compression"),
+        }
+    }
+}
+
+/// A fixed-function accelerator specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorSpec {
+    /// Which engine this is.
+    pub kind: AcceleratorKind,
+    /// Sustained internal processing rate in Gb/s — the cap the paper
+    /// measures at ~50 Gb/s for REM and compression.
+    pub max_throughput_gbps: f64,
+    /// Fixed per-task overhead: buffer staging by the driving CPU, doorbell,
+    /// batch formation, engine pipeline traversal, completion.
+    pub task_overhead: SimDuration,
+    /// Number of independent engine contexts that can process tasks
+    /// concurrently.
+    pub engines: usize,
+    /// Depth of the hardware task queue; submissions beyond it are dropped
+    /// (the driving CPU must back off).
+    pub queue_depth: usize,
+    /// Maximum payload bytes per submitted task.
+    pub max_task_bytes: u64,
+    /// Added response latency from the staging path — the SNIC CPU
+    /// acquiring packets via DPDK, forming batches, and submitting tasks —
+    /// that does **not** occupy the engine (pipelined). This is why the
+    /// accelerator's p99 sits near 25 µs in Fig. 5 even at low rates.
+    pub staging_latency: SimDuration,
+}
+
+impl AcceleratorSpec {
+    /// Engine occupancy time for a task carrying `bytes` of payload:
+    /// serialization through the engine at the internal rate plus the fixed
+    /// overhead.
+    pub fn service_time(&self, bytes: u64) -> SimDuration {
+        self.task_overhead
+            + SimDuration::from_secs_f64(bytes as f64 * 8.0 / (self.max_throughput_gbps * 1e9))
+    }
+
+    /// The highest packet rate (packets/s) the engine sustains for packets
+    /// of `bytes` bytes, accounting for both the byte-rate cap and the
+    /// per-task overhead across `engines` contexts.
+    pub fn max_pps(&self, bytes: u64) -> f64 {
+        assert!(bytes > 0, "packet size must be positive");
+        let per_task = self.service_time(bytes).as_secs_f64();
+        self.engines as f64 / per_task
+    }
+
+    /// The highest data rate (Gb/s) sustained for packets of `bytes` bytes.
+    /// Approaches `max_throughput_gbps` for large packets and collapses for
+    /// tiny ones (overhead-bound).
+    pub fn max_gbps(&self, bytes: u64) -> f64 {
+        self.max_pps(bytes) * bytes as f64 * 8.0 / 1e9
+    }
+
+    /// Whether a task of `bytes` can be submitted in one unit.
+    pub fn accepts(&self, bytes: u64) -> bool {
+        bytes <= self.max_task_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs;
+
+    #[test]
+    fn rem_cap_is_about_50_gbps_for_mtu_packets() {
+        let rem = specs::rem_accelerator();
+        let gbps = rem.max_gbps(1500);
+        assert!(
+            (45.0..55.0).contains(&gbps),
+            "REM MTU throughput {gbps} Gb/s (paper: ~50)"
+        );
+    }
+
+    #[test]
+    fn accelerators_cannot_reach_line_rate() {
+        // Key Observation 3.
+        for acc in [specs::rem_accelerator(), specs::compression_accelerator()] {
+            assert!(acc.max_gbps(1500) < 100.0, "{} exceeds line rate", acc.kind);
+        }
+    }
+
+    #[test]
+    fn small_packets_are_overhead_bound() {
+        let rem = specs::rem_accelerator();
+        let small = rem.max_gbps(64);
+        let large = rem.max_gbps(1500);
+        assert!(small < large / 4.0, "64B {small} vs MTU {large}");
+    }
+
+    #[test]
+    fn service_time_has_floor() {
+        let rem = specs::rem_accelerator();
+        assert!(rem.service_time(0) >= rem.task_overhead);
+        assert!(rem.service_time(1500) > rem.service_time(64));
+    }
+
+    #[test]
+    fn task_size_limit() {
+        let comp = specs::compression_accelerator();
+        assert!(comp.accepts(64 * 1024));
+        assert!(!comp.accepts(u64::MAX));
+    }
+
+    #[test]
+    fn kinds_display() {
+        assert_eq!(AcceleratorKind::RegexMatching.to_string(), "REM");
+        assert_eq!(AcceleratorKind::PublicKeyCrypto.to_string(), "PKA");
+        assert_eq!(AcceleratorKind::Compression.to_string(), "Compression");
+    }
+}

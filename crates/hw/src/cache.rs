@@ -1,0 +1,142 @@
+//! Cache-hierarchy models.
+//!
+//! The paper notes (Sec. 3.4) that its benchmarks "do not exhibit notable
+//! performance sensitivity to cache capacity since they serve either
+//! streaming or random memory accesses" — but the hierarchy still sets the
+//! average memory access time (AMAT) baked into per-platform service costs.
+//! This module models a three-level hierarchy and computes AMAT for a given
+//! working-set size and access pattern, which the calibration layer uses to
+//! sanity-check per-op costs.
+
+use snicbench_sim::SimDuration;
+
+/// One cache level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheLevel {
+    /// Human-readable name ("L1-D", "L2", "L3").
+    pub name: &'static str,
+    /// Capacity in bytes (per-core for private levels, total for shared).
+    pub capacity_bytes: u64,
+    /// Load-to-use latency in nanoseconds.
+    pub latency_ns: f64,
+}
+
+/// Memory-access pattern, which determines how effectively caches filter
+/// accesses for a given working set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Sequential streaming: prefetchers hide most latency regardless of
+    /// working-set size.
+    Streaming,
+    /// Uniform random over the working set: hit ratio per level is the
+    /// fraction of the working set that fits.
+    Random,
+    /// Zipf-skewed random: the hot head of the key space fits in cache even
+    /// when the full working set does not.
+    Skewed,
+}
+
+/// A cache hierarchy plus backing-DRAM latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheHierarchy {
+    /// Levels ordered from closest (L1) to farthest (LLC).
+    pub levels: Vec<CacheLevel>,
+    /// DRAM access latency in nanoseconds.
+    pub dram_latency_ns: f64,
+}
+
+impl CacheHierarchy {
+    /// Per-level hit probability for a working set of `ws` bytes.
+    fn hit_fraction(&self, level: &CacheLevel, ws: u64, pattern: AccessPattern) -> f64 {
+        match pattern {
+            AccessPattern::Streaming => {
+                // Prefetching makes residency irrelevant; most accesses hit
+                // the nearest level.
+                if level.capacity_bytes > 0 {
+                    0.95
+                } else {
+                    0.0
+                }
+            }
+            AccessPattern::Random => (level.capacity_bytes as f64 / ws.max(1) as f64).min(1.0),
+            AccessPattern::Skewed => {
+                // Zipf(0.99)-style: caching the fraction f of a key space
+                // captures roughly f^0.25 of accesses (heavier head).
+                let f = (level.capacity_bytes as f64 / ws.max(1) as f64).min(1.0);
+                f.powf(0.25)
+            }
+        }
+    }
+
+    /// Average memory access time for a working set of `working_set_bytes`
+    /// accessed with `pattern`.
+    ///
+    /// Standard AMAT recursion: each level's miss traffic falls through to
+    /// the next, with DRAM at the bottom.
+    pub fn amat(&self, working_set_bytes: u64, pattern: AccessPattern) -> SimDuration {
+        let mut remaining = 1.0; // fraction of accesses reaching this level
+        let mut total_ns = 0.0;
+        for level in &self.levels {
+            let hit = self.hit_fraction(level, working_set_bytes, pattern);
+            total_ns += remaining * level.latency_ns;
+            remaining *= 1.0 - hit;
+        }
+        total_ns += remaining * self.dram_latency_ns;
+        SimDuration::from_secs_f64(total_ns * 1e-9)
+    }
+
+    /// Total last-level-cache capacity in bytes (0 if no levels).
+    pub fn llc_bytes(&self) -> u64 {
+        self.levels.last().map(|l| l.capacity_bytes).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs;
+
+    #[test]
+    fn amat_grows_with_working_set_for_random_access() {
+        let h = specs::host_cache();
+        let small = h.amat(16 * 1024, AccessPattern::Random);
+        let large = h.amat(1024 * 1024 * 1024, AccessPattern::Random);
+        assert!(large > small, "{large} vs {small}");
+    }
+
+    #[test]
+    fn streaming_is_insensitive_to_working_set() {
+        let h = specs::host_cache();
+        let small = h.amat(16 * 1024, AccessPattern::Streaming);
+        let large = h.amat(1 << 30, AccessPattern::Streaming);
+        let ratio = large.as_secs_f64() / small.as_secs_f64();
+        assert!((0.99..1.01).contains(&ratio));
+    }
+
+    #[test]
+    fn skewed_beats_random_for_oversized_working_sets() {
+        let h = specs::host_cache();
+        let ws = 1u64 << 30;
+        let skewed = h.amat(ws, AccessPattern::Skewed);
+        let random = h.amat(ws, AccessPattern::Random);
+        assert!(skewed < random, "{skewed} vs {random}");
+    }
+
+    #[test]
+    fn snic_cache_is_smaller_and_slower_to_dram() {
+        let host = specs::host_cache();
+        let snic = specs::snic_cache();
+        assert!(snic.llc_bytes() < host.llc_bytes());
+        let ws = 256u64 << 20;
+        assert!(snic.amat(ws, AccessPattern::Random) > host.amat(ws, AccessPattern::Random));
+    }
+
+    #[test]
+    fn fully_resident_working_set_hits_l1_latency() {
+        let h = specs::host_cache();
+        let amat = h.amat(1024, AccessPattern::Random);
+        // Everything fits in L1 -> AMAT equals the L1 latency.
+        let l1 = h.levels[0].latency_ns;
+        assert!((amat.as_secs_f64() * 1e9 - l1).abs() < 0.5, "amat {amat}");
+    }
+}

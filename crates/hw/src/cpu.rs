@@ -1,0 +1,147 @@
+//! CPU models.
+//!
+//! Two CPU designs matter to the paper: the host's Intel Xeon Gold 6140
+//! (Skylake, 18 cores, pinned to 2.1 GHz for experiments) and the
+//! BlueField-2's 8 Arm Cortex-A72 cores at 2.0 GHz. The decisive difference
+//! is not frequency but per-cycle capability: the A72 is a narrow in-order-ish
+//! mobile-class core with a small cache hierarchy, while Skylake is a wide
+//! out-of-order server core with ISA extensions (AES-NI, AVX, SHA paths via
+//! ISA-L) that accelerate specific functions.
+
+use snicbench_sim::SimDuration;
+
+/// Instruction-set architecture family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// x86-64 (host Xeon).
+    X86_64,
+    /// AArch64 (BlueField-2 Arm cores).
+    Aarch64,
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Arch::X86_64 => write!(f, "x86-64"),
+            Arch::Aarch64 => write!(f, "aarch64"),
+        }
+    }
+}
+
+/// ISA extensions that accelerate specific workload functions (Sec. 4,
+/// Key Observation 2: the host "can efficiently accelerate them with the
+/// ISA extensions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IsaExtensions {
+    /// AES-NI style block-cipher instructions.
+    pub aes: bool,
+    /// Wide vector units (AVX-512) as used by ISA-L / Hyperscan.
+    pub wide_simd: bool,
+    /// Hardware random-number generation (RDRAND).
+    pub rdrand: bool,
+    /// Carry-less multiply (PCLMULQDQ), used by fast CRC/GCM paths.
+    pub clmul: bool,
+}
+
+/// A CPU specification: identity, core count, frequency, and relative
+/// per-cycle capability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuSpec {
+    /// Marketing name, e.g. "Intel Xeon Gold 6140".
+    pub name: &'static str,
+    /// ISA family.
+    pub arch: Arch,
+    /// Number of physical cores available to workloads.
+    pub cores: usize,
+    /// Operating frequency in GHz (the paper pins the host to 2.1 GHz via
+    /// the userspace governor and disables Turbo Boost / Hyper-Threading).
+    pub freq_ghz: f64,
+    /// Relative per-cycle general-purpose throughput versus the Skylake
+    /// baseline (1.0). Captures width, out-of-order depth, and memory
+    /// subsystem strength for packet-processing codes.
+    pub perf_per_cycle: f64,
+    /// Available ISA extensions.
+    pub isa: IsaExtensions,
+}
+
+impl CpuSpec {
+    /// Duration of `cycles` cycles on this CPU.
+    pub fn cycles_to_time(&self, cycles: f64) -> SimDuration {
+        SimDuration::from_secs_f64(cycles / (self.freq_ghz * 1e9))
+    }
+
+    /// The time one core needs for work calibrated as `baseline_ns`
+    /// nanoseconds on the reference core (Skylake @ 2.1 GHz,
+    /// `perf_per_cycle` 1.0).
+    ///
+    /// Scales by frequency and per-cycle capability: a slower, narrower
+    /// core takes proportionally longer.
+    pub fn scaled_service_time(&self, baseline_ns: f64, reference: &CpuSpec) -> SimDuration {
+        let speed_self = self.freq_ghz * self.perf_per_cycle;
+        let speed_ref = reference.freq_ghz * reference.perf_per_cycle;
+        SimDuration::from_secs_f64(baseline_ns * 1e-9 * speed_ref / speed_self)
+    }
+
+    /// Aggregate compute capability of all cores relative to a single
+    /// reference core (used for quick capacity estimates).
+    pub fn total_capability(&self, reference: &CpuSpec) -> f64 {
+        let speed_self = self.freq_ghz * self.perf_per_cycle;
+        let speed_ref = reference.freq_ghz * reference.perf_per_cycle;
+        self.cores as f64 * speed_self / speed_ref
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs;
+
+    #[test]
+    fn cycles_to_time_scales_with_frequency() {
+        let host = specs::host_cpu();
+        // 2100 cycles at 2.1 GHz = 1 us.
+        assert_eq!(host.cycles_to_time(2100.0), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn scaled_service_time_identity_on_reference() {
+        let host = specs::host_cpu();
+        let t = host.scaled_service_time(500.0, &host);
+        assert_eq!(t, SimDuration::from_nanos(500));
+    }
+
+    #[test]
+    fn a72_is_slower_per_core_than_skylake() {
+        let host = specs::host_cpu();
+        let arm = specs::snic_cpu();
+        let on_host = host.scaled_service_time(1000.0, &host);
+        let on_arm = arm.scaled_service_time(1000.0, &host);
+        assert!(
+            on_arm > on_host,
+            "A72 should be slower: {on_arm} vs {on_host}"
+        );
+        // The gap should be a small integer factor, not orders of magnitude.
+        let ratio = on_arm.as_secs_f64() / on_host.as_secs_f64();
+        assert!((1.5..6.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn total_capability_counts_cores() {
+        let host = specs::host_cpu();
+        let cap = host.total_capability(&host);
+        assert_eq!(cap, host.cores as f64);
+    }
+
+    #[test]
+    fn isa_extensions_differ_between_platforms() {
+        assert!(specs::host_cpu().isa.aes);
+        assert!(specs::host_cpu().isa.wide_simd);
+        assert!(!specs::snic_cpu().isa.wide_simd);
+    }
+
+    #[test]
+    fn arch_displays() {
+        assert_eq!(Arch::X86_64.to_string(), "x86-64");
+        assert_eq!(Arch::Aarch64.to_string(), "aarch64");
+    }
+}

@@ -1,0 +1,29 @@
+//! # snicbench-hw
+//!
+//! Hardware component models for the snicbench testbed simulation.
+//!
+//! The paper's testbed (Sec. 2–3) consists of a host server (Intel Xeon
+//! Gold 6140), an NVIDIA BlueField-2 SmartNIC (8×Arm A72 cores, three
+//! fixed-function accelerators, an embedded switch, PCIe Gen4 ×16), and a
+//! client with a ConnectX-6 Dx NIC, connected back-to-back at 100 Gb/s.
+//! This crate models each component as data (specs from Tables 1 and 2)
+//! plus timing functions (cycles → time, bytes → transfer time), and
+//! assembles them into [`snic::BlueField2`] and [`server::HostServer`].
+//!
+//! Performance *calibration* — how long a given workload function takes on a
+//! given platform — lives in `snicbench-core`; this crate provides the
+//! structural and physical parameters (core counts, frequencies, line rates,
+//! link latencies, accelerator caps).
+
+pub mod accelerator;
+pub mod cache;
+pub mod cpu;
+pub mod memory;
+pub mod nic;
+pub mod pcie;
+pub mod platform;
+pub mod server;
+pub mod snic;
+pub mod specs;
+
+pub use platform::ExecutionPlatform;

@@ -1,0 +1,86 @@
+//! Main-memory subsystem models.
+//!
+//! The host has 128 GB of DDR4-2666 across 6 channels; BlueField-2 carries
+//! 16 GB of on-board DDR4-3200 on a single channel (Tables 1–2). The paper
+//! attributes part of the accelerator-vs-host outcome to the host's "more
+//! powerful memory subsystem" (Key Observation 2), so bandwidth ceilings are
+//! modeled explicitly.
+
+use snicbench_sim::SimDuration;
+
+/// A DRAM subsystem specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemorySpec {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Number of populated channels.
+    pub channels: u32,
+    /// Transfer rate in mega-transfers per second (e.g. 2666 for DDR4-2666).
+    pub rate_mts: u32,
+}
+
+impl MemorySpec {
+    /// Peak theoretical bandwidth in bytes per second
+    /// (`channels × rate × 8 bytes per transfer`).
+    pub fn peak_bandwidth_bps(&self) -> f64 {
+        self.channels as f64 * self.rate_mts as f64 * 1e6 * 8.0
+    }
+
+    /// Peak theoretical bandwidth in GB/s.
+    pub fn peak_bandwidth_gbs(&self) -> f64 {
+        self.peak_bandwidth_bps() / 1e9
+    }
+
+    /// Sustained bandwidth in bytes per second, assuming the customary
+    /// ~75% efficiency of real streams versus the channel peak.
+    pub fn sustained_bandwidth_bps(&self) -> f64 {
+        self.peak_bandwidth_bps() * 0.75
+    }
+
+    /// Time to stream `bytes` bytes at sustained bandwidth.
+    pub fn stream_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.sustained_bandwidth_bps())
+    }
+
+    /// True if a working set of `bytes` fits in memory — the paper sizes
+    /// every data set to fit the SNIC's 16 GB so page faults never occur
+    /// (Sec. 3.4).
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.capacity_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::specs;
+
+    #[test]
+    fn host_memory_outpaces_snic_memory() {
+        let host = specs::host_memory();
+        let snic = specs::snic_memory();
+        assert!(host.peak_bandwidth_gbs() > 3.0 * snic.peak_bandwidth_gbs());
+    }
+
+    #[test]
+    fn host_peak_bandwidth_matches_ddr4_2666_x6() {
+        let host = specs::host_memory();
+        // 6 channels * 2666 MT/s * 8 B = 127.968 GB/s.
+        assert!((host.peak_bandwidth_gbs() - 127.968).abs() < 0.01);
+    }
+
+    #[test]
+    fn stream_time_is_linear_in_bytes() {
+        let m = specs::snic_memory();
+        let t1 = m.stream_time(1 << 20);
+        let t2 = m.stream_time(2 << 20);
+        let ratio = t2.as_secs_f64() / t1.as_secs_f64();
+        assert!((ratio - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn capacity_check() {
+        let snic = specs::snic_memory();
+        assert!(snic.fits(8 << 30));
+        assert!(!snic.fits(32 << 30));
+    }
+}

@@ -1,0 +1,214 @@
+//! NIC and embedded-switch models.
+//!
+//! ConnectX-6 Dx is the standard 100 Gb/s NIC inside BlueField-2 (and the
+//! client's NIC). It contributes two timing elements: wire serialization at
+//! the line rate, and a small fixed pipeline latency. Its embedded switch
+//! ("eSwitch") forwards packets to the SNIC CPU, the host, or a bump-in-the-
+//! wire accelerator path according to programmed rules (Sec. 2.2–2.3).
+
+use snicbench_sim::SimDuration;
+
+/// Destination a packet can be steered to by the embedded switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwitchPort {
+    /// Deliver to the host CPU across PCIe.
+    Host,
+    /// Deliver to the SNIC's Arm cores.
+    SnicCpu,
+    /// Bounce back out the wire port (hairpin / bump-in-the-wire).
+    Wire,
+}
+
+/// A physical NIC specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NicSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Line rate per port in Gb/s.
+    pub line_rate_gbps: f64,
+    /// Number of ports.
+    pub ports: u8,
+    /// Fixed RX/TX pipeline latency (MAC + PHY + DMA engine), one-way.
+    pub pipeline_latency: SimDuration,
+}
+
+impl NicSpec {
+    /// Time to serialize `bytes` onto the wire at line rate.
+    pub fn serialization_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / (self.line_rate_gbps * 1e9))
+    }
+
+    /// One-way latency for a packet of `bytes` through the NIC and onto the
+    /// wire: pipeline plus serialization.
+    pub fn tx_time(&self, bytes: u64) -> SimDuration {
+        self.pipeline_latency + self.serialization_time(bytes)
+    }
+
+    /// Maximum packet rate (packets per second) for packets of `bytes`
+    /// bytes, limited by line rate (per port).
+    pub fn max_pps(&self, bytes: u64) -> f64 {
+        assert!(bytes > 0, "packet size must be positive");
+        self.line_rate_gbps * 1e9 / 8.0 / bytes as f64
+    }
+}
+
+/// A forwarding rule: match on a flow-hash bucket, output a port.
+///
+/// Real eSwitch rules match on headers; the simulation steers by flow id,
+/// which is what load-balancing policies need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForwardingRule {
+    /// Flows whose `flow_id % modulus == remainder` match this rule.
+    pub modulus: u64,
+    /// Remainder selecting the matching bucket.
+    pub remainder: u64,
+    /// Where matching packets go.
+    pub output: SwitchPort,
+}
+
+/// The embedded switch: an ordered rule table with a default port.
+///
+/// # Example
+///
+/// ```
+/// use snicbench_hw::nic::{EmbeddedSwitch, ForwardingRule, SwitchPort};
+///
+/// let mut sw = EmbeddedSwitch::new(SwitchPort::SnicCpu);
+/// sw.add_rule(ForwardingRule { modulus: 2, remainder: 0, output: SwitchPort::Host });
+/// assert_eq!(sw.route(4), SwitchPort::Host);
+/// assert_eq!(sw.route(5), SwitchPort::SnicCpu);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddedSwitch {
+    rules: Vec<ForwardingRule>,
+    default: SwitchPort,
+    /// Fixed lookup-and-forward latency.
+    latency: SimDuration,
+    routed: u64,
+}
+
+impl EmbeddedSwitch {
+    /// Creates a switch that sends everything to `default`.
+    pub fn new(default: SwitchPort) -> Self {
+        EmbeddedSwitch {
+            rules: Vec::new(),
+            default,
+            // Cut-through switching latency of the ConnectX-6 eSwitch class.
+            latency: SimDuration::from_nanos(700),
+            routed: 0,
+        }
+    }
+
+    /// Appends a rule; earlier rules take priority.
+    pub fn add_rule(&mut self, rule: ForwardingRule) {
+        assert!(rule.modulus > 0, "modulus must be positive");
+        assert!(rule.remainder < rule.modulus, "remainder out of range");
+        self.rules.push(rule);
+    }
+
+    /// Removes all rules (reverts to the default port).
+    pub fn clear_rules(&mut self) {
+        self.rules.clear();
+    }
+
+    /// Replaces the default port.
+    pub fn set_default(&mut self, port: SwitchPort) {
+        self.default = port;
+    }
+
+    /// Routes a packet by flow id, counting the decision.
+    pub fn route(&mut self, flow_id: u64) -> SwitchPort {
+        self.routed += 1;
+        for rule in &self.rules {
+            if flow_id % rule.modulus == rule.remainder {
+                return rule.output;
+            }
+        }
+        self.default
+    }
+
+    /// The switch's fixed forwarding latency.
+    pub fn forwarding_latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Total packets routed.
+    pub fn packets_routed(&self) -> u64 {
+        self.routed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs;
+
+    #[test]
+    fn serialization_at_100g() {
+        let nic = specs::connectx6_dx();
+        // 1500 B at 100 Gb/s = 120 ns.
+        assert_eq!(nic.serialization_time(1500), SimDuration::from_nanos(120));
+    }
+
+    #[test]
+    fn max_pps_for_64b() {
+        let nic = specs::connectx6_dx();
+        let pps = nic.max_pps(64);
+        assert!((pps - 195_312_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn tx_time_includes_pipeline() {
+        let nic = specs::connectx6_dx();
+        assert!(nic.tx_time(64) > nic.serialization_time(64));
+    }
+
+    #[test]
+    fn switch_default_route() {
+        let mut sw = EmbeddedSwitch::new(SwitchPort::Host);
+        assert_eq!(sw.route(123), SwitchPort::Host);
+        assert_eq!(sw.packets_routed(), 1);
+    }
+
+    #[test]
+    fn rules_take_priority_in_order() {
+        let mut sw = EmbeddedSwitch::new(SwitchPort::Wire);
+        sw.add_rule(ForwardingRule {
+            modulus: 4,
+            remainder: 0,
+            output: SwitchPort::Host,
+        });
+        sw.add_rule(ForwardingRule {
+            modulus: 2,
+            remainder: 0,
+            output: SwitchPort::SnicCpu,
+        });
+        assert_eq!(sw.route(8), SwitchPort::Host); // matches both, first wins
+        assert_eq!(sw.route(2), SwitchPort::SnicCpu);
+        assert_eq!(sw.route(3), SwitchPort::Wire);
+    }
+
+    #[test]
+    fn clear_rules_restores_default() {
+        let mut sw = EmbeddedSwitch::new(SwitchPort::SnicCpu);
+        sw.add_rule(ForwardingRule {
+            modulus: 1,
+            remainder: 0,
+            output: SwitchPort::Host,
+        });
+        assert_eq!(sw.route(1), SwitchPort::Host);
+        sw.clear_rules();
+        assert_eq!(sw.route(1), SwitchPort::SnicCpu);
+    }
+
+    #[test]
+    #[should_panic(expected = "remainder out of range")]
+    fn bad_rule_panics() {
+        let mut sw = EmbeddedSwitch::new(SwitchPort::Host);
+        sw.add_rule(ForwardingRule {
+            modulus: 2,
+            remainder: 5,
+            output: SwitchPort::Host,
+        });
+    }
+}

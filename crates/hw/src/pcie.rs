@@ -1,0 +1,109 @@
+//! PCIe interconnect model.
+//!
+//! The SNIC is a PCIe-attached device: every host↔SNIC interaction crosses
+//! the link, and prior work the paper cites ([11, 81]) argues exactly this
+//! latency makes PCIe-attached accelerators awkward for microsecond-scale
+//! tasks. The model captures the two costs that matter: a fixed round-trip
+//! latency (MMIO doorbell / DMA completion) and finite bandwidth
+//! (payload serialization).
+
+use snicbench_sim::SimDuration;
+
+/// A PCIe link specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieLink {
+    /// PCIe generation (3, 4, 5).
+    pub generation: u8,
+    /// Number of lanes (×16 for BlueField-2).
+    pub lanes: u8,
+}
+
+impl PcieLink {
+    /// Per-lane raw rate in giga-transfers per second for this generation.
+    fn gt_per_lane(&self) -> f64 {
+        match self.generation {
+            3 => 8.0,
+            4 => 16.0,
+            5 => 32.0,
+            g => panic!("unsupported PCIe generation {g}"),
+        }
+    }
+
+    /// Effective data bandwidth in bytes per second, after 128b/130b line
+    /// coding and ~5% DLLP/TLP framing overhead.
+    pub fn bandwidth_bps(&self) -> f64 {
+        let raw = self.gt_per_lane() * 1e9 * self.lanes as f64 / 8.0; // bytes/s
+        raw * (128.0 / 130.0) * 0.95
+    }
+
+    /// One-way latency for a small transaction (posted write / doorbell):
+    /// dominated by root-complex and switch traversal, ~300 ns on modern
+    /// systems.
+    pub fn one_way_latency(&self) -> SimDuration {
+        SimDuration::from_nanos(300)
+    }
+
+    /// Round-trip latency for a non-posted read or a submit-complete pair.
+    pub fn round_trip_latency(&self) -> SimDuration {
+        self.one_way_latency() * 2
+    }
+
+    /// Total time to DMA `bytes` across the link and observe the
+    /// completion: round trip plus serialization.
+    pub fn dma_time(&self, bytes: u64) -> SimDuration {
+        self.round_trip_latency() + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GEN4_X16: PcieLink = PcieLink {
+        generation: 4,
+        lanes: 16,
+    };
+
+    #[test]
+    fn gen4_x16_bandwidth_near_30_gbs() {
+        let bw = GEN4_X16.bandwidth_bps() / 1e9;
+        assert!((28.0..32.0).contains(&bw), "bandwidth {bw} GB/s");
+    }
+
+    #[test]
+    fn dma_time_has_fixed_floor() {
+        let t = GEN4_X16.dma_time(0);
+        assert_eq!(t, GEN4_X16.round_trip_latency());
+        assert_eq!(t, SimDuration::from_nanos(600));
+    }
+
+    #[test]
+    fn dma_time_grows_with_payload() {
+        let small = GEN4_X16.dma_time(64);
+        let big = GEN4_X16.dma_time(1 << 20);
+        assert!(big > small);
+        // 1 MiB at ~30 GB/s is ~35 us.
+        let us = big.as_secs_f64() * 1e6;
+        assert!((20.0..60.0).contains(&us), "1MiB dma {us} us");
+    }
+
+    #[test]
+    fn gen3_is_half_of_gen4() {
+        let g3 = PcieLink {
+            generation: 3,
+            lanes: 16,
+        };
+        let ratio = GEN4_X16.bandwidth_bps() / g3.bandwidth_bps();
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported PCIe generation")]
+    fn unknown_generation_panics() {
+        let link = PcieLink {
+            generation: 7,
+            lanes: 1,
+        };
+        let _ = link.bandwidth_bps();
+    }
+}

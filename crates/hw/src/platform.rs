@@ -1,0 +1,124 @@
+//! Execution platforms.
+//!
+//! Table 3 of the paper classifies each benchmark by where it can run:
+//! the host CPU ("HC"), the SNIC's Arm cores ("SC"), or an SNIC
+//! fixed-function accelerator ("SA"). [`ExecutionPlatform`] is that
+//! three-way choice, used as a key throughout calibration, experiments,
+//! and reports.
+
+use std::str::FromStr;
+
+/// Where a workload function executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ExecutionPlatform {
+    /// The server's Xeon cores ("HC" in Table 3).
+    HostCpu,
+    /// The BlueField-2 Arm cores ("SC").
+    SnicCpu,
+    /// A BlueField-2 fixed-function engine, driven by SNIC CPU cores ("SA").
+    SnicAccelerator,
+}
+
+impl ExecutionPlatform {
+    /// All platforms, in Table 3 order.
+    pub const ALL: [ExecutionPlatform; 3] = [
+        ExecutionPlatform::HostCpu,
+        ExecutionPlatform::SnicCpu,
+        ExecutionPlatform::SnicAccelerator,
+    ];
+
+    /// The two-letter code used in Table 3.
+    pub fn code(self) -> &'static str {
+        match self {
+            ExecutionPlatform::HostCpu => "HC",
+            ExecutionPlatform::SnicCpu => "SC",
+            ExecutionPlatform::SnicAccelerator => "SA",
+        }
+    }
+
+    /// True if this platform lives on the SmartNIC.
+    pub fn is_on_snic(self) -> bool {
+        !matches!(self, ExecutionPlatform::HostCpu)
+    }
+}
+
+impl std::fmt::Display for ExecutionPlatform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionPlatform::HostCpu => write!(f, "host CPU"),
+            ExecutionPlatform::SnicCpu => write!(f, "SNIC CPU"),
+            ExecutionPlatform::SnicAccelerator => write!(f, "SNIC accelerator"),
+        }
+    }
+}
+
+/// Error returned when parsing an [`ExecutionPlatform`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePlatformError(String);
+
+impl std::fmt::Display for ParsePlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown platform {:?} (expected HC, SC, or SA)", self.0)
+    }
+}
+
+impl std::error::Error for ParsePlatformError {}
+
+impl FromStr for ExecutionPlatform {
+    type Err = ParsePlatformError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "HC" | "HOST" | "HOST-CPU" | "HOST_CPU" => Ok(ExecutionPlatform::HostCpu),
+            "SC" | "SNIC" | "SNIC-CPU" | "SNIC_CPU" => Ok(ExecutionPlatform::SnicCpu),
+            "SA" | "ACCEL" | "SNIC-ACCEL" | "SNIC_ACCELERATOR" => {
+                Ok(ExecutionPlatform::SnicAccelerator)
+            }
+            other => Err(ParsePlatformError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_table3() {
+        assert_eq!(ExecutionPlatform::HostCpu.code(), "HC");
+        assert_eq!(ExecutionPlatform::SnicCpu.code(), "SC");
+        assert_eq!(ExecutionPlatform::SnicAccelerator.code(), "SA");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for p in ExecutionPlatform::ALL {
+            assert_eq!(p.code().parse::<ExecutionPlatform>().unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn parse_aliases_and_case() {
+        assert_eq!(
+            "host".parse::<ExecutionPlatform>().unwrap(),
+            ExecutionPlatform::HostCpu
+        );
+        assert_eq!(
+            "sc".parse::<ExecutionPlatform>().unwrap(),
+            ExecutionPlatform::SnicCpu
+        );
+    }
+
+    #[test]
+    fn parse_error_is_descriptive() {
+        let err = "xyz".parse::<ExecutionPlatform>().unwrap_err();
+        assert!(err.to_string().contains("XYZ"));
+    }
+
+    #[test]
+    fn snic_membership() {
+        assert!(!ExecutionPlatform::HostCpu.is_on_snic());
+        assert!(ExecutionPlatform::SnicCpu.is_on_snic());
+        assert!(ExecutionPlatform::SnicAccelerator.is_on_snic());
+    }
+}

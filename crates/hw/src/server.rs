@@ -1,0 +1,154 @@
+//! The assembled host server and full testbed.
+//!
+//! [`HostServer`] is the Xeon Gold 6140 box from Table 2; [`Testbed`]
+//! combines it with a [`BlueField2`] in its PCIe slot and the back-to-back
+//! 100 Gb/s client link, exposing the end-to-end fixed path latency for
+//! every [`ExecutionPlatform`]. These path latencies are what make the
+//! round-trip comparisons honest: the SNIC CPU is closer to the wire, the
+//! host pays the PCIe crossing, and the accelerators pay the staging
+//! pipeline.
+
+use snicbench_sim::SimDuration;
+
+use crate::accelerator::AcceleratorKind;
+use crate::cache::CacheHierarchy;
+use crate::cpu::CpuSpec;
+use crate::memory::MemorySpec;
+use crate::platform::ExecutionPlatform;
+use crate::snic::BlueField2;
+use crate::specs;
+
+/// The host server (Table 2).
+#[derive(Debug, Clone)]
+pub struct HostServer {
+    /// The Xeon CPU.
+    pub cpu: CpuSpec,
+    /// Its cache hierarchy.
+    pub cache: CacheHierarchy,
+    /// System DRAM.
+    pub memory: MemorySpec,
+}
+
+impl Default for HostServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HostServer {
+    /// Builds the Table 2 server.
+    pub fn new() -> Self {
+        HostServer {
+            cpu: specs::host_cpu(),
+            cache: specs::host_cache(),
+            memory: specs::host_memory(),
+        }
+    }
+}
+
+/// The full evaluation testbed: server + SNIC + client link (Fig. 3).
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    /// The host server.
+    pub server: HostServer,
+    /// The SmartNIC in the server's PCIe slot.
+    pub snic: BlueField2,
+    /// One-way wire propagation between client and server NICs
+    /// (back-to-back DAC cable: negligible but nonzero).
+    pub wire_latency: SimDuration,
+}
+
+impl Default for Testbed {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Testbed {
+    /// Builds the paper's testbed.
+    pub fn new() -> Self {
+        Testbed {
+            server: HostServer::new(),
+            snic: BlueField2::new(),
+            wire_latency: SimDuration::from_nanos(50),
+        }
+    }
+
+    /// Fixed one-way ingress latency from the client NIC's egress to the
+    /// point where `platform` begins processing, excluding payload
+    /// serialization (charged separately at the line rate).
+    ///
+    /// Returns `None` for [`ExecutionPlatform::SnicAccelerator`] paths when
+    /// the relevant accelerator is absent — use
+    /// [`Testbed::ingress_latency_to_accelerator`] to name the engine.
+    pub fn ingress_latency(&self, platform: ExecutionPlatform) -> SimDuration {
+        match platform {
+            ExecutionPlatform::HostCpu => self.wire_latency + self.snic.wire_to_host_latency(),
+            ExecutionPlatform::SnicCpu => self.wire_latency + self.snic.wire_to_snic_cpu_latency(),
+            // Generic accelerator path: use the REM engine's staging as the
+            // representative; per-engine paths via the named variant.
+            ExecutionPlatform::SnicAccelerator => self
+                .ingress_latency_to_accelerator(AcceleratorKind::RegexMatching)
+                .expect("BlueField-2 always carries the REM engine"),
+        }
+    }
+
+    /// Fixed one-way ingress latency to a specific accelerator engine.
+    pub fn ingress_latency_to_accelerator(&self, kind: AcceleratorKind) -> Option<SimDuration> {
+        self.snic
+            .wire_to_accelerator_latency(kind)
+            .map(|l| self.wire_latency + l)
+    }
+
+    /// Round-trip fixed latency for a request processed on `platform`
+    /// (client → platform → client), still excluding serialization and
+    /// service time.
+    pub fn round_trip_fixed_latency(&self, platform: ExecutionPlatform) -> SimDuration {
+        // The egress path retraces the ingress path.
+        self.ingress_latency(platform) * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snic_cpu_is_closest_to_the_wire() {
+        let tb = Testbed::new();
+        let snic = tb.ingress_latency(ExecutionPlatform::SnicCpu);
+        let host = tb.ingress_latency(ExecutionPlatform::HostCpu);
+        let accel = tb.ingress_latency(ExecutionPlatform::SnicAccelerator);
+        assert!(snic < host, "snic {snic} host {host}");
+        assert!(host < accel, "host {host} accel {accel}");
+    }
+
+    #[test]
+    fn accelerator_paths_differ_by_engine() {
+        let tb = Testbed::new();
+        let rem = tb
+            .ingress_latency_to_accelerator(AcceleratorKind::RegexMatching)
+            .unwrap();
+        let pka = tb
+            .ingress_latency_to_accelerator(AcceleratorKind::PublicKeyCrypto)
+            .unwrap();
+        assert_ne!(rem, pka);
+    }
+
+    #[test]
+    fn round_trip_is_twice_one_way() {
+        let tb = Testbed::new();
+        for p in ExecutionPlatform::ALL {
+            assert_eq!(tb.round_trip_fixed_latency(p), tb.ingress_latency(p) * 2);
+        }
+    }
+
+    #[test]
+    fn fixed_latencies_are_microsecond_scale() {
+        let tb = Testbed::new();
+        let host_rt = tb.round_trip_fixed_latency(ExecutionPlatform::HostCpu);
+        // Sanity: fixed network path is a handful of microseconds, not ms.
+        assert!(host_rt < SimDuration::from_micros(20), "{host_rt}");
+        assert!(host_rt > SimDuration::from_micros(1), "{host_rt}");
+    }
+}

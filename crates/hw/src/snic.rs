@@ -1,0 +1,209 @@
+//! The assembled BlueField-2 SmartNIC model.
+//!
+//! [`BlueField2`] wires together the Arm CPU complex, cache/memory
+//! subsystem, the ConnectX-6 Dx NIC with its embedded switch, the PCIe
+//! uplink, and the three accelerators, and exposes the latency of each
+//! ingress path. It also models the two operation modes of Sec. 2.3
+//! (on-path and off-path); the paper evaluates on-path only, because the
+//! accelerators require it and NVIDIA discontinued off-path support.
+
+use snicbench_sim::SimDuration;
+
+use crate::accelerator::{AcceleratorKind, AcceleratorSpec};
+use crate::cache::CacheHierarchy;
+use crate::cpu::CpuSpec;
+use crate::memory::MemorySpec;
+use crate::nic::{EmbeddedSwitch, NicSpec, SwitchPort};
+use crate::pcie::PcieLink;
+use crate::specs;
+
+/// How packets flow within the SNIC (Sec. 2.3, Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OperationMode {
+    /// All ingress/egress traffic traverses the SNIC CPU complex, which
+    /// runs the control plane (OvS) and can invoke accelerators. The only
+    /// mode the paper evaluates.
+    #[default]
+    OnPath,
+    /// The SNIC CPU appears as an independent network node; the embedded
+    /// switch forwards directly to SNIC CPU or host by L2 address.
+    /// Modeled for completeness; discontinued by the vendor.
+    OffPath,
+}
+
+impl std::fmt::Display for OperationMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OperationMode::OnPath => write!(f, "on-path"),
+            OperationMode::OffPath => write!(f, "off-path"),
+        }
+    }
+}
+
+/// The assembled BlueField-2 device.
+#[derive(Debug, Clone)]
+pub struct BlueField2 {
+    /// The Arm CPU complex.
+    pub cpu: CpuSpec,
+    /// The Arm cores' cache hierarchy.
+    pub cache: CacheHierarchy,
+    /// On-board DRAM.
+    pub memory: MemorySpec,
+    /// The embedded ConnectX-6 Dx.
+    pub nic: NicSpec,
+    /// The embedded switch steering ingress packets.
+    pub eswitch: EmbeddedSwitch,
+    /// The PCIe uplink to the host.
+    pub pcie: PcieLink,
+    accelerators: Vec<AcceleratorSpec>,
+    mode: OperationMode,
+}
+
+impl Default for BlueField2 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlueField2 {
+    /// Builds the device with the Table 1 specification, in on-path mode
+    /// with everything steered to the SNIC CPU.
+    pub fn new() -> Self {
+        BlueField2 {
+            cpu: specs::snic_cpu(),
+            cache: specs::snic_cache(),
+            memory: specs::snic_memory(),
+            nic: specs::connectx6_dx(),
+            eswitch: EmbeddedSwitch::new(SwitchPort::SnicCpu),
+            pcie: specs::snic_pcie(),
+            accelerators: vec![
+                specs::rem_accelerator(),
+                specs::pka_accelerator(),
+                specs::compression_accelerator(),
+            ],
+            mode: OperationMode::OnPath,
+        }
+    }
+
+    /// Current operation mode.
+    pub fn mode(&self) -> OperationMode {
+        self.mode
+    }
+
+    /// Switches operation mode. Switching clears the eSwitch rule table
+    /// (mode change reprograms forwarding).
+    pub fn set_mode(&mut self, mode: OperationMode) {
+        if mode != self.mode {
+            self.eswitch.clear_rules();
+            self.eswitch.set_default(match mode {
+                OperationMode::OnPath => SwitchPort::SnicCpu,
+                OperationMode::OffPath => SwitchPort::Host,
+            });
+            self.mode = mode;
+        }
+    }
+
+    /// Looks up an accelerator by kind.
+    pub fn accelerator(&self, kind: AcceleratorKind) -> Option<&AcceleratorSpec> {
+        self.accelerators.iter().find(|a| a.kind == kind)
+    }
+
+    /// All accelerators.
+    pub fn accelerators(&self) -> &[AcceleratorSpec] {
+        &self.accelerators
+    }
+
+    /// Fixed one-way latency from the wire to the SNIC CPU: NIC pipeline +
+    /// eSwitch forwarding (payload serialization is charged separately).
+    pub fn wire_to_snic_cpu_latency(&self) -> SimDuration {
+        self.nic.pipeline_latency + self.eswitch.forwarding_latency()
+    }
+
+    /// Fixed one-way latency from the wire to the host CPU: NIC pipeline +
+    /// eSwitch + PCIe crossing. In on-path mode the packet additionally
+    /// bounces through the SNIC CPU's OvS data path.
+    pub fn wire_to_host_latency(&self) -> SimDuration {
+        let base = self.nic.pipeline_latency
+            + self.eswitch.forwarding_latency()
+            + self.pcie.one_way_latency();
+        match self.mode {
+            // The paper offloads the OvS data plane to the eSwitch, so the
+            // on-path detour costs one extra switch traversal, not a CPU
+            // bounce.
+            OperationMode::OnPath => base + self.eswitch.forwarding_latency(),
+            OperationMode::OffPath => base,
+        }
+    }
+
+    /// Fixed one-way latency from the wire to an accelerator engine:
+    /// reaches the SNIC CPU first (which stages buffers and submits tasks).
+    pub fn wire_to_accelerator_latency(&self, kind: AcceleratorKind) -> Option<SimDuration> {
+        self.accelerator(kind)
+            .map(|a| self.wire_to_snic_cpu_latency() + a.staging_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_on_path_to_snic_cpu() {
+        let mut bf2 = BlueField2::new();
+        assert_eq!(bf2.mode(), OperationMode::OnPath);
+        assert_eq!(bf2.eswitch.route(1), SwitchPort::SnicCpu);
+    }
+
+    #[test]
+    fn has_all_three_accelerators() {
+        let bf2 = BlueField2::new();
+        for kind in [
+            AcceleratorKind::RegexMatching,
+            AcceleratorKind::PublicKeyCrypto,
+            AcceleratorKind::Compression,
+        ] {
+            assert!(bf2.accelerator(kind).is_some(), "{kind} missing");
+        }
+        assert_eq!(bf2.accelerators().len(), 3);
+    }
+
+    #[test]
+    fn mode_switch_reprograms_default_route() {
+        let mut bf2 = BlueField2::new();
+        bf2.set_mode(OperationMode::OffPath);
+        assert_eq!(bf2.mode(), OperationMode::OffPath);
+        assert_eq!(bf2.eswitch.route(1), SwitchPort::Host);
+        bf2.set_mode(OperationMode::OnPath);
+        assert_eq!(bf2.eswitch.route(1), SwitchPort::SnicCpu);
+    }
+
+    #[test]
+    fn host_path_is_longer_than_snic_path() {
+        let bf2 = BlueField2::new();
+        assert!(bf2.wire_to_host_latency() > bf2.wire_to_snic_cpu_latency());
+    }
+
+    #[test]
+    fn on_path_host_detour_costs_extra() {
+        let mut bf2 = BlueField2::new();
+        let on = bf2.wire_to_host_latency();
+        bf2.set_mode(OperationMode::OffPath);
+        let off = bf2.wire_to_host_latency();
+        assert!(on > off, "on-path {on} should exceed off-path {off}");
+    }
+
+    #[test]
+    fn accelerator_path_includes_staging() {
+        let bf2 = BlueField2::new();
+        let rem = bf2
+            .wire_to_accelerator_latency(AcceleratorKind::RegexMatching)
+            .unwrap();
+        assert!(rem > bf2.wire_to_snic_cpu_latency() + SimDuration::from_micros(19));
+    }
+
+    #[test]
+    fn modes_display() {
+        assert_eq!(OperationMode::OnPath.to_string(), "on-path");
+        assert_eq!(OperationMode::OffPath.to_string(), "off-path");
+    }
+}

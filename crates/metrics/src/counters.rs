@@ -1,0 +1,169 @@
+//! Windowed throughput accounting.
+//!
+//! The paper reports *maximum sustainable throughput* in Gb/s: the highest
+//! offered rate at which the server still completes (almost) everything it
+//! is offered. [`ThroughputCounter`] accumulates completed operations and
+//! bytes over a measurement window and converts them to rates.
+
+use snicbench_sim::{SimDuration, SimTime};
+
+/// Accumulates operation and byte counts over a measurement window.
+///
+/// # Example
+///
+/// ```
+/// use snicbench_metrics::ThroughputCounter;
+/// use snicbench_sim::SimTime;
+///
+/// let mut c = ThroughputCounter::starting_at(SimTime::ZERO);
+/// c.record(1500); // one 1500-byte packet
+/// c.record(1500);
+/// let gbps = c.gbps(SimTime::from_nanos(240)); // 3000 B in 240 ns
+/// assert!((gbps - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThroughputCounter {
+    window_start: SimTime,
+    ops: u64,
+    bytes: u64,
+}
+
+impl ThroughputCounter {
+    /// Creates a counter whose window opens at `start`.
+    pub fn starting_at(start: SimTime) -> Self {
+        ThroughputCounter {
+            window_start: start,
+            ops: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Records one completed operation carrying `bytes` bytes.
+    pub fn record(&mut self, bytes: u64) {
+        self.ops += 1;
+        self.bytes += bytes;
+    }
+
+    /// Records `ops` operations carrying `bytes` bytes in total.
+    pub fn record_batch(&mut self, ops: u64, bytes: u64) {
+        self.ops += ops;
+        self.bytes += bytes;
+    }
+
+    /// Completed operations so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Completed bytes so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The window start.
+    pub fn window_start(&self) -> SimTime {
+        self.window_start
+    }
+
+    /// Elapsed window length at `now` (zero if `now` precedes the start).
+    pub fn elapsed(&self, now: SimTime) -> SimDuration {
+        now.saturating_duration_since(self.window_start)
+    }
+
+    /// Operations per second over the window ending at `now`.
+    ///
+    /// Returns 0 for an empty window.
+    pub fn ops_per_sec(&self, now: SimTime) -> f64 {
+        let secs = self.elapsed(now).as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+
+    /// Data rate in gigabits per second over the window ending at `now`.
+    ///
+    /// Returns 0 for an empty window.
+    pub fn gbps(&self, now: SimTime) -> f64 {
+        let secs = self.elapsed(now).as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            (self.bytes as f64 * 8.0) / secs / 1e9
+        }
+    }
+
+    /// Resets counts and reopens the window at `now`.
+    pub fn reset(&mut self, now: SimTime) {
+        *self = ThroughputCounter::starting_at(now);
+    }
+}
+
+/// Converts a data rate in Gb/s and a packet size into packets per second.
+///
+/// # Panics
+///
+/// Panics if `packet_bytes` is zero.
+pub fn gbps_to_pps(gbps: f64, packet_bytes: u64) -> f64 {
+    assert!(packet_bytes > 0, "packet size must be positive");
+    gbps * 1e9 / 8.0 / packet_bytes as f64
+}
+
+/// Converts packets per second and a packet size into a data rate in Gb/s.
+pub fn pps_to_gbps(pps: f64, packet_bytes: u64) -> f64 {
+    pps * packet_bytes as f64 * 8.0 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_rates_are_zero() {
+        let c = ThroughputCounter::starting_at(SimTime::ZERO);
+        assert_eq!(c.gbps(SimTime::ZERO), 0.0);
+        assert_eq!(c.ops_per_sec(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn rates_compute_from_window() {
+        let mut c = ThroughputCounter::starting_at(SimTime::from_nanos(1_000));
+        c.record_batch(1_000, 64_000);
+        let now = SimTime::from_nanos(1_001_000); // 1 ms window
+        assert!((c.ops_per_sec(now) - 1e6).abs() < 1e-3);
+        assert!((c.gbps(now) - 0.512).abs() < 1e-9);
+    }
+
+    #[test]
+    fn now_before_start_is_zero_rate() {
+        let mut c = ThroughputCounter::starting_at(SimTime::from_nanos(100));
+        c.record(100);
+        assert_eq!(c.gbps(SimTime::from_nanos(50)), 0.0);
+    }
+
+    #[test]
+    fn reset_reopens_window() {
+        let mut c = ThroughputCounter::starting_at(SimTime::ZERO);
+        c.record(1000);
+        c.reset(SimTime::from_nanos(500));
+        assert_eq!(c.ops(), 0);
+        assert_eq!(c.bytes(), 0);
+        assert_eq!(c.window_start(), SimTime::from_nanos(500));
+    }
+
+    #[test]
+    fn pps_gbps_round_trip() {
+        let pps = gbps_to_pps(100.0, 1500);
+        assert!((pps_to_gbps(pps, 1500) - 100.0).abs() < 1e-9);
+        // 100 Gb/s of 64 B packets is ~195 Mpps.
+        let small = gbps_to_pps(100.0, 64);
+        assert!((small - 195_312_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "packet size")]
+    fn zero_packet_size_panics() {
+        gbps_to_pps(1.0, 0);
+    }
+}

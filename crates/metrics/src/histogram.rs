@@ -1,0 +1,343 @@
+//! Log-bucketed latency histograms.
+//!
+//! [`LatencyHistogram`] records `u64` values (nanoseconds, by convention)
+//! into buckets arranged like HdrHistogram's: values are grouped by binary
+//! magnitude, and each magnitude is split into `2^precision_bits`
+//! sub-buckets, bounding the relative quantization error at roughly
+//! `2^-precision_bits`. With the default 7 precision bits the p99 estimate
+//! is within ~0.8% of the true value — far tighter than the run-to-run noise
+//! of any real measurement, and cheap enough to record hundreds of millions
+//! of samples.
+
+/// Number of sub-bucket bits used by [`LatencyHistogram::new`].
+pub const DEFAULT_PRECISION_BITS: u32 = 7;
+
+/// A histogram of non-negative integer samples with bounded relative error.
+///
+/// # Example
+///
+/// ```
+/// use snicbench_metrics::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p99 = h.percentile(99.0);
+/// assert!((985..=1000).contains(&p99), "p99 {p99}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    precision_bits: u32,
+    sub_buckets: u64,
+    counts: Vec<u64>,
+    count: u64,
+    total: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates a histogram with the default precision
+    /// ([`DEFAULT_PRECISION_BITS`]).
+    pub fn new() -> Self {
+        Self::with_precision(DEFAULT_PRECISION_BITS)
+    }
+
+    /// Creates a histogram with `precision_bits` sub-bucket bits
+    /// (relative error ≈ `2^-precision_bits`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= precision_bits <= 20`.
+    pub fn with_precision(precision_bits: u32) -> Self {
+        assert!(
+            (1..=20).contains(&precision_bits),
+            "precision_bits out of range"
+        );
+        LatencyHistogram {
+            precision_bits,
+            sub_buckets: 1 << precision_bits,
+            counts: Vec::new(),
+            count: 0,
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Maps a value to its bucket index.
+    ///
+    /// Values below `2^precision_bits` get one exact bucket each; above
+    /// that, each binary magnitude `k` past the threshold is split into
+    /// `sub_buckets / 2` buckets of width `2^k`.
+    fn index_of(&self, value: u64) -> usize {
+        let v = value.max(1);
+        let magnitude = 63 - v.leading_zeros() as u64; // floor(log2 v)
+        if magnitude < self.precision_bits as u64 {
+            v as usize
+        } else {
+            let shift = magnitude - self.precision_bits as u64 + 1;
+            let sub = v >> shift; // in [sub_buckets/2, sub_buckets)
+            (shift * (self.sub_buckets / 2) + sub) as usize
+        }
+    }
+
+    /// The upper-edge value of bucket `idx` — the largest value mapping to
+    /// this bucket (exact inverse of [`LatencyHistogram::index_of`]).
+    fn value_of(&self, idx: usize) -> u64 {
+        let idx = idx as u64;
+        if idx < self.sub_buckets {
+            return idx;
+        }
+        let half = self.sub_buckets / 2;
+        let over = idx - self.sub_buckets;
+        let shift = over / half + 1;
+        let sub = half + over % half;
+        ((sub + 1) << shift) - 1
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = self.index_of(value);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+        self.count += n;
+        self.total += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms use different precisions.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(
+            self.precision_bits, other.precision_bits,
+            "precision mismatch"
+        );
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The smallest recorded value, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The largest recorded value, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The exact mean of recorded values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// The value at the given percentile in `[0, 100]`.
+    ///
+    /// Returns an upper-bound estimate with relative error bounded by the
+    /// precision, clamped to the recorded `max`. Returns 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is outside `[0, 100]`.
+    pub fn percentile(&self, pct: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&pct), "percentile out of range");
+        if self.is_empty() {
+            return 0;
+        }
+        let target = ((pct / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.value_of(idx).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: the 50th percentile.
+    pub fn median(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// Convenience: the 99th percentile (the paper's SLO metric).
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        // Nearest-rank p50 of {0..99} is the 50th smallest value, i.e. 49.
+        assert_eq!(h.percentile(50.0), 49);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 99);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = LatencyHistogram::new();
+        // Values spanning six orders of magnitude.
+        let values: Vec<u64> = (0..5000).map(|i| 1 + i * i * 37).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        for pct in [10.0, 50.0, 90.0, 99.0, 99.9] {
+            let est = h.percentile(pct) as f64;
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+            let exact = sorted[rank.saturating_sub(1).min(sorted.len() - 1)] as f64;
+            let rel = (est - exact).abs() / exact;
+            assert!(rel < 0.02, "pct {pct}: est {est} exact {exact} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(60);
+        assert_eq!(h.mean(), 30.0);
+    }
+
+    #[test]
+    fn record_n_counts() {
+        let mut h = LatencyHistogram::new();
+        h.record_n(5, 1000);
+        h.record_n(7, 0);
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.percentile(99.0), 5);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(100);
+        b.record(10_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 100);
+        assert_eq!(a.max(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "precision mismatch")]
+    fn merge_rejects_mixed_precision() {
+        let mut a = LatencyHistogram::with_precision(7);
+        let b = LatencyHistogram::with_precision(8);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn percentile_extremes() {
+        let mut h = LatencyHistogram::new();
+        for v in [3u64, 1_000_000, 42] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 3);
+        assert!(h.percentile(100.0) >= 1_000_000 - 8192);
+        assert!(h.percentile(100.0) <= 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_out_of_range() {
+        LatencyHistogram::new().percentile(101.0);
+    }
+
+    #[test]
+    fn monotone_percentiles() {
+        let mut h = LatencyHistogram::new();
+        let mut x = 1u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(144) % 10_000_000;
+            h.record(x);
+        }
+        let mut last = 0;
+        for p in 0..=100 {
+            let v = h.percentile(p as f64);
+            assert!(v >= last, "p{p}: {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn record_zero() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # snicbench-metrics
+//!
+//! Measurement primitives for snicbench experiments, mirroring the paper's
+//! methodology:
+//!
+//! * [`histogram`] — HDR-style log-bucketed latency histograms with bounded
+//!   relative error, used for p99 tail-latency queries (the paper's SLO
+//!   metric).
+//! * [`timeseries`] — fixed-interval sample series, used for power traces
+//!   (the BMC samples at 1 Hz, the Yocto-Watt sensors at 10 Hz) and for the
+//!   Fig. 7 rate-over-time plot.
+//! * [`counters`] — windowed throughput accounting (packets, bytes, and
+//!   derived Gb/s), used for maximum-sustainable-throughput searches.
+//! * [`summary`] — scalar summaries (mean / stddev / min / max / percentile)
+//!   over small sample sets.
+
+pub mod counters;
+pub mod histogram;
+pub mod summary;
+pub mod timeseries;
+
+pub use counters::ThroughputCounter;
+pub use histogram::LatencyHistogram;
+pub use summary::Summary;
+pub use timeseries::TimeSeries;

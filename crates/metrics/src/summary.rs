@@ -1,0 +1,202 @@
+//! Scalar sample summaries.
+//!
+//! [`Summary`] collects a modest number of `f64` samples (per-run scalars:
+//! mean power, measured throughput, TCO dollars, ...) and reports standard
+//! statistics including exact percentiles. For high-volume latency samples
+//! use [`LatencyHistogram`](crate::histogram::LatencyHistogram) instead.
+
+/// A collection of `f64` samples with summary statistics.
+///
+/// # Example
+///
+/// ```
+/// use snicbench_metrics::Summary;
+///
+/// let mut s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.stddev(), 2.0);
+/// assert_eq!(s.percentile(50.0), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN (a NaN sample would poison every statistic).
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "NaN sample");
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Population standard deviation (0 if fewer than two samples).
+    pub fn stddev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.samples.iter().map(|&x| (x - m) * (x - m)).sum::<f64>()
+            / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Exact percentile by the nearest-rank method (0 if empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is outside `[0, 100]`.
+    pub fn percentile(&mut self, pct: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&pct), "percentile out of range");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            self.sorted = true;
+        }
+        let rank = ((pct / 100.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.saturating_sub(1).min(self.samples.len() - 1)]
+    }
+
+    /// The raw samples in insertion order is not preserved after percentile
+    /// queries; this returns them in their current order.
+    pub fn values(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for v in iter {
+            s.record(v);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let mut s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.stddev(), 2.0);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s: Summary = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(50.0), 50.0);
+        assert_eq!(s.percentile(99.0), 99.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+    }
+
+    #[test]
+    fn record_after_percentile_still_works() {
+        let mut s: Summary = [3.0, 1.0, 2.0].into_iter().collect();
+        assert_eq!(s.percentile(100.0), 3.0);
+        s.record(10.0);
+        assert_eq!(s.percentile(100.0), 10.0);
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Summary::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn negative_samples_allowed() {
+        let s: Summary = [-5.0, 5.0].into_iter().collect();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), -5.0);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut s = Summary::new();
+        s.extend([1.0, 2.0]);
+        s.extend([3.0]);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 2.0);
+    }
+}

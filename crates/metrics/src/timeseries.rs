@@ -1,0 +1,235 @@
+//! Fixed-interval sample series.
+//!
+//! Power sensors and rate monitors produce evenly spaced samples: the BMC
+//! reports watts at 1 Hz, the Yocto-Watt sensors at 10 Hz, and Fig. 7 plots
+//! the trace data rate per second. [`TimeSeries`] stores such samples with
+//! their interval, supports aggregation, and computes time-weighted
+//! statistics.
+
+use snicbench_sim::{SimDuration, SimTime};
+
+/// An evenly sampled series of `f64` values.
+///
+/// # Example
+///
+/// ```
+/// use snicbench_metrics::TimeSeries;
+/// use snicbench_sim::{SimDuration, SimTime};
+///
+/// let mut ts = TimeSeries::new(SimTime::ZERO, SimDuration::from_secs(1));
+/// ts.push(250.0);
+/// ts.push(260.0);
+/// assert_eq!(ts.len(), 2);
+/// assert!((ts.mean() - 255.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    start: SimTime,
+    interval: SimDuration,
+    samples: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series whose first sample will represent the
+    /// interval beginning at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(start: SimTime, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "interval must be positive");
+        TimeSeries {
+            start,
+            interval,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Appends the next sample.
+    pub fn push(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// The start of the first sampled interval.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw samples.
+    pub fn values(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// The timestamp at which sample `i` was taken (end of its interval).
+    pub fn timestamp(&self, i: usize) -> SimTime {
+        self.start + self.interval * (i as u64 + 1)
+    }
+
+    /// Iterates `(timestamp, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.samples
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (self.timestamp(i), v))
+    }
+
+    /// Arithmetic mean of all samples (0 if empty).
+    ///
+    /// For an evenly sampled series this equals the time-weighted mean.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::MIN, f64::max)
+            .max(0.0)
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::MAX, f64::min)
+        }
+    }
+
+    /// Integrates the series over time: `Σ value · interval`, in
+    /// value-seconds. For a power series in watts this yields joules.
+    pub fn integral(&self) -> f64 {
+        self.samples.iter().sum::<f64>() * self.interval.as_secs_f64()
+    }
+
+    /// Downsamples by an integer `factor`, averaging each group of `factor`
+    /// consecutive samples (a trailing partial group is averaged too).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn downsample(&self, factor: usize) -> TimeSeries {
+        assert!(factor > 0, "factor must be positive");
+        let mut out = TimeSeries::new(self.start, self.interval * factor as u64);
+        for chunk in self.samples.chunks(factor) {
+            out.push(chunk.iter().sum::<f64>() / chunk.len() as f64);
+        }
+        out
+    }
+
+    /// Element-wise subtraction: `self - other`, truncated to the shorter
+    /// series. Used by the riser-card power-isolation setup (system rail
+    /// minus device rail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the intervals differ.
+    pub fn subtract(&self, other: &TimeSeries) -> TimeSeries {
+        assert_eq!(self.interval, other.interval, "interval mismatch");
+        let mut out = TimeSeries::new(self.start, self.interval);
+        for (a, b) in self.samples.iter().zip(&other.samples) {
+            out.push(a - b);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(vals: &[f64]) -> TimeSeries {
+        let mut ts = TimeSeries::new(SimTime::ZERO, SimDuration::from_secs(1));
+        for &v in vals {
+            ts.push(v);
+        }
+        ts
+    }
+
+    #[test]
+    fn empty_series_stats() {
+        let ts = TimeSeries::new(SimTime::ZERO, SimDuration::from_secs(1));
+        assert!(ts.is_empty());
+        assert_eq!(ts.mean(), 0.0);
+        assert_eq!(ts.max(), 0.0);
+        assert_eq!(ts.min(), 0.0);
+        assert_eq!(ts.integral(), 0.0);
+    }
+
+    #[test]
+    fn stats() {
+        let ts = series(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ts.mean(), 2.5);
+        assert_eq!(ts.max(), 4.0);
+        assert_eq!(ts.min(), 1.0);
+        assert_eq!(ts.integral(), 10.0);
+    }
+
+    #[test]
+    fn timestamps_advance_by_interval() {
+        let ts = series(&[0.0, 0.0]);
+        assert_eq!(ts.timestamp(0), SimTime::from_nanos(1_000_000_000));
+        assert_eq!(ts.timestamp(1), SimTime::from_nanos(2_000_000_000));
+        let pairs: Vec<_> = ts.iter().collect();
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn downsample_averages_groups() {
+        let ts = series(&[1.0, 3.0, 5.0, 7.0, 9.0]);
+        let d = ts.downsample(2);
+        assert_eq!(d.values(), &[2.0, 6.0, 9.0]);
+        assert_eq!(d.interval(), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn subtract_truncates_to_shorter() {
+        let a = series(&[10.0, 20.0, 30.0]);
+        let b = series(&[1.0, 2.0]);
+        let c = a.subtract(&b);
+        assert_eq!(c.values(), &[9.0, 18.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval mismatch")]
+    fn subtract_rejects_mismatched_interval() {
+        let a = series(&[1.0]);
+        let mut b = TimeSeries::new(SimTime::ZERO, SimDuration::from_millis(100));
+        b.push(1.0);
+        let _ = a.subtract(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_panics() {
+        let _ = TimeSeries::new(SimTime::ZERO, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn integral_is_energy_for_power_series() {
+        // 250 W for 10 one-second samples = 2500 J.
+        let ts = series(&[250.0; 10]);
+        assert_eq!(ts.integral(), 2500.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the measurement primitives: the error bound
+//! the histogram advertises, percentile monotonicity, and time-series
+//! arithmetic identities.
+
+use proptest::prelude::*;
+
+use snicbench_metrics::{LatencyHistogram, Summary, TimeSeries};
+use snicbench_sim::{SimDuration, SimTime};
+
+/// Exact nearest-rank percentile for the reference check.
+fn exact_percentile(sorted: &[u64], pct: f64) -> u64 {
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[(rank - 1).min(sorted.len() - 1)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The histogram's percentile estimate stays within its advertised
+    /// relative error (2^-7 with default precision, padded for rounding).
+    #[test]
+    fn histogram_error_bound(values in proptest::collection::vec(1u64..10_000_000, 1..500),
+                             pct in 0.0f64..100.0) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = exact_percentile(&sorted, pct);
+        let est = h.percentile(pct);
+        let rel = (est as f64 - exact as f64).abs() / exact as f64;
+        prop_assert!(rel <= 0.016, "pct {pct}: est {est}, exact {exact}, rel {rel}");
+    }
+
+    /// Percentiles are monotone in the percentile argument.
+    #[test]
+    fn histogram_percentiles_monotone(values in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut last = 0;
+        for p in (0..=100).step_by(5) {
+            let v = h.percentile(p as f64);
+            prop_assert!(v >= last);
+            last = v;
+        }
+    }
+
+    /// Merging histograms equals recording everything into one.
+    #[test]
+    fn histogram_merge_equals_union(a in proptest::collection::vec(0u64..100_000, 0..200),
+                                    b in proptest::collection::vec(0u64..100_000, 0..200)) {
+        let mut ha = LatencyHistogram::new();
+        let mut hb = LatencyHistogram::new();
+        let mut hu = LatencyHistogram::new();
+        for &v in &a { ha.record(v); hu.record(v); }
+        for &v in &b { hb.record(v); hu.record(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hu.count());
+        prop_assert_eq!(ha.min(), hu.min());
+        prop_assert_eq!(ha.max(), hu.max());
+        for p in [50.0, 90.0, 99.0] {
+            prop_assert_eq!(ha.percentile(p), hu.percentile(p));
+        }
+    }
+
+    /// Histogram mean is exact (tracked outside the buckets).
+    #[test]
+    fn histogram_mean_is_exact(values in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let exact = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((h.mean() - exact).abs() < 1e-6);
+    }
+
+    /// Summary percentiles equal the nearest-rank reference.
+    #[test]
+    fn summary_percentile_is_exact(values in proptest::collection::vec(-1e6f64..1e6, 1..200),
+                                   pct in 0.0f64..100.0) {
+        let mut s: Summary = values.iter().copied().collect();
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((pct / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+        let exact = sorted[(rank - 1).min(sorted.len() - 1)];
+        prop_assert_eq!(s.percentile(pct), exact);
+    }
+
+    /// Time-series identities: integral is linear, subtract then mean
+    /// commutes with mean then subtract.
+    #[test]
+    fn timeseries_linear_identities(a in proptest::collection::vec(0.0f64..1000.0, 1..100),
+                                    b in proptest::collection::vec(0.0f64..1000.0, 1..100)) {
+        let n = a.len().min(b.len());
+        let mk = |v: &[f64]| {
+            let mut ts = TimeSeries::new(SimTime::ZERO, SimDuration::from_secs(1));
+            for &x in &v[..n] {
+                ts.push(x);
+            }
+            ts
+        };
+        let ta = mk(&a);
+        let tb = mk(&b);
+        let diff = ta.subtract(&tb);
+        prop_assert!((diff.mean() - (ta.mean() - tb.mean())).abs() < 1e-9);
+        prop_assert!((diff.integral() - (ta.integral() - tb.integral())).abs() < 1e-6);
+    }
+
+    /// Downsampling preserves the mean (within float error) when the
+    /// factor divides the length.
+    #[test]
+    fn downsample_preserves_mean(values in proptest::collection::vec(0.0f64..100.0, 1..50),
+                                 factor in 1usize..5) {
+        let mut padded = values.clone();
+        while padded.len() % factor != 0 {
+            padded.push(*padded.last().unwrap());
+        }
+        let mut ts = TimeSeries::new(SimTime::ZERO, SimDuration::from_secs(1));
+        for &v in &padded {
+            ts.push(v);
+        }
+        let down = ts.downsample(factor);
+        prop_assert!((down.mean() - ts.mean()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,29 @@
+//! # snicbench-net
+//!
+//! Network substrate for the snicbench testbed simulation:
+//!
+//! * [`packet`] — the packet model (sizes, flows, deterministic payload
+//!   synthesis).
+//! * [`stack`] — per-packet CPU cost models for the three networking stacks
+//!   the paper benchmarks (kernel TCP/UDP, DPDK poll-mode, RDMA verbs).
+//!   Key Observation 1 lives here: kernel stacks burn so many cycles that
+//!   the SNIC's wimpy cores drown in them, while RDMA offloads the stack to
+//!   NIC hardware and inverts the comparison.
+//! * [`traffic`] — open-loop traffic generators (paced, Poisson, on-off
+//!   bursts) driving packets into the simulation.
+//! * [`pktgen`] — a DPDK-Pktgen-style client: line-rate-fraction pacing,
+//!   fixed or mixed packet sizes, trace replay.
+//! * [`trace`] — rate-over-time traces: the synthetic hyperscaler trace of
+//!   Fig. 7 and the CTU-Mixed PCAP packet-size mix of Sec. 3.4.
+//! * [`link`] — failure injection: deterministic packet loss, corruption,
+//!   and jitter between client and server.
+
+pub mod link;
+pub mod packet;
+pub mod pktgen;
+pub mod stack;
+pub mod trace;
+pub mod traffic;
+
+pub use packet::{Packet, PacketSize};
+pub use stack::{NetworkStack, StackModel};

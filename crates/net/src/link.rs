@@ -1,0 +1,226 @@
+//! Link impairment (failure injection).
+//!
+//! The paper's testbed is a clean back-to-back cable, but its RDMA
+//! methodology explicitly guards against loss ("to exclude the potential
+//! influence of lost packets ... we use the default Reliable Connection
+//! transport", Sec. 3.3). [`ImpairedLink`] makes that influence testable:
+//! deterministic per-seed packet loss, corruption, and extra latency
+//! jitter that experiments can inject between the client and the server.
+
+use snicbench_sim::rng::Rng;
+use snicbench_sim::SimDuration;
+
+use crate::packet::Packet;
+
+/// What happened to a packet crossing the link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkOutcome {
+    /// Delivered intact after the given extra delay.
+    Delivered {
+        /// Impairment-added delay (zero on a clean link).
+        extra_delay: SimDuration,
+    },
+    /// Silently dropped.
+    Lost,
+    /// Delivered, but the payload seed was perturbed (bit corruption);
+    /// checksum-validating receivers should drop it, pattern matchers
+    /// will see different bytes.
+    Corrupted {
+        /// The perturbed packet.
+        packet: Packet,
+        /// Impairment-added delay.
+        extra_delay: SimDuration,
+    },
+}
+
+/// Counters for an impaired link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkStats {
+    /// Packets offered to the link.
+    pub offered: u64,
+    /// Packets delivered intact.
+    pub delivered: u64,
+    /// Packets lost.
+    pub lost: u64,
+    /// Packets corrupted.
+    pub corrupted: u64,
+}
+
+/// A link with configurable impairments. A default-constructed link is
+/// clean (no loss, no corruption, no jitter).
+#[derive(Debug, Clone)]
+pub struct ImpairedLink {
+    loss: f64,
+    corruption: f64,
+    max_jitter: SimDuration,
+    rng: Rng,
+    stats: LinkStats,
+}
+
+impl ImpairedLink {
+    /// A clean link (everything delivered, no added delay).
+    pub fn clean(seed: u64) -> Self {
+        ImpairedLink {
+            loss: 0.0,
+            corruption: 0.0,
+            max_jitter: SimDuration::ZERO,
+            rng: Rng::new(seed ^ 0x11_4B),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Sets the per-packet loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        self.loss = p;
+        self
+    }
+
+    /// Sets the per-packet corruption probability (applied to packets
+    /// that were not lost).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn with_corruption(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "corruption probability out of range"
+        );
+        self.corruption = p;
+        self
+    }
+
+    /// Adds uniform random delay in `[0, max_jitter]` per packet.
+    pub fn with_jitter(mut self, max_jitter: SimDuration) -> Self {
+        self.max_jitter = max_jitter;
+        self
+    }
+
+    /// Passes one packet across the link.
+    pub fn transmit(&mut self, packet: &Packet) -> LinkOutcome {
+        self.stats.offered += 1;
+        if self.loss > 0.0 && self.rng.chance(self.loss) {
+            self.stats.lost += 1;
+            return LinkOutcome::Lost;
+        }
+        let extra_delay = if self.max_jitter.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.rng.below(self.max_jitter.as_nanos() + 1))
+        };
+        if self.corruption > 0.0 && self.rng.chance(self.corruption) {
+            self.stats.corrupted += 1;
+            let mut corrupted = packet.clone();
+            // Perturbing the seed deterministically changes the payload
+            // the receiver will synthesize — a whole-payload corruption.
+            corrupted.payload_seed ^= self.rng.next_u64() | 1;
+            return LinkOutcome::Corrupted {
+                packet: corrupted,
+                extra_delay,
+            };
+        }
+        self.stats.delivered += 1;
+        LinkOutcome::Delivered { extra_delay }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Observed delivery rate (1.0 until the first transmission).
+    pub fn delivery_rate(&self) -> f64 {
+        if self.stats.offered == 0 {
+            1.0
+        } else {
+            self.stats.delivered as f64 / self.stats.offered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketFactory;
+    use snicbench_sim::SimTime;
+
+    fn packets(n: usize) -> Vec<Packet> {
+        let mut f = PacketFactory::new(1, 8);
+        (0..n).map(|_| f.create(256, SimTime::ZERO)).collect()
+    }
+
+    #[test]
+    fn clean_link_delivers_everything_instantly() {
+        let mut link = ImpairedLink::clean(1);
+        for p in packets(100) {
+            match link.transmit(&p) {
+                LinkOutcome::Delivered { extra_delay } => {
+                    assert_eq!(extra_delay, SimDuration::ZERO)
+                }
+                other => panic!("clean link must deliver: {other:?}"),
+            }
+        }
+        assert_eq!(link.delivery_rate(), 1.0);
+    }
+
+    #[test]
+    fn loss_rate_converges_to_configured_probability() {
+        let mut link = ImpairedLink::clean(2).with_loss(0.2);
+        for p in packets(10_000) {
+            link.transmit(&p);
+        }
+        let s = link.stats();
+        let loss = s.lost as f64 / s.offered as f64;
+        assert!((loss - 0.2).abs() < 0.02, "loss {loss}");
+    }
+
+    #[test]
+    fn corruption_changes_the_payload() {
+        let mut link = ImpairedLink::clean(3).with_corruption(1.0);
+        let p = packets(1).pop().unwrap();
+        match link.transmit(&p) {
+            LinkOutcome::Corrupted { packet, .. } => {
+                assert_ne!(packet.synthesize_payload(), p.synthesize_payload());
+                assert_eq!(packet.id, p.id, "identity survives corruption");
+            }
+            other => panic!("expected corruption: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jitter_stays_within_bound() {
+        let bound = SimDuration::from_micros(50);
+        let mut link = ImpairedLink::clean(4).with_jitter(bound);
+        for p in packets(1_000) {
+            if let LinkOutcome::Delivered { extra_delay } = link.transmit(&p) {
+                assert!(extra_delay <= bound);
+            }
+        }
+    }
+
+    #[test]
+    fn impairments_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut link = ImpairedLink::clean(seed)
+                .with_loss(0.3)
+                .with_corruption(0.1);
+            packets(500)
+                .iter()
+                .map(|p| matches!(link.transmit(p), LinkOutcome::Lost))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn bad_loss_probability_rejected() {
+        let _ = ImpairedLink::clean(1).with_loss(1.5);
+    }
+}

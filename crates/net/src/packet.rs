@@ -1,0 +1,229 @@
+//! The packet model.
+//!
+//! Simulated packets are lightweight records: identity, flow, size, and a
+//! creation timestamp for latency accounting. Payload bytes are *not*
+//! carried per packet (experiments push hundreds of millions of packets);
+//! instead each packet holds a seed from which
+//! [`Packet::synthesize_payload`] reproduces its payload deterministically
+//! whenever a workload function actually needs the bytes.
+
+use snicbench_sim::rng::Rng;
+use snicbench_sim::SimTime;
+
+/// The packet sizes the paper evaluates (Sec. 3.3–3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketSize {
+    /// 64 B — the small datacenter packet.
+    Small,
+    /// 1 KB — the large datacenter packet.
+    Large,
+    /// 1500 B — MTU-sized, used for the Fig. 5 REM sweep and OvS.
+    Mtu,
+    /// An arbitrary size in bytes (PCAP mixes, storage blocks).
+    Custom(u32),
+}
+
+impl PacketSize {
+    /// Size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            PacketSize::Small => 64,
+            PacketSize::Large => 1024,
+            PacketSize::Mtu => 1500,
+            PacketSize::Custom(b) => b as u64,
+        }
+    }
+}
+
+impl std::fmt::Display for PacketSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketSize::Small => write!(f, "64B"),
+            PacketSize::Large => write!(f, "1KB"),
+            PacketSize::Mtu => write!(f, "1500B"),
+            PacketSize::Custom(b) => write!(f, "{b}B"),
+        }
+    }
+}
+
+/// A simulated network packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Monotonically increasing per-generator sequence number.
+    pub id: u64,
+    /// Flow identity (5-tuple surrogate) used by switches and balancers.
+    pub flow_id: u64,
+    /// Total wire size in bytes (headers + payload).
+    pub size_bytes: u64,
+    /// When the packet left the client.
+    pub created: SimTime,
+    /// Seed for deterministic payload synthesis.
+    pub payload_seed: u64,
+}
+
+impl Packet {
+    /// Ethernet + IPv4 + UDP header overhead in bytes.
+    pub const HEADER_BYTES: u64 = 14 + 20 + 8;
+
+    /// Payload bytes (wire size minus headers; zero for runt sizes).
+    pub fn payload_bytes(&self) -> u64 {
+        self.size_bytes.saturating_sub(Self::HEADER_BYTES)
+    }
+
+    /// Deterministically reproduces the packet's payload.
+    ///
+    /// The same packet always yields the same bytes, so functional
+    /// processing (regex matching, compression, hashing) is reproducible
+    /// without storing payloads.
+    pub fn synthesize_payload(&self) -> Vec<u8> {
+        let mut rng = Rng::new(self.payload_seed ^ self.id.rotate_left(32));
+        let mut buf = vec![0u8; self.payload_bytes() as usize];
+        // Mostly ASCII-ish text with occasional binary runs: realistic for
+        // the mixed traffic the PCAP traces carry, and gives pattern
+        // matchers and compressors non-trivial structure.
+        let mut i = 0;
+        while i < buf.len() {
+            if rng.chance(0.85) {
+                let word_len = (rng.below(10) + 2) as usize;
+                for _ in 0..word_len {
+                    if i >= buf.len() {
+                        break;
+                    }
+                    buf[i] = b'a' + rng.below(26) as u8;
+                    i += 1;
+                }
+                if i < buf.len() {
+                    buf[i] = b' ';
+                    i += 1;
+                }
+            } else {
+                let run_len = (rng.below(16) + 4) as usize;
+                for _ in 0..run_len {
+                    if i >= buf.len() {
+                        break;
+                    }
+                    buf[i] = rng.below(256) as u8;
+                    i += 1;
+                }
+            }
+        }
+        buf
+    }
+}
+
+/// Builds packets with sequential ids for one generator/flow-space.
+#[derive(Debug, Clone)]
+pub struct PacketFactory {
+    next_id: u64,
+    flows: u64,
+    seed: u64,
+}
+
+impl PacketFactory {
+    /// Creates a factory spreading packets across `flows` flow ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` is zero.
+    pub fn new(seed: u64, flows: u64) -> Self {
+        assert!(flows > 0, "need at least one flow");
+        PacketFactory {
+            next_id: 0,
+            flows,
+            seed,
+        }
+    }
+
+    /// Mints the next packet.
+    pub fn create(&mut self, size_bytes: u64, now: SimTime) -> Packet {
+        let id = self.next_id;
+        self.next_id += 1;
+        Packet {
+            id,
+            // Spread flows by a multiplicative hash so consecutive packets
+            // land on different flows (like hashing real 5-tuples).
+            flow_id: (id.wrapping_mul(0x9E3779B97F4A7C15)) % self.flows,
+            size_bytes,
+            created: now,
+            payload_seed: self.seed,
+        }
+    }
+
+    /// Number of packets minted so far.
+    pub fn minted(&self) -> u64 {
+        self.next_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_paper() {
+        assert_eq!(PacketSize::Small.bytes(), 64);
+        assert_eq!(PacketSize::Large.bytes(), 1024);
+        assert_eq!(PacketSize::Mtu.bytes(), 1500);
+        assert_eq!(PacketSize::Custom(9000).bytes(), 9000);
+    }
+
+    #[test]
+    fn payload_synthesis_is_deterministic() {
+        let mut f = PacketFactory::new(7, 16);
+        let p = f.create(1024, SimTime::ZERO);
+        assert_eq!(p.synthesize_payload(), p.synthesize_payload());
+    }
+
+    #[test]
+    fn different_packets_have_different_payloads() {
+        let mut f = PacketFactory::new(7, 16);
+        let a = f.create(1024, SimTime::ZERO);
+        let b = f.create(1024, SimTime::ZERO);
+        assert_ne!(a.synthesize_payload(), b.synthesize_payload());
+    }
+
+    #[test]
+    fn payload_length_excludes_headers() {
+        let mut f = PacketFactory::new(1, 4);
+        let p = f.create(1500, SimTime::ZERO);
+        assert_eq!(
+            p.synthesize_payload().len() as u64,
+            1500 - Packet::HEADER_BYTES
+        );
+        let runt = f.create(20, SimTime::ZERO);
+        assert_eq!(runt.payload_bytes(), 0);
+        assert!(runt.synthesize_payload().is_empty());
+    }
+
+    #[test]
+    fn ids_are_sequential_and_flows_spread() {
+        let mut f = PacketFactory::new(1, 8);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            let p = f.create(64, SimTime::ZERO);
+            assert_eq!(p.id, i);
+            assert!(p.flow_id < 8);
+            seen.insert(p.flow_id);
+        }
+        assert!(seen.len() >= 6, "flows should spread: {seen:?}");
+        assert_eq!(f.minted(), 64);
+    }
+
+    #[test]
+    fn payload_is_mostly_text() {
+        let mut f = PacketFactory::new(3, 1);
+        let p = f.create(1500, SimTime::ZERO);
+        let payload = p.synthesize_payload();
+        let texty = payload
+            .iter()
+            .filter(|&&b| b == b' ' || b.is_ascii_lowercase())
+            .count();
+        assert!(texty * 2 > payload.len(), "payload should be mostly text");
+    }
+
+    #[test]
+    fn display_sizes() {
+        assert_eq!(PacketSize::Small.to_string(), "64B");
+        assert_eq!(PacketSize::Custom(128).to_string(), "128B");
+    }
+}

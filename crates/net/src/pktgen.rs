@@ -1,0 +1,186 @@
+//! A DPDK-Pktgen-style client.
+//!
+//! The paper drives DPDK experiments with DPDK-Pktgen on the client,
+//! configured either as a fraction of line rate with a fixed packet size
+//! (`set 0 rate <traffic_rate>`) or modified to follow a trace's packet-rate
+//! distribution (Sec. 5.1). [`Pktgen`] reproduces both modes on top of the
+//! open-loop generator in [`crate::traffic`].
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use snicbench_sim::engine::Simulator;
+use snicbench_sim::SimTime;
+
+use crate::packet::Packet;
+use crate::trace::RateTrace;
+use crate::traffic::{ArrivalKind, GenStats, OpenLoop, SizeSource};
+
+/// What drives the offered rate.
+#[derive(Debug, Clone)]
+pub enum RateMode {
+    /// A fixed fraction of the 100 Gb/s line rate (Pktgen's `set rate`).
+    LineRateFraction(f64),
+    /// A fixed absolute rate in Gb/s.
+    FixedGbps(f64),
+    /// Replay a rate trace (the modified Pktgen of Sec. 5.1).
+    Trace(RateTrace),
+}
+
+/// A Pktgen-style traffic source.
+#[derive(Debug, Clone)]
+pub struct Pktgen {
+    /// Rate control mode.
+    pub rate: RateMode,
+    /// Packet sizing.
+    pub size: SizeSource,
+    /// Departure process (Pktgen paces deterministically by default).
+    pub arrival: ArrivalKind,
+    /// Line rate of the client NIC in Gb/s.
+    pub line_rate_gbps: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Pktgen {
+    /// A line-rate-fraction generator of fixed-size packets — the `set 0
+    /// rate N` + `start 0` flow from the paper's appendix.
+    pub fn at_line_rate_fraction(fraction: f64, packet_bytes: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
+        Pktgen {
+            rate: RateMode::LineRateFraction(fraction),
+            size: SizeSource::Fixed(packet_bytes),
+            arrival: ArrivalKind::Paced,
+            line_rate_gbps: 100.0,
+            seed: 0x9B1D,
+        }
+    }
+
+    /// A fixed-Gb/s generator of fixed-size packets.
+    pub fn at_gbps(gbps: f64, packet_bytes: u64) -> Self {
+        assert!(gbps >= 0.0, "rate must be non-negative");
+        Pktgen {
+            rate: RateMode::FixedGbps(gbps),
+            size: SizeSource::Fixed(packet_bytes),
+            arrival: ArrivalKind::Paced,
+            line_rate_gbps: 100.0,
+            seed: 0x9B1D,
+        }
+    }
+
+    /// A trace-replay generator (Sec. 5.1: MTU packets following the
+    /// hyperscaler trace's rate distribution).
+    pub fn replay(trace: RateTrace, packet_bytes: u64) -> Self {
+        Pktgen {
+            rate: RateMode::Trace(trace),
+            size: SizeSource::Fixed(packet_bytes),
+            arrival: ArrivalKind::Paced,
+            line_rate_gbps: 100.0,
+            seed: 0x9B1D,
+        }
+    }
+
+    /// The offered data rate at `t` in Gb/s (before conversion to packets).
+    pub fn offered_gbps(&self, t: SimTime) -> f64 {
+        match &self.rate {
+            RateMode::LineRateFraction(f) => f * self.line_rate_gbps,
+            RateMode::FixedGbps(g) => *g,
+            RateMode::Trace(trace) => trace.rate_gbps(t),
+        }
+    }
+
+    /// Launches the generator, emitting packets into `sink` from `start`
+    /// until `stop`. Returns live counters.
+    pub fn launch<F>(
+        &self,
+        sim: &mut Simulator,
+        start: SimTime,
+        stop: SimTime,
+        sink: F,
+    ) -> Rc<RefCell<GenStats>>
+    where
+        F: FnMut(&mut Simulator, Packet) + 'static,
+    {
+        let mean_bytes = self.size.mean_bytes();
+        let gen = OpenLoop {
+            arrival: self.arrival,
+            size: self.size.clone(),
+            flows: 64,
+            seed: self.seed,
+            start,
+            stop,
+        };
+        let rate = self.rate.clone();
+        let line = self.line_rate_gbps;
+        gen.launch(
+            sim,
+            move |t| {
+                let gbps = match &rate {
+                    RateMode::LineRateFraction(f) => f * line,
+                    RateMode::FixedGbps(g) => *g,
+                    RateMode::Trace(trace) => trace.rate_gbps(t),
+                };
+                gbps * 1e9 / 8.0 / mean_bytes
+            },
+            sink,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snicbench_sim::SimDuration;
+
+    #[test]
+    fn line_rate_fraction_offers_expected_gbps() {
+        let pg = Pktgen::at_line_rate_fraction(0.1, 1500);
+        assert_eq!(pg.offered_gbps(SimTime::ZERO), 10.0);
+    }
+
+    #[test]
+    fn fixed_gbps_sends_right_packet_count() {
+        let mut sim = Simulator::new();
+        // 1.2 Gb/s of 1500 B packets = 100 kpps for 100 ms = 10_000 packets.
+        let pg = Pktgen::at_gbps(1.2, 1500);
+        let stats = pg.launch(
+            &mut sim,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_millis(100),
+            |_, _| {},
+        );
+        sim.run();
+        let sent = stats.borrow().sent;
+        assert!((9_990..=10_001).contains(&sent), "sent {sent}");
+    }
+
+    #[test]
+    fn trace_replay_follows_the_trace() {
+        use crate::trace::RateTrace;
+        let mut sim = Simulator::new();
+        let trace = RateTrace::new(
+            SimDuration::from_millis(50),
+            vec![0.12, 1.2], // 10 kpps then 100 kpps of 1500 B
+        );
+        let pg = Pktgen::replay(trace, 1500);
+        let stats = pg.launch(
+            &mut sim,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_millis(100),
+            |_, _| {},
+        );
+        sim.run();
+        let sent = stats.borrow().sent;
+        // 50 ms at 10 kpps (500) + 50 ms at 100 kpps (5000).
+        assert!((5_350..5_650).contains(&sent), "sent {sent}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn over_unity_fraction_rejected() {
+        let _ = Pktgen::at_line_rate_fraction(1.5, 64);
+    }
+}

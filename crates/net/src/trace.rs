@@ -1,0 +1,195 @@
+//! Rate traces and packet-size mixes.
+//!
+//! Two trace artifacts from the paper are reproduced synthetically:
+//!
+//! * **The hyperscaler network trace (Fig. 7 / Table 4).** The original is
+//!   proprietary; [`hyperscaler_trace`] generates a rate-over-time series
+//!   with the same reported statistics — a low average data rate
+//!   (~0.76 Gb/s), a diurnal swell, and short bursts several times the
+//!   mean — which is all Table 4's conclusion depends on.
+//! * **The CTU-Mixed PCAP mix (Sec. 3.4).** The Stratosphere capture is a
+//!   mixed-size packet population; [`ctu_mixed_sizes`] reproduces the
+//!   canonical bimodal datacenter size distribution (mostly small and
+//!   MTU-sized packets) with a ~70% byte share in large packets.
+
+use snicbench_sim::dist::Empirical;
+use snicbench_sim::rng::Rng;
+use snicbench_sim::{SimDuration, SimTime};
+
+/// A piecewise-constant data-rate trace: one rate per fixed interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateTrace {
+    interval: SimDuration,
+    gbps: Vec<f64>,
+}
+
+impl RateTrace {
+    /// Creates a trace from per-interval rates in Gb/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero, `gbps` is empty, or any rate is
+    /// negative/non-finite.
+    pub fn new(interval: SimDuration, gbps: Vec<f64>) -> Self {
+        assert!(!interval.is_zero(), "interval must be positive");
+        assert!(!gbps.is_empty(), "trace must have at least one interval");
+        assert!(
+            gbps.iter().all(|r| r.is_finite() && *r >= 0.0),
+            "rates must be non-negative"
+        );
+        RateTrace { interval, gbps }
+    }
+
+    /// The rate at instant `t`. Past the end, the trace repeats (wraps), so
+    /// replays can run longer than the capture.
+    pub fn rate_gbps(&self, t: SimTime) -> f64 {
+        let idx = (t.as_nanos() / self.interval.as_nanos()) as usize % self.gbps.len();
+        self.gbps[idx]
+    }
+
+    /// The packet rate at `t` for packets of `packet_bytes` bytes.
+    pub fn rate_pps(&self, t: SimTime, packet_bytes: u64) -> f64 {
+        self.rate_gbps(t) * 1e9 / 8.0 / packet_bytes as f64
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Total trace length (one pass).
+    pub fn duration(&self) -> SimDuration {
+        self.interval * self.gbps.len() as u64
+    }
+
+    /// Mean rate over one pass, in Gb/s.
+    pub fn mean_gbps(&self) -> f64 {
+        self.gbps.iter().sum::<f64>() / self.gbps.len() as f64
+    }
+
+    /// Peak rate, in Gb/s.
+    pub fn peak_gbps(&self) -> f64 {
+        self.gbps.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The per-interval rates.
+    pub fn samples(&self) -> &[f64] {
+        &self.gbps
+    }
+}
+
+/// Generates the synthetic hyperscaler trace used for Fig. 7 and Table 4:
+/// `seconds` one-second intervals whose mean is `mean_gbps`, with a diurnal
+/// component and heavy-tailed bursts.
+///
+/// The defaults used by the figure binaries are `seconds = 3600`,
+/// `mean_gbps = 0.76` (the average the paper reports for its trace).
+pub fn hyperscaler_trace(seconds: usize, mean_gbps: f64, seed: u64) -> RateTrace {
+    assert!(seconds > 0, "need at least one second");
+    assert!(mean_gbps > 0.0, "mean rate must be positive");
+    let mut rng = Rng::new(seed);
+    let mut rates = Vec::with_capacity(seconds);
+    for s in 0..seconds {
+        // Diurnal swell: +/-40% around the mean with a slow sinusoid.
+        let phase = s as f64 / seconds as f64 * std::f64::consts::TAU;
+        let diurnal = 1.0 + 0.4 * phase.sin();
+        // Multiplicative noise.
+        let noise = 0.7 + 0.6 * rng.next_f64();
+        // Occasional microbursts, a few times the mean, a few seconds long.
+        let burst = if rng.chance(0.01) {
+            2.0 + 4.0 * rng.next_f64()
+        } else {
+            1.0
+        };
+        rates.push(mean_gbps * diurnal * noise * burst);
+    }
+    // Normalize so the empirical mean is exactly `mean_gbps`.
+    let actual_mean = rates.iter().sum::<f64>() / rates.len() as f64;
+    for r in &mut rates {
+        *r *= mean_gbps / actual_mean;
+    }
+    RateTrace::new(SimDuration::from_secs(1), rates)
+}
+
+/// The CTU-Mixed-Capture-like packet-size mix: `(size_bytes, weight)`
+/// pairs reproducing the bimodal datacenter distribution (Benson et al.,
+/// the paper's reference 13): many small control packets, a bulk of
+/// MTU-sized data packets.
+pub fn ctu_mixed_sizes() -> Empirical {
+    Empirical::new(&[
+        (64.0, 0.35),
+        (128.0, 0.10),
+        (256.0, 0.07),
+        (512.0, 0.08),
+        (1024.0, 0.12),
+        (1500.0, 0.28),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_lookup_and_wrap() {
+        let t = RateTrace::new(SimDuration::from_secs(1), vec![1.0, 2.0, 3.0]);
+        assert_eq!(t.rate_gbps(SimTime::ZERO), 1.0);
+        assert_eq!(t.rate_gbps(SimTime::from_nanos(1_500_000_000)), 2.0);
+        // Wraps after 3 s.
+        assert_eq!(t.rate_gbps(SimTime::from_nanos(3_000_000_000)), 1.0);
+        assert_eq!(t.duration(), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn rate_pps_conversion() {
+        let t = RateTrace::new(SimDuration::from_secs(1), vec![1.0]);
+        // 1 Gb/s of 1500 B packets.
+        let pps = t.rate_pps(SimTime::ZERO, 1500);
+        assert!((pps - 83_333.33).abs() < 1.0);
+    }
+
+    #[test]
+    fn hyperscaler_trace_matches_reported_mean() {
+        let t = hyperscaler_trace(3600, 0.76, 1);
+        assert!((t.mean_gbps() - 0.76).abs() < 1e-9);
+        assert_eq!(t.samples().len(), 3600);
+    }
+
+    #[test]
+    fn hyperscaler_trace_is_bursty_but_bounded() {
+        let t = hyperscaler_trace(3600, 0.76, 2);
+        // Bursts exceed twice the mean...
+        assert!(t.peak_gbps() > 1.5, "peak {}", t.peak_gbps());
+        // ...but stay far below line rate (Table 4: both platforms keep up).
+        assert!(t.peak_gbps() < 40.0, "peak {}", t.peak_gbps());
+    }
+
+    #[test]
+    fn hyperscaler_trace_is_deterministic_per_seed() {
+        let a = hyperscaler_trace(100, 0.76, 5);
+        let b = hyperscaler_trace(100, 0.76, 5);
+        let c = hyperscaler_trace(100, 0.76, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ctu_mix_mean_is_mid_size() {
+        let mix = ctu_mixed_sizes();
+        use snicbench_sim::dist::Distribution;
+        let mean = mix.mean().unwrap();
+        assert!((400.0..800.0).contains(&mean), "mean size {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one interval")]
+    fn empty_trace_rejected() {
+        let _ = RateTrace::new(SimDuration::from_secs(1), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_rejected() {
+        let _ = RateTrace::new(SimDuration::from_secs(1), vec![-1.0]);
+    }
+}

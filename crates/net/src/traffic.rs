@@ -1,0 +1,421 @@
+//! Open-loop traffic generation.
+//!
+//! The paper's latency methodology is open-loop: the client offers packets
+//! at a configured rate regardless of whether the server keeps up, the
+//! experiment finds the *maximum sustainable throughput* (highest offered
+//! rate the server still absorbs), and p99 latency is measured at that
+//! operating point. [`OpenLoop`] implements that client: it schedules
+//! packet departures by an arrival process (paced or Poisson), sizes them
+//! from a [`SizeSource`], and hands each packet to a sink callback.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use snicbench_sim::dist::{Distribution, Empirical};
+use snicbench_sim::engine::Simulator;
+use snicbench_sim::rng::Rng;
+use snicbench_sim::{SimDuration, SimTime};
+
+use crate::packet::{Packet, PacketFactory};
+
+/// The inter-departure process of the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// Deterministic pacing at exactly the configured rate (DPDK-Pktgen's
+    /// rate-limited mode).
+    Paced,
+    /// Poisson arrivals with the configured mean rate (open-loop service
+    /// benchmarks).
+    Poisson,
+}
+
+/// How packet sizes are chosen.
+#[derive(Debug, Clone)]
+pub enum SizeSource {
+    /// Every packet has the same wire size.
+    Fixed(u64),
+    /// Sizes drawn from an empirical mix (PCAP-trace statistics).
+    Mix(Empirical),
+}
+
+impl SizeSource {
+    fn sample(&self, rng: &mut Rng) -> u64 {
+        match self {
+            SizeSource::Fixed(b) => *b,
+            SizeSource::Mix(dist) => dist.sample(rng).round().max(64.0) as u64,
+        }
+    }
+
+    /// Mean packet size in bytes.
+    pub fn mean_bytes(&self) -> f64 {
+        match self {
+            SizeSource::Fixed(b) => *b as f64,
+            SizeSource::Mix(dist) => dist.mean().expect("empirical mean is known"),
+        }
+    }
+}
+
+/// Counters published by a running generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GenStats {
+    /// Packets emitted.
+    pub sent: u64,
+    /// Total wire bytes emitted.
+    pub bytes: u64,
+}
+
+/// An open-loop packet generator.
+#[derive(Debug, Clone)]
+pub struct OpenLoop {
+    /// Departure process.
+    pub arrival: ArrivalKind,
+    /// Packet sizing.
+    pub size: SizeSource,
+    /// Number of distinct flows to spread packets over.
+    pub flows: u64,
+    /// RNG seed (departure jitter and payload seeds derive from it).
+    pub seed: u64,
+    /// First departure instant.
+    pub start: SimTime,
+    /// No departures at or after this instant.
+    pub stop: SimTime,
+}
+
+impl OpenLoop {
+    /// A paced generator of fixed-size packets over 64 flows — the common
+    /// case in the paper's experiments.
+    pub fn paced(size_bytes: u64, start: SimTime, stop: SimTime) -> Self {
+        OpenLoop {
+            arrival: ArrivalKind::Paced,
+            size: SizeSource::Fixed(size_bytes),
+            flows: 64,
+            seed: 0xC11E47,
+            start,
+            stop,
+        }
+    }
+
+    /// A Poisson generator of fixed-size packets over 64 flows.
+    pub fn poisson(size_bytes: u64, start: SimTime, stop: SimTime) -> Self {
+        OpenLoop {
+            arrival: ArrivalKind::Poisson,
+            ..Self::paced(size_bytes, start, stop)
+        }
+    }
+
+    /// Launches the generator into `sim`.
+    ///
+    /// * `rate_pps` maps the current instant to the offered packet rate —
+    ///   a constant for fixed-rate runs, a trace lookup for replay. A zero
+    ///   rate pauses the generator (it re-checks every millisecond).
+    /// * `sink` receives each packet at its departure time.
+    ///
+    /// Returns a handle to live counters.
+    pub fn launch<R, F>(self, sim: &mut Simulator, rate_pps: R, sink: F) -> Rc<RefCell<GenStats>>
+    where
+        R: Fn(SimTime) -> f64 + 'static,
+        F: FnMut(&mut Simulator, Packet) + 'static,
+    {
+        let stats = Rc::new(RefCell::new(GenStats::default()));
+        let state = Rc::new(RefCell::new(GenState {
+            config: self.clone(),
+            factory: PacketFactory::new(self.seed, self.flows),
+            rng: Rng::new(self.seed),
+            rate_pps: Box::new(rate_pps),
+            sink: Box::new(sink),
+            stats: stats.clone(),
+        }));
+        let start = self.start;
+        schedule_next(sim, state, start);
+        stats
+    }
+}
+
+/// An on-off (burst/idle) rate modulator with Pareto-distributed burst
+/// lengths — the heavy-tailed traffic microbursts datacenter measurement
+/// studies report (e.g. the paper's reference on microbursts, Zhang et
+/// al., IMC'17). Compose it with [`OpenLoop::launch`]'s rate function.
+///
+/// The modulator is *stateless in simulated time*: the on/off schedule is
+/// derived deterministically from the instant, so it can be queried out of
+/// order.
+#[derive(Debug, Clone)]
+pub struct OnOffModulator {
+    burst_rate_pps: f64,
+    idle_rate_pps: f64,
+    period: SimDuration,
+    duty: f64,
+    seed: u64,
+}
+
+impl OnOffModulator {
+    /// Creates a modulator alternating between `burst_rate_pps` (for
+    /// `duty` of each `period`) and `idle_rate_pps`. Each period's actual
+    /// duty jitters deterministically around `duty`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or `duty` outside `(0, 1)`.
+    pub fn new(
+        burst_rate_pps: f64,
+        idle_rate_pps: f64,
+        period: SimDuration,
+        duty: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(!period.is_zero(), "period must be positive");
+        assert!(
+            (0.0..1.0).contains(&duty) && duty > 0.0,
+            "duty must be in (0,1)"
+        );
+        OnOffModulator {
+            burst_rate_pps,
+            idle_rate_pps,
+            period,
+            duty,
+            seed,
+        }
+    }
+
+    /// The offered rate at instant `t`.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let period_idx = t.as_nanos() / self.period.as_nanos();
+        let phase = (t.as_nanos() % self.period.as_nanos()) as f64 / self.period.as_nanos() as f64;
+        // Deterministic per-period duty jitter in [0.5x, 1.5x].
+        let mut rng = Rng::new(self.seed ^ period_idx.wrapping_mul(0x9E3779B97F4A7C15));
+        let duty = (self.duty * (0.5 + rng.next_f64())).min(0.95);
+        if phase < duty {
+            self.burst_rate_pps
+        } else {
+            self.idle_rate_pps
+        }
+    }
+
+    /// The long-run mean rate.
+    pub fn mean_rate(&self) -> f64 {
+        self.burst_rate_pps * self.duty + self.idle_rate_pps * (1.0 - self.duty)
+    }
+}
+
+/// The per-packet delivery callback.
+type PacketSink = Box<dyn FnMut(&mut Simulator, Packet)>;
+
+struct GenState {
+    config: OpenLoop,
+    factory: PacketFactory,
+    rng: Rng,
+    rate_pps: Box<dyn Fn(SimTime) -> f64>,
+    sink: PacketSink,
+    stats: Rc<RefCell<GenStats>>,
+}
+
+fn schedule_next(sim: &mut Simulator, state: Rc<RefCell<GenState>>, at: SimTime) {
+    if at >= state.borrow().config.stop {
+        return;
+    }
+    sim.schedule_at(at, move |sim| emit(sim, state));
+}
+
+fn emit(sim: &mut Simulator, state: Rc<RefCell<GenState>>) {
+    let now = sim.now();
+    let next_at = {
+        let mut st = state.borrow_mut();
+        let rate = (st.rate_pps)(now);
+        if rate <= 0.0 {
+            // Paused: poll again in a millisecond without emitting.
+            Some(now + SimDuration::from_millis(1))
+        } else {
+            let size = {
+                let size_src = st.config.size.clone();
+                size_src.sample(&mut st.rng)
+            };
+            let packet = st.factory.create(size, now);
+            {
+                let mut s = st.stats.borrow_mut();
+                s.sent += 1;
+                s.bytes += packet.size_bytes;
+            }
+            let gap = match st.config.arrival {
+                ArrivalKind::Paced => SimDuration::from_secs_f64(1.0 / rate),
+                ArrivalKind::Poisson => {
+                    let mean = 1.0 / rate;
+                    SimDuration::from_secs_f64(-mean * (1.0 - st.rng.next_f64()).ln())
+                }
+            };
+            // Deliver outside the borrow.
+            drop(st);
+            let packet_to_send = packet;
+            let mut sink_guard = state.borrow_mut();
+            // Temporarily move the sink out to call it with &mut Simulator.
+            let mut sink = std::mem::replace(
+                &mut sink_guard.sink,
+                Box::new(|_: &mut Simulator, _: Packet| {}),
+            );
+            drop(sink_guard);
+            sink(sim, packet_to_send);
+            state.borrow_mut().sink = sink;
+            Some(now + gap.max(SimDuration::from_nanos(1)))
+        }
+    };
+    if let Some(at) = next_at {
+        schedule_next(sim, state, at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_off_modulator_alternates_and_hits_mean() {
+        let m = OnOffModulator::new(1_000_000.0, 10_000.0, SimDuration::from_millis(10), 0.3, 7);
+        let mut sim = Simulator::new();
+        let gen = OpenLoop::paced(64, SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(1));
+        let m2 = m.clone();
+        let stats = gen.launch(&mut sim, move |t| m2.rate_at(t), |_, _| {});
+        sim.run();
+        let sent = stats.borrow().sent as f64;
+        let expected = m.mean_rate();
+        assert!(
+            (sent - expected).abs() / expected < 0.3,
+            "sent {sent} vs mean {expected}"
+        );
+        // Both levels are actually exercised.
+        let rates: Vec<f64> = (0..100)
+            .map(|i| m.rate_at(SimTime::from_nanos(i * 1_000_000)))
+            .collect();
+        assert!(rates.contains(&1_000_000.0));
+        assert!(rates.contains(&10_000.0));
+    }
+
+    #[test]
+    fn on_off_modulator_is_deterministic() {
+        let m = OnOffModulator::new(100.0, 1.0, SimDuration::from_millis(5), 0.4, 3);
+        for i in 0..1000 {
+            let t = SimTime::from_nanos(i * 77_777);
+            assert_eq!(m.rate_at(t), m.rate_at(t));
+        }
+    }
+
+    fn run_gen(arrival: ArrivalKind, rate: f64, secs: u64) -> (u64, u64) {
+        let mut sim = Simulator::new();
+        let gen = OpenLoop {
+            arrival,
+            size: SizeSource::Fixed(1024),
+            flows: 16,
+            seed: 42,
+            start: SimTime::ZERO,
+            stop: SimTime::ZERO + SimDuration::from_secs(secs),
+        };
+        let received = Rc::new(RefCell::new(0u64));
+        let r = received.clone();
+        let stats = gen.launch(
+            &mut sim,
+            move |_| rate,
+            move |_, _| {
+                *r.borrow_mut() += 1;
+            },
+        );
+        sim.run();
+        let s = *stats.borrow();
+        assert_eq!(s.sent, *received.borrow());
+        (s.sent, s.bytes)
+    }
+
+    #[test]
+    fn paced_rate_is_exact() {
+        let (sent, bytes) = run_gen(ArrivalKind::Paced, 10_000.0, 1);
+        assert_eq!(sent, 10_000);
+        assert_eq!(bytes, 10_000 * 1024);
+    }
+
+    #[test]
+    fn poisson_rate_is_approximate() {
+        let (sent, _) = run_gen(ArrivalKind::Poisson, 10_000.0, 1);
+        assert!((9_500..10_500).contains(&sent), "sent {sent}");
+    }
+
+    #[test]
+    fn generator_stops_at_deadline() {
+        let (sent, _) = run_gen(ArrivalKind::Paced, 1_000.0, 2);
+        assert_eq!(sent, 2_000);
+    }
+
+    #[test]
+    fn zero_rate_pauses_without_emitting() {
+        let mut sim = Simulator::new();
+        let gen = OpenLoop::paced(
+            64,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_millis(10),
+        );
+        let stats = gen.launch(&mut sim, |_| 0.0, |_, _| {});
+        sim.run();
+        assert_eq!(stats.borrow().sent, 0);
+    }
+
+    #[test]
+    fn rate_function_can_vary_over_time() {
+        let mut sim = Simulator::new();
+        let gen = OpenLoop::paced(64, SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(2));
+        // 1 kpps in the first second, 10 kpps in the second.
+        let stats = gen.launch(
+            &mut sim,
+            |now| {
+                if now < SimTime::ZERO + SimDuration::from_secs(1) {
+                    1_000.0
+                } else {
+                    10_000.0
+                }
+            },
+            |_, _| {},
+        );
+        sim.run();
+        let sent = stats.borrow().sent;
+        assert!((10_500..11_500).contains(&sent), "sent {sent}");
+    }
+
+    #[test]
+    fn size_mix_spreads_sizes() {
+        let mut sim = Simulator::new();
+        let mix = Empirical::new(&[(64.0, 0.5), (1500.0, 0.5)]);
+        let gen = OpenLoop {
+            arrival: ArrivalKind::Paced,
+            size: SizeSource::Mix(mix),
+            flows: 4,
+            seed: 7,
+            start: SimTime::ZERO,
+            stop: SimTime::ZERO + SimDuration::from_millis(100),
+        };
+        let sizes = Rc::new(RefCell::new(std::collections::HashSet::new()));
+        let s = sizes.clone();
+        gen.launch(
+            &mut sim,
+            |_| 10_000.0,
+            move |_, p| {
+                s.borrow_mut().insert(p.size_bytes);
+            },
+        );
+        sim.run();
+        assert_eq!(sizes.borrow().len(), 2);
+    }
+
+    #[test]
+    fn packets_carry_departure_timestamps() {
+        let mut sim = Simulator::new();
+        let gen = OpenLoop::paced(64, SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(1));
+        let ok = Rc::new(RefCell::new(true));
+        let okc = ok.clone();
+        gen.launch(
+            &mut sim,
+            |_| 100.0,
+            move |sim, p| {
+                if p.created != sim.now() {
+                    *okc.borrow_mut() = false;
+                }
+            },
+        );
+        sim.run();
+        assert!(*ok.borrow());
+    }
+}

@@ -1,0 +1,119 @@
+//! Energy-efficiency arithmetic (the Fig. 6 metric).
+//!
+//! The paper defines energy efficiency as *throughput divided by
+//! system-wide energy consumption*. For a measurement window that is
+//! `bits_per_joule = data_rate / mean_power`; comparisons are reported as
+//! the SNIC-run value normalized to the host-run value.
+
+use snicbench_metrics::TimeSeries;
+
+/// Result of one energy-efficiency measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyEfficiency {
+    /// Mean throughput over the window, Gb/s.
+    pub throughput_gbps: f64,
+    /// Mean system power over the window, watts.
+    pub mean_power_w: f64,
+    /// Total energy over the window, joules.
+    pub energy_j: f64,
+}
+
+impl EnergyEfficiency {
+    /// Builds a measurement from a throughput figure and a power series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the power series is empty.
+    pub fn from_measurement(throughput_gbps: f64, power: &TimeSeries) -> Self {
+        assert!(!power.is_empty(), "empty power series");
+        EnergyEfficiency {
+            throughput_gbps,
+            mean_power_w: power.mean(),
+            energy_j: power.integral(),
+        }
+    }
+
+    /// Efficiency in gigabits per joule (equivalently Gb/s per watt).
+    pub fn gbits_per_joule(&self) -> f64 {
+        if self.mean_power_w <= 0.0 {
+            0.0
+        } else {
+            self.throughput_gbps / self.mean_power_w
+        }
+    }
+
+    /// This measurement's efficiency normalized to a baseline (the Fig. 6
+    /// bars: SNIC normalized to host).
+    pub fn normalized_to(&self, baseline: &EnergyEfficiency) -> f64 {
+        let base = baseline.gbits_per_joule();
+        if base <= 0.0 {
+            0.0
+        } else {
+            self.gbits_per_joule() / base
+        }
+    }
+}
+
+/// Energy (joules) to move `gbits` gigabits at `gbps` under `mean_power_w`.
+pub fn energy_for_transfer(gbits: f64, gbps: f64, mean_power_w: f64) -> f64 {
+    if gbps <= 0.0 {
+        return 0.0;
+    }
+    (gbits / gbps) * mean_power_w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snicbench_sim::{SimDuration, SimTime};
+
+    fn power_series(w: f64, secs: usize) -> TimeSeries {
+        let mut ts = TimeSeries::new(SimTime::ZERO, SimDuration::from_secs(1));
+        for _ in 0..secs {
+            ts.push(w);
+        }
+        ts
+    }
+
+    #[test]
+    fn efficiency_is_throughput_over_power() {
+        let e = EnergyEfficiency::from_measurement(50.0, &power_series(250.0, 60));
+        assert!((e.gbits_per_joule() - 0.2).abs() < 1e-12);
+        assert_eq!(e.energy_j, 250.0 * 60.0);
+    }
+
+    #[test]
+    fn normalization_matches_figure6_semantics() {
+        // Host: 78 Gb/s at 290 W. SNIC accelerator: 50 Gb/s at 255 W.
+        let host = EnergyEfficiency::from_measurement(78.0, &power_series(290.0, 60));
+        let snic = EnergyEfficiency::from_measurement(50.0, &power_series(255.0, 60));
+        let norm = snic.normalized_to(&host);
+        // 50/255 vs 78/290 => ~0.73: higher throughput wins despite lower
+        // power — the O5 phenomenon.
+        assert!((norm - 0.729).abs() < 0.01, "norm {norm}");
+    }
+
+    #[test]
+    fn zero_power_yields_zero_efficiency() {
+        let e = EnergyEfficiency {
+            throughput_gbps: 10.0,
+            mean_power_w: 0.0,
+            energy_j: 0.0,
+        };
+        assert_eq!(e.gbits_per_joule(), 0.0);
+    }
+
+    #[test]
+    fn transfer_energy() {
+        // 100 Gb at 10 Gb/s under 250 W = 10 s * 250 W = 2500 J.
+        assert_eq!(energy_for_transfer(100.0, 10.0, 250.0), 2500.0);
+        assert_eq!(energy_for_transfer(100.0, 0.0, 250.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty power series")]
+    fn empty_series_rejected() {
+        let ts = TimeSeries::new(SimTime::ZERO, SimDuration::from_secs(1));
+        let _ = EnergyEfficiency::from_measurement(1.0, &ts);
+    }
+}

@@ -1,0 +1,22 @@
+//! # snicbench-power
+//!
+//! Power modeling and measurement for the snicbench testbed, reproducing
+//! the paper's methodology (Sec. 3.2):
+//!
+//! * [`model`] — utilization→watts models calibrated to the paper's
+//!   measurements: 252 W idle server, 29 W idle SNIC, up to ~150.6 W /
+//!   5.4 W active.
+//! * [`sensors`] — the two instruments: the BMC/DCMI system sensor (1 Hz,
+//!   ±1 W) and the Yocto-Watt rail sensors (10 Hz, ±2 mW).
+//! * [`riser`] — the custom PCIe-riser isolation rig: 12 V + 3.3 V rail
+//!   taps summed into device power, plus the with/without-SNIC validation
+//!   the paper performs.
+//! * [`energy`] — energy-efficiency arithmetic (throughput per joule, the
+//!   Fig. 6 metric).
+
+pub mod energy;
+pub mod model;
+pub mod riser;
+pub mod sensors;
+
+pub use model::ServerPowerModel;

@@ -1,0 +1,132 @@
+//! The PCIe-riser power-isolation rig (Fig. 3).
+//!
+//! The BMC only sees chassis-total power; to isolate the SNIC, the paper
+//! inserts a riser card between the slot and the device and taps the 12 V
+//! and 3.3 V pins with two Yocto-Watt sensors. [`RiserRig`] models exactly
+//! that: two rail sensors whose series sum to the device's power, plus the
+//! validation the paper performs (server-with-SNIC minus
+//! server-without-SNIC ≈ riser-measured SNIC power).
+
+use snicbench_metrics::TimeSeries;
+use snicbench_sim::{SimDuration, SimTime};
+
+use crate::sensors::{Rail, YoctoWatt};
+
+/// The riser card with its two rail sensors.
+#[derive(Debug, Clone)]
+pub struct RiserRig {
+    v12: YoctoWatt,
+    v3_3: YoctoWatt,
+}
+
+impl RiserRig {
+    /// Builds the rig with deterministic sensor-noise streams.
+    pub fn new(seed: u64) -> Self {
+        RiserRig {
+            v12: YoctoWatt::new(Rail::V12, seed),
+            v3_3: YoctoWatt::new(Rail::V3_3, seed.wrapping_add(1)),
+        }
+    }
+
+    /// Measures the device's power over a window: both rails sampled at
+    /// 10 Hz and summed per sample.
+    pub fn measure_device(
+        &mut self,
+        start: SimTime,
+        duration: SimDuration,
+        device_watts: impl Fn(SimTime) -> f64 + Copy,
+    ) -> TimeSeries {
+        let a = self.v12.sample(start, duration, device_watts);
+        let b = self.v3_3.sample(start, duration, device_watts);
+        let mut sum = TimeSeries::new(start, a.interval());
+        for (x, y) in a.values().iter().zip(b.values()) {
+            sum.push(x + y);
+        }
+        sum
+    }
+}
+
+/// The paper's validation: compare system power with and without the SNIC
+/// against the riser measurement. Returns
+/// `(delta_watts, riser_watts, relative_error)`.
+pub fn validate_isolation(
+    system_with_snic: &TimeSeries,
+    system_without_snic: &TimeSeries,
+    riser_measurement: &TimeSeries,
+) -> (f64, f64, f64) {
+    let delta = system_with_snic.mean() - system_without_snic.mean();
+    let riser = riser_measurement.mean();
+    let rel_err = if riser.abs() < 1e-12 {
+        f64::INFINITY
+    } else {
+        (delta - riser).abs() / riser
+    };
+    (delta, riser, rel_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ServerPowerModel;
+    use crate::sensors::BmcSensor;
+
+    #[test]
+    fn rails_sum_to_device_power() {
+        let mut rig = RiserRig::new(1);
+        let ts = rig.measure_device(SimTime::ZERO, SimDuration::from_secs(10), |_| 29.0);
+        assert_eq!(ts.len(), 100);
+        assert!((ts.mean() - 29.0).abs() < 0.01, "mean {}", ts.mean());
+    }
+
+    #[test]
+    fn isolation_validates_like_the_paper() {
+        // Ground truth from the calibrated model.
+        let model = ServerPowerModel::paper_default();
+        let snic_util = 0.6;
+        let with_snic = |_| model.system_power(0.2, snic_util);
+        let without_snic = |_| model.system_power(0.2, snic_util) - model.snic_power(snic_util);
+        let snic_only = |_| model.snic_power(snic_util);
+
+        let dur = SimDuration::from_secs(120);
+        let mut bmc = BmcSensor::new(7);
+        let sys_with = bmc.sample(SimTime::ZERO, dur, with_snic);
+        let sys_without = bmc.sample(SimTime::ZERO, dur, without_snic);
+        let mut rig = RiserRig::new(8);
+        let riser = rig.measure_device(SimTime::ZERO, dur, snic_only);
+
+        let (delta, measured, rel_err) = validate_isolation(&sys_with, &sys_without, &riser);
+        assert!((measured - 32.24).abs() < 0.1, "riser {measured}");
+        assert!(
+            (delta - measured).abs() < 1.0,
+            "delta {delta} vs {measured}"
+        );
+        assert!(rel_err < 0.05, "relative error {rel_err}");
+    }
+
+    #[test]
+    fn riser_resolution_is_finer_than_bmc() {
+        // Sec. 3.2: sampling rate 10x and resolution ~500x better.
+        let mut rig = RiserRig::new(2);
+        let mut bmc = BmcSensor::new(3);
+        let dur = SimDuration::from_secs(10);
+        let fine = rig.measure_device(SimTime::ZERO, dur, |_| 29.431);
+        let coarse = bmc.sample(SimTime::ZERO, dur, |_| 29.431);
+        assert_eq!(fine.len(), 10 * coarse.len());
+        // The riser recovers the sub-watt level; the BMC can't.
+        assert!((fine.mean() - 29.431).abs() < 0.01);
+        assert!((coarse.mean() - 29.431).abs() > 0.05);
+    }
+
+    #[test]
+    fn validation_flags_bad_isolation() {
+        let mk = |w: f64| {
+            let mut ts = TimeSeries::new(SimTime::ZERO, SimDuration::from_secs(1));
+            for _ in 0..10 {
+                ts.push(w);
+            }
+            ts
+        };
+        let (_, _, rel_err) = validate_isolation(&mk(280.0), &mk(251.0), &mk(40.0));
+        assert!(rel_err > 0.2, "should flag: {rel_err}");
+    }
+}

@@ -1,0 +1,239 @@
+//! Power-sensor instruments.
+//!
+//! Two instruments, with the paper's rates and accuracies (Sec. 3.2):
+//!
+//! * [`BmcSensor`] — the DCMI/IPMI system sensor: 1 Hz, ±1 W, integer
+//!   watts, measures the whole chassis and cannot isolate a PCIe device.
+//! * [`YoctoWatt`] — the rail-tap sensor: 10 Hz, ±2 mW, measures one PCIe
+//!   power rail (12 V or 3.3 V).
+//!
+//! Both sample a ground-truth power function `watts(t)` and return a
+//! [`TimeSeries`], adding deterministic per-seed measurement noise so the
+//! measurement pipeline (averaging, integration, rail summing) is
+//! exercised the way the real rig exercises it.
+
+use snicbench_metrics::TimeSeries;
+use snicbench_sim::rng::Rng;
+use snicbench_sim::{SimDuration, SimTime};
+
+/// The BMC/DCMI system-power sensor: 1 Hz, ±1 W, integer readings.
+#[derive(Debug, Clone)]
+pub struct BmcSensor {
+    rng: Rng,
+    dropout: f64,
+}
+
+impl BmcSensor {
+    /// Sampling interval (1 Hz).
+    pub const INTERVAL: SimDuration = SimDuration::from_secs(1);
+    /// Accuracy (± watts).
+    pub const ACCURACY_W: f64 = 1.0;
+
+    /// Creates a sensor with a deterministic noise stream.
+    pub fn new(seed: u64) -> Self {
+        BmcSensor {
+            rng: Rng::new(seed ^ 0xB3C_0001),
+            dropout: 0.0,
+        }
+    }
+
+    /// Failure injection: each reading is independently lost with
+    /// probability `dropout`. Real IPMI pollers see this under load; lost
+    /// readings are filled by last-observation-carry-forward, exactly as
+    /// collection daemons do.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dropout` is in `[0, 1)`.
+    pub fn with_dropout(mut self, dropout: f64) -> Self {
+        assert!((0.0..1.0).contains(&dropout), "dropout must be in [0,1)");
+        self.dropout = dropout;
+        self
+    }
+
+    /// Samples `watts(t)` every second over `[start, start+duration)`.
+    /// Each reading averages the interval midpoint and quantizes to whole
+    /// watts with ±1 W uniform error, like DCMI.
+    pub fn sample(
+        &mut self,
+        start: SimTime,
+        duration: SimDuration,
+        watts: impl Fn(SimTime) -> f64,
+    ) -> TimeSeries {
+        let mut ts = TimeSeries::new(start, Self::INTERVAL);
+        let n = duration.as_nanos() / Self::INTERVAL.as_nanos();
+        let mut last_good: Option<f64> = None;
+        for i in 0..n {
+            let midpoint = start + Self::INTERVAL * i + Self::INTERVAL / 2;
+            let truth = watts(midpoint);
+            let noisy = truth + self.rng.range_f64(-Self::ACCURACY_W, Self::ACCURACY_W);
+            let reading = noisy.round().max(0.0);
+            let dropped = self.dropout > 0.0 && self.rng.chance(self.dropout);
+            let value = if dropped {
+                // Carry the last observation forward (or the first good
+                // reading backward if the run starts with a loss).
+                last_good.unwrap_or(reading)
+            } else {
+                last_good = Some(reading);
+                reading
+            };
+            ts.push(value);
+        }
+        ts
+    }
+}
+
+/// Which PCIe power rail a Yocto-Watt taps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rail {
+    /// The 12 V rail (carries most of a NIC's power).
+    V12,
+    /// The 3.3 V rail.
+    V3_3,
+}
+
+impl Rail {
+    /// The fraction of a typical SNIC's power drawn from this rail.
+    pub fn power_share(self) -> f64 {
+        match self {
+            Rail::V12 => 0.88,
+            Rail::V3_3 => 0.12,
+        }
+    }
+}
+
+/// A Yocto-Watt rail sensor: 10 Hz, ±2 mW.
+#[derive(Debug, Clone)]
+pub struct YoctoWatt {
+    rail: Rail,
+    rng: Rng,
+}
+
+impl YoctoWatt {
+    /// Sampling interval (10 Hz).
+    pub const INTERVAL: SimDuration = SimDuration::from_millis(100);
+    /// Accuracy (± watts): 2 mW.
+    pub const ACCURACY_W: f64 = 0.002;
+
+    /// Creates a sensor on `rail` with a deterministic noise stream.
+    pub fn new(rail: Rail, seed: u64) -> Self {
+        YoctoWatt {
+            rail,
+            rng: Rng::new(seed ^ 0x70C7_0CAFE ^ rail.power_share().to_bits()),
+        }
+    }
+
+    /// The rail this sensor taps.
+    pub fn rail(&self) -> Rail {
+        self.rail
+    }
+
+    /// Samples this rail's share of `device_watts(t)` at 10 Hz over
+    /// `[start, start+duration)`.
+    pub fn sample(
+        &mut self,
+        start: SimTime,
+        duration: SimDuration,
+        device_watts: impl Fn(SimTime) -> f64,
+    ) -> TimeSeries {
+        let mut ts = TimeSeries::new(start, Self::INTERVAL);
+        let n = duration.as_nanos() / Self::INTERVAL.as_nanos();
+        for i in 0..n {
+            let midpoint = start + Self::INTERVAL * i + Self::INTERVAL / 2;
+            let truth = device_watts(midpoint) * self.rail.power_share();
+            let noisy = truth + self.rng.range_f64(-Self::ACCURACY_W, Self::ACCURACY_W);
+            ts.push(noisy.max(0.0));
+        }
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bmc_samples_at_1hz_with_integer_watts() {
+        let mut bmc = BmcSensor::new(1);
+        let ts = bmc.sample(SimTime::ZERO, SimDuration::from_secs(10), |_| 252.4);
+        assert_eq!(ts.len(), 10);
+        assert_eq!(ts.interval(), SimDuration::from_secs(1));
+        for &v in ts.values() {
+            assert_eq!(v, v.round());
+            assert!((251.0..=254.0).contains(&v), "reading {v}");
+        }
+    }
+
+    #[test]
+    fn bmc_mean_is_close_to_truth() {
+        let mut bmc = BmcSensor::new(2);
+        let ts = bmc.sample(SimTime::ZERO, SimDuration::from_secs(600), |_| 300.0);
+        assert!((ts.mean() - 300.0).abs() < 0.5, "mean {}", ts.mean());
+    }
+
+    #[test]
+    fn yocto_samples_at_10hz_with_milliwatt_accuracy() {
+        let mut yw = YoctoWatt::new(Rail::V12, 3);
+        let ts = yw.sample(SimTime::ZERO, SimDuration::from_secs(2), |_| 29.0);
+        assert_eq!(ts.len(), 20);
+        let expected = 29.0 * Rail::V12.power_share();
+        for &v in ts.values() {
+            assert!((v - expected).abs() <= 0.0021, "reading {v} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn rails_split_device_power() {
+        assert!((Rail::V12.power_share() + Rail::V3_3.power_share() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sensors_track_time_varying_power() {
+        let mut bmc = BmcSensor::new(4);
+        // Step from 250 W to 300 W at t = 5 s.
+        let ts = bmc.sample(SimTime::ZERO, SimDuration::from_secs(10), |t| {
+            if t < SimTime::ZERO + SimDuration::from_secs(5) {
+                250.0
+            } else {
+                300.0
+            }
+        });
+        let early: f64 = ts.values()[..5].iter().sum::<f64>() / 5.0;
+        let late: f64 = ts.values()[5..].iter().sum::<f64>() / 5.0;
+        assert!((early - 250.0).abs() < 2.0);
+        assert!((late - 300.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn dropout_carries_last_observation_forward() {
+        let mut lossy = BmcSensor::new(7).with_dropout(0.3);
+        let ts = lossy.sample(SimTime::ZERO, SimDuration::from_secs(300), |_| 280.0);
+        assert_eq!(ts.len(), 300, "holes are filled, not skipped");
+        // The filled series still tracks the truth closely.
+        assert!((ts.mean() - 280.0).abs() < 1.0, "mean {}", ts.mean());
+        // And a step change is still visible (with some lag).
+        let mut lossy = BmcSensor::new(8).with_dropout(0.3);
+        let stepped = lossy.sample(SimTime::ZERO, SimDuration::from_secs(200), |t| {
+            if t < SimTime::ZERO + SimDuration::from_secs(100) {
+                250.0
+            } else {
+                300.0
+            }
+        });
+        let late: f64 = stepped.values()[110..].iter().sum::<f64>() / 90.0;
+        assert!((late - 300.0).abs() < 3.0, "late mean {late}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout")]
+    fn full_dropout_rejected() {
+        let _ = BmcSensor::new(1).with_dropout(1.0);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let a = BmcSensor::new(9).sample(SimTime::ZERO, SimDuration::from_secs(5), |_| 252.0);
+        let b = BmcSensor::new(9).sample(SimTime::ZERO, SimDuration::from_secs(5), |_| 252.0);
+        assert_eq!(a, b);
+    }
+}

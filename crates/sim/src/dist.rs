@@ -1,0 +1,434 @@
+//! Sampling distributions for traffic and service-time models.
+//!
+//! Traffic generators need inter-arrival distributions (exponential for
+//! Poisson arrivals, Pareto for bursty heavy tails) and workload generators
+//! need key-popularity distributions (Zipf, as used by YCSB). Service-time
+//! models add lognormal jitter around calibrated means. Everything samples
+//! from the deterministic [`crate::rng::Rng`].
+
+use crate::rng::Rng;
+
+/// A distribution over non-negative `f64` values.
+///
+/// The trait is object-safe so heterogeneous model components can hold
+/// `Box<dyn Distribution>`.
+pub trait Distribution: std::fmt::Debug {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut Rng) -> f64;
+
+    /// The analytic mean of the distribution, if finite and known.
+    fn mean(&self) -> Option<f64>;
+}
+
+/// A degenerate distribution: every sample equals `value`.
+///
+/// Used for paced (deterministic) packet generators such as the
+/// DPDK-Pktgen model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant {
+    value: f64,
+}
+
+impl Constant {
+    /// Creates a constant distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or non-finite.
+    pub fn new(value: f64) -> Self {
+        assert!(value.is_finite() && value >= 0.0, "invalid constant");
+        Constant { value }
+    }
+}
+
+impl Distribution for Constant {
+    fn sample(&self, _rng: &mut Rng) -> f64 {
+        self.value
+    }
+    fn mean(&self) -> Option<f64> {
+        Some(self.value)
+    }
+}
+
+/// The exponential distribution with the given mean (`1/λ`).
+///
+/// Models Poisson arrival processes — the open-loop client load used by the
+/// paper's latency-vs-rate sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with mean `mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "invalid mean");
+        Exponential { mean }
+    }
+
+    /// Creates an exponential distribution with rate `rate` (events per
+    /// unit time), i.e. mean `1/rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn with_rate(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "invalid rate");
+        Exponential { mean: 1.0 / rate }
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        // Inverse CDF; 1 - U avoids ln(0).
+        -self.mean * (1.0 - rng.next_f64()).ln()
+    }
+    fn mean(&self) -> Option<f64> {
+        Some(self.mean)
+    }
+}
+
+/// The lognormal distribution, parameterized by the mean and coefficient of
+/// variation of the *resulting* values (not of the underlying normal).
+///
+/// Used to add realistic right-skewed jitter to calibrated service times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+    mean: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal distribution with the given mean and coefficient
+    /// of variation (`cv` = standard deviation / mean).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0`, `cv < 0`, or either is non-finite.
+    pub fn with_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "invalid mean");
+        assert!(cv.is_finite() && cv >= 0.0, "invalid cv");
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        LogNormal {
+            mu,
+            sigma: sigma2.sqrt(),
+            mean,
+        }
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        // Box–Muller.
+        let u1 = 1.0 - rng.next_f64();
+        let u2 = rng.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+    fn mean(&self) -> Option<f64> {
+        Some(self.mean)
+    }
+}
+
+/// The (Type I) Pareto distribution with minimum `scale` and tail index
+/// `shape`.
+///
+/// Heavy-tailed: used for burst lengths in the on-off traffic model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale > 0` and `shape > 0`.
+    pub fn new(scale: f64, shape: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "invalid scale");
+        assert!(shape.is_finite() && shape > 0.0, "invalid shape");
+        Pareto { scale, shape }
+    }
+}
+
+impl Distribution for Pareto {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.scale / (1.0 - rng.next_f64()).powf(1.0 / self.shape)
+    }
+    fn mean(&self) -> Option<f64> {
+        if self.shape > 1.0 {
+            Some(self.shape * self.scale / (self.shape - 1.0))
+        } else {
+            None
+        }
+    }
+}
+
+/// A discrete empirical distribution over `(value, weight)` pairs.
+///
+/// Used for packet-size mixes taken from trace statistics (e.g. the
+/// CTU-Mixed PCAP mix in Sec. 3.4 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical {
+    values: Vec<f64>,
+    cumulative: Vec<f64>,
+    mean: f64,
+}
+
+impl Empirical {
+    /// Creates an empirical distribution from `(value, weight)` pairs.
+    ///
+    /// Weights need not sum to one; they are normalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, any weight is negative, or all weights
+    /// are zero.
+    pub fn new(points: &[(f64, f64)]) -> Self {
+        assert!(!points.is_empty(), "empirical: no points");
+        let total: f64 = points.iter().map(|&(_, w)| w).sum();
+        assert!(
+            points.iter().all(|&(_, w)| w >= 0.0) && total > 0.0,
+            "empirical: weights must be non-negative and not all zero"
+        );
+        let mut cumulative = Vec::with_capacity(points.len());
+        let mut acc = 0.0;
+        let mut mean = 0.0;
+        for &(v, w) in points {
+            acc += w / total;
+            cumulative.push(acc);
+            mean += v * w / total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        Empirical {
+            values: points.iter().map(|&(v, _)| v).collect(),
+            cumulative,
+            mean,
+        }
+    }
+}
+
+impl Distribution for Empirical {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        let u = rng.next_f64();
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.values.len() - 1);
+        self.values[idx]
+    }
+    fn mean(&self) -> Option<f64> {
+        Some(self.mean)
+    }
+}
+
+/// A Zipf-distributed integer sampler over ranks `0..n`.
+///
+/// Rank `k` is drawn with probability proportional to `1/(k+1)^theta`. This
+/// is the key-popularity model YCSB uses (`theta ≈ 0.99`) and the one the
+/// Redis/MICA workloads in this workspace use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    // Constants of the Gray et al. rejection-free approximation.
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf sampler over `0..n` with skew `theta` in `[0, 1)`.
+    ///
+    /// `theta = 0` degenerates to uniform; YCSB's default is `0.99`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is outside `[0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf: n must be positive");
+        assert!((0.0..1.0).contains(&theta), "zipf: theta must be in [0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2: 0.0, // retained via `zeta2` in eta; field kept for Debug clarity
+        }
+        .with_zeta2(zeta2)
+    }
+
+    fn with_zeta2(mut self, z: f64) -> Self {
+        self.zeta2 = z;
+        self
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draws one rank in `0..n` (0 = most popular).
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1.min(self.n - 1);
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// The number of distinct ranks.
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean(dist: &dyn Distribution, seed: u64, n: usize) -> f64 {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Constant::new(4.2);
+        let mut rng = Rng::new(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 4.2);
+        }
+        assert_eq!(d.mean(), Some(4.2));
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Exponential::with_mean(3.0);
+        let m = sample_mean(&d, 2, 200_000);
+        assert!((m - 3.0).abs() < 0.05, "mean {m}");
+        assert_eq!(Exponential::with_rate(0.5).mean(), Some(2.0));
+    }
+
+    #[test]
+    fn exponential_nonnegative() {
+        let d = Exponential::with_mean(1.0);
+        let mut rng = Rng::new(3);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_mean_and_positivity() {
+        let d = LogNormal::with_mean_cv(10.0, 0.5);
+        let m = sample_mean(&d, 4, 200_000);
+        assert!((m - 10.0).abs() < 0.2, "mean {m}");
+        let mut rng = Rng::new(5);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_zero_cv_is_nearly_constant() {
+        let d = LogNormal::with_mean_cv(7.0, 0.0);
+        let mut rng = Rng::new(6);
+        for _ in 0..100 {
+            assert!((d.sample(&mut rng) - 7.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_mean() {
+        let d = Pareto::new(2.0, 3.0);
+        let mut rng = Rng::new(7);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 2.0);
+        }
+        assert_eq!(d.mean(), Some(3.0));
+        assert_eq!(Pareto::new(1.0, 0.9).mean(), None);
+        let m = sample_mean(&d, 8, 400_000);
+        assert!((m - 3.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn empirical_samples_only_listed_values() {
+        let d = Empirical::new(&[(64.0, 1.0), (1500.0, 3.0)]);
+        let mut rng = Rng::new(9);
+        let mut big = 0;
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!(v == 64.0 || v == 1500.0);
+            if v == 1500.0 {
+                big += 1;
+            }
+        }
+        // ~75% of samples should be 1500.
+        assert!((7_000..8_000).contains(&big), "big {big}");
+        assert!((d.mean().unwrap() - (64.0 * 0.25 + 1500.0 * 0.75)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no points")]
+    fn empirical_rejects_empty() {
+        let _ = Empirical::new(&[]);
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = Rng::new(10);
+        let mut rank0 = 0;
+        for _ in 0..100_000 {
+            let r = z.sample(&mut rng);
+            assert!(r < 1000);
+            if r == 0 {
+                rank0 += 1;
+            }
+        }
+        // Rank 0 should receive far more than the uniform share (100).
+        assert!(rank0 > 5_000, "rank0 {rank0}");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = Rng::new(11);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((7_000..13_500).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_single_element() {
+        let z = Zipf::new(1, 0.5);
+        let mut rng = Rng::new(12);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! The discrete-event simulation loop.
+//!
+//! [`Simulator`] owns the clock and the pending-event set. Model components
+//! schedule boxed closures at absolute or relative times; each closure
+//! receives `&mut Simulator` so it can schedule follow-on events. Shared
+//! model state lives in `Rc<RefCell<..>>` captured by the closures — the
+//! engine is deliberately single-threaded so runs stay deterministic.
+
+use crate::event::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled action.
+type Action = Box<dyn FnOnce(&mut Simulator)>;
+
+/// The reason a call to [`Simulator::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No events remained before the deadline.
+    Quiescent,
+    /// The deadline was reached with events still pending.
+    Deadline,
+    /// A handler called [`Simulator::request_stop`].
+    Requested,
+}
+
+/// A single-threaded discrete-event simulator.
+///
+/// # Example
+///
+/// ```
+/// use snicbench_sim::engine::Simulator;
+/// use snicbench_sim::SimDuration;
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Simulator::new();
+/// let hits = Rc::new(Cell::new(0u32));
+///
+/// // A self-rescheduling tick.
+/// fn tick(sim: &mut Simulator, hits: Rc<Cell<u32>>) {
+///     hits.set(hits.get() + 1);
+///     if hits.get() < 3 {
+///         sim.schedule_in(SimDuration::from_micros(1), move |sim| tick(sim, hits));
+///     }
+/// }
+/// let h = hits.clone();
+/// sim.schedule_in(SimDuration::ZERO, move |sim| tick(sim, h));
+/// sim.run();
+/// assert_eq!(hits.get(), 3);
+/// ```
+pub struct Simulator {
+    now: SimTime,
+    events: EventQueue<Action>,
+    executed: u64,
+    stop_requested: bool,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            events: EventQueue::new(),
+            executed: 0,
+            stop_requested: false,
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn events_pending(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Schedules `action` to run at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before [`Simulator::now`]).
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F) -> EventId
+    where
+        F: FnOnce(&mut Simulator) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.events.push(at, Box::new(action))
+    }
+
+    /// Schedules `action` to run `after` from now.
+    pub fn schedule_in<F>(&mut self, after: SimDuration, action: F) -> EventId
+    where
+        F: FnOnce(&mut Simulator) + 'static,
+    {
+        let at = self.now.saturating_add(after);
+        self.events.push(at, Box::new(action))
+    }
+
+    /// Cancels a pending event. Returns `true` if it had not yet fired.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.events.cancel(id)
+    }
+
+    /// Asks the run loop to stop after the current handler returns.
+    pub fn request_stop(&mut self) {
+        self.stop_requested = true;
+    }
+
+    /// Runs until no events remain. Returns the stop reason
+    /// ([`StopReason::Quiescent`] unless a handler requested a stop).
+    pub fn run(&mut self) -> StopReason {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until the event set is exhausted or the clock would pass
+    /// `deadline`.
+    ///
+    /// Events scheduled exactly at `deadline` *do* execute. On return the
+    /// clock rests at `deadline` (even if the event set emptied earlier),
+    /// unless `deadline` is [`SimTime::MAX`], in which case it rests at the
+    /// last executed event — so [`Simulator::run`] reports when the system
+    /// went quiet, while bounded runs always cover their full window.
+    pub fn run_until(&mut self, deadline: SimTime) -> StopReason {
+        self.stop_requested = false;
+        loop {
+            if self.stop_requested {
+                return StopReason::Requested;
+            }
+            match self.events.peek_time() {
+                None => {
+                    if deadline != SimTime::MAX {
+                        self.now = deadline.max(self.now);
+                    }
+                    return StopReason::Quiescent;
+                }
+                Some(t) if t > deadline => {
+                    self.now = deadline.max(self.now);
+                    return StopReason::Deadline;
+                }
+                Some(_) => {
+                    let (time, action) = self.events.pop().expect("peeked");
+                    debug_assert!(time >= self.now, "time went backwards");
+                    self.now = time;
+                    self.executed += 1;
+                    action(self);
+                }
+            }
+        }
+    }
+
+    /// Runs for `span` of simulated time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) -> StopReason {
+        self.run_until(self.now.saturating_add(span))
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("pending", &self.events.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn executes_in_order_and_advances_clock() {
+        let mut sim = Simulator::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for &t in &[30u64, 10, 20] {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_nanos(t), move |sim| {
+                log.borrow_mut().push(sim.now().as_nanos());
+            });
+        }
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulator::new();
+        let hits = Rc::new(RefCell::new(0));
+        for t in [10u64, 20, 30] {
+            let hits = hits.clone();
+            sim.schedule_at(SimTime::from_nanos(t), move |_| *hits.borrow_mut() += 1);
+        }
+        assert_eq!(sim.run_until(SimTime::from_nanos(20)), StopReason::Deadline);
+        assert_eq!(*hits.borrow(), 2, "event at the deadline executes");
+        assert_eq!(sim.now(), SimTime::from_nanos(20));
+        assert_eq!(sim.events_pending(), 1);
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(*hits.borrow(), 3);
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut sim = Simulator::new();
+        let count = Rc::new(RefCell::new(0u32));
+        fn chain(sim: &mut Simulator, count: Rc<RefCell<u32>>, left: u32) {
+            *count.borrow_mut() += 1;
+            if left > 0 {
+                sim.schedule_in(SimDuration::from_nanos(7), move |sim| {
+                    chain(sim, count, left - 1)
+                });
+            }
+        }
+        let c = count.clone();
+        sim.schedule_in(SimDuration::ZERO, move |sim| chain(sim, c, 9));
+        sim.run();
+        assert_eq!(*count.borrow(), 10);
+        assert_eq!(sim.now(), SimTime::from_nanos(63));
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Simulator::new();
+        let hit = Rc::new(RefCell::new(false));
+        let h = hit.clone();
+        let id = sim.schedule_at(SimTime::from_nanos(5), move |_| *h.borrow_mut() = true);
+        assert!(sim.cancel(id));
+        sim.run();
+        assert!(!*hit.borrow());
+    }
+
+    #[test]
+    fn request_stop_halts_loop() {
+        let mut sim = Simulator::new();
+        let hits = Rc::new(RefCell::new(0));
+        let h = hits.clone();
+        sim.schedule_at(SimTime::from_nanos(1), move |sim| {
+            *h.borrow_mut() += 1;
+            sim.request_stop();
+        });
+        let h2 = hits.clone();
+        sim.schedule_at(SimTime::from_nanos(2), move |_| *h2.borrow_mut() += 1);
+        assert_eq!(sim.run(), StopReason::Requested);
+        assert_eq!(*hits.borrow(), 1);
+        // Resuming executes the remaining event.
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(*hits.borrow(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_nanos(10), |_| {});
+        sim.run();
+        sim.schedule_at(SimTime::from_nanos(5), |_| {});
+    }
+
+    #[test]
+    fn run_for_advances_relative_span() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_nanos(100), |_| {});
+        sim.run_for(SimDuration::from_nanos(50));
+        assert_eq!(sim.now(), SimTime::from_nanos(50));
+        sim.run_for(SimDuration::from_nanos(60));
+        assert_eq!(sim.now(), SimTime::from_nanos(110));
+        assert_eq!(sim.events_executed(), 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! # snicbench-sim
+//!
+//! Deterministic discrete-event simulation substrate for the snicbench
+//! workspace.
+//!
+//! The crate provides the building blocks every other snicbench crate rests
+//! on:
+//!
+//! * [`time`] — nanosecond-resolution simulated time ([`SimTime`]) and
+//!   durations ([`SimDuration`]) as zero-cost newtypes.
+//! * [`rng`] — a self-contained, reproducible pseudo-random number generator
+//!   ([`rng::Rng`], xoshiro256++) so simulation runs are bit-identical across
+//!   platforms and runs.
+//! * [`dist`] — sampling distributions used by traffic generators and
+//!   service-time models (exponential, lognormal, Pareto, Zipf, empirical).
+//! * [`event`] — a stable-ordered pending-event set.
+//! * [`engine`] — the event loop: schedule closures at absolute times and run
+//!   until quiescence or a deadline.
+//! * [`queue`] — bounded FIFO queues with drop accounting.
+//! * [`station`] — multi-server service stations (the queueing abstraction
+//!   used for CPU cores, accelerators, and links).
+//!
+//! # Example
+//!
+//! ```
+//! use snicbench_sim::{SimDuration, SimTime};
+//! use snicbench_sim::engine::Simulator;
+//!
+//! let mut sim = Simulator::new();
+//! let fired = std::rc::Rc::new(std::cell::Cell::new(false));
+//! let f = fired.clone();
+//! sim.schedule_at(SimTime::ZERO + SimDuration::from_micros(5), move |_| {
+//!     f.set(true);
+//! });
+//! sim.run();
+//! assert!(fired.get());
+//! assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_micros(5));
+//! ```
+
+pub mod dist;
+pub mod engine;
+pub mod event;
+pub mod queue;
+pub mod rng;
+pub mod station;
+pub mod time;
+
+pub use engine::Simulator;
+pub use time::{SimDuration, SimTime};

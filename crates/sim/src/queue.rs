@@ -1,0 +1,201 @@
+//! Bounded FIFO queues with drop accounting.
+//!
+//! Network elements (NIC rings, accelerator request queues, stack backlogs)
+//! are bounded buffers: when they are full, packets drop and the drops must
+//! be visible to the experiment (loss distorts both throughput and tail
+//! latency). [`BoundedFifo`] wraps a `VecDeque` with a capacity check and
+//! counters for offered/accepted/dropped items.
+
+use std::collections::VecDeque;
+
+/// Outcome of attempting to enqueue into a [`BoundedFifo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// The item was accepted.
+    Accepted,
+    /// The queue was full; the item was dropped.
+    Dropped,
+}
+
+/// Counters describing the history of a [`BoundedFifo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FifoStats {
+    /// Items offered to the queue (accepted + dropped).
+    pub offered: u64,
+    /// Items accepted into the queue.
+    pub accepted: u64,
+    /// Items dropped because the queue was full.
+    pub dropped: u64,
+    /// High-water mark of queue depth.
+    pub max_depth: usize,
+}
+
+impl FifoStats {
+    /// Fraction of offered items that were dropped (0 if nothing offered).
+    pub fn drop_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.offered as f64
+        }
+    }
+}
+
+/// A FIFO queue with an optional capacity bound and drop accounting.
+///
+/// # Example
+///
+/// ```
+/// use snicbench_sim::queue::{BoundedFifo, EnqueueOutcome};
+///
+/// let mut q = BoundedFifo::with_capacity(2);
+/// assert_eq!(q.enqueue(1), EnqueueOutcome::Accepted);
+/// assert_eq!(q.enqueue(2), EnqueueOutcome::Accepted);
+/// assert_eq!(q.enqueue(3), EnqueueOutcome::Dropped);
+/// assert_eq!(q.dequeue(), Some(1));
+/// assert_eq!(q.stats().dropped, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedFifo<T> {
+    items: VecDeque<T>,
+    capacity: Option<usize>,
+    stats: FifoStats,
+}
+
+impl<T> Default for BoundedFifo<T> {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl<T> BoundedFifo<T> {
+    /// Creates a queue that never drops.
+    pub fn unbounded() -> Self {
+        BoundedFifo {
+            items: VecDeque::new(),
+            capacity: None,
+            stats: FifoStats::default(),
+        }
+    }
+
+    /// Creates a queue that drops arrivals beyond `capacity` queued items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a zero-capacity queue would drop
+    /// everything; model that as no queue instead).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        BoundedFifo {
+            items: VecDeque::with_capacity(capacity),
+            capacity: Some(capacity),
+            stats: FifoStats::default(),
+        }
+    }
+
+    /// Attempts to enqueue an item, dropping it if the queue is full.
+    pub fn enqueue(&mut self, item: T) -> EnqueueOutcome {
+        self.stats.offered += 1;
+        if let Some(cap) = self.capacity {
+            if self.items.len() >= cap {
+                self.stats.dropped += 1;
+                return EnqueueOutcome::Dropped;
+            }
+        }
+        self.items.push_back(item);
+        self.stats.accepted += 1;
+        self.stats.max_depth = self.stats.max_depth.max(self.items.len());
+        EnqueueOutcome::Accepted
+    }
+
+    /// Removes and returns the oldest item.
+    pub fn dequeue(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Borrows the oldest item without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The configured capacity, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> FifoStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_drops() {
+        let mut q = BoundedFifo::unbounded();
+        for i in 0..10_000 {
+            assert_eq!(q.enqueue(i), EnqueueOutcome::Accepted);
+        }
+        assert_eq!(q.stats().dropped, 0);
+        assert_eq!(q.len(), 10_000);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedFifo::unbounded();
+        q.enqueue("a");
+        q.enqueue("b");
+        assert_eq!(q.front(), Some(&"a"));
+        assert_eq!(q.dequeue(), Some("a"));
+        assert_eq!(q.dequeue(), Some("b"));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn drops_when_full_and_recovers() {
+        let mut q = BoundedFifo::with_capacity(1);
+        assert_eq!(q.enqueue(1), EnqueueOutcome::Accepted);
+        assert_eq!(q.enqueue(2), EnqueueOutcome::Dropped);
+        q.dequeue();
+        assert_eq!(q.enqueue(3), EnqueueOutcome::Accepted);
+        let s = q.stats();
+        assert_eq!((s.offered, s.accepted, s.dropped), (3, 2, 1));
+        assert!((s.drop_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracks_max_depth() {
+        let mut q = BoundedFifo::with_capacity(5);
+        for i in 0..4 {
+            q.enqueue(i);
+        }
+        q.dequeue();
+        q.dequeue();
+        assert_eq!(q.stats().max_depth, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = BoundedFifo::<u8>::with_capacity(0);
+    }
+
+    #[test]
+    fn drop_rate_zero_when_unused() {
+        let q = BoundedFifo::<u8>::unbounded();
+        assert_eq!(q.stats().drop_rate(), 0.0);
+    }
+}

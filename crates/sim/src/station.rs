@@ -1,0 +1,396 @@
+//! Multi-server service stations.
+//!
+//! A multi-server *station* is the queueing abstraction used for every processing
+//! resource in snicbench: a set of CPU cores, an accelerator engine, a PCIe
+//! link or a NIC pipeline. Jobs arrive with a *service demand* (how long one
+//! server needs to process them); if all servers are busy the job waits in a
+//! (optionally bounded) FIFO. This is the classic M/G/k building block —
+//! open-loop arrivals against it produce exactly the throughput plateau and
+//! the p99-latency knee the paper measures.
+//!
+//! Stations are shared between event closures, so the public handle is
+//! [`StationHandle`], an `Rc<RefCell<Station>>` wrapper whose methods take
+//! `&mut Simulator`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::engine::Simulator;
+use crate::queue::{BoundedFifo, EnqueueOutcome};
+use crate::time::{SimDuration, SimTime};
+
+/// What happened to a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The job started service immediately.
+    Started,
+    /// The job is waiting for a free server.
+    Queued,
+    /// The job was dropped because the wait queue was full.
+    Dropped,
+}
+
+/// Completion record passed to the job's continuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// When the job arrived at the station.
+    pub arrived: SimTime,
+    /// When the job began service.
+    pub started: SimTime,
+    /// When the job finished service.
+    pub finished: SimTime,
+}
+
+impl Completion {
+    /// Time spent waiting for a server.
+    pub fn wait(&self) -> SimDuration {
+        self.started - self.arrived
+    }
+
+    /// Total time in the station (wait + service).
+    pub fn sojourn(&self) -> SimDuration {
+        self.finished - self.arrived
+    }
+}
+
+/// Aggregate statistics for a station.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StationStats {
+    /// Jobs offered (started + queued + dropped).
+    pub arrivals: u64,
+    /// Jobs that finished service.
+    pub completions: u64,
+    /// Jobs dropped at the wait queue.
+    pub dropped: u64,
+    /// Integral of (busy servers × time), in nanosecond-servers, for
+    /// computing utilization.
+    pub busy_ns: u128,
+}
+
+impl StationStats {
+    /// Mean utilization over `[0, now]` for a station with `servers` servers.
+    pub fn utilization(&self, servers: usize, now: SimTime) -> f64 {
+        if now == SimTime::ZERO || servers == 0 {
+            return 0.0;
+        }
+        self.busy_ns as f64 / (now.as_nanos() as f64 * servers as f64)
+    }
+}
+
+type Continuation = Box<dyn FnOnce(&mut Simulator, Completion)>;
+
+struct Waiting {
+    demand: SimDuration,
+    arrived: SimTime,
+    k: Continuation,
+}
+
+/// Internal station state; use through [`StationHandle`].
+struct Station {
+    name: String,
+    servers: usize,
+    busy: usize,
+    waiting: BoundedFifo<Waiting>,
+    stats: StationStats,
+    last_busy_change: SimTime,
+}
+
+impl Station {
+    fn accumulate_busy(&mut self, now: SimTime) {
+        let span = now.saturating_duration_since(self.last_busy_change);
+        self.stats.busy_ns += span.as_nanos() as u128 * self.busy as u128;
+        self.last_busy_change = now;
+    }
+}
+
+/// A shareable handle to a multi-server service station.
+///
+/// # Example
+///
+/// ```
+/// use snicbench_sim::engine::Simulator;
+/// use snicbench_sim::station::StationHandle;
+/// use snicbench_sim::SimDuration;
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Simulator::new();
+/// let cpu = StationHandle::new("cpu", 1, None);
+/// let done = Rc::new(Cell::new(false));
+/// let d = done.clone();
+/// cpu.submit(&mut sim, SimDuration::from_micros(10), move |_, c| {
+///     assert_eq!(c.sojourn(), SimDuration::from_micros(10));
+///     d.set(true);
+/// });
+/// sim.run();
+/// assert!(done.get());
+/// ```
+#[derive(Clone)]
+pub struct StationHandle {
+    inner: Rc<RefCell<Station>>,
+}
+
+impl StationHandle {
+    /// Creates a station with `servers` parallel servers and an optional
+    /// bound on the wait queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(name: impl Into<String>, servers: usize, queue_capacity: Option<usize>) -> Self {
+        assert!(servers > 0, "station needs at least one server");
+        let waiting = match queue_capacity {
+            Some(cap) => BoundedFifo::with_capacity(cap),
+            None => BoundedFifo::unbounded(),
+        };
+        StationHandle {
+            inner: Rc::new(RefCell::new(Station {
+                name: name.into(),
+                servers,
+                busy: 0,
+                waiting,
+                stats: StationStats::default(),
+                last_busy_change: SimTime::ZERO,
+            })),
+        }
+    }
+
+    /// Submits a job with the given service demand; `k` runs at completion.
+    ///
+    /// Returns how the job was admitted. If the job is dropped, `k` is never
+    /// called.
+    pub fn submit<F>(&self, sim: &mut Simulator, demand: SimDuration, k: F) -> Admission
+    where
+        F: FnOnce(&mut Simulator, Completion) + 'static,
+    {
+        let now = sim.now();
+        let mut st = self.inner.borrow_mut();
+        st.stats.arrivals += 1;
+        if st.busy < st.servers {
+            st.accumulate_busy(now);
+            st.busy += 1;
+            drop(st);
+            self.schedule_completion(sim, now, now, demand, Box::new(k));
+            Admission::Started
+        } else {
+            let outcome = st.waiting.enqueue(Waiting {
+                demand,
+                arrived: now,
+                k: Box::new(k),
+            });
+            match outcome {
+                EnqueueOutcome::Accepted => Admission::Queued,
+                EnqueueOutcome::Dropped => {
+                    st.stats.dropped += 1;
+                    Admission::Dropped
+                }
+            }
+        }
+    }
+
+    fn schedule_completion(
+        &self,
+        sim: &mut Simulator,
+        arrived: SimTime,
+        started: SimTime,
+        demand: SimDuration,
+        k: Continuation,
+    ) {
+        let handle = self.clone();
+        sim.schedule_at(started + demand, move |sim| {
+            let finished = sim.now();
+            {
+                let mut st = handle.inner.borrow_mut();
+                st.accumulate_busy(finished);
+                st.busy -= 1;
+                st.stats.completions += 1;
+            }
+            k(
+                sim,
+                Completion {
+                    arrived,
+                    started,
+                    finished,
+                },
+            );
+            // Pull the next waiter, if any.
+            let next = {
+                let mut st = handle.inner.borrow_mut();
+                if st.busy < st.servers {
+                    if let Some(w) = st.waiting.dequeue() {
+                        st.accumulate_busy(finished);
+                        st.busy += 1;
+                        Some(w)
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                }
+            };
+            if let Some(w) = next {
+                handle.schedule_completion(sim, w.arrived, finished, w.demand, w.k);
+            }
+        });
+    }
+
+    /// Number of servers currently busy.
+    pub fn busy(&self) -> usize {
+        self.inner.borrow().busy
+    }
+
+    /// Number of jobs waiting for a server.
+    pub fn queue_len(&self) -> usize {
+        self.inner.borrow().waiting.len()
+    }
+
+    /// The station's name.
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// Number of parallel servers.
+    pub fn servers(&self) -> usize {
+        self.inner.borrow().servers
+    }
+
+    /// Aggregate statistics (busy-time integral current as of the last
+    /// busy-count change; call [`StationHandle::finalize_stats`] to bring it
+    /// up to `now`).
+    pub fn stats(&self) -> StationStats {
+        self.inner.borrow().stats
+    }
+
+    /// Accumulates busy time up to `now` and returns the statistics.
+    pub fn finalize_stats(&self, now: SimTime) -> StationStats {
+        let mut st = self.inner.borrow_mut();
+        st.accumulate_busy(now);
+        st.stats
+    }
+}
+
+impl std::fmt::Debug for StationHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.borrow();
+        f.debug_struct("StationHandle")
+            .field("name", &st.name)
+            .field("servers", &st.servers)
+            .field("busy", &st.busy)
+            .field("waiting", &st.waiting.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn single_server_serializes_jobs() {
+        let mut sim = Simulator::new();
+        let s = StationHandle::new("s", 1, None);
+        let finishes = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..3 {
+            let f = finishes.clone();
+            s.submit(&mut sim, SimDuration::from_micros(10), move |_, c| {
+                f.borrow_mut()
+                    .push((c.finished.as_nanos(), c.wait().as_nanos()));
+            });
+        }
+        sim.run();
+        assert_eq!(
+            *finishes.borrow(),
+            vec![(10_000, 0), (20_000, 10_000), (30_000, 20_000)]
+        );
+    }
+
+    #[test]
+    fn multi_server_runs_in_parallel() {
+        let mut sim = Simulator::new();
+        let s = StationHandle::new("s", 2, None);
+        let finishes = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..4 {
+            let f = finishes.clone();
+            s.submit(&mut sim, SimDuration::from_micros(10), move |_, c| {
+                f.borrow_mut().push(c.finished.as_nanos());
+            });
+        }
+        sim.run();
+        assert_eq!(*finishes.borrow(), vec![10_000, 10_000, 20_000, 20_000]);
+    }
+
+    #[test]
+    fn bounded_queue_drops() {
+        let mut sim = Simulator::new();
+        let s = StationHandle::new("s", 1, Some(1));
+        let a = s.submit(&mut sim, SimDuration::from_micros(1), |_, _| {});
+        let b = s.submit(&mut sim, SimDuration::from_micros(1), |_, _| {});
+        let c = s.submit(&mut sim, SimDuration::from_micros(1), |_, _| {});
+        assert_eq!(a, Admission::Started);
+        assert_eq!(b, Admission::Queued);
+        assert_eq!(c, Admission::Dropped);
+        sim.run();
+        let stats = s.stats();
+        assert_eq!(stats.arrivals, 3);
+        assert_eq!(stats.completions, 2);
+        assert_eq!(stats.dropped, 1);
+    }
+
+    #[test]
+    fn utilization_integral() {
+        let mut sim = Simulator::new();
+        let s = StationHandle::new("s", 2, None);
+        // One job of 10us on a 2-server station over a 20us window: busy
+        // integral = 10us * 1 server; utilization = 10/(20*2) = 0.25.
+        s.submit(&mut sim, SimDuration::from_micros(10), |_, _| {});
+        sim.run_until(SimTime::from_nanos(20_000));
+        let stats = s.finalize_stats(sim.now());
+        let u = stats.utilization(2, sim.now());
+        assert!((u - 0.25).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn staggered_arrivals_wait_correctly() {
+        let mut sim = Simulator::new();
+        let s = StationHandle::new("s", 1, None);
+        let s2 = s.clone();
+        let waits = Rc::new(RefCell::new(Vec::new()));
+        let w1 = waits.clone();
+        s.submit(&mut sim, SimDuration::from_micros(10), move |_, c| {
+            w1.borrow_mut().push(c.wait().as_nanos());
+        });
+        let w2 = waits.clone();
+        sim.schedule_at(SimTime::from_nanos(4_000), move |sim| {
+            s2.submit(sim, SimDuration::from_micros(5), move |_, c| {
+                w2.borrow_mut().push(c.wait().as_nanos());
+            });
+        });
+        sim.run();
+        // Second job arrives at 4us, server frees at 10us -> waits 6us.
+        assert_eq!(*waits.borrow(), vec![0, 6_000]);
+    }
+
+    #[test]
+    fn completion_accounting_matches() {
+        let mut sim = Simulator::new();
+        let s = StationHandle::new("s", 3, None);
+        for i in 0..50u64 {
+            let demand = SimDuration::from_nanos(100 + i * 13);
+            s.submit(&mut sim, demand, |_, _| {});
+        }
+        sim.run();
+        let stats = s.stats();
+        assert_eq!(stats.arrivals, 50);
+        assert_eq!(stats.completions, 50);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(s.busy(), 0);
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        let _ = StationHandle::new("s", 0, None);
+    }
+}

@@ -1,0 +1,76 @@
+//! The offload advisor (the paper's Strategy 2): for each workload,
+//! predict every platform's operating point, filter by an SLO, and pick
+//! the best — showing how inputs and configurations flip the answer
+//! (Key Observations 2 and 4).
+//!
+//! ```text
+//! cargo run --release --example offload_advisor
+//! ```
+
+use snicbench::core::advisor::{recommend, Objective};
+use snicbench::core::benchmark::{CryptoAlgo, Workload};
+use snicbench::core::experiment::SearchBudget;
+use snicbench::core::report::TextTable;
+use snicbench::core::slo::Slo;
+use snicbench::functions::rem::RemRuleset;
+
+fn main() {
+    let cases: Vec<(Workload, Option<Slo>, Objective)> = vec![
+        // Same function, different ruleset → different winner (KO4).
+        (
+            Workload::Rem(RemRuleset::FileImage),
+            None,
+            Objective::Throughput,
+        ),
+        (
+            Workload::Rem(RemRuleset::FileExecutable),
+            None,
+            Objective::Throughput,
+        ),
+        // A tight tail-latency SLO disqualifies the accelerator's staging
+        // path even where it wins on throughput.
+        (
+            Workload::Rem(RemRuleset::FileImage),
+            Some(Slo::p99(15.0)),
+            Objective::Throughput,
+        ),
+        // Crypto: the host's ISA extensions win AES, the engine wins SHA-1
+        // (KO2).
+        (
+            Workload::Crypto(CryptoAlgo::Aes),
+            None,
+            Objective::Throughput,
+        ),
+        (
+            Workload::Crypto(CryptoAlgo::Sha1),
+            None,
+            Objective::EnergyEfficiency,
+        ),
+    ];
+
+    let mut table = TextTable::new(vec!["workload", "SLO", "objective", "choice", "why"]);
+    for (workload, slo, objective) in cases {
+        eprintln!("# advising on {workload}...");
+        let rec = recommend(workload, slo, objective, SearchBudget::quick());
+        let best = &rec.predictions[0];
+        let why = format!(
+            "{:.2} Gb/s, p99 {:.1} us, {:.4} Gb/s/W",
+            best.max_gbps, best.p99_us, best.efficiency
+        );
+        table.row(vec![
+            workload.name(),
+            slo.map(|s| format!("p99<{:.0}us", s.p99_us))
+                .unwrap_or_else(|| "-".into()),
+            format!("{objective:?}"),
+            rec.choice
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "none meets SLO".into()),
+            why,
+        ]);
+    }
+    println!("\n{table}");
+    println!(
+        "Strategy 2 (Sec. 5.3): offload decisions need per-configuration\n\
+         prediction — a function name alone does not determine the winner."
+    );
+}

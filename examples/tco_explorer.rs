@@ -1,0 +1,86 @@
+//! TCO sensitivity exploration beyond Table 5: how do electricity price
+//! and SNIC street price move the break-even point? The paper notes
+//! hyperscalers "may make different conclusions on the TCO benefit" —
+//! this example shows exactly which lever flips each verdict.
+//!
+//! ```text
+//! cargo run --release --example tco_explorer
+//! ```
+
+use snicbench::core::report::TextTable;
+use snicbench::core::tco::{analyze, paper_scenarios, TcoInputs};
+
+fn main() {
+    println!("TCO sensitivity around the paper's Table 5 scenarios\n");
+
+    // 1. Electricity price sweep (the paper uses $0.162/kWh).
+    println!("-- savings vs electricity price ($/kWh) --");
+    let prices = [0.05, 0.10, 0.162, 0.25, 0.40];
+    let mut t = TextTable::new(vec![
+        "application",
+        "$0.05",
+        "$0.10",
+        "$0.162",
+        "$0.25",
+        "$0.40",
+    ]);
+    for scenario in paper_scenarios() {
+        let mut cells = vec![scenario.name.clone()];
+        for &p in &prices {
+            let inputs = TcoInputs {
+                electricity_per_kwh: p,
+                ..TcoInputs::paper_default()
+            };
+            cells.push(format!(
+                "{:+.1}%",
+                analyze(&scenario, &inputs).savings() * 100.0
+            ));
+        }
+        t.row(cells);
+    }
+    println!("{t}");
+
+    // 2. SNIC price sweep: at what SNIC price does REM break even?
+    println!("-- REM savings vs SNIC price (paper: $1,817) --");
+    let mut t2 = TextTable::new(vec!["SNIC price", "REM savings"]);
+    let rem = &paper_scenarios()[2];
+    let mut break_even = None;
+    for price in (1_000..=2_000).step_by(100) {
+        let inputs = TcoInputs {
+            snic_cost: price as f64,
+            ..TcoInputs::paper_default()
+        };
+        let savings = analyze(rem, &inputs).savings();
+        if savings >= 0.0 && break_even.is_none() {
+            break_even = Some(price);
+        }
+        t2.row(vec![
+            format!("${price}"),
+            format!("{:+.2}%", savings * 100.0),
+        ]);
+    }
+    println!("{t2}");
+    match break_even {
+        Some(p) => println!(
+            "REM breaks even once the SNIC costs <= ${p} — cheaper parts (or\n\
+             hyperscaler purchasing power, as the paper notes) flip the verdict."
+        ),
+        None => println!("REM does not break even in the probed price range."),
+    }
+
+    // 3. Lifetime sweep: longer amortization favors the lower-power fleet.
+    println!("\n-- fio savings vs server lifetime --");
+    let fio = &paper_scenarios()[0];
+    let mut t3 = TextTable::new(vec!["years", "fio savings"]);
+    for years in [3.0, 5.0, 7.0, 10.0] {
+        let inputs = TcoInputs {
+            years,
+            ..TcoInputs::paper_default()
+        };
+        t3.row(vec![
+            format!("{years}"),
+            format!("{:+.1}%", analyze(fio, &inputs).savings() * 100.0),
+        ]);
+    }
+    println!("{t3}");
+}

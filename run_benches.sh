@@ -1,0 +1,9 @@
+#!/bin/bash
+# Runs the full Criterion suite, capturing everything into bench_output.txt.
+cd /root/repo
+: > bench_output.txt
+for b in rem_engine compression crypto kvs simulator multipattern; do
+  echo "==== cargo bench --bench $b ====" >> bench_output.txt
+  cargo bench -p snicbench-bench --bench "$b" >> bench_output.txt 2>&1
+done
+echo "==== bench suite complete ====" >> bench_output.txt

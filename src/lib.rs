@@ -1,0 +1,40 @@
+//! # snicbench
+//!
+//! A reproduction of **"Making Sense of Using a SmartNIC to Reduce
+//! Datacenter Tax from SLO and TCO Perspectives"** (Huang et al.,
+//! IISWC 2023) as a calibrated, fully simulated testbed plus real
+//! from-scratch implementations of every workload function the paper
+//! benchmarks.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! roof so examples and downstream users can depend on a single package.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`sim`] | `snicbench-sim` | deterministic discrete-event engine |
+//! | [`metrics`] | `snicbench-metrics` | latency histograms, power series |
+//! | [`hw`] | `snicbench-hw` | BlueField-2 / Xeon testbed models |
+//! | [`net`] | `snicbench-net` | stacks, traffic generators, traces |
+//! | [`functions`] | `snicbench-functions` | the 13 workload functions |
+//! | [`power`] | `snicbench-power` | power models and sensor rigs |
+//! | [`core`] | `snicbench-core` | the paper's evaluation framework |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use snicbench::core::benchmark::Workload;
+//! use snicbench::core::experiment::{compare, SearchBudget};
+//! use snicbench::functions::rem::RemRuleset;
+//!
+//! // Which platform should run regex matching with the file_image rules?
+//! let row = compare(Workload::Rem(RemRuleset::FileImage), SearchBudget::quick());
+//! assert!(row.throughput_ratio() > 1.0, "the accelerator wins for img");
+//! ```
+
+pub use snicbench_core as core;
+pub use snicbench_functions as functions;
+pub use snicbench_hw as hw;
+pub use snicbench_metrics as metrics;
+pub use snicbench_net as net;
+pub use snicbench_power as power;
+pub use snicbench_sim as sim;

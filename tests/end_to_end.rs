@@ -1,0 +1,177 @@
+//! End-to-end reproduction checks: a representative subset of Fig. 4's
+//! cells measured through the full pipeline (calibration → simulation →
+//! max-throughput search → p99 → power), with the resulting ratios
+//! asserted against the paper's reported bands.
+
+use snicbench::core::benchmark::{CorpusKind, CryptoAlgo, Workload};
+use snicbench::core::experiment::{compare, ComparisonRow, SearchBudget};
+use snicbench::functions::kvs::ycsb::YcsbWorkload;
+use snicbench::functions::rem::RemRuleset;
+use snicbench::functions::storage::FioDirection;
+use snicbench::net::PacketSize;
+
+fn row(w: Workload) -> ComparisonRow {
+    compare(w, SearchBudget::quick())
+}
+
+#[test]
+fn udp_micro_reproduces_the_paper_band() {
+    let r = row(Workload::MicroUdp(PacketSize::Large));
+    // Paper: 76.5-85.7% lower throughput (ratio 0.143-0.235), p99 1.1-1.4x.
+    let t = r.throughput_ratio();
+    assert!((0.12..0.26).contains(&t), "throughput ratio {t}");
+    let l = r.p99_ratio();
+    assert!((1.0..1.8).contains(&l), "p99 ratio {l}");
+}
+
+#[test]
+fn rdma_micro_favors_the_snic() {
+    let r = row(Workload::MicroRdma(PacketSize::Large));
+    // Paper: up to 1.4x throughput, 14.6-24.3% lower p99.
+    assert!(
+        (1.15..1.55).contains(&r.throughput_ratio()),
+        "throughput {}",
+        r.throughput_ratio()
+    );
+    assert!(r.p99_ratio() < 1.0, "p99 ratio {}", r.p99_ratio());
+}
+
+#[test]
+fn redis_loses_on_the_snic_cpu() {
+    let r = row(Workload::Redis(YcsbWorkload::A));
+    // TCP band: 20.6-89.5% lower throughput, 1.1-3.2x p99.
+    let t = r.throughput_ratio();
+    assert!((0.10..0.80).contains(&t), "throughput ratio {t}");
+    let l = r.p99_ratio();
+    assert!((1.0..3.5).contains(&l), "p99 ratio {l}");
+}
+
+#[test]
+fn bm25_input_size_narrows_the_gap() {
+    let small = row(Workload::Bm25 { documents: 100 }).throughput_ratio();
+    let large = row(Workload::Bm25 { documents: 1_000 }).throughput_ratio();
+    assert!(large > 1.5 * small, "KO4: {small} vs {large}");
+}
+
+#[test]
+fn rem_ruleset_flips_the_winner() {
+    let img = row(Workload::Rem(RemRuleset::FileImage)).throughput_ratio();
+    let exe = row(Workload::Rem(RemRuleset::FileExecutable)).throughput_ratio();
+    assert!(img > 1.2, "img ratio {img} (paper 1.8)");
+    assert!((0.4..0.85).contains(&exe), "exe ratio {exe} (paper 0.6)");
+}
+
+#[test]
+fn compression_accelerator_dominates_throughput_and_efficiency() {
+    let r = row(Workload::Compression(CorpusKind::Application));
+    // Paper: up to 3.5x throughput, 3.4-3.8x efficiency.
+    assert!(
+        (2.6..4.0).contains(&r.throughput_ratio()),
+        "throughput {}",
+        r.throughput_ratio()
+    );
+    assert!(
+        (2.0..4.5).contains(&r.efficiency_ratio()),
+        "efficiency {}",
+        r.efficiency_ratio()
+    );
+}
+
+#[test]
+fn crypto_split_verdict() {
+    // Paper: host +38.5% (AES), +91.2% (RSA); accel +89% (SHA-1 wins).
+    let aes = row(Workload::Crypto(CryptoAlgo::Aes)).throughput_ratio();
+    let sha = row(Workload::Crypto(CryptoAlgo::Sha1)).throughput_ratio();
+    assert!((0.6..0.9).contains(&aes), "AES {aes} (paper ~0.72)");
+    assert!((1.6..2.2).contains(&sha), "SHA-1 {sha} (paper ~1.89)");
+}
+
+#[test]
+fn fio_ties_throughput_but_splits_p99_by_direction() {
+    let read = row(Workload::Fio(FioDirection::RandRead));
+    let write = row(Workload::Fio(FioDirection::RandWrite));
+    // "Similar" throughput (paper's words): the knee criterion gives the
+    // higher-latency side slightly more queueing headroom, so allow ~15%.
+    assert!(
+        (0.85..1.2).contains(&read.throughput_ratio()),
+        "read throughput {}",
+        read.throughput_ratio()
+    );
+    // Paper: read p99 36% lower on host (ratio ~1.56); write 18.2% higher
+    // (ratio ~0.85).
+    assert!(read.p99_ratio() > 1.1, "read p99 {}", read.p99_ratio());
+    assert!(write.p99_ratio() < 1.0, "write p99 {}", write.p99_ratio());
+}
+
+#[test]
+fn energy_efficiency_is_idle_dominated() {
+    // KO5 structure: even when the SNIC processes the function, the system
+    // draws most of its idle 252 W, so efficiency gains track throughput
+    // gains and stay bounded.
+    let r = row(Workload::Rem(RemRuleset::FileImage));
+    assert!(r.snic_power.system_w > 245.0, "{}", r.snic_power.system_w);
+    assert!(r.host_power.system_w > 245.0, "{}", r.host_power.system_w);
+    let gain = r.efficiency_ratio() / r.throughput_ratio();
+    assert!(
+        (0.8..1.6).contains(&gain),
+        "efficiency should track throughput: {gain}"
+    );
+}
+
+#[test]
+fn ovs_load_configurations_measure_at_their_configured_loads() {
+    // Sec. 3.4: OvS is evaluated at 10% and 100% of line rate. The 10%
+    // configuration must operate near 10 Gb/s on both platforms, the 100%
+    // configuration near the eSwitch's full rate.
+    let low = row(Workload::Ovs { load_pct: 10 });
+    let high = row(Workload::Ovs { load_pct: 100 });
+    assert!(
+        (8.0..10.5).contains(&low.host.max_gbps),
+        "host at 10%: {}",
+        low.host.max_gbps
+    );
+    assert!(
+        (8.0..10.5).contains(&low.snic.max_gbps),
+        "snic at 10%: {}",
+        low.snic.max_gbps
+    );
+    assert!(high.host.max_gbps > 80.0, "host at 100%: {}", high.host.max_gbps);
+    // Throughput parity at both loads (the eSwitch serves both).
+    assert!((0.9..1.1).contains(&low.throughput_ratio()));
+    assert!((0.9..1.1).contains(&high.throughput_ratio()));
+}
+
+#[test]
+fn nat_calibration_is_consistent_with_the_cache_model() {
+    // Cross-validation: the calibration says NAT-1M costs more than
+    // NAT-10K on both platforms because 1M entries miss to DRAM. The hw
+    // cache model must agree on the direction and rough magnitude of that
+    // working-set effect.
+    use snicbench::hw::cache::AccessPattern;
+    use snicbench::hw::specs;
+    // Two hash maps x (key + value + bucket overhead) per mapping.
+    let entry_bytes = 128u64;
+    let host = specs::host_cache();
+    let snic = specs::snic_cache();
+    let host_small = host.amat(10_000 * entry_bytes, AccessPattern::Random);
+    let host_large = host.amat(1_000_000 * entry_bytes, AccessPattern::Random);
+    let snic_small = snic.amat(10_000 * entry_bytes, AccessPattern::Random);
+    let snic_large = snic.amat(1_000_000 * entry_bytes, AccessPattern::Random);
+    // Larger tables are slower to probe on both platforms...
+    assert!(host_large > host_small);
+    assert!(snic_large > snic_small);
+    // ...and at 1M entries both platforms are DRAM-latency-bound, so the
+    // cross-platform memory gap (snic/host AMAT, ~1.4x) is far below the
+    // compute gap (~2.8x) — which is why the calibration narrows the
+    // SNIC's NAT deficit at 1M entries (KO4).
+    let amat_gap_large = snic_large.as_secs_f64() / host_large.as_secs_f64();
+    let compute_gap = {
+        let host = specs::host_cpu();
+        let snic = specs::snic_cpu();
+        (host.freq_ghz * host.perf_per_cycle) / (snic.freq_ghz * snic.perf_per_cycle)
+    };
+    assert!(
+        amat_gap_large < 2.0 && amat_gap_large < compute_gap,
+        "AMAT gap {amat_gap_large:.2} vs compute gap {compute_gap:.2}"
+    );
+}

@@ -1,0 +1,108 @@
+//! Failure injection across the stack: impaired links feeding real
+//! detectors, sensor dropout feeding the power pipeline, and queue
+//! overflow at the accelerator — the system must degrade *predictably*,
+//! never silently lie.
+
+use snicbench::core::benchmark::{CorpusKind, Workload};
+use snicbench::core::runner::{run, OfferedLoad, RunConfig};
+use snicbench::functions::ids::{RulesetKind, SnortDetector};
+use snicbench::hw::ExecutionPlatform;
+use snicbench::net::link::{ImpairedLink, LinkOutcome};
+use snicbench::net::packet::PacketFactory;
+use snicbench::power::sensors::BmcSensor;
+use snicbench::sim::{SimDuration, SimTime};
+
+#[test]
+fn lossy_link_reduces_detections_proportionally() {
+    // Every packet carries an executable signature; a 30%-loss link should
+    // cost ~30% of the detections, never produce spurious ones.
+    let mut factory = PacketFactory::new(1, 8);
+    let mut link = ImpairedLink::clean(2).with_loss(0.3);
+    let mut detector = SnortDetector::new(RulesetKind::FileExecutable);
+    let total = 2_000;
+    let mut delivered_hits = 0;
+    for _ in 0..total {
+        let packet = factory.create(512, SimTime::ZERO);
+        match link.transmit(&packet) {
+            LinkOutcome::Lost => {}
+            LinkOutcome::Delivered { .. } | LinkOutcome::Corrupted { .. } => {
+                let mut payload = packet.synthesize_payload();
+                payload[0..4].copy_from_slice(b"\x7fELF");
+                if !detector.scan(&payload).is_empty() {
+                    delivered_hits += 1;
+                }
+            }
+        }
+    }
+    let rate = delivered_hits as f64 / total as f64;
+    assert!((rate - 0.7).abs() < 0.03, "detection rate {rate}");
+}
+
+#[test]
+fn corruption_perturbs_what_detectors_see() {
+    // A corrupting link rewrites payload bytes: a signature embedded by
+    // the sender is (almost surely) destroyed, so the detector misses it —
+    // the integrity failure is visible as a verdict change, not a crash.
+    let mut factory = PacketFactory::new(3, 8);
+    let mut link = ImpairedLink::clean(4).with_corruption(1.0);
+    let mut detector = SnortDetector::new(RulesetKind::FileImage);
+    let mut missed = 0;
+    let total = 200;
+    for _ in 0..total {
+        let packet = factory.create(1024, SimTime::ZERO);
+        // The *sender's* payload contains a PNG signature...
+        let mut sent = packet.synthesize_payload();
+        sent[10..16].copy_from_slice(b"\x89PNG\r\n");
+        assert!(!detector.scan(&sent).is_empty());
+        // ...but the receiver synthesizes from the corrupted seed.
+        if let LinkOutcome::Corrupted { packet: recv, .. } = link.transmit(&packet) {
+            if detector.scan(&recv.synthesize_payload()).is_empty() {
+                missed += 1;
+            }
+        } else {
+            panic!("link configured for certain corruption");
+        }
+    }
+    assert!(
+        missed as f64 / total as f64 > 0.95,
+        "missed {missed}/{total}"
+    );
+}
+
+#[test]
+fn sensor_dropout_does_not_bias_energy_accounting() {
+    // A 25%-dropout BMC with carry-forward filling must report energy
+    // within 1% of the clean sensor over a steady workload.
+    let window = SimDuration::from_secs(600);
+    let truth = |_| 297.5;
+    let clean = BmcSensor::new(10).sample(SimTime::ZERO, window, truth);
+    let lossy = BmcSensor::new(11)
+        .with_dropout(0.25)
+        .sample(SimTime::ZERO, window, truth);
+    let clean_energy = clean.integral();
+    let lossy_energy = lossy.integral();
+    let rel = (clean_energy - lossy_energy).abs() / clean_energy;
+    assert!(rel < 0.01, "energy bias {rel}");
+}
+
+#[test]
+fn accelerator_overload_drops_rather_than_stalling() {
+    // Offer 4x the compression accelerator's capacity: the run must
+    // complete, report drops, and still achieve ~the engine cap.
+    let mut cfg = RunConfig::new(
+        Workload::Compression(CorpusKind::Text),
+        ExecutionPlatform::SnicAccelerator,
+        OfferedLoad::Gbps(100.0),
+    );
+    cfg.duration = SimDuration::from_millis(120);
+    cfg.warmup = SimDuration::from_millis(20);
+    let m = run(&cfg);
+    assert!(m.dropped > 0, "overload must drop");
+    assert!(
+        (40.0..55.0).contains(&m.achieved_gbps),
+        "achieved {} should pin at the engine cap",
+        m.achieved_gbps
+    );
+    // Latency reflects the full (bounded) queue, not infinity.
+    assert!(m.latency.p99_us.is_finite());
+}

@@ -1,0 +1,165 @@
+//! Cross-crate integration: real packets from the traffic substrate flow
+//! through the real workload-function implementations, and the results
+//! agree across independent implementations (regex engine vs.
+//! Aho–Corasick, DFA vs. NFA, compressor vs. decompressor).
+
+use snicbench::functions::compress;
+use snicbench::functions::ids::{AhoCorasick, RulesetKind, SnortDetector};
+use snicbench::functions::kvs::redis::RedisStore;
+use snicbench::functions::kvs::ycsb::{YcsbGenerator, YcsbWorkload};
+use snicbench::functions::nat::{Endpoint, NatTable};
+use snicbench::functions::rem::{MultiRegex, RemRuleset};
+use snicbench::net::packet::PacketFactory;
+use snicbench::sim::rng::Rng;
+use snicbench::sim::SimTime;
+
+/// Synthesized packet payloads run through the Snort detector; payloads
+/// with injected signatures alert, clean ones do not.
+#[test]
+fn snort_detects_injected_signatures_in_packet_payloads() {
+    let mut factory = PacketFactory::new(42, 16);
+    let mut detector = SnortDetector::new(RulesetKind::FileExecutable);
+    let mut clean_alerts = 0;
+    for _ in 0..200 {
+        let p = factory.create(1024, SimTime::ZERO);
+        if !detector.scan(&p.synthesize_payload()).is_empty() {
+            clean_alerts += 1;
+        }
+    }
+    // Random text payloads almost never contain executable magic...
+    assert!(clean_alerts <= 2, "false alerts: {clean_alerts}");
+    // ...but payloads with an injected signature always do.
+    for _ in 0..50 {
+        let p = factory.create(1024, SimTime::ZERO);
+        let mut payload = p.synthesize_payload();
+        payload[100..104].copy_from_slice(b"MZ\x90\x00");
+        payload.splice(
+            200..200,
+            b"This program cannot be run in DOS mode".iter().copied(),
+        );
+        assert!(!detector.scan(&payload).is_empty());
+    }
+}
+
+/// The regex engine and Aho–Corasick agree on literal patterns over
+/// real packet payloads.
+#[test]
+fn regex_engine_agrees_with_aho_corasick_on_literals() {
+    let patterns: Vec<Vec<u8>> = vec![
+        b"an".to_vec(),
+        b"e".to_vec(),
+        b"qu".to_vec(),
+        b"zzzz".to_vec(),
+    ];
+    let pattern_strs: Vec<String> = patterns
+        .iter()
+        .map(|p| String::from_utf8(p.clone()).unwrap())
+        .collect();
+    let pattern_refs: Vec<&str> = pattern_strs.iter().map(String::as_str).collect();
+    let mut regex = MultiRegex::compile(&pattern_refs).unwrap();
+    let ac = AhoCorasick::new(&patterns);
+    let mut factory = PacketFactory::new(7, 8);
+    let mut agreements = 0;
+    for _ in 0..200 {
+        let payload = factory.create(512, SimTime::ZERO).synthesize_payload();
+        let re_hits = regex.scan(&payload);
+        let ac_hits = ac.find_distinct(&payload);
+        assert_eq!(
+            re_hits,
+            ac_hits,
+            "payload {:?}",
+            String::from_utf8_lossy(&payload)
+        );
+        if !re_hits.is_empty() {
+            agreements += 1;
+        }
+    }
+    // The text-like payloads should hit the common fragments regularly.
+    assert!(agreements > 150, "only {agreements} payloads matched");
+}
+
+/// All three REM rulesets: the lazy DFA agrees with the reference NFA on
+/// packet payloads with injected file signatures.
+#[test]
+fn rem_dfa_matches_nfa_on_all_rulesets() {
+    let mut rng = Rng::new(3);
+    for ruleset in RemRuleset::ALL {
+        let mut dfa = ruleset.compile().unwrap();
+        let mut factory = PacketFactory::new(11, 8);
+        for i in 0..100 {
+            let mut payload = factory.create(700, SimTime::ZERO).synthesize_payload();
+            // Occasionally inject a signature-like fragment.
+            if i % 3 == 0 {
+                let frag: &[u8] = match ruleset {
+                    RemRuleset::FileImage => b"\x89PNG\r\n",
+                    RemRuleset::FileFlash => b"CWS\x08",
+                    RemRuleset::FileExecutable => b"\x7fELF\x02\x01",
+                };
+                let at = rng.below((payload.len() - frag.len()) as u64) as usize;
+                payload[at..at + frag.len()].copy_from_slice(frag);
+            }
+            let dfa_hits = dfa.scan(&payload);
+            let nfa_hits = dfa.nfa().scan(&payload);
+            assert_eq!(dfa_hits, nfa_hits, "{ruleset} diverged");
+            if i % 3 == 0 {
+                assert!(
+                    !dfa_hits.is_empty(),
+                    "{ruleset} missed an injected signature"
+                );
+            }
+        }
+    }
+}
+
+/// Compression round-trips packet payload batches, and text-like payloads
+/// compress.
+#[test]
+fn packet_payload_batches_compress_and_round_trip() {
+    let mut factory = PacketFactory::new(99, 4);
+    let mut batch = Vec::new();
+    for _ in 0..64 {
+        batch.extend(factory.create(1024, SimTime::ZERO).synthesize_payload());
+    }
+    let compressed = compress::compress(&batch, 6);
+    assert!(
+        compressed.len() < batch.len(),
+        "text-like payloads must compress: {} -> {}",
+        batch.len(),
+        compressed.len()
+    );
+    assert_eq!(compress::decompress(&compressed).unwrap(), batch);
+}
+
+/// The paper's full Redis configuration: 30 K × 1 KB records, 10 K YCSB
+/// operations per workload, zero misses.
+#[test]
+fn redis_serves_the_paper_ycsb_configuration() {
+    let mut store = RedisStore::preloaded(30_000, 1_024);
+    for wl in YcsbWorkload::ALL {
+        let mut gen = YcsbGenerator::new(wl, 30_000, 1_024, 0xCAFE);
+        for _ in 0..10_000 {
+            store.execute(gen.next_op());
+        }
+    }
+    let stats = store.stats();
+    assert_eq!(stats.hits + stats.misses + stats.writes, 30_000);
+    assert_eq!(stats.misses, 0);
+    assert_eq!(store.len(), 30_000, "YCSB writes update existing keys");
+}
+
+/// NAT translates a full flow of packets bidirectionally without losing
+/// the mapping.
+#[test]
+fn nat_translates_packet_flows_bidirectionally() {
+    let mut nat = NatTable::with_random_entries(10_000, 5);
+    let publics: Vec<Endpoint> = nat.public_endpoints().take(100).collect();
+    for &public in &publics {
+        let private = nat.translate_inbound(public).expect("known mapping");
+        // The reply path must map back to the same public endpoint.
+        assert_eq!(nat.translate_outbound(private), Some(public));
+    }
+    let stats = nat.stats();
+    assert_eq!(stats.inbound_hits, 100);
+    assert_eq!(stats.outbound_hits, 100);
+    assert_eq!(stats.outbound_allocs, 0, "no new mappings needed");
+}

@@ -1,0 +1,83 @@
+//! The Sec. 3.2 power-measurement methodology, end to end: the BMC sees
+//! the chassis, the riser rig isolates the SNIC, and the with/without-SNIC
+//! validation closes within the paper's tolerance.
+
+use snicbench::metrics::TimeSeries;
+use snicbench::power::riser::{validate_isolation, RiserRig};
+use snicbench::power::sensors::{BmcSensor, YoctoWatt};
+use snicbench::power::ServerPowerModel;
+use snicbench::sim::{SimDuration, SimTime};
+
+#[test]
+fn full_isolation_methodology_closes() {
+    let model = ServerPowerModel::paper_default();
+    // A workload phase: host 40% busy, SNIC 60% busy, with a step change
+    // halfway through the window.
+    let system = |t: SimTime| {
+        if t < SimTime::ZERO + SimDuration::from_secs(60) {
+            model.system_power(0.4, 0.6)
+        } else {
+            model.system_power(0.1, 0.9)
+        }
+    };
+    let snic = |t: SimTime| {
+        if t < SimTime::ZERO + SimDuration::from_secs(60) {
+            model.snic_power(0.6)
+        } else {
+            model.snic_power(0.9)
+        }
+    };
+    let without = |t: SimTime| system(t) - snic(t);
+
+    let window = SimDuration::from_secs(120);
+    let mut bmc = BmcSensor::new(1);
+    let with_series = bmc.sample(SimTime::ZERO, window, system);
+    let without_series = bmc.sample(SimTime::ZERO, window, without);
+    let mut rig = RiserRig::new(2);
+    let riser_series = rig.measure_device(SimTime::ZERO, window, snic);
+
+    let (delta, riser, rel_err) = validate_isolation(&with_series, &without_series, &riser_series);
+    assert!(
+        rel_err < 0.05,
+        "isolation must close within 5%: delta {delta:.2} vs riser {riser:.2} ({rel_err:.3})"
+    );
+    // Sampling-rate claim (Sec. 3.2): riser rig = 10x the BMC's rate.
+    assert_eq!(riser_series.len(), 10 * with_series.len());
+}
+
+#[test]
+fn energy_integrates_identically_across_sensors() {
+    // A constant 300 W load for 100 s = 30 kJ; both instruments agree
+    // within their accuracy.
+    let window = SimDuration::from_secs(100);
+    let mut bmc = BmcSensor::new(3);
+    let coarse = bmc.sample(SimTime::ZERO, window, |_| 300.0);
+    let mut fine = YoctoWatt::new(snicbench::power::sensors::Rail::V12, 4);
+    let fine_series = fine.sample(SimTime::ZERO, window, |_| {
+        300.0 / snicbench::power::sensors::Rail::V12.power_share()
+    });
+    assert!(
+        (coarse.integral() - 30_000.0).abs() < 150.0,
+        "{}",
+        coarse.integral()
+    );
+    assert!(
+        (fine_series.integral() - 30_000.0).abs() < 5.0,
+        "{}",
+        fine_series.integral()
+    );
+}
+
+#[test]
+fn rail_subtraction_recovers_residual_power() {
+    // TimeSeries::subtract is the arithmetic the riser methodology rests
+    // on: (system) - (device) = rest-of-server.
+    let mut sys = TimeSeries::new(SimTime::ZERO, SimDuration::from_secs(1));
+    let mut dev = TimeSeries::new(SimTime::ZERO, SimDuration::from_secs(1));
+    for i in 0..60 {
+        sys.push(280.0 + (i % 3) as f64);
+        dev.push(30.0);
+    }
+    let rest = sys.subtract(&dev);
+    assert!((rest.mean() - 251.0).abs() < 1.0, "{}", rest.mean());
+}

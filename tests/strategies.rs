@@ -1,0 +1,92 @@
+//! Integration tests for the paper's Sec. 5.3 strategies: the offload
+//! advisor (Strategy 2) and the SNIC/host load balancer (Strategy 3).
+
+use snicbench::core::advisor::{recommend, Objective};
+use snicbench::core::benchmark::Workload;
+use snicbench::core::experiment::SearchBudget;
+use snicbench::core::loadbalancer::{simulate, BalancerConfig, Policy};
+use snicbench::core::slo::Slo;
+use snicbench::functions::rem::RemRuleset;
+use snicbench::hw::ExecutionPlatform;
+use snicbench::sim::SimDuration;
+
+fn quick_balance(policy: Policy, gbps: f64) -> snicbench::core::loadbalancer::BalancerMetrics {
+    let mut cfg = BalancerConfig::new(Workload::RemMtu(RemRuleset::FileExecutable), policy, gbps);
+    cfg.duration = SimDuration::from_millis(80);
+    cfg.warmup = SimDuration::from_millis(10);
+    simulate(&cfg)
+}
+
+#[test]
+fn advisor_flips_with_the_ruleset() {
+    // Strategy 2 / KO4: identical function, different input, different
+    // recommendation.
+    let img = recommend(
+        Workload::Rem(RemRuleset::FileImage),
+        None,
+        Objective::Throughput,
+        SearchBudget::quick(),
+    );
+    let exe = recommend(
+        Workload::Rem(RemRuleset::FileExecutable),
+        None,
+        Objective::Throughput,
+        SearchBudget::quick(),
+    );
+    assert_eq!(img.choice, Some(ExecutionPlatform::SnicAccelerator));
+    assert_eq!(exe.choice, Some(ExecutionPlatform::HostCpu));
+}
+
+#[test]
+fn advisor_respects_a_latency_slo() {
+    // The accelerator's staging path (~20 us) cannot satisfy a 15 us p99,
+    // whatever its throughput advantage.
+    let rec = recommend(
+        Workload::Rem(RemRuleset::FileImage),
+        Some(Slo::p99(15.0)),
+        Objective::Throughput,
+        SearchBudget::quick(),
+    );
+    assert_ne!(rec.choice, Some(ExecutionPlatform::SnicAccelerator));
+}
+
+#[test]
+fn balancer_beats_both_single_platform_options() {
+    // Strategy 3 at 80 Gb/s: above the accel cap (KO3) and above the host
+    // knee, so each alone drops traffic while the split absorbs it.
+    let snic_only = quick_balance(Policy::AllSnic, 80.0);
+    let host_only = quick_balance(Policy::AllHost, 80.0);
+    let split = quick_balance(
+        Policy::StaticSplit {
+            snic_fraction: 0.45,
+        },
+        80.0,
+    );
+    assert!(
+        snic_only.loss_rate > 0.2,
+        "snic-only loss {}",
+        snic_only.loss_rate
+    );
+    assert!(
+        host_only.loss_rate > 0.02,
+        "host-only loss {}",
+        host_only.loss_rate
+    );
+    assert!(split.loss_rate < 0.02, "split loss {}", split.loss_rate);
+    assert!(split.achieved_gbps > snic_only.achieved_gbps);
+    assert!(split.achieved_gbps > host_only.achieved_gbps);
+}
+
+#[test]
+fn adaptive_balancing_works_without_tuning_the_split() {
+    // The queue-threshold policy needs no offline split fraction and still
+    // absorbs the load...
+    let adaptive = quick_balance(Policy::QueueThreshold { max_backlog: 64 }, 80.0);
+    assert!(adaptive.loss_rate < 0.05, "loss {}", adaptive.loss_rate);
+    // ...while routing a meaningful share to each side.
+    assert!(
+        (0.2..0.8).contains(&adaptive.snic_share),
+        "share {}",
+        adaptive.snic_share
+    );
+}

@@ -1,0 +1,102 @@
+//! Testbed-path integration: the hardware model's latency structure —
+//! on-path vs off-path modes (Sec. 2.3), per-platform ingress paths, and
+//! the eSwitch steering that the load balancer relies on.
+
+use snicbench::hw::accelerator::AcceleratorKind;
+use snicbench::hw::nic::{ForwardingRule, SwitchPort};
+use snicbench::hw::server::Testbed;
+use snicbench::hw::snic::{BlueField2, OperationMode};
+use snicbench::hw::ExecutionPlatform;
+
+#[test]
+fn platform_latency_ordering_matches_the_architecture() {
+    // Sec. 2: the SNIC CPU sits on the ingress path; the host pays the
+    // PCIe crossing; the accelerators pay the staging pipeline on top.
+    let tb = Testbed::new();
+    let snic = tb.ingress_latency(ExecutionPlatform::SnicCpu);
+    let host = tb.ingress_latency(ExecutionPlatform::HostCpu);
+    let rem = tb
+        .ingress_latency_to_accelerator(AcceleratorKind::RegexMatching)
+        .unwrap();
+    let pka = tb
+        .ingress_latency_to_accelerator(AcceleratorKind::PublicKeyCrypto)
+        .unwrap();
+    let comp = tb
+        .ingress_latency_to_accelerator(AcceleratorKind::Compression)
+        .unwrap();
+    assert!(snic < host);
+    assert!(
+        host < pka && pka < comp && comp < rem,
+        "staging depths differ"
+    );
+}
+
+#[test]
+fn off_path_mode_shortens_the_host_path() {
+    // Sec. 2.3: in off-path mode packets reach the host without the
+    // on-path eSwitch detour. The paper evaluates on-path only (the
+    // accelerators require it); the model keeps both for completeness.
+    let mut on_path = Testbed::new();
+    on_path.snic.set_mode(OperationMode::OnPath);
+    let on = on_path.ingress_latency(ExecutionPlatform::HostCpu);
+    let mut off_path = Testbed::new();
+    off_path.snic.set_mode(OperationMode::OffPath);
+    let off = off_path.ingress_latency(ExecutionPlatform::HostCpu);
+    assert!(off < on, "off-path {off} must beat on-path {on}");
+    // The SNIC CPU path is unaffected by the mode.
+    assert_eq!(
+        on_path.ingress_latency(ExecutionPlatform::SnicCpu),
+        off_path.ingress_latency(ExecutionPlatform::SnicCpu)
+    );
+}
+
+#[test]
+fn eswitch_steering_implements_a_flow_split() {
+    // The Strategy 3 data plane: program the eSwitch to send 1/4 of flows
+    // to the host, the rest to the SNIC CPU.
+    let mut bf2 = BlueField2::new();
+    bf2.eswitch.add_rule(ForwardingRule {
+        modulus: 4,
+        remainder: 0,
+        output: SwitchPort::Host,
+    });
+    let mut to_host = 0;
+    let flows = 10_000u64;
+    for flow in 0..flows {
+        if bf2.eswitch.route(flow) == SwitchPort::Host {
+            to_host += 1;
+        }
+    }
+    assert_eq!(to_host, flows / 4);
+    assert_eq!(bf2.eswitch.packets_routed(), flows);
+}
+
+#[test]
+fn mode_switch_reprograms_and_clears_rules() {
+    let mut bf2 = BlueField2::new();
+    bf2.eswitch.add_rule(ForwardingRule {
+        modulus: 2,
+        remainder: 0,
+        output: SwitchPort::Wire,
+    });
+    bf2.set_mode(OperationMode::OffPath);
+    // Rules are gone; default now points at the host.
+    assert_eq!(bf2.eswitch.route(2), SwitchPort::Host);
+    assert_eq!(bf2.eswitch.route(3), SwitchPort::Host);
+}
+
+#[test]
+fn accelerators_exist_only_behind_the_snic() {
+    let bf2 = BlueField2::new();
+    for kind in [
+        AcceleratorKind::RegexMatching,
+        AcceleratorKind::PublicKeyCrypto,
+        AcceleratorKind::Compression,
+    ] {
+        let spec = bf2.accelerator(kind).unwrap();
+        // KO3 in hardware terms: every engine caps below the 100 Gb/s
+        // line rate at its natural task size.
+        let gbps = spec.max_gbps(spec.max_task_bytes.min(64 * 1024));
+        assert!(gbps < 100.0, "{kind} at {gbps}");
+    }
+}
