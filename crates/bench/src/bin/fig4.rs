@@ -3,11 +3,16 @@
 //! CPU running the same function.
 //!
 //! ```text
-//! cargo run --release -p snicbench-bench --bin fig4 [-- --quick | --list]
+//! cargo run --release -p snicbench-bench --bin fig4 [-- --quick | --list] [--jobs N]
 //! ```
+//!
+//! `--jobs N` (or `SNICBENCH_JOBS`) sizes the experiment executor; the
+//! default is the host's available parallelism and `--jobs 1` is the
+//! exact legacy serial path. Output is byte-identical at any job count.
 
 use snicbench_core::benchmark::{FunctionCategory, Workload};
-use snicbench_core::experiment::{compare, SearchBudget};
+use snicbench_core::executor::Executor;
+use snicbench_core::experiment::{figure4_with, SearchBudget};
 use snicbench_core::observations;
 use snicbench_core::report::{fmt_throughput, ratio_bar, TextTable};
 
@@ -33,13 +38,13 @@ fn main() {
     } else {
         SearchBudget::default()
     };
+    let executor = Executor::from_args(&args);
 
-    eprintln!("# measuring 29 workload configurations on host and SNIC platforms...");
-    let mut rows = Vec::new();
-    for (i, w) in Workload::figure4_set().into_iter().enumerate() {
-        eprintln!("#   [{:>2}/29] {}", i + 1, w.name());
-        rows.push(compare(w, budget));
-    }
+    eprintln!(
+        "# measuring 29 workload configurations on host and SNIC platforms (jobs={})...",
+        executor.jobs()
+    );
+    let rows = figure4_with(budget, &executor);
 
     println!("Fig. 4 — SNIC/host normalized maximum throughput and p99 latency");
     println!("(bars: '|' marks 1.0 = host parity; capped at 4.0)\n");

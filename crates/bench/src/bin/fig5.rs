@@ -3,17 +3,23 @@
 //! MTU-sized packets and the `file_image` / `file_executable` rule sets.
 //!
 //! ```text
-//! cargo run --release -p snicbench-bench --bin fig5 [-- --quick]
+//! cargo run --release -p snicbench-bench --bin fig5 [-- --quick] [--jobs N]
 //! ```
+//!
+//! `--jobs N` (or `SNICBENCH_JOBS`) parallelizes the sweep points;
+//! output is byte-identical at any job count (`--jobs 1` = serial).
 
 use snicbench_core::benchmark::Workload;
+use snicbench_core::executor::Executor;
 use snicbench_core::report::TextTable;
-use snicbench_core::sweep::{knee_gbps, rate_sweep, SweepConfig};
+use snicbench_core::sweep::{knee_gbps, rate_sweep_with, SweepConfig};
 use snicbench_functions::rem::RemRuleset;
 use snicbench_hw::ExecutionPlatform;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let executor = Executor::from_args(&args);
     let series: Vec<(&str, Workload, ExecutionPlatform)> = vec![
         (
             "host 8-core, file_image",
@@ -38,8 +44,12 @@ fn main() {
             cfg.offered_gbps = (1..=10).map(|i| i as f64 * 10.0).collect();
             cfg.ops_per_point = 8_000.0;
         }
-        eprintln!("# sweeping {label} ({} points)...", cfg.offered_gbps.len());
-        let points = rate_sweep(&cfg);
+        eprintln!(
+            "# sweeping {label} ({} points, jobs={})...",
+            cfg.offered_gbps.len(),
+            executor.jobs()
+        );
+        let points = rate_sweep_with(&cfg, &executor);
         println!("-- {label} --");
         let mut t = TextTable::new(vec![
             "offered (Gb/s)",

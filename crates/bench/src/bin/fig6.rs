@@ -3,32 +3,36 @@
 //! maximum-throughput operating point.
 //!
 //! ```text
-//! cargo run --release -p snicbench-bench --bin fig6 [-- --quick]
+//! cargo run --release -p snicbench-bench --bin fig6 [-- --quick] [--jobs N]
 //! ```
+//!
+//! `--jobs N` (or `SNICBENCH_JOBS`) parallelizes the independent
+//! operating-point measurements; output is byte-identical at any job
+//! count (`--jobs 1` = serial).
 
 use snicbench_core::benchmark::{FunctionCategory, Workload};
+use snicbench_core::executor::Executor;
 use snicbench_core::experiment::{compare, SearchBudget};
 use snicbench_core::report::{ratio_bar, TextTable};
 
 fn main() {
-    let budget = if std::env::args().any(|a| a == "--quick") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let budget = if args.iter().any(|a| a == "--quick") {
         SearchBudget::quick()
     } else {
         SearchBudget::default()
     };
+    let executor = Executor::from_args(&args);
     let workloads: Vec<Workload> = Workload::figure4_set()
         .into_iter()
         .filter(|w| w.category() != FunctionCategory::Microbenchmark)
         .collect();
     eprintln!(
-        "# measuring power at {} operating points...",
-        workloads.len()
+        "# measuring power at {} operating points (jobs={})...",
+        workloads.len(),
+        executor.jobs()
     );
-    let mut rows = Vec::new();
-    for (i, w) in workloads.into_iter().enumerate() {
-        eprintln!("#   [{:>2}] {}", i + 1, w.name());
-        rows.push(compare(w, budget));
-    }
+    let rows = executor.map(workloads, |w| compare(w, budget));
 
     println!("Fig. 6 — average power and normalized energy efficiency");
     println!("(idle server: 252 W including the 29 W idle SNIC)\n");

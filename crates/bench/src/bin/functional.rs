@@ -4,29 +4,37 @@
 //! functioning (detections, round trips, hit rates, compression ratios).
 //!
 //! ```text
-//! cargo run --release -p snicbench-bench --bin functional
+//! cargo run --release -p snicbench-bench --bin functional [-- --jobs N]
 //! ```
+//!
+//! `--jobs N` (or `SNICBENCH_JOBS`) exercises the workloads concurrently;
+//! output is byte-identical at any job count (`--jobs 1` = serial).
 
 use snicbench_core::benchmark::{CryptoAlgo, FunctionCategory, Workload};
+use snicbench_core::executor::Executor;
 use snicbench_core::functional::exercise;
 use snicbench_core::report::TextTable;
 
 fn main() {
+    let executor = Executor::from_args(&std::env::args().skip(1).collect::<Vec<_>>());
     println!("Functional exercise of every Fig. 4 workload implementation\n");
-    let mut t = TextTable::new(vec!["workload", "ops", "positives", "observation"]);
-    for w in Workload::figure4_set() {
-        if w.category() == FunctionCategory::Microbenchmark {
-            continue;
-        }
+    let workloads: Vec<Workload> = Workload::figure4_set()
+        .into_iter()
+        .filter(|w| w.category() != FunctionCategory::Microbenchmark)
+        .collect();
+    let reports = executor.map(workloads, |w| {
         let ops = match w {
             Workload::Crypto(CryptoAlgo::Rsa) => 10,
             Workload::Compression(_) => 10,
             Workload::Crypto(_) => 50,
             _ => 2_000,
         };
-        let r = exercise(w, ops, 0xF00D);
+        exercise(w, ops, 0xF00D)
+    });
+    let mut t = TextTable::new(vec!["workload", "ops", "positives", "observation"]);
+    for r in &reports {
         t.row(vec![
-            w.name(),
+            r.workload.name(),
             r.ops.to_string(),
             r.positives.to_string(),
             r.note.clone(),

@@ -1,0 +1,69 @@
+//! Timing harness for the experiment pipeline: runs the Fig. 4 quick
+//! matrix serially and in parallel, checks the outputs are identical, and
+//! writes machine-readable per-stage wall-clock into `BENCH_pipeline.json`.
+//!
+//! ```text
+//! cargo run --release -p snicbench-bench --bin pipeline_timing [-- --jobs N]
+//! ```
+//!
+//! Also times the workload-artifact cache (cold build vs. warm reuse of
+//! the compiled REM/Snort rule sets), since the cache is what keeps
+//! repeated functional exercise from re-compiling per run.
+
+use std::time::Instant;
+
+use snicbench_core::executor::Executor;
+use snicbench_core::experiment::{figure4_with, SearchBudget};
+use snicbench_functions::artifacts;
+use snicbench_functions::ids::RulesetKind;
+use snicbench_functions::rem::RemRuleset;
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1e3
+}
+
+fn build_all_artifacts() {
+    for rs in RemRuleset::ALL {
+        let _ = artifacts::rem_matcher(rs);
+    }
+    for kind in RulesetKind::ALL {
+        let _ = artifacts::snort_automaton(kind);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parallel = Executor::from_args(&args);
+    let budget = SearchBudget::quick();
+
+    // Stage 1/2: artifact cache, cold build then warm reuse.
+    let t = Instant::now();
+    build_all_artifacts();
+    let artifacts_cold_ms = ms(t);
+    let t = Instant::now();
+    build_all_artifacts();
+    let artifacts_warm_ms = ms(t);
+    let (cache_hits, cache_misses) = artifacts::cache_counters();
+
+    // Stage 3/4: the Fig. 4 quick matrix, serial then parallel.
+    eprintln!("# fig4 quick, serial...");
+    let t = Instant::now();
+    let serial_rows = figure4_with(budget, &Executor::serial());
+    let serial_ms = ms(t);
+    eprintln!("# fig4 quick, parallel (jobs={})...", parallel.jobs());
+    let t = Instant::now();
+    let parallel_rows = figure4_with(budget, &parallel);
+    let parallel_ms = ms(t);
+
+    let identical = serial_rows == parallel_rows;
+    let speedup = serial_ms / parallel_ms.max(1e-9);
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"fig4_quick_pipeline\",\n  \"host_parallelism\": {},\n  \"jobs\": {},\n  \"stages\": [\n    {{ \"name\": \"artifacts_cold_build\", \"wall_ms\": {artifacts_cold_ms:.3} }},\n    {{ \"name\": \"artifacts_warm_reuse\", \"wall_ms\": {artifacts_warm_ms:.3} }},\n    {{ \"name\": \"fig4_quick_serial\", \"wall_ms\": {serial_ms:.3} }},\n    {{ \"name\": \"fig4_quick_parallel\", \"wall_ms\": {parallel_ms:.3} }}\n  ],\n  \"artifact_cache\": {{ \"hits\": {cache_hits}, \"misses\": {cache_misses} }},\n  \"parallel_speedup\": {speedup:.3},\n  \"serial_parallel_identical\": {identical}\n}}\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        parallel.jobs(),
+    );
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    print!("{json}");
+    assert!(identical, "parallel rows diverged from serial rows");
+}

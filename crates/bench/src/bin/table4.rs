@@ -3,10 +3,14 @@
 //! accelerator — throughput, p99 latency, and average power.
 //!
 //! ```text
-//! cargo run --release -p snicbench-bench --bin table4
+//! cargo run --release -p snicbench-bench --bin table4 [-- --jobs N]
 //! ```
+//!
+//! `--jobs N` (or `SNICBENCH_JOBS`) runs the two platform replays
+//! concurrently; output is byte-identical at any job count.
 
 use snicbench_core::benchmark::Workload;
+use snicbench_core::executor::Executor;
 use snicbench_core::experiment::{measure_power, OperatingPoint};
 use snicbench_core::report::TextTable;
 use snicbench_core::runner::{run, OfferedLoad, RunConfig};
@@ -22,26 +26,29 @@ fn main() {
     // trace (rates repeat; the mean matches the full hour).
     let workload = Workload::RemMtu(RemRuleset::FileExecutable);
     let trace = hyperscaler_trace(30, 0.76, 0xF167);
-    let mut results = Vec::new();
-    for platform in [
-        ExecutionPlatform::HostCpu,
-        ExecutionPlatform::SnicAccelerator,
-    ] {
-        let mut cfg = RunConfig::new(workload, platform, OfferedLoad::Trace(trace.clone()));
-        cfg.duration = SimDuration::from_secs(30);
-        cfg.warmup = SimDuration::from_secs(2);
-        let metrics = run(&cfg);
-        let point = OperatingPoint {
-            workload,
-            platform,
-            max_ops: metrics.achieved_ops,
-            max_gbps: metrics.achieved_gbps,
-            p99_us: metrics.latency.p99_us,
-            metrics: metrics.clone(),
-        };
-        let power = measure_power(&point, SimDuration::from_secs(60), 0x7AB4);
-        results.push((platform, metrics, power));
-    }
+    let executor = Executor::from_args(&std::env::args().skip(1).collect::<Vec<_>>());
+    let results = executor.map(
+        vec![
+            ExecutionPlatform::HostCpu,
+            ExecutionPlatform::SnicAccelerator,
+        ],
+        |platform| {
+            let mut cfg = RunConfig::new(workload, platform, OfferedLoad::Trace(trace.clone()));
+            cfg.duration = SimDuration::from_secs(30);
+            cfg.warmup = SimDuration::from_secs(2);
+            let metrics = run(&cfg);
+            let point = OperatingPoint {
+                workload,
+                platform,
+                max_ops: metrics.achieved_ops,
+                max_gbps: metrics.achieved_gbps,
+                p99_us: metrics.latency.p99_us,
+                metrics: metrics.clone(),
+            };
+            let power = measure_power(&point, SimDuration::from_secs(60), 0x7AB4);
+            (platform, metrics, power)
+        },
+    );
 
     println!("Table 4 — REM on the hyperscaler trace (file_executable, MTU)\n");
     let mut t = TextTable::new(vec!["", "Host Processing", "SNIC Processing"]);

@@ -8,10 +8,14 @@
 //! scenario constants instead of simulating.
 //!
 //! ```text
-//! cargo run --release -p snicbench-bench --bin table5 [-- --paper]
+//! cargo run --release -p snicbench-bench --bin table5 [-- --paper] [--jobs N]
 //! ```
+//!
+//! `--jobs N` (or `SNICBENCH_JOBS`) runs the four application scenarios
+//! concurrently; output is byte-identical at any job count.
 
 use snicbench_core::benchmark::{CorpusKind, Workload};
+use snicbench_core::executor::Executor;
 use snicbench_core::experiment::{
     find_operating_point, measure_power, OperatingPoint, SearchBudget,
 };
@@ -24,9 +28,8 @@ use snicbench_hw::ExecutionPlatform;
 use snicbench_net::trace::hyperscaler_trace;
 use snicbench_sim::SimDuration;
 
-fn measured_scenarios(budget: SearchBudget) -> Vec<TcoScenario> {
+fn measured_scenarios(budget: SearchBudget, executor: &Executor) -> Vec<TcoScenario> {
     let window = SimDuration::from_secs(60);
-    let mut scenarios = Vec::new();
     // fio, OvS, and Compress deploy at their maximum throughput; REM
     // deploys at the hyperscaler trace rate (Sec. 5.1/5.2), where
     // capacity is not binding on either platform.
@@ -49,8 +52,8 @@ fn measured_scenarios(budget: SearchBudget) -> Vec<TcoScenario> {
             false,
         ),
     ];
-    for (name, w, trace_rate, demand_limited) in apps {
-        eprintln!("# measuring {name}...");
+    eprintln!("# measuring 4 TCO scenarios (jobs={})...", executor.jobs());
+    executor.map(apps.to_vec(), |(name, w, trace_rate, demand_limited)| {
         let snic_platform = snicbench_core::experiment::snic_side(w);
         let (scenario_host, scenario_snic, cap_host, cap_snic) = if trace_rate {
             let trace = hyperscaler_trace(30, 0.76, 0xF167);
@@ -87,15 +90,14 @@ fn measured_scenarios(budget: SearchBudget) -> Vec<TcoScenario> {
         };
         let host_power = measure_power(&scenario_host, window, 0x7C0);
         let snic_power = measure_power(&scenario_snic, window, 0x7C1);
-        scenarios.push(TcoScenario {
+        TcoScenario {
             name: name.into(),
             snic_capacity: cap_snic,
             nic_capacity: cap_host,
             snic_power_w: snic_power.system_w,
             nic_power_w: host_power.system_w,
-        });
-    }
-    scenarios
+        }
+    })
 }
 
 fn main() {
@@ -106,11 +108,12 @@ fn main() {
     } else {
         SearchBudget::default()
     };
+    let executor = Executor::from_args(&args);
     let inputs = TcoInputs::paper_default();
     let scenarios = if use_paper {
         paper_scenarios()
     } else {
-        measured_scenarios(budget)
+        measured_scenarios(budget, &executor)
     };
 
     println!(

@@ -1,0 +1,216 @@
+//! Deterministic parallel experiment executor.
+//!
+//! The figure/table matrices are hundreds of *independent* simulations:
+//! every cell builds its whole simulation state (`Rc<RefCell<…>>` and
+//! all) inside its own `run(&RunConfig)` call and derives its own seed,
+//! so only plain-data [`RunConfig`](crate::runner::RunConfig) /
+//! [`RunMetrics`](crate::runner::RunMetrics) values ever cross threads.
+//! [`Executor::map`] exploits that: it fans work out over `std::thread`
+//! scoped workers pulling from a shared index and reassembles results in
+//! **input order**, so output is byte-identical to the serial path at any
+//! job count. `jobs = 1` short-circuits to a plain in-order loop — the
+//! exact legacy serial path, with no threads spawned.
+//!
+//! Std-only by design: `thread::scope` + atomics, no external runtime.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Name of the environment variable overriding the default job count.
+pub const JOBS_ENV: &str = "SNICBENCH_JOBS";
+
+/// An order-preserving parallel work pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    jobs: usize,
+}
+
+impl Default for Executor {
+    /// Same as [`Executor::from_env`].
+    fn default() -> Self {
+        Executor::from_env()
+    }
+}
+
+impl Executor {
+    /// An executor running `jobs` tasks concurrently (clamped to ≥ 1).
+    pub fn new(jobs: usize) -> Self {
+        Executor {
+            jobs: jobs.max(1),
+        }
+    }
+
+    /// The exact legacy serial path: in-order, no threads.
+    pub fn serial() -> Self {
+        Executor { jobs: 1 }
+    }
+
+    /// The default job count: `SNICBENCH_JOBS` if set to a positive
+    /// integer, otherwise the host's available parallelism.
+    pub fn default_jobs() -> usize {
+        if let Ok(v) = std::env::var(JOBS_ENV) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// An executor sized by [`Executor::default_jobs`].
+    pub fn from_env() -> Self {
+        Executor::new(Self::default_jobs())
+    }
+
+    /// Parses `--jobs N` / `--jobs=N` from CLI args, falling back to the
+    /// `SNICBENCH_JOBS` env override, then to available parallelism.
+    pub fn from_args(args: &[String]) -> Self {
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a == "--jobs" || a == "-j" {
+                if let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) {
+                    return Executor::new(n);
+                }
+            } else if let Some(v) = a.strip_prefix("--jobs=") {
+                if let Ok(n) = v.parse::<usize>() {
+                    return Executor::new(n);
+                }
+            }
+        }
+        Executor::from_env()
+    }
+
+    /// Concurrent task budget.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Applies `f` to every item and returns the results **in input
+    /// order**, regardless of which worker finished first.
+    ///
+    /// With `jobs == 1` (or fewer than two items) this is exactly
+    /// `items.into_iter().map(f).collect()` on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` (the scope joins every worker first).
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        if self.jobs <= 1 || items.len() <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let n = items.len();
+        let workers = self.jobs.min(n);
+        let next = AtomicUsize::new(0);
+        // Input and output slots; workers claim indices via `next`, so
+        // each slot is touched by exactly one worker.
+        let inputs: Vec<Mutex<Option<T>>> =
+            items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = inputs[i]
+                        .lock()
+                        .expect("input slot poisoned")
+                        .take()
+                        .expect("input slot claimed twice");
+                    let result = f(item);
+                    *outputs[i].lock().expect("output slot poisoned") = Some(result);
+                });
+            }
+        });
+        outputs
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("output slot poisoned")
+                    .expect("worker completed every claimed slot")
+            })
+            .collect()
+    }
+}
+
+// The executor only ever moves plain-data configs and metrics across
+// threads; assert that at compile time so a future `Rc` in either type
+// fails here, next to the explanation, instead of deep in a trait error.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<crate::runner::RunConfig>();
+    assert_send::<crate::runner::RunMetrics>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let exec = Executor::new(4);
+        let out = exec.map((0..100).collect(), |i: u64| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let work = |i: u64| {
+            // Uneven per-item cost so completion order scrambles.
+            let mut acc = i;
+            for _ in 0..(i % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i, acc)
+        };
+        let serial = Executor::serial().map((0..200).collect(), work);
+        let parallel = Executor::new(8).map((0..200).collect(), work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn jobs_clamp_to_one() {
+        assert_eq!(Executor::new(0).jobs(), 1);
+        assert_eq!(Executor::serial().jobs(), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let exec = Executor::new(4);
+        assert_eq!(exec.map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(exec.map(vec![7], |x: u32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_jobs_than_items() {
+        let out = Executor::new(64).map(vec![1u32, 2, 3], |x| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn from_args_parses_forms() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(Executor::from_args(&args(&["--jobs", "3"])).jobs(), 3);
+        assert_eq!(Executor::from_args(&args(&["--quick", "--jobs=5"])).jobs(), 5);
+        assert_eq!(Executor::from_args(&args(&["-j", "2"])).jobs(), 2);
+        // Absent flag falls back to env/host default — just ensure ≥ 1.
+        assert!(Executor::from_args(&args(&["--quick"])).jobs() >= 1);
+    }
+
+    #[test]
+    fn moves_non_copy_items() {
+        let items: Vec<String> = (0..50).map(|i| format!("item-{i}")).collect();
+        let expect = items.clone();
+        let out = Executor::new(4).map(items, |s| s);
+        assert_eq!(out, expect);
+    }
+}

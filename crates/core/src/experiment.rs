@@ -18,6 +18,7 @@ use snicbench_sim::{SimDuration, SimTime};
 
 use crate::benchmark::Workload;
 use crate::calibration;
+use crate::executor::Executor;
 use crate::runner::{run, OfferedLoad, RunConfig, RunMetrics};
 
 /// Loss tolerance defining "sustainable" (achieved ≥ 99.5% of offered).
@@ -103,7 +104,19 @@ fn sized_run(
     cfg
 }
 
-/// Finds the maximum sustainable throughput and measures p99 there.
+/// The widest speculation wave worth running: levels of a bisection tree
+/// whose node count (`2^w − 1`) fits the executor's job budget.
+fn wave_width(jobs: usize, remaining: u32) -> u32 {
+    let mut width = 1u32;
+    while width < remaining && (1u64 << (width + 1)) - 1 <= jobs as u64 {
+        width += 1;
+    }
+    width.min(remaining)
+}
+
+/// Finds the maximum sustainable throughput and measures p99 there,
+/// using the serial search path. Equivalent to
+/// [`find_operating_point_with`] on [`Executor::serial`].
 ///
 /// # Panics
 ///
@@ -112,6 +125,32 @@ pub fn find_operating_point(
     workload: Workload,
     platform: ExecutionPlatform,
     budget: SearchBudget,
+) -> OperatingPoint {
+    find_operating_point_with(workload, platform, budget, &Executor::serial())
+}
+
+/// Finds the maximum sustainable throughput and measures p99 there.
+///
+/// The boundary search is a bisection over offered rates. With a serial
+/// executor it probes one midpoint per iteration — the legacy path. With
+/// `jobs > 1` it runs a **speculative coarse grid**: each wave evaluates
+/// every candidate midpoint of the next few bisection levels
+/// concurrently (the grid), then walks the verdicts to refine the
+/// interval. The probes that end up on the chosen path are the *same*
+/// `(rate, seed)` pairs the serial bisection would have run — each level
+/// keeps its seed (`budget.seed + level + 1`) and each midpoint is
+/// computed by the same `(lo + hi) / 2` recursion — so the landing point
+/// is bit-identical at any job count; the off-path probes are discarded
+/// speculation.
+///
+/// # Panics
+///
+/// Panics if the workload is not calibrated on the platform.
+pub fn find_operating_point_with(
+    workload: Workload,
+    platform: ExecutionPlatform,
+    budget: SearchBudget,
+    executor: &Executor,
 ) -> OperatingPoint {
     let mut capacity = calibration::analytic_capacity_ops(workload, platform)
         .unwrap_or_else(|| panic!("{workload} not supported on {platform}"));
@@ -154,13 +193,49 @@ pub fn find_operating_point(
     if !sustainable(lo, budget.seed) {
         lo = 0.05 * capacity;
     }
-    for i in 0..budget.iterations {
-        let mid = (lo + hi) / 2.0;
-        if sustainable(mid, budget.seed.wrapping_add(i as u64 + 1)) {
-            lo = mid;
-        } else {
-            hi = mid;
+    let mut level = 0u32;
+    while level < budget.iterations {
+        let width = wave_width(executor.jobs(), budget.iterations - level);
+        // The grid: every interval reachable within `width` more levels,
+        // enumerated level by level (node j's children are 2j / 2j+1).
+        let mut grid: Vec<(u32, f64)> = Vec::new(); // (relative level, mid)
+        let mut intervals = vec![(lo, hi)];
+        for _ in 0..width {
+            let mut children = Vec::with_capacity(intervals.len() * 2);
+            for &(l, h) in &intervals {
+                let mid = (l + h) / 2.0;
+                grid.push((0, mid)); // relative level fixed up below
+                children.push((l, mid));
+                children.push((mid, h));
+            }
+            intervals = children;
         }
+        // Fix up relative levels (level r contributes 2^r nodes in order).
+        let mut at = 0usize;
+        for r in 0..width {
+            for _ in 0..(1usize << r) {
+                grid[at].0 = r;
+                at += 1;
+            }
+        }
+        let verdicts = executor.map(grid.clone(), |(r, mid)| {
+            sustainable(mid, budget.seed.wrapping_add((level + r) as u64 + 1))
+        });
+        // Refine: walk the verdict tree exactly as serial bisection would.
+        let mut offset = 0usize;
+        let mut node = 0usize;
+        for r in 0..width {
+            let took = verdicts[offset + node];
+            let mid = grid[offset + node].1;
+            if took {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            offset += 1usize << r;
+            node = 2 * node + usize::from(took);
+        }
+        level += width;
     }
     // Final measurement at the found rate; if the longer run reveals the
     // knee was overshot (p99 is steep there), back off a few percent.
@@ -286,11 +361,21 @@ pub fn snic_side(workload: Workload) -> ExecutionPlatform {
     }
 }
 
-/// Measures one comparison row.
+/// Measures one comparison row (serial search path).
 pub fn compare(workload: Workload, budget: SearchBudget) -> ComparisonRow {
+    compare_with(workload, budget, &Executor::serial())
+}
+
+/// Measures one comparison row, with the executor speeding up each
+/// operating-point search (speculative bisection waves).
+pub fn compare_with(
+    workload: Workload,
+    budget: SearchBudget,
+    executor: &Executor,
+) -> ComparisonRow {
     let snic_platform = snic_side(workload);
-    let host = find_operating_point(workload, ExecutionPlatform::HostCpu, budget);
-    let snic = find_operating_point(workload, snic_platform, budget);
+    let host = find_operating_point_with(workload, ExecutionPlatform::HostCpu, budget, executor);
+    let snic = find_operating_point_with(workload, snic_platform, budget, executor);
     let window = SimDuration::from_secs(60);
     let host_power = measure_power(&host, window, budget.seed);
     let snic_power = measure_power(&snic, window, budget.seed.wrapping_add(7));
@@ -304,12 +389,18 @@ pub fn compare(workload: Workload, budget: SearchBudget) -> ComparisonRow {
     }
 }
 
-/// Measures every Fig. 4 cell (29 workload configurations).
+/// Measures every Fig. 4 cell (29 workload configurations) serially.
 pub fn figure4(budget: SearchBudget) -> Vec<ComparisonRow> {
-    Workload::figure4_set()
-        .into_iter()
-        .map(|w| compare(w, budget))
-        .collect()
+    figure4_with(budget, &Executor::serial())
+}
+
+/// Measures every Fig. 4 cell, fanning the independent cells out over the
+/// executor. Each cell runs its searches serially inside its worker (the
+/// matrix has far more cells than cores, so cell-level fan-out already
+/// saturates the pool without nesting thread scopes). Row order — and
+/// every number in every row — is identical to the serial path.
+pub fn figure4_with(budget: SearchBudget, executor: &Executor) -> Vec<ComparisonRow> {
+    executor.map(Workload::figure4_set(), |w| compare(w, budget))
 }
 
 #[cfg(test)]

@@ -6,13 +6,18 @@
 //! behavior is exercised end-to-end and reportable alongside the timing
 //! results. The `fig4 --list` matrix says what runs *where*; this says what
 //! the functions actually *do*.
+//!
+//! Expensive build products (compiled REM/Snort rule sets, BM25 indexes,
+//! compression corpora) come from the process-wide
+//! [`artifacts`](snicbench_functions::artifacts) cache, so exercising a
+//! workload repeatedly — or from several executor workers — builds each
+//! artifact once.
 
-use snicbench_functions::bm25::Bm25Index;
+use snicbench_functions::artifacts::{self, CorpusClass};
 use snicbench_functions::compress;
 use snicbench_functions::crypto::aes::Aes128;
 use snicbench_functions::crypto::rsa::KeyPair;
 use snicbench_functions::crypto::sha1::Sha1;
-use snicbench_functions::ids::SnortDetector;
 use snicbench_functions::kvs::mica::{GetRequest, GetResult, MicaStore};
 use snicbench_functions::kvs::redis::RedisStore;
 use snicbench_functions::kvs::ycsb::YcsbGenerator;
@@ -87,7 +92,7 @@ pub fn exercise(workload: Workload, ops: u64, seed: u64) -> FunctionalReport {
             )
         }
         Workload::Snort(ruleset) => {
-            let mut det = SnortDetector::new(ruleset);
+            let mut det = artifacts::snort_detector(ruleset);
             let mut alerts = 0;
             for i in 0..ops {
                 let mut payload = factory.create(1024, SimTime::ZERO).synthesize_payload();
@@ -125,7 +130,7 @@ pub fn exercise(workload: Workload, ops: u64, seed: u64) -> FunctionalReport {
             report(hits, format!("{hits} translations of {ops} lookups"))
         }
         Workload::Bm25 { documents } => {
-            let idx = Bm25Index::with_random_documents(documents as usize, 10, seed);
+            let idx = artifacts::bm25_index(documents as usize, 10, seed);
             let mut hits = 0;
             for _ in 0..ops {
                 let q = idx.random_query(3, &mut rng);
@@ -177,7 +182,7 @@ pub fn exercise(workload: Workload, ops: u64, seed: u64) -> FunctionalReport {
             }
         }
         Workload::Rem(ruleset) | Workload::RemMtu(ruleset) => {
-            let mut re = ruleset.compile().expect("bundled rules compile");
+            let mut re = artifacts::rem_scanner(ruleset);
             let mut matched = 0;
             for i in 0..ops {
                 let mut payload = factory
@@ -206,12 +211,11 @@ pub fn exercise(workload: Workload, ops: u64, seed: u64) -> FunctionalReport {
             let mut in_bytes = 0u64;
             let mut out_bytes = 0u64;
             for i in 0..ops {
-                let block = match kind {
-                    CorpusKind::Application => {
-                        compress::corpus::application_corpus(64 * 1024, seed ^ i)
-                    }
-                    CorpusKind::Text => compress::corpus::text_corpus(64 * 1024, seed ^ i),
+                let class = match kind {
+                    CorpusKind::Application => CorpusClass::Application,
+                    CorpusKind::Text => CorpusClass::Text,
                 };
+                let block = artifacts::corpus_block(class, 64 * 1024, seed ^ i);
                 let z = compress::compress(&block, 6);
                 in_bytes += block.len() as u64;
                 out_bytes += z.len() as u64;

@@ -16,6 +16,8 @@
 //!   the timing results.
 //! * [`experiment`] — the paper's methodology: max-sustainable-throughput
 //!   search + p99-at-max (Fig. 4), with power attribution (Fig. 6).
+//! * [`executor`] — deterministic order-preserving parallel work pool;
+//!   fans independent runs across host cores with byte-identical output.
 //! * [`sweep`] — latency-vs-offered-rate sweeps (Fig. 5).
 //! * [`slo`] — SLO definitions and checks (Sec. 5.1).
 //! * [`tco`] — the 5-year TCO model (Table 5).
@@ -30,6 +32,7 @@
 pub mod advisor;
 pub mod benchmark;
 pub mod calibration;
+pub mod executor;
 pub mod experiment;
 pub mod functional;
 pub mod loadbalancer;

@@ -12,6 +12,7 @@ use snicbench_hw::ExecutionPlatform;
 use snicbench_sim::SimDuration;
 
 use crate::benchmark::Workload;
+use crate::executor::Executor;
 use crate::experiment::SUSTAINABLE_LOSS;
 use crate::runner::{run, OfferedLoad, RunConfig};
 
@@ -57,29 +58,34 @@ impl SweepConfig {
     }
 }
 
-/// Runs the sweep.
+/// Runs the sweep serially. Equivalent to [`rate_sweep_with`] on
+/// [`Executor::serial`].
 pub fn rate_sweep(config: &SweepConfig) -> Vec<SweepPoint> {
+    rate_sweep_with(config, &Executor::serial())
+}
+
+/// Runs the sweep, fanning the independent rate points out over the
+/// executor. Every point derives its own seed from its grid index
+/// (`config.seed + i`), so the result vector is identical — element for
+/// element — at any job count.
+pub fn rate_sweep_with(config: &SweepConfig, executor: &Executor) -> Vec<SweepPoint> {
     let bytes = config.workload.request_bytes();
-    config
-        .offered_gbps
-        .iter()
-        .enumerate()
-        .map(|(i, &gbps)| {
-            let pps = gbps * 1e9 / 8.0 / bytes as f64;
-            let secs = (config.ops_per_point / pps.max(1.0)).clamp(0.005, 2.0);
-            let mut cfg = RunConfig::new(config.workload, config.platform, OfferedLoad::Gbps(gbps));
-            cfg.duration = SimDuration::from_secs_f64(secs * 1.1);
-            cfg.warmup = SimDuration::from_secs_f64(secs * 0.1);
-            cfg.seed = config.seed.wrapping_add(i as u64);
-            let m = run(&cfg);
-            SweepPoint {
-                offered_gbps: gbps,
-                achieved_gbps: m.achieved_gbps,
-                p99_us: m.latency.p99_us,
-                saturated: m.loss_rate() > SUSTAINABLE_LOSS,
-            }
-        })
-        .collect()
+    let points: Vec<(usize, f64)> = config.offered_gbps.iter().copied().enumerate().collect();
+    executor.map(points, |(i, gbps)| {
+        let pps = gbps * 1e9 / 8.0 / bytes as f64;
+        let secs = (config.ops_per_point / pps.max(1.0)).clamp(0.005, 2.0);
+        let mut cfg = RunConfig::new(config.workload, config.platform, OfferedLoad::Gbps(gbps));
+        cfg.duration = SimDuration::from_secs_f64(secs * 1.1);
+        cfg.warmup = SimDuration::from_secs_f64(secs * 0.1);
+        cfg.seed = config.seed.wrapping_add(i as u64);
+        let m = run(&cfg);
+        SweepPoint {
+            offered_gbps: gbps,
+            achieved_gbps: m.achieved_gbps,
+            p99_us: m.latency.p99_us,
+            saturated: m.loss_rate() > SUSTAINABLE_LOSS,
+        }
+    })
 }
 
 /// The knee of a sweep: the highest offered rate still absorbed.

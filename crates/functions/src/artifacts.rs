@@ -1,0 +1,237 @@
+//! Shared immutable workload-artifact cache.
+//!
+//! An experiment matrix runs hundreds of simulations, and several
+//! workload substrates need an expensive *build* step before any
+//! operation runs: REM rule sets compile through parser → NFA → DFA,
+//! Snort rule sets compile to Aho–Corasick automata, BM25 serves from an
+//! inverted index, and the compression corpora are synthesized block by
+//! block. None of that build output depends on anything but its inputs,
+//! so this module memoizes each artifact process-wide behind
+//! [`OnceLock`]/`Mutex` and hands out [`Arc`]s: every run shares one
+//! compiled artifact instead of rebuilding it per probe.
+//!
+//! Sharing is safe for determinism because the artifacts are immutable
+//! (BM25 index, automaton, corpus block) or cloned into per-run mutable
+//! form ([`rem_scanner`]) — a run's results never depend on who else is
+//! holding the `Arc`. All functions are thread-safe and therefore usable
+//! from the parallel experiment executor's workers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::bm25::Bm25Index;
+use crate::compress::corpus;
+use crate::ids::{AhoCorasick, RulesetKind, SnortDetector};
+use crate::rem::{MultiRegex, RemRuleset};
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn record(hit: bool) {
+    if hit {
+        HITS.fetch_add(1, Ordering::Relaxed);
+    } else {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Process-wide cache traffic: `(hits, misses)`. Misses count artifact
+/// *builds*; everything else was served shared.
+pub fn cache_counters() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+fn rem_slot(ruleset: RemRuleset) -> &'static OnceLock<Arc<MultiRegex>> {
+    static SLOTS: [OnceLock<Arc<MultiRegex>>; 3] =
+        [OnceLock::new(), OnceLock::new(), OnceLock::new()];
+    match ruleset {
+        RemRuleset::FileImage => &SLOTS[0],
+        RemRuleset::FileFlash => &SLOTS[1],
+        RemRuleset::FileExecutable => &SLOTS[2],
+    }
+}
+
+/// The compiled multi-pattern matcher for a REM rule set, built once per
+/// process. Repeated calls return the *same* allocation
+/// (`Arc::ptr_eq` holds).
+pub fn rem_matcher(ruleset: RemRuleset) -> Arc<MultiRegex> {
+    let slot = rem_slot(ruleset);
+    if let Some(re) = slot.get() {
+        record(true);
+        return re.clone();
+    }
+    record(false);
+    slot.get_or_init(|| Arc::new(ruleset.compile().expect("bundled rules compile")))
+        .clone()
+}
+
+/// A private mutable scanner cloned from the shared compiled matcher —
+/// compilation is skipped; only the lazy-DFA memo table is per-scanner.
+/// (Scanning memoizes DFA transitions in place, so the shared artifact
+/// itself stays read-only.)
+pub fn rem_scanner(ruleset: RemRuleset) -> MultiRegex {
+    (*rem_matcher(ruleset)).clone()
+}
+
+fn snort_slot(kind: RulesetKind) -> &'static OnceLock<Arc<AhoCorasick>> {
+    static SLOTS: [OnceLock<Arc<AhoCorasick>>; 3] =
+        [OnceLock::new(), OnceLock::new(), OnceLock::new()];
+    match kind {
+        RulesetKind::FileImage => &SLOTS[0],
+        RulesetKind::FileFlash => &SLOTS[1],
+        RulesetKind::FileExecutable => &SLOTS[2],
+    }
+}
+
+/// The compiled Aho–Corasick automaton for a Snort rule set, built once
+/// per process.
+pub fn snort_automaton(kind: RulesetKind) -> Arc<AhoCorasick> {
+    let slot = snort_slot(kind);
+    if let Some(ac) = slot.get() {
+        record(true);
+        return ac.clone();
+    }
+    record(false);
+    slot.get_or_init(|| Arc::new(AhoCorasick::new(&kind.signatures())))
+        .clone()
+}
+
+/// A detector whose automaton is the shared compiled artifact; alert
+/// counters are fresh per detector.
+pub fn snort_detector(kind: RulesetKind) -> SnortDetector {
+    SnortDetector::with_automaton(kind, snort_automaton(kind))
+}
+
+type Bm25Key = (usize, usize, u64);
+
+/// The BM25 inverted index for `(documents, words_per_doc, seed)`, built
+/// once per process per key. Queries take `&self`, so the shared index
+/// is used directly by all runs.
+pub fn bm25_index(documents: usize, words_per_doc: usize, seed: u64) -> Arc<Bm25Index> {
+    static CACHE: OnceLock<Mutex<HashMap<Bm25Key, Arc<Bm25Index>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("bm25 cache poisoned");
+    let key = (documents, words_per_doc, seed);
+    if let Some(idx) = map.get(&key) {
+        record(true);
+        return idx.clone();
+    }
+    record(false);
+    let idx = Arc::new(Bm25Index::with_random_documents(
+        documents,
+        words_per_doc,
+        seed,
+    ));
+    map.insert(key, idx.clone());
+    idx
+}
+
+/// Which synthetic compression corpus to draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorpusClass {
+    /// Word-structured text (higher redundancy).
+    Text,
+    /// Binary application records (lower redundancy).
+    Application,
+}
+
+type CorpusKey = (CorpusClass, usize, u64);
+
+/// One synthesized corpus block for `(class, len, seed)`, built once per
+/// process per key. Blocks are immutable payload inputs shared by every
+/// compression run with the same parameters.
+pub fn corpus_block(class: CorpusClass, len: usize, seed: u64) -> Arc<Vec<u8>> {
+    static CACHE: OnceLock<Mutex<HashMap<CorpusKey, Arc<Vec<u8>>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("corpus cache poisoned");
+    let key = (class, len, seed);
+    if let Some(block) = map.get(&key) {
+        record(true);
+        return block.clone();
+    }
+    record(false);
+    let block = Arc::new(match class {
+        CorpusClass::Text => corpus::text_corpus(len, seed),
+        CorpusClass::Application => corpus::application_corpus(len, seed),
+    });
+    map.insert(key, block.clone());
+    block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rem_matcher_is_pointer_identical_across_calls() {
+        for rs in RemRuleset::ALL {
+            let a = rem_matcher(rs);
+            let b = rem_matcher(rs);
+            assert!(Arc::ptr_eq(&a, &b), "{rs} rebuilt instead of shared");
+        }
+    }
+
+    #[test]
+    fn snort_automaton_is_pointer_identical_across_calls() {
+        for kind in RulesetKind::ALL {
+            assert!(Arc::ptr_eq(
+                &snort_automaton(kind),
+                &snort_automaton(kind)
+            ));
+        }
+    }
+
+    #[test]
+    fn keyed_caches_share_per_key_and_split_per_key() {
+        let a = bm25_index(50, 10, 7);
+        let b = bm25_index(50, 10, 7);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = bm25_index(50, 10, 8);
+        assert!(!Arc::ptr_eq(&a, &c), "different seed must not share");
+
+        let x = corpus_block(CorpusClass::Text, 4096, 1);
+        let y = corpus_block(CorpusClass::Text, 4096, 1);
+        assert!(Arc::ptr_eq(&x, &y));
+        assert_eq!(
+            *x,
+            corpus::text_corpus(4096, 1),
+            "cached block must equal a fresh build"
+        );
+        let z = corpus_block(CorpusClass::Application, 4096, 1);
+        assert!(!Arc::ptr_eq(&x, &z));
+    }
+
+    #[test]
+    fn cached_scanner_matches_like_a_fresh_compile() {
+        let mut cached = rem_scanner(RemRuleset::FileImage);
+        let mut fresh = RemRuleset::FileImage.compile().unwrap();
+        let png = [0x89, b'P', b'N', b'G', b'\r', b'\n', 0x1a, 0x0a];
+        assert_eq!(cached.scan(&png), fresh.scan(&png));
+        assert_eq!(cached.scan(b"plain"), fresh.scan(b"plain"));
+    }
+
+    #[test]
+    fn cached_detector_matches_like_a_fresh_one() {
+        let mut cached = snort_detector(RulesetKind::FileExecutable);
+        let mut fresh = SnortDetector::new(RulesetKind::FileExecutable);
+        let payload = b"loads kernel32 then CreateProcess";
+        assert_eq!(cached.scan(payload), fresh.scan(payload));
+        assert_eq!(cached.counters(), fresh.counters());
+    }
+
+    #[test]
+    fn sharing_is_thread_safe() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let re = rem_matcher(RemRuleset::FileFlash);
+                    let ac = snort_automaton(RulesetKind::FileFlash);
+                    (Arc::as_ptr(&re) as usize, Arc::as_ptr(&ac) as usize)
+                })
+            })
+            .collect();
+        let ptrs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ptrs.windows(2).all(|w| w[0] == w[1]), "threads saw different artifacts");
+    }
+}

@@ -239,20 +239,31 @@ impl RulesetKind {
 
 /// A Snort-like detector: a ruleset compiled to an automaton plus alert
 /// accounting.
+///
+/// The automaton is behind an [`Arc`](std::sync::Arc) so detectors can
+/// share one compiled artifact (see [`artifacts`](crate::artifacts));
+/// only the counters are per-detector state.
 #[derive(Debug, Clone)]
 pub struct SnortDetector {
     kind: RulesetKind,
-    automaton: AhoCorasick,
+    automaton: std::sync::Arc<AhoCorasick>,
     packets_scanned: u64,
     alerts: u64,
 }
 
 impl SnortDetector {
-    /// Compiles a detector for one ruleset.
+    /// Compiles a fresh detector for one ruleset. Prefer
+    /// [`artifacts::snort_detector`](crate::artifacts::snort_detector)
+    /// when many detectors of the same ruleset are created per process.
     pub fn new(kind: RulesetKind) -> Self {
+        Self::with_automaton(kind, std::sync::Arc::new(AhoCorasick::new(&kind.signatures())))
+    }
+
+    /// A detector over an already compiled (possibly shared) automaton.
+    pub fn with_automaton(kind: RulesetKind, automaton: std::sync::Arc<AhoCorasick>) -> Self {
         SnortDetector {
             kind,
-            automaton: AhoCorasick::new(&kind.signatures()),
+            automaton,
             packets_scanned: 0,
             alerts: 0,
         }

@@ -19,7 +19,13 @@
 //! | OvS                   | [`ovs`] (megaflow cache) |
 //! | MICA (batch 4 / 32)   | [`kvs::mica`] |
 //! | fio (NVMe-oF R/W)     | [`storage`] (RAM-disk NVMe-oF target) |
+//!
+//! The [`artifacts`] module memoizes the expensive build products —
+//! compiled REM/Snort rule sets, BM25 indexes, compression corpora —
+//! process-wide, so an experiment matrix of hundreds of runs builds each
+//! artifact once and shares it (including across executor threads).
 
+pub mod artifacts;
 pub mod bm25;
 pub mod compress;
 pub mod crypto;

@@ -1,0 +1,567 @@
+//! Deterministic, std-only stand-in for the parts of
+//! [`proptest`](https://docs.rs/proptest) this workspace uses.
+//!
+//! The workspace builds in hermetic environments with no crates.io
+//! access, so the property-testing surface the test suite relies on is
+//! implemented here: range/tuple/collection/option strategies, `any` via
+//! an [`Arbitrary`] trait, the [`proptest!`] macro, and the
+//! `prop_assert*`/`prop_assume!` macros. No shrinking is performed; a
+//! failing case reports its test name, case index, and generated inputs
+//! so it can be reproduced (generation is a pure function of the test
+//! name and case index).
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A generator of test values (the shim keeps proptest's name but
+    /// generates directly instead of building value trees).
+    pub trait Strategy {
+        /// The generated value type.
+        type Value: std::fmt::Debug;
+        /// Produces one value from the deterministic stream.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.below(span) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range");
+                    let span = (hi - lo) as u64;
+                    lo + (rng.below(span.saturating_add(1)) as $t)
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+    signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range");
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy!(
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+    );
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: std::fmt::Debug + Sized {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Mix edge values in: real proptest biases toward
+                    // boundaries, which is where integer bugs live.
+                    match rng.below(16) {
+                        0 => 0,
+                        1 => <$t>::MAX,
+                        2 => 1,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    match rng.below(16) {
+                        0 => 0,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.below(2) == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite values only; magnitude spread over several decades.
+            let mag = rng.unit_f64() * 2e6 - 1e6;
+            match rng.below(8) {
+                0 => 0.0,
+                _ => mag,
+            }
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32(rng.below(0x7F) as u32 + 1).unwrap_or('a')
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    macro_rules! arbitrary_tuple {
+        ($(($($t:ident),+))*) => {$(
+            impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($t::arbitrary(rng),)+)
+                }
+            }
+        )*};
+    }
+    arbitrary_tuple!((A, B)(A, B, C)(A, B, C, D));
+
+    /// The strategy returned by [`any`].
+    pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Size specification for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>` (≈ 1/4 `None`, as upstream).
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `proptest::option::of(strategy)`.
+    pub fn of<S: Strategy>(strategy: S) -> OptionStrategy<S> {
+        OptionStrategy(strategy)
+    }
+}
+
+pub mod test_runner {
+    /// Per-test deterministic RNG (SplitMix64 stream).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A stream derived from the test identity and case index, so
+        /// every case is reproducible without storing seeds.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng {
+                state: h ^ ((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            // Rejection-free multiply-shift is fine for test generation.
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform value in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Runner configuration; only `cases` is interpreted by the shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Accepted for source compatibility; unused by the shim.
+        pub max_shrink_iters: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig::with_cases(256)
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed — skip this case.
+        Reject,
+        /// `prop_assert*` failed — fail the test.
+        Fail(String),
+    }
+
+    /// Result type the generated test bodies use.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Each `#[test] fn name(pat in strategy, ...)`
+/// becomes a zero-argument test that runs the body over `cases` generated
+/// inputs (default 256, or `#![proptest_config(...)]`).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (
+        @cfg ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let outcome: $crate::test_runner::TestCaseResult =
+                        (|| { $body; Ok(()) })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject) => continue,
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                            "property `{}` failed at case {}/{}: {}",
+                            stringify!($name), case, config.cases, msg
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+    // No leading config attribute.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("{:?} != {:?}", left, right),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("{:?} != {:?}: {}", left, right, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("{:?} == {:?}", left, right),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("{:?} == {:?}: {}", left, right, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn streams_are_deterministic_per_identity() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 0);
+        let mut b = crate::test_runner::TestRng::for_case("t", 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::for_case("t", 1);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_strategies_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case("bounds", 0);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::generate(&(-1.0f64..1.0), &mut rng);
+            assert!((-1.0..1.0).contains(&f));
+            let i = Strategy::generate(&(1u8..=9), &mut rng);
+            assert!((1..=9).contains(&i));
+        }
+    }
+
+    #[test]
+    fn vec_and_option_and_tuple_strategies_compose() {
+        let mut rng = crate::test_runner::TestRng::for_case("compose", 0);
+        let s = crate::collection::vec((any::<bool>(), 0u32..64), 1..5);
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(!v.is_empty() && v.len() < 5);
+            for (_, x) in v {
+                assert!(x < 64);
+            }
+        }
+        let o = crate::option::of(1usize..8);
+        let mut nones = 0;
+        for _ in 0..200 {
+            if Strategy::generate(&o, &mut rng).is_none() {
+                nones += 1;
+            }
+        }
+        assert!(nones > 10 && nones < 120, "None rate off: {nones}/200");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(xs in crate::collection::vec(0u64..100, 0..10),
+                                  flag in any::<bool>()) {
+            prop_assume!(xs.len() != 3);
+            let total: u64 = xs.iter().sum();
+            prop_assert!(total <= 100 * xs.len() as u64);
+            prop_assert_eq!(xs.len() == 0, xs.is_empty());
+            if flag {
+                prop_assert_ne!(xs.len(), 11);
+            }
+        }
+    }
+}

@@ -1,9 +1,12 @@
 #!/bin/bash
 # Runs the full Criterion suite, capturing everything into bench_output.txt.
-cd /root/repo
+cd "$(dirname "$0")"
 : > bench_output.txt
+suite_start=$SECONDS
 for b in rem_engine compression crypto kvs simulator multipattern; do
   echo "==== cargo bench --bench $b ====" >> bench_output.txt
+  bench_start=$SECONDS
   cargo bench -p snicbench-bench --bench "$b" >> bench_output.txt 2>&1
+  echo "---- $b wall-clock: $((SECONDS - bench_start))s ----" >> bench_output.txt
 done
-echo "==== bench suite complete ====" >> bench_output.txt
+echo "==== bench suite complete (total $((SECONDS - suite_start))s) ====" >> bench_output.txt

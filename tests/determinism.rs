@@ -3,8 +3,13 @@
 //! instrument rather than a noise source.
 
 use snicbench::core::benchmark::Workload;
+use snicbench::core::executor::Executor;
+use snicbench::core::experiment::{find_operating_point_with, SearchBudget};
 use snicbench::core::runner::{run, OfferedLoad, RunConfig};
+use snicbench::core::sweep::{rate_sweep_with, SweepConfig};
+use snicbench::functions::artifacts;
 use snicbench::functions::kvs::ycsb::{YcsbGenerator, YcsbWorkload};
+use snicbench::functions::rem::RemRuleset;
 use snicbench::hw::ExecutionPlatform;
 use snicbench::net::trace::hyperscaler_trace;
 use snicbench::net::traffic::OpenLoop;
@@ -49,6 +54,57 @@ fn traffic_generators_replay_exactly() {
         (s.sent, s.bytes)
     };
     assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn parallel_search_equals_serial_search() {
+    // The executor's determinism contract: the operating point landed on
+    // by the speculative wave bisection at jobs=4 must be bit-identical
+    // to the legacy serial bisection (jobs=1) — same SearchBudget, same
+    // seeds, same metrics in every field.
+    let budget = SearchBudget::quick();
+    for (w, p) in [
+        (
+            Workload::Nat { entries: 10_000 },
+            ExecutionPlatform::SnicCpu,
+        ),
+        (
+            Workload::Rem(RemRuleset::FileImage),
+            ExecutionPlatform::SnicAccelerator,
+        ),
+    ] {
+        let serial = find_operating_point_with(w, p, budget, &Executor::new(1));
+        let parallel = find_operating_point_with(w, p, budget, &Executor::new(4));
+        assert_eq!(serial, parallel, "{w} on {p}: jobs=4 diverged from jobs=1");
+    }
+}
+
+#[test]
+fn parallel_sweep_equals_serial_sweep() {
+    let cfg = SweepConfig {
+        workload: Workload::Rem(RemRuleset::FileExecutable),
+        platform: ExecutionPlatform::SnicAccelerator,
+        offered_gbps: (1..=8).map(|i| i as f64 * 8.0).collect(),
+        ops_per_point: 4_000.0,
+        seed: 0xF1605,
+    };
+    let serial = rate_sweep_with(&cfg, &Executor::new(1));
+    let parallel = rate_sweep_with(&cfg, &Executor::new(4));
+    assert_eq!(serial, parallel, "sweep vectors diverged across job counts");
+}
+
+#[test]
+fn artifact_cache_returns_the_same_allocation() {
+    use std::sync::Arc;
+    let a = artifacts::rem_matcher(RemRuleset::FileFlash);
+    let b = artifacts::rem_matcher(RemRuleset::FileFlash);
+    assert!(
+        Arc::ptr_eq(&a, &b),
+        "rem ruleset was rebuilt instead of served from the shared cache"
+    );
+    let x = artifacts::bm25_index(100, 10, 3);
+    let y = artifacts::bm25_index(100, 10, 3);
+    assert!(Arc::ptr_eq(&x, &y), "bm25 index was rebuilt for the same key");
 }
 
 #[test]

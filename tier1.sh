@@ -1,0 +1,21 @@
+#!/bin/bash
+# Tier-1 gate: release build, full test suite, and the executor's
+# determinism contract (fig4 --quick must be byte-identical on stdout at
+# --jobs 1 and --jobs 4).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+
+echo "==== determinism smoke: fig4 --quick --jobs 1 vs --jobs 4 ===="
+out1=$(mktemp)
+out4=$(mktemp)
+trap 'rm -f "$out1" "$out4"' EXIT
+./target/release/fig4 --quick --jobs 1 > "$out1" 2>/dev/null
+./target/release/fig4 --quick --jobs 4 > "$out4" 2>/dev/null
+if ! diff -u "$out1" "$out4"; then
+  echo "FAIL: fig4 --quick output differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+echo "OK: byte-identical across job counts"
