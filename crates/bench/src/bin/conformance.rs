@@ -1,0 +1,113 @@
+//! Conformance harness: proves the simulator's measurement loop against
+//! closed-form queueing theory and conservation laws before any figure or
+//! table is trusted.
+//!
+//! ```text
+//! cargo run --release -p snicbench-bench --bin conformance [-- --quick] [--jobs N] [--grid-only]
+//! ```
+//!
+//! Stage 1 drives a dedicated station simulation over the (ρ, c, CV) probe
+//! grid and compares mean wait, utilization, and blocking probability
+//! against the Erlang-C / M/D/1 / Pollaczek–Khinchine / M/M/c/K closed
+//! forms (tolerance: 5% relative on wait, 2 pp absolute on utilization and
+//! blocking). Stage 2 re-measures every Fig. 4 cell in the quick profile
+//! with per-run invariant auditing enabled — any conservation violation
+//! (negative loss, `completed > sent`, utilization outside [0, 1],
+//! disordered percentiles) aborts with a diagnostic. The process exits
+//! non-zero on any failure; `tier1.sh` runs the quick profile as a gate.
+
+use snicbench_core::conformance::{
+    probe, probe_grid, set_audit, ProbeResult, PROBE_ARRIVALS, PROBE_ARRIVALS_QUICK,
+    UTIL_TOLERANCE, WAIT_TOLERANCE,
+};
+use snicbench_core::executor::Executor;
+use snicbench_core::experiment::{figure4_with, SearchBudget};
+use snicbench_core::report::TextTable;
+
+fn fmt_pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let grid_only = args.iter().any(|a| a == "--grid-only");
+    let executor = Executor::from_args(&args);
+    let arrivals = if quick {
+        PROBE_ARRIVALS_QUICK
+    } else {
+        PROBE_ARRIVALS
+    };
+
+    // --- Stage 1: closed-form cross-check over the probe grid ------------
+    eprintln!(
+        "# probing the (rho, c, CV) grid, {arrivals} arrivals/case (jobs={})...",
+        executor.jobs()
+    );
+    let cases: Vec<(usize, _)> = probe_grid().into_iter().enumerate().collect();
+    let results: Vec<ProbeResult> =
+        executor.map(cases, |(i, case)| probe(&case, arrivals, 0xC0F0 + i as u64));
+
+    println!("Conformance stage 1 — simulator vs closed-form queueing theory");
+    println!(
+        "(tolerance: wait +/-{}, util/blocking +/-{} absolute)\n",
+        fmt_pct(WAIT_TOLERANCE),
+        fmt_pct(UTIL_TOLERANCE)
+    );
+    let mut t = TextTable::new(vec![
+        "case",
+        "sim wait(us)",
+        "theory wait(us)",
+        "wait err",
+        "sim util",
+        "theory util",
+        "sim block",
+        "theory block",
+        "verdict",
+    ]);
+    let mut grid_failures = 0usize;
+    for r in &results {
+        let ok = r.within(WAIT_TOLERANCE, UTIL_TOLERANCE);
+        if !ok {
+            grid_failures += 1;
+        }
+        t.row(vec![
+            r.case.label.clone(),
+            format!("{:.3}", r.sim_wait_ns / 1e3),
+            r.analytic_wait_ns
+                .map_or("-".into(), |w| format!("{:.3}", w / 1e3)),
+            r.wait_error().map_or("-".into(), fmt_pct),
+            format!("{:.4}", r.sim_util),
+            format!("{:.4}", r.analytic_util),
+            format!("{:.4}", r.sim_blocking),
+            r.analytic_blocking
+                .map_or("-".into(), |b| format!("{b:.4}")),
+            if ok { "PASS".into() } else { "FAIL".to_string() },
+        ]);
+    }
+    println!("{t}");
+    if grid_failures > 0 {
+        eprintln!("FAIL: {grid_failures} probe case(s) outside the tolerance band");
+        std::process::exit(1);
+    }
+    println!("grid: all {} cases within tolerance\n", results.len());
+    if grid_only {
+        return;
+    }
+
+    // --- Stage 2: conservation invariants on every Fig. 4 cell -----------
+    // With auditing on, the runner asserts every invariant at the end of
+    // every simulation run (probes, measurement runs, back-off runs) and
+    // panics on the first violation — an abort here IS the failure signal.
+    eprintln!("# re-measuring every Fig. 4 cell with per-run invariant auditing...");
+    set_audit(true);
+    let rows = figure4_with(SearchBudget::quick(), &executor);
+    set_audit(false);
+    println!(
+        "Conformance stage 2 — {} Fig. 4 cells measured, every run audited: \
+         sent/completed/dropped conservation, loss in [0,1], utilizations in [0,1], \
+         ordered percentiles.",
+        rows.len()
+    );
+    println!("conformance: PASS");
+}

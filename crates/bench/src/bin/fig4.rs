@@ -9,6 +9,8 @@
 //! `--jobs N` (or `SNICBENCH_JOBS`) sizes the experiment executor; the
 //! default is the host's available parallelism and `--jobs 1` is the
 //! exact legacy serial path. Output is byte-identical at any job count.
+//! `--audit` asserts the conservation invariants at the end of every
+//! simulation run (panics with a diagnostic on the first violation).
 
 use snicbench_core::benchmark::{FunctionCategory, Workload};
 use snicbench_core::executor::Executor;
@@ -18,6 +20,7 @@ use snicbench_core::report::{fmt_throughput, ratio_bar, TextTable};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    snicbench_core::conformance::audit_from_args(&args);
     if args.iter().any(|a| a == "--list") {
         println!("Table 3 benchmark matrix (workload, stack, platforms):");
         let mut t = TextTable::new(vec!["workload", "stack", "platforms", "category"]);

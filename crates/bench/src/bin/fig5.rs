@@ -18,6 +18,7 @@ use snicbench_hw::ExecutionPlatform;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    snicbench_core::conformance::audit_from_args(&args);
     let quick = args.iter().any(|a| a == "--quick");
     let executor = Executor::from_args(&args);
     let series: Vec<(&str, Workload, ExecutionPlatform)> = vec![

@@ -17,6 +17,7 @@ use snicbench_core::report::{ratio_bar, TextTable};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    snicbench_core::conformance::audit_from_args(&args);
     let budget = if args.iter().any(|a| a == "--quick") {
         SearchBudget::quick()
     } else {

@@ -16,7 +16,9 @@ use snicbench_core::functional::exercise;
 use snicbench_core::report::TextTable;
 
 fn main() {
-    let executor = Executor::from_args(&std::env::args().skip(1).collect::<Vec<_>>());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    snicbench_core::conformance::audit_from_args(&args);
+    let executor = Executor::from_args(&args);
     println!("Functional exercise of every Fig. 4 workload implementation\n");
     let workloads: Vec<Workload> = Workload::figure4_set()
         .into_iter()

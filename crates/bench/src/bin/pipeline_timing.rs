@@ -33,6 +33,7 @@ fn build_all_artifacts() {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    snicbench_core::conformance::audit_from_args(&args);
     let parallel = Executor::from_args(&args);
     let budget = SearchBudget::quick();
 

@@ -16,7 +16,9 @@ use snicbench_functions::kvs::ycsb::YcsbWorkload;
 use snicbench_net::PacketSize;
 
 fn main() {
-    let budget = if std::env::args().any(|a| a == "--quick") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    snicbench_core::conformance::audit_from_args(&args);
+    let budget = if args.iter().any(|a| a == "--quick") {
         SearchBudget::quick()
     } else {
         SearchBudget::default()

@@ -26,7 +26,9 @@ fn main() {
     // trace (rates repeat; the mean matches the full hour).
     let workload = Workload::RemMtu(RemRuleset::FileExecutable);
     let trace = hyperscaler_trace(30, 0.76, 0xF167);
-    let executor = Executor::from_args(&std::env::args().skip(1).collect::<Vec<_>>());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    snicbench_core::conformance::audit_from_args(&args);
+    let executor = Executor::from_args(&args);
     let results = executor.map(
         vec![
             ExecutionPlatform::HostCpu,

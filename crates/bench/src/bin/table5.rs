@@ -102,6 +102,7 @@ fn measured_scenarios(budget: SearchBudget, executor: &Executor) -> Vec<TcoScena
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    snicbench_core::conformance::audit_from_args(&args);
     let use_paper = args.iter().any(|a| a == "--paper");
     let budget = if args.iter().any(|a| a == "--quick") {
         SearchBudget::quick()

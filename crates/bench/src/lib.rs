@@ -1,5 +1,8 @@
 //! # snicbench-bench
 //!
 //! Figure/table regeneration binaries and Criterion benches. See the `bin/`
-//! targets (`fig4`, `fig5`, `fig6`, `fig7`, `table4`, `table5`) and the
-//! Criterion benches under `benches/`.
+//! targets (`fig4`, `fig5`, `fig6`, `fig7`, `table4`, `table5`, and
+//! `conformance`, which proves the simulator against closed-form queueing
+//! theory and audits the conservation invariants) and the Criterion
+//! benches under `benches/`. Binaries that run simulations accept
+//! `--audit` to assert the invariants at the end of every run.

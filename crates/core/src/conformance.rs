@@ -1,0 +1,680 @@
+//! Self-auditing conformance layer for the measurement loop.
+//!
+//! Every Fig. 4/5/6 and Table 4/5 number flows through [`crate::runner::run`]
+//! and the bisection in [`crate::experiment`], so the simulator's accounting
+//! must be demonstrably trustworthy before any of those results mean
+//! anything. This module cross-checks the discrete-event substrate two ways:
+//!
+//! 1. **Closed-form queueing theory** ([`analytic`]): Erlang-C / M/M/c,
+//!    M/D/1 and M/G/1 (Pollaczek–Khinchine) predictors for mean wait and
+//!    utilization, and the M/M/c/K loss formula for blocking probability.
+//!    [`probe`] drives a dedicated [`StationHandle`] simulation over a
+//!    (ρ, c, CV) grid and reports simulated vs analytic values with
+//!    relative errors, which [`ProbeResult::within`] gates against a
+//!    tolerance band.
+//! 2. **Conservation laws** ([`check_metrics`], [`check_station`]): sent =
+//!    completed + dropped + in-flight, offered = accepted + dropped,
+//!    utilizations in [0, 1], p50 ≤ p99 ≤ max, loss rate in [0, 1]. Every
+//!    experiment binary can switch these on for *every* simulation run with
+//!    `--audit` (see [`audit_from_args`]); the runner then asserts the
+//!    invariants at the end of each run and panics with a diagnostic on the
+//!    first violation.
+//!
+//! The `conformance` binary in `snicbench-bench` runs both layers and exits
+//! non-zero on any failure; `tier1.sh` runs it in the quick profile.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use snicbench_sim::dist::{Constant, Distribution, Exponential, LogNormal};
+use snicbench_sim::rng::Rng;
+use snicbench_sim::station::StationHandle;
+use snicbench_sim::{SimDuration, SimTime, Simulator};
+
+use crate::runner::RunMetrics;
+
+// ---------------------------------------------------------------------------
+// Closed-form predictors
+// ---------------------------------------------------------------------------
+
+/// Closed-form queueing predictors the simulator is checked against.
+pub mod analytic {
+    /// Erlang-C: the probability an arriving job must wait in an M/M/c
+    /// queue with per-server utilization `rho` in [0, 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0` or `rho` is outside [0, 1).
+    pub fn erlang_c(servers: usize, rho: f64) -> f64 {
+        assert!(servers > 0, "erlang_c: no servers");
+        assert!((0.0..1.0).contains(&rho), "erlang_c: rho {rho} not in [0,1)");
+        let c = servers as f64;
+        let a = c * rho; // offered load in Erlangs
+        // term_k = a^k / k!, built iteratively to avoid overflow.
+        let mut term = 1.0;
+        let mut sum = 0.0;
+        for k in 0..servers {
+            sum += term;
+            term *= a / (k as f64 + 1.0);
+        }
+        // term now holds a^c / c!.
+        let wait_term = term / (1.0 - rho);
+        wait_term / (sum + wait_term)
+    }
+
+    /// Mean queueing delay (excluding service) of an M/M/c queue, in the
+    /// same unit as `service_mean`.
+    pub fn mmc_mean_wait(servers: usize, service_mean: f64, rho: f64) -> f64 {
+        erlang_c(servers, rho) * service_mean / (servers as f64 * (1.0 - rho))
+    }
+
+    /// Mean queueing delay of an M/D/1 queue (deterministic service).
+    pub fn md1_mean_wait(service_mean: f64, rho: f64) -> f64 {
+        assert!((0.0..1.0).contains(&rho), "md1: rho {rho} not in [0,1)");
+        rho * service_mean / (2.0 * (1.0 - rho))
+    }
+
+    /// Mean queueing delay of an M/G/1 queue by Pollaczek–Khinchine, for a
+    /// service distribution with the given coefficient of variation.
+    pub fn mg1_mean_wait(service_mean: f64, cv: f64, rho: f64) -> f64 {
+        assert!((0.0..1.0).contains(&rho), "mg1: rho {rho} not in [0,1)");
+        rho * service_mean * (1.0 + cv * cv) / (2.0 * (1.0 - rho))
+    }
+
+    /// Blocking probability of an M/M/c/K loss system (`capacity` = servers
+    /// plus wait slots; arrivals finding `capacity` jobs present are lost).
+    /// `rho` is the per-server offered utilization `λ/(cμ)` and may exceed 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0`, `capacity < servers`, or `rho < 0`.
+    pub fn mmck_blocking(servers: usize, capacity: usize, rho: f64) -> f64 {
+        assert!(servers > 0, "mmck: no servers");
+        assert!(capacity >= servers, "mmck: capacity below server count");
+        assert!(rho >= 0.0, "mmck: negative rho");
+        let c = servers as f64;
+        let a = c * rho;
+        // Unnormalized state probabilities p_n: a^n/n! for n <= c, then
+        // geometric decay by rho per extra waiter.
+        let mut p = 1.0;
+        let mut sum = 0.0;
+        let mut last = p;
+        for n in 0..=capacity {
+            sum += p;
+            last = p;
+            p *= if n < servers { a / (n as f64 + 1.0) } else { rho };
+        }
+        last / sum
+    }
+
+    /// Carried (achieved) per-server utilization of an M/M/c/K system:
+    /// the offered `rho` thinned by the blocking probability, capped at 1.
+    pub fn mmck_utilization(servers: usize, capacity: usize, rho: f64) -> f64 {
+        (rho * (1.0 - mmck_blocking(servers, capacity, rho))).min(1.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator probes
+// ---------------------------------------------------------------------------
+
+/// The service-time law a probe case uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceLaw {
+    /// Exponential service (M/M/c; Erlang-C applies).
+    Markovian,
+    /// Constant service (M/D/1).
+    Deterministic,
+    /// Lognormal service with this coefficient of variation (M/G/1 via
+    /// Pollaczek–Khinchine).
+    LogNormalCv(f64),
+}
+
+/// One point of the conformance probe grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeCase {
+    /// Display label (e.g. `M/M/4 rho=0.6`).
+    pub label: String,
+    /// Parallel servers.
+    pub servers: usize,
+    /// Offered per-server utilization `λ/(cμ)`.
+    pub rho: f64,
+    /// Service-time law.
+    pub law: ServiceLaw,
+    /// Wait-queue bound; `None` is the unbounded (delay-system) case.
+    pub queue: Option<usize>,
+}
+
+impl ProbeCase {
+    fn delay_system(servers: usize, rho: f64, law: ServiceLaw) -> Self {
+        let name = match law {
+            ServiceLaw::Markovian => format!("M/M/{servers}"),
+            ServiceLaw::Deterministic => format!("M/D/{servers}"),
+            ServiceLaw::LogNormalCv(cv) => format!("M/G/{servers} cv={cv}"),
+        };
+        ProbeCase {
+            label: format!("{name} rho={rho}"),
+            servers,
+            rho,
+            law,
+            queue: None,
+        }
+    }
+
+    /// Arrival-count multiplier for this case. The wait estimator's
+    /// variance grows with the server count (few arrivals wait at all, and
+    /// busy periods are long-range correlated) and with the service CV, so
+    /// those cases need proportionally longer runs to sit safely inside
+    /// the tolerance band.
+    pub fn arrivals_factor(&self) -> u64 {
+        if self.queue.is_some() {
+            return 1; // blocking estimates converge fast under overload
+        }
+        let spread = match self.law {
+            ServiceLaw::LogNormalCv(cv) if cv > 1.0 => 8,
+            _ => 1,
+        };
+        let servers = match self.servers {
+            1 => 1,
+            2..=4 => 4,
+            _ => 16,
+        };
+        spread.max(servers)
+    }
+
+    /// The analytic mean wait for this case, in nanoseconds, if a closed
+    /// form is implemented (loss systems only predict blocking here).
+    pub fn analytic_wait_ns(&self, service_mean_ns: f64) -> Option<f64> {
+        if self.queue.is_some() {
+            return None;
+        }
+        Some(match self.law {
+            ServiceLaw::Markovian => {
+                analytic::mmc_mean_wait(self.servers, service_mean_ns, self.rho)
+            }
+            ServiceLaw::Deterministic => {
+                assert_eq!(self.servers, 1, "M/D/c has no closed form here");
+                analytic::md1_mean_wait(service_mean_ns, self.rho)
+            }
+            ServiceLaw::LogNormalCv(cv) => {
+                assert_eq!(self.servers, 1, "M/G/c has no closed form here");
+                analytic::mg1_mean_wait(service_mean_ns, cv, self.rho)
+            }
+        })
+    }
+}
+
+/// Simulated vs analytic values for one probe case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeResult {
+    /// The probed case.
+    pub case: ProbeCase,
+    /// Arrivals inside the measurement window.
+    pub arrivals: u64,
+    /// Simulated mean wait, ns.
+    pub sim_wait_ns: f64,
+    /// Analytic mean wait, ns (`None` for loss systems).
+    pub analytic_wait_ns: Option<f64>,
+    /// Simulated per-server utilization over the measurement window.
+    pub sim_util: f64,
+    /// Analytic per-server utilization.
+    pub analytic_util: f64,
+    /// Simulated blocking probability (0 for unbounded queues).
+    pub sim_blocking: f64,
+    /// Analytic blocking probability (`None` for unbounded queues).
+    pub analytic_blocking: Option<f64>,
+}
+
+impl ProbeResult {
+    /// Relative error of the simulated mean wait against the closed form,
+    /// when one applies.
+    pub fn wait_error(&self) -> Option<f64> {
+        self.analytic_wait_ns
+            .map(|a| (self.sim_wait_ns - a).abs() / a.max(1e-9))
+    }
+
+    /// Absolute error of the simulated utilization.
+    pub fn util_error(&self) -> f64 {
+        (self.sim_util - self.analytic_util).abs()
+    }
+
+    /// Absolute error of the simulated blocking probability, when a loss
+    /// formula applies.
+    pub fn blocking_error(&self) -> Option<f64> {
+        self.analytic_blocking
+            .map(|a| (self.sim_blocking - a).abs())
+    }
+
+    /// True if every applicable comparison is inside the tolerance band:
+    /// relative `wait_tol` on mean wait, absolute `util_tol` on utilization
+    /// and blocking probability.
+    pub fn within(&self, wait_tol: f64, util_tol: f64) -> bool {
+        self.wait_error().map_or(true, |e| e <= wait_tol)
+            && self.util_error() <= util_tol
+            && self.blocking_error().map_or(true, |e| e <= util_tol)
+    }
+}
+
+/// Mean service time used by the probes (1 µs, comparable to the
+/// calibrated per-op costs in Table 3).
+pub const PROBE_SERVICE_NS: f64 = 1_000.0;
+
+/// Runs one probe case: Poisson arrivals against a dedicated station for
+/// roughly `target_arrivals * case.arrivals_factor()` arrivals (after a 5%
+/// warmup), entirely independent of the experiment runner, so it
+/// cross-checks the simulator primitives themselves.
+pub fn probe(case: &ProbeCase, target_arrivals: u64, seed: u64) -> ProbeResult {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let target_arrivals = target_arrivals * case.arrivals_factor();
+    let lambda_per_ns = case.rho * case.servers as f64 / PROBE_SERVICE_NS;
+    let horizon_ns = (target_arrivals as f64 / lambda_per_ns).ceil();
+    let warmup = SimTime::ZERO + SimDuration::from_secs_f64(horizon_ns * 0.05 * 1e-9);
+    let t_end = SimTime::ZERO + SimDuration::from_secs_f64(horizon_ns * 1.05 * 1e-9);
+
+    let service: Box<dyn Distribution> = match case.law {
+        ServiceLaw::Markovian => Box::new(Exponential::with_mean(PROBE_SERVICE_NS)),
+        ServiceLaw::Deterministic => Box::new(Constant::new(PROBE_SERVICE_NS)),
+        ServiceLaw::LogNormalCv(cv) => Box::new(LogNormal::with_mean_cv(PROBE_SERVICE_NS, cv)),
+    };
+    let inter = Exponential::with_rate(lambda_per_ns);
+
+    let mut sim = Simulator::new();
+    let station = StationHandle::new("probe", case.servers, case.queue);
+    // (measured arrivals, measured drops, total wait ns, completed waits)
+    let tallies = Rc::new(RefCell::new((0u64, 0u64, 0.0f64, 0u64)));
+    let rng = Rc::new(RefCell::new(Rng::new(seed)));
+
+    struct ArrivalCtx {
+        station: StationHandle,
+        tallies: Rc<RefCell<(u64, u64, f64, u64)>>,
+        rng: Rc<RefCell<Rng>>,
+        service: Box<dyn Distribution>,
+        inter: Exponential,
+        warmup: SimTime,
+        t_end: SimTime,
+    }
+
+    fn arrive(sim: &mut Simulator, ctx: Rc<ArrivalCtx>) {
+        let now = sim.now();
+        if now >= ctx.t_end {
+            return;
+        }
+        let measured = now >= ctx.warmup;
+        let demand = {
+            let mut rng = ctx.rng.borrow_mut();
+            SimDuration::from_nanos(ctx.service.sample(&mut rng).max(1.0).round() as u64)
+        };
+        if measured {
+            ctx.tallies.borrow_mut().0 += 1;
+        }
+        let tallies = ctx.tallies.clone();
+        let admission = ctx.station.submit(sim, demand, move |_, completion| {
+            if measured {
+                let mut t = tallies.borrow_mut();
+                t.2 += completion.wait().as_nanos() as f64;
+                t.3 += 1;
+            }
+        });
+        if admission == snicbench_sim::station::Admission::Dropped && measured {
+            ctx.tallies.borrow_mut().1 += 1;
+        }
+        let gap = {
+            let mut rng = ctx.rng.borrow_mut();
+            SimDuration::from_nanos(ctx.inter.sample(&mut rng).max(1.0).round() as u64)
+        };
+        let next = ctx.clone();
+        sim.schedule_at(now + gap, move |sim| arrive(sim, next));
+    }
+
+    let ctx = Rc::new(ArrivalCtx {
+        station: station.clone(),
+        tallies: tallies.clone(),
+        rng,
+        service,
+        inter,
+        warmup,
+        t_end,
+    });
+    sim.schedule_at(SimTime::ZERO, move |sim| arrive(sim, ctx));
+
+    // Busy-time integral is windowed to [warmup, t_end]: snapshot at the
+    // warmup boundary, stop crediting at t_end, then drain for the waits.
+    let busy_at_warmup = Rc::new(RefCell::new(0u128));
+    {
+        let station = station.clone();
+        let snap = busy_at_warmup.clone();
+        sim.schedule_at(warmup, move |sim| {
+            *snap.borrow_mut() = station.finalize_stats(sim.now()).busy_ns;
+        });
+    }
+    sim.run_until(t_end);
+    let busy_at_end = station.finalize_stats(t_end).busy_ns;
+    sim.run(); // drain: every admitted job completes and reports its wait
+
+    let (arrivals, drops, wait_sum, waits) = *tallies.borrow();
+    let window_ns = t_end.duration_since(warmup).as_nanos() as f64;
+    let sim_util =
+        (busy_at_end - *busy_at_warmup.borrow()) as f64 / (window_ns * case.servers as f64);
+    let analytic_util = match case.queue {
+        None => case.rho,
+        Some(q) => analytic::mmck_utilization(case.servers, case.servers + q, case.rho),
+    };
+    ProbeResult {
+        case: case.clone(),
+        arrivals,
+        sim_wait_ns: if waits == 0 { 0.0 } else { wait_sum / waits as f64 },
+        analytic_wait_ns: case.analytic_wait_ns(PROBE_SERVICE_NS),
+        sim_util,
+        analytic_util,
+        sim_blocking: if arrivals == 0 {
+            0.0
+        } else {
+            drops as f64 / arrivals as f64
+        },
+        analytic_blocking: case
+            .queue
+            .map(|q| analytic::mmck_blocking(case.servers, case.servers + q, case.rho)),
+    }
+}
+
+/// The probe grid: M/M/c across server counts and loads, the two
+/// non-Markovian single-server laws, and one finite-buffer loss system.
+pub fn probe_grid() -> Vec<ProbeCase> {
+    let mut grid = Vec::new();
+    for &servers in &[1usize, 2, 4, 8] {
+        for &rho in &[0.3, 0.6, 0.8] {
+            grid.push(ProbeCase::delay_system(servers, rho, ServiceLaw::Markovian));
+        }
+    }
+    for &rho in &[0.3, 0.6, 0.8] {
+        grid.push(ProbeCase::delay_system(1, rho, ServiceLaw::Deterministic));
+        grid.push(ProbeCase::delay_system(
+            1,
+            rho,
+            ServiceLaw::LogNormalCv(2.0),
+        ));
+    }
+    // Overloaded finite buffer: blocking must match the M/M/c/K loss
+    // formula, and carried utilization the thinned load.
+    grid.push(ProbeCase {
+        label: "M/M/2/10 rho=1.2".into(),
+        servers: 2,
+        rho: 1.2,
+        law: ServiceLaw::Markovian,
+        queue: Some(8),
+    });
+    grid
+}
+
+/// Default relative tolerance on mean wait (the acceptance band).
+pub const WAIT_TOLERANCE: f64 = 0.05;
+/// Default absolute tolerance on utilization and blocking probability.
+pub const UTIL_TOLERANCE: f64 = 0.02;
+
+/// Arrivals per probe case for the full profile.
+pub const PROBE_ARRIVALS: u64 = 400_000;
+/// Arrivals per probe case for the quick (tier-1) profile.
+pub const PROBE_ARRIVALS_QUICK: u64 = 150_000;
+
+// ---------------------------------------------------------------------------
+// Conservation invariants
+// ---------------------------------------------------------------------------
+
+/// One violated invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The invariant, stated as the condition that failed.
+    pub invariant: &'static str,
+    /// The observed values.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.detail)
+    }
+}
+
+fn unit_interval(violations: &mut Vec<Violation>, invariant: &'static str, v: f64) {
+    if !(0.0..=1.0).contains(&v) {
+        violations.push(Violation {
+            invariant,
+            detail: format!("value {v}"),
+        });
+    }
+}
+
+/// Checks the conservation laws every [`RunMetrics`] must satisfy,
+/// returning every violated invariant (empty when conformant).
+pub fn check_metrics(m: &RunMetrics) -> Vec<Violation> {
+    let mut v = Vec::new();
+    if m.completed + m.dropped > m.sent {
+        v.push(Violation {
+            invariant: "completed + dropped <= sent",
+            detail: format!(
+                "completed {} + dropped {} > sent {}",
+                m.completed, m.dropped, m.sent
+            ),
+        });
+    }
+    unit_interval(&mut v, "loss_rate in [0,1]", m.loss_rate());
+    unit_interval(&mut v, "service_util in [0,1]", m.service_util);
+    unit_interval(&mut v, "host_cpu_util in [0,1]", m.host_cpu_util);
+    unit_interval(&mut v, "snic_util in [0,1]", m.snic_util);
+    for (name, rate) in [
+        ("offered_ops", m.offered_ops),
+        ("achieved_ops", m.achieved_ops),
+        ("achieved_gbps", m.achieved_gbps),
+    ] {
+        if !rate.is_finite() || rate < 0.0 {
+            v.push(Violation {
+                invariant: "rates finite and non-negative",
+                detail: format!("{name} = {rate}"),
+            });
+        }
+    }
+    // completed <= sent over one shared window makes this exact.
+    if m.achieved_ops > m.offered_ops * (1.0 + 1e-9) {
+        v.push(Violation {
+            invariant: "achieved_ops <= offered_ops",
+            detail: format!("achieved {} > offered {}", m.achieved_ops, m.offered_ops),
+        });
+    }
+    let l = &m.latency;
+    if !(l.p50_us <= l.p99_us && l.p99_us <= l.max_us) {
+        v.push(Violation {
+            invariant: "p50 <= p99 <= max",
+            detail: format!("p50 {} p99 {} max {}", l.p50_us, l.p99_us, l.max_us),
+        });
+    }
+    if l.mean_us < 0.0 || !l.mean_us.is_finite() {
+        v.push(Violation {
+            invariant: "mean latency finite and non-negative",
+            detail: format!("mean {}", l.mean_us),
+        });
+    }
+    v
+}
+
+/// Checks a station's conservation law after a fully drained run: every
+/// arrival must be accounted for as completed, dropped, in service, or
+/// still waiting.
+pub fn check_station(station: &StationHandle) -> Vec<Violation> {
+    let stats = station.stats();
+    let in_flight = station.busy() as u64 + station.queue_len() as u64;
+    if stats.arrivals != stats.completions + stats.dropped + in_flight {
+        vec![Violation {
+            invariant: "arrivals == completions + dropped + in-flight",
+            detail: format!(
+                "arrivals {} != completions {} + dropped {} + in-flight {in_flight}",
+                stats.arrivals, stats.completions, stats.dropped
+            ),
+        }]
+    } else {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The --audit hook
+// ---------------------------------------------------------------------------
+
+static AUDIT: AtomicBool = AtomicBool::new(false);
+
+/// Globally enables (or disables) per-run invariant auditing. When on,
+/// [`crate::runner::run`] asserts [`check_metrics`] and [`check_station`]
+/// at the end of every run and panics on the first violation.
+pub fn set_audit(enabled: bool) {
+    AUDIT.store(enabled, Ordering::Relaxed);
+}
+
+/// True if per-run auditing is enabled.
+pub fn audit_enabled() -> bool {
+    AUDIT.load(Ordering::Relaxed)
+}
+
+/// Enables auditing if the CLI args contain `--audit`; returns whether
+/// they did. Every figure/table binary calls this.
+pub fn audit_from_args(args: &[String]) -> bool {
+    let on = args.iter().any(|a| a == "--audit");
+    if on {
+        set_audit(true);
+    }
+    on
+}
+
+/// Asserts every invariant on a finished run. Called by the runner when
+/// auditing is on; exposed so tests and binaries can invoke it directly.
+///
+/// # Panics
+///
+/// Panics with a diagnostic listing every violated invariant.
+pub fn assert_run_conformant(context: &str, metrics: &RunMetrics, station: &StationHandle) {
+    let mut violations = check_metrics(metrics);
+    violations.extend(check_station(station));
+    if !violations.is_empty() {
+        let list: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+        panic!(
+            "conformance audit failed for {context}: {} violation(s): {}",
+            list.len(),
+            list.join("; ")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::LatencyStats;
+
+    fn clean_metrics() -> RunMetrics {
+        RunMetrics {
+            offered_ops: 1_000.0,
+            sent: 1_000,
+            completed: 990,
+            dropped: 10,
+            achieved_ops: 990.0,
+            achieved_gbps: 0.5,
+            latency: LatencyStats {
+                mean_us: 12.0,
+                p50_us: 10.0,
+                p99_us: 40.0,
+                max_us: 55.0,
+            },
+            service_util: 0.7,
+            host_cpu_util: 0.3,
+            snic_util: 0.1,
+        }
+    }
+
+    #[test]
+    fn erlang_c_known_values() {
+        // M/M/1: P(wait) = rho.
+        assert!((analytic::erlang_c(1, 0.5) - 0.5).abs() < 1e-12);
+        // M/M/2 at rho = 0.5 (a = 1 Erlang): C = 1/3.
+        assert!((analytic::erlang_c(2, 0.5) - 1.0 / 3.0).abs() < 1e-12);
+        // Heavier load waits more; more servers at equal rho wait less.
+        assert!(analytic::erlang_c(4, 0.9) > analytic::erlang_c(4, 0.5));
+        assert!(analytic::erlang_c(8, 0.6) < analytic::erlang_c(2, 0.6));
+    }
+
+    #[test]
+    fn mm1_wait_matches_textbook() {
+        // M/M/1: Wq = rho/(1-rho) * s.
+        let wq = analytic::mmc_mean_wait(1, 1_000.0, 0.8);
+        assert!((wq - 4_000.0).abs() < 1e-6, "Wq {wq}");
+        // M/D/1 waits half as long as M/M/1.
+        let wd = analytic::md1_mean_wait(1_000.0, 0.8);
+        assert!((wd - 2_000.0).abs() < 1e-6, "Wd {wd}");
+        // M/G/1 with cv=1 equals M/M/1.
+        let wg = analytic::mg1_mean_wait(1_000.0, 1.0, 0.8);
+        assert!((wg - wq).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mmck_blocking_known_values() {
+        // M/M/1/1 (pure loss): B = a/(1+a).
+        let b = analytic::mmck_blocking(1, 1, 0.5);
+        assert!((b - 0.5 / 1.5).abs() < 1e-12, "B {b}");
+        // More buffer, less blocking; carried load below offered.
+        assert!(
+            analytic::mmck_blocking(2, 10, 1.2) < analytic::mmck_blocking(2, 4, 1.2),
+            "buffer must reduce blocking"
+        );
+        let u = analytic::mmck_utilization(2, 10, 1.2);
+        assert!(u < 1.0 && u > 0.8, "carried util {u}");
+    }
+
+    #[test]
+    fn probe_mm1_within_band() {
+        let case = ProbeCase::delay_system(1, 0.6, ServiceLaw::Markovian);
+        let r = probe(&case, 120_000, 0xC0F0);
+        assert!(
+            r.within(WAIT_TOLERANCE, UTIL_TOLERANCE),
+            "wait err {:?}, util err {}",
+            r.wait_error(),
+            r.util_error()
+        );
+    }
+
+    #[test]
+    fn clean_metrics_pass() {
+        assert!(check_metrics(&clean_metrics()).is_empty());
+    }
+
+    #[test]
+    fn overdraft_completions_are_flagged() {
+        let mut m = clean_metrics();
+        m.completed = m.sent + 5;
+        let v = check_metrics(&m);
+        assert!(v.iter().any(|v| v.invariant.contains("completed")));
+        assert!(v.iter().any(|v| v.invariant.contains("loss_rate")));
+    }
+
+    #[test]
+    fn disordered_percentiles_are_flagged() {
+        let mut m = clean_metrics();
+        m.latency.p50_us = 100.0;
+        let v = check_metrics(&m);
+        assert!(v.iter().any(|v| v.invariant.contains("p50")));
+    }
+
+    #[test]
+    fn utilization_out_of_range_is_flagged() {
+        let mut m = clean_metrics();
+        m.service_util = 1.3;
+        assert_eq!(check_metrics(&m).len(), 1);
+        m.service_util = -0.1;
+        assert_eq!(check_metrics(&m).len(), 1);
+    }
+
+    #[test]
+    fn audit_flag_roundtrip() {
+        assert!(!audit_enabled() || true); // other tests may have set it
+        assert!(audit_from_args(&["--quick".into(), "--audit".into()]));
+        assert!(audit_enabled());
+        set_audit(false);
+        assert!(!audit_from_args(&["--quick".into()]));
+    }
+}

@@ -114,6 +114,97 @@ fn wave_width(jobs: usize, remaining: u32) -> u32 {
     width.min(remaining)
 }
 
+/// Outcome of [`bisect_sustainable_boundary`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct BoundarySearch {
+    /// The refined lower bound — the highest rate known sustainable.
+    rate: f64,
+    /// True when not even the fallback floor was sustainable; `rate` is 0
+    /// and the caller must report a zero-rate operating point.
+    floor_unsustainable: bool,
+}
+
+/// Bisects the sustainable/unsustainable boundary in `[lo, hi]`.
+///
+/// The invariant throughout is that `lo` is *verified* sustainable: the
+/// entry probe checks `lo` and, when it fails, falls back to `floor` —
+/// which is itself re-verified before any bisection happens (regression:
+/// the fallback used to be assumed sustainable, so when even the floor was
+/// lossy the search converged on a garbage rate that never passed a
+/// probe). With a serial executor this probes one midpoint per iteration;
+/// with `jobs > 1` it runs speculative waves over the next few bisection
+/// levels, landing on the bit-identical result at any job count.
+fn bisect_sustainable_boundary<F>(
+    mut lo: f64,
+    mut hi: f64,
+    floor: f64,
+    iterations: u32,
+    seed: u64,
+    executor: &Executor,
+    sustainable: F,
+) -> BoundarySearch
+where
+    F: Fn(f64, u64) -> bool + Sync,
+{
+    if !sustainable(lo, seed) {
+        lo = floor;
+        if !sustainable(lo, seed) {
+            return BoundarySearch {
+                rate: 0.0,
+                floor_unsustainable: true,
+            };
+        }
+    }
+    let mut level = 0u32;
+    while level < iterations {
+        let width = wave_width(executor.jobs(), iterations - level);
+        // The grid: every interval reachable within `width` more levels,
+        // enumerated level by level (node j's children are 2j / 2j+1).
+        let mut grid: Vec<(u32, f64)> = Vec::new(); // (relative level, mid)
+        let mut intervals = vec![(lo, hi)];
+        for _ in 0..width {
+            let mut children = Vec::with_capacity(intervals.len() * 2);
+            for &(l, h) in &intervals {
+                let mid = (l + h) / 2.0;
+                grid.push((0, mid)); // relative level fixed up below
+                children.push((l, mid));
+                children.push((mid, h));
+            }
+            intervals = children;
+        }
+        // Fix up relative levels (level r contributes 2^r nodes in order).
+        let mut at = 0usize;
+        for r in 0..width {
+            for _ in 0..(1usize << r) {
+                grid[at].0 = r;
+                at += 1;
+            }
+        }
+        let verdicts = executor.map(grid.clone(), |(r, mid)| {
+            sustainable(mid, seed.wrapping_add((level + r) as u64 + 1))
+        });
+        // Refine: walk the verdict tree exactly as serial bisection would.
+        let mut offset = 0usize;
+        let mut node = 0usize;
+        for r in 0..width {
+            let took = verdicts[offset + node];
+            let mid = grid[offset + node].1;
+            if took {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            offset += 1usize << r;
+            node = 2 * node + usize::from(took);
+        }
+        level += width;
+    }
+    BoundarySearch {
+        rate: lo,
+        floor_unsustainable: false,
+    }
+}
+
 /// Finds the maximum sustainable throughput and measures p99 there,
 /// using the serial search path. Equivalent to
 /// [`find_operating_point_with`] on [`Executor::serial`].
@@ -176,8 +267,8 @@ pub fn find_operating_point_with(
     // Bisect the sustainable boundary between 50% and 115% of the analytic
     // capacity (service-time jitter and queueing shift it below 100%). A
     // configured offered-load cap is a hard ceiling, not a search seed.
-    let mut lo = 0.5 * capacity;
-    let mut hi = match workload.offered_cap_gbps() {
+    let lo = 0.5 * capacity;
+    let hi = match workload.offered_cap_gbps() {
         Some(cap_gbps) => {
             let cap_ops = cap_gbps * 1e9 / 8.0 / workload.request_bytes() as f64;
             (1.15 * capacity).min(cap_ops)
@@ -189,57 +280,38 @@ pub fn find_operating_point_with(
         let m = run(&cfg);
         m.loss_rate() <= SUSTAINABLE_LOSS && m.latency.p99_us <= p99_limit
     };
-    // If even the low end is lossy, fall back to searching from near zero.
-    if !sustainable(lo, budget.seed) {
-        lo = 0.05 * capacity;
-    }
-    let mut level = 0u32;
-    while level < budget.iterations {
-        let width = wave_width(executor.jobs(), budget.iterations - level);
-        // The grid: every interval reachable within `width` more levels,
-        // enumerated level by level (node j's children are 2j / 2j+1).
-        let mut grid: Vec<(u32, f64)> = Vec::new(); // (relative level, mid)
-        let mut intervals = vec![(lo, hi)];
-        for _ in 0..width {
-            let mut children = Vec::with_capacity(intervals.len() * 2);
-            for &(l, h) in &intervals {
-                let mid = (l + h) / 2.0;
-                grid.push((0, mid)); // relative level fixed up below
-                children.push((l, mid));
-                children.push((mid, h));
-            }
-            intervals = children;
-        }
-        // Fix up relative levels (level r contributes 2^r nodes in order).
-        let mut at = 0usize;
-        for r in 0..width {
-            for _ in 0..(1usize << r) {
-                grid[at].0 = r;
-                at += 1;
-            }
-        }
-        let verdicts = executor.map(grid.clone(), |(r, mid)| {
-            sustainable(mid, budget.seed.wrapping_add((level + r) as u64 + 1))
-        });
-        // Refine: walk the verdict tree exactly as serial bisection would.
-        let mut offset = 0usize;
-        let mut node = 0usize;
-        for r in 0..width {
-            let took = verdicts[offset + node];
-            let mid = grid[offset + node].1;
-            if took {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-            offset += 1usize << r;
-            node = 2 * node + usize::from(took);
-        }
-        level += width;
+    let search = bisect_sustainable_boundary(
+        lo,
+        hi,
+        0.05 * capacity,
+        budget.iterations,
+        budget.seed,
+        executor,
+        sustainable,
+    );
+    if search.floor_unsustainable {
+        // Even near-zero load violates the loss/SLO criteria: report a
+        // well-defined zero-rate operating point instead of converging on
+        // a rate that never passed a probe.
+        let metrics = run(&sized_run(
+            workload,
+            platform,
+            0.0,
+            budget.measure_ops,
+            budget.seed.wrapping_add(0xF1A1),
+        ));
+        return OperatingPoint {
+            workload,
+            platform,
+            max_ops: 0.0,
+            max_gbps: 0.0,
+            p99_us: metrics.latency.p99_us,
+            metrics,
+        };
     }
     // Final measurement at the found rate; if the longer run reveals the
     // knee was overshot (p99 is steep there), back off a few percent.
-    let mut max_rate = lo;
+    let mut max_rate = search.rate;
     let mut metrics = run(&sized_run(
         workload,
         platform,
@@ -465,6 +537,79 @@ mod tests {
             p.active_w
         );
         assert!(p.efficiency_gbps_per_w > 0.0);
+    }
+
+    #[test]
+    fn unsustainable_floor_is_reverified_and_reported() {
+        // Regression: the `lo` fallback used to assume the 5%-of-capacity
+        // floor was sustainable without probing it, breaking the bisection
+        // invariant that `lo` passed a probe. A workload that fails at
+        // every rate must now surface `floor_unsustainable` instead of
+        // converging on garbage.
+        let probes = std::sync::atomic::AtomicU32::new(0);
+        let search = bisect_sustainable_boundary(
+            500.0,
+            1_150.0,
+            50.0,
+            5,
+            0xBAD,
+            &Executor::serial(),
+            |_rate, _seed| {
+                probes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                false
+            },
+        );
+        assert!(search.floor_unsustainable);
+        assert_eq!(search.rate, 0.0);
+        // Both the entry rate and the floor were actually probed.
+        assert_eq!(probes.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn bisection_from_the_floor_converges_on_the_boundary() {
+        // Boundary below the normal 50% entry point: the fallback kicks in,
+        // the floor passes, and the bisection closes in on the true
+        // boundary from the verified floor.
+        let boundary = 42.0;
+        let search = bisect_sustainable_boundary(
+            500.0,
+            1_150.0,
+            5.0,
+            24,
+            0,
+            &Executor::serial(),
+            |rate, _seed| rate <= boundary,
+        );
+        assert!(!search.floor_unsustainable);
+        assert!(
+            search.rate <= boundary && search.rate > 0.98 * boundary,
+            "rate {} vs boundary {boundary}",
+            search.rate
+        );
+    }
+
+    #[test]
+    fn bisection_is_job_count_invariant() {
+        let sustainable = |rate: f64, _seed: u64| rate <= 700.0;
+        let serial = bisect_sustainable_boundary(
+            500.0,
+            1_150.0,
+            50.0,
+            6,
+            1,
+            &Executor::serial(),
+            sustainable,
+        );
+        let parallel = bisect_sustainable_boundary(
+            500.0,
+            1_150.0,
+            50.0,
+            6,
+            1,
+            &Executor::new(8),
+            sustainable,
+        );
+        assert_eq!(serial, parallel, "speculative waves diverged from serial");
     }
 
     #[test]

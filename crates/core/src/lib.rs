@@ -11,6 +11,9 @@
 //! * [`calibration`] — per-(workload, platform) service-cost tables, each
 //!   entry tagged with its source in the paper.
 //! * [`runner`] — one simulation run at a fixed offered load.
+//! * [`conformance`] — self-auditing layer: closed-form queueing-theory
+//!   cross-checks (Erlang-C, M/D/1, Pollaczek–Khinchine, M/M/c/K loss)
+//!   and the conservation invariants every run must satisfy (`--audit`).
 //! * [`functional`] — runs the *real* workload implementations over
 //!   synthesized inputs, so functional behavior is exercised alongside
 //!   the timing results.
@@ -32,6 +35,7 @@
 pub mod advisor;
 pub mod benchmark;
 pub mod calibration;
+pub mod conformance;
 pub mod executor;
 pub mod experiment;
 pub mod functional;

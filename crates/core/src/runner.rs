@@ -227,9 +227,13 @@ pub fn run(config: &RunConfig) -> RunMetrics {
             let histogram = histogram.clone();
             let completion_counters = counters.clone();
             let created = packet.created;
-            let admission = station.submit(sim, demand, move |sim2, completion| {
+            // Completions are attributed to the measurement window by
+            // *arrival* time: a request arriving during warmup never counts,
+            // even if it finishes after the boundary, so
+            // `completed + dropped <= sent` holds by construction.
+            let admission = station.submit(sim, demand, move |_, completion| {
                 let rtt = completion.finished.duration_since(created) + fixed_rt;
-                if sim2.now() >= warmup_at {
+                if measured {
                     let mut c = completion_counters.borrow_mut();
                     c.1 += 1;
                     histogram.borrow_mut().record(rtt.as_nanos());
@@ -244,7 +248,13 @@ pub fn run(config: &RunConfig) -> RunMetrics {
 
     // --- Collect -------------------------------------------------------------
     let now = sim.now();
-    let window = now.saturating_duration_since(warmup_at).as_secs_f64();
+    // Rates divide by the offered window [warmup, stop]. After `stop` the
+    // generator is silent but the simulation keeps draining the queue;
+    // those completions still contribute latency samples, yet crediting
+    // their drain time to the window would understate every rate on
+    // saturated runs.
+    let stop = SimTime::ZERO + config.duration;
+    let window = stop.saturating_duration_since(warmup_at).as_secs_f64();
     let (sent, completed, dropped) = *counters.borrow();
     let hist = histogram.borrow();
     let util = station.finalize_stats(now).utilization(servers, now);
@@ -262,7 +272,7 @@ pub fn run(config: &RunConfig) -> RunMetrics {
     };
     let (host_cpu_util, snic_util) =
         attribute_utilization(config, &calib.service, util, achieved_gbps);
-    RunMetrics {
+    let metrics = RunMetrics {
         offered_ops: if window > 0.0 {
             sent as f64 / window
         } else {
@@ -277,7 +287,15 @@ pub fn run(config: &RunConfig) -> RunMetrics {
         service_util: util,
         host_cpu_util,
         snic_util,
+    };
+    if crate::conformance::audit_enabled() {
+        crate::conformance::assert_run_conformant(
+            &format!("{} on {}", config.workload, config.platform),
+            &metrics,
+            &station,
+        );
     }
+    metrics
 }
 
 /// Maps the serving resource's utilization onto the two power-model
@@ -472,6 +490,87 @@ mod tests {
             ExecutionPlatform::SnicAccelerator,
             OfferedLoad::OpsPerSec(1_000.0),
         );
+    }
+
+    #[test]
+    fn warmup_boundary_cannot_drive_loss_negative() {
+        // Regression: a 3x-overload run whose measurement window opens with
+        // a full queue. Before the fix, the ~2k requests that arrived during
+        // warmup but completed after it were counted as completions without
+        // ever being counted as sent, so with a window this short
+        // `completed > sent` and loss_rate() went negative — silently
+        // passing the sustainability check. Completions are now attributed
+        // by arrival time.
+        let mut cfg = RunConfig::new(
+            Workload::MicroUdp(PacketSize::Large),
+            ExecutionPlatform::HostCpu,
+            OfferedLoad::OpsPerSec(10_000_000.0),
+        );
+        cfg.duration = SimDuration::from_micros(10_100);
+        cfg.warmup = SimDuration::from_millis(10);
+        let m = run(&cfg);
+        assert!(
+            m.completed + m.dropped <= m.sent,
+            "conservation violated: completed {} + dropped {} > sent {}",
+            m.completed,
+            m.dropped,
+            m.sent
+        );
+        let loss = m.loss_rate();
+        assert!((0.0..=1.0).contains(&loss), "loss_rate {loss} out of [0,1]");
+    }
+
+    #[test]
+    fn drain_does_not_inflate_the_measurement_window() {
+        // Regression: on a saturated run the post-`stop` queue drain used to
+        // be credited to the rate window (`sim.now()` after the run), so a
+        // short window divided by window + drain understated offered_ops by
+        // >20%. The window is now clamped to `stop - warmup`.
+        let mut cfg = RunConfig::new(
+            Workload::MicroUdp(PacketSize::Large),
+            ExecutionPlatform::HostCpu,
+            OfferedLoad::OpsPerSec(10_000_000.0),
+        );
+        cfg.duration = SimDuration::from_millis(12);
+        cfg.warmup = SimDuration::from_millis(10);
+        let m = run(&cfg);
+        assert!(
+            (m.offered_ops - 10_000_000.0).abs() / 10_000_000.0 < 0.1,
+            "offered_ops {} should track the 10M offered rate",
+            m.offered_ops
+        );
+        // Achieved stays near capacity: completions are counted over the
+        // same clamped window.
+        let cap = calibration::analytic_capacity_ops(
+            Workload::MicroUdp(PacketSize::Large),
+            ExecutionPlatform::HostCpu,
+        )
+        .unwrap();
+        assert!(
+            m.achieved_ops <= m.offered_ops && m.achieved_ops > 0.5 * cap,
+            "achieved {} vs capacity {cap}",
+            m.achieved_ops
+        );
+    }
+
+    #[test]
+    fn audited_runs_pass_the_conformance_checks() {
+        for (w, p, rate) in [
+            (
+                Workload::MicroUdp(PacketSize::Large),
+                ExecutionPlatform::HostCpu,
+                10_000_000.0, // saturating
+            ),
+            (
+                Workload::Redis(YcsbWorkload::A),
+                ExecutionPlatform::SnicCpu,
+                300_000.0,
+            ),
+        ] {
+            let m = quick(w, p, OfferedLoad::OpsPerSec(rate));
+            let violations = crate::conformance::check_metrics(&m);
+            assert!(violations.is_empty(), "{w} on {p}: {violations:?}");
+        }
     }
 
     #[test]

@@ -88,15 +88,21 @@ pub fn rate_sweep_with(config: &SweepConfig, executor: &Executor) -> Vec<SweepPo
     })
 }
 
-/// The knee of a sweep: the highest offered rate still absorbed.
+/// The knee of a sweep: the highest offered rate still absorbed *below the
+/// first saturated point* (in the probe grid's order, i.e. ascending rate).
+///
+/// Stopping at the first saturated point matters when verdicts are
+/// non-monotone — a noisy pass at a rate above a failing one must not
+/// report a knee beyond a rate the server demonstrably could not absorb.
 pub fn knee_gbps(points: &[SweepPoint]) -> Option<f64> {
-    points
-        .iter()
-        .filter(|p| !p.saturated)
-        .map(|p| p.offered_gbps)
-        .fold(None, |acc: Option<f64>, v| {
-            Some(acc.map_or(v, |a| a.max(v)))
-        })
+    let mut knee: Option<f64> = None;
+    for p in points {
+        if p.saturated {
+            break;
+        }
+        knee = Some(knee.map_or(p.offered_gbps, |k| k.max(p.offered_gbps)));
+    }
+    knee
 }
 
 #[cfg(test)]
@@ -171,6 +177,26 @@ mod tests {
             points[0].p99_us,
             points[1].p99_us
         );
+    }
+
+    #[test]
+    fn knee_stops_at_the_first_saturated_point() {
+        // Regression: a non-monotone sweep (pass, FAIL, pass) used to
+        // report the knee at 30 G — above a rate that demonstrably
+        // saturated. The knee is the highest rate below the first failure.
+        let point = |gbps: f64, saturated: bool| SweepPoint {
+            offered_gbps: gbps,
+            achieved_gbps: if saturated { gbps * 0.7 } else { gbps },
+            p99_us: if saturated { 1e4 } else { 20.0 },
+            saturated,
+        };
+        let points = vec![point(10.0, false), point(20.0, true), point(30.0, false)];
+        assert_eq!(knee_gbps(&points), Some(10.0));
+        // Monotone sweeps keep their old answer.
+        let points = vec![point(10.0, false), point(20.0, false), point(30.0, true)];
+        assert_eq!(knee_gbps(&points), Some(20.0));
+        let points = vec![point(10.0, false), point(20.0, false)];
+        assert_eq!(knee_gbps(&points), Some(20.0));
     }
 
     #[test]

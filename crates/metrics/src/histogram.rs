@@ -213,6 +213,25 @@ impl LatencyHistogram {
     pub fn p99(&self) -> u64 {
         self.percentile(99.0)
     }
+
+    /// Internal-consistency check used by the conformance audit layer:
+    /// the bucket counts sum to `count`, the extrema bracket the mean, and
+    /// the percentile function is monotone (`p0 <= p50 <= p99 <= p100`).
+    pub fn consistent(&self) -> bool {
+        if self.counts.iter().sum::<u64>() != self.count {
+            return false;
+        }
+        if self.is_empty() {
+            return true;
+        }
+        let (min, max, mean) = (self.min(), self.max(), self.mean());
+        min <= max
+            && mean >= min as f64
+            && mean <= max as f64
+            && self.percentile(0.0) <= self.median()
+            && self.median() <= self.p99()
+            && self.p99() <= self.percentile(100.0)
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +287,26 @@ mod tests {
         h.record(20);
         h.record(60);
         assert_eq!(h.mean(), 30.0);
+    }
+
+    #[test]
+    fn consistency_check_holds_for_any_recording() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.consistent(), "empty histogram");
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for _ in 0..10_000 {
+            // Cheap xorshift spanning many magnitudes.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.record(x >> (x % 50));
+            debug_assert!(h.consistent());
+        }
+        assert!(h.consistent());
+        let mut other = LatencyHistogram::new();
+        other.record_n(3, 500);
+        h.merge(&other);
+        assert!(h.consistent(), "after merge");
     }
 
     #[test]

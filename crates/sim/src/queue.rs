@@ -26,6 +26,8 @@ pub struct FifoStats {
     pub accepted: u64,
     /// Items dropped because the queue was full.
     pub dropped: u64,
+    /// Items removed from the queue by [`BoundedFifo::dequeue`].
+    pub dequeued: u64,
     /// High-water mark of queue depth.
     pub max_depth: usize,
 }
@@ -38,6 +40,13 @@ impl FifoStats {
         } else {
             self.dropped as f64 / self.offered as f64
         }
+    }
+
+    /// The flow-conservation law of the counters alone:
+    /// `offered = accepted + dropped` and `dequeued <= accepted`. The
+    /// conformance audit layer checks this on every queue it can reach.
+    pub fn conserved(&self) -> bool {
+        self.offered == self.accepted + self.dropped && self.dequeued <= self.accepted
     }
 }
 
@@ -110,7 +119,17 @@ impl<T> BoundedFifo<T> {
 
     /// Removes and returns the oldest item.
     pub fn dequeue(&mut self) -> Option<T> {
-        self.items.pop_front()
+        let item = self.items.pop_front();
+        if item.is_some() {
+            self.stats.dequeued += 1;
+        }
+        item
+    }
+
+    /// The queue's full conservation law: counters agree with the live
+    /// depth (`accepted - dequeued == len`).
+    pub fn conservation_holds(&self) -> bool {
+        self.stats.conserved() && self.stats.accepted - self.stats.dequeued == self.len() as u64
     }
 
     /// Borrows the oldest item without removing it.
@@ -197,5 +216,23 @@ mod tests {
     fn drop_rate_zero_when_unused() {
         let q = BoundedFifo::<u8>::unbounded();
         assert_eq!(q.stats().drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn conservation_holds_through_churn() {
+        let mut q = BoundedFifo::with_capacity(3);
+        assert!(q.conservation_holds());
+        for i in 0..10 {
+            q.enqueue(i);
+            assert!(q.conservation_holds(), "after enqueue {i}");
+            if i % 2 == 0 {
+                q.dequeue();
+                assert!(q.conservation_holds(), "after dequeue {i}");
+            }
+        }
+        let s = q.stats();
+        assert_eq!(s.offered, 10);
+        assert_eq!(s.accepted, s.dequeued + q.len() as u64);
+        assert!(s.conserved());
     }
 }

@@ -261,6 +261,17 @@ impl StationHandle {
         self.inner.borrow().stats
     }
 
+    /// The station's conservation law, checkable at *any* instant: every
+    /// arrival is accounted for as a completion, a drop, a job in service,
+    /// or a waiter. The conformance audit layer asserts this after every
+    /// experiment run (when it must reduce to
+    /// `arrivals == completions + dropped`, the queue having drained).
+    pub fn conservation_holds(&self) -> bool {
+        let st = self.inner.borrow();
+        st.stats.arrivals
+            == st.stats.completions + st.stats.dropped + st.busy as u64 + st.waiting.len() as u64
+    }
+
     /// Accumulates busy time up to `now` and returns the statistics.
     pub fn finalize_stats(&self, now: SimTime) -> StationStats {
         let mut st = self.inner.borrow_mut();
@@ -392,5 +403,25 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_servers_panics() {
         let _ = StationHandle::new("s", 0, None);
+    }
+
+    #[test]
+    fn conservation_holds_at_every_instant() {
+        let mut sim = Simulator::new();
+        let s = StationHandle::new("s", 2, Some(2));
+        assert!(s.conservation_holds(), "empty station");
+        for i in 0..8u64 {
+            s.submit(&mut sim, SimDuration::from_micros(5 + i), |_, _| {});
+            assert!(s.conservation_holds(), "after submit {i}");
+        }
+        // Step the clock event by event; the law must hold in between.
+        while sim.events_pending() > 0 {
+            let next = sim.now() + SimDuration::from_nanos(1);
+            sim.run_until(next);
+            assert!(s.conservation_holds(), "mid-run at {:?}", sim.now());
+        }
+        let stats = s.stats();
+        assert_eq!(stats.arrivals, stats.completions + stats.dropped);
+        assert_eq!(stats.dropped, 4, "2 in service + 2 queued admit 4 of 8");
     }
 }

@@ -1,0 +1,107 @@
+//! Property-based conformance tests: the measurement-accounting invariants
+//! that `snicbench_core::conformance` audits must hold for *any* workload,
+//! platform, offered rate, and window geometry — including the adversarial
+//! corners (warmup longer than the steady window, saturating load, drains
+//! across the warmup boundary) that previously produced negative loss
+//! rates and inflated rate windows.
+
+use proptest::prelude::*;
+
+use snicbench::core::benchmark::Workload;
+use snicbench::core::conformance::{self, probe, ProbeCase, ServiceLaw};
+use snicbench::core::runner::{run, OfferedLoad, RunConfig};
+use snicbench::core::sweep::{knee_gbps, SweepPoint};
+use snicbench::sim::SimDuration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `loss_rate()` is provably a probability and every conservation
+    /// invariant holds, for arbitrary (workload, platform, rate, window)
+    /// combinations — saturating rates and warmups that nearly consume the
+    /// whole run included.
+    #[test]
+    fn every_run_is_conformant(
+        widx in 0usize..64,
+        pidx in 0usize..4,
+        rate in 1_000.0f64..2_000_000.0,
+        duration_ms in 2u64..8,
+        warmup_frac in 0u64..100,
+        seed in 0u64..1_000_000,
+    ) {
+        let set = Workload::figure4_set();
+        let workload = set[widx % set.len()];
+        let platforms = workload.platforms();
+        let platform = platforms[pidx % platforms.len()];
+        let mut cfg = RunConfig::new(workload, platform, OfferedLoad::OpsPerSec(rate));
+        cfg.duration = SimDuration::from_millis(duration_ms);
+        // Warmup anywhere from 0% to 99% of the run, to stress the boundary.
+        cfg.warmup = SimDuration::from_nanos(
+            cfg.duration.as_nanos() / 100 * warmup_frac,
+        );
+        cfg.seed = seed;
+        let metrics = run(&cfg);
+        let loss = metrics.loss_rate();
+        prop_assert!((0.0..=1.0).contains(&loss), "loss_rate {loss} outside [0,1]");
+        prop_assert!(metrics.completed + metrics.dropped <= metrics.sent);
+        let violations = conformance::check_metrics(&metrics);
+        prop_assert!(
+            violations.is_empty(),
+            "{workload} on {platform}: {violations:?}"
+        );
+    }
+
+    /// A dedicated M/M/c probe lands near the analytic utilization for any
+    /// (servers, rho) — a coarse-grained version of the grid the
+    /// `conformance` binary checks at full resolution.
+    #[test]
+    fn probe_utilization_tracks_erlang(
+        servers in 1usize..5,
+        rho_pct in 10u64..90,
+        seed in 0u64..10_000,
+    ) {
+        let case = ProbeCase {
+            label: format!("prop M/M/{servers}"),
+            servers,
+            rho: rho_pct as f64 / 100.0,
+            law: ServiceLaw::Markovian,
+            queue: None,
+        };
+        let result = probe(&case, 20_000, seed);
+        // Short probes get a loose band; the binary enforces the tight one.
+        prop_assert!(
+            result.util_error() < 0.05,
+            "util {:.4} vs {:.4}",
+            result.sim_util,
+            result.analytic_util
+        );
+    }
+
+    /// `knee_gbps` never reports a rate at or beyond the first saturated
+    /// point, for any verdict pattern — monotone or not.
+    #[test]
+    fn knee_never_crosses_saturation(verdicts in proptest::collection::vec(any::<bool>(), 0..12)) {
+        let points: Vec<SweepPoint> = verdicts
+            .iter()
+            .enumerate()
+            .map(|(i, &saturated)| SweepPoint {
+                offered_gbps: (i + 1) as f64,
+                achieved_gbps: (i + 1) as f64,
+                p99_us: 10.0,
+                saturated,
+            })
+            .collect();
+        let knee = knee_gbps(&points);
+        let first_bad = verdicts.iter().position(|&s| s);
+        match (knee, first_bad) {
+            (Some(k), Some(b)) => prop_assert!(
+                k < points[b].offered_gbps,
+                "knee {k} not below first saturated rate {}",
+                points[b].offered_gbps
+            ),
+            (Some(k), None) => prop_assert_eq!(k, points.len() as f64),
+            (None, Some(b)) => prop_assert_eq!(b, 0, "knee missing despite passing prefix"),
+            (None, None) => prop_assert!(points.is_empty()),
+        }
+    }
+}

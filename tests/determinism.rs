@@ -122,3 +122,38 @@ fn traces_and_workload_streams_replay_exactly() {
     assert_eq!(ops(4), ops(4));
     assert_ne!(ops(4), ops(5));
 }
+
+#[test]
+fn conformance_probes_are_identical_across_job_counts() {
+    use snicbench::core::conformance::{probe, probe_grid, ProbeResult};
+    let cases: Vec<(usize, _)> = probe_grid().into_iter().enumerate().collect();
+    let run_grid = |jobs| -> Vec<ProbeResult> {
+        Executor::new(jobs).map(cases.clone(), |(i, case)| probe(&case, 2_000, 0xC0F0 + i as u64))
+    };
+    assert_eq!(
+        run_grid(1),
+        run_grid(8),
+        "probe grid diverged across job counts"
+    );
+}
+
+#[test]
+fn auditing_never_perturbs_the_measurement() {
+    use snicbench::core::conformance::set_audit;
+    let cfg = || {
+        let mut c = RunConfig::new(
+            Workload::Rem(RemRuleset::FileImage),
+            ExecutionPlatform::SnicAccelerator,
+            OfferedLoad::OpsPerSec(500_000.0),
+        );
+        c.duration = SimDuration::from_millis(40);
+        c.warmup = SimDuration::from_millis(5);
+        c.seed = 0xA0D1;
+        c
+    };
+    let plain = run(&cfg());
+    set_audit(true);
+    let audited = run(&cfg());
+    set_audit(false);
+    assert_eq!(plain, audited, "--audit changed the measured numbers");
+}

@@ -1,12 +1,18 @@
 #!/bin/bash
-# Tier-1 gate: release build, full test suite, and the executor's
-# determinism contract (fig4 --quick must be byte-identical on stdout at
-# --jobs 1 and --jobs 4).
+# Tier-1 gate: release build, full test suite, the simulator conformance
+# harness (closed-form queueing theory cross-check + per-run invariant
+# audit of every Fig. 4 cell), and the executor's determinism contract
+# (fig4 --quick must be byte-identical on stdout at --jobs 1 and --jobs 4).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
+
+echo "==== conformance: simulator vs queueing theory + invariant audit ===="
+# Exits non-zero if any probe case leaves the tolerance band or any run
+# violates a conservation invariant.
+./target/release/conformance --quick --jobs 4
 
 echo "==== determinism smoke: fig4 --quick --jobs 1 vs --jobs 4 ===="
 out1=$(mktemp)
