@@ -3,7 +3,7 @@
 //! table is trusted.
 //!
 //! ```text
-//! cargo run --release -p snicbench-bench --bin conformance [-- --quick] [--jobs N] [--grid-only]
+//! cargo run --release -p snicbench-bench --bin conformance [-- --quick] [--jobs N] [--grid-only] [--json PATH]
 //! ```
 //!
 //! Stage 1 drives a dedicated station simulation over the (ρ, c, CV) probe
@@ -16,12 +16,13 @@
 //! disordered percentiles) aborts with a diagnostic. The process exits
 //! non-zero on any failure; `tier1.sh` runs the quick profile as a gate.
 
+use snicbench_bench::cli::Cli;
 use snicbench_core::conformance::{
     probe, probe_grid, set_audit, ProbeResult, PROBE_ARRIVALS, PROBE_ARRIVALS_QUICK,
     UTIL_TOLERANCE, WAIT_TOLERANCE,
 };
-use snicbench_core::executor::Executor;
-use snicbench_core::experiment::{figure4_with, SearchBudget};
+use snicbench_core::experiment::Scenario;
+use snicbench_core::json::Json;
 use snicbench_core::report::TextTable;
 
 fn fmt_pct(v: f64) -> String {
@@ -29,10 +30,26 @@ fn fmt_pct(v: f64) -> String {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let grid_only = args.iter().any(|a| a == "--grid-only");
-    let executor = Executor::from_args(&args);
+    let args = Cli::new(
+        "conformance",
+        "Proves the simulator against closed-form queueing theory (stage 1) and\n\
+         audits conservation invariants on every Fig. 4 cell (stage 2).",
+    )
+    .flag("--grid-only", "run only the closed-form probe grid (stage 1)")
+    .parse();
+    if args.list {
+        println!(
+            "Conformance stages:\n  \
+             stage 1: {} (rho, c, CV) probe cases vs closed forms\n  \
+             stage 2: every Fig. 4 cell re-measured with per-run auditing",
+            probe_grid().len()
+        );
+        return;
+    }
+    let quick = args.quick;
+    let grid_only = args.has("--grid-only");
+    let executor = args.executor();
+    let ctx = args.context();
     let arrivals = if quick {
         PROBE_ARRIVALS_QUICK
     } else {
@@ -91,7 +108,15 @@ fn main() {
         std::process::exit(1);
     }
     println!("grid: all {} cases within tolerance\n", results.len());
+    let stage_json = |cells: u64| {
+        Json::obj([
+            ("grid_cases", Json::U64(results.len() as u64)),
+            ("grid_failures", Json::U64(grid_failures as u64)),
+            ("stage2_cells", Json::U64(cells)),
+        ])
+    };
     if grid_only {
+        args.write_outputs("conformance", stage_json(0), &ctx);
         return;
     }
 
@@ -101,7 +126,7 @@ fn main() {
     // panics on the first violation — an abort here IS the failure signal.
     eprintln!("# re-measuring every Fig. 4 cell with per-run invariant auditing...");
     set_audit(true);
-    let rows = figure4_with(SearchBudget::quick(), &executor);
+    let rows = Scenario::fig4().quick().run_with(&ctx, &executor);
     set_audit(false);
     println!(
         "Conformance stage 2 — {} Fig. 4 cells measured, every run audited: \
@@ -110,4 +135,5 @@ fn main() {
         rows.len()
     );
     println!("conformance: PASS");
+    args.write_outputs("conformance", stage_json(rows.len() as u64), &ctx);
 }

@@ -3,7 +3,7 @@
 //! CPU running the same function.
 //!
 //! ```text
-//! cargo run --release -p snicbench-bench --bin fig4 [-- --quick | --list] [--jobs N]
+//! cargo run --release -p snicbench-bench --bin fig4 [-- --quick | --list] [--jobs N] [--json PATH] [--trace PATH]
 //! ```
 //!
 //! `--jobs N` (or `SNICBENCH_JOBS`) sizes the experiment executor; the
@@ -11,17 +11,41 @@
 //! exact legacy serial path. Output is byte-identical at any job count.
 //! `--audit` asserts the conservation invariants at the end of every
 //! simulation run (panics with a diagnostic on the first violation).
+//! `--json` / `--trace` export every measurement run's telemetry — the
+//! per-station utilization and queue-depth timelines that show *which*
+//! station saturates at each operating point.
 
+use snicbench_bench::cli::Cli;
 use snicbench_core::benchmark::{FunctionCategory, Workload};
-use snicbench_core::executor::Executor;
-use snicbench_core::experiment::{figure4_with, SearchBudget};
+use snicbench_core::experiment::{ComparisonRow, Scenario};
+use snicbench_core::json::Json;
 use snicbench_core::observations;
 use snicbench_core::report::{fmt_throughput, ratio_bar, TextTable};
 
+fn results_json(rows: &[ComparisonRow]) -> Json {
+    Json::arr(rows.iter().map(|r| {
+        Json::obj([
+            ("workload", Json::str(r.workload.name())),
+            ("snic_platform", Json::str(r.snic_platform.code())),
+            ("host_max_ops", Json::Num(r.host.max_ops)),
+            ("snic_max_ops", Json::Num(r.snic.max_ops)),
+            ("host_p99_us", Json::Num(r.host.p99_us)),
+            ("snic_p99_us", Json::Num(r.snic.p99_us)),
+            ("throughput_ratio", Json::Num(r.throughput_ratio())),
+            ("p99_ratio", Json::Num(r.p99_ratio())),
+            ("efficiency_ratio", Json::Num(r.efficiency_ratio())),
+        ])
+    }))
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    snicbench_core::conformance::audit_from_args(&args);
-    if args.iter().any(|a| a == "--list") {
+    let args = Cli::new(
+        "fig4",
+        "Regenerates Fig. 4: SNIC/host normalized maximum throughput and p99 latency\n\
+         for every Table 3 workload configuration.",
+    )
+    .parse();
+    if args.list {
         println!("Table 3 benchmark matrix (workload, stack, platforms):");
         let mut t = TextTable::new(vec!["workload", "stack", "platforms", "category"]);
         for w in Workload::figure4_set() {
@@ -36,18 +60,16 @@ fn main() {
         println!("{t}");
         return;
     }
-    let budget = if args.iter().any(|a| a == "--quick") {
-        SearchBudget::quick()
-    } else {
-        SearchBudget::default()
-    };
-    let executor = Executor::from_args(&args);
+    let executor = args.executor();
+    let ctx = args.context();
 
     eprintln!(
         "# measuring 29 workload configurations on host and SNIC platforms (jobs={})...",
         executor.jobs()
     );
-    let rows = figure4_with(budget, &executor);
+    let rows = Scenario::fig4()
+        .budget(args.budget())
+        .run_with(&ctx, &executor);
 
     println!("Fig. 4 — SNIC/host normalized maximum throughput and p99 latency");
     println!("(bars: '|' marks 1.0 = host parity; capped at 4.0)\n");
@@ -108,4 +130,6 @@ fn main() {
             report.evidence
         );
     }
+
+    args.write_outputs("fig4", results_json(&rows), &ctx);
 }

@@ -3,25 +3,25 @@
 //! MTU-sized packets and the `file_image` / `file_executable` rule sets.
 //!
 //! ```text
-//! cargo run --release -p snicbench-bench --bin fig5 [-- --quick] [--jobs N]
+//! cargo run --release -p snicbench-bench --bin fig5 [-- --quick] [--jobs N] [--json PATH] [--trace PATH]
 //! ```
 //!
 //! `--jobs N` (or `SNICBENCH_JOBS`) parallelizes the sweep points;
 //! output is byte-identical at any job count (`--jobs 1` = serial).
+//! With `--json` / `--trace`, each series' knee point is re-run traced,
+//! so the report shows the saturating station at the knee.
 
+use snicbench_bench::cli::Cli;
 use snicbench_core::benchmark::Workload;
-use snicbench_core::executor::Executor;
+use snicbench_core::json::Json;
+use snicbench_core::experiment::Scenario;
 use snicbench_core::report::TextTable;
-use snicbench_core::sweep::{knee_gbps, rate_sweep_with, SweepConfig};
+use snicbench_core::sweep::{knee_gbps, SweepConfig, SweepPoint};
 use snicbench_functions::rem::RemRuleset;
 use snicbench_hw::ExecutionPlatform;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    snicbench_core::conformance::audit_from_args(&args);
-    let quick = args.iter().any(|a| a == "--quick");
-    let executor = Executor::from_args(&args);
-    let series: Vec<(&str, Workload, ExecutionPlatform)> = vec![
+fn series() -> Vec<(&'static str, Workload, ExecutionPlatform)> {
+    vec![
         (
             "host 8-core, file_image",
             Workload::RemMtu(RemRuleset::FileImage),
@@ -37,11 +37,57 @@ fn main() {
             Workload::RemMtu(RemRuleset::FileExecutable),
             ExecutionPlatform::SnicAccelerator,
         ),
-    ];
+    ]
+}
+
+fn series_json(label: &str, points: &[SweepPoint]) -> Json {
+    Json::obj([
+        ("series", Json::str(label)),
+        (
+            "knee_gbps",
+            knee_gbps(points).map_or(Json::Null, Json::Num),
+        ),
+        (
+            "points",
+            Json::arr(points.iter().map(|p| {
+                Json::obj([
+                    ("offered_gbps", Json::Num(p.offered_gbps)),
+                    ("achieved_gbps", Json::Num(p.achieved_gbps)),
+                    ("p99_us", Json::Num(p.p99_us)),
+                    ("saturated", Json::Bool(p.saturated)),
+                ])
+            })),
+        ),
+    ])
+}
+
+fn main() {
+    let args = Cli::new(
+        "fig5",
+        "Regenerates Fig. 5: REM throughput and p99 latency versus offered packet\n\
+         rate (MTU packets) on the host CPU and the SNIC accelerator.",
+    )
+    .parse();
+    if args.list {
+        println!("Fig. 5 sweep series (2.5 -> 100 Gb/s in 2.5 Gb/s steps):");
+        let mut t = TextTable::new(vec!["series", "workload", "platform"]);
+        for (label, workload, platform) in series() {
+            t.row(vec![
+                label.to_string(),
+                workload.name(),
+                platform.code().to_string(),
+            ]);
+        }
+        println!("{t}");
+        return;
+    }
+    let executor = args.executor();
+    let ctx = args.context();
     println!("Fig. 5 — REM throughput and p99 latency vs offered rate (MTU packets)\n");
-    for (label, workload, platform) in series {
+    let mut results = Vec::new();
+    for (label, workload, platform) in series() {
         let mut cfg = SweepConfig::figure5(workload, platform);
-        if quick {
+        if args.quick {
             cfg.offered_gbps = (1..=10).map(|i| i as f64 * 10.0).collect();
             cfg.ops_per_point = 8_000.0;
         }
@@ -50,7 +96,7 @@ fn main() {
             cfg.offered_gbps.len(),
             executor.jobs()
         );
-        let points = rate_sweep_with(&cfg, &executor);
+        let points = Scenario::sweep(cfg).run_with(&ctx, &executor);
         println!("-- {label} --");
         let mut t = TextTable::new(vec![
             "offered (Gb/s)",
@@ -75,9 +121,11 @@ fn main() {
             Some(k) => println!("knee: ~{k:.1} Gb/s\n"),
             None => println!("knee: below the lowest probed rate\n"),
         }
+        results.push(series_json(label, &points));
     }
     println!(
         "Paper reference: host knee ~40G (img) / ~78G (exe); accelerator caps ~50G\n\
          with p99 ~25us flat below the cap (host ~5.1us at its operating point)."
     );
+    args.write_outputs("fig5", Json::Arr(results), &ctx);
 }

@@ -3,37 +3,71 @@
 //! maximum-throughput operating point.
 //!
 //! ```text
-//! cargo run --release -p snicbench-bench --bin fig6 [-- --quick] [--jobs N]
+//! cargo run --release -p snicbench-bench --bin fig6 [-- --quick] [--jobs N] [--json PATH] [--trace PATH]
 //! ```
 //!
 //! `--jobs N` (or `SNICBENCH_JOBS`) parallelizes the independent
 //! operating-point measurements; output is byte-identical at any job
-//! count (`--jobs 1` = serial).
+//! count (`--jobs 1` = serial). With `--json` / `--trace`, each
+//! measurement run carries its BMC and riser power timelines.
 
+use snicbench_bench::cli::Cli;
 use snicbench_core::benchmark::{FunctionCategory, Workload};
 use snicbench_core::executor::Executor;
-use snicbench_core::experiment::{compare, SearchBudget};
+use snicbench_core::experiment::{compare_in, ComparisonRow};
+use snicbench_core::json::Json;
 use snicbench_core::report::{ratio_bar, TextTable};
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    snicbench_core::conformance::audit_from_args(&args);
-    let budget = if args.iter().any(|a| a == "--quick") {
-        SearchBudget::quick()
-    } else {
-        SearchBudget::default()
-    };
-    let executor = Executor::from_args(&args);
-    let workloads: Vec<Workload> = Workload::figure4_set()
+fn workloads() -> Vec<Workload> {
+    Workload::figure4_set()
         .into_iter()
         .filter(|w| w.category() != FunctionCategory::Microbenchmark)
-        .collect();
+        .collect()
+}
+
+fn results_json(rows: &[ComparisonRow]) -> Json {
+    Json::arr(rows.iter().map(|r| {
+        Json::obj([
+            ("workload", Json::str(r.workload.name())),
+            ("host_system_w", Json::Num(r.host_power.system_w)),
+            ("host_snic_w", Json::Num(r.host_power.snic_w)),
+            ("host_active_w", Json::Num(r.host_power.active_w)),
+            ("snic_system_w", Json::Num(r.snic_power.system_w)),
+            ("snic_snic_w", Json::Num(r.snic_power.snic_w)),
+            ("snic_active_w", Json::Num(r.snic_power.active_w)),
+            ("efficiency_ratio", Json::Num(r.efficiency_ratio())),
+        ])
+    }))
+}
+
+fn main() {
+    let args = Cli::new(
+        "fig6",
+        "Regenerates Fig. 6: average power and SNIC/host normalized energy\n\
+         efficiency at each function's maximum-throughput operating point.",
+    )
+    .parse();
+    if args.list {
+        println!("Fig. 6 measures power at the operating point of:");
+        let mut t = TextTable::new(vec!["workload", "category"]);
+        for w in workloads() {
+            t.row(vec![w.name(), format!("{:?}", w.category())]);
+        }
+        println!("{t}");
+        return;
+    }
+    let budget = args.budget();
+    let executor = args.executor();
+    let ctx = args.context();
+    let workloads = workloads();
     eprintln!(
         "# measuring power at {} operating points (jobs={})...",
         workloads.len(),
         executor.jobs()
     );
-    let rows = executor.map(workloads, |w| compare(w, budget));
+    let rows = executor.map(workloads, |w| {
+        compare_in(w, budget, &Executor::serial(), &ctx)
+    });
 
     println!("Fig. 6 — average power and normalized energy efficiency");
     println!("(idle server: 252 W including the 29 W idle SNIC)\n");
@@ -71,4 +105,5 @@ fn main() {
         "Key Observation 5: the 252 W idle floor dominates, so efficiency\n\
          follows throughput regardless of which processor runs the function."
     );
+    args.write_outputs("fig6", results_json(&rows), &ctx);
 }

@@ -3,13 +3,30 @@
 //! ~0.76 Gb/s, diurnal swell, microbursts).
 //!
 //! ```text
-//! cargo run --release -p snicbench-bench --bin fig7
+//! cargo run --release -p snicbench-bench --bin fig7 [-- --json PATH]
 //! ```
 
+use snicbench_bench::cli::Cli;
+use snicbench_core::json::Json;
 use snicbench_core::report::{sparkline, TextTable};
 use snicbench_net::trace::hyperscaler_trace;
 
 fn main() {
+    let args = Cli::new(
+        "fig7",
+        "Regenerates Fig. 7: the hyperscaler network trace's data rate over time\n\
+         (synthetic reproduction of the reported statistics).",
+    )
+    .parse();
+    if args.list {
+        println!(
+            "Fig. 7 renders one synthetic hyperscaler trace:\n  \
+             3600 s at 10 s resolution, mean 0.76 Gb/s, seed 0xF167.\n\
+             No simulation runs; --trace output is empty for this tool."
+        );
+        return;
+    }
+    let ctx = args.context();
     let trace = hyperscaler_trace(3600, 0.76, 0xF167);
     println!("Fig. 7 — network data rate over time (synthetic hyperscaler trace)\n");
     println!(
@@ -44,4 +61,20 @@ fn main() {
         "The average rate is far below both the host's and the accelerator's\n\
          capacity — the regime where Table 4's comparison happens."
     );
+    let results = Json::obj([
+        ("duration_s", Json::U64(samples.len() as u64)),
+        ("mean_gbps", Json::Num(trace.mean_gbps())),
+        ("peak_gbps", Json::Num(trace.peak_gbps())),
+        (
+            "percentiles_gbps",
+            Json::obj([
+                ("p10", Json::Num(pct(10.0))),
+                ("p50", Json::Num(pct(50.0))),
+                ("p90", Json::Num(pct(90.0))),
+                ("p99", Json::Num(pct(99.0))),
+                ("p100", Json::Num(pct(100.0))),
+            ]),
+        ),
+    ]);
+    args.write_outputs("fig7", results, &ctx);
 }

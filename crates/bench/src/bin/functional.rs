@@ -4,27 +4,45 @@
 //! functioning (detections, round trips, hit rates, compression ratios).
 //!
 //! ```text
-//! cargo run --release -p snicbench-bench --bin functional [-- --jobs N]
+//! cargo run --release -p snicbench-bench --bin functional [-- --jobs N] [--json PATH]
 //! ```
 //!
 //! `--jobs N` (or `SNICBENCH_JOBS`) exercises the workloads concurrently;
 //! output is byte-identical at any job count (`--jobs 1` = serial).
 
+use snicbench_bench::cli::Cli;
 use snicbench_core::benchmark::{CryptoAlgo, FunctionCategory, Workload};
-use snicbench_core::executor::Executor;
 use snicbench_core::functional::exercise;
+use snicbench_core::json::Json;
 use snicbench_core::report::TextTable;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    snicbench_core::conformance::audit_from_args(&args);
-    let executor = Executor::from_args(&args);
-    println!("Functional exercise of every Fig. 4 workload implementation\n");
-    let workloads: Vec<Workload> = Workload::figure4_set()
+fn workloads() -> Vec<Workload> {
+    Workload::figure4_set()
         .into_iter()
         .filter(|w| w.category() != FunctionCategory::Microbenchmark)
-        .collect();
-    let reports = executor.map(workloads, |w| {
+        .collect()
+}
+
+fn main() {
+    let args = Cli::new(
+        "functional",
+        "Functionally exercises every Fig. 4 workload's real implementation\n\
+         (detections, round trips, hit rates, compression ratios).",
+    )
+    .parse();
+    if args.list {
+        println!("Workloads exercised functionally:");
+        let mut t = TextTable::new(vec!["workload", "category"]);
+        for w in workloads() {
+            t.row(vec![w.name(), format!("{:?}", w.category())]);
+        }
+        println!("{t}");
+        return;
+    }
+    let executor = args.executor();
+    let ctx = args.context();
+    println!("Functional exercise of every Fig. 4 workload implementation\n");
+    let reports = executor.map(workloads(), |w| {
         let ops = match w {
             Workload::Crypto(CryptoAlgo::Rsa) => 10,
             Workload::Compression(_) => 10,
@@ -48,4 +66,13 @@ fn main() {
          engine, the Deflate codec, the crypto stack, both KVS designs, NAT,\n\
          BM25, the megaflow cache, and the NVMe-oF target."
     );
+    let results = Json::arr(reports.iter().map(|r| {
+        Json::obj([
+            ("workload", Json::str(r.workload.name())),
+            ("ops", Json::U64(r.ops)),
+            ("positives", Json::U64(r.positives)),
+            ("note", Json::str(&r.note)),
+        ])
+    }));
+    args.write_outputs("functional", results, &ctx);
 }

@@ -12,8 +12,11 @@
 
 use std::time::Instant;
 
+use snicbench_bench::cli::Cli;
 use snicbench_core::executor::Executor;
-use snicbench_core::experiment::{figure4_with, SearchBudget};
+use snicbench_core::experiment::Scenario;
+use snicbench_core::json::Json;
+use snicbench_core::telemetry::RunContext;
 use snicbench_functions::artifacts;
 use snicbench_functions::ids::RulesetKind;
 use snicbench_functions::rem::RemRuleset;
@@ -32,10 +35,26 @@ fn build_all_artifacts() {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    snicbench_core::conformance::audit_from_args(&args);
-    let parallel = Executor::from_args(&args);
-    let budget = SearchBudget::quick();
+    let args = Cli::new(
+        "pipeline_timing",
+        "Times the experiment pipeline: artifact cache cold/warm, then the Fig. 4\n\
+         quick matrix serial vs parallel, asserting identical outputs.",
+    )
+    .parse();
+    if args.list {
+        println!(
+            "pipeline_timing stages:\n  \
+             1. artifacts_cold_build   (compile REM/Snort rule sets)\n  \
+             2. artifacts_warm_reuse   (cache hit path)\n  \
+             3. fig4_quick_serial      (--jobs 1)\n  \
+             4. fig4_quick_parallel    (--jobs N)\n\
+             Writes BENCH_pipeline.json; asserts serial == parallel."
+        );
+        return;
+    }
+    let parallel = args.executor();
+    let ctx = args.context();
+    let fig4 = Scenario::fig4().quick();
 
     // Stage 1/2: artifact cache, cold build then warm reuse.
     let t = Instant::now();
@@ -49,11 +68,11 @@ fn main() {
     // Stage 3/4: the Fig. 4 quick matrix, serial then parallel.
     eprintln!("# fig4 quick, serial...");
     let t = Instant::now();
-    let serial_rows = figure4_with(budget, &Executor::serial());
+    let serial_rows = fig4.run_with(&RunContext::disabled(), &Executor::serial());
     let serial_ms = ms(t);
     eprintln!("# fig4 quick, parallel (jobs={})...", parallel.jobs());
     let t = Instant::now();
-    let parallel_rows = figure4_with(budget, &parallel);
+    let parallel_rows = fig4.run_with(&ctx, &parallel);
     let parallel_ms = ms(t);
 
     let identical = serial_rows == parallel_rows;
@@ -67,4 +86,13 @@ fn main() {
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     print!("{json}");
     assert!(identical, "parallel rows diverged from serial rows");
+    let results = Json::obj([
+        ("artifacts_cold_ms", Json::Num(artifacts_cold_ms)),
+        ("artifacts_warm_ms", Json::Num(artifacts_warm_ms)),
+        ("fig4_quick_serial_ms", Json::Num(serial_ms)),
+        ("fig4_quick_parallel_ms", Json::Num(parallel_ms)),
+        ("parallel_speedup", Json::Num(speedup)),
+        ("serial_parallel_identical", Json::Bool(identical)),
+    ]);
+    args.write_outputs("pipeline_timing", results, &ctx);
 }

@@ -4,33 +4,47 @@
 //! that closes.
 //!
 //! ```text
-//! cargo run --release -p snicbench-bench --bin strategy1
+//! cargo run --release -p snicbench-bench --bin strategy1 [-- --quick] [--json PATH]
 //! ```
 
+use snicbench_bench::cli::Cli;
 use snicbench_core::benchmark::Workload;
-use snicbench_core::experiment::SearchBudget;
+use snicbench_core::json::Json;
 use snicbench_core::report::TextTable;
 use snicbench_core::whatif::project_strategy1;
 use snicbench_functions::ids::RulesetKind;
 use snicbench_functions::kvs::ycsb::YcsbWorkload;
 use snicbench_net::PacketSize;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    snicbench_core::conformance::audit_from_args(&args);
-    let budget = if args.iter().any(|a| a == "--quick") {
-        SearchBudget::quick()
-    } else {
-        SearchBudget::default()
-    };
-    let workloads = vec![
+fn workloads() -> Vec<Workload> {
+    vec![
         Workload::MicroUdp(PacketSize::Large),
         Workload::Redis(YcsbWorkload::A),
         Workload::Redis(YcsbWorkload::C),
         Workload::Snort(RulesetKind::FileExecutable),
         Workload::Nat { entries: 10_000 },
         Workload::Bm25 { documents: 100 },
-    ];
+    ]
+}
+
+fn main() {
+    let args = Cli::new(
+        "strategy1",
+        "Strategy 1 projection: SNIC/host throughput if the TCP/UDP stack moved\n\
+         into SNIC hardware (FlexTOE/AccelTCP taken to completion).",
+    )
+    .parse();
+    if args.list {
+        println!("Strategy 1 projects the kernel-stack workloads:");
+        let mut t = TextTable::new(vec!["workload", "stack"]);
+        for w in workloads() {
+            t.row(vec![w.name(), w.stack().to_string()]);
+        }
+        println!("{t}");
+        return;
+    }
+    let budget = args.budget();
+    let ctx = args.context();
     println!("Strategy 1 — projected SNIC/host throughput with a hardware TCP/UDP stack\n");
     let mut t = TextTable::new(vec![
         "workload",
@@ -39,7 +53,8 @@ fn main() {
         "SNIC speedup",
         "still host-bound?",
     ]);
-    for w in workloads {
+    let mut results = Vec::new();
+    for w in workloads() {
         eprintln!("# projecting {w}...");
         let p = project_strategy1(w, budget);
         t.row(vec![
@@ -54,6 +69,12 @@ fn main() {
             }
             .to_string(),
         ]);
+        results.push(Json::obj([
+            ("workload", Json::str(w.name())),
+            ("ratio_today", Json::Num(p.ratio_today())),
+            ("ratio_projected", Json::Num(p.ratio_projected())),
+            ("snic_speedup", Json::Num(p.snic_speedup())),
+        ]));
     }
     println!("{t}");
     println!(
@@ -62,4 +83,5 @@ fn main() {
          parity — wimpy cores are the second, independent handicap (KO4).\n\
          This is why the paper pairs Strategy 1 with Strategies 2 and 3."
     );
+    args.write_outputs("strategy1", Json::Arr(results), &ctx);
 }

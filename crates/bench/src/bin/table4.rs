@@ -3,17 +3,18 @@
 //! accelerator — throughput, p99 latency, and average power.
 //!
 //! ```text
-//! cargo run --release -p snicbench-bench --bin table4 [-- --jobs N]
+//! cargo run --release -p snicbench-bench --bin table4 [-- --jobs N] [--json PATH] [--trace PATH]
 //! ```
 //!
 //! `--jobs N` (or `SNICBENCH_JOBS`) runs the two platform replays
 //! concurrently; output is byte-identical at any job count.
 
+use snicbench_bench::cli::Cli;
 use snicbench_core::benchmark::Workload;
-use snicbench_core::executor::Executor;
-use snicbench_core::experiment::{measure_power, OperatingPoint};
+use snicbench_core::experiment::{measure_power_in, OperatingPoint};
+use snicbench_core::json::Json;
 use snicbench_core::report::TextTable;
-use snicbench_core::runner::{run, OfferedLoad, RunConfig};
+use snicbench_core::runner::{run_in, OfferedLoad, RunConfig};
 use snicbench_core::slo::Slo;
 use snicbench_functions::rem::RemRuleset;
 use snicbench_hw::ExecutionPlatform;
@@ -21,24 +22,37 @@ use snicbench_net::trace::hyperscaler_trace;
 use snicbench_sim::SimDuration;
 
 fn main() {
+    let args = Cli::new(
+        "table4",
+        "Regenerates Table 4: REM on the hyperscaler trace (file_executable, MTU)\n\
+         on the host CPU versus the SNIC accelerator.",
+    )
+    .parse();
     // Sec. 5.1: modified DPDK-Pktgen replays the trace's rate distribution
     // with MTU packets and the file_executable rule set. We replay 30 s of
     // trace (rates repeat; the mean matches the full hour).
     let workload = Workload::RemMtu(RemRuleset::FileExecutable);
+    if args.list {
+        println!(
+            "Table 4 replays 30 s of the hyperscaler trace (mean 0.76 Gb/s) with\n\
+             {workload} on:\n  host-cpu\n  snic-accelerator"
+        );
+        return;
+    }
     let trace = hyperscaler_trace(30, 0.76, 0xF167);
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    snicbench_core::conformance::audit_from_args(&args);
-    let executor = Executor::from_args(&args);
+    let executor = args.executor();
+    let ctx = args.context();
     let results = executor.map(
         vec![
             ExecutionPlatform::HostCpu,
             ExecutionPlatform::SnicAccelerator,
         ],
         |platform| {
+            let scope = ctx.scope(format!("{workload}/{platform}"));
             let mut cfg = RunConfig::new(workload, platform, OfferedLoad::Trace(trace.clone()));
             cfg.duration = SimDuration::from_secs(30);
             cfg.warmup = SimDuration::from_secs(2);
-            let metrics = run(&cfg);
+            let metrics = run_in(&cfg, &scope);
             let point = OperatingPoint {
                 workload,
                 platform,
@@ -47,7 +61,7 @@ fn main() {
                 p99_us: metrics.latency.p99_us,
                 metrics: metrics.clone(),
             };
-            let power = measure_power(&point, SimDuration::from_secs(60), 0x7AB4);
+            let power = measure_power_in(&point, SimDuration::from_secs(60), 0x7AB4, &scope);
             (platform, metrics, power)
         },
     );
@@ -86,4 +100,25 @@ fn main() {
         "Power reduction from offloading: {power_saving:.1}% (paper: ~9%) — \
          modest, because the idle server dominates."
     );
+    let side = |(platform, metrics, power): &(
+        ExecutionPlatform,
+        snicbench_core::runner::RunMetrics,
+        snicbench_core::experiment::PowerReport,
+    )| {
+        Json::obj([
+            ("platform", Json::str(platform.code())),
+            ("achieved_gbps", Json::Num(metrics.achieved_gbps)),
+            ("p99_us", Json::Num(metrics.latency.p99_us)),
+            ("system_w", Json::Num(power.system_w)),
+        ])
+    };
+    let results_json = Json::obj([
+        ("host", side(h)),
+        ("snic", side(s)),
+        ("slo_p99_us", Json::Num(slo.p99_us)),
+        ("host_meets_slo", Json::Bool(host_ok)),
+        ("snic_meets_slo", Json::Bool(snic_ok)),
+        ("power_saving_pct", Json::Num(power_saving)),
+    ]);
+    args.write_outputs("table4", results_json, &ctx);
 }

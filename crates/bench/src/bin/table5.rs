@@ -8,35 +8,34 @@
 //! scenario constants instead of simulating.
 //!
 //! ```text
-//! cargo run --release -p snicbench-bench --bin table5 [-- --paper] [--jobs N]
+//! cargo run --release -p snicbench-bench --bin table5 [-- --paper] [--jobs N] [--json PATH] [--trace PATH]
 //! ```
 //!
 //! `--jobs N` (or `SNICBENCH_JOBS`) runs the four application scenarios
 //! concurrently; output is byte-identical at any job count.
 
+use snicbench_bench::cli::Cli;
 use snicbench_core::benchmark::{CorpusKind, Workload};
 use snicbench_core::executor::Executor;
 use snicbench_core::experiment::{
-    find_operating_point, measure_power, OperatingPoint, SearchBudget,
+    find_operating_point_in, measure_power_in, OperatingPoint, SearchBudget,
 };
+use snicbench_core::json::Json;
 use snicbench_core::report::TextTable;
-use snicbench_core::runner::{run, OfferedLoad, RunConfig};
+use snicbench_core::runner::{run_in, OfferedLoad, RunConfig};
 use snicbench_core::tco::{analyze, paper_scenarios, TcoInputs, TcoScenario};
+use snicbench_core::telemetry::RunContext;
 use snicbench_functions::rem::RemRuleset;
 use snicbench_functions::storage::FioDirection;
 use snicbench_hw::ExecutionPlatform;
 use snicbench_net::trace::hyperscaler_trace;
 use snicbench_sim::SimDuration;
 
-fn measured_scenarios(budget: SearchBudget, executor: &Executor) -> Vec<TcoScenario> {
-    let window = SimDuration::from_secs(60);
-    // fio, OvS, and Compress deploy at their maximum throughput; REM
-    // deploys at the hyperscaler trace rate (Sec. 5.1/5.2), where
-    // capacity is not binding on either platform.
-    // (workload, powered-at-trace-rate?, demand-limited-capacity?).
-    // fio's fleet is demand-sized (the paper reports equal throughput);
-    // REM deploys at the trace rate on both axes.
-    let apps: [(&str, Workload, bool, bool); 4] = [
+// (scenario name, workload, powered-at-trace-rate?, demand-limited-capacity?).
+// fio's fleet is demand-sized (the paper reports equal throughput); REM
+// deploys at the trace rate on both axes.
+fn apps() -> [(&'static str, Workload, bool, bool); 4] {
+    [
         ("fio", Workload::Fio(FioDirection::RandRead), false, true),
         ("OVS", Workload::Ovs { load_pct: 100 }, false, true),
         (
@@ -51,9 +50,20 @@ fn measured_scenarios(budget: SearchBudget, executor: &Executor) -> Vec<TcoScena
             false,
             false,
         ),
-    ];
+    ]
+}
+
+fn measured_scenarios(
+    budget: SearchBudget,
+    executor: &Executor,
+    ctx: &RunContext,
+) -> Vec<TcoScenario> {
+    let window = SimDuration::from_secs(60);
+    // fio, OvS, and Compress deploy at their maximum throughput; REM
+    // deploys at the hyperscaler trace rate (Sec. 5.1/5.2), where
+    // capacity is not binding on either platform.
     eprintln!("# measuring 4 TCO scenarios (jobs={})...", executor.jobs());
-    executor.map(apps.to_vec(), |(name, w, trace_rate, demand_limited)| {
+    executor.map(apps().to_vec(), |(name, w, trace_rate, demand_limited)| {
         let snic_platform = snicbench_core::experiment::snic_side(w);
         let (scenario_host, scenario_snic, cap_host, cap_snic) = if trace_rate {
             let trace = hyperscaler_trace(30, 0.76, 0xF167);
@@ -61,7 +71,7 @@ fn measured_scenarios(budget: SearchBudget, executor: &Executor) -> Vec<TcoScena
                 let mut cfg = RunConfig::new(w, platform, OfferedLoad::Trace(trace.clone()));
                 cfg.duration = SimDuration::from_secs(30);
                 cfg.warmup = SimDuration::from_secs(2);
-                let metrics = run(&cfg);
+                let metrics = run_in(&cfg, &ctx.scope(format!("{w}/{platform}")));
                 OperatingPoint {
                     workload: w,
                     platform,
@@ -79,8 +89,9 @@ fn measured_scenarios(budget: SearchBudget, executor: &Executor) -> Vec<TcoScena
                 1.0,
             )
         } else {
-            let host = find_operating_point(w, ExecutionPlatform::HostCpu, budget);
-            let snic = find_operating_point(w, snic_platform, budget);
+            let host =
+                find_operating_point_in(w, ExecutionPlatform::HostCpu, budget, &Executor::serial(), ctx);
+            let snic = find_operating_point_in(w, snic_platform, budget, &Executor::serial(), ctx);
             let (ch, cs) = if demand_limited {
                 (1.0, 1.0)
             } else {
@@ -88,8 +99,10 @@ fn measured_scenarios(budget: SearchBudget, executor: &Executor) -> Vec<TcoScena
             };
             (host, snic, ch, cs)
         };
-        let host_power = measure_power(&scenario_host, window, 0x7C0);
-        let snic_power = measure_power(&scenario_snic, window, 0x7C1);
+        let host_scope = ctx.scope(format!("{w}/{}", scenario_host.platform));
+        let snic_scope = ctx.scope(format!("{w}/{}", scenario_snic.platform));
+        let host_power = measure_power_in(&scenario_host, window, 0x7C0, &host_scope);
+        let snic_power = measure_power_in(&scenario_snic, window, 0x7C1, &snic_scope);
         TcoScenario {
             name: name.into(),
             snic_capacity: cap_snic,
@@ -101,20 +114,43 @@ fn measured_scenarios(budget: SearchBudget, executor: &Executor) -> Vec<TcoScena
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    snicbench_core::conformance::audit_from_args(&args);
-    let use_paper = args.iter().any(|a| a == "--paper");
-    let budget = if args.iter().any(|a| a == "--quick") {
-        SearchBudget::quick()
-    } else {
-        SearchBudget::default()
-    };
-    let executor = Executor::from_args(&args);
+    let args = Cli::new(
+        "table5",
+        "Regenerates Table 5: the 5-year TCO comparison of an SNIC fleet versus a\n\
+         standard-NIC fleet for fio, OvS, REM, and Compress.",
+    )
+    .flag(
+        "--paper",
+        "print the paper's scenario constants instead of simulating",
+    )
+    .parse();
+    if args.list {
+        println!("Table 5 TCO scenarios:");
+        let mut t = TextTable::new(vec!["application", "workload", "deployment"]);
+        for (name, w, trace_rate, demand_limited) in apps() {
+            t.row(vec![
+                name.to_string(),
+                w.name(),
+                if trace_rate {
+                    "trace rate".into()
+                } else if demand_limited {
+                    "demand-limited".to_string()
+                } else {
+                    "max throughput".to_string()
+                },
+            ]);
+        }
+        println!("{t}");
+        return;
+    }
+    let use_paper = args.has("--paper");
+    let executor = args.executor();
+    let ctx = args.context();
     let inputs = TcoInputs::paper_default();
     let scenarios = if use_paper {
         paper_scenarios()
     } else {
-        measured_scenarios(budget, &executor)
+        measured_scenarios(args.budget(), &executor, &ctx)
     };
 
     println!(
@@ -131,6 +167,7 @@ fn main() {
         "TCO NIC",
         "savings",
     ]);
+    let mut results = Vec::new();
     for s in &scenarios {
         let row = analyze(s, &inputs);
         t.row(vec![
@@ -143,10 +180,17 @@ fn main() {
             format!("${:.0}", row.nic_tco),
             format!("{:+.1}%", row.savings() * 100.0),
         ]);
+        results.push(Json::obj([
+            ("application", Json::str(&row.name)),
+            ("snic_tco", Json::Num(row.snic_tco)),
+            ("nic_tco", Json::Num(row.nic_tco)),
+            ("savings", Json::Num(row.savings())),
+        ]));
     }
     println!("{t}");
     println!("Paper reference savings: fio +2.7%, OVS +1.7%, REM -2.5%, Compress +70.7%.");
     if !use_paper {
         println!("(Re-run with --paper to print the paper's scenario constants.)");
     }
+    args.write_outputs("table5", Json::Arr(results), &ctx);
 }

@@ -7,8 +7,10 @@
 //! cargo run -p snicbench-bench --bin tables
 //! ```
 
+use snicbench_bench::cli::Cli;
 use snicbench_core::benchmark::Workload;
 use snicbench_core::calibration::{self, ServiceModel};
+use snicbench_core::json::Json;
 use snicbench_core::report::TextTable;
 use snicbench_hw::server::Testbed;
 use snicbench_hw::specs;
@@ -143,7 +145,30 @@ fn table3_with_calibration() {
 }
 
 fn main() {
+    let args = Cli::new(
+        "tables",
+        "Renders Tables 1-3 and the calibration table from the models that\n\
+         encode them (no simulation runs).",
+    )
+    .parse();
+    if args.list {
+        println!(
+            "tables renders:\n  \
+             Table 1 — BlueField-2 specification\n  \
+             Table 2 — client/server system configurations\n  \
+             Table 3 + calibration — every benchmark cell with its source\n\
+             No simulation runs; --trace output is empty for this tool."
+        );
+        return;
+    }
+    let ctx = args.context();
     table1();
     table2();
     table3_with_calibration();
+    let results = Json::arr(
+        ["table1", "table2", "table3_with_calibration"]
+            .iter()
+            .map(|t| Json::str(*t)),
+    );
+    args.write_outputs("tables", results, &ctx);
 }

@@ -1,0 +1,337 @@
+//! The shared command-line layer for every regeneration binary.
+//!
+//! Before this module each bin hand-rolled its own flag scan; the copies
+//! drifted (one bin armed `--audit` before handling `--list`, so
+//! `--list --audit` flipped the global audit switch for a run that never
+//! happened) and flags were silently ignored where a copy forgot them.
+//! [`Cli`] centralizes the grammar:
+//!
+//! * `--quick` — the cheaper [`SearchBudget`].
+//! * `--list` — describe what the tool would run, then exit.
+//! * `--audit` — assert conservation invariants after every run.
+//! * `--jobs N` / `-j N` / `SNICBENCH_JOBS` — executor width.
+//! * `--json PATH` — write a versioned `RunReport` JSON.
+//! * `--trace PATH` — write a Chrome-trace JSON (loadable in Perfetto).
+//! * `-h` / `--help` — usage, listing any bin-specific extras too.
+//!
+//! Unknown or malformed arguments exit with status 2 after a uniform
+//! `tool: <error>` line plus the usage block. [`Cli::parse`] arms the
+//! audit switch itself — and only when `--list` is absent, which is the
+//! fix for the drift above.
+
+use snicbench_core::conformance;
+use snicbench_core::executor::Executor;
+use snicbench_core::experiment::SearchBudget;
+use snicbench_core::json::Json;
+use snicbench_core::telemetry::{chrome_trace_json, run_report, RunContext};
+
+/// Declares a binary's command line: its name, a one-line description,
+/// and any bin-specific boolean flags on top of the shared grammar.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    bin: &'static str,
+    about: &'static str,
+    extra: Vec<(&'static str, &'static str)>,
+}
+
+/// The parsed command line.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// Use [`SearchBudget::quick`].
+    pub quick: bool,
+    /// Describe what would run, then exit (the caller handles this).
+    pub list: bool,
+    /// Conservation-invariant auditing requested.
+    pub audit: bool,
+    /// Where to write the `RunReport` JSON, if anywhere.
+    pub json: Option<String>,
+    /// Where to write the Chrome-trace JSON, if anywhere.
+    pub trace: Option<String>,
+    jobs: Option<usize>,
+    extras: Vec<String>,
+}
+
+/// A parse failure: what to tell the user (the caller prefixes the tool
+/// name and appends the usage block).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable description of the offending argument.
+    pub message: String,
+}
+
+/// Outcome of a side-effect-free parse.
+#[derive(Debug, Clone)]
+pub enum Parsed {
+    /// Normal arguments.
+    Args(Args),
+    /// `-h`/`--help` was given.
+    Help,
+}
+
+impl Cli {
+    /// Declares a tool with the shared flag set.
+    pub fn new(bin: &'static str, about: &'static str) -> Self {
+        Cli {
+            bin,
+            about,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Adds a bin-specific boolean flag (spell it with the leading `--`).
+    pub fn flag(mut self, name: &'static str, help: &'static str) -> Self {
+        self.extra.push((name, help));
+        self
+    }
+
+    /// The usage block printed by `--help` and on errors.
+    pub fn usage(&self) -> String {
+        let extras: String = self
+            .extra
+            .iter()
+            .map(|(name, _)| format!(" [{name}]"))
+            .collect();
+        let mut text = format!(
+            "usage: {bin} [--quick] [--list] [--audit] [--jobs N] [--json PATH] [--trace PATH]{extras}\n\n{about}\n\noptions:\n",
+            bin = self.bin,
+            about = self.about,
+        );
+        let mut option = |flag: &str, help: &str| {
+            text.push_str(&format!("  {flag:<14} {help}\n"));
+        };
+        option("--quick", "use the cheaper search budget");
+        option("--list", "describe what this tool would run, then exit");
+        option(
+            "--audit",
+            "assert conservation invariants after every simulation run",
+        );
+        option(
+            "--jobs N",
+            "worker threads (default: SNICBENCH_JOBS or host parallelism)",
+        );
+        option("--json PATH", "write a versioned RunReport JSON to PATH");
+        option(
+            "--trace PATH",
+            "write a Chrome-trace JSON (load in Perfetto) to PATH",
+        );
+        for (name, help) in &self.extra {
+            option(name, help);
+        }
+        option("-h, --help", "print this help");
+        text
+    }
+
+    /// Parses the process arguments. On `--help`: prints usage, exits 0.
+    /// On a bad argument: prints `tool: <error>` and the usage to stderr,
+    /// exits 2. Arms the global audit switch when `--audit` is given
+    /// without `--list`.
+    pub fn parse(&self) -> Args {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match self.parse_from(&argv) {
+            Ok(Parsed::Help) => {
+                print!("{}", self.usage());
+                std::process::exit(0);
+            }
+            Ok(Parsed::Args(args)) => {
+                // The old per-bin copies armed auditing before handling
+                // `--list`, leaving the global switch set for a run that
+                // never happens; arming only for real runs fixes that.
+                conformance::set_audit(args.audit && !args.list);
+                args
+            }
+            Err(e) => {
+                eprintln!("{}: {}\n", self.bin, e.message);
+                eprint!("{}", self.usage());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The pure parser: no process exit, no global effects (tests use
+    /// this directly).
+    pub fn parse_from(&self, argv: &[String]) -> Result<Parsed, CliError> {
+        let mut args = Args::default();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            let mut value_of = |flag: &str| -> Result<String, CliError> {
+                it.next().cloned().ok_or_else(|| CliError {
+                    message: format!("{flag} requires a value"),
+                })
+            };
+            match a.as_str() {
+                "-h" | "--help" => return Ok(Parsed::Help),
+                "--quick" => args.quick = true,
+                "--list" => args.list = true,
+                "--audit" => args.audit = true,
+                "--jobs" | "-j" => args.jobs = Some(parse_jobs(&value_of(a)?)?),
+                "--json" => args.json = Some(value_of(a)?),
+                "--trace" => args.trace = Some(value_of(a)?),
+                other => {
+                    if let Some(v) = other.strip_prefix("--jobs=") {
+                        args.jobs = Some(parse_jobs(v)?);
+                    } else if let Some(v) = other.strip_prefix("--json=") {
+                        args.json = Some(v.to_string());
+                    } else if let Some(v) = other.strip_prefix("--trace=") {
+                        args.trace = Some(v.to_string());
+                    } else if self.extra.iter().any(|(name, _)| name == &other) {
+                        args.extras.push(other.to_string());
+                    } else {
+                        return Err(CliError {
+                            message: format!("unrecognized argument '{other}'"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Parsed::Args(args))
+    }
+}
+
+fn parse_jobs(v: &str) -> Result<usize, CliError> {
+    match v.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(CliError {
+            message: format!("--jobs expects a positive integer, got '{v}'"),
+        }),
+    }
+}
+
+impl Args {
+    /// True when the bin-specific `flag` (with its leading `--`) was given.
+    pub fn has(&self, flag: &str) -> bool {
+        self.extras.iter().any(|f| f == flag)
+    }
+
+    /// The search budget selected by `--quick`.
+    pub fn budget(&self) -> SearchBudget {
+        if self.quick {
+            SearchBudget::quick()
+        } else {
+            SearchBudget::default()
+        }
+    }
+
+    /// The executor sized by `--jobs` (falling back to `SNICBENCH_JOBS`
+    /// or the host's available parallelism).
+    pub fn executor(&self) -> Executor {
+        match self.jobs {
+            Some(n) => Executor::new(n),
+            None => Executor::new(Executor::default_jobs()),
+        }
+    }
+
+    /// The observability context: collecting iff `--json` or `--trace`
+    /// was given, so runs stay zero-overhead otherwise.
+    pub fn context(&self) -> RunContext {
+        if self.json.is_some() || self.trace.is_some() {
+            RunContext::collecting()
+        } else {
+            RunContext::disabled()
+        }
+    }
+
+    /// Writes the requested output files: drains `ctx` once and renders
+    /// the Chrome trace (`--trace`) and/or the `RunReport` (`--json`,
+    /// with `results` as the tool-specific payload). A no-op when
+    /// neither flag was given. Exits 1 on an I/O failure.
+    pub fn write_outputs(&self, tool: &str, results: Json, ctx: &RunContext) {
+        if self.json.is_none() && self.trace.is_none() {
+            return;
+        }
+        let runs = ctx.drain();
+        let write = |path: &str, what: &str, doc: &Json| {
+            if let Err(e) = std::fs::write(path, doc.to_pretty()) {
+                eprintln!("{tool}: writing {what} to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("# {tool}: wrote {what} ({} run(s)) to {path}", runs.len());
+        };
+        if let Some(path) = &self.trace {
+            write(path, "Chrome trace", &chrome_trace_json(&runs));
+        }
+        if let Some(path) = &self.json {
+            write(path, "RunReport", &run_report(tool, results, &runs));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args_of(cli: &Cli, argv: &[&str]) -> Result<Args, CliError> {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        match cli.parse_from(&argv)? {
+            Parsed::Args(a) => Ok(a),
+            Parsed::Help => panic!("unexpected help"),
+        }
+    }
+
+    #[test]
+    fn shared_flags_parse() {
+        let cli = Cli::new("fig4", "test tool");
+        let a = args_of(
+            &cli,
+            &["--quick", "--audit", "--jobs", "4", "--json", "r.json"],
+        )
+        .unwrap();
+        assert!(a.quick && a.audit && !a.list);
+        assert_eq!(a.jobs, Some(4));
+        assert_eq!(a.json.as_deref(), Some("r.json"));
+        assert_eq!(a.trace, None);
+        assert_eq!(a.executor().jobs(), 4);
+    }
+
+    #[test]
+    fn equals_forms_parse() {
+        let cli = Cli::new("fig5", "test tool");
+        let a = args_of(&cli, &["--jobs=2", "--trace=t.json", "--json=r.json"]).unwrap();
+        assert_eq!(a.jobs, Some(2));
+        assert_eq!(a.trace.as_deref(), Some("t.json"));
+        assert_eq!(a.json.as_deref(), Some("r.json"));
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let cli = Cli::new("fig4", "test tool");
+        let err = args_of(&cli, &["--frobnicate"]).unwrap_err();
+        assert!(err.message.contains("--frobnicate"), "{}", err.message);
+    }
+
+    #[test]
+    fn extra_flags_are_per_bin() {
+        let cli = Cli::new("table5", "test tool").flag("--paper", "print paper constants");
+        let a = args_of(&cli, &["--paper"]).unwrap();
+        assert!(a.has("--paper"));
+        assert!(!a.has("--grid-only"));
+        // Another bin without the flag rejects it.
+        let plain = Cli::new("fig4", "test tool");
+        assert!(args_of(&plain, &["--paper"]).is_err());
+    }
+
+    #[test]
+    fn jobs_value_is_validated() {
+        let cli = Cli::new("fig4", "test tool");
+        assert!(args_of(&cli, &["--jobs", "0"]).is_err());
+        assert!(args_of(&cli, &["--jobs", "many"]).is_err());
+        assert!(args_of(&cli, &["--jobs"]).is_err());
+    }
+
+    #[test]
+    fn help_is_reported_not_parsed() {
+        let cli = Cli::new("fig4", "test tool").flag("--paper", "x");
+        let argv = vec!["--help".to_string()];
+        assert!(matches!(cli.parse_from(&argv), Ok(Parsed::Help)));
+        assert!(cli.usage().contains("--paper"));
+        assert!(cli.usage().contains("--trace PATH"));
+    }
+
+    #[test]
+    fn context_collects_only_with_output_flags() {
+        let cli = Cli::new("fig4", "test tool");
+        let a = args_of(&cli, &[]).unwrap();
+        assert!(!a.context().enabled());
+        let a = args_of(&cli, &["--trace", "t.json"]).unwrap();
+        assert!(a.context().enabled());
+    }
+}

@@ -4,5 +4,11 @@
 //! targets (`fig4`, `fig5`, `fig6`, `fig7`, `table4`, `table5`, and
 //! `conformance`, which proves the simulator against closed-form queueing
 //! theory and audits the conservation invariants) and the Criterion
-//! benches under `benches/`. Binaries that run simulations accept
-//! `--audit` to assert the invariants at the end of every run.
+//! benches under `benches/`.
+//!
+//! Every binary speaks the shared [`cli`] grammar: `--quick`, `--list`,
+//! `--audit`, `--jobs N`, and the observability outputs `--json PATH`
+//! (versioned `RunReport`) and `--trace PATH` (Chrome-trace JSON for
+//! Perfetto).
+
+pub mod cli;

@@ -248,9 +248,9 @@ impl ProbeResult {
     /// relative `wait_tol` on mean wait, absolute `util_tol` on utilization
     /// and blocking probability.
     pub fn within(&self, wait_tol: f64, util_tol: f64) -> bool {
-        self.wait_error().map_or(true, |e| e <= wait_tol)
+        self.wait_error().is_none_or(|e| e <= wait_tol)
             && self.util_error() <= util_tol
-            && self.blocking_error().map_or(true, |e| e <= util_tol)
+            && self.blocking_error().is_none_or(|e| e <= util_tol)
     }
 }
 

@@ -8,18 +8,39 @@
 //! latency at that rate"). Power is attributed at the same operating point
 //! through the calibrated model sampled by the simulated BMC and riser
 //! sensors (the Fig. 6 procedure).
+//!
+//! # Entry points
+//!
+//! The unified front door is [`Scenario`]: a builder over an
+//! [`ExperimentSpec`] that carries the [`SearchBudget`] and threads a
+//! [`RunContext`] (observability) and [`Executor`] (parallelism) through
+//! the whole measurement:
+//!
+//! ```no_run
+//! use snicbench_core::experiment::{Scenario, SearchBudget};
+//! use snicbench_core::telemetry::RunContext;
+//!
+//! let rows = Scenario::fig4()
+//!     .budget(SearchBudget::quick())
+//!     .run(&RunContext::disabled());
+//! assert!(!rows.is_empty());
+//! ```
+//!
+//! The older per-figure free functions ([`figure4`], [`figure4_with`])
+//! remain as thin deprecated wrappers for one release.
 
 use snicbench_hw::ExecutionPlatform;
 use snicbench_power::energy::EnergyEfficiency;
 use snicbench_power::riser::RiserRig;
-use snicbench_power::sensors::BmcSensor;
+use snicbench_power::sensors::{record_series, BmcSensor};
 use snicbench_power::ServerPowerModel;
 use snicbench_sim::{SimDuration, SimTime};
 
 use crate::benchmark::Workload;
 use crate::calibration;
 use crate::executor::Executor;
-use crate::runner::{run, OfferedLoad, RunConfig, RunMetrics};
+use crate::runner::{run, run_in, OfferedLoad, RunConfig, RunMetrics};
+use crate::telemetry::{PowerTelemetry, RunContext, RunScope};
 
 /// Loss tolerance defining "sustainable" (achieved ≥ 99.5% of offered).
 pub const SUSTAINABLE_LOSS: f64 = 0.005;
@@ -205,6 +226,13 @@ where
     }
 }
 
+/// The telemetry label for one (workload, platform) measurement: this is
+/// the run label that appears in `RunReport` and Chrome traces, and the
+/// key [`measure_power_in`] attaches its power series under.
+fn scope_label(workload: Workload, platform: ExecutionPlatform) -> String {
+    format!("{workload}/{platform}")
+}
+
 /// Finds the maximum sustainable throughput and measures p99 there,
 /// using the serial search path. Equivalent to
 /// [`find_operating_point_with`] on [`Executor::serial`].
@@ -243,6 +271,28 @@ pub fn find_operating_point_with(
     budget: SearchBudget,
     executor: &Executor,
 ) -> OperatingPoint {
+    find_operating_point_in(workload, platform, budget, executor, &RunContext::disabled())
+}
+
+/// [`find_operating_point_with`] plus observability: when `ctx` is
+/// collecting, the **measurement** run at the operating point (and any
+/// back-off re-measurements, which share its label so the last one wins)
+/// is traced and submitted to the context as `"{workload}/{platform}"`.
+/// Search probes are never traced — they are discarded speculation, and
+/// tracing them would change nothing in the report while slowing the
+/// bisection down.
+///
+/// # Panics
+///
+/// Panics if the workload is not calibrated on the platform.
+pub fn find_operating_point_in(
+    workload: Workload,
+    platform: ExecutionPlatform,
+    budget: SearchBudget,
+    executor: &Executor,
+    ctx: &RunContext,
+) -> OperatingPoint {
+    let scope = ctx.scope(scope_label(workload, platform));
     let mut capacity = calibration::analytic_capacity_ops(workload, platform)
         .unwrap_or_else(|| panic!("{workload} not supported on {platform}"));
     // Configurations defined by their offered load (OvS at 10%/100% of
@@ -293,13 +343,16 @@ pub fn find_operating_point_with(
         // Even near-zero load violates the loss/SLO criteria: report a
         // well-defined zero-rate operating point instead of converging on
         // a rate that never passed a probe.
-        let metrics = run(&sized_run(
-            workload,
-            platform,
-            0.0,
-            budget.measure_ops,
-            budget.seed.wrapping_add(0xF1A1),
-        ));
+        let metrics = run_in(
+            &sized_run(
+                workload,
+                platform,
+                0.0,
+                budget.measure_ops,
+                budget.seed.wrapping_add(0xF1A1),
+            ),
+            &scope,
+        );
         return OperatingPoint {
             workload,
             platform,
@@ -311,26 +364,34 @@ pub fn find_operating_point_with(
     }
     // Final measurement at the found rate; if the longer run reveals the
     // knee was overshot (p99 is steep there), back off a few percent.
+    // Re-measurements share the scope label, so the context keeps only
+    // the run whose metrics the operating point actually reports.
     let mut max_rate = search.rate;
-    let mut metrics = run(&sized_run(
-        workload,
-        platform,
-        max_rate,
-        budget.measure_ops,
-        budget.seed.wrapping_add(0xF1A1),
-    ));
+    let mut metrics = run_in(
+        &sized_run(
+            workload,
+            platform,
+            max_rate,
+            budget.measure_ops,
+            budget.seed.wrapping_add(0xF1A1),
+        ),
+        &scope,
+    );
     for step in 0..5 {
         if metrics.loss_rate() <= SUSTAINABLE_LOSS && metrics.latency.p99_us <= p99_limit {
             break;
         }
         max_rate *= 0.96;
-        metrics = run(&sized_run(
-            workload,
-            platform,
-            max_rate,
-            budget.measure_ops,
-            budget.seed.wrapping_add(0xF1A2 + step),
-        ));
+        metrics = run_in(
+            &sized_run(
+                workload,
+                platform,
+                max_rate,
+                budget.measure_ops,
+                budget.seed.wrapping_add(0xF1A2 + step),
+            ),
+            &scope,
+        );
     }
     OperatingPoint {
         workload,
@@ -358,6 +419,19 @@ pub struct PowerReport {
 
 /// Measures power at an operating point over `window` of simulated time.
 pub fn measure_power(point: &OperatingPoint, window: SimDuration, seed: u64) -> PowerReport {
+    measure_power_in(point, window, seed, &RunScope::disabled())
+}
+
+/// [`measure_power`] plus observability: when `scope` is enabled, the BMC
+/// and riser sample series are attached to the scope's run as
+/// [`PowerTelemetry`] and replayed into a trace sink as power-counter
+/// events (stations `"bmc-system"` and `"riser-snic"`).
+pub fn measure_power_in(
+    point: &OperatingPoint,
+    window: SimDuration,
+    seed: u64,
+    scope: &RunScope,
+) -> PowerReport {
     let model = ServerPowerModel::paper_default();
     let host_util = point.metrics.host_cpu_util;
     let snic_util = point.metrics.snic_util;
@@ -368,6 +442,20 @@ pub fn measure_power(point: &OperatingPoint, window: SimDuration, seed: u64) -> 
     let mut rig = RiserRig::new(seed.wrapping_add(1));
     let snic_series = rig.measure_device(SimTime::ZERO, window, |_| model.snic_power(snic_util));
     let eff = EnergyEfficiency::from_measurement(point.max_gbps, &system_series);
+    if scope.enabled() {
+        let sink = scope.power_sink(window);
+        let bmc_station = sink.register("bmc-system", 1);
+        let riser_station = sink.register("riser-snic", 1);
+        record_series(&sink, bmc_station, &system_series);
+        record_series(&sink, riser_station, &snic_series);
+        sink.finish(SimTime::ZERO + window);
+        let samples = sink.take().map_or(0, |data| data.total);
+        scope.attach_power(PowerTelemetry {
+            system_w: system_series.clone(),
+            snic_w: snic_series.clone(),
+            samples,
+        });
+    }
     PowerReport {
         system_w: system_series.mean(),
         snic_w: snic_series.mean(),
@@ -445,12 +533,26 @@ pub fn compare_with(
     budget: SearchBudget,
     executor: &Executor,
 ) -> ComparisonRow {
+    compare_in(workload, budget, executor, &RunContext::disabled())
+}
+
+/// [`compare_with`] plus observability: both operating-point measurements
+/// are traced under `"{workload}/{platform}"` labels, and each side's
+/// power series is attached to its run.
+pub fn compare_in(
+    workload: Workload,
+    budget: SearchBudget,
+    executor: &Executor,
+    ctx: &RunContext,
+) -> ComparisonRow {
     let snic_platform = snic_side(workload);
-    let host = find_operating_point_with(workload, ExecutionPlatform::HostCpu, budget, executor);
-    let snic = find_operating_point_with(workload, snic_platform, budget, executor);
+    let host = find_operating_point_in(workload, ExecutionPlatform::HostCpu, budget, executor, ctx);
+    let snic = find_operating_point_in(workload, snic_platform, budget, executor, ctx);
     let window = SimDuration::from_secs(60);
-    let host_power = measure_power(&host, window, budget.seed);
-    let snic_power = measure_power(&snic, window, budget.seed.wrapping_add(7));
+    let host_scope = ctx.scope(scope_label(workload, ExecutionPlatform::HostCpu));
+    let snic_scope = ctx.scope(scope_label(workload, snic_platform));
+    let host_power = measure_power_in(&host, window, budget.seed, &host_scope);
+    let snic_power = measure_power_in(&snic, window, budget.seed.wrapping_add(7), &snic_scope);
     ComparisonRow {
         workload,
         snic_platform,
@@ -462,17 +564,152 @@ pub fn compare_with(
 }
 
 /// Measures every Fig. 4 cell (29 workload configurations) serially.
+#[deprecated(since = "0.3.0", note = "use `Scenario::fig4().budget(b).run(&ctx)`")]
 pub fn figure4(budget: SearchBudget) -> Vec<ComparisonRow> {
-    figure4_with(budget, &Executor::serial())
+    Scenario::fig4().budget(budget).run(&RunContext::disabled())
 }
 
 /// Measures every Fig. 4 cell, fanning the independent cells out over the
-/// executor. Each cell runs its searches serially inside its worker (the
-/// matrix has far more cells than cores, so cell-level fan-out already
-/// saturates the pool without nesting thread scopes). Row order — and
-/// every number in every row — is identical to the serial path.
+/// executor.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `Scenario::fig4().budget(b).run_with(&ctx, &executor)`"
+)]
 pub fn figure4_with(budget: SearchBudget, executor: &Executor) -> Vec<ComparisonRow> {
-    executor.map(Workload::figure4_set(), |w| compare(w, budget))
+    Scenario::fig4()
+        .budget(budget)
+        .run_with(&RunContext::disabled(), executor)
+}
+
+/// One runnable experiment: what to measure, given a budget, an executor,
+/// and an observability context. Implementations are plain descriptor
+/// structs ([`Fig4Spec`], [`CompareSpec`], [`OperatingPointSpec`], the
+/// sweep's [`crate::sweep::SweepSpec`]); [`Scenario`] is the builder that
+/// carries the budget and runs them.
+pub trait ExperimentSpec {
+    /// What the experiment produces.
+    type Output;
+
+    /// Runs the experiment.
+    fn execute(&self, budget: SearchBudget, executor: &Executor, ctx: &RunContext) -> Self::Output;
+}
+
+/// Builder front door for the paper's experiments: pairs an
+/// [`ExperimentSpec`] with a [`SearchBudget`] and runs it against a
+/// [`RunContext`] (see the module docs for an example).
+#[derive(Debug, Clone)]
+pub struct Scenario<S> {
+    spec: S,
+    budget: SearchBudget,
+}
+
+impl<S: ExperimentSpec> Scenario<S> {
+    /// Wraps a spec with the default budget.
+    pub fn new(spec: S) -> Self {
+        Scenario {
+            spec,
+            budget: SearchBudget::default(),
+        }
+    }
+
+    /// Sets the search budget.
+    pub fn budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Shorthand for `.budget(SearchBudget::quick())`.
+    pub fn quick(self) -> Self {
+        self.budget(SearchBudget::quick())
+    }
+
+    /// Runs serially. Pass [`RunContext::disabled`] when observability is
+    /// not wanted; a collecting context records per-run telemetry.
+    pub fn run(&self, ctx: &RunContext) -> S::Output {
+        self.run_with(ctx, &Executor::serial())
+    }
+
+    /// Runs with an executor fanning independent work out over host
+    /// cores. Results — and any collected telemetry, after the context's
+    /// label-sorted drain — are identical at every job count.
+    pub fn run_with(&self, ctx: &RunContext, executor: &Executor) -> S::Output {
+        self.spec.execute(self.budget, executor, ctx)
+    }
+}
+
+/// Spec for the full Fig. 4 matrix (29 workload configurations). Cells
+/// fan out over the executor; each cell runs its searches serially inside
+/// its worker (the matrix has far more cells than cores, so cell-level
+/// fan-out already saturates the pool without nesting thread scopes). Row
+/// order — and every number in every row — is identical to the serial
+/// path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig4Spec;
+
+impl ExperimentSpec for Fig4Spec {
+    type Output = Vec<ComparisonRow>;
+
+    fn execute(&self, budget: SearchBudget, executor: &Executor, ctx: &RunContext) -> Self::Output {
+        executor.map(Workload::figure4_set(), |w| {
+            compare_in(w, budget, &Executor::serial(), ctx)
+        })
+    }
+}
+
+/// Spec for one host-vs-SNIC comparison row.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareSpec {
+    /// The workload to compare.
+    pub workload: Workload,
+}
+
+impl ExperimentSpec for CompareSpec {
+    type Output = ComparisonRow;
+
+    fn execute(&self, budget: SearchBudget, executor: &Executor, ctx: &RunContext) -> Self::Output {
+        compare_in(self.workload, budget, executor, ctx)
+    }
+}
+
+/// Spec for one operating-point search.
+#[derive(Debug, Clone, Copy)]
+pub struct OperatingPointSpec {
+    /// The workload to measure.
+    pub workload: Workload,
+    /// The platform to measure it on.
+    pub platform: ExecutionPlatform,
+}
+
+impl ExperimentSpec for OperatingPointSpec {
+    type Output = OperatingPoint;
+
+    fn execute(&self, budget: SearchBudget, executor: &Executor, ctx: &RunContext) -> Self::Output {
+        find_operating_point_in(self.workload, self.platform, budget, executor, ctx)
+    }
+}
+
+impl Scenario<Fig4Spec> {
+    /// The full Fig. 4 matrix.
+    pub fn fig4() -> Scenario<Fig4Spec> {
+        Scenario::new(Fig4Spec)
+    }
+}
+
+impl Scenario<CompareSpec> {
+    /// One host-vs-SNIC comparison row.
+    pub fn compare(workload: Workload) -> Scenario<CompareSpec> {
+        Scenario::new(CompareSpec { workload })
+    }
+}
+
+impl Scenario<OperatingPointSpec> {
+    /// One operating-point search.
+    pub fn operating_point(
+        workload: Workload,
+        platform: ExecutionPlatform,
+    ) -> Scenario<OperatingPointSpec> {
+        Scenario::new(OperatingPointSpec { workload, platform })
+    }
 }
 
 #[cfg(test)]

@@ -21,6 +21,12 @@
 //!   search + p99-at-max (Fig. 4), with power attribution (Fig. 6).
 //! * [`executor`] — deterministic order-preserving parallel work pool;
 //!   fans independent runs across host cores with byte-identical output.
+//! * [`telemetry`] — opt-in run observability: a [`telemetry::RunContext`]
+//!   threaded down to the runner collects per-station utilization and
+//!   queue-depth timelines from the simulation trace, exported as
+//!   Chrome-trace and versioned `RunReport` JSON (`--trace` / `--json`).
+//! * [`json`] — std-only JSON document model, writer, and parser backing
+//!   the exports.
 //! * [`sweep`] — latency-vs-offered-rate sweeps (Fig. 5).
 //! * [`slo`] — SLO definitions and checks (Sec. 5.1).
 //! * [`tco`] — the 5-year TCO model (Table 5).
@@ -39,6 +45,7 @@ pub mod conformance;
 pub mod executor;
 pub mod experiment;
 pub mod functional;
+pub mod json;
 pub mod loadbalancer;
 pub mod observations;
 pub mod report;
@@ -46,6 +53,7 @@ pub mod runner;
 pub mod slo;
 pub mod sweep;
 pub mod tco;
+pub mod telemetry;
 pub mod whatif;
 
 pub use benchmark::Workload;

@@ -25,6 +25,7 @@ use snicbench_sim::{SimDuration, SimTime, Simulator};
 
 use crate::benchmark::Workload;
 use crate::calibration::{self, ServiceModel};
+use crate::telemetry::{RunScope, RunTelemetry};
 
 /// How load is offered to the server.
 #[derive(Debug, Clone)]
@@ -122,7 +123,8 @@ impl RunMetrics {
     }
 }
 
-/// Executes one run.
+/// Executes one run without telemetry collection — equivalent to
+/// [`run_in`] under a disabled scope.
 ///
 /// # Panics
 ///
@@ -130,6 +132,19 @@ impl RunMetrics {
 /// no check mark there) — callers should consult
 /// [`Workload::platforms`](crate::benchmark::Workload::platforms) first.
 pub fn run(config: &RunConfig) -> RunMetrics {
+    run_in(config, &RunScope::disabled())
+}
+
+/// Executes one run, collecting telemetry into `scope` when it is enabled:
+/// the simulation runs with a trace sink attached, and the derived
+/// [`RunTelemetry`] (per-station timelines, queue counters, conservation
+/// audit) is submitted under the scope's label. With a disabled scope the
+/// trace hooks are inert and this is byte-for-byte the untraced path.
+///
+/// # Panics
+///
+/// Panics if the workload has no calibration on the platform.
+pub fn run_in(config: &RunConfig, scope: &RunScope) -> RunMetrics {
     let calib = calibration::lookup(config.workload, config.platform)
         .unwrap_or_else(|| panic!("{} not supported on {}", config.workload, config.platform));
     let testbed = Testbed::new();
@@ -195,7 +210,16 @@ pub fn run(config: &RunConfig) -> RunMetrics {
 
     // --- Wire up the simulation ---------------------------------------------
     let mut sim = Simulator::new();
-    let station = StationHandle::new("service", servers, Some(queue_cap));
+    sim.set_trace(scope.sink(config.duration));
+    // The serving resource, named for what it models so traces and reports
+    // say which component saturates.
+    let station_name = match (&calib.service, config.platform) {
+        (ServiceModel::Cpu(_), ExecutionPlatform::HostCpu) => "host-cpu",
+        (ServiceModel::Cpu(_), _) => "snic-arm",
+        (ServiceModel::Accelerator { .. }, _) => "snic-accelerator",
+        (ServiceModel::FixedEngine { .. }, _) => "bump-engine",
+    };
+    let station = StationHandle::new(station_name, servers, Some(queue_cap));
     let histogram = Rc::new(RefCell::new(LatencyHistogram::new()));
     let counters = Rc::new(RefCell::new((0u64, 0u64, 0u64))); // sent, completed, dropped
     let service_rng = Rc::new(RefCell::new(Rng::new(config.seed ^ 0x5E41)));
@@ -294,6 +318,33 @@ pub fn run(config: &RunConfig) -> RunMetrics {
             &metrics,
             &station,
         );
+    }
+    if scope.enabled() {
+        sim.trace().finish(now);
+        if let Some(data) = sim.trace().take() {
+            // The telemetry always carries the audit verdict, whether or not
+            // `--audit` promoted violations to a panic above.
+            let mut violations: Vec<String> = crate::conformance::check_metrics(&metrics)
+                .iter()
+                .map(|v| v.to_string())
+                .collect();
+            violations.extend(
+                crate::conformance::check_station(&station)
+                    .iter()
+                    .map(|v| v.to_string()),
+            );
+            scope.submit(RunTelemetry::from_trace(
+                scope.label(),
+                config.workload.to_string(),
+                config.platform.to_string(),
+                config.seed,
+                metrics.clone(),
+                station.fifo_stats(),
+                data,
+                now,
+                violations,
+            ));
+        }
     }
     metrics
 }

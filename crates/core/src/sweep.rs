@@ -13,8 +13,9 @@ use snicbench_sim::SimDuration;
 
 use crate::benchmark::Workload;
 use crate::executor::Executor;
-use crate::experiment::SUSTAINABLE_LOSS;
-use crate::runner::{run, OfferedLoad, RunConfig};
+use crate::experiment::{ExperimentSpec, Scenario, SearchBudget, SUSTAINABLE_LOSS};
+use crate::runner::{run, run_in, OfferedLoad, RunConfig};
+use crate::telemetry::RunContext;
 
 /// One sweep sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,34 +59,89 @@ impl SweepConfig {
     }
 }
 
-/// Runs the sweep serially. Equivalent to [`rate_sweep_with`] on
-/// [`Executor::serial`].
+/// Runs the sweep serially.
+#[deprecated(since = "0.3.0", note = "use `Scenario::sweep(config).run(&ctx)`")]
 pub fn rate_sweep(config: &SweepConfig) -> Vec<SweepPoint> {
-    rate_sweep_with(config, &Executor::serial())
+    Scenario::sweep(config.clone()).run(&RunContext::disabled())
 }
 
 /// Runs the sweep, fanning the independent rate points out over the
-/// executor. Every point derives its own seed from its grid index
-/// (`config.seed + i`), so the result vector is identical — element for
-/// element — at any job count.
+/// executor.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `Scenario::sweep(config).run_with(&ctx, &executor)`"
+)]
 pub fn rate_sweep_with(config: &SweepConfig, executor: &Executor) -> Vec<SweepPoint> {
+    Scenario::sweep(config.clone()).run_with(&RunContext::disabled(), executor)
+}
+
+/// The run config of one sweep point.
+fn point_config(config: &SweepConfig, i: usize, gbps: f64) -> RunConfig {
     let bytes = config.workload.request_bytes();
-    let points: Vec<(usize, f64)> = config.offered_gbps.iter().copied().enumerate().collect();
-    executor.map(points, |(i, gbps)| {
-        let pps = gbps * 1e9 / 8.0 / bytes as f64;
-        let secs = (config.ops_per_point / pps.max(1.0)).clamp(0.005, 2.0);
-        let mut cfg = RunConfig::new(config.workload, config.platform, OfferedLoad::Gbps(gbps));
-        cfg.duration = SimDuration::from_secs_f64(secs * 1.1);
-        cfg.warmup = SimDuration::from_secs_f64(secs * 0.1);
-        cfg.seed = config.seed.wrapping_add(i as u64);
-        let m = run(&cfg);
-        SweepPoint {
-            offered_gbps: gbps,
-            achieved_gbps: m.achieved_gbps,
-            p99_us: m.latency.p99_us,
-            saturated: m.loss_rate() > SUSTAINABLE_LOSS,
+    let pps = gbps * 1e9 / 8.0 / bytes as f64;
+    let secs = (config.ops_per_point / pps.max(1.0)).clamp(0.005, 2.0);
+    let mut cfg = RunConfig::new(config.workload, config.platform, OfferedLoad::Gbps(gbps));
+    cfg.duration = SimDuration::from_secs_f64(secs * 1.1);
+    cfg.warmup = SimDuration::from_secs_f64(secs * 0.1);
+    cfg.seed = config.seed.wrapping_add(i as u64);
+    cfg
+}
+
+/// Spec for a Fig. 5 rate sweep. The [`SearchBudget`] carried by the
+/// [`Scenario`] is ignored — a sweep's cost knobs live in its
+/// [`SweepConfig`].
+///
+/// Every point derives its own seed from its grid index
+/// (`config.seed + i`), so the result vector is identical — element for
+/// element — at any job count. When the context is collecting, the knee
+/// point (highest absorbed rate below the first saturated one) is re-run
+/// traced under `"sweep/{workload}/{platform}@{rate}gbps"`; tracing only
+/// the knee keeps the report focused on the one point Fig. 5 is about
+/// without re-simulating the whole grid.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// The sweep to run.
+    pub config: SweepConfig,
+}
+
+impl ExperimentSpec for SweepSpec {
+    type Output = Vec<SweepPoint>;
+
+    fn execute(&self, _budget: SearchBudget, executor: &Executor, ctx: &RunContext) -> Self::Output {
+        let config = &self.config;
+        let points: Vec<(usize, f64)> = config.offered_gbps.iter().copied().enumerate().collect();
+        let swept = executor.map(points, |(i, gbps)| {
+            let m = run(&point_config(config, i, gbps));
+            SweepPoint {
+                offered_gbps: gbps,
+                achieved_gbps: m.achieved_gbps,
+                p99_us: m.latency.p99_us,
+                saturated: m.loss_rate() > SUSTAINABLE_LOSS,
+            }
+        });
+        if ctx.enabled() {
+            if let Some(knee) = knee_gbps(&swept) {
+                let i = config
+                    .offered_gbps
+                    .iter()
+                    .position(|&g| g == knee)
+                    .expect("knee comes from the grid");
+                let label = format!(
+                    "sweep/{}/{}@{knee}gbps",
+                    config.workload, config.platform
+                );
+                run_in(&point_config(config, i, knee), &ctx.scope(label));
+            }
         }
-    })
+        swept
+    }
+}
+
+impl Scenario<SweepSpec> {
+    /// A latency-vs-offered-rate sweep (Fig. 5).
+    pub fn sweep(config: SweepConfig) -> Scenario<SweepSpec> {
+        Scenario::new(SweepSpec { config })
+    }
 }
 
 /// The knee of a sweep: the highest offered rate still absorbed *below the
@@ -115,13 +171,14 @@ mod tests {
         platform: ExecutionPlatform,
         rates: Vec<f64>,
     ) -> Vec<SweepPoint> {
-        rate_sweep(&SweepConfig {
+        Scenario::sweep(SweepConfig {
             workload,
             platform,
             offered_gbps: rates,
             ops_per_point: 6_000.0,
             seed: 0xF1605,
         })
+        .run(&RunContext::disabled())
     }
 
     #[test]

@@ -1,0 +1,722 @@
+//! Run-level observability: contexts, collected telemetry, and exports.
+//!
+//! The simulation layer records raw events ([`snicbench_sim::trace`]); this
+//! module turns them into something an experiment can hand back to a user:
+//!
+//! * [`RunContext`] — the knob the bins thread down through
+//!   `experiment → runner`. Disabled, every hook is free and nothing
+//!   allocates; enabled, each *measurement* run (never the search probes)
+//!   collects a [`RunTelemetry`].
+//! * [`RunScope`] — one labelled measurement slot inside a context. The
+//!   runner asks it for a [`TraceSink`], runs, and submits the derived
+//!   telemetry. Re-submitting the same label replaces the previous entry,
+//!   so backoff re-measurements deterministically keep the final run.
+//! * [`RunTelemetry`] — per-run metrics + per-station utilization /
+//!   queue-depth timelines ([`TimeSeries`]) + conservation-audit results.
+//! * [`chrome_trace_json`] — Chrome-trace ("trace event format") export,
+//!   loadable in `chrome://tracing` and Perfetto.
+//! * [`run_report`] — the versioned machine-readable `RunReport` document
+//!   every bin emits via `--json <path>`.
+//!
+//! Collection is thread-safe (the executor fans runs across threads) and
+//! deterministic: the drained order is sorted by label, independent of
+//! `--jobs`.
+
+use std::sync::{Arc, Mutex};
+
+use snicbench_metrics::TimeSeries;
+use snicbench_sim::queue::FifoStats;
+use snicbench_sim::trace::{TraceCounts, TraceData, TraceKind, TraceRecord, TraceSink};
+use snicbench_sim::{SimDuration, SimTime};
+
+use crate::json::Json;
+use crate::runner::RunMetrics;
+
+/// Version tag of the `RunReport` JSON schema. Bump on any breaking shape
+/// change; the golden-file test pins the key structure.
+pub const RUN_REPORT_SCHEMA: &str = "snicbench.run-report.v1";
+
+/// Raw trace records kept per run (most recent events win).
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// Target number of timeline buckets per run (the actual bucket width is
+/// `duration / TIMELINE_BUCKETS`, floored at 1 µs).
+pub const TIMELINE_BUCKETS: u64 = 200;
+
+#[derive(Debug, Default)]
+struct Hub {
+    runs: Mutex<Vec<RunTelemetry>>,
+}
+
+impl Hub {
+    fn submit(&self, telemetry: RunTelemetry) {
+        let mut runs = self.runs.lock().expect("telemetry hub poisoned");
+        if let Some(existing) = runs.iter_mut().find(|r| r.label == telemetry.label) {
+            *existing = telemetry;
+        } else {
+            runs.push(telemetry);
+        }
+    }
+
+    fn attach_power(&self, label: &str, power: PowerTelemetry) {
+        let mut runs = self.runs.lock().expect("telemetry hub poisoned");
+        if let Some(existing) = runs.iter_mut().find(|r| r.label == label) {
+            existing.power = Some(power);
+        }
+    }
+}
+
+/// The observability switch threaded from a bin down to the runner.
+///
+/// Cloning shares the underlying collector. With [`RunContext::disabled`]
+/// (the default) every downstream hook is inert.
+#[derive(Debug, Clone, Default)]
+pub struct RunContext {
+    hub: Option<Arc<Hub>>,
+}
+
+impl RunContext {
+    /// A context that collects nothing — the zero-cost default.
+    pub fn disabled() -> Self {
+        RunContext { hub: None }
+    }
+
+    /// A context that collects telemetry from every scoped measurement run.
+    pub fn collecting() -> Self {
+        RunContext {
+            hub: Some(Arc::new(Hub::default())),
+        }
+    }
+
+    /// True when telemetry is being collected.
+    pub fn enabled(&self) -> bool {
+        self.hub.is_some()
+    }
+
+    /// Opens a labelled measurement slot. Submitting twice under one label
+    /// replaces the first submission.
+    pub fn scope(&self, label: impl Into<String>) -> RunScope {
+        RunScope {
+            label: label.into(),
+            hub: self.hub.clone(),
+        }
+    }
+
+    /// Drains everything collected so far, sorted by label so the result is
+    /// identical at any `--jobs` count.
+    pub fn drain(&self) -> Vec<RunTelemetry> {
+        match &self.hub {
+            None => Vec::new(),
+            Some(hub) => {
+                let mut runs =
+                    std::mem::take(&mut *hub.runs.lock().expect("telemetry hub poisoned"));
+                runs.sort_by(|a, b| a.label.cmp(&b.label));
+                runs
+            }
+        }
+    }
+}
+
+/// One labelled measurement slot (see [`RunContext::scope`]).
+#[derive(Debug, Clone)]
+pub struct RunScope {
+    label: String,
+    hub: Option<Arc<Hub>>,
+}
+
+impl RunScope {
+    /// A scope that collects nothing — what search probes run under.
+    pub fn disabled() -> Self {
+        RunScope {
+            label: String::new(),
+            hub: None,
+        }
+    }
+
+    /// True when a submission will be kept.
+    pub fn enabled(&self) -> bool {
+        self.hub.is_some()
+    }
+
+    /// The scope's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// A trace sink sized for a run of `duration`: bounded ring, timeline
+    /// buckets at `duration / TIMELINE_BUCKETS` (≥ 1 µs). Inert when the
+    /// scope is disabled.
+    pub fn sink(&self, duration: SimDuration) -> TraceSink {
+        if self.hub.is_none() {
+            return TraceSink::Inert;
+        }
+        let bucket = SimDuration::from_nanos((duration.as_nanos() / TIMELINE_BUCKETS).max(1_000));
+        TraceSink::bounded(DEFAULT_TRACE_CAPACITY, bucket)
+    }
+
+    /// A trace sink for offline power sampling over `window`, bucketed at
+    /// the rail sensor's 10 Hz interval.
+    pub fn power_sink(&self, _window: SimDuration) -> TraceSink {
+        if self.hub.is_none() {
+            return TraceSink::Inert;
+        }
+        TraceSink::bounded(DEFAULT_TRACE_CAPACITY, SimDuration::from_millis(100))
+    }
+
+    /// Submits a run's telemetry (no-op when disabled).
+    pub fn submit(&self, telemetry: RunTelemetry) {
+        if let Some(hub) = &self.hub {
+            hub.submit(telemetry);
+        }
+    }
+
+    /// Attaches power timelines to the already-submitted telemetry with
+    /// this scope's label (no-op when disabled or not yet submitted).
+    pub fn attach_power(&self, power: PowerTelemetry) {
+        if let Some(hub) = &self.hub {
+            hub.attach_power(&self.label, power);
+        }
+    }
+}
+
+/// One station's derived timelines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationTimeline {
+    /// Station name (e.g. `host-cpu`, `snic-accelerator`).
+    pub name: String,
+    /// Parallel servers.
+    pub servers: usize,
+    /// Lifetime event counts.
+    pub counts: TraceCounts,
+    /// Utilization in `[0, 1]` per timeline bucket.
+    pub utilization: TimeSeries,
+    /// Peak queue depth per timeline bucket.
+    pub queue_depth: TimeSeries,
+    /// Peak single-bucket utilization (the saturation signal).
+    pub peak_utilization: f64,
+}
+
+/// Offline power-sensor timelines attached to a measurement run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerTelemetry {
+    /// BMC system power, W (1 Hz).
+    pub system_w: TimeSeries,
+    /// Riser-rig SNIC power, W (10 Hz).
+    pub snic_w: TimeSeries,
+    /// Power-sample trace events recorded while sampling.
+    pub samples: u64,
+}
+
+/// Everything collected from one measurement run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTelemetry {
+    /// The scope label (unique per report).
+    pub label: String,
+    /// Workload name.
+    pub workload: String,
+    /// Platform name.
+    pub platform: String,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// The run's end-of-run metrics.
+    pub metrics: RunMetrics,
+    /// Wait-queue counters of the serving station.
+    pub fifo: FifoStats,
+    /// Per-station timelines.
+    pub stations: Vec<StationTimeline>,
+    /// Surviving raw trace records (ring-bounded, oldest first).
+    pub records: Vec<TraceRecord>,
+    /// Total trace events recorded.
+    pub events_total: u64,
+    /// Raw records evicted by the ring bound (timelines are unaffected).
+    pub events_evicted: u64,
+    /// Timeline bucket width.
+    pub bucket: SimDuration,
+    /// When the simulation ended.
+    pub sim_end: SimTime,
+    /// Conformance violations found by the audit checks (empty = clean).
+    pub violations: Vec<String>,
+    /// Power timelines, when the experiment measured power at this point.
+    pub power: Option<PowerTelemetry>,
+}
+
+impl RunTelemetry {
+    /// Derives telemetry from a finished run's trace data.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_trace(
+        label: impl Into<String>,
+        workload: impl Into<String>,
+        platform: impl Into<String>,
+        seed: u64,
+        metrics: RunMetrics,
+        fifo: FifoStats,
+        data: TraceData,
+        sim_end: SimTime,
+        violations: Vec<String>,
+    ) -> Self {
+        let stations = data
+            .tracks
+            .iter()
+            .map(|track| {
+                let mut utilization = TimeSeries::new(SimTime::ZERO, data.bucket);
+                let mut queue_depth = TimeSeries::new(SimTime::ZERO, data.bucket);
+                let denom = data.bucket.as_nanos() as f64 * track.servers.max(1) as f64;
+                let mut peak = 0.0f64;
+                for b in &track.buckets {
+                    let util = b.busy_ns as f64 / denom;
+                    peak = peak.max(util);
+                    utilization.push(util);
+                    queue_depth.push(b.depth_peak as f64);
+                }
+                StationTimeline {
+                    name: track.name.clone(),
+                    servers: track.servers,
+                    counts: track.counts,
+                    utilization,
+                    queue_depth,
+                    peak_utilization: peak,
+                }
+            })
+            .collect();
+        RunTelemetry {
+            label: label.into(),
+            workload: workload.into(),
+            platform: platform.into(),
+            seed,
+            metrics,
+            fifo,
+            stations,
+            records: data.records,
+            events_total: data.total,
+            events_evicted: data.evicted,
+            bucket: data.bucket,
+            sim_end,
+            violations,
+            power: None,
+        }
+    }
+
+    /// The station that saturates first: highest peak bucket utilization
+    /// (`None` when nothing was traced).
+    pub fn saturating_station(&self) -> Option<&StationTimeline> {
+        self.stations.iter().max_by(|a, b| {
+            a.peak_utilization
+                .partial_cmp(&b.peak_utilization)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+}
+
+fn series_json(ts: &TimeSeries) -> Json {
+    Json::obj([
+        ("start_us", Json::Num(ts.start().as_secs_f64() * 1e6)),
+        ("interval_us", Json::Num(ts.interval().as_micros_f64())),
+        (
+            "samples",
+            Json::arr(ts.values().iter().map(|&v| Json::Num(v))),
+        ),
+    ])
+}
+
+fn counts_json(c: &TraceCounts) -> Json {
+    Json::obj([
+        ("enqueues", Json::U64(c.enqueues)),
+        ("dequeues", Json::U64(c.dequeues)),
+        ("service_starts", Json::U64(c.service_starts)),
+        ("service_ends", Json::U64(c.service_ends)),
+        ("drops", Json::U64(c.drops)),
+        ("power_samples", Json::U64(c.power_samples)),
+    ])
+}
+
+fn metrics_json(m: &RunMetrics) -> Json {
+    Json::obj([
+        ("offered_ops", Json::Num(m.offered_ops)),
+        ("sent", Json::U64(m.sent)),
+        ("completed", Json::U64(m.completed)),
+        ("dropped", Json::U64(m.dropped)),
+        ("achieved_ops", Json::Num(m.achieved_ops)),
+        ("achieved_gbps", Json::Num(m.achieved_gbps)),
+        ("loss_rate", Json::Num(m.loss_rate())),
+        (
+            "latency_us",
+            Json::obj([
+                ("mean", Json::Num(m.latency.mean_us)),
+                ("p50", Json::Num(m.latency.p50_us)),
+                ("p99", Json::Num(m.latency.p99_us)),
+                ("max", Json::Num(m.latency.max_us)),
+            ]),
+        ),
+        ("service_util", Json::Num(m.service_util)),
+        ("host_cpu_util", Json::Num(m.host_cpu_util)),
+        ("snic_util", Json::Num(m.snic_util)),
+    ])
+}
+
+fn run_json(run: &RunTelemetry) -> Json {
+    let saturating = run.saturating_station().map(|s| {
+        Json::obj([
+            ("name", Json::str(s.name.clone())),
+            ("peak_utilization", Json::Num(s.peak_utilization)),
+        ])
+    });
+    Json::obj([
+        ("label", Json::str(run.label.clone())),
+        ("workload", Json::str(run.workload.clone())),
+        ("platform", Json::str(run.platform.clone())),
+        ("seed", Json::U64(run.seed)),
+        ("metrics", metrics_json(&run.metrics)),
+        (
+            "queue",
+            Json::obj([
+                ("offered", Json::U64(run.fifo.offered)),
+                ("accepted", Json::U64(run.fifo.accepted)),
+                ("dropped", Json::U64(run.fifo.dropped)),
+                ("dequeued", Json::U64(run.fifo.dequeued)),
+                ("max_depth", Json::U64(run.fifo.max_depth as u64)),
+            ]),
+        ),
+        (
+            "trace",
+            Json::obj([
+                ("events_total", Json::U64(run.events_total)),
+                ("events_kept", Json::U64(run.records.len() as u64)),
+                ("events_evicted", Json::U64(run.events_evicted)),
+                ("bucket_us", Json::Num(run.bucket.as_micros_f64())),
+                ("sim_end_us", Json::Num(run.sim_end.as_secs_f64() * 1e6)),
+            ]),
+        ),
+        (
+            "stations",
+            Json::arr(run.stations.iter().map(|s| {
+                Json::obj([
+                    ("name", Json::str(s.name.clone())),
+                    ("servers", Json::U64(s.servers as u64)),
+                    ("counts", counts_json(&s.counts)),
+                    ("peak_utilization", Json::Num(s.peak_utilization)),
+                    ("utilization", series_json(&s.utilization)),
+                    ("queue_depth", series_json(&s.queue_depth)),
+                ])
+            })),
+        ),
+        (
+            "saturating_station",
+            saturating.unwrap_or(Json::Null),
+        ),
+        (
+            "power",
+            match &run.power {
+                None => Json::Null,
+                Some(p) => Json::obj([
+                    ("system_w", series_json(&p.system_w)),
+                    ("snic_w", series_json(&p.snic_w)),
+                    ("samples", Json::U64(p.samples)),
+                ]),
+            },
+        ),
+        (
+            "conformance",
+            Json::obj([
+                ("clean", Json::Bool(run.violations.is_empty())),
+                (
+                    "violations",
+                    Json::arr(run.violations.iter().map(|v| Json::str(v.clone()))),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Builds the versioned `RunReport` document a bin writes via `--json`.
+///
+/// `tool` names the bin, `results` carries the tool-specific result rows
+/// (each bin encodes its own table), and `runs` is the drained telemetry.
+pub fn run_report(tool: &str, results: Json, runs: &[RunTelemetry]) -> Json {
+    Json::obj([
+        ("schema", Json::str(RUN_REPORT_SCHEMA)),
+        ("tool", Json::str(tool)),
+        ("results", results),
+        ("runs", Json::arr(runs.iter().map(run_json))),
+    ])
+}
+
+fn trace_event(
+    pid: usize,
+    tid: usize,
+    ph: &str,
+    name: &str,
+    ts_us: f64,
+    args: Json,
+) -> Json {
+    let mut pairs = vec![
+        ("pid".to_string(), Json::U64(pid as u64)),
+        ("tid".to_string(), Json::U64(tid as u64)),
+        ("ph".to_string(), Json::str(ph)),
+        ("name".to_string(), Json::str(name)),
+    ];
+    if ph != "M" {
+        pairs.push(("ts".to_string(), Json::Num(ts_us)));
+    }
+    if ph == "i" {
+        pairs.push(("s".to_string(), Json::str("t")));
+    }
+    pairs.push(("args".to_string(), args));
+    Json::Obj(pairs)
+}
+
+/// Builds a Chrome-trace ("trace event format") document from drained
+/// telemetry — loadable in `chrome://tracing` or Perfetto.
+///
+/// Each run becomes a process (named by its label); each station becomes a
+/// thread with `utilization` and `queue depth` counter tracks; drops from
+/// the surviving raw records become instant events; power timelines become
+/// counters on a dedicated thread.
+pub fn chrome_trace_json(runs: &[RunTelemetry]) -> Json {
+    let mut events = Vec::new();
+    for (ri, run) in runs.iter().enumerate() {
+        let pid = ri + 1;
+        events.push(trace_event(
+            pid,
+            0,
+            "M",
+            "process_name",
+            0.0,
+            Json::obj([("name", Json::str(run.label.clone()))]),
+        ));
+        for (si, station) in run.stations.iter().enumerate() {
+            let tid = si + 1;
+            events.push(trace_event(
+                pid,
+                tid,
+                "M",
+                "thread_name",
+                0.0,
+                Json::obj([("name", Json::str(station.name.clone()))]),
+            ));
+            for (t, v) in station.utilization.iter() {
+                events.push(trace_event(
+                    pid,
+                    tid,
+                    "C",
+                    "utilization",
+                    t.as_secs_f64() * 1e6,
+                    Json::obj([("util", Json::Num(v))]),
+                ));
+            }
+            for (t, v) in station.queue_depth.iter() {
+                events.push(trace_event(
+                    pid,
+                    tid,
+                    "C",
+                    "queue depth",
+                    t.as_secs_f64() * 1e6,
+                    Json::obj([("depth", Json::Num(v))]),
+                ));
+            }
+        }
+        for record in &run.records {
+            if let TraceKind::Drop { depth } = record.kind {
+                let tid = record.station.0 as usize + 1;
+                events.push(trace_event(
+                    pid,
+                    tid,
+                    "i",
+                    "drop",
+                    record.at.as_secs_f64() * 1e6,
+                    Json::obj([("depth", Json::U64(depth as u64))]),
+                ));
+            }
+        }
+        if let Some(power) = &run.power {
+            let tid = run.stations.len() + 1;
+            events.push(trace_event(
+                pid,
+                tid,
+                "M",
+                "thread_name",
+                0.0,
+                Json::obj([("name", Json::str("power"))]),
+            ));
+            for (t, v) in power.system_w.iter() {
+                events.push(trace_event(
+                    pid,
+                    tid,
+                    "C",
+                    "system power",
+                    t.as_secs_f64() * 1e6,
+                    Json::obj([("watts", Json::Num(v))]),
+                ));
+            }
+            for (t, v) in power.snic_w.iter() {
+                events.push(trace_event(
+                    pid,
+                    tid,
+                    "C",
+                    "snic power",
+                    t.as_secs_f64() * 1e6,
+                    Json::obj([("watts", Json::Num(v))]),
+                ));
+            }
+        }
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ms")),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::LatencyStats;
+    use snicbench_sim::trace::TraceSink;
+
+    fn fake_metrics() -> RunMetrics {
+        RunMetrics {
+            offered_ops: 1_000.0,
+            sent: 100,
+            completed: 99,
+            dropped: 1,
+            achieved_ops: 990.0,
+            achieved_gbps: 1.2,
+            latency: LatencyStats {
+                mean_us: 10.0,
+                p50_us: 9.0,
+                p99_us: 30.0,
+                max_us: 45.0,
+            },
+            service_util: 0.8,
+            host_cpu_util: 0.4,
+            snic_util: 0.1,
+        }
+    }
+
+    fn fake_telemetry(label: &str) -> RunTelemetry {
+        let sink = TraceSink::bounded(64, SimDuration::from_micros(10));
+        let id = sink.register("host-cpu", 2);
+        sink.record(
+            SimTime::from_nanos(1_000),
+            id,
+            TraceKind::ServiceStart { busy: 1 },
+        );
+        sink.record(
+            SimTime::from_nanos(15_000),
+            id,
+            TraceKind::Drop { depth: 4 },
+        );
+        sink.record(
+            SimTime::from_nanos(21_000),
+            id,
+            TraceKind::ServiceEnd { busy: 0 },
+        );
+        sink.finish(SimTime::from_nanos(30_000));
+        RunTelemetry::from_trace(
+            label,
+            "UDP-1024",
+            "host",
+            7,
+            fake_metrics(),
+            FifoStats::default(),
+            sink.take().unwrap(),
+            SimTime::from_nanos(30_000),
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn disabled_context_is_inert() {
+        let ctx = RunContext::disabled();
+        assert!(!ctx.enabled());
+        let scope = ctx.scope("x");
+        assert!(!scope.enabled());
+        assert!(scope.sink(SimDuration::from_secs(1)).is_inert());
+        scope.submit(fake_telemetry("x"));
+        assert!(ctx.drain().is_empty());
+    }
+
+    #[test]
+    fn resubmitting_a_label_replaces_and_drain_sorts() {
+        let ctx = RunContext::collecting();
+        ctx.scope("b").submit(fake_telemetry("b"));
+        ctx.scope("a").submit(fake_telemetry("a"));
+        let mut replacement = fake_telemetry("b");
+        replacement.seed = 99;
+        ctx.scope("b").submit(replacement);
+        let runs = ctx.drain();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].label, "a");
+        assert_eq!(runs[1].label, "b");
+        assert_eq!(runs[1].seed, 99, "second submission replaced the first");
+        assert!(ctx.drain().is_empty(), "drain empties the hub");
+    }
+
+    #[test]
+    fn timelines_derive_from_buckets() {
+        let t = fake_telemetry("x");
+        let station = &t.stations[0];
+        // Busy 1 server from 1 µs to 21 µs over 10 µs buckets on a
+        // 2-server station: buckets ≈ [0.45, 0.5, 0.05].
+        let u = station.utilization.values();
+        assert_eq!(u.len(), 3);
+        assert!((u[0] - 0.45).abs() < 1e-9, "{u:?}");
+        assert!((u[1] - 0.5).abs() < 1e-9, "{u:?}");
+        assert_eq!(station.queue_depth.values()[1], 4.0);
+        assert!((station.peak_utilization - 0.5).abs() < 1e-9);
+        assert_eq!(t.saturating_station().unwrap().name, "host-cpu");
+    }
+
+    #[test]
+    fn run_report_has_versioned_schema_and_parses() {
+        let runs = vec![fake_telemetry("a")];
+        let report = run_report("fig4", Json::arr([]), &runs);
+        let text = report.to_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some(RUN_REPORT_SCHEMA)
+        );
+        assert_eq!(parsed.get("tool").and_then(Json::as_str), Some("fig4"));
+        let run = &parsed.get("runs").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(run.get("label").and_then(Json::as_str), Some("a"));
+        assert_eq!(
+            run.get("saturating_station")
+                .and_then(|s| s.get("name"))
+                .and_then(Json::as_str),
+            Some("host-cpu")
+        );
+        assert_eq!(
+            run.get("conformance")
+                .and_then(|c| c.get("clean"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed() {
+        let runs = vec![fake_telemetry("a")];
+        let doc = chrome_trace_json(&runs);
+        let parsed = Json::parse(&doc.to_compact()).unwrap();
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        // Metadata names the process after the run label.
+        let meta = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .unwrap();
+        assert_eq!(meta.get("name").and_then(Json::as_str), Some("process_name"));
+        // The drop shows up as an instant event.
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(Json::as_str) == Some("i")
+                && e.get("name").and_then(Json::as_str) == Some("drop")));
+        // Counter events carry numeric ts.
+        assert!(events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .all(|e| e.get("ts").and_then(Json::as_f64).is_some()));
+    }
+}

@@ -26,7 +26,7 @@ use snicbench_sim::SimDuration;
 /// gone.
 ///
 /// Calibration: per-packet CPU costs mirror the RDMA verbs model (doorbell
-/// + completion), with a small surcharge for socket-semantics emulation;
+/// and completion), with a small surcharge for socket-semantics emulation;
 /// the added latency keeps a few microseconds for the hardware state
 /// machine.
 pub fn offloaded_kernel_stack(kind: NetworkStack) -> StackModel {

@@ -221,13 +221,8 @@ impl<'a> BenchmarkGroup<'a> {
 }
 
 /// The benchmark driver.
+#[derive(Default)]
 pub struct Criterion {}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion {}
-    }
-}
 
 impl Criterion {
     /// Opens a named group of benchmarks.

@@ -101,7 +101,11 @@ impl LatencyHistogram {
         let over = idx - self.sub_buckets;
         let shift = over / half + 1;
         let sub = half + over % half;
-        ((sub + 1) << shift) - 1
+        // The topmost magnitude's upper edge is one past u64::MAX, so the
+        // u64 shift wraps to zero and the `- 1` underflows; widen and clamp
+        // to keep the function total over every reachable bucket.
+        let edge = (u128::from(sub + 1) << shift) - 1;
+        edge.min(u128::from(u64::MAX)) as u64
     }
 
     /// Records one sample.

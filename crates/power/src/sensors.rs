@@ -14,7 +14,18 @@
 
 use snicbench_metrics::TimeSeries;
 use snicbench_sim::rng::Rng;
+use snicbench_sim::trace::{StationId, TraceKind, TraceSink};
 use snicbench_sim::{SimDuration, SimTime};
+
+/// Replays a sampled power series into a trace sink as
+/// [`TraceKind::PowerSample`] events attributed to `station`, so sensor
+/// readings land on the same timeline as the simulation events. A no-op on
+/// the inert sink.
+pub fn record_series(sink: &TraceSink, station: StationId, series: &TimeSeries) {
+    for (at, watts) in series.iter() {
+        sink.record(at, station, TraceKind::PowerSample { watts });
+    }
+}
 
 /// The BMC/DCMI system-power sensor: 1 Hz, ±1 W, integer readings.
 #[derive(Debug, Clone)]

@@ -8,6 +8,7 @@
 
 use crate::event::{EventId, EventQueue};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceSink;
 
 /// A scheduled action.
 type Action = Box<dyn FnOnce(&mut Simulator)>;
@@ -53,6 +54,7 @@ pub struct Simulator {
     events: EventQueue<Action>,
     executed: u64,
     stop_requested: bool,
+    trace: TraceSink,
 }
 
 impl Default for Simulator {
@@ -69,7 +71,20 @@ impl Simulator {
             events: EventQueue::new(),
             executed: 0,
             stop_requested: false,
+            trace: TraceSink::Inert,
         }
+    }
+
+    /// Attaches a trace sink; model components fetch it via
+    /// [`Simulator::trace`]. The default is the inert sink, which records
+    /// nothing at zero cost.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// The run's trace sink (cloning shares the underlying ring).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// The current simulated instant.

@@ -19,6 +19,11 @@
 //! * [`queue`] — bounded FIFO queues with drop accounting.
 //! * [`station`] — multi-server service stations (the queueing abstraction
 //!   used for CPU cores, accelerators, and links).
+//! * [`trace`] — opt-in deterministic event tracing: a [`trace::TraceSink`]
+//!   attached to the engine records typed events (enqueue/dequeue/
+//!   service-start/service-end/drop/power-sample) into a bounded ring and
+//!   folds them into exact per-station timelines; the inert variant makes
+//!   every hook free.
 //!
 //! # Example
 //!
@@ -44,6 +49,7 @@ pub mod queue;
 pub mod rng;
 pub mod station;
 pub mod time;
+pub mod trace;
 
 pub use engine::Simulator;
 pub use time::{SimDuration, SimTime};

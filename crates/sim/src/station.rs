@@ -16,8 +16,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use crate::engine::Simulator;
-use crate::queue::{BoundedFifo, EnqueueOutcome};
+use crate::queue::{BoundedFifo, EnqueueOutcome, FifoStats};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{StationId, TraceKind, TraceSink};
 
 /// What happened to a submitted job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +94,10 @@ struct Station {
     waiting: BoundedFifo<Waiting>,
     stats: StationStats,
     last_busy_change: SimTime,
+    /// Cached trace binding, established lazily on the first submit so
+    /// attaching a sink never changes construction signatures. `None` until
+    /// the station first sees the engine; the inert sink caches as a no-op.
+    trace: Option<(TraceSink, StationId)>,
 }
 
 impl Station {
@@ -100,6 +105,22 @@ impl Station {
         let span = now.saturating_duration_since(self.last_busy_change);
         self.stats.busy_ns += span.as_nanos() as u128 * self.busy as u128;
         self.last_busy_change = now;
+    }
+
+    /// Binds this station to the simulator's trace sink on first contact.
+    fn bind_trace(&mut self, sim: &Simulator) {
+        if self.trace.is_none() {
+            let sink = sim.trace().clone();
+            let id = sink.register(&self.name, self.servers);
+            self.trace = Some((sink, id));
+        }
+    }
+
+    #[inline]
+    fn emit(&self, at: SimTime, kind: TraceKind) {
+        if let Some((sink, id)) = &self.trace {
+            sink.record(at, *id, kind);
+        }
     }
 }
 
@@ -151,6 +172,7 @@ impl StationHandle {
                 waiting,
                 stats: StationStats::default(),
                 last_busy_change: SimTime::ZERO,
+                trace: None,
             })),
         }
     }
@@ -165,10 +187,12 @@ impl StationHandle {
     {
         let now = sim.now();
         let mut st = self.inner.borrow_mut();
+        st.bind_trace(sim);
         st.stats.arrivals += 1;
         if st.busy < st.servers {
             st.accumulate_busy(now);
             st.busy += 1;
+            st.emit(now, TraceKind::ServiceStart { busy: st.busy as u32 });
             drop(st);
             self.schedule_completion(sim, now, now, demand, Box::new(k));
             Admission::Started
@@ -179,9 +203,23 @@ impl StationHandle {
                 k: Box::new(k),
             });
             match outcome {
-                EnqueueOutcome::Accepted => Admission::Queued,
+                EnqueueOutcome::Accepted => {
+                    st.emit(
+                        now,
+                        TraceKind::Enqueue {
+                            depth: st.waiting.len() as u32,
+                        },
+                    );
+                    Admission::Queued
+                }
                 EnqueueOutcome::Dropped => {
                     st.stats.dropped += 1;
+                    st.emit(
+                        now,
+                        TraceKind::Drop {
+                            depth: st.waiting.len() as u32,
+                        },
+                    );
                     Admission::Dropped
                 }
             }
@@ -204,6 +242,7 @@ impl StationHandle {
                 st.accumulate_busy(finished);
                 st.busy -= 1;
                 st.stats.completions += 1;
+                st.emit(finished, TraceKind::ServiceEnd { busy: st.busy as u32 });
             }
             k(
                 sim,
@@ -220,6 +259,13 @@ impl StationHandle {
                     if let Some(w) = st.waiting.dequeue() {
                         st.accumulate_busy(finished);
                         st.busy += 1;
+                        st.emit(
+                            finished,
+                            TraceKind::Dequeue {
+                                depth: st.waiting.len() as u32,
+                            },
+                        );
+                        st.emit(finished, TraceKind::ServiceStart { busy: st.busy as u32 });
                         Some(w)
                     } else {
                         None
@@ -277,6 +323,13 @@ impl StationHandle {
         let mut st = self.inner.borrow_mut();
         st.accumulate_busy(now);
         st.stats
+    }
+
+    /// Lifetime counters of the wait queue (offered/accepted/dropped/
+    /// dequeued/max-depth). The trace round-trip tests cross-check emitted
+    /// enqueue/dequeue/drop events against exactly these counters.
+    pub fn fifo_stats(&self) -> FifoStats {
+        self.inner.borrow().waiting.stats()
     }
 }
 
@@ -403,6 +456,47 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_servers_panics() {
         let _ = StationHandle::new("s", 0, None);
+    }
+
+    #[test]
+    fn traced_run_matches_fifo_and_station_stats() {
+        use crate::trace::TraceSink;
+
+        let mut sim = Simulator::new();
+        sim.set_trace(TraceSink::bounded(4096, SimDuration::from_micros(1)));
+        let s = StationHandle::new("s", 1, Some(1));
+        // Three simultaneous arrivals at a 1-server/1-slot station: one
+        // starts, one queues, one drops.
+        for _ in 0..3 {
+            s.submit(&mut sim, SimDuration::from_micros(2), |_, _| {});
+        }
+        sim.run();
+        sim.trace().finish(sim.now());
+        let data = sim.trace().take().expect("ring sink");
+        let counts = data.tracks[0].counts;
+        let fifo = s.fifo_stats();
+        assert_eq!(counts.enqueues, fifo.accepted);
+        assert_eq!(counts.dequeues, fifo.dequeued);
+        assert_eq!(counts.drops, fifo.dropped);
+        let stats = s.stats();
+        assert_eq!(counts.service_starts, 2);
+        assert_eq!(counts.service_ends, stats.completions);
+        assert!(counts.conserved());
+        // Busy integral from the trace buckets equals the station's own.
+        let busy: u128 = data.tracks[0].buckets.iter().map(|b| b.busy_ns).sum();
+        assert_eq!(busy, stats.busy_ns);
+        assert_eq!(data.tracks[0].name, "s");
+    }
+
+    #[test]
+    fn untraced_run_is_unchanged() {
+        let mut sim = Simulator::new();
+        assert!(sim.trace().is_inert());
+        let s = StationHandle::new("s", 1, None);
+        s.submit(&mut sim, SimDuration::from_micros(1), |_, _| {});
+        sim.run();
+        assert!(sim.trace().take().is_none());
+        assert_eq!(s.stats().completions, 1);
     }
 
     #[test]

@@ -1,0 +1,568 @@
+//! Opt-in, deterministic event tracing for the simulation substrate.
+//!
+//! The paper's analyses hinge on *which* station saturates first and
+//! *when* its queue builds — end-of-run aggregates cannot explain a p99
+//! knee. This module records typed simulation events (enqueue / dequeue /
+//! service-start / service-end / drop / power-sample) into a bounded ring
+//! as the run executes, and simultaneously folds them into fixed-width
+//! per-station time buckets (busy-time integral, queue-depth peak, drop
+//! and completion counts) so utilization and queue-depth timelines stay
+//! exact even after the ring evicts old raw records.
+//!
+//! Tracing is wired through [`TraceSink`], an enum whose
+//! [`TraceSink::Inert`] variant makes every hook a single discriminant
+//! test with **no allocation and no work on the hot path** — a simulator
+//! without an attached ring behaves byte-for-byte like one built before
+//! this module existed. Components fetch the run's sink from the engine
+//! ([`crate::engine::Simulator::trace`]), so the run harness enables
+//! tracing in exactly one place.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a station registered with a [`TraceSink`].
+///
+/// Ids are dense indices assigned in registration order, so they are
+/// deterministic for a deterministic simulation. The inert sink hands out
+/// [`StationId::INERT`] without recording anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StationId(pub u32);
+
+impl StationId {
+    /// The id the inert sink assigns; never dereferenced.
+    pub const INERT: StationId = StationId(u32::MAX);
+}
+
+/// A typed simulation event.
+///
+/// Each variant carries the post-transition observable (queue depth after
+/// the enqueue, busy servers after the service start, …) so a consumer can
+/// replay the station's state without private bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceKind {
+    /// A job entered the wait queue; `depth` is the depth afterwards.
+    Enqueue {
+        /// Queue depth after the enqueue.
+        depth: u32,
+    },
+    /// A job left the wait queue for a server; `depth` is the depth
+    /// afterwards.
+    Dequeue {
+        /// Queue depth after the dequeue.
+        depth: u32,
+    },
+    /// A server began processing a job; `busy` counts busy servers
+    /// afterwards.
+    ServiceStart {
+        /// Busy servers after the start.
+        busy: u32,
+    },
+    /// A server finished a job; `busy` counts busy servers afterwards.
+    ServiceEnd {
+        /// Busy servers after the completion.
+        busy: u32,
+    },
+    /// A job was dropped at a full wait queue; `depth` is the (full)
+    /// depth at the drop.
+    Drop {
+        /// Queue depth at the drop.
+        depth: u32,
+    },
+    /// An instantaneous power reading attributed to the station's track.
+    PowerSample {
+        /// The reading, in watts.
+        watts: f64,
+    },
+}
+
+impl TraceKind {
+    /// A stable short name for export formats.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceKind::Enqueue { .. } => "enqueue",
+            TraceKind::Dequeue { .. } => "dequeue",
+            TraceKind::ServiceStart { .. } => "service-start",
+            TraceKind::ServiceEnd { .. } => "service-end",
+            TraceKind::Drop { .. } => "drop",
+            TraceKind::PowerSample { .. } => "power-sample",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub at: SimTime,
+    /// The station it happened at.
+    pub station: StationId,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Per-bucket aggregates of one station's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TraceBucket {
+    /// Integral of (busy servers × time) inside the bucket, ns-servers.
+    pub busy_ns: u128,
+    /// Peak queue depth observed inside the bucket.
+    pub depth_peak: u32,
+    /// Drops inside the bucket.
+    pub drops: u64,
+    /// Service completions inside the bucket.
+    pub completions: u64,
+    /// Sum of power samples inside the bucket (for averaging).
+    pub power_sum: f64,
+    /// Number of power samples inside the bucket.
+    pub power_samples: u32,
+}
+
+/// Lifetime event counts of one station, by kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCounts {
+    /// `Enqueue` events.
+    pub enqueues: u64,
+    /// `Dequeue` events.
+    pub dequeues: u64,
+    /// `ServiceStart` events.
+    pub service_starts: u64,
+    /// `ServiceEnd` events.
+    pub service_ends: u64,
+    /// `Drop` events.
+    pub drops: u64,
+    /// `PowerSample` events.
+    pub power_samples: u64,
+}
+
+impl TraceCounts {
+    /// Total events of every kind.
+    pub fn total(&self) -> u64 {
+        self.enqueues
+            + self.dequeues
+            + self.service_starts
+            + self.service_ends
+            + self.drops
+            + self.power_samples
+    }
+
+    /// The event-stream conservation law: every dequeued job was first
+    /// enqueued, and every completed service was started.
+    pub fn conserved(&self) -> bool {
+        self.dequeues <= self.enqueues && self.service_ends <= self.service_starts
+    }
+}
+
+/// One station's drained timeline: identity, lifetime counts, and the
+/// bucketed aggregates. Plain data (`Send`), so it can cross threads after
+/// the single-threaded simulation finishes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationTrack {
+    /// Station name (as registered).
+    pub name: String,
+    /// Parallel servers.
+    pub servers: usize,
+    /// Lifetime event counts.
+    pub counts: TraceCounts,
+    /// Fixed-width buckets covering `[0, finish]`.
+    pub buckets: Vec<TraceBucket>,
+}
+
+/// Everything drained out of a trace ring after a run: the surviving raw
+/// records (most recent `capacity`), the exact per-station tracks, and the
+/// ring's own accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceData {
+    /// Surviving raw records, oldest first.
+    pub records: Vec<TraceRecord>,
+    /// Per-station bucketed timelines (exact — unaffected by eviction).
+    pub tracks: Vec<StationTrack>,
+    /// Total events ever recorded.
+    pub total: u64,
+    /// Records evicted from the ring (total − evicted = records kept).
+    pub evicted: u64,
+    /// The bucket width the tracks were aggregated at.
+    pub bucket: SimDuration,
+}
+
+/// Live per-station state inside the ring.
+#[derive(Debug)]
+struct LiveTrack {
+    name: String,
+    servers: usize,
+    busy: u32,
+    depth: u32,
+    last_change: SimTime,
+    counts: TraceCounts,
+    buckets: Vec<TraceBucket>,
+}
+
+impl LiveTrack {
+    /// Credits `busy × (to − last_change)` into the bucket grid, splitting
+    /// across bucket boundaries, then advances the change cursor.
+    fn advance(&mut self, to: SimTime, bucket_ns: u64) {
+        let mut from = self.last_change.as_nanos();
+        let to_ns = to.as_nanos();
+        self.last_change = to;
+        if self.busy == 0 || to_ns <= from {
+            // Extend the grid so the timeline covers [0, to) — an instant
+            // exactly on a boundary closes the previous bucket rather than
+            // opening an empty one.
+            self.ensure_bucket(to_ns.saturating_sub(1) / bucket_ns);
+            return;
+        }
+        while from < to_ns {
+            let idx = from / bucket_ns;
+            let bucket_end = (idx + 1) * bucket_ns;
+            let span = bucket_end.min(to_ns) - from;
+            self.ensure_bucket(idx);
+            self.buckets[idx as usize].busy_ns += span as u128 * self.busy as u128;
+            from += span;
+        }
+    }
+
+    fn ensure_bucket(&mut self, idx: u64) -> &mut TraceBucket {
+        let idx = idx as usize;
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, TraceBucket::default());
+        }
+        &mut self.buckets[idx]
+    }
+}
+
+/// The bounded event ring plus the exact bucketed aggregation.
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    bucket_ns: u64,
+    records: VecDeque<TraceRecord>,
+    tracks: Vec<LiveTrack>,
+    total: u64,
+    evicted: u64,
+}
+
+impl TraceRing {
+    fn new(capacity: usize, bucket: SimDuration) -> Self {
+        TraceRing {
+            capacity: capacity.max(1),
+            bucket_ns: bucket.as_nanos().max(1),
+            records: VecDeque::with_capacity(capacity.clamp(1, 1 << 16)),
+            tracks: Vec::new(),
+            total: 0,
+            evicted: 0,
+        }
+    }
+
+    fn register(&mut self, name: &str, servers: usize) -> StationId {
+        let id = StationId(self.tracks.len() as u32);
+        self.tracks.push(LiveTrack {
+            name: name.to_string(),
+            servers,
+            busy: 0,
+            depth: 0,
+            last_change: SimTime::ZERO,
+            counts: TraceCounts::default(),
+            buckets: Vec::new(),
+        });
+        id
+    }
+
+    fn record(&mut self, at: SimTime, station: StationId, kind: TraceKind) {
+        let Some(track) = self.tracks.get_mut(station.0 as usize) else {
+            return; // unregistered id (e.g. from a different sink): ignore
+        };
+        let bucket_ns = self.bucket_ns;
+        track.advance(at, bucket_ns);
+        let idx = at.as_nanos() / bucket_ns;
+        match kind {
+            TraceKind::Enqueue { depth } => {
+                track.counts.enqueues += 1;
+                track.depth = depth;
+                let b = track.ensure_bucket(idx);
+                b.depth_peak = b.depth_peak.max(depth);
+            }
+            TraceKind::Dequeue { depth } => {
+                track.counts.dequeues += 1;
+                track.depth = depth;
+                track.ensure_bucket(idx);
+            }
+            TraceKind::ServiceStart { busy } => {
+                track.counts.service_starts += 1;
+                track.busy = busy;
+                track.ensure_bucket(idx);
+            }
+            TraceKind::ServiceEnd { busy } => {
+                track.counts.service_ends += 1;
+                track.busy = busy;
+                track.ensure_bucket(idx).completions += 1;
+            }
+            TraceKind::Drop { depth } => {
+                track.counts.drops += 1;
+                let b = track.ensure_bucket(idx);
+                b.drops += 1;
+                b.depth_peak = b.depth_peak.max(depth);
+            }
+            TraceKind::PowerSample { watts } => {
+                track.counts.power_samples += 1;
+                let b = track.ensure_bucket(idx);
+                b.power_sum += watts;
+                b.power_samples += 1;
+            }
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.evicted += 1;
+        }
+        self.records.push_back(TraceRecord { at, station, kind });
+        self.total += 1;
+    }
+
+    fn finish(&mut self, at: SimTime) {
+        let bucket_ns = self.bucket_ns;
+        for track in &mut self.tracks {
+            if at > track.last_change {
+                track.advance(at, bucket_ns);
+            }
+        }
+    }
+
+    fn drain(&mut self) -> TraceData {
+        TraceData {
+            records: self.records.drain(..).collect(),
+            tracks: self
+                .tracks
+                .drain(..)
+                .map(|t| StationTrack {
+                    name: t.name,
+                    servers: t.servers,
+                    counts: t.counts,
+                    buckets: t.buckets,
+                })
+                .collect(),
+            total: self.total,
+            evicted: self.evicted,
+            bucket: SimDuration::from_nanos(self.bucket_ns),
+        }
+    }
+}
+
+/// Where trace events go. Cloning a `Ring` sink shares the ring.
+///
+/// The `Inert` variant is the zero-cost default: every hook reduces to a
+/// discriminant test, no ring exists, and nothing allocates.
+///
+/// # Example
+///
+/// ```
+/// use snicbench_sim::trace::{TraceKind, TraceSink};
+/// use snicbench_sim::{SimDuration, SimTime};
+///
+/// let sink = TraceSink::bounded(16, SimDuration::from_micros(10));
+/// let cpu = sink.register("cpu", 2);
+/// sink.record(SimTime::from_nanos(5), cpu, TraceKind::ServiceStart { busy: 1 });
+/// sink.finish(SimTime::from_nanos(100));
+/// let data = sink.take().expect("ring sink yields data");
+/// assert_eq!(data.total, 1);
+/// assert_eq!(data.tracks[0].counts.service_starts, 1);
+///
+/// // The inert sink records nothing and yields nothing.
+/// let inert = TraceSink::inert();
+/// assert!(inert.is_inert());
+/// assert!(inert.take().is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub enum TraceSink {
+    /// Discard everything (the default).
+    #[default]
+    Inert,
+    /// Record into a shared bounded ring.
+    Ring(Rc<RefCell<TraceRing>>),
+}
+
+impl TraceSink {
+    /// The discard-everything sink.
+    pub fn inert() -> Self {
+        TraceSink::Inert
+    }
+
+    /// A sink recording into a fresh ring that keeps the most recent
+    /// `capacity` raw records and aggregates exact per-station timelines
+    /// at `bucket` resolution.
+    pub fn bounded(capacity: usize, bucket: SimDuration) -> Self {
+        TraceSink::Ring(Rc::new(RefCell::new(TraceRing::new(capacity, bucket))))
+    }
+
+    /// True for the inert sink — the fast-path test every hook performs.
+    #[inline]
+    pub fn is_inert(&self) -> bool {
+        matches!(self, TraceSink::Inert)
+    }
+
+    /// Registers a station and returns its id. The inert sink returns
+    /// [`StationId::INERT`] without doing anything.
+    pub fn register(&self, name: &str, servers: usize) -> StationId {
+        match self {
+            TraceSink::Inert => StationId::INERT,
+            TraceSink::Ring(ring) => ring.borrow_mut().register(name, servers),
+        }
+    }
+
+    /// Records one event. A no-op on the inert sink.
+    #[inline]
+    pub fn record(&self, at: SimTime, station: StationId, kind: TraceKind) {
+        if let TraceSink::Ring(ring) = self {
+            ring.borrow_mut().record(at, station, kind);
+        }
+    }
+
+    /// Closes every station's busy-time integral at `at` (call once, when
+    /// the run ends, before [`TraceSink::take`]).
+    pub fn finish(&self, at: SimTime) {
+        if let TraceSink::Ring(ring) = self {
+            ring.borrow_mut().finish(at);
+        }
+    }
+
+    /// Drains the ring into plain data; `None` for the inert sink.
+    pub fn take(&self) -> Option<TraceData> {
+        match self {
+            TraceSink::Inert => None,
+            TraceSink::Ring(ring) => Some(ring.borrow_mut().drain()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink() -> TraceSink {
+        TraceSink::bounded(1024, SimDuration::from_micros(1))
+    }
+
+    #[test]
+    fn inert_sink_is_free_and_silent() {
+        let s = TraceSink::inert();
+        assert!(s.is_inert());
+        let id = s.register("cpu", 4);
+        assert_eq!(id, StationId::INERT);
+        s.record(
+            SimTime::from_nanos(1),
+            id,
+            TraceKind::ServiceStart { busy: 1 },
+        );
+        s.finish(SimTime::from_nanos(10));
+        assert!(s.take().is_none());
+    }
+
+    #[test]
+    fn counts_and_records_accumulate() {
+        let s = sink();
+        let id = s.register("q", 1);
+        s.record(SimTime::from_nanos(10), id, TraceKind::ServiceStart { busy: 1 });
+        s.record(SimTime::from_nanos(20), id, TraceKind::Enqueue { depth: 1 });
+        s.record(SimTime::from_nanos(30), id, TraceKind::Drop { depth: 1 });
+        s.record(SimTime::from_nanos(40), id, TraceKind::ServiceEnd { busy: 0 });
+        s.record(SimTime::from_nanos(40), id, TraceKind::Dequeue { depth: 0 });
+        s.finish(SimTime::from_nanos(100));
+        let d = s.take().unwrap();
+        assert_eq!(d.total, 5);
+        assert_eq!(d.evicted, 0);
+        assert_eq!(d.records.len(), 5);
+        let c = d.tracks[0].counts;
+        assert_eq!(c.enqueues, 1);
+        assert_eq!(c.dequeues, 1);
+        assert_eq!(c.service_starts, 1);
+        assert_eq!(c.service_ends, 1);
+        assert_eq!(c.drops, 1);
+        assert_eq!(c.total(), 5);
+        assert!(c.conserved());
+    }
+
+    #[test]
+    fn ring_bounds_raw_records_but_keeps_exact_counts() {
+        let s = TraceSink::bounded(4, SimDuration::from_micros(1));
+        let id = s.register("q", 1);
+        for i in 0..10u64 {
+            s.record(
+                SimTime::from_nanos(i * 10),
+                id,
+                TraceKind::Enqueue { depth: i as u32 },
+            );
+        }
+        let d = s.take().unwrap();
+        assert_eq!(d.total, 10);
+        assert_eq!(d.evicted, 6);
+        assert_eq!(d.records.len(), 4);
+        // Aggregates are unaffected by eviction.
+        assert_eq!(d.tracks[0].counts.enqueues, 10);
+        // The survivors are the most recent four, oldest first.
+        assert_eq!(d.records[0].at, SimTime::from_nanos(60));
+        assert_eq!(d.records[3].at, SimTime::from_nanos(90));
+    }
+
+    #[test]
+    fn busy_integral_splits_across_buckets() {
+        // 1 server busy from 500 ns to 2500 ns with 1 µs buckets:
+        // bucket 0 gets 500, bucket 1 gets 1000, bucket 2 gets 500.
+        let s = sink();
+        let id = s.register("cpu", 1);
+        s.record(SimTime::from_nanos(500), id, TraceKind::ServiceStart { busy: 1 });
+        s.record(SimTime::from_nanos(2_500), id, TraceKind::ServiceEnd { busy: 0 });
+        s.finish(SimTime::from_nanos(3_000));
+        let d = s.take().unwrap();
+        let b = &d.tracks[0].buckets;
+        assert_eq!(b[0].busy_ns, 500);
+        assert_eq!(b[1].busy_ns, 1_000);
+        assert_eq!(b[2].busy_ns, 500);
+        assert_eq!(b[2].completions, 1);
+        // Utilization over the 3 µs window: 2000/3000.
+        let total: u128 = b.iter().map(|b| b.busy_ns).sum();
+        assert_eq!(total, 2_000);
+    }
+
+    #[test]
+    fn depth_peak_and_drops_land_in_their_buckets() {
+        let s = sink();
+        let id = s.register("q", 1);
+        s.record(SimTime::from_nanos(100), id, TraceKind::Enqueue { depth: 3 });
+        s.record(SimTime::from_nanos(1_200), id, TraceKind::Drop { depth: 5 });
+        s.finish(SimTime::from_nanos(2_000));
+        let d = s.take().unwrap();
+        let b = &d.tracks[0].buckets;
+        assert_eq!(b[0].depth_peak, 3);
+        assert_eq!(b[1].depth_peak, 5);
+        assert_eq!(b[1].drops, 1);
+    }
+
+    #[test]
+    fn power_samples_average_per_bucket() {
+        let s = sink();
+        let id = s.register("bmc", 1);
+        s.record(SimTime::from_nanos(100), id, TraceKind::PowerSample { watts: 250.0 });
+        s.record(SimTime::from_nanos(200), id, TraceKind::PowerSample { watts: 260.0 });
+        let d = s.take().unwrap();
+        let b = d.tracks[0].buckets[0];
+        assert_eq!(b.power_samples, 2);
+        assert!((b.power_sum - 510.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_stations_keep_independent_tracks() {
+        let s = sink();
+        let a = s.register("a", 1);
+        let b = s.register("b", 2);
+        assert_eq!(a, StationId(0));
+        assert_eq!(b, StationId(1));
+        s.record(SimTime::from_nanos(10), a, TraceKind::ServiceStart { busy: 1 });
+        s.record(SimTime::from_nanos(10), b, TraceKind::Enqueue { depth: 1 });
+        let d = s.take().unwrap();
+        assert_eq!(d.tracks[0].counts.service_starts, 1);
+        assert_eq!(d.tracks[0].counts.enqueues, 0);
+        assert_eq!(d.tracks[1].counts.enqueues, 1);
+        assert_eq!(d.tracks[1].name, "b");
+        assert_eq!(d.tracks[1].servers, 2);
+    }
+}

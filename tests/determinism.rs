@@ -5,8 +5,10 @@
 use snicbench::core::benchmark::Workload;
 use snicbench::core::executor::Executor;
 use snicbench::core::experiment::{find_operating_point_with, SearchBudget};
+use snicbench::core::experiment::Scenario;
 use snicbench::core::runner::{run, OfferedLoad, RunConfig};
-use snicbench::core::sweep::{rate_sweep_with, SweepConfig};
+use snicbench::core::sweep::SweepConfig;
+use snicbench::core::telemetry::RunContext;
 use snicbench::functions::artifacts;
 use snicbench::functions::kvs::ycsb::{YcsbGenerator, YcsbWorkload};
 use snicbench::functions::rem::RemRuleset;
@@ -88,8 +90,9 @@ fn parallel_sweep_equals_serial_sweep() {
         ops_per_point: 4_000.0,
         seed: 0xF1605,
     };
-    let serial = rate_sweep_with(&cfg, &Executor::new(1));
-    let parallel = rate_sweep_with(&cfg, &Executor::new(4));
+    let sweep = Scenario::sweep(cfg);
+    let serial = sweep.run_with(&RunContext::disabled(), &Executor::new(1));
+    let parallel = sweep.run_with(&RunContext::disabled(), &Executor::new(4));
     assert_eq!(serial, parallel, "sweep vectors diverged across job counts");
 }
 

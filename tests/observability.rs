@@ -1,0 +1,189 @@
+//! The observability layer end to end: RunReport schema stability (pinned
+//! by a golden key-path file), jobs-count invariance of the exported
+//! report, and round-tripping the Chrome trace through the JSON parser
+//! with event counts that match the station's own accounting.
+
+use std::collections::BTreeSet;
+
+use snicbench::core::benchmark::Workload;
+use snicbench::core::executor::Executor;
+use snicbench::core::experiment::{measure_power_in, OperatingPoint, Scenario};
+use snicbench::core::json::Json;
+use snicbench::core::runner::{run_in, OfferedLoad, RunConfig};
+use snicbench::core::sweep::SweepConfig;
+use snicbench::core::telemetry::{
+    chrome_trace_json, run_report, RunContext, RunTelemetry, RUN_REPORT_SCHEMA,
+};
+use snicbench::functions::rem::RemRuleset;
+use snicbench::hw::ExecutionPlatform;
+use snicbench::sim::trace::TraceKind;
+use snicbench::sim::SimDuration;
+
+/// One traced NAT run at a rate past capacity (so the trace contains
+/// enqueues, dequeues, *and* drops), with power attached — every branch
+/// of the report schema populated.
+fn traced_run() -> Vec<RunTelemetry> {
+    let ctx = RunContext::collecting();
+    let scope = ctx.scope("NAT-10000/SNIC CPU");
+    let mut cfg = RunConfig::new(
+        Workload::Nat { entries: 10_000 },
+        ExecutionPlatform::SnicCpu,
+        OfferedLoad::OpsPerSec(3_000_000.0),
+    );
+    cfg.duration = SimDuration::from_millis(60);
+    cfg.warmup = SimDuration::from_millis(10);
+    cfg.seed = 0x0B5;
+    let metrics = run_in(&cfg, &scope);
+    let point = OperatingPoint {
+        workload: cfg.workload,
+        platform: cfg.platform,
+        max_ops: metrics.achieved_ops,
+        max_gbps: metrics.achieved_gbps,
+        p99_us: metrics.latency.p99_us,
+        metrics,
+    };
+    measure_power_in(&point, SimDuration::from_secs(10), 7, &scope);
+    let runs = ctx.drain();
+    assert_eq!(runs.len(), 1, "one labelled run expected");
+    runs
+}
+
+/// Every key path reachable in `j`, with arrays contributing their first
+/// element's paths under `[]`.
+fn collect_paths(j: &Json, path: &str, out: &mut BTreeSet<String>) {
+    if let Some(entries) = j.entries() {
+        for (k, v) in entries {
+            let p = format!("{path}.{k}");
+            out.insert(p.clone());
+            collect_paths(v, &p, out);
+        }
+    } else if let Some(items) = j.as_arr() {
+        if let Some(first) = items.first() {
+            collect_paths(first, &format!("{path}[]"), out);
+        }
+    }
+}
+
+#[test]
+fn run_report_schema_matches_golden() {
+    let runs = traced_run();
+    let report = run_report("golden", Json::Arr(Vec::new()), &runs);
+    assert_eq!(
+        report.get("schema").and_then(|s| s.as_str()),
+        Some(RUN_REPORT_SCHEMA)
+    );
+    let mut paths = BTreeSet::new();
+    collect_paths(&report, "$", &mut paths);
+    let actual: Vec<String> = paths.into_iter().collect();
+    let golden = include_str!("golden/run_report_schema.txt");
+    let expected: Vec<String> = golden.lines().map(str::to_string).collect();
+    assert_eq!(
+        actual,
+        expected,
+        "RunReport key paths changed. If intentional, bump the schema \
+         version in core::telemetry and update tests/golden/run_report_schema.txt to:\n{}",
+        actual.join("\n")
+    );
+}
+
+#[test]
+fn exported_report_is_identical_at_any_job_count() {
+    let cfg = SweepConfig {
+        workload: Workload::Rem(RemRuleset::FileExecutable),
+        platform: ExecutionPlatform::SnicAccelerator,
+        offered_gbps: (1..=8).map(|i| i as f64 * 8.0).collect(),
+        ops_per_point: 4_000.0,
+        seed: 0xF1605,
+    };
+    let report = |jobs: usize| {
+        let ctx = RunContext::collecting();
+        let points = Scenario::sweep(cfg.clone()).run_with(&ctx, &Executor::new(jobs));
+        assert!(!points.is_empty());
+        let runs = ctx.drain();
+        assert_eq!(runs.len(), 1, "the knee point is re-run traced");
+        (
+            run_report("fig5", Json::Null, &runs).to_pretty(),
+            chrome_trace_json(&runs).to_pretty(),
+        )
+    };
+    let serial = report(1);
+    let parallel = report(4);
+    assert_eq!(serial.0, parallel.0, "RunReport diverged across job counts");
+    assert_eq!(
+        serial.1, parallel.1,
+        "Chrome trace diverged across job counts"
+    );
+}
+
+#[test]
+fn chrome_trace_round_trips_and_counts_match_the_station() {
+    let runs = traced_run();
+    let run = &runs[0];
+    let station = &run.stations[0];
+
+    // The trace's own ledger agrees with the queue's: every drop the
+    // bounded FIFO recorded is a drop event, and the conservation
+    // inequalities hold.
+    assert!(station.counts.conserved(), "{:?}", station.counts);
+    assert_eq!(station.counts.drops, run.fifo.dropped);
+    assert_eq!(station.counts.dequeues, run.fifo.dequeued);
+    assert!(run.fifo.dropped > 0, "overdriven run must drop");
+    assert_eq!(
+        run.events_total,
+        station.counts.total(),
+        "ring total vs per-kind counts"
+    );
+
+    // Emit -> parse -> re-emit is byte-stable (the parser may read an
+    // integral `Num` back as `U64`, so compare the serialized form).
+    let chrome = chrome_trace_json(&runs);
+    let parsed = Json::parse(&chrome.to_compact()).expect("trace must parse");
+    assert_eq!(
+        parsed.to_compact(),
+        chrome.to_compact(),
+        "round trip changed the document"
+    );
+
+    // Event census against the run's own numbers.
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    let with_ph = |ph: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some(ph))
+            .count()
+    };
+    let kept_drops = run
+        .records
+        .iter()
+        .filter(|r| matches!(r.kind, TraceKind::Drop { .. }))
+        .count();
+    assert_eq!(with_ph("i"), kept_drops, "one instant event per kept drop");
+    let counters = station.utilization.len()
+        + station.queue_depth.len()
+        + run.power.as_ref().map_or(0, |p| p.system_w.len() + p.snic_w.len());
+    assert_eq!(with_ph("C"), counters, "counter events vs timeline samples");
+    // process_name + one thread_name per station + one for power.
+    assert_eq!(with_ph("M"), 1 + run.stations.len() + 1);
+    let power = run.power.as_ref().expect("power attached");
+    assert_eq!(power.samples as usize, power.system_w.len() + power.snic_w.len());
+}
+
+#[test]
+fn disabled_context_is_free_and_empty() {
+    let ctx = RunContext::disabled();
+    let mut cfg = RunConfig::new(
+        Workload::Nat { entries: 10_000 },
+        ExecutionPlatform::SnicCpu,
+        OfferedLoad::OpsPerSec(200_000.0),
+    );
+    cfg.duration = SimDuration::from_millis(30);
+    cfg.warmup = SimDuration::from_millis(5);
+    cfg.seed = 1;
+    let with_scope = run_in(&cfg, &ctx.scope("x"));
+    let plain = snicbench::core::runner::run(&cfg);
+    assert_eq!(with_scope, plain, "a disabled scope must not perturb a run");
+    assert!(ctx.drain().is_empty());
+}

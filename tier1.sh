@@ -1,27 +1,45 @@
 #!/bin/bash
-# Tier-1 gate: release build, full test suite, the simulator conformance
-# harness (closed-form queueing theory cross-check + per-run invariant
-# audit of every Fig. 4 cell), and the executor's determinism contract
-# (fig4 --quick must be byte-identical on stdout at --jobs 1 and --jobs 4).
+# Tier-1 gate: release build, full test suite, a warning-free clippy pass,
+# the simulator conformance harness (closed-form queueing theory
+# cross-check + per-run invariant audit of every Fig. 4 cell), the
+# executor's determinism contract (fig4 --quick must be byte-identical on
+# stdout at --jobs 1 and --jobs 4), and an observability smoke: the
+# --trace / --json exports must be well-formed JSON with the expected
+# schema while auditing stays clean.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
+cargo clippy --workspace -- -D warnings
 
 echo "==== conformance: simulator vs queueing theory + invariant audit ===="
 # Exits non-zero if any probe case leaves the tolerance band or any run
 # violates a conservation invariant.
 ./target/release/conformance --quick --jobs 4
 
-echo "==== determinism smoke: fig4 --quick --jobs 1 vs --jobs 4 ===="
+echo "==== determinism + observability smoke: fig4 --quick ===="
 out1=$(mktemp)
 out4=$(mktemp)
-trap 'rm -f "$out1" "$out4"' EXIT
+trace=$(mktemp)
+report=$(mktemp)
+trap 'rm -f "$out1" "$out4" "$trace" "$report"' EXIT
 ./target/release/fig4 --quick --jobs 1 > "$out1" 2>/dev/null
-./target/release/fig4 --quick --jobs 4 > "$out4" 2>/dev/null
+# The jobs-4 run doubles as the observability smoke: auditing armed,
+# both export files requested (neither may perturb stdout).
+./target/release/fig4 --quick --jobs 4 --audit \
+  --trace "$trace" --json "$report" > "$out4" 2>/dev/null
 if ! diff -u "$out1" "$out4"; then
   echo "FAIL: fig4 --quick output differs between --jobs 1 and --jobs 4" >&2
   exit 1
 fi
 echo "OK: byte-identical across job counts"
+
+jq -e '.traceEvents | length > 0' "$trace" > /dev/null \
+  || { echo "FAIL: --trace output is not a Chrome trace" >&2; exit 1; }
+jq -e '.schema == "snicbench.run-report.v1" and (.runs | length > 0)' \
+  "$report" > /dev/null \
+  || { echo "FAIL: --json output is not a v1 RunReport" >&2; exit 1; }
+jq -e '[.runs[].conformance.clean] | all' "$report" > /dev/null \
+  || { echo "FAIL: RunReport records a conformance violation" >&2; exit 1; }
+echo "OK: trace + RunReport parse, schema v1, audit clean"
