@@ -1,0 +1,90 @@
+//! Machine-readable diagnostics: the analyzer's only output currency.
+//!
+//! Every rule violation, malformed suppression, and stale suppression
+//! becomes a [`Diagnostic`]: `file:line:col`, the lint name, a one-line
+//! message, and a concrete suggestion. The text rendering is what
+//! `lint` prints (and what the fixture goldens pin down); the JSON
+//! rendering nests into the workspace's existing report tooling via
+//! [`snicbench_core::json::Json`].
+
+use snicbench_core::json::Json;
+
+/// One finding, anchored to a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes on every platform).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column, in characters.
+    pub col: u32,
+    /// The lint that fired (e.g. `wall-clock-in-sim`).
+    pub lint: String,
+    /// What is wrong, in one line.
+    pub message: String,
+    /// How to fix it (shown under `--fix-hints`).
+    pub suggestion: String,
+}
+
+impl Diagnostic {
+    /// The canonical single-line rendering:
+    /// `path:line:col: [lint] message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.lint, self.message
+        )
+    }
+
+    /// The JSON object form used inside lint reports.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("file", Json::str(&self.file)),
+            ("line", Json::U64(u64::from(self.line))),
+            ("col", Json::U64(u64::from(self.col))),
+            ("lint", Json::str(&self.lint)),
+            ("message", Json::str(&self.message)),
+            ("suggestion", Json::str(&self.suggestion)),
+        ])
+    }
+
+    /// The sort key that makes reports deterministic: path, then
+    /// position, then lint name (two lints can fire on one token).
+    pub fn sort_key(&self) -> (String, u32, u32, String) {
+        (self.file.clone(), self.line, self.col, self.lint.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            file: "crates/sim/src/engine.rs".into(),
+            line: 12,
+            col: 9,
+            lint: "wall-clock-in-sim".into(),
+            message: "wall-clock read in simulation code".into(),
+            suggestion: "use SimTime".into(),
+        }
+    }
+
+    #[test]
+    fn renders_grep_friendly_line() {
+        assert_eq!(
+            diag().render(),
+            "crates/sim/src/engine.rs:12:9: [wall-clock-in-sim] wall-clock read in simulation code"
+        );
+    }
+
+    #[test]
+    fn json_round_trips_fields() {
+        let j = diag().to_json();
+        assert_eq!(j.get("line").and_then(Json::as_u64), Some(12));
+        assert_eq!(
+            j.get("lint").and_then(Json::as_str),
+            Some("wall-clock-in-sim")
+        );
+    }
+}

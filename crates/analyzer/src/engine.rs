@@ -1,0 +1,497 @@
+//! The analysis engine: files in, sorted [`Diagnostic`]s out.
+//!
+//! Per file the engine lexes the source, finds `#[cfg(test)]` /
+//! `#[test]` regions (token-level brace matching — no full parse
+//! needed), extracts suppression directives, runs every rule whose
+//! scope covers the file, and reconciles the three: findings in test
+//! regions are dropped for rules that exempt test code, suppressed
+//! findings consume their directive, and directives that silenced
+//! nothing come back as `unused-suppression` findings. Fixture files
+//! may carry a `// snicbench-fixture: <path>` header that sets the
+//! *virtual* path rules are scoped by, so the corpus can exercise
+//! per-rule module scoping while diagnostics still point at the real
+//! file on disk.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use snicbench_core::json::Json;
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Tok, TokKind};
+use crate::rules;
+use crate::suppress;
+
+/// The outcome of analyzing a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by `(file, line, col, lint)`.
+    pub findings: Vec<Diagnostic>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+    /// Directives that silenced at least one finding.
+    pub suppressions_used: usize,
+    /// All well-formed directives encountered.
+    pub suppressions_total: usize,
+}
+
+impl Report {
+    /// True when the scanned tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the findings one per line (the `lint` binary's stdout);
+    /// with `hints`, each diagnostic is followed by an indented
+    /// `hint:` line carrying the suggestion.
+    pub fn render(&self, hints: bool) -> String {
+        let mut out = String::new();
+        for d in &self.findings {
+            out.push_str(&d.render());
+            out.push('\n');
+            if hints && !d.suggestion.is_empty() {
+                out.push_str(&format!("    hint: {}\n", d.suggestion));
+            }
+        }
+        out
+    }
+
+    /// The machine-readable report (`lint --json`), schema
+    /// `snicbench.lint-report.v1`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str("snicbench.lint-report.v1")),
+            ("filesScanned", Json::U64(self.files_scanned as u64)),
+            (
+                "suppressionsUsed",
+                Json::U64(self.suppressions_used as u64),
+            ),
+            (
+                "suppressionsTotal",
+                Json::U64(self.suppressions_total as u64),
+            ),
+            (
+                "findings",
+                Json::arr(self.findings.iter().map(Diagnostic::to_json)),
+            ),
+            (
+                "rules",
+                Json::arr(rules::all().iter().map(|r| {
+                    Json::obj([
+                        ("name", Json::str(r.name)),
+                        ("brief", Json::str(r.brief)),
+                        ("scope", Json::str(r.scope)),
+                    ])
+                })),
+            ),
+        ])
+    }
+
+    fn sort(&mut self) {
+        self.findings.sort_by_key(Diagnostic::sort_key);
+    }
+}
+
+/// Analyzes one source text as if it lived at `path` (used for both
+/// real files and in-memory tests).
+pub fn analyze_source(path: &str, src: &str) -> Report {
+    analyze_source_scoped(path, path, src)
+}
+
+/// Analyzes `src`, scoping rules by `scope_path` but reporting
+/// diagnostics against `report_path` (fixture mode).
+pub fn analyze_source_scoped(report_path: &str, scope_path: &str, src: &str) -> Report {
+    let toks = lex(src);
+    let code: Vec<Tok> = toks.iter().filter(|t| !t.is_comment()).cloned().collect();
+    let regions = test_regions(&code);
+    let known = rules::known_lints();
+    let sup = suppress::extract(&toks, &known);
+    let file_is_test = is_test_path(scope_path);
+
+    let mut used = vec![false; sup.directives.len()];
+    let mut report = Report {
+        files_scanned: 1,
+        suppressions_total: sup.directives.len(),
+        ..Report::default()
+    };
+
+    for rule in rules::all() {
+        if !(rule.applies)(scope_path) {
+            continue;
+        }
+        if rule.skip_test_code && file_is_test {
+            continue;
+        }
+        for f in (rule.check)(&code) {
+            if rule.skip_test_code && in_regions(&regions, f.line) {
+                continue;
+            }
+            if let Some(i) = sup
+                .directives
+                .iter()
+                .position(|d| d.lint == rule.name && d.applies_line == f.line)
+            {
+                used[i] = true;
+                continue;
+            }
+            report.findings.push(Diagnostic {
+                file: report_path.to_string(),
+                line: f.line,
+                col: f.col,
+                lint: rule.name.to_string(),
+                message: f.message,
+                suggestion: rule.suggestion.to_string(),
+            });
+        }
+    }
+
+    for m in &sup.malformed {
+        report.findings.push(Diagnostic {
+            file: report_path.to_string(),
+            line: m.line,
+            col: m.col,
+            lint: rules::MALFORMED_SUPPRESSION.to_string(),
+            message: m.why.clone(),
+            suggestion: "write `// snicbench: allow(<lint>, \"<reason>\")` with a non-empty reason"
+                .to_string(),
+        });
+    }
+    for (d, used) in sup.directives.iter().zip(&used) {
+        if !used {
+            report.findings.push(Diagnostic {
+                file: report_path.to_string(),
+                line: d.line,
+                col: d.col,
+                lint: rules::UNUSED_SUPPRESSION.to_string(),
+                message: format!("allow({}) silences nothing", d.lint),
+                suggestion: "remove the stale directive (or move it next to the finding it \
+                             is meant to silence)"
+                    .to_string(),
+            });
+        }
+    }
+    report.suppressions_used = used.iter().filter(|u| **u).count();
+    report.sort();
+    report
+}
+
+/// Scans every workspace source file under `root` and merges the
+/// per-file reports.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for (rel, abs) in workspace_files(root)? {
+        let src = fs::read_to_string(&abs)?;
+        merge(&mut report, analyze_source(&rel, &src));
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Scans the fixture corpus in `dir` (flat `*.rs` files). Each fixture
+/// must start with a `// snicbench-fixture: <virtual path>` header that
+/// sets the path rules are scoped by; diagnostics report the real
+/// workspace-relative fixture path.
+pub fn analyze_fixtures(root: &Path, dir: &Path) -> std::io::Result<Report> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    entries.sort();
+    let mut report = Report::default();
+    for abs in entries {
+        let src = fs::read_to_string(&abs)?;
+        let rel = rel_path(root, &abs);
+        let scope = fixture_scope(&src).unwrap_or_else(|| rel.clone());
+        merge(&mut report, analyze_source_scoped(&rel, &scope, &src));
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// The `// snicbench-fixture: <path>` header, if present.
+fn fixture_scope(src: &str) -> Option<String> {
+    src.lines().next().and_then(|l| {
+        l.trim()
+            .strip_prefix("//")
+            .map(str::trim)
+            .and_then(|l| l.strip_prefix("snicbench-fixture:"))
+            .map(|p| p.trim().to_string())
+    })
+}
+
+fn merge(into: &mut Report, one: Report) {
+    into.findings.extend(one.findings);
+    into.files_scanned += one.files_scanned;
+    into.suppressions_used += one.suppressions_used;
+    into.suppressions_total += one.suppressions_total;
+}
+
+/// Workspace-relative `.rs` files to self-lint, sorted: everything
+/// under `crates/`, `src/`, `tests/`, and `examples/`, excluding build
+/// output and the deliberately-dirty fixture corpus.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    let mut out: Vec<(String, PathBuf)> = files
+        .into_iter()
+        .map(|abs| (rel_path(root, &abs), abs))
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if matches!(name, "target" | "lint_fixtures" | ".git") {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Discovers the workspace root by walking up from `start` to the
+/// first directory holding both `Cargo.toml` and `crates/`.
+pub fn discover_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn rel_path(root: &Path, abs: &Path) -> String {
+    abs.strip_prefix(root)
+        .unwrap_or(abs)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// True for paths whose whole file is test/bench/example context.
+fn is_test_path(rel: &str) -> bool {
+    rel.split('/').any(|seg| {
+        matches!(seg, "tests" | "benches" | "examples")
+    })
+}
+
+/// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` items.
+///
+/// Token-level: find the attribute, skip any further attributes, then
+/// the item either ends at a top-level `;` (e.g. `mod tests;`) or at
+/// the brace that matches its opening `{`.
+fn test_regions(code: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !(code[i].is_punct('#') && matches!(code.get(i + 1), Some(t) if t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let start_line = code[i].line;
+        let Some(group_end) = match_bracket(code, i + 1, '[', ']') else {
+            break;
+        };
+        let is_test_attr = code[i + 2..group_end]
+            .iter()
+            .any(|t| t.is_ident("test"));
+        if !is_test_attr {
+            i = group_end + 1;
+            continue;
+        }
+        // Skip stacked attributes between the test attr and the item.
+        let mut j = group_end + 1;
+        while j < code.len()
+            && code[j].is_punct('#')
+            && matches!(code.get(j + 1), Some(t) if t.is_punct('['))
+        {
+            match match_bracket(code, j + 1, '[', ']') {
+                Some(e) => j = e + 1,
+                None => break,
+            }
+        }
+        // Find the item's end: `;` or a matched `{ ... }`, at depth 0
+        // of any intervening parens/brackets (`fn f(x: [u8; 3])`).
+        let mut depth = 0i32;
+        let mut end_line = None;
+        while j < code.len() {
+            match code[j].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                TokKind::Punct(';') if depth == 0 => {
+                    end_line = Some(code[j].line);
+                    break;
+                }
+                TokKind::Punct('{') if depth == 0 => {
+                    let close = match_bracket(code, j, '{', '}');
+                    end_line = close.map(|c| code[c].line);
+                    j = close.unwrap_or(code.len() - 1);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(end) = end_line {
+            regions.push((start_line, end));
+        }
+        i = j + 1;
+    }
+    regions
+}
+
+/// Index of the token closing the bracket opened at `open_idx`.
+fn match_bracket(code: &[Tok], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in code.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|(a, b)| (*a..=*b).contains(&line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_and_positions() {
+        let r = analyze_source(
+            "crates/sim/src/engine.rs",
+            "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n",
+        );
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].line, 2);
+        assert_eq!(r.findings[0].lint, "wall-clock-in-sim");
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt() {
+        let src = "\
+pub fn lib() {}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    use std::collections::HashMap;\n\
+    #[test]\n\
+    fn t() { let x: Option<u8> = None; x.unwrap(); }\n\
+}\n";
+        let r = analyze_source("crates/core/src/demo.rs", src);
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn code_after_test_region_is_still_checked() {
+        let src = "\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn helper() {}\n\
+}\n\
+pub fn lib(x: Option<u8>) { x.unwrap(); }\n";
+        let r = analyze_source("crates/core/src/demo.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].lint, "bare-unwrap-in-lib");
+        assert_eq!(r.findings[0].line, 5);
+    }
+
+    #[test]
+    fn cfg_test_on_use_statement_covers_only_that_line() {
+        let src = "\
+#[cfg(test)]\n\
+use std::collections::HashMap;\n\
+pub fn lib(x: Option<u8>) { x.unwrap(); }\n";
+        let r = analyze_source("crates/core/src/demo.rs", src);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].lint, "bare-unwrap-in-lib");
+    }
+
+    #[test]
+    fn suppression_consumes_and_unused_is_flagged() {
+        let src = "\
+// snicbench: allow(unordered-iteration, \"lookup-only\")\n\
+use std::collections::HashMap;\n\
+// snicbench: allow(unordered-iteration, \"stale\")\n\
+pub fn f() {}\n";
+        let r = analyze_source("crates/core/src/demo.rs", src);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].lint, "unused-suppression");
+        assert_eq!(r.findings[0].line, 3);
+        assert_eq!(r.suppressions_used, 1);
+        assert_eq!(r.suppressions_total, 2);
+    }
+
+    #[test]
+    fn scoping_via_virtual_path() {
+        let src = "fn main() { for a in std::env::args() {} }\n";
+        let real = analyze_source_scoped(
+            "tests/lint_fixtures/cli.rs",
+            "crates/bench/src/bin/demo.rs",
+            src,
+        );
+        assert_eq!(real.findings.len(), 1);
+        assert_eq!(real.findings[0].file, "tests/lint_fixtures/cli.rs");
+        let exempt = analyze_source_scoped(
+            "tests/lint_fixtures/cli.rs",
+            "crates/bench/src/cli.rs",
+            src,
+        );
+        assert!(exempt.is_clean());
+    }
+
+    #[test]
+    fn test_dirs_are_whole_file_exempt() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(analyze_source("crates/sim/tests/proptests.rs", src).is_clean());
+        assert!(analyze_source("crates/bench/benches/kvs.rs", src).is_clean());
+        assert!(!analyze_source("crates/sim/src/lib.rs", src).is_clean());
+    }
+
+    #[test]
+    fn malformed_suppression_is_a_finding() {
+        let src = "// snicbench: allow(unordered-iteration)\nuse std::collections::HashMap;\n";
+        let r = analyze_source("crates/core/src/demo.rs", src);
+        let lints: Vec<&str> = r.findings.iter().map(|d| d.lint.as_str()).collect();
+        assert!(lints.contains(&"malformed-suppression"));
+        assert!(lints.contains(&"unordered-iteration"), "{lints:?}");
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let r = analyze_source("crates/core/src/demo.rs", "pub fn f(x: Option<u8>) { x.unwrap(); }\n");
+        let j = r.to_json();
+        assert_eq!(
+            j.get("schema").and_then(Json::as_str),
+            Some("snicbench.lint-report.v1")
+        );
+        assert_eq!(
+            j.get("findings").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,428 @@
+//! A small Rust lexer: just enough tokenization to pattern-match paths
+//! and call chains without being fooled by comments or literals.
+//!
+//! The rule engine needs to know that `Instant::now()` inside a string
+//! literal, a doc example, or a `/* block comment */` is *not* a
+//! violation, and that `// snicbench: allow(...)` directives live in
+//! comments. That requires a real lexer — line/block/doc comments
+//! (nested), plain and raw strings (`r#"..."#` with any hash count),
+//! byte strings, char literals vs. lifetimes, numeric literals with
+//! suffixes — but *not* a parser: rules match short token sequences, so
+//! tokens carry only a coarse [`TokKind`], their text, and a position.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `as`, `fn`, `unwrap`, ...).
+    Ident,
+    /// A single punctuation character (`:`, `.`, `(`, `{`, `#`, ...).
+    Punct(char),
+    /// A string literal of any flavor (plain, raw, byte, raw byte).
+    Str,
+    /// A character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A numeric literal, including any type suffix (`1e9`, `0xFF`, `1.5f64`).
+    Num,
+    /// A `//` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// A `/* ... */` comment (nesting handled), including doc variants.
+    BlockComment,
+}
+
+/// One token with its source text and 1-based position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Coarse classification.
+    pub kind: TokKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True if this token is an identifier spelling `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// True for comment tokens (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Tokenizes `src`, keeping comments (the suppression layer reads them)
+/// and discarding only whitespace.
+///
+/// The lexer is infallible: anything it cannot classify (stray
+/// punctuation, an unterminated literal at EOF) degrades to best-effort
+/// tokens rather than an error, because lint input is by definition code
+/// that may be mid-edit.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    toks: Vec<Tok>,
+    _src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            toks: Vec::new(),
+            _src: src,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one character, tracking line/column.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn emit(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.toks.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line, col);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line, col);
+            } else if self.raw_string_ahead() {
+                self.raw_string(line, col);
+            } else if c == 'b' && matches!(self.peek(1), Some('"') | Some('\'')) {
+                let b = self.bump().expect("peeked byte-literal prefix");
+                let quote = self.peek(0).expect("peeked byte-literal quote");
+                if quote == '"' {
+                    self.string(line, col, String::from(b));
+                } else {
+                    self.char_lit(line, col, String::from(b));
+                }
+            } else if c == '"' {
+                self.string(line, col, String::new());
+            } else if c == '\'' {
+                self.quote(line, col);
+            } else if c.is_ascii_digit() {
+                self.number(line, col);
+            } else if c.is_alphabetic() || c == '_' {
+                self.ident(line, col);
+            } else {
+                self.bump();
+                self.emit(TokKind::Punct(c), c.to_string(), line, col);
+            }
+        }
+        self.toks
+    }
+
+    /// True when the cursor sits on `r"`, `r#`, `br"` or `br#`.
+    fn raw_string_ahead(&self) -> bool {
+        let raw_at = |i: usize| {
+            self.peek(i) == Some('r')
+                && matches!(self.peek(i + 1), Some('"') | Some('#'))
+        };
+        match self.peek(0) {
+            Some('r') => raw_at(0),
+            Some('b') => raw_at(1),
+            _ => false,
+        }
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(self.bump().expect("peeked comment char"));
+        }
+        self.emit(TokKind::LineComment, text, line, col);
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push(self.bump().expect("peeked /"));
+                text.push(self.bump().expect("peeked *"));
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push(self.bump().expect("peeked *"));
+                text.push(self.bump().expect("peeked /"));
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(self.bump().expect("peeked comment char"));
+            }
+        }
+        self.emit(TokKind::BlockComment, text, line, col);
+    }
+
+    /// Lexes `r"..."` / `r#"..."#` / `br#"..."#` with any hash count.
+    fn raw_string(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        if self.peek(0) == Some('b') {
+            text.push(self.bump().expect("peeked b prefix"));
+        }
+        text.push(self.bump().expect("peeked r prefix"));
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push(self.bump().expect("peeked #"));
+        }
+        if self.peek(0) == Some('"') {
+            text.push(self.bump().expect("peeked open quote"));
+            'body: while let Some(c) = self.bump() {
+                text.push(c);
+                if c == '"' {
+                    // A close quote counts only when followed by `hashes` #s.
+                    for i in 0..hashes {
+                        if self.peek(i) != Some('#') {
+                            continue 'body;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        text.push(self.bump().expect("peeked closing #"));
+                    }
+                    break;
+                }
+            }
+        }
+        self.emit(TokKind::Str, text, line, col);
+    }
+
+    /// Lexes a (byte) string literal with escapes; `text` holds any prefix.
+    fn string(&mut self, line: u32, col: u32, mut text: String) {
+        text.push(self.bump().expect("peeked open quote"));
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.emit(TokKind::Str, text, line, col);
+    }
+
+    /// Lexes a (byte) char literal; `text` holds any prefix.
+    fn char_lit(&mut self, line: u32, col: u32, mut text: String) {
+        text.push(self.bump().expect("peeked open quote"));
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.emit(TokKind::Char, text, line, col);
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` / `'static` (lifetime).
+    fn quote(&mut self, line: u32, col: u32) {
+        match (self.peek(1), self.peek(2)) {
+            // `'\n'`, `'\u{1F600}'`: escape means char literal.
+            (Some('\\'), _) => self.char_lit(line, col, String::new()),
+            // `'a'`: any single char closed by a quote.
+            (_, Some('\'')) => self.char_lit(line, col, String::new()),
+            // `'a`, `'static`, `'_`: a lifetime.
+            (Some(c), _) if c.is_alphanumeric() || c == '_' => {
+                let mut text = String::new();
+                text.push(self.bump().expect("peeked quote"));
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        text.push(self.bump().expect("peeked lifetime char"));
+                    } else {
+                        break;
+                    }
+                }
+                self.emit(TokKind::Lifetime, text, line, col);
+            }
+            _ => self.char_lit(line, col, String::new()),
+        }
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        // Integer part (also covers 0x/0b/0o bodies and `e` exponents,
+        // since those continue with alphanumerics consumed below).
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(self.bump().expect("peeked number char"));
+            } else {
+                break;
+            }
+        }
+        // Fractional part: a dot counts only when followed by a digit,
+        // so `0..n` and `1.max(2)` stop at the integer.
+        if self.peek(0) == Some('.')
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            text.push(self.bump().expect("peeked dot"));
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(self.bump().expect("peeked fraction char"));
+                } else {
+                    break;
+                }
+            }
+        }
+        self.emit(TokKind::Num, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(self.bump().expect("peeked ident char"));
+            } else {
+                break;
+            }
+        }
+        self.emit(TokKind::Ident, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_paths() {
+        let toks = lex("Instant::now()");
+        assert!(toks[0].is_ident("Instant"));
+        assert!(toks[1].is_punct(':'));
+        assert!(toks[2].is_punct(':'));
+        assert!(toks[3].is_ident("now"));
+        assert!(toks[4].is_punct('('));
+        assert!(toks[5].is_punct(')'));
+    }
+
+    #[test]
+    fn comments_are_kept_but_classified() {
+        let toks = lex("a // trailing\n/* block\n still */ b");
+        assert!(toks[0].is_ident("a"));
+        assert_eq!(toks[1].kind, TokKind::LineComment);
+        assert_eq!(toks[2].kind, TokKind::BlockComment);
+        assert!(toks[3].is_ident("b"));
+        assert_eq!(toks[3].line, 3, "newlines inside block comments count");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still outer */ x");
+        assert_eq!(toks.len(), 2);
+        assert!(toks[1].is_ident("x"));
+    }
+
+    #[test]
+    fn code_inside_strings_is_not_tokenized() {
+        let toks = kinds(r#"let s = "HashMap::new() .unwrap()";"#);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "HashMap"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = lex(r##"r#"quote " inside"# after"##);
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert!(toks[1].is_ident("after"));
+        let toks = lex(r#"br"bytes" x"#);
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert!(toks[1].is_ident("x"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = lex(r"'a' 'x: &'static str = '\n'");
+        assert_eq!(toks[0].kind, TokKind::Char);
+        assert_eq!(toks[1].kind, TokKind::Lifetime);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>(),
+            vec!["'x", "'static"]
+        );
+        assert_eq!(toks.last().expect("nonempty").kind, TokKind::Char);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = lex("0..n 1.max(2) 1.5e9f64 0xFFu8");
+        assert_eq!(toks[0].kind, TokKind::Num);
+        assert!(toks[1].is_punct('.'));
+        assert!(toks[2].is_punct('.'));
+        assert!(toks[3].is_ident("n"));
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "1", "2", "1.5e9f64", "0xFFu8"]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  bc");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

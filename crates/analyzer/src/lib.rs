@@ -1,0 +1,50 @@
+//! `snicbench-analyzer` — a std-only static-analysis pass that keeps
+//! the workspace's measurement infrastructure honest.
+//!
+//! The whole reproduction stands on one property: simulated runs are
+//! bit-for-bit deterministic at any `--jobs` count. That property is
+//! defended *dynamically* by the jobs-1-vs-4 byte-identity tests, but a
+//! dynamic test only catches the nondeterminism it happens to trigger.
+//! This crate defends it *statically*: a real lexer (comments, raw and
+//! byte strings, char literals vs. lifetimes) feeds a rule engine that
+//! forbids the constructs which historically corrupt simulation
+//! results — wall-clock reads, hash-ordered iteration, bare `unwrap`s,
+//! hand-rolled CLI scans, and unchecked float/integer casts in timing
+//! hot paths. Because the workspace must build hermetically (no
+//! registry access), the analyzer is built from scratch on `std`
+//! alone, like [`snicbench_core::json`] before it.
+//!
+//! Violations that are provably sound are silenced in place:
+//!
+//! ```text
+//! // snicbench: allow(wall-clock-in-sim, "bench harness measures real elapsed time")
+//! let t = Instant::now();
+//! ```
+//!
+//! The reason string is mandatory; a missing reason, an unknown lint
+//! name, or a directive that silences nothing are themselves findings.
+//! Run it via `cargo run --release --bin lint` (see `crates/bench`),
+//! which exits non-zero on any finding and emits a machine-readable
+//! report with `--json`.
+//!
+//! # Example
+//!
+//! ```
+//! use snicbench_analyzer::engine::analyze_source;
+//!
+//! let report = analyze_source(
+//!     "crates/sim/src/engine.rs",
+//!     "fn f() { let t = std::time::Instant::now(); }",
+//! );
+//! assert_eq!(report.findings.len(), 1);
+//! assert_eq!(report.findings[0].lint, "wall-clock-in-sim");
+//! ```
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+
+pub use diag::Diagnostic;
+pub use engine::{analyze_fixtures, analyze_source, analyze_workspace, discover_root, Report};

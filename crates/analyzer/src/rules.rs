@@ -1,0 +1,282 @@
+//! The rule set: each rule is a token-pattern matcher plus a path scope.
+//!
+//! Rules deliberately match *tokens*, not strings, so occurrences inside
+//! comments, doc examples, and literals never fire, and they are scoped
+//! by workspace-relative path so e.g. the shared CLI module may scan
+//! `std::env::args` while the bins may not. Everything else — test-code
+//! regions, suppressions — is the engine's job.
+//!
+//! | Lint | Defends | Scope |
+//! |---|---|---|
+//! | `wall-clock-in-sim` | bit-for-bit determinism | all crates except `criterion-shim` |
+//! | `unordered-iteration` | jobs-N byte identity | `sim`, `core`, `functions`, `net`, `power`, `hw` |
+//! | `bare-unwrap-in-lib` | panic discipline | library crates |
+//! | `handrolled-cli` | CLI uniformity | `bench` outside `bench::cli` |
+//! | `float-cast-in-time` | overflow/precision in timing bins | `sim::time`, `metrics::histogram` |
+
+use crate::lexer::{Tok, TokKind};
+
+/// A finding before it is joined with file context.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Message for the diagnostic.
+    pub message: String,
+}
+
+/// One lint rule.
+pub struct Rule {
+    /// Kebab-case lint name, referenced by `allow` directives.
+    pub name: &'static str,
+    /// One-line description (shown by `lint --list`).
+    pub brief: &'static str,
+    /// The concrete fix the diagnostic suggests.
+    pub suggestion: &'static str,
+    /// Human-readable scope, for `--list` and docs.
+    pub scope: &'static str,
+    /// Whether findings inside `#[cfg(test)]` regions (and `tests/`,
+    /// `benches/`, `examples/` trees) are exempt.
+    pub skip_test_code: bool,
+    /// Path predicate: does this rule apply to `rel_path`?
+    pub applies: fn(&str) -> bool,
+    /// Token matcher over the comment-free token stream.
+    pub check: fn(&[Tok]) -> Vec<RawFinding>,
+}
+
+/// Every rule, in reporting order.
+pub fn all() -> &'static [Rule] {
+    &RULES
+}
+
+/// The lint names `allow` directives may reference (the five rules; the
+/// two engine-level lints cannot be suppressed).
+pub fn known_lints() -> Vec<&'static str> {
+    RULES.iter().map(|r| r.name).collect()
+}
+
+/// Lint name for broken suppression comments.
+pub const MALFORMED_SUPPRESSION: &str = "malformed-suppression";
+/// Lint name for suppressions that silence nothing.
+pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
+
+const LIB_CRATES: &[&str] = &[
+    "crates/sim/src/",
+    "crates/core/src/",
+    "crates/functions/src/",
+    "crates/net/src/",
+    "crates/power/src/",
+    "crates/hw/src/",
+];
+
+fn under_any(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+static RULES: [Rule; 5] = [
+    Rule {
+        name: "wall-clock-in-sim",
+        brief: "forbid Instant::now / SystemTime: simulated time must come from SimTime",
+        suggestion: "take time from the simulation clock (SimTime); real timing belongs in \
+                     an allowlisted bin with `// snicbench: allow(wall-clock-in-sim, \"...\")`",
+        scope: "all crates except criterion-shim (whose purpose is wall-clock measurement)",
+        skip_test_code: true,
+        applies: |p| p.starts_with("crates/") && !p.starts_with("crates/criterion-shim/"),
+        check: check_wall_clock,
+    },
+    Rule {
+        name: "unordered-iteration",
+        brief: "forbid HashMap/HashSet where iteration order could reach exported bytes",
+        suggestion: "use BTreeMap/BTreeSet (or a sorted drain); if the container is provably \
+                     never iterated, annotate with `// snicbench: allow(unordered-iteration, \"...\")`",
+        scope: "sim, core, functions, net, power, hw library code",
+        skip_test_code: true,
+        applies: |p| under_any(p, LIB_CRATES),
+        check: check_unordered,
+    },
+    Rule {
+        name: "bare-unwrap-in-lib",
+        brief: "forbid bare unwrap() in library code",
+        suggestion: "state the invariant with `expect(\"...\")` or propagate a Result",
+        scope: "library crates (sim, core, functions, net, power, hw, metrics), non-test code",
+        skip_test_code: true,
+        applies: |p| under_any(p, LIB_CRATES) || p.starts_with("crates/metrics/src/"),
+        check: check_unwrap,
+    },
+    Rule {
+        name: "handrolled-cli",
+        brief: "forbid direct std::env::args scans outside bench::cli",
+        suggestion: "parse flags through bench::cli::Cli so every bin shares one audited grammar",
+        scope: "crates/bench except src/cli.rs",
+        skip_test_code: true,
+        applies: |p| p.starts_with("crates/bench/src/") && p != "crates/bench/src/cli.rs",
+        check: check_cli,
+    },
+    Rule {
+        name: "float-cast-in-time",
+        brief: "flag as-casts between float and u64 in timing/histogram hot paths",
+        suggestion: "prove the cast cannot overflow or lose needed precision, then annotate \
+                     with `// snicbench: allow(float-cast-in-time, \"...\")`",
+        scope: "crates/sim/src/time.rs and crates/metrics/src/histogram.rs",
+        skip_test_code: true,
+        applies: |p| p == "crates/sim/src/time.rs" || p == "crates/metrics/src/histogram.rs",
+        check: check_float_cast,
+    },
+];
+
+/// `Instant :: now` call chains and any mention of `SystemTime`.
+fn check_wall_clock(toks: &[Tok]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("SystemTime") {
+            out.push(RawFinding {
+                line: t.line,
+                col: t.col,
+                message: "SystemTime read in simulation code".into(),
+            });
+        }
+        if t.is_ident("Instant")
+            && matches!(toks.get(i + 1), Some(c) if c.is_punct(':'))
+            && matches!(toks.get(i + 2), Some(c) if c.is_punct(':'))
+            && matches!(toks.get(i + 3), Some(n) if n.is_ident("now"))
+        {
+            out.push(RawFinding {
+                line: t.line,
+                col: t.col,
+                message: "wall-clock read (Instant::now) in simulation code".into(),
+            });
+        }
+    }
+    out
+}
+
+/// Any `HashMap` / `HashSet` token (import or use site).
+fn check_unordered(toks: &[Tok]) -> Vec<RawFinding> {
+    toks.iter()
+        .filter(|t| t.is_ident("HashMap") || t.is_ident("HashSet"))
+        .map(|t| RawFinding {
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "{} iterates in hash order, which is not deterministic across processes",
+                t.text
+            ),
+        })
+        .collect()
+}
+
+/// `. unwrap ( )` call chains.
+fn check_unwrap(toks: &[Tok]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct('.')
+            && matches!(toks.get(i + 1), Some(u) if u.is_ident("unwrap"))
+            && matches!(toks.get(i + 2), Some(p) if p.is_punct('('))
+            && matches!(toks.get(i + 3), Some(p) if p.is_punct(')'))
+        {
+            let u = &toks[i + 1];
+            out.push(RawFinding {
+                line: u.line,
+                col: u.col,
+                message: "bare unwrap() hides the invariant it relies on".into(),
+            });
+        }
+    }
+    out
+}
+
+/// `env :: args` path segments (covers `std::env::args()` and the
+/// `use std::env::args` import).
+fn check_cli(toks: &[Tok]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("env")
+            && matches!(toks.get(i + 1), Some(c) if c.is_punct(':'))
+            && matches!(toks.get(i + 2), Some(c) if c.is_punct(':'))
+            && matches!(toks.get(i + 3), Some(a) if a.is_ident("args"))
+        {
+            out.push(RawFinding {
+                line: t.line,
+                col: t.col,
+                message: "hand-rolled std::env::args scan outside bench::cli".into(),
+            });
+        }
+    }
+    out
+}
+
+/// `as u64` / `as f64` casts.
+fn check_float_cast(toks: &[Tok]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("as") {
+            continue;
+        }
+        if let Some(ty) = toks.get(i + 1) {
+            if ty.kind == TokKind::Ident && (ty.text == "u64" || ty.text == "f64") {
+                out.push(RawFinding {
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "unannotated `as {}` cast in a timing hot path can overflow or lose precision",
+                        ty.text
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn wall_clock_matches_calls_not_imports() {
+        let f = check_wall_clock(&lex("use std::time::Instant;\nlet t = Instant::now();"));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+        let f = check_wall_clock(&lex("let t = SystemTime::UNIX_EPOCH;"));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn unordered_matches_both_types() {
+        let f = check_unordered(&lex("use std::collections::{HashMap, HashSet};"));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn unwrap_requires_empty_args() {
+        assert_eq!(check_unwrap(&lex("x.unwrap()")).len(), 1);
+        assert!(check_unwrap(&lex("x.unwrap_or(0)")).is_empty());
+        assert!(check_unwrap(&lex("x.expect(\"invariant\")")).is_empty());
+    }
+
+    #[test]
+    fn cli_matches_qualified_and_import() {
+        assert_eq!(check_cli(&lex("for a in std::env::args() {}")).len(), 1);
+        assert_eq!(check_cli(&lex("use std::env::args;")).len(), 1);
+        assert!(check_cli(&lex("let env = 3; env.args")).is_empty());
+    }
+
+    #[test]
+    fn float_cast_matches_only_u64_f64() {
+        assert_eq!(check_float_cast(&lex("x as u64 + y as f64")).len(), 2);
+        assert!(check_float_cast(&lex("x as usize as u32")).is_empty());
+    }
+
+    #[test]
+    fn scopes_exempt_the_shared_cli_and_shim() {
+        let cli = RULES.iter().find(|r| r.name == "handrolled-cli").expect("rule exists");
+        assert!((cli.applies)("crates/bench/src/bin/fig4.rs"));
+        assert!(!(cli.applies)("crates/bench/src/cli.rs"));
+        let wc = RULES.iter().find(|r| r.name == "wall-clock-in-sim").expect("rule exists");
+        assert!((wc.applies)("crates/bench/src/bin/pipeline_timing.rs"));
+        assert!(!(wc.applies)("crates/criterion-shim/src/lib.rs"));
+    }
+}

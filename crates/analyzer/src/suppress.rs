@@ -1,0 +1,199 @@
+//! Per-line suppression directives.
+//!
+//! A finding is silenced by a line comment of the form
+//!
+//! ```text
+//! // snicbench: allow(lint-name, "why this site is sound")
+//! ```
+//!
+//! placed either *trailing* the offending line or *standalone* on the
+//! line(s) directly above it (stacked directives skip over each other
+//! to the next code line). The reason string is **mandatory and
+//! non-empty**: an allow without a reason, naming an unknown lint, or
+//! otherwise malformed is itself a finding (`malformed-suppression`),
+//! and a well-formed allow that silences nothing is reported as
+//! `unused-suppression` so stale annotations cannot accumulate.
+
+use crate::lexer::{Tok, TokKind};
+
+/// A parsed `allow` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Column of the comment.
+    pub col: u32,
+    /// The line whose findings it silences.
+    pub applies_line: u32,
+    /// The lint it silences.
+    pub lint: String,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+/// A comment that tried to be a directive and failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Malformed {
+    /// Line of the broken comment.
+    pub line: u32,
+    /// Column of the broken comment.
+    pub col: u32,
+    /// Why it does not parse.
+    pub why: String,
+}
+
+/// The suppression directives extracted from one file's tokens.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    /// Well-formed directives.
+    pub directives: Vec<Directive>,
+    /// Broken ones (each becomes a `malformed-suppression` diagnostic).
+    pub malformed: Vec<Malformed>,
+}
+
+/// The comment prefix that marks a directive.
+const MARKER: &str = "snicbench:";
+
+/// Extracts directives from `toks` (the full token stream, comments
+/// included). `known_lints` gates the lint-name field: unknown names
+/// are malformed, so a typo cannot silently disable nothing.
+pub fn extract(toks: &[Tok], known_lints: &[&str]) -> Suppressions {
+    let mut out = Suppressions::default();
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::LineComment {
+            continue;
+        }
+        let body = tok.text.trim_start_matches('/').trim_start();
+        let Some(rest) = body.strip_prefix(MARKER) else {
+            continue;
+        };
+        match parse_allow(rest.trim(), known_lints) {
+            Ok((lint, reason)) => {
+                let applies_line = applies_line(toks, i);
+                out.directives.push(Directive {
+                    line: tok.line,
+                    col: tok.col,
+                    applies_line,
+                    lint,
+                    reason,
+                });
+            }
+            Err(why) => out.malformed.push(Malformed {
+                line: tok.line,
+                col: tok.col,
+                why,
+            }),
+        }
+    }
+    out
+}
+
+/// A trailing directive applies to its own line; a standalone one (no
+/// code token earlier on its line) applies to the next line that holds
+/// any code token, skipping other comments so directives stack.
+fn applies_line(toks: &[Tok], at: usize) -> u32 {
+    let line = toks[at].line;
+    let trailing = toks[..at]
+        .iter()
+        .rev()
+        .take_while(|t| t.line == line)
+        .any(|t| !t.is_comment());
+    if trailing {
+        return line;
+    }
+    toks[at + 1..]
+        .iter()
+        .find(|t| !t.is_comment())
+        .map_or(u32::MAX, |t| t.line)
+}
+
+/// Parses `allow(<lint>, "<reason>")`, returning `(lint, reason)`.
+fn parse_allow(text: &str, known_lints: &[&str]) -> Result<(String, String), String> {
+    let Some(inner) = text
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('('))
+        .and_then(|t| t.strip_suffix(')'))
+    else {
+        return Err(format!(
+            "expected `allow(<lint>, \"<reason>\")`, got `{text}`"
+        ));
+    };
+    let Some((name, rest)) = inner.split_once(',') else {
+        return Err("missing reason: every allow needs `, \"<reason>\"`".into());
+    };
+    let name = name.trim();
+    if !known_lints.contains(&name) {
+        return Err(format!("unknown lint `{name}`"));
+    }
+    let rest = rest.trim();
+    let reason = rest
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| "reason must be a quoted string".to_string())?;
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".into());
+    }
+    Ok((name.to_string(), reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const LINTS: &[&str] = &["wall-clock-in-sim", "unordered-iteration"];
+
+    #[test]
+    fn trailing_directive_applies_to_its_line() {
+        let toks = lex(
+            "let t = now(); // snicbench: allow(wall-clock-in-sim, \"bench bin\")\n",
+        );
+        let s = extract(&toks, LINTS);
+        assert_eq!(s.directives.len(), 1);
+        assert_eq!(s.directives[0].applies_line, 1);
+        assert_eq!(s.directives[0].reason, "bench bin");
+    }
+
+    #[test]
+    fn standalone_directive_applies_to_next_code_line() {
+        let toks = lex(
+            "// snicbench: allow(wall-clock-in-sim, \"a\")\n// snicbench: allow(unordered-iteration, \"b\")\n// plain comment\nlet x = 1;\n",
+        );
+        let s = extract(&toks, LINTS);
+        assert_eq!(s.directives.len(), 2);
+        assert!(s.directives.iter().all(|d| d.applies_line == 4));
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let toks = lex("// snicbench: allow(wall-clock-in-sim)\nx();\n");
+        let s = extract(&toks, LINTS);
+        assert!(s.directives.is_empty());
+        assert_eq!(s.malformed.len(), 1);
+        assert!(s.malformed[0].why.contains("missing reason"));
+    }
+
+    #[test]
+    fn empty_reason_is_malformed() {
+        let toks = lex("// snicbench: allow(wall-clock-in-sim, \"  \")\n");
+        let s = extract(&toks, LINTS);
+        assert_eq!(s.malformed.len(), 1);
+        assert!(s.malformed[0].why.contains("empty"));
+    }
+
+    #[test]
+    fn unknown_lint_is_malformed() {
+        let toks = lex("// snicbench: allow(wall-clock, \"typo\")\n");
+        let s = extract(&toks, LINTS);
+        assert_eq!(s.malformed.len(), 1);
+        assert!(s.malformed[0].why.contains("unknown lint"));
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        let toks = lex("// snicbench-fixture: crates/x.rs\n// plain\nx();\n");
+        let s = extract(&toks, LINTS);
+        assert!(s.directives.is_empty() && s.malformed.is_empty());
+    }
+}

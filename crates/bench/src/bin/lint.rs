@@ -1,0 +1,104 @@
+//! `lint` — the workspace's std-only static-analysis gate.
+//!
+//! Runs [`snicbench_analyzer`] over every workspace source file (or,
+//! with `--fixtures`, over the deliberately-dirty corpus in
+//! `tests/lint_fixtures/`) and prints one diagnostic per line:
+//!
+//! ```text
+//! crates/sim/src/engine.rs:12:9: [wall-clock-in-sim] wall-clock read ...
+//! ```
+//!
+//! Exits 0 when the tree is clean and 1 when anything fired, so
+//! `tier1.sh` can gate on it. `--list` prints the rule table, `--json
+//! PATH` writes a `snicbench.lint-report.v1` document, `--fix-hints`
+//! appends a concrete suggestion under each diagnostic, and `--root
+//! PATH` overrides the workspace root discovered by walking up from
+//! the current directory.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use snicbench_analyzer::{engine, rules};
+use snicbench_bench::cli::Cli;
+
+fn main() -> ExitCode {
+    let cli = Cli::new(
+        "lint",
+        "static analysis enforcing determinism, panic-discipline, and CLI-uniformity invariants",
+    )
+    .flag("--fix-hints", "print a fix suggestion under each diagnostic")
+    .flag(
+        "--fixtures",
+        "scan the fixture corpus (tests/lint_fixtures) instead of the workspace",
+    )
+    .opt(
+        "--root",
+        "PATH",
+        "workspace root (default: discovered from the current directory)",
+    );
+    let args = cli.parse();
+
+    if args.list {
+        println!("{:<22} {:<52} scope", "lint", "what it forbids");
+        for r in rules::all() {
+            println!("{:<22} {:<52} {}", r.name, r.brief, r.scope);
+        }
+        println!(
+            "{:<22} {:<52} everywhere",
+            rules::MALFORMED_SUPPRESSION,
+            "allow directives must parse and carry a non-empty reason"
+        );
+        println!(
+            "{:<22} {:<52} everywhere",
+            rules::UNUSED_SUPPRESSION,
+            "allow directives must silence at least one finding"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match args.opt("--root").map(PathBuf::from).or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| engine::discover_root(&d))
+    }) {
+        Some(root) => root,
+        None => {
+            eprintln!("lint: cannot discover the workspace root; pass --root PATH");
+            return ExitCode::from(2);
+        }
+    };
+
+    let scanned = if args.has("--fixtures") {
+        engine::analyze_fixtures(&root, &root.join("tests").join("lint_fixtures"))
+    } else {
+        engine::analyze_workspace(&root)
+    };
+    let report = match scanned {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("lint: scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report.render(args.has("--fix-hints")));
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report.to_json().to_pretty()) {
+            eprintln!("lint: writing report to {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("# lint: wrote report to {path}");
+    }
+    eprintln!(
+        "# lint: {} finding(s) across {} file(s), {} of {} suppression(s) in use",
+        report.findings.len(),
+        report.files_scanned,
+        report.suppressions_used,
+        report.suppressions_total,
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -57,21 +57,21 @@ fn main() {
     let fig4 = Scenario::fig4().quick();
 
     // Stage 1/2: artifact cache, cold build then warm reuse.
-    let t = Instant::now();
+    let t = Instant::now(); // snicbench: allow(wall-clock-in-sim, "this bin reports the harness's real build/run wall-clock, not simulated time")
     build_all_artifacts();
     let artifacts_cold_ms = ms(t);
-    let t = Instant::now();
+    let t = Instant::now(); // snicbench: allow(wall-clock-in-sim, "this bin reports the harness's real build/run wall-clock, not simulated time")
     build_all_artifacts();
     let artifacts_warm_ms = ms(t);
     let (cache_hits, cache_misses) = artifacts::cache_counters();
 
     // Stage 3/4: the Fig. 4 quick matrix, serial then parallel.
     eprintln!("# fig4 quick, serial...");
-    let t = Instant::now();
+    let t = Instant::now(); // snicbench: allow(wall-clock-in-sim, "this bin reports the harness's real build/run wall-clock, not simulated time")
     let serial_rows = fig4.run_with(&RunContext::disabled(), &Executor::serial());
     let serial_ms = ms(t);
     eprintln!("# fig4 quick, parallel (jobs={})...", parallel.jobs());
-    let t = Instant::now();
+    let t = Instant::now(); // snicbench: allow(wall-clock-in-sim, "this bin reports the harness's real build/run wall-clock, not simulated time")
     let parallel_rows = fig4.run_with(&ctx, &parallel);
     let parallel_ms = ms(t);
 

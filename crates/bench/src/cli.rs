@@ -32,6 +32,7 @@ pub struct Cli {
     bin: &'static str,
     about: &'static str,
     extra: Vec<(&'static str, &'static str)>,
+    opts: Vec<(&'static str, &'static str, &'static str)>,
 }
 
 /// The parsed command line.
@@ -49,6 +50,7 @@ pub struct Args {
     pub trace: Option<String>,
     jobs: Option<usize>,
     extras: Vec<String>,
+    opt_values: Vec<(String, String)>,
 }
 
 /// A parse failure: what to tell the user (the caller prefixes the tool
@@ -75,6 +77,7 @@ impl Cli {
             bin,
             about,
             extra: Vec::new(),
+            opts: Vec::new(),
         }
     }
 
@@ -84,12 +87,29 @@ impl Cli {
         self
     }
 
+    /// Adds a bin-specific valued option (spell it with the leading
+    /// `--`); both `--name VALUE` and `--name=VALUE` parse.
+    pub fn opt(
+        mut self,
+        name: &'static str,
+        value_name: &'static str,
+        help: &'static str,
+    ) -> Self {
+        self.opts.push((name, value_name, help));
+        self
+    }
+
     /// The usage block printed by `--help` and on errors.
     pub fn usage(&self) -> String {
         let extras: String = self
             .extra
             .iter()
             .map(|(name, _)| format!(" [{name}]"))
+            .chain(
+                self.opts
+                    .iter()
+                    .map(|(name, value, _)| format!(" [{name} {value}]")),
+            )
             .collect();
         let mut text = format!(
             "usage: {bin} [--quick] [--list] [--audit] [--jobs N] [--json PATH] [--trace PATH]{extras}\n\n{about}\n\noptions:\n",
@@ -116,6 +136,9 @@ impl Cli {
         );
         for (name, help) in &self.extra {
             option(name, help);
+        }
+        for (name, value, help) in &self.opts {
+            option(&format!("{name} {value}"), help);
         }
         option("-h, --help", "print this help");
         text
@@ -175,6 +198,13 @@ impl Cli {
                         args.trace = Some(v.to_string());
                     } else if self.extra.iter().any(|(name, _)| name == &other) {
                         args.extras.push(other.to_string());
+                    } else if self.opts.iter().any(|(name, _, _)| name == &other) {
+                        args.opt_values.push((other.to_string(), value_of(other)?));
+                    } else if let Some((name, v)) = other
+                        .split_once('=')
+                        .filter(|(name, _)| self.opts.iter().any(|(n, _, _)| n == name))
+                    {
+                        args.opt_values.push((name.to_string(), v.to_string()));
                     } else {
                         return Err(CliError {
                             message: format!("unrecognized argument '{other}'"),
@@ -200,6 +230,16 @@ impl Args {
     /// True when the bin-specific `flag` (with its leading `--`) was given.
     pub fn has(&self, flag: &str) -> bool {
         self.extras.iter().any(|f| f == flag)
+    }
+
+    /// The value of a bin-specific option (with its leading `--`), if
+    /// it was given; the last occurrence wins.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.opt_values
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// The search budget selected by `--quick`.
@@ -307,6 +347,21 @@ mod tests {
         // Another bin without the flag rejects it.
         let plain = Cli::new("fig4", "test tool");
         assert!(args_of(&plain, &["--paper"]).is_err());
+    }
+
+    #[test]
+    fn valued_opts_are_per_bin() {
+        let cli = Cli::new("lint", "test tool").opt("--root", "PATH", "workspace root");
+        let a = args_of(&cli, &["--root", "/tmp/ws"]).unwrap();
+        assert_eq!(a.opt("--root"), Some("/tmp/ws"));
+        let a = args_of(&cli, &["--root=/elsewhere"]).unwrap();
+        assert_eq!(a.opt("--root"), Some("/elsewhere"));
+        assert_eq!(a.opt("--other"), None);
+        // The value is required, the option is bin-specific, and it
+        // shows up in usage.
+        assert!(args_of(&cli, &["--root"]).is_err());
+        assert!(args_of(&Cli::new("fig4", "t"), &["--root", "x"]).is_err());
+        assert!(cli.usage().contains("--root PATH"));
     }
 
     #[test]

@@ -373,13 +373,13 @@ mod tests {
     use snicbench_net::PacketSize;
 
     fn ratio(w: Workload) -> f64 {
-        let host = analytic_capacity_ops(w, ExecutionPlatform::HostCpu).unwrap();
+        let host = analytic_capacity_ops(w, ExecutionPlatform::HostCpu).expect("host capacity is calibrated");
         let snic_platform = if lookup(w, ExecutionPlatform::SnicAccelerator).is_some() {
             ExecutionPlatform::SnicAccelerator
         } else {
             ExecutionPlatform::SnicCpu
         };
-        analytic_capacity_ops(w, snic_platform).unwrap() / host
+        analytic_capacity_ops(w, snic_platform).expect("snic capacity is calibrated") / host
     }
 
     #[test]
@@ -423,7 +423,7 @@ mod tests {
     #[test]
     fn dpdk_micro_hits_line_rate_on_both() {
         for p in [ExecutionPlatform::HostCpu, ExecutionPlatform::SnicCpu] {
-            let ops = analytic_capacity_ops(Workload::MicroDpdk(PacketSize::Large), p).unwrap();
+            let ops = analytic_capacity_ops(Workload::MicroDpdk(PacketSize::Large), p).expect("dpdk micro is calibrated on cpu platforms");
             let gbps = ops * 1024.0 * 8.0 / 1e9;
             assert!((gbps - 100.0).abs() < 1.0, "{p}: {gbps} Gb/s");
         }
@@ -507,7 +507,7 @@ mod tests {
             Workload::Rem(RemRuleset::FileImage),
             Workload::Compression(CorpusKind::Application),
         ] {
-            let ops = analytic_capacity_ops(w, ExecutionPlatform::SnicAccelerator).unwrap();
+            let ops = analytic_capacity_ops(w, ExecutionPlatform::SnicAccelerator).expect("accelerator offloads are calibrated");
             let gbps = ops * w.request_bytes() as f64 * 8.0 / 1e9;
             assert!(gbps < 60.0, "{w}: accel at {gbps} Gb/s");
             assert!(gbps > 35.0, "{w}: accel at {gbps} Gb/s (too low)");
@@ -518,7 +518,7 @@ mod tests {
     fn sources_are_present() {
         for w in Workload::figure4_set() {
             for p in w.platforms() {
-                let c = lookup(w, p).unwrap();
+                let c = lookup(w, p).expect("every figure-4 cell is calibrated");
                 assert!(!c.source.is_empty());
             }
         }

@@ -723,7 +723,7 @@ mod tests {
     fn operating_point_lands_near_analytic_capacity() {
         let w = Workload::MicroUdp(PacketSize::Large);
         let op = find_operating_point(w, ExecutionPlatform::HostCpu, SearchBudget::quick());
-        let cap = calibration::analytic_capacity_ops(w, ExecutionPlatform::HostCpu).unwrap();
+        let cap = calibration::analytic_capacity_ops(w, ExecutionPlatform::HostCpu).expect("host capacity is calibrated for every figure-4 workload");
         assert!(
             op.max_ops > 0.75 * cap && op.max_ops < 1.05 * cap,
             "max {} vs capacity {cap}",

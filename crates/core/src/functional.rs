@@ -167,7 +167,7 @@ pub fn exercise(workload: Workload, ops: u64, seed: u64) -> FunctionalReport {
                     report(ok, format!("{ok} of {ops} sign/verify cycles"))
                 }
                 CryptoAlgo::Sha1 => {
-                    let mut distinct = std::collections::HashSet::new();
+                    let mut distinct = std::collections::BTreeSet::new();
                     for i in 0..ops {
                         let mut block = data.clone();
                         block[0] = i as u8;

@@ -414,7 +414,7 @@ impl<'a> Parser<'a> {
                     // Copy a full UTF-8 scalar.
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().unwrap();
+                    let c = s.chars().next().expect("rest is non-empty: a byte was peeked");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -491,7 +491,7 @@ mod tests {
     fn u64_preserves_large_integers() {
         let n = u64::MAX;
         let text = Json::U64(n).to_compact();
-        assert_eq!(Json::parse(&text).unwrap().as_u64(), Some(n));
+        assert_eq!(Json::parse(&text).expect("writer output parses back").as_u64(), Some(n));
     }
 
     #[test]
@@ -509,9 +509,9 @@ mod tests {
             ),
             ("note", Json::str("tabs\tquotes\" and \\slashes\n")),
         ]);
-        let parsed = Json::parse(&doc.to_pretty()).unwrap();
+        let parsed = Json::parse(&doc.to_pretty()).expect("pretty output parses back");
         assert_eq!(parsed, doc);
-        let parsed = Json::parse(&doc.to_compact()).unwrap();
+        let parsed = Json::parse(&doc.to_compact()).expect("compact output parses back");
         assert_eq!(parsed, doc);
     }
 
@@ -520,8 +520,8 @@ mod tests {
         let doc = Json::parse(
             r#" { "x" : [ 1 , -2.5e3 , "\u0041\n" , { } ] , "y" : false } "#,
         )
-        .unwrap();
-        let x = doc.get("x").and_then(Json::as_arr).unwrap();
+        .expect("hand-written document is valid JSON");
+        let x = doc.get("x").and_then(Json::as_arr).expect("key x holds an array");
         assert_eq!(x[0].as_u64(), Some(1));
         assert_eq!(x[1].as_f64(), Some(-2500.0));
         assert_eq!(x[2].as_str(), Some("A\n"));
@@ -540,15 +540,15 @@ mod tests {
         let doc = Json::Str("\u{1}\u{1f}".to_string());
         let text = doc.to_compact();
         assert_eq!(text, r#""\u0001\u001f""#);
-        assert_eq!(Json::parse(&text).unwrap(), doc);
+        assert_eq!(Json::parse(&text).expect("escaped control characters parse back"), doc);
     }
 
     #[test]
     fn getters_return_none_on_type_mismatch() {
-        let doc = Json::parse(r#"{"a":1}"#).unwrap();
+        let doc = Json::parse(r#"{"a":1}"#).expect("literal document is valid JSON");
         assert!(doc.get("missing").is_none());
         assert!(doc.as_str().is_none());
-        assert!(doc.get("a").unwrap().as_str().is_none());
-        assert_eq!(doc.get("a").unwrap().as_f64(), Some(1.0));
+        assert!(doc.get("a").expect("key a exists").as_str().is_none());
+        assert_eq!(doc.get("a").expect("key a exists").as_f64(), Some(1.0));
     }
 }

@@ -155,7 +155,7 @@ mod tests {
         assert!(lines[0].starts_with("name"));
         assert!(lines[1].chars().all(|c| c == '-'));
         // The "value" column starts at the same offset in every row.
-        let col = lines[0].find("value").unwrap();
+        let col = lines[0].find("value").expect("header row names the value column");
         assert_eq!(&lines[2][col..col + 1], "1");
         assert_eq!(&lines[3][col..col + 2], "22");
     }

@@ -448,7 +448,7 @@ mod tests {
             Workload::MicroUdp(PacketSize::Large),
             ExecutionPlatform::HostCpu,
         )
-        .unwrap();
+        .expect("host capacity is calibrated");
         assert!(
             (m.achieved_ops - cap).abs() / cap < 0.1,
             "achieved {} vs capacity {cap}",
@@ -596,7 +596,7 @@ mod tests {
             Workload::MicroUdp(PacketSize::Large),
             ExecutionPlatform::HostCpu,
         )
-        .unwrap();
+        .expect("host capacity is calibrated");
         assert!(
             m.achieved_ops <= m.offered_ops && m.achieved_ops > 0.5 * cap,
             "achieved {} vs capacity {cap}",

@@ -197,7 +197,7 @@ mod tests {
         assert!(!points[0].saturated);
         assert!(points[2].saturated, "70G exceeds the ~50G accel cap");
         assert!(points[2].achieved_gbps < 60.0);
-        let knee = knee_gbps(&points).unwrap();
+        let knee = knee_gbps(&points).expect("sweep reaches saturation, so a knee exists");
         assert!((30.0..70.0).contains(&knee), "knee {knee}");
     }
 

@@ -617,7 +617,7 @@ mod tests {
             7,
             fake_metrics(),
             FifoStats::default(),
-            sink.take().unwrap(),
+            sink.take().expect("finished sink holds drained data"),
             SimTime::from_nanos(30_000),
             Vec::new(),
         )
@@ -662,7 +662,7 @@ mod tests {
         assert!((u[1] - 0.5).abs() < 1e-9, "{u:?}");
         assert_eq!(station.queue_depth.values()[1], 4.0);
         assert!((station.peak_utilization - 0.5).abs() < 1e-9);
-        assert_eq!(t.saturating_station().unwrap().name, "host-cpu");
+        assert_eq!(t.saturating_station().expect("the loaded station saturates").name, "host-cpu");
     }
 
     #[test]
@@ -670,13 +670,13 @@ mod tests {
         let runs = vec![fake_telemetry("a")];
         let report = run_report("fig4", Json::arr([]), &runs);
         let text = report.to_pretty();
-        let parsed = Json::parse(&text).unwrap();
+        let parsed = Json::parse(&text).expect("run report parses back");
         assert_eq!(
             parsed.get("schema").and_then(Json::as_str),
             Some(RUN_REPORT_SCHEMA)
         );
         assert_eq!(parsed.get("tool").and_then(Json::as_str), Some("fig4"));
-        let run = &parsed.get("runs").and_then(Json::as_arr).unwrap()[0];
+        let run = &parsed.get("runs").and_then(Json::as_arr).expect("report holds a runs array")[0];
         assert_eq!(run.get("label").and_then(Json::as_str), Some("a"));
         assert_eq!(
             run.get("saturating_station")
@@ -696,7 +696,7 @@ mod tests {
     fn chrome_trace_is_well_formed() {
         let runs = vec![fake_telemetry("a")];
         let doc = chrome_trace_json(&runs);
-        let parsed = Json::parse(&doc.to_compact()).unwrap();
+        let parsed = Json::parse(&doc.to_compact()).expect("chrome trace parses back");
         let events = parsed
             .get("traceEvents")
             .and_then(Json::as_arr)
@@ -706,7 +706,7 @@ mod tests {
         let meta = events
             .iter()
             .find(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
-            .unwrap();
+            .expect("trace carries a process_name metadata event");
         assert_eq!(meta.get("name").and_then(Json::as_str), Some("process_name"));
         // The drop shows up as an instant event.
         assert!(events

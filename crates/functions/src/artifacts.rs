@@ -16,7 +16,7 @@
 //! holding the `Arc`. All functions are thread-safe and therefore usable
 //! from the parallel experiment executor's workers.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -109,8 +109,8 @@ type Bm25Key = (usize, usize, u64);
 /// once per process per key. Queries take `&self`, so the shared index
 /// is used directly by all runs.
 pub fn bm25_index(documents: usize, words_per_doc: usize, seed: u64) -> Arc<Bm25Index> {
-    static CACHE: OnceLock<Mutex<HashMap<Bm25Key, Arc<Bm25Index>>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    static CACHE: OnceLock<Mutex<BTreeMap<Bm25Key, Arc<Bm25Index>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
     let mut map = cache.lock().expect("bm25 cache poisoned");
     let key = (documents, words_per_doc, seed);
     if let Some(idx) = map.get(&key) {
@@ -128,7 +128,7 @@ pub fn bm25_index(documents: usize, words_per_doc: usize, seed: u64) -> Arc<Bm25
 }
 
 /// Which synthetic compression corpus to draw from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CorpusClass {
     /// Word-structured text (higher redundancy).
     Text,
@@ -142,8 +142,8 @@ type CorpusKey = (CorpusClass, usize, u64);
 /// process per key. Blocks are immutable payload inputs shared by every
 /// compression run with the same parameters.
 pub fn corpus_block(class: CorpusClass, len: usize, seed: u64) -> Arc<Vec<u8>> {
-    static CACHE: OnceLock<Mutex<HashMap<CorpusKey, Arc<Vec<u8>>>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    static CACHE: OnceLock<Mutex<BTreeMap<CorpusKey, Arc<Vec<u8>>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
     let mut map = cache.lock().expect("corpus cache poisoned");
     let key = (class, len, seed);
     if let Some(block) = map.get(&key) {

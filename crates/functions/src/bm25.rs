@@ -9,7 +9,7 @@
 //! score(D, Q) = Σ_t IDF(t) · f(t,D)·(k1+1) / (f(t,D) + k1·(1 − b + b·|D|/avgdl))
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use snicbench_sim::rng::Rng;
 
@@ -54,7 +54,7 @@ pub struct Hit {
 pub struct Bm25Index {
     params: Bm25Params,
     // term -> (doc_id, term frequency) postings
-    postings: HashMap<String, Vec<(u32, u32)>>,
+    postings: BTreeMap<String, Vec<(u32, u32)>>,
     doc_lengths: Vec<u32>,
     total_terms: u64,
 }
@@ -68,7 +68,7 @@ impl Bm25Index {
         );
         Bm25Index {
             params,
-            postings: HashMap::new(),
+            postings: BTreeMap::new(),
             doc_lengths: Vec::new(),
             total_terms: 0,
         }
@@ -96,7 +96,7 @@ impl Bm25Index {
     /// Adds a document; returns its id.
     pub fn add_document(&mut self, text: &str) -> u32 {
         let doc_id = self.doc_lengths.len() as u32;
-        let mut tf: HashMap<String, u32> = HashMap::new();
+        let mut tf: BTreeMap<String, u32> = BTreeMap::new();
         let mut len = 0u32;
         for term in Self::tokenize(text) {
             *tf.entry(term).or_insert(0) += 1;
@@ -136,7 +136,7 @@ impl Bm25Index {
     /// highest score first (ties broken by doc id).
     pub fn query(&self, query: &str, k: usize) -> Vec<Hit> {
         let avgdl = self.avg_doc_len().max(1e-9);
-        let mut scores: HashMap<u32, f64> = HashMap::new();
+        let mut scores: BTreeMap<u32, f64> = BTreeMap::new();
         for term in Self::tokenize(query) {
             let Some(postings) = self.postings.get(&term) else {
                 continue;

@@ -18,6 +18,7 @@ pub struct CodeTable {
     /// Canonical code per symbol (valid where length > 0).
     codes: Vec<u32>,
     /// `(length, code)` -> symbol, for decoding.
+    // snicbench: allow(unordered-iteration, "lookup-only decode index, never iterated; BTreeMap would slow the per-symbol decode hot path")
     decode_map: std::collections::HashMap<(u32, u32), usize>,
 }
 
@@ -243,6 +244,7 @@ fn limit_lengths(lengths: &mut [u32], freqs: &[u64]) {
 fn build_decode_map(
     lengths: &[u32],
     codes: &[u32],
+// snicbench: allow(unordered-iteration, "builds the lookup-only decode index above")
 ) -> std::collections::HashMap<(u32, u32), usize> {
     lengths
         .iter()

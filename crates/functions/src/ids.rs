@@ -8,7 +8,7 @@
 //! registered rulesets (`file_image`, `file_flash`, `file_executable`,
 //! Sec. 3.4).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// A compiled Aho–Corasick automaton over byte patterns.
 ///
@@ -25,7 +25,7 @@ use std::collections::{HashMap, VecDeque};
 #[derive(Debug, Clone)]
 pub struct AhoCorasick {
     // goto function: state -> byte -> state
-    goto_fn: Vec<HashMap<u8, u32>>,
+    goto_fn: Vec<BTreeMap<u8, u32>>,
     fail: Vec<u32>,
     // outputs per state: indices of patterns ending here
     output: Vec<Vec<u32>>,
@@ -53,7 +53,7 @@ impl AhoCorasick {
             "patterns must be non-empty"
         );
         let mut ac = AhoCorasick {
-            goto_fn: vec![HashMap::new()],
+            goto_fn: vec![BTreeMap::new()],
             fail: vec![0],
             output: vec![Vec::new()],
             patterns: patterns.to_vec(),
@@ -66,7 +66,7 @@ impl AhoCorasick {
                     Some(&next) => next,
                     None => {
                         let next = ac.goto_fn.len() as u32;
-                        ac.goto_fn.push(HashMap::new());
+                        ac.goto_fn.push(BTreeMap::new());
                         ac.fail.push(0);
                         ac.output.push(Vec::new());
                         ac.goto_fn[state as usize].insert(b, next);

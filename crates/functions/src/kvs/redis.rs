@@ -4,7 +4,7 @@
 //! EXISTS) over binary-safe keys and values, with hit/miss accounting and
 //! memory-use tracking. Single-threaded by design, like a Redis shard.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A command for the store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,7 +58,7 @@ pub struct StoreStats {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct RedisStore {
-    map: HashMap<Vec<u8>, Vec<u8>>,
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
     stats: StoreStats,
     value_bytes: u64,
 }

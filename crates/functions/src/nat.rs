@@ -7,7 +7,7 @@
 //! the bidirectional table with hit/miss accounting and dynamic entry
 //! allocation for unknown outbound flows.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use snicbench_sim::rng::Rng;
 
@@ -66,8 +66,8 @@ pub struct NatStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct NatTable {
-    inbound: HashMap<Endpoint, Endpoint>,
-    outbound: HashMap<Endpoint, Endpoint>,
+    inbound: BTreeMap<Endpoint, Endpoint>,
+    outbound: BTreeMap<Endpoint, Endpoint>,
     next_public_port: u16,
     public_addr: u32,
     stats: NatStats,
@@ -80,8 +80,8 @@ impl NatTable {
     /// Creates an empty table.
     pub fn new() -> Self {
         NatTable {
-            inbound: HashMap::new(),
-            outbound: HashMap::new(),
+            inbound: BTreeMap::new(),
+            outbound: BTreeMap::new(),
             next_public_port: 20_000,
             public_addr: Self::DEFAULT_PUBLIC_ADDR,
             stats: NatStats::default(),
@@ -148,7 +148,7 @@ impl NatTable {
         loop {
             let candidate = Endpoint::new(self.public_addr, self.next_public_port);
             self.next_public_port = self.next_public_port.wrapping_add(1).max(1024);
-            if let std::collections::hash_map::Entry::Vacant(slot) = self.inbound.entry(candidate) {
+            if let std::collections::btree_map::Entry::Vacant(slot) = self.inbound.entry(candidate) {
                 slot.insert(private);
                 self.outbound.insert(private, candidate);
                 self.stats.outbound_allocs += 1;
@@ -261,5 +261,51 @@ mod tests {
         ea.sort_unstable();
         eb.sort_unstable();
         assert_eq!(ea, eb);
+    }
+
+    /// Regression test for the jobs-N determinism invariant: the table
+    /// must iterate in an order fixed by its *content*, not by hash
+    /// seeds or insertion history. Two tables holding the same mappings
+    /// built in opposite insertion orders must stream identical,
+    /// already-sorted endpoint sequences without any caller-side sort —
+    /// `core::functional` consumes `public_endpoints()` directly, so a
+    /// hash-ordered map here would leak nondeterminism into exported
+    /// run reports.
+    #[test]
+    fn iteration_order_is_structural_not_hash_or_insertion_order() {
+        let privates: Vec<Endpoint> = (0..64)
+            .map(|i| Endpoint::new(0x0A00_0000 | i, 5000 + i as u16))
+            .collect();
+        let mut forward = NatTable::new();
+        for p in &privates {
+            forward.translate_outbound(*p).expect("port space is free");
+        }
+        let mut reverse = NatTable::new();
+        for p in privates.iter().rev() {
+            reverse.translate_outbound(*p).expect("port space is free");
+        }
+        let fwd: Vec<Endpoint> = forward.public_endpoints().collect();
+        let rev: Vec<Endpoint> = reverse.public_endpoints().collect();
+        assert_eq!(fwd.len(), 64);
+        assert_eq!(rev.len(), 64);
+        assert!(
+            fwd.windows(2).all(|w| w[0] < w[1]),
+            "public_endpoints() must stream in sorted order with no caller-side sort"
+        );
+        assert!(
+            rev.windows(2).all(|w| w[0] < w[1]),
+            "iteration order must not depend on insertion history"
+        );
+
+        let seeded: Vec<Endpoint> = NatTable::with_random_entries(512, 7)
+            .public_endpoints()
+            .collect();
+        let again: Vec<Endpoint> = NatTable::with_random_entries(512, 7)
+            .public_endpoints()
+            .collect();
+        assert_eq!(
+            seeded, again,
+            "unsorted iteration must already be identical across instances"
+        );
     }
 }

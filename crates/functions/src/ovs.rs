@@ -7,10 +7,10 @@
 //! (Sec. 3.4); [`MegaflowCache`] implements the cache + slow-path structure
 //! so both placements can be simulated and the slow-path rate measured.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A flow key (5-tuple surrogate).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowKey {
     /// Source address.
     pub src: u32,
@@ -89,7 +89,7 @@ pub struct OvsStats {
 #[derive(Debug, Clone)]
 pub struct MegaflowCache {
     rules: Vec<OpenFlowRule>,
-    cache: HashMap<FlowKey, FlowAction>,
+    cache: BTreeMap<FlowKey, FlowAction>,
     // FIFO eviction order (real OvS uses revalidation; FIFO keeps the model
     // deterministic).
     insertion_order: std::collections::VecDeque<FlowKey>,
@@ -107,7 +107,7 @@ impl MegaflowCache {
         assert!(capacity > 0, "cache capacity must be positive");
         MegaflowCache {
             rules: Vec::new(),
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             insertion_order: std::collections::VecDeque::new(),
             capacity,
             stats: OvsStats::default(),

@@ -7,7 +7,7 @@
 //! Hyperscan and the BlueField-2 RXP engine present to callers: compile a
 //! ruleset once, stream payloads through, read out matched rule ids.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use super::nfa::{Nfa, RegexError, State};
 
@@ -30,7 +30,7 @@ pub struct MultiRegex {
     // DFA state -> sorted accepting pattern ids.
     accepts: Vec<Vec<u32>>,
     // NFA state-set (sorted) -> DFA state id.
-    state_ids: HashMap<Vec<u32>, u32>,
+    state_ids: BTreeMap<Vec<u32>, u32>,
     // DFA state -> its NFA state-set (needed to build transitions lazily).
     state_sets: Vec<Vec<u32>>,
     start: u32,
@@ -50,7 +50,7 @@ impl MultiRegex {
             nfa,
             transitions: Vec::new(),
             accepts: Vec::new(),
-            state_ids: HashMap::new(),
+            state_ids: BTreeMap::new(),
             state_sets: Vec::new(),
             start: 0,
         };

@@ -7,7 +7,7 @@
 //! rule's clause structure against the match positions — exactly the
 //! two-phase architecture Snort's fast pattern matcher uses.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::ids::AhoCorasick;
 
@@ -124,7 +124,7 @@ impl RuleEngine {
         self.stats.scanned += 1;
         // Phase 1: one multi-pattern pass collecting start positions per
         // (rule, clause).
-        let mut positions: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        let mut positions: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
         for m in self.matcher.find_all(payload) {
             let owner = self.pattern_owner[m.pattern as usize];
             positions.entry(owner).or_default().push(m.start);
@@ -163,7 +163,7 @@ impl RuleEngine {
     fn rule_matches(
         rule: &SnortRule,
         rule_idx: usize,
-        positions: &HashMap<(usize, usize), Vec<usize>>,
+        positions: &BTreeMap<(usize, usize), Vec<usize>>,
     ) -> bool {
         // Greedy left-to-right: for each clause take the earliest match
         // satisfying its constraints relative to the previous clause's end.

@@ -8,7 +8,7 @@
 //! style commands against it, and a [`FioWorkload`] generator issuing the
 //! paper's access patterns.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use snicbench_sim::rng::Rng;
 
@@ -17,7 +17,7 @@ use snicbench_sim::rng::Rng;
 pub struct RamDisk {
     block_size: usize,
     num_blocks: u64,
-    blocks: HashMap<u64, Vec<u8>>,
+    blocks: BTreeMap<u64, Vec<u8>>,
 }
 
 impl RamDisk {
@@ -34,7 +34,7 @@ impl RamDisk {
         RamDisk {
             block_size,
             num_blocks,
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
         }
     }
 

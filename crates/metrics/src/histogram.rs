@@ -80,11 +80,13 @@ impl LatencyHistogram {
     /// `sub_buckets / 2` buckets of width `2^k`.
     fn index_of(&self, value: u64) -> usize {
         let v = value.max(1);
-        let magnitude = 63 - v.leading_zeros() as u64; // floor(log2 v)
-        if magnitude < self.precision_bits as u64 {
+        // floor(log2 v)
+        // snicbench: allow(float-cast-in-time, "lossless widening cast")
+        let magnitude = 63 - v.leading_zeros() as u64;
+        if magnitude < self.precision_bits as u64 { // snicbench: allow(float-cast-in-time, "lossless widening cast")
             v as usize
         } else {
-            let shift = magnitude - self.precision_bits as u64 + 1;
+            let shift = magnitude - self.precision_bits as u64 + 1; // snicbench: allow(float-cast-in-time, "lossless widening cast")
             let sub = v >> shift; // in [sub_buckets/2, sub_buckets)
             (shift * (self.sub_buckets / 2) + sub) as usize
         }
@@ -93,7 +95,7 @@ impl LatencyHistogram {
     /// The upper-edge value of bucket `idx` — the largest value mapping to
     /// this bucket (exact inverse of [`LatencyHistogram::index_of`]).
     fn value_of(&self, idx: usize) -> u64 {
-        let idx = idx as u64;
+        let idx = idx as u64; // snicbench: allow(float-cast-in-time, "lossless: usize bucket index fits u64")
         if idx < self.sub_buckets {
             return idx;
         }
@@ -105,7 +107,7 @@ impl LatencyHistogram {
         // u64 shift wraps to zero and the `- 1` underflows; widen and clamp
         // to keep the function total over every reachable bucket.
         let edge = (u128::from(sub + 1) << shift) - 1;
-        edge.min(u128::from(u64::MAX)) as u64
+        edge.min(u128::from(u64::MAX)) as u64 // snicbench: allow(float-cast-in-time, "clamped to u64::MAX in u128 before narrowing")
     }
 
     /// Records one sample.
@@ -180,7 +182,7 @@ impl LatencyHistogram {
         if self.is_empty() {
             0.0
         } else {
-            self.total as f64 / self.count as f64
+            self.total as f64 / self.count as f64 // snicbench: allow(float-cast-in-time, "mean is reporting-only: exact below 2^53")
         }
     }
 
@@ -197,7 +199,7 @@ impl LatencyHistogram {
         if self.is_empty() {
             return 0;
         }
-        let target = ((pct / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let target = ((pct / 100.0) * self.count as f64).ceil().max(1.0) as u64; // snicbench: allow(float-cast-in-time, "rank arithmetic: count < 2^53 samples, result >= 1 via max(1.0)")
         let mut seen = 0;
         for (idx, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -230,8 +232,8 @@ impl LatencyHistogram {
         }
         let (min, max, mean) = (self.min(), self.max(), self.mean());
         min <= max
-            && mean >= min as f64
-            && mean <= max as f64
+            && mean >= min as f64 // snicbench: allow(float-cast-in-time, "self-check comparison only")
+            && mean <= max as f64 // snicbench: allow(float-cast-in-time, "self-check comparison only")
             && self.percentile(0.0) <= self.median()
             && self.median() <= self.p99()
             && self.p99() <= self.percentile(100.0)

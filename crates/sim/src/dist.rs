@@ -385,7 +385,7 @@ mod tests {
         }
         // ~75% of samples should be 1500.
         assert!((7_000..8_000).contains(&big), "big {big}");
-        assert!((d.mean().unwrap() - (64.0 * 0.25 + 1500.0 * 0.75)).abs() < 1e-9);
+        assert!((d.mean().expect("bimodal mixture has a finite mean") - (64.0 * 0.25 + 1500.0 * 0.75)).abs() < 1e-9);
     }
 
     #[test]

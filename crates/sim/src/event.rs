@@ -62,7 +62,7 @@ impl<T> Ord for Entry<T> {
 pub struct EventQueue<T> {
     heap: BinaryHeap<Entry<T>>,
     next_seq: u64,
-    cancelled: std::collections::HashSet<u64>,
+    cancelled: std::collections::BTreeSet<u64>,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -77,7 +77,7 @@ impl<T> EventQueue<T> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
+            cancelled: std::collections::BTreeSet::new(),
         }
     }
 

@@ -60,7 +60,7 @@ impl SimTime {
 
     /// Seconds since the start of the run, as a float (for reporting only).
     pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1e9
+        self.0 as f64 / 1e9 // snicbench: allow(float-cast-in-time, "reporting-only: exact below 2^53 ns")
     }
 
     /// Duration elapsed since `earlier`.
@@ -124,10 +124,10 @@ impl SimDuration {
             return SimDuration::ZERO;
         }
         let ns = (s * 1e9).round();
-        if ns >= u64::MAX as f64 {
+        if ns >= u64::MAX as f64 { // snicbench: allow(float-cast-in-time, "overflow guard itself: compares against u64::MAX before casting")
             SimDuration::MAX
         } else {
-            SimDuration(ns as u64)
+            SimDuration(ns as u64) // snicbench: allow(float-cast-in-time, "guarded: value is rounded, finite, and < u64::MAX per the branch above")
         }
     }
 
@@ -138,12 +138,12 @@ impl SimDuration {
 
     /// The span in float microseconds (for reporting only).
     pub fn as_micros_f64(self) -> f64 {
-        self.0 as f64 / 1e3
+        self.0 as f64 / 1e3 // snicbench: allow(float-cast-in-time, "reporting-only: exact below 2^53 ns")
     }
 
     /// The span in float seconds (for reporting only).
     pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1e9
+        self.0 as f64 / 1e9 // snicbench: allow(float-cast-in-time, "reporting-only: exact below 2^53 ns")
     }
 
     /// True if the span is zero.
@@ -252,9 +252,9 @@ impl fmt::Display for SimDuration {
         if self.0 < 1_000 {
             write!(f, "{}ns", self.0)
         } else if self.0 < 1_000_000 {
-            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+            write!(f, "{:.3}us", self.0 as f64 / 1e3) // snicbench: allow(float-cast-in-time, "Display formatting only")
         } else if self.0 < 1_000_000_000 {
-            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6) // snicbench: allow(float-cast-in-time, "Display formatting only")
         } else {
             write!(f, "{:.3}s", self.as_secs_f64())
         }

@@ -467,7 +467,7 @@ mod tests {
         s.record(SimTime::from_nanos(40), id, TraceKind::ServiceEnd { busy: 0 });
         s.record(SimTime::from_nanos(40), id, TraceKind::Dequeue { depth: 0 });
         s.finish(SimTime::from_nanos(100));
-        let d = s.take().unwrap();
+        let d = s.take().expect("finished sink holds drained data");
         assert_eq!(d.total, 5);
         assert_eq!(d.evicted, 0);
         assert_eq!(d.records.len(), 5);
@@ -492,7 +492,7 @@ mod tests {
                 TraceKind::Enqueue { depth: i as u32 },
             );
         }
-        let d = s.take().unwrap();
+        let d = s.take().expect("finished sink holds drained data");
         assert_eq!(d.total, 10);
         assert_eq!(d.evicted, 6);
         assert_eq!(d.records.len(), 4);
@@ -512,7 +512,7 @@ mod tests {
         s.record(SimTime::from_nanos(500), id, TraceKind::ServiceStart { busy: 1 });
         s.record(SimTime::from_nanos(2_500), id, TraceKind::ServiceEnd { busy: 0 });
         s.finish(SimTime::from_nanos(3_000));
-        let d = s.take().unwrap();
+        let d = s.take().expect("finished sink holds drained data");
         let b = &d.tracks[0].buckets;
         assert_eq!(b[0].busy_ns, 500);
         assert_eq!(b[1].busy_ns, 1_000);
@@ -530,7 +530,7 @@ mod tests {
         s.record(SimTime::from_nanos(100), id, TraceKind::Enqueue { depth: 3 });
         s.record(SimTime::from_nanos(1_200), id, TraceKind::Drop { depth: 5 });
         s.finish(SimTime::from_nanos(2_000));
-        let d = s.take().unwrap();
+        let d = s.take().expect("finished sink holds drained data");
         let b = &d.tracks[0].buckets;
         assert_eq!(b[0].depth_peak, 3);
         assert_eq!(b[1].depth_peak, 5);
@@ -543,7 +543,7 @@ mod tests {
         let id = s.register("bmc", 1);
         s.record(SimTime::from_nanos(100), id, TraceKind::PowerSample { watts: 250.0 });
         s.record(SimTime::from_nanos(200), id, TraceKind::PowerSample { watts: 260.0 });
-        let d = s.take().unwrap();
+        let d = s.take().expect("finished sink holds drained data");
         let b = d.tracks[0].buckets[0];
         assert_eq!(b.power_samples, 2);
         assert!((b.power_sum - 510.0).abs() < 1e-12);
@@ -558,7 +558,7 @@ mod tests {
         assert_eq!(b, StationId(1));
         s.record(SimTime::from_nanos(10), a, TraceKind::ServiceStart { busy: 1 });
         s.record(SimTime::from_nanos(10), b, TraceKind::Enqueue { depth: 1 });
-        let d = s.take().unwrap();
+        let d = s.take().expect("finished sink holds drained data");
         assert_eq!(d.tracks[0].counts.service_starts, 1);
         assert_eq!(d.tracks[0].counts.enqueues, 0);
         assert_eq!(d.tracks[1].counts.enqueues, 1);

@@ -18,6 +18,7 @@
 //! | [`functions`] | `snicbench-functions` | the 13 workload functions |
 //! | [`power`] | `snicbench-power` | power models and sensor rigs |
 //! | [`core`] | `snicbench-core` | the paper's evaluation framework |
+//! | [`analyzer`] | `snicbench-analyzer` | the workspace's own lint engine |
 //!
 //! # Quickstart
 //!
@@ -31,6 +32,7 @@
 //! assert!(row.throughput_ratio() > 1.0, "the accelerator wins for img");
 //! ```
 
+pub use snicbench_analyzer as analyzer;
 pub use snicbench_core as core;
 pub use snicbench_functions as functions;
 pub use snicbench_hw as hw;

@@ -1,0 +1,93 @@
+//! Workspace self-lint and fixture-corpus golden tests.
+//!
+//! Two invariants: the workspace's own sources stay clean under
+//! `snicbench-analyzer` (so the determinism/panic/CLI rules hold by
+//! construction, not by review), and the deliberately-dirty corpus in
+//! `tests/lint_fixtures/` keeps producing exactly the diagnostics
+//! recorded in `tests/golden/lint_fixtures.txt` (so rule and engine
+//! behavior cannot drift silently).
+
+use std::path::Path;
+
+use snicbench_analyzer::{analyze_fixtures, analyze_workspace};
+
+fn root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = analyze_workspace(root()).expect("workspace sources are readable");
+    assert!(
+        report.is_clean(),
+        "workspace must self-lint clean; run `cargo run --release --bin lint`:\n{}",
+        report.render(true)
+    );
+    assert!(
+        report.files_scanned > 100,
+        "self-lint saw only {} files — the walker lost a tree",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn every_workspace_suppression_is_live() {
+    let report = analyze_workspace(root()).expect("workspace sources are readable");
+    // analyze_source already reports stale directives as
+    // `unused-suppression` findings; this asserts the accounting agrees.
+    assert_eq!(
+        report.suppressions_used, report.suppressions_total,
+        "every `// snicbench: allow(...)` in the tree must silence a real finding"
+    );
+    assert!(
+        report.suppressions_total > 0,
+        "the tree is expected to carry justified suppressions (timing bins, decode maps)"
+    );
+}
+
+#[test]
+fn fixture_corpus_matches_golden() {
+    let report = analyze_fixtures(root(), &root().join("tests").join("lint_fixtures"))
+        .expect("fixture corpus is readable");
+    assert!(
+        !report.is_clean(),
+        "the fixture corpus is deliberately dirty; a clean report means rules stopped firing"
+    );
+    let golden_path = root().join("tests").join("golden").join("lint_fixtures.txt");
+    let golden = std::fs::read_to_string(&golden_path).expect("golden exists");
+    assert_eq!(
+        report.render(false),
+        golden,
+        "fixture diagnostics drifted from {}; if the change is intended, \
+         regenerate with `cargo run --release --bin lint -- --fixtures > {}`",
+        golden_path.display(),
+        "tests/golden/lint_fixtures.txt"
+    );
+}
+
+#[test]
+fn fixture_corpus_exercises_every_rule() {
+    let report = analyze_fixtures(root(), &root().join("tests").join("lint_fixtures"))
+        .expect("fixture corpus is readable");
+    let fired: std::collections::BTreeSet<&str> = report
+        .findings
+        .iter()
+        .map(|d| d.lint.as_str())
+        .collect();
+    for lint in [
+        "wall-clock-in-sim",
+        "unordered-iteration",
+        "bare-unwrap-in-lib",
+        "handrolled-cli",
+        "float-cast-in-time",
+        "malformed-suppression",
+        "unused-suppression",
+    ] {
+        assert!(fired.contains(lint), "no fixture triggers `{lint}`");
+    }
+    // Positive suppression coverage: the corpus also proves directives
+    // *silence* findings (3 live allows) and that one stale allow is
+    // reported rather than ignored.
+    assert_eq!(report.suppressions_total, 4);
+    assert_eq!(report.suppressions_used, 3);
+}

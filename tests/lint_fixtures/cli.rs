@@ -1,0 +1,22 @@
+// snicbench-fixture: crates/bench/src/bin/demo.rs
+//! Fixture: `handrolled-cli` — scanning `std::env::args` in a bin
+//! fires (flag parsing must go through `bench::cli::Cli`); reading an
+//! environment *variable* does not.
+
+/// FIRES twice: the import and the call are both hand-rolled scans.
+use std::env::args;
+
+fn main() {
+    // (second finding comes from this qualified call)
+    for flag in std::env::args().skip(1) {
+        if flag == "--help" {
+            println!("demo");
+        }
+    }
+    let _ = args().count();
+}
+
+/// Clean: env vars are configuration, not CLI grammar.
+fn from_env() -> Option<String> {
+    std::env::var("SNICBENCH_SEED").ok()
+}

@@ -1,0 +1,24 @@
+// snicbench-fixture: crates/sim/src/time.rs
+//! Fixture: `float-cast-in-time` — unannotated `as u64` / `as f64`
+//! casts in the timing hot paths fire; annotated ones and casts to
+//! other types do not.
+
+/// FIRES: the cast silently truncates above 2^53 ns.
+pub fn bad_to_ns(seconds: f64) -> u64 {
+    (seconds * 1e9) as u64
+}
+
+/// FIRES: the widening direction still loses precision above 2^53.
+pub fn bad_to_seconds(ns: u64) -> f64 {
+    ns as f64 / 1e9
+}
+
+/// Clean: the cast carries a trailing allow stating why it is sound.
+pub fn reported_seconds(ns: u64) -> f64 {
+    ns as f64 / 1e9 // snicbench: allow(float-cast-in-time, "fixture: reporting only; exact below 2^53 ns")
+}
+
+/// Clean: casts to other integer widths are not this lint's business.
+pub fn bucket(ns: u64) -> usize {
+    (ns % 64) as usize
+}

@@ -1,0 +1,22 @@
+// snicbench-fixture: crates/bench/src/summary_demo.rs
+//! Fixture: path scoping — this virtual path is in `crates/bench`,
+//! where `unordered-iteration` and `bare-unwrap-in-lib` do not apply
+//! (bench output goes through clippy and review, not the determinism
+//! gate), so a file that would light up in `crates/functions` is
+//! clean here. Expect zero findings from this file.
+
+use std::collections::HashMap;
+
+/// Clean *here*: HashMap in bench-side code is out of scope.
+pub fn tally(flags: &[String]) -> HashMap<String, u32> {
+    let mut counts = HashMap::new();
+    for f in flags {
+        *counts.entry(f.clone()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Clean *here*: bare unwrap is only policed in library crates.
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,26 @@
+// snicbench-fixture: crates/core/src/sup_demo.rs
+//! Fixture: the engine's own lints — broken `allow` directives are
+//! `malformed-suppression` findings (and silence nothing), and a
+//! well-formed directive with no finding under it is
+//! `unused-suppression`.
+
+/// FIRES malformed-suppression (missing reason) AND bare-unwrap-in-lib
+/// (the broken directive silences nothing).
+// snicbench: allow(bare-unwrap-in-lib)
+pub fn missing_reason(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+/// FIRES malformed-suppression: the lint name has a typo, so the typo
+/// cannot silently disable nothing.
+// snicbench: allow(bare-unwrap, "typo'd lint name")
+pub fn unknown_lint() {}
+
+/// FIRES malformed-suppression: the reason must be non-empty.
+// snicbench: allow(unordered-iteration, "  ")
+pub fn empty_reason() {}
+
+/// FIRES unused-suppression: nothing on the next code line trips the
+/// named lint, so the annotation is stale.
+// snicbench: allow(unordered-iteration, "stale: the map it covered is long gone")
+pub fn stale() {}

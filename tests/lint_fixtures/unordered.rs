@@ -1,0 +1,50 @@
+// snicbench-fixture: crates/functions/src/table_demo.rs
+//! Fixture: `unordered-iteration` — HashMap/HashSet in library code
+//! that exports bytes fires; annotated lookup-only maps and test code
+//! do not.
+
+use std::collections::BTreeMap;
+// FIRES twice: both hash types, even at the import.
+use std::collections::{HashMap, HashSet};
+
+/// FIRES: a HashMap whose iteration order could reach exported bytes.
+pub fn bad_histogram(words: &[&str]) -> HashMap<String, u32> {
+    let mut counts = HashMap::new();
+    for w in words {
+        *counts.entry(w.to_string()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Clean: BTreeMap iterates in key order on every process.
+pub fn good_histogram(words: &[&str]) -> BTreeMap<String, u32> {
+    let mut counts = BTreeMap::new();
+    for w in words {
+        *counts.entry(w.to_string()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Clean: a standalone allow covering the next code line.
+pub struct DecodeIndex {
+    // snicbench: allow(unordered-iteration, "fixture: lookup-only index, never iterated")
+    index: HashMap<u32, u8>,
+}
+
+impl DecodeIndex {
+    /// Clean: lookups do not depend on iteration order.
+    pub fn get(&self, key: u32) -> Option<u8> {
+        self.index.get(&key).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let s: HashSet<u8> = HashSet::new();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+// snicbench-fixture: crates/core/src/report_demo.rs
+//! Fixture: `bare-unwrap-in-lib` — bare `unwrap()` in library code
+//! fires; `expect` with an invariant, `unwrap_or`, and test code do
+//! not.
+
+/// FIRES: the panic message would say nothing about the invariant.
+pub fn bad_first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+/// Clean: the invariant is stated at the call site.
+pub fn good_first(xs: &[u64]) -> u64 {
+    *xs.first().expect("caller guarantees a non-empty slice")
+}
+
+/// Clean: `unwrap_or` cannot panic.
+pub fn first_or_zero(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap_or(0)
+}
+
+/// Clean: an `unwrap` identifier that is not a `.unwrap()` call chain.
+pub fn unwrap(x: u64) -> u64 {
+    x
+}
+
+#[test]
+fn test_fn_is_exempt() {
+    let x: Option<u8> = Some(1);
+    assert_eq!(x.unwrap(), 1);
+}

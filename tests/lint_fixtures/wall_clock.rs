@@ -1,0 +1,39 @@
+// snicbench-fixture: crates/sim/src/engine_demo.rs
+//! Fixture: `wall-clock-in-sim` — wall-clock reads inside simulation
+//! code fire; annotated harness timing and test code do not.
+
+use std::time::Instant;
+
+/// FIRES: an Instant::now() call in library code.
+pub fn bad_stamp() -> Instant {
+    Instant::now()
+}
+
+/// FIRES: any mention of SystemTime, even without calling now().
+pub fn bad_epoch() -> std::time::SystemTime {
+    std::time::SystemTime::UNIX_EPOCH
+}
+
+/// Clean: the read carries a trailing allow with a reason.
+pub fn harness_stamp() -> Instant {
+    Instant::now() // snicbench: allow(wall-clock-in-sim, "fixture: harness-side wall clock, never feeds simulated time")
+}
+
+/// Clean: `Instant` without `::now` is just a type mention.
+pub fn elapsed(since: Instant) -> std::time::Duration {
+    since.elapsed()
+}
+
+// Clean: a comment saying Instant::now() is not a call.
+// Clean: "Instant::now()" in a string literal is not a call either.
+pub const DOC: &str = "call Instant::now() at your peril";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = Instant::now();
+    }
+}

@@ -1,17 +1,38 @@
 #!/bin/bash
 # Tier-1 gate: release build, full test suite, a warning-free clippy pass,
-# the simulator conformance harness (closed-form queueing theory
-# cross-check + per-run invariant audit of every Fig. 4 cell), the
-# executor's determinism contract (fig4 --quick must be byte-identical on
-# stdout at --jobs 1 and --jobs 4), and an observability smoke: the
-# --trace / --json exports must be well-formed JSON with the expected
-# schema while auditing stays clean.
+# the workspace's own static-analysis gate (the tree must self-lint
+# clean and the deliberately-dirty fixture corpus must keep matching its
+# golden diagnostics), the simulator conformance harness (closed-form
+# queueing theory cross-check + per-run invariant audit of every Fig. 4
+# cell), the executor's determinism contract (fig4 --quick must be
+# byte-identical on stdout at --jobs 1 and --jobs 4), and an
+# observability smoke: the --trace / --json exports must be well-formed
+# JSON with the expected schema while auditing stays clean.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+
+echo "==== static analysis: workspace self-lint + fixture goldens ===="
+# The tree itself must be clean (exit 0, nothing on stdout).
+./target/release/lint
+# The fixture corpus must stay dirty in exactly the recorded way: exit 1
+# and diagnostics byte-identical to the golden transcript.
+fixture_out=$(mktemp)
+if ./target/release/lint --fixtures > "$fixture_out" 2>/dev/null; then
+  echo "FAIL: lint --fixtures exited 0; the corpus must trip every rule" >&2
+  rm -f "$fixture_out"
+  exit 1
+fi
+if ! diff -u tests/golden/lint_fixtures.txt "$fixture_out"; then
+  echo "FAIL: fixture diagnostics drifted from tests/golden/lint_fixtures.txt" >&2
+  rm -f "$fixture_out"
+  exit 1
+fi
+rm -f "$fixture_out"
+echo "OK: workspace lint-clean, fixture diagnostics match golden"
 
 echo "==== conformance: simulator vs queueing theory + invariant audit ===="
 # Exits non-zero if any probe case leaves the tolerance band or any run
