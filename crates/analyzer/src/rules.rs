@@ -13,6 +13,7 @@
 //! | `bare-unwrap-in-lib` | panic discipline | library crates |
 //! | `handrolled-cli` | CLI uniformity | `bench` outside `bench::cli` |
 //! | `float-cast-in-time` | overflow/precision in timing bins | `sim::time`, `metrics::histogram` |
+//! | `unseeded-jitter` | replayable fault/backoff randomness | `sim`, `core`, `functions`, `net`, `power`, `hw` |
 
 use crate::lexer::{Tok, TokKind};
 
@@ -51,7 +52,7 @@ pub fn all() -> &'static [Rule] {
     &RULES
 }
 
-/// The lint names `allow` directives may reference (the five rules; the
+/// The lint names `allow` directives may reference (the six rules; the
 /// two engine-level lints cannot be suppressed).
 pub fn known_lints() -> Vec<&'static str> {
     RULES.iter().map(|r| r.name).collect()
@@ -75,7 +76,7 @@ fn under_any(path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| path.starts_with(p))
 }
 
-static RULES: [Rule; 5] = [
+static RULES: [Rule; 6] = [
     Rule {
         name: "wall-clock-in-sim",
         brief: "forbid Instant::now / SystemTime: simulated time must come from SimTime",
@@ -123,6 +124,17 @@ static RULES: [Rule; 5] = [
         skip_test_code: true,
         applies: |p| p == "crates/sim/src/time.rs" || p == "crates/metrics/src/histogram.rs",
         check: check_float_cast,
+    },
+    Rule {
+        name: "unseeded-jitter",
+        brief: "forbid ambient-entropy randomness: jitter must come from the simulation RNG",
+        suggestion: "derive randomness from the run's seeded Rng (fork a stream from the root \
+                     seed); ambient entropy makes backoff jitter and fault schedules \
+                     unreplayable, so it cannot be justified in library code",
+        scope: "sim, core, functions, net, power, hw library code",
+        skip_test_code: true,
+        applies: |p| under_any(p, LIB_CRATES),
+        check: check_unseeded,
     },
 ];
 
@@ -230,6 +242,37 @@ fn check_float_cast(toks: &[Tok]) -> Vec<RawFinding> {
     out
 }
 
+/// Ambient-entropy sources: `thread_rng` / `from_entropy` / `RandomState`
+/// mentions and `rand :: random` path chains.
+fn check_unseeded(toks: &[Tok]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("thread_rng") || t.is_ident("from_entropy") || t.is_ident("RandomState") {
+            out.push(RawFinding {
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` draws ambient entropy, so jitter from it cannot be replayed",
+                    t.text
+                ),
+            });
+        }
+        if t.is_ident("rand")
+            && matches!(toks.get(i + 1), Some(c) if c.is_punct(':'))
+            && matches!(toks.get(i + 2), Some(c) if c.is_punct(':'))
+            && matches!(toks.get(i + 3), Some(r) if r.is_ident("random"))
+        {
+            out.push(RawFinding {
+                line: t.line,
+                col: t.col,
+                message: "`rand::random` draws ambient entropy, so jitter from it cannot be replayed"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +311,19 @@ mod tests {
     fn float_cast_matches_only_u64_f64() {
         assert_eq!(check_float_cast(&lex("x as u64 + y as f64")).len(), 2);
         assert!(check_float_cast(&lex("x as usize as u32")).is_empty());
+    }
+
+    #[test]
+    fn unseeded_matches_entropy_sources_not_seeded_rng() {
+        assert_eq!(check_unseeded(&lex("let mut r = rand::thread_rng();")).len(), 1);
+        assert_eq!(check_unseeded(&lex("let r = SmallRng::from_entropy();")).len(), 1);
+        assert_eq!(
+            check_unseeded(&lex("use std::collections::hash_map::RandomState;")).len(),
+            1
+        );
+        assert_eq!(check_unseeded(&lex("let j: f64 = rand::random();")).len(), 1);
+        assert!(check_unseeded(&lex("let mut rng = Rng::new(seed ^ 0xFA17);")).is_empty());
+        assert!(check_unseeded(&lex("let rand = 3; rand.random")).is_empty());
     }
 
     #[test]

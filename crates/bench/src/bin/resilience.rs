@@ -1,0 +1,173 @@
+//! Degraded-mode resilience sweep: SLO under failure.
+//!
+//! The paper's measurements assume a healthy testbed. This tool asks the
+//! follow-on question an operator has to answer before offloading a tax
+//! component: *what happens to the SLO when the offload target degrades?*
+//! It finds each platform's healthy operating point, then replays the
+//! same offered load (90% of the healthy maximum) under seeded fault
+//! plans of increasing intensity — accelerator stalls and failures, Arm
+//! cores going offline, PCIe degradation, link flaps, and packet-loss
+//! bursts — with the standard resilience policy (retry with backoff, a
+//! per-station circuit breaker, and failover down the platform ladder
+//! accelerator → SNIC Arm cores → host CPU) armed.
+//!
+//! ```text
+//! cargo run --release -p snicbench-bench --bin resilience [-- --quick | --list] [--workload NAME] [--jobs N] [--json PATH] [--trace PATH]
+//! ```
+//!
+//! Output is one row per (platform, fault intensity): faulted p99 and
+//! goodput against the healthy reference, and the fraction of trials
+//! violating an SLO anchored to the healthy baseline (2× p99, half
+//! goodput, 2% loss). Deterministic at any `--jobs` width: fault plans
+//! and trial seeds derive from the search seed and cell coordinates,
+//! never from thread scheduling.
+
+use snicbench_bench::cli::Cli;
+use snicbench_core::benchmark::{CorpusKind, CryptoAlgo, Workload};
+use snicbench_core::experiment::Scenario;
+use snicbench_core::json::Json;
+use snicbench_core::report::TextTable;
+use snicbench_core::resilience::{ResilienceRow, ResilienceSpec};
+use snicbench_net::PacketSize;
+use snicbench_functions::kvs::ycsb::YcsbWorkload;
+
+/// The workloads this tool knows how to degrade, by CLI name.
+fn catalog() -> Vec<(&'static str, Workload)> {
+    vec![
+        ("crypto", Workload::Crypto(CryptoAlgo::Sha1)),
+        ("compression", Workload::Compression(CorpusKind::Text)),
+        ("udp", Workload::MicroUdp(PacketSize::Large)),
+        ("redis", Workload::Redis(YcsbWorkload::A)),
+    ]
+}
+
+fn results_json(rows: &[ResilienceRow]) -> Json {
+    Json::arr(rows.iter().map(|r| {
+        Json::obj([
+            ("workload", Json::str(r.workload.name())),
+            ("platform", Json::str(r.platform.code())),
+            ("intensity", Json::Num(r.intensity)),
+            ("offered_ops", Json::Num(r.offered_ops)),
+            ("healthy_p99_us", Json::Num(r.healthy_p99_us)),
+            ("faulted_p99_us", Json::Num(r.faulted_p99_us)),
+            ("p99_ratio", Json::Num(r.p99_ratio())),
+            ("healthy_gbps", Json::Num(r.healthy_gbps)),
+            ("faulted_gbps", Json::Num(r.faulted_gbps)),
+            ("goodput_ratio", Json::Num(r.goodput_ratio())),
+            ("violation_fraction", Json::Num(r.violation_fraction)),
+            ("trials", Json::Num(f64::from(r.trials))),
+            ("failed_trials", Json::Num(f64::from(r.failed_trials))),
+            ("retries", Json::Num(r.retries as f64)),
+            ("failovers", Json::Num(r.failovers as f64)),
+            ("injected_losses", Json::Num(r.injected_losses as f64)),
+        ])
+    }))
+}
+
+fn main() {
+    let args = Cli::new(
+        "resilience",
+        "Degraded-mode resilience sweep: p99, goodput, and SLO-violation fraction\n\
+         under seeded fault plans of increasing intensity, against the healthy baseline.",
+    )
+    .opt(
+        "--workload",
+        "NAME",
+        "workload to degrade: crypto (default), compression, udp, redis",
+    )
+    .parse();
+
+    let name = args.opt("--workload").unwrap_or("crypto").to_string();
+    let Some((_, workload)) = catalog().into_iter().find(|(n, _)| *n == name) else {
+        eprintln!(
+            "resilience: unknown workload '{name}' (choose from: {})",
+            catalog()
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    };
+
+    let spec = ResilienceSpec::new(workload);
+    if args.list {
+        println!("Resilience sweep for {workload}:");
+        let mut t = TextTable::new(vec!["platform", "intensities", "trials/cell"]);
+        let intensities = spec
+            .intensities
+            .iter()
+            .map(|i| format!("{i}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        for p in workload.platforms() {
+            t.row(vec![
+                p.code().to_string(),
+                format!("healthy + {intensities}"),
+                spec.trials.to_string(),
+            ]);
+        }
+        println!("{t}");
+        println!("Fault classes per plan: accelerator stall/failure, Arm cores offline,");
+        println!("PCIe degradation, link flap, packet-loss burst, sensor dropout.");
+        return;
+    }
+
+    let executor = args.executor();
+    let ctx = args.context();
+    eprintln!(
+        "# degrading {workload} across its platforms under seeded fault plans (jobs={})...",
+        executor.jobs()
+    );
+    let rows = Scenario::new(spec)
+        .budget(args.budget())
+        .run_with(&ctx, &executor);
+
+    println!("Resilience — {workload}: SLO under failure vs healthy baseline");
+    println!("(SLO per platform: 2x healthy p99, half healthy goodput, 2% loss)\n");
+    let mut t = TextTable::new(vec![
+        "platform",
+        "intensity",
+        "healthy p99(us)",
+        "faulted p99(us)",
+        "p99 ratio",
+        "goodput ratio",
+        "SLO viol.",
+        "retries",
+        "failovers",
+        "losses",
+        "failed jobs",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.platform.code().to_string(),
+            format!("{:.1}", r.intensity),
+            format!("{:.1}", r.healthy_p99_us),
+            format!("{:.1}", r.faulted_p99_us),
+            format!("{:.2}x", r.p99_ratio()),
+            format!("{:.2}x", r.goodput_ratio()),
+            format!("{:.0}%", r.violation_fraction * 100.0),
+            r.retries.to_string(),
+            r.failovers.to_string(),
+            r.injected_losses.to_string(),
+            r.failed_trials.to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    let worst = rows
+        .iter()
+        .max_by(|a, b| a.violation_fraction.total_cmp(&b.violation_fraction));
+    if let Some(w) = worst {
+        println!(
+            "Worst cell: {} at intensity {:.1} — p99 {:.2}x, goodput {:.2}x, {:.0}% of trials violate the degraded SLO.",
+            w.platform.code(),
+            w.intensity,
+            w.p99_ratio(),
+            w.goodput_ratio(),
+            w.violation_fraction * 100.0
+        );
+    }
+
+    args.write_outputs("resilience", results_json(&rows), &ctx);
+}

@@ -23,7 +23,7 @@ use snicbench_core::conformance;
 use snicbench_core::executor::Executor;
 use snicbench_core::experiment::SearchBudget;
 use snicbench_core::json::Json;
-use snicbench_core::telemetry::{chrome_trace_json, run_report, RunContext};
+use snicbench_core::telemetry::{chrome_trace_json, run_report_with_failures, RunContext};
 
 /// Declares a binary's command line: its name, a one-line description,
 /// and any bin-specific boolean flags on top of the shared grammar.
@@ -272,13 +272,15 @@ impl Args {
 
     /// Writes the requested output files: drains `ctx` once and renders
     /// the Chrome trace (`--trace`) and/or the `RunReport` (`--json`,
-    /// with `results` as the tool-specific payload). A no-op when
-    /// neither flag was given. Exits 1 on an I/O failure.
+    /// with `results` as the tool-specific payload and any isolated
+    /// executor panics in `failed_jobs`). A no-op when neither flag was
+    /// given. Exits 1 on an I/O failure.
     pub fn write_outputs(&self, tool: &str, results: Json, ctx: &RunContext) {
         if self.json.is_none() && self.trace.is_none() {
             return;
         }
         let runs = ctx.drain();
+        let failed = ctx.drain_failed_jobs();
         let write = |path: &str, what: &str, doc: &Json| {
             if let Err(e) = std::fs::write(path, doc.to_pretty()) {
                 eprintln!("{tool}: writing {what} to {path}: {e}");
@@ -290,7 +292,11 @@ impl Args {
             write(path, "Chrome trace", &chrome_trace_json(&runs));
         }
         if let Some(path) = &self.json {
-            write(path, "RunReport", &run_report(tool, results, &runs));
+            write(
+                path,
+                "RunReport",
+                &run_report_with_failures(tool, results, &runs, &failed),
+            );
         }
     }
 }

@@ -481,6 +481,40 @@ pub fn check_metrics(m: &RunMetrics) -> Vec<Violation> {
             detail: format!("achieved {} > offered {}", m.achieved_ops, m.offered_ops),
         });
     }
+    // Fault accounting, checked whenever the tally saw anything (a healthy
+    // unsaturated run leaves it all-zero and these are vacuous): every loss
+    // instance — an injected network loss or a queue rejection — must be
+    // either retried or have exhausted its budget, and the final drops the
+    // throughput math uses must be exactly the exhausted budgets.
+    if m.faults.any() {
+        if !m.faults.conserved() {
+            v.push(Violation {
+                invariant: "injected_losses + queue_rejections == retries + exhausted",
+                detail: format!(
+                    "losses {} + rejections {} != retries {} + exhausted {}",
+                    m.faults.injected_losses,
+                    m.faults.queue_rejections,
+                    m.faults.retries,
+                    m.faults.exhausted
+                ),
+            });
+        }
+        if m.dropped != m.faults.exhausted {
+            v.push(Violation {
+                invariant: "dropped == exhausted retry budgets",
+                detail: format!("dropped {} != exhausted {}", m.dropped, m.faults.exhausted),
+            });
+        }
+        if m.faults.windows_ended > m.faults.windows_begun {
+            v.push(Violation {
+                invariant: "fault windows close at most once each",
+                detail: format!(
+                    "ended {} > begun {}",
+                    m.faults.windows_ended, m.faults.windows_begun
+                ),
+            });
+        }
+    }
     let l = &m.latency;
     if !(l.p50_us <= l.p99_us && l.p99_us <= l.max_us) {
         v.push(Violation {
@@ -585,6 +619,7 @@ mod tests {
             service_util: 0.7,
             host_cpu_util: 0.3,
             snic_util: 0.1,
+            faults: crate::resilience::FaultTally::default(),
         }
     }
 
@@ -650,6 +685,41 @@ mod tests {
         let v = check_metrics(&m);
         assert!(v.iter().any(|v| v.invariant.contains("completed")));
         assert!(v.iter().any(|v| v.invariant.contains("loss_rate")));
+    }
+
+    #[test]
+    fn fault_tally_gating_and_conservation() {
+        // A legacy-shaped run (drops, all-zero tally) is NOT held to the
+        // fault invariants — the gate is the tally seeing anything.
+        let legacy = clean_metrics();
+        assert!(legacy.dropped > 0 && !legacy.faults.any());
+        assert!(check_metrics(&legacy).is_empty());
+        // With the tally active, the books must balance.
+        let mut m = clean_metrics();
+        m.faults.injected_losses = 5;
+        m.faults.queue_rejections = 10;
+        m.faults.retries = 5;
+        m.faults.exhausted = 10;
+        m.dropped = 10;
+        assert!(m.faults.conserved());
+        assert!(check_metrics(&m).is_empty(), "{:?}", check_metrics(&m));
+        // An unretried, unexhausted loss breaks conservation.
+        m.faults.injected_losses += 1;
+        let v = check_metrics(&m);
+        assert!(v.iter().any(|v| v.invariant.contains("retries + exhausted")));
+        // Final drops diverging from exhausted budgets is its own flag.
+        let mut m2 = clean_metrics();
+        m2.faults.queue_rejections = 10;
+        m2.faults.exhausted = 10;
+        m2.dropped = 7;
+        let v2 = check_metrics(&m2);
+        assert!(v2.iter().any(|v| v.invariant.contains("exhausted retry budgets")));
+        // Windows cannot close more often than they opened.
+        let mut m3 = clean_metrics();
+        m3.dropped = 0;
+        m3.faults.windows_ended = 2;
+        let v3 = check_metrics(&m3);
+        assert!(v3.iter().any(|v| v.invariant.contains("close at most once")));
     }
 
     #[test]

@@ -13,8 +13,12 @@
 //!
 //! Std-only by design: `thread::scope` + atomics, no external runtime.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// What a panicking job leaves behind (the payload `panic!` carried).
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
 
 /// Name of the environment variable overriding the default job count.
 pub const JOBS_ENV: &str = "SNICBENCH_JOBS";
@@ -91,20 +95,59 @@ impl Executor {
     /// Applies `f` to every item and returns the results **in input
     /// order**, regardless of which worker finished first.
     ///
-    /// With `jobs == 1` (or fewer than two items) this is exactly
-    /// `items.into_iter().map(f).collect()` on the calling thread.
+    /// With `jobs == 1` (or fewer than two items) this runs in-order on
+    /// the calling thread, with no threads spawned.
     ///
     /// # Panics
     ///
-    /// Propagates a panic from `f` (the scope joins every worker first).
+    /// Propagates the **first** (in input order) panic from `f`, after
+    /// every job has been driven to an outcome — one poisoned scenario
+    /// cannot take down the jobs already claimed by other workers.
     pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
         R: Send,
         F: Fn(T) -> R + Sync,
     {
+        self.try_map_raw(items, f)
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(payload) => resume_unwind(payload),
+            })
+            .collect()
+    }
+
+    /// Like [`Executor::map`], but a panicking job becomes an
+    /// `Err(message)` in its input-order slot instead of tearing down the
+    /// whole wave: one deliberately-poisoned scenario is reported as a
+    /// failed job while every other result stays usable.
+    pub fn try_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<Result<R, String>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        self.try_map_raw(items, f)
+            .into_iter()
+            .map(|r| r.map_err(|payload| describe_panic(&payload)))
+            .collect()
+    }
+
+    /// The shared engine: every job runs under `catch_unwind`, so a panic
+    /// fills its output slot with the payload instead of unwinding through
+    /// the pool. Each `f` call builds its whole simulation state from the
+    /// plain-data item, so observing state after a caught panic is safe —
+    /// nothing shared was left half-mutated (hence `AssertUnwindSafe`).
+    fn try_map_raw<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<Result<R, PanicPayload>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let run = |item: T| catch_unwind(AssertUnwindSafe(|| f(item)));
         if self.jobs <= 1 || items.len() <= 1 {
-            return items.into_iter().map(f).collect();
+            return items.into_iter().map(run).collect();
         }
         let n = items.len();
         let workers = self.jobs.min(n);
@@ -113,7 +156,8 @@ impl Executor {
         // each slot is touched by exactly one worker.
         let inputs: Vec<Mutex<Option<T>>> =
             items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-        let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let outputs: Vec<Mutex<Option<Result<R, PanicPayload>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -126,7 +170,7 @@ impl Executor {
                         .expect("input slot poisoned")
                         .take()
                         .expect("input slot claimed twice");
-                    let result = f(item);
+                    let result = run(item);
                     *outputs[i].lock().expect("output slot poisoned") = Some(result);
                 });
             }
@@ -139,6 +183,18 @@ impl Executor {
                     .expect("worker completed every claimed slot")
             })
             .collect()
+    }
+}
+
+/// Renders a panic payload as the human-readable message `panic!` carried
+/// (the common `&str` / `String` cases), or a placeholder otherwise.
+fn describe_panic(payload: &PanicPayload) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -212,5 +268,43 @@ mod tests {
         let expect = items.clone();
         let out = Executor::new(4).map(items, |s| s);
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn try_map_isolates_a_panicking_job() {
+        let exec = Executor::new(4);
+        let out = exec.try_map((0..20).collect(), |i: u64| {
+            assert!(i != 7, "job 7 deliberately poisoned");
+            i * 2
+        });
+        assert_eq!(out.len(), 20);
+        for (i, r) in out.iter().enumerate() {
+            if i == 7 {
+                let msg = r.as_ref().expect_err("job 7 must fail");
+                assert!(msg.contains("deliberately poisoned"), "{msg}");
+            } else {
+                assert_eq!(*r, Ok(i as u64 * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_serial_and_parallel_agree() {
+        let work = |i: u64| {
+            assert!(i % 5 != 3, "every 5k+3 fails");
+            i + 1
+        };
+        let serial = Executor::serial().try_map((0..30).collect(), work);
+        let parallel = Executor::new(8).try_map((0..30).collect(), work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn map_still_propagates_panics() {
+        let _ = Executor::new(2).map(vec![1u32, 2, 3], |i| {
+            assert!(i != 2, "boom");
+            i
+        });
     }
 }

@@ -108,7 +108,7 @@ impl SearchBudget {
 
 /// Builds a run config whose duration yields roughly `target_ops`
 /// operations at `rate_ops`.
-fn sized_run(
+pub(crate) fn sized_run(
     workload: Workload,
     platform: ExecutionPlatform,
     rate_ops: f64,

@@ -27,6 +27,10 @@
 //!   Chrome-trace and versioned `RunReport` JSON (`--trace` / `--json`).
 //! * [`json`] — std-only JSON document model, writer, and parser backing
 //!   the exports.
+//! * [`resilience`] — degraded-mode policy layer: retry with deterministic
+//!   backoff, per-station circuit breakers, failover along the paper's
+//!   platform ladder, and the "Fig. 4 under failure" experiment driven by
+//!   [`snicbench_sim::fault`] plans.
 //! * [`sweep`] — latency-vs-offered-rate sweeps (Fig. 5).
 //! * [`slo`] — SLO definitions and checks (Sec. 5.1).
 //! * [`tco`] — the 5-year TCO model (Table 5).
@@ -49,6 +53,7 @@ pub mod json;
 pub mod loadbalancer;
 pub mod observations;
 pub mod report;
+pub mod resilience;
 pub mod runner;
 pub mod slo;
 pub mod sweep;

@@ -1,0 +1,616 @@
+//! Degraded-mode resilience: how a deployment reacts to injected faults.
+//!
+//! The paper measures SLOs on a healthy testbed; this module asks the
+//! production question its §5 stops short of — *what happens to p99 and
+//! goodput when the offload path degrades?* It models the three standard
+//! reactions a real service mesh applies, all on simulated time and all
+//! deterministic:
+//!
+//! * **Retry with exponential backoff** ([`RetryPolicy`]) — a lost or
+//!   rejected request is resubmitted after `base × multiplier^attempt`,
+//!   with jitter drawn from the simulation [`Rng`] (never from ambient
+//!   entropy — the `unseeded-jitter` lint enforces this mechanically).
+//! * **A circuit breaker per station** ([`CircuitBreaker`]) — enough
+//!   consecutive failures open the breaker; after a cooldown it half-opens
+//!   and one probe decides whether traffic returns.
+//! * **Graceful-degradation failover** along the paper's own platform
+//!   ladder ([`failover_ladder`]): accelerator → SNIC Arm cores → host
+//!   Xeon, skipping rungs Table 3 never calibrated.
+//!
+//! [`ResilienceSpec`] packages the "Fig. 4 under failure" experiment: for
+//! each platform of a workload it finds the healthy operating point, then
+//! replays the same offered load under seeded [`FaultPlan`]s of increasing
+//! intensity and reports p99 / goodput / SLO-violation fraction against
+//! the healthy baseline.
+
+use snicbench_hw::ExecutionPlatform;
+use snicbench_power::model::ServerPowerModel;
+use snicbench_power::sensors::BmcSensor;
+use snicbench_sim::fault::FaultPlan;
+use snicbench_sim::rng::Rng;
+use snicbench_sim::{SimDuration, SimTime};
+
+use crate::benchmark::Workload;
+use crate::calibration;
+use crate::executor::Executor;
+use crate::experiment::{
+    find_operating_point_in, sized_run, ExperimentSpec, OperatingPoint, Scenario, SearchBudget,
+};
+use crate::runner::{run_in, RunMetrics};
+use crate::slo::Slo;
+use crate::telemetry::RunContext;
+
+/// Request timeout + retry with deterministic exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per request (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: SimDuration,
+    /// Backoff growth per attempt.
+    pub multiplier: f64,
+    /// Backoff ceiling.
+    pub cap: SimDuration,
+    /// Jitter as a fraction of the computed backoff, in `[0, 1]`. The
+    /// jitter sample MUST come from the simulation RNG so faulted runs
+    /// stay byte-identical at any `--jobs` count.
+    pub jitter_frac: f64,
+}
+
+impl RetryPolicy {
+    /// The deployment default: 4 attempts, 50 µs base, ×2 growth, 1 ms
+    /// cap, ±20% jitter.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: SimDuration::from_micros(50),
+            multiplier: 2.0,
+            cap: SimDuration::from_millis(1),
+            jitter_frac: 0.2,
+        }
+    }
+
+    /// The backoff before retry number `attempt + 1` (so `attempt` 0 is
+    /// the delay after the first failure), jittered from `rng`.
+    pub fn backoff(&self, attempt: u32, rng: &mut Rng) -> SimDuration {
+        let exp = self.base.as_secs_f64() * self.multiplier.powi(attempt.min(30) as i32);
+        let capped = exp.min(self.cap.as_secs_f64());
+        let jitter = capped * self.jitter_frac * (rng.next_f64() * 2.0 - 1.0);
+        SimDuration::from_secs_f64((capped + jitter).max(1e-9))
+    }
+}
+
+/// Circuit-breaker thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerSettings {
+    /// Consecutive failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before half-opening.
+    pub cooldown: SimDuration,
+}
+
+impl BreakerSettings {
+    /// The deployment default: open after 8 consecutive failures, probe
+    /// again after 200 µs.
+    pub fn standard() -> Self {
+        BreakerSettings {
+            failure_threshold: 8,
+            cooldown: SimDuration::from_micros(200),
+        }
+    }
+}
+
+/// The classic three-state breaker, clocked on simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests are rejected until the cooldown expires.
+    Open,
+    /// Probing: one request is allowed through; its outcome decides.
+    HalfOpen,
+}
+
+/// A per-station circuit breaker.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    settings: BreakerSettings,
+    consecutive_failures: u32,
+    state: BreakerState,
+    opened_at: SimTime,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with `settings`.
+    pub fn new(settings: BreakerSettings) -> Self {
+        CircuitBreaker {
+            settings,
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+            opened_at: SimTime::ZERO,
+        }
+    }
+
+    /// Whether a request may be sent at `now`. An open breaker
+    /// half-opens once its cooldown has elapsed.
+    pub fn allows(&mut self, now: SimTime) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now >= self.opened_at + self.settings.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// A request succeeded: the breaker closes and the failure run resets.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// A request failed at `now`: a half-open probe failure re-opens
+    /// immediately; otherwise the failure run grows and opens the breaker
+    /// at the threshold.
+    pub fn record_failure(&mut self, now: SimTime) {
+        self.consecutive_failures += 1;
+        if self.state == BreakerState::HalfOpen
+            || self.consecutive_failures >= self.settings.failure_threshold
+        {
+            self.state = BreakerState::Open;
+            self.opened_at = now;
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+}
+
+/// How a run reacts to degradation. [`ResiliencePolicy::disabled`] is the
+/// legacy behavior: no retries, no breaker, no failover — a queue drop is
+/// a final drop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResiliencePolicy {
+    /// Retry lost/rejected requests (None = drop on first failure).
+    pub retry: Option<RetryPolicy>,
+    /// Guard each station with a circuit breaker.
+    pub breaker: Option<BreakerSettings>,
+    /// Fail over along [`failover_ladder`] when the primary is down.
+    pub failover: bool,
+}
+
+impl ResiliencePolicy {
+    /// No reaction at all — byte-identical to a build without this module.
+    pub fn disabled() -> Self {
+        ResiliencePolicy {
+            retry: None,
+            breaker: None,
+            failover: false,
+        }
+    }
+
+    /// The full deployment posture: retries, breakers, failover.
+    pub fn standard() -> Self {
+        ResiliencePolicy {
+            retry: Some(RetryPolicy::standard()),
+            breaker: Some(BreakerSettings::standard()),
+            failover: true,
+        }
+    }
+
+    /// True if any reaction is configured.
+    pub fn enabled(&self) -> bool {
+        self.retry.is_some() || self.breaker.is_some() || self.failover
+    }
+}
+
+/// Fault-injection and recovery accounting for one run. All zeros on a
+/// healthy run without a policy; with faults active the tally closes the
+/// conservation law the audit checks: every loss instance (an injected
+/// network loss or a queue rejection) is either retried or exhausts its
+/// budget and becomes a final drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultTally {
+    /// Packets lost to link-down windows or loss bursts (measured window).
+    pub injected_losses: u64,
+    /// `Admission::Dropped` instances at any station, before retry
+    /// accounting (measured window).
+    pub queue_rejections: u64,
+    /// Retry attempts scheduled (measured window).
+    pub retries: u64,
+    /// Requests rerouted to a fallback rung (measured window).
+    pub failovers: u64,
+    /// Requests whose retry budget ran out — these are the final drops
+    /// (measured window).
+    pub exhausted: u64,
+    /// Fault windows that opened during the run (any time).
+    pub windows_begun: u64,
+    /// Fault windows that closed during the run (any time).
+    pub windows_ended: u64,
+}
+
+impl FaultTally {
+    /// True when any counter is nonzero.
+    pub fn any(&self) -> bool {
+        self.injected_losses
+            + self.queue_rejections
+            + self.retries
+            + self.failovers
+            + self.exhausted
+            + self.windows_begun
+            + self.windows_ended
+            > 0
+    }
+
+    /// The loss-accounting conservation law: every loss instance was
+    /// either retried or exhausted its budget.
+    pub fn conserved(&self) -> bool {
+        self.injected_losses + self.queue_rejections == self.retries + self.exhausted
+    }
+}
+
+/// The graceful-degradation ladder below `primary`, restricted to rungs
+/// the workload is calibrated on (Table 3's check marks): accelerator →
+/// SNIC Arm cores → host Xeon. The host is the last resort and has no
+/// rung below it.
+pub fn failover_ladder(workload: Workload, primary: ExecutionPlatform) -> Vec<ExecutionPlatform> {
+    let below: &[ExecutionPlatform] = match primary {
+        ExecutionPlatform::SnicAccelerator => {
+            &[ExecutionPlatform::SnicCpu, ExecutionPlatform::HostCpu]
+        }
+        ExecutionPlatform::SnicCpu => &[ExecutionPlatform::HostCpu],
+        ExecutionPlatform::HostCpu => &[],
+    };
+    below
+        .iter()
+        .copied()
+        .filter(|&p| calibration::lookup(workload, p).is_some())
+        .collect()
+}
+
+/// One row of the healthy-vs-faulted comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceRow {
+    /// What ran.
+    pub workload: Workload,
+    /// Where it ran (the primary rung; failover may involve others).
+    pub platform: ExecutionPlatform,
+    /// Fault intensity (expected windows per fault class).
+    pub intensity: f64,
+    /// Offered rate of every trial, ops/s (90% of the healthy maximum).
+    pub offered_ops: f64,
+    /// Healthy-reference p99 at the same offered rate, µs.
+    pub healthy_p99_us: f64,
+    /// Healthy-reference goodput at the same offered rate, Gb/s.
+    pub healthy_gbps: f64,
+    /// Mean p99 across faulted trials, µs.
+    pub faulted_p99_us: f64,
+    /// Mean goodput across faulted trials, Gb/s.
+    pub faulted_gbps: f64,
+    /// Fraction of faulted trials violating the baseline-anchored SLO.
+    pub violation_fraction: f64,
+    /// Trials measured (excluding failed jobs).
+    pub trials: u32,
+    /// Trials whose job panicked (isolated, not measured).
+    pub failed_trials: u32,
+    /// Total retries across trials.
+    pub retries: u64,
+    /// Total failovers across trials.
+    pub failovers: u64,
+    /// Total injected network losses across trials.
+    pub injected_losses: u64,
+}
+
+impl ResilienceRow {
+    /// Faulted / healthy p99 ratio (> 1 means the tail degraded).
+    pub fn p99_ratio(&self) -> f64 {
+        if self.healthy_p99_us > 0.0 {
+            self.faulted_p99_us / self.healthy_p99_us
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Faulted / healthy goodput ratio (< 1 means goodput degraded).
+    pub fn goodput_ratio(&self) -> f64 {
+        if self.healthy_gbps > 0.0 {
+            self.faulted_gbps / self.healthy_gbps
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// The SLO a faulted trial is held to, anchored on the healthy reference
+/// at the same offered rate: p99 within 2× the healthy tail, goodput at
+/// least half the healthy goodput, loss within 2%.
+pub fn degraded_slo(healthy: &RunMetrics) -> Slo {
+    Slo {
+        p99_us: healthy.latency.p99_us * 2.0,
+        min_gbps: healthy.achieved_gbps * 0.5,
+        max_loss: 0.02,
+    }
+}
+
+/// One job of the trial fan-out: plain data so it crosses the executor's
+/// thread boundary.
+#[derive(Debug, Clone)]
+struct TrialItem {
+    platform: ExecutionPlatform,
+    intensity: f64,
+    rate_ops: f64,
+    seed: u64,
+    label: String,
+}
+
+/// The "Fig. 4 under failure" experiment: sweep fault intensity per
+/// platform and compare degraded mode against the healthy baseline.
+#[derive(Debug, Clone)]
+pub struct ResilienceSpec {
+    /// The workload to degrade.
+    pub workload: Workload,
+    /// Fault intensities to sweep (expected windows per class per run).
+    pub intensities: Vec<f64>,
+    /// Seeded fault-plan trials per (platform, intensity) cell.
+    pub trials: u32,
+}
+
+impl ResilienceSpec {
+    /// The default sweep: three intensities, three trials each.
+    pub fn new(workload: Workload) -> Self {
+        ResilienceSpec {
+            workload,
+            intensities: vec![0.5, 1.0, 2.0],
+            trials: 3,
+        }
+    }
+}
+
+impl ExperimentSpec for ResilienceSpec {
+    type Output = Vec<ResilienceRow>;
+
+    fn execute(
+        &self,
+        budget: SearchBudget,
+        executor: &Executor,
+        ctx: &RunContext,
+    ) -> Vec<ResilienceRow> {
+        let workload = self.workload;
+        // Healthy operating points anchor every trial's offered rate.
+        let points: Vec<OperatingPoint> = workload
+            .platforms()
+            .into_iter()
+            .map(|p| find_operating_point_in(workload, p, budget, executor, ctx))
+            .collect();
+        // The trial matrix: intensity 0 is the healthy reference at the
+        // same offered rate; every cell's seed is derived from the budget
+        // seed and the cell's coordinates, never from the job count.
+        let mut items: Vec<TrialItem> = Vec::new();
+        for (pi, point) in points.iter().enumerate() {
+            if point.max_ops <= 0.0 {
+                continue;
+            }
+            let rate_ops = point.max_ops * 0.9;
+            let mut cells: Vec<(f64, u32)> = vec![(0.0, 1)];
+            cells.extend(self.intensities.iter().map(|&i| (i, self.trials)));
+            for (ii, (intensity, trials)) in cells.into_iter().enumerate() {
+                for t in 0..trials {
+                    let seed = budget
+                        .seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(((pi as u64) << 24) | ((ii as u64) << 12) | t as u64);
+                    let tag = if intensity == 0.0 {
+                        "healthy".to_string()
+                    } else {
+                        format!("fault-i{intensity}-t{t}")
+                    };
+                    items.push(TrialItem {
+                        platform: point.platform,
+                        intensity,
+                        rate_ops,
+                        seed,
+                        label: format!("{workload}/{}#{tag}", point.platform),
+                    });
+                }
+            }
+        }
+        let labels: Vec<String> = items.iter().map(|i| i.label.clone()).collect();
+        let outcomes = executor.try_map(items.clone(), |item| {
+            let mut cfg = sized_run(
+                workload,
+                item.platform,
+                item.rate_ops,
+                budget.measure_ops,
+                item.seed,
+            );
+            if item.intensity > 0.0 {
+                cfg.faults =
+                    FaultPlan::generate(item.seed ^ 0xFA_0175, item.intensity, cfg.duration);
+                cfg.resilience = ResiliencePolicy::standard();
+            }
+            let scope = ctx.scope(item.label.clone());
+            run_in(&cfg, &scope)
+        });
+        // Panicking trials are isolated as failed jobs, not a dead wave.
+        let mut results: Vec<(TrialItem, Option<RunMetrics>)> = Vec::new();
+        for ((outcome, item), label) in outcomes.into_iter().zip(items).zip(labels) {
+            match outcome {
+                Ok(metrics) => results.push((item, Some(metrics))),
+                Err(payload) => {
+                    ctx.record_failed_job(label, payload);
+                    results.push((item, None));
+                }
+            }
+        }
+        // Aggregate: healthy reference per platform, then one row per
+        // (platform, intensity) cell.
+        let mut rows = Vec::new();
+        for point in &points {
+            let healthy = results.iter().find_map(|(item, m)| {
+                (item.platform == point.platform && item.intensity == 0.0)
+                    .then(|| m.clone())
+                    .flatten()
+            });
+            let Some(healthy) = healthy else { continue };
+            let slo = degraded_slo(&healthy);
+            for &intensity in &self.intensities {
+                let cell: Vec<&RunMetrics> = results
+                    .iter()
+                    .filter(|(item, _)| {
+                        item.platform == point.platform && item.intensity == intensity
+                    })
+                    .filter_map(|(_, m)| m.as_ref())
+                    .collect();
+                let failed = results
+                    .iter()
+                    .filter(|(item, m)| {
+                        item.platform == point.platform
+                            && item.intensity == intensity
+                            && m.is_none()
+                    })
+                    .count() as u32;
+                let n = cell.len().max(1) as f64;
+                let violations = cell.iter().filter(|m| !slo.check(m).met()).count();
+                rows.push(ResilienceRow {
+                    workload,
+                    platform: point.platform,
+                    intensity,
+                    offered_ops: point.max_ops * 0.9,
+                    healthy_p99_us: healthy.latency.p99_us,
+                    healthy_gbps: healthy.achieved_gbps,
+                    faulted_p99_us: cell.iter().map(|m| m.latency.p99_us).sum::<f64>() / n,
+                    faulted_gbps: cell.iter().map(|m| m.achieved_gbps).sum::<f64>() / n,
+                    violation_fraction: violations as f64 / n,
+                    trials: cell.len() as u32,
+                    failed_trials: failed,
+                    retries: cell.iter().map(|m| m.faults.retries).sum(),
+                    failovers: cell.iter().map(|m| m.faults.failovers).sum(),
+                    injected_losses: cell.iter().map(|m| m.faults.injected_losses).sum(),
+                });
+            }
+        }
+        rows
+    }
+}
+
+impl Scenario<ResilienceSpec> {
+    /// The resilience sweep for one workload (default intensities/trials).
+    pub fn resilience(workload: Workload) -> Scenario<ResilienceSpec> {
+        Scenario::new(ResilienceSpec::new(workload))
+    }
+}
+
+/// Mean system power at an operating point measured through a BMC whose
+/// readings drop out for the plan's sensor-dropout fraction of the
+/// window — the 1 Hz sampler fills the gaps by carrying the last
+/// observation forward, so the Fig. 6 pipeline survives sensor faults.
+pub fn degraded_system_power(
+    point: &OperatingPoint,
+    window: SimDuration,
+    seed: u64,
+    plan: &FaultPlan,
+) -> f64 {
+    let model = ServerPowerModel::paper_default();
+    let host_util = point.metrics.host_cpu_util;
+    let snic_util = point.metrics.snic_util;
+    let dropout = plan.sensor_dropout_fraction(window).min(0.99);
+    let mut bmc = BmcSensor::new(seed).with_dropout(dropout);
+    let series = bmc.sample(SimTime::ZERO, window, |_| {
+        model.system_power(host_util, snic_util)
+    });
+    series.mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::CryptoAlgo;
+
+    #[test]
+    fn backoff_grows_caps_and_is_deterministic() {
+        let p = RetryPolicy::standard();
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(1);
+        let first = p.backoff(0, &mut a);
+        assert_eq!(first, p.backoff(0, &mut b));
+        // Growth: attempt 2 backs off longer than attempt 0 on average;
+        // with ±20% jitter the ×4 growth dominates any draw.
+        let later = p.backoff(2, &mut a);
+        assert!(later > first, "{later:?} vs {first:?}");
+        // The cap bounds even absurd attempts (jitter ≤ 20% above cap).
+        let capped = p.backoff(30, &mut a);
+        assert!(capped <= SimDuration::from_micros(1_200), "{capped:?}");
+        assert!(capped > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn breaker_opens_cools_down_and_half_open_probe_decides() {
+        let s = BreakerSettings {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_micros(10),
+        };
+        let mut b = CircuitBreaker::new(s);
+        let t0 = SimTime::ZERO;
+        assert!(b.allows(t0));
+        b.record_failure(t0);
+        b.record_failure(t0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(t0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows(t0 + SimDuration::from_micros(5)));
+        // Cooldown elapses: half-open, one probe allowed.
+        let t1 = t0 + SimDuration::from_micros(11);
+        assert!(b.allows(t1));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Probe fails: snap back open immediately.
+        b.record_failure(t1);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Second probe succeeds: closed again.
+        let t2 = t1 + SimDuration::from_micros(11);
+        assert!(b.allows(t2));
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn ladder_follows_the_paper_and_skips_uncalibrated_rungs() {
+        let crypto = Workload::Crypto(CryptoAlgo::Aes);
+        assert_eq!(
+            failover_ladder(crypto, ExecutionPlatform::SnicAccelerator),
+            vec![ExecutionPlatform::SnicCpu, ExecutionPlatform::HostCpu]
+        );
+        assert_eq!(
+            failover_ladder(crypto, ExecutionPlatform::SnicCpu),
+            vec![ExecutionPlatform::HostCpu]
+        );
+        assert!(failover_ladder(crypto, ExecutionPlatform::HostCpu).is_empty());
+    }
+
+    #[test]
+    fn tally_conservation_law() {
+        let mut t = FaultTally::default();
+        assert!(!t.any());
+        assert!(t.conserved());
+        t.injected_losses = 3;
+        t.queue_rejections = 2;
+        t.retries = 4;
+        t.exhausted = 1;
+        assert!(t.any());
+        assert!(t.conserved());
+        t.exhausted = 0;
+        assert!(!t.conserved());
+    }
+
+    #[test]
+    fn disabled_policy_reacts_to_nothing() {
+        let p = ResiliencePolicy::disabled();
+        assert!(!p.enabled());
+        assert!(ResiliencePolicy::standard().enabled());
+    }
+}

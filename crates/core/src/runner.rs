@@ -7,11 +7,20 @@
 //! accelerator engine, or bump-in-the-wire engine). It reports achieved
 //! throughput, the full latency distribution, drops, and the component
 //! utilizations the power model needs.
+//!
+//! With a [`FaultPlan`] and a [`ResiliencePolicy`] configured, the runner
+//! additionally injects the plan's degradation windows on the simulation
+//! clock (link flaps, loss bursts, accelerator stalls/failures, Arm cores
+//! offline, PCIe degradation) and reacts the way a deployment would:
+//! retries with deterministic backoff, per-rung circuit breakers, and
+//! failover down the paper's platform ladder. The empty plan plus the
+//! disabled policy reproduce the pre-fault runner byte for byte.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use snicbench_hw::cpu::Arch;
+use snicbench_hw::pcie::PcieLink;
 use snicbench_hw::server::Testbed;
 use snicbench_hw::ExecutionPlatform;
 use snicbench_metrics::LatencyHistogram;
@@ -19,12 +28,15 @@ use snicbench_net::stack::StackModel;
 use snicbench_net::trace::RateTrace;
 use snicbench_net::traffic::{ArrivalKind, OpenLoop, SizeSource};
 use snicbench_sim::dist::{Distribution, LogNormal};
+use snicbench_sim::fault::{self, FaultPlan};
 use snicbench_sim::rng::Rng;
 use snicbench_sim::station::{Admission, StationHandle};
+use snicbench_sim::trace::{StationId, TraceKind};
 use snicbench_sim::{SimDuration, SimTime, Simulator};
 
 use crate::benchmark::Workload;
 use crate::calibration::{self, ServiceModel};
+use crate::resilience::{failover_ladder, CircuitBreaker, FaultTally, ResiliencePolicy};
 use crate::telemetry::{RunScope, RunTelemetry};
 
 /// How load is offered to the server.
@@ -56,6 +68,13 @@ pub struct RunConfig {
     /// Replaces the workload's default stack model (what-if analyses:
     /// Strategy 1 projects a hardware-offloaded TCP stack).
     pub stack_override: Option<StackModel>,
+    /// Fault windows injected on the simulation clock.
+    /// [`FaultPlan::none`] schedules nothing and reproduces the pre-fault
+    /// runner exactly.
+    pub faults: FaultPlan,
+    /// How the run reacts to failures. [`ResiliencePolicy::disabled`]
+    /// means a rejection or loss is a final drop, as before.
+    pub resilience: ResiliencePolicy,
 }
 
 impl RunConfig {
@@ -70,6 +89,8 @@ impl RunConfig {
             warmup: SimDuration::from_millis(100),
             seed: 0x5EED,
             stack_override: None,
+            faults: FaultPlan::none(),
+            resilience: ResiliencePolicy::disabled(),
         }
     }
 }
@@ -110,6 +131,10 @@ pub struct RunMetrics {
     pub host_cpu_util: f64,
     /// SNIC utilization in [0, 1] for power modeling.
     pub snic_util: f64,
+    /// Fault-injection and recovery accounting. All zeros on an
+    /// unsaturated healthy run; on any run, `exhausted` equals `dropped`
+    /// and the tally's conservation law closes the loss accounting.
+    pub faults: FaultTally,
 }
 
 impl RunMetrics {
@@ -149,52 +174,8 @@ pub fn run_in(config: &RunConfig, scope: &RunScope) -> RunMetrics {
         .unwrap_or_else(|| panic!("{} not supported on {}", config.workload, config.platform));
     let testbed = Testbed::new();
     let bytes = config.workload.request_bytes();
-    let stack = config
-        .stack_override
-        .unwrap_or_else(|| StackModel::for_stack(config.workload.stack()));
-    let arch = match config.platform {
-        ExecutionPlatform::HostCpu => Arch::X86_64,
-        _ => Arch::Aarch64,
-    };
-
-    // --- Serving resource -------------------------------------------------
-    let (servers, queue_cap, service_dist): (usize, usize, Box<dyn Distribution>) =
-        match calib.service {
-            ServiceModel::Cpu(c) => {
-                let mean_ns = stack.cpu_time(arch, bytes).as_secs_f64() * 1e9 + c.app_ns;
-                (
-                    c.cores,
-                    2048,
-                    Box::new(LogNormal::with_mean_cv(mean_ns, c.cv.max(0.01))),
-                )
-            }
-            ServiceModel::Accelerator { op_ns, .. } => {
-                (1, 1024, Box::new(LogNormal::with_mean_cv(op_ns, 0.05)))
-            }
-            ServiceModel::FixedEngine { rate_gbps, .. } => {
-                let op_ns = bytes as f64 * 8.0 / rate_gbps;
-                (1, 512, Box::new(LogNormal::with_mean_cv(op_ns, 0.02)))
-            }
-        };
-
-    // --- Fixed round-trip latency -----------------------------------------
-    let serialization_rt = SimDuration::from_secs_f64(2.0 * bytes as f64 * 8.0 / 100e9);
-    let fixed_rt = match calib.service {
-        ServiceModel::Cpu(_) => {
-            testbed.round_trip_fixed_latency(config.platform)
-                + stack.added_latency(arch)
-                + serialization_rt
-        }
-        ServiceModel::Accelerator { staging_us, .. } => {
-            testbed.round_trip_fixed_latency(ExecutionPlatform::SnicCpu)
-                + stack.added_latency(Arch::Aarch64)
-                + SimDuration::from_secs_f64(staging_us * 1e-6)
-                + serialization_rt
-        }
-        ServiceModel::FixedEngine { latency_us, .. } => {
-            SimDuration::from_secs_f64(latency_us * 1e-6) + serialization_rt
-        }
-    };
+    let primary = build_path(config, config.platform, &testbed)
+        .expect("primary platform was just looked up");
 
     // --- Offered rate ------------------------------------------------------
     let line_rate_pps = 100e9 / 8.0 / bytes as f64;
@@ -211,19 +192,167 @@ pub fn run_in(config: &RunConfig, scope: &RunScope) -> RunMetrics {
     // --- Wire up the simulation ---------------------------------------------
     let mut sim = Simulator::new();
     sim.set_trace(scope.sink(config.duration));
-    // The serving resource, named for what it models so traces and reports
-    // say which component saturates.
-    let station_name = match (&calib.service, config.platform) {
-        (ServiceModel::Cpu(_), ExecutionPlatform::HostCpu) => "host-cpu",
-        (ServiceModel::Cpu(_), _) => "snic-arm",
-        (ServiceModel::Accelerator { .. }, _) => "snic-accelerator",
-        (ServiceModel::FixedEngine { .. }, _) => "bump-engine",
+    let policy = config.resilience;
+    // The primary serving rung plus, when failover is on, the rungs of the
+    // paper's platform ladder below it. Stations bind to the trace sink
+    // lazily, so a run that never fails over emits no extra tracks.
+    let mut rungs = vec![primary];
+    if policy.failover {
+        rungs.extend(
+            failover_ladder(config.workload, config.platform)
+                .into_iter()
+                .filter_map(|rung| build_path(config, rung, &testbed)),
+        );
+    }
+    let paths = Rc::new(rungs);
+    let breakers: Option<Rc<Vec<RefCell<CircuitBreaker>>>> = policy.breaker.map(|settings| {
+        Rc::new(
+            paths
+                .iter()
+                .map(|_| RefCell::new(CircuitBreaker::new(settings)))
+                .collect(),
+        )
+    });
+    // Retry/failover events get their own trace track; with the policy
+    // disabled nothing registers and the trace matches the legacy path.
+    let res_track = if policy.enabled() {
+        sim.trace().register("resilience", 1)
+    } else {
+        StationId::INERT
     };
-    let station = StationHandle::new(station_name, servers, Some(queue_cap));
+    let fault_state = fault::inject(&mut sim, &config.faults);
     let histogram = Rc::new(RefCell::new(LatencyHistogram::new()));
     let counters = Rc::new(RefCell::new((0u64, 0u64, 0u64))); // sent, completed, dropped
+    let tally = Rc::new(RefCell::new(FaultTally::default()));
     let service_rng = Rc::new(RefCell::new(Rng::new(config.seed ^ 0x5E41)));
+    // Fault-path randomness (loss coins, backoff jitter) draws from its own
+    // stream: a healthy run never touches it, so fault support leaves every
+    // existing seed's results untouched.
+    let fault_rng = Rc::new(RefCell::new(Rng::new(config.seed ^ 0xFA17)));
     let warmup_at = SimTime::ZERO + config.warmup;
+
+    let dispatch_cell: DispatchCell = Rc::new(RefCell::new(None));
+    let retry_ctx = Rc::new(RetryCtx {
+        policy,
+        track: res_track,
+        dispatch: dispatch_cell.clone(),
+        fault_rng: fault_rng.clone(),
+        tally: tally.clone(),
+        counters: counters.clone(),
+    });
+    {
+        let paths = paths.clone();
+        let breakers = breakers.clone();
+        let fault_state = fault_state.clone();
+        let tally = tally.clone();
+        let fault_rng = fault_rng.clone();
+        let service_rng = service_rng.clone();
+        let counters = counters.clone();
+        let histogram = histogram.clone();
+        let retry_ctx = retry_ctx.clone();
+        let dispatch: Rc<DispatchFn> = Rc::new(move |sim, created, measured, attempt| {
+            let now = sim.now();
+            // Injected network loss: a down link loses everything; a burst
+            // window loses packets by a seeded coin (drawn only while a
+            // burst is open).
+            let lost = {
+                let st = fault_state.borrow();
+                st.link_down() || {
+                    let p = st.loss_burst();
+                    p > 0.0 && fault_rng.borrow_mut().chance(p)
+                }
+            };
+            if lost {
+                if measured {
+                    tally.borrow_mut().injected_losses += 1;
+                }
+                retry_ctx.retry_or_drop(sim, created, measured, attempt);
+                return;
+            }
+            // Route: the first rung that is neither failed nor
+            // breaker-blocked. Rung 0 is the configured platform.
+            let accel_down = fault_state.borrow().accelerator_down();
+            let mut chosen = None;
+            for (i, path) in paths.iter().enumerate() {
+                let failed = i == 0 && path.class == PathClass::Accelerator && accel_down;
+                let blocked = breakers
+                    .as_ref()
+                    .is_some_and(|b| !b[i].borrow_mut().allows(now));
+                if !failed && !blocked {
+                    chosen = Some(i);
+                    break;
+                }
+            }
+            let Some(idx) = chosen else {
+                // Every rung unavailable: rejected before reaching a queue.
+                if measured {
+                    tally.borrow_mut().queue_rejections += 1;
+                }
+                retry_ctx.retry_or_drop(sim, created, measured, attempt);
+                return;
+            };
+            if idx > 0 {
+                if measured {
+                    tally.borrow_mut().failovers += 1;
+                }
+                sim.trace()
+                    .record(now, res_track, TraceKind::Failover { rung: idx as u32 });
+            }
+            let path = &paths[idx];
+            // Degraded service: stalls stretch accelerator ops; offline Arm
+            // cores pile their work onto the survivors.
+            let slowdown = match path.class {
+                PathClass::Accelerator => fault_state.borrow().accelerator_slowdown(),
+                PathClass::ArmCpu { cores } => {
+                    let offline = fault_state.borrow().arm_cores_offline();
+                    let total = cores as u32;
+                    f64::from(total) / f64::from(total.saturating_sub(offline).max(1))
+                }
+                _ => 1.0,
+            };
+            let demand = {
+                let mut rng = service_rng.borrow_mut();
+                SimDuration::from_secs_f64(path.dist.sample(&mut rng).max(1.0) * 1e-9 * slowdown)
+            };
+            // A degraded PCIe link stretches the accelerator's staging DMA
+            // in both directions.
+            let pcie_extra = if path.class == PathClass::Accelerator {
+                let factor = fault_state.borrow().pcie_bandwidth_factor();
+                PcieLink::BLUEFIELD2.degraded_dma_penalty(bytes, factor) * 2
+            } else {
+                SimDuration::ZERO
+            };
+            let fixed_rt = path.fixed_rt + pcie_extra;
+            let histogram = histogram.clone();
+            let completion_counters = counters.clone();
+            let completion_breakers = breakers.clone();
+            // Completions are attributed to the measurement window by
+            // *arrival* time: a request arriving during warmup never counts,
+            // even if it finishes after the boundary, so
+            // `completed + dropped <= sent` holds by construction.
+            let admission = path.station.submit(sim, demand, move |_, completion| {
+                let rtt = completion.finished.duration_since(created) + fixed_rt;
+                if let Some(b) = &completion_breakers {
+                    b[idx].borrow_mut().record_success();
+                }
+                if measured {
+                    let mut c = completion_counters.borrow_mut();
+                    c.1 += 1;
+                    histogram.borrow_mut().record(rtt.as_nanos());
+                }
+            });
+            if admission == Admission::Dropped {
+                if measured {
+                    tally.borrow_mut().queue_rejections += 1;
+                }
+                if let Some(b) = &breakers {
+                    b[idx].borrow_mut().record_failure(now);
+                }
+                retry_ctx.retry_or_drop(sim, created, measured, attempt);
+            }
+        });
+        *dispatch_cell.borrow_mut() = Some(dispatch);
+    }
 
     let gen = OpenLoop {
         arrival: ArrivalKind::Poisson,
@@ -234,44 +363,27 @@ pub fn run_in(config: &RunConfig, scope: &RunScope) -> RunMetrics {
         stop: SimTime::ZERO + config.duration,
     };
     {
-        let station = station.clone();
-        let histogram = histogram.clone();
         let counters = counters.clone();
-        let service_rng = service_rng.clone();
+        let cell = dispatch_cell.clone();
         gen.launch(&mut sim, rate_fn, move |sim, packet| {
-            let now = sim.now();
-            let measured = now >= warmup_at;
+            let measured = sim.now() >= warmup_at;
             if measured {
                 counters.borrow_mut().0 += 1;
             }
-            let demand = {
-                let mut rng = service_rng.borrow_mut();
-                SimDuration::from_secs_f64(service_dist.sample(&mut rng).max(1.0) * 1e-9)
-            };
-            let histogram = histogram.clone();
-            let completion_counters = counters.clone();
-            let created = packet.created;
-            // Completions are attributed to the measurement window by
-            // *arrival* time: a request arriving during warmup never counts,
-            // even if it finishes after the boundary, so
-            // `completed + dropped <= sent` holds by construction.
-            let admission = station.submit(sim, demand, move |_, completion| {
-                let rtt = completion.finished.duration_since(created) + fixed_rt;
-                if measured {
-                    let mut c = completion_counters.borrow_mut();
-                    c.1 += 1;
-                    histogram.borrow_mut().record(rtt.as_nanos());
-                }
-            });
-            if admission == Admission::Dropped && measured {
-                counters.borrow_mut().2 += 1;
+            let d = cell.borrow().clone();
+            if let Some(d) = d {
+                d(sim, packet.created, measured, 0);
             }
         });
     }
     sim.run();
+    // Break the dispatcher's self-reference so the closure graph drops.
+    *dispatch_cell.borrow_mut() = None;
 
     // --- Collect -------------------------------------------------------------
     let now = sim.now();
+    let station = &paths[0].station;
+    let servers = paths[0].servers;
     // Rates divide by the offered window [warmup, stop]. After `stop` the
     // generator is silent but the simulation keeps draining the queue;
     // those completions still contribute latency samples, yet crediting
@@ -296,6 +408,12 @@ pub fn run_in(config: &RunConfig, scope: &RunScope) -> RunMetrics {
     };
     let (host_cpu_util, snic_util) =
         attribute_utilization(config, &calib.service, util, achieved_gbps);
+    let mut faults = *tally.borrow();
+    {
+        let st = fault_state.borrow();
+        faults.windows_begun = st.begun();
+        faults.windows_ended = st.ended();
+    }
     let metrics = RunMetrics {
         offered_ops: if window > 0.0 {
             sent as f64 / window
@@ -311,12 +429,13 @@ pub fn run_in(config: &RunConfig, scope: &RunScope) -> RunMetrics {
         service_util: util,
         host_cpu_util,
         snic_util,
+        faults,
     };
     if crate::conformance::audit_enabled() {
         crate::conformance::assert_run_conformant(
             &format!("{} on {}", config.workload, config.platform),
             &metrics,
-            &station,
+            station,
         );
     }
     if scope.enabled() {
@@ -329,7 +448,7 @@ pub fn run_in(config: &RunConfig, scope: &RunScope) -> RunMetrics {
                 .map(|v| v.to_string())
                 .collect();
             violations.extend(
-                crate::conformance::check_station(&station)
+                crate::conformance::check_station(station)
                     .iter()
                     .map(|v| v.to_string()),
             );
@@ -347,6 +466,159 @@ pub fn run_in(config: &RunConfig, scope: &RunScope) -> RunMetrics {
         }
     }
     metrics
+}
+
+/// Which resource serves a rung — decides which fault effects apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PathClass {
+    /// Host Xeon cores: immune to SNIC-side compute faults.
+    HostCpu,
+    /// SNIC A72 cores: degraded while `ArmCoreOffline` windows are open.
+    ArmCpu {
+        /// Cores the calibration assigns to this rung.
+        cores: usize,
+    },
+    /// SNIC accelerator engine: stalls, hard failures, PCIe staging.
+    Accelerator,
+    /// Bump-in-the-wire engine: unaffected by compute faults.
+    Engine,
+}
+
+/// One serving rung: its station, service-time distribution, fixed
+/// round-trip latency, and fault class.
+struct ServicePath {
+    station: StationHandle,
+    dist: Box<dyn Distribution>,
+    fixed_rt: SimDuration,
+    servers: usize,
+    class: PathClass,
+}
+
+/// Builds the serving path of `platform`, or `None` when Table 3 has no
+/// calibration there (uncalibrated failover rungs are skipped).
+fn build_path(
+    config: &RunConfig,
+    platform: ExecutionPlatform,
+    testbed: &Testbed,
+) -> Option<ServicePath> {
+    let calib = calibration::lookup(config.workload, platform)?;
+    let bytes = config.workload.request_bytes();
+    let stack = config
+        .stack_override
+        .unwrap_or_else(|| StackModel::for_stack(config.workload.stack()));
+    let arch = match platform {
+        ExecutionPlatform::HostCpu => Arch::X86_64,
+        _ => Arch::Aarch64,
+    };
+
+    // The serving resource.
+    let (servers, queue_cap, dist): (usize, usize, Box<dyn Distribution>) = match calib.service {
+        ServiceModel::Cpu(c) => {
+            let mean_ns = stack.cpu_time(arch, bytes).as_secs_f64() * 1e9 + c.app_ns;
+            (
+                c.cores,
+                2048,
+                Box::new(LogNormal::with_mean_cv(mean_ns, c.cv.max(0.01))),
+            )
+        }
+        ServiceModel::Accelerator { op_ns, .. } => {
+            (1, 1024, Box::new(LogNormal::with_mean_cv(op_ns, 0.05)))
+        }
+        ServiceModel::FixedEngine { rate_gbps, .. } => {
+            let op_ns = bytes as f64 * 8.0 / rate_gbps;
+            (1, 512, Box::new(LogNormal::with_mean_cv(op_ns, 0.02)))
+        }
+    };
+
+    // Fixed round-trip latency of reaching it.
+    let serialization_rt = SimDuration::from_secs_f64(2.0 * bytes as f64 * 8.0 / 100e9);
+    let fixed_rt = match calib.service {
+        ServiceModel::Cpu(_) => {
+            testbed.round_trip_fixed_latency(platform) + stack.added_latency(arch) + serialization_rt
+        }
+        ServiceModel::Accelerator { staging_us, .. } => {
+            testbed.round_trip_fixed_latency(ExecutionPlatform::SnicCpu)
+                + stack.added_latency(Arch::Aarch64)
+                + SimDuration::from_secs_f64(staging_us * 1e-6)
+                + serialization_rt
+        }
+        ServiceModel::FixedEngine { latency_us, .. } => {
+            SimDuration::from_secs_f64(latency_us * 1e-6) + serialization_rt
+        }
+    };
+
+    // Named for what it models so traces and reports say which component
+    // saturates.
+    let station_name = match (&calib.service, platform) {
+        (ServiceModel::Cpu(_), ExecutionPlatform::HostCpu) => "host-cpu",
+        (ServiceModel::Cpu(_), _) => "snic-arm",
+        (ServiceModel::Accelerator { .. }, _) => "snic-accelerator",
+        (ServiceModel::FixedEngine { .. }, _) => "bump-engine",
+    };
+    let class = match (&calib.service, platform) {
+        (ServiceModel::Cpu(_), ExecutionPlatform::HostCpu) => PathClass::HostCpu,
+        (ServiceModel::Cpu(c), _) => PathClass::ArmCpu { cores: c.cores },
+        (ServiceModel::Accelerator { .. }, _) => PathClass::Accelerator,
+        (ServiceModel::FixedEngine { .. }, _) => PathClass::Engine,
+    };
+    Some(ServicePath {
+        station: StationHandle::new(station_name, servers, Some(queue_cap)),
+        dist,
+        fixed_rt,
+        servers,
+        class,
+    })
+}
+
+/// A request dispatcher: `(sim, created, measured, attempt)`. Held behind
+/// a cell so scheduled retries can re-enter it; the cell is cleared after
+/// the run to break the self-reference.
+type DispatchFn = dyn Fn(&mut Simulator, SimTime, bool, u32);
+type DispatchCell = Rc<RefCell<Option<Rc<DispatchFn>>>>;
+
+/// Everything the shared give-up-or-retry tail of the dispatcher needs.
+struct RetryCtx {
+    policy: ResiliencePolicy,
+    track: StationId,
+    dispatch: DispatchCell,
+    fault_rng: Rc<RefCell<Rng>>,
+    tally: Rc<RefCell<FaultTally>>,
+    counters: Rc<RefCell<(u64, u64, u64)>>,
+}
+
+impl RetryCtx {
+    /// A request failed before completing (injected loss, no available
+    /// rung, or queue rejection): schedule a backoff retry while the
+    /// policy has budget, otherwise count the final drop.
+    fn retry_or_drop(&self, sim: &mut Simulator, created: SimTime, measured: bool, attempt: u32) {
+        if let Some(rp) = self.policy.retry {
+            if attempt + 1 < rp.max_attempts {
+                if measured {
+                    self.tally.borrow_mut().retries += 1;
+                }
+                sim.trace().record(
+                    sim.now(),
+                    self.track,
+                    TraceKind::Retry {
+                        attempt: attempt + 1,
+                    },
+                );
+                let delay = rp.backoff(attempt, &mut self.fault_rng.borrow_mut());
+                let cell = self.dispatch.clone();
+                sim.schedule_in(delay, move |sim| {
+                    let d = cell.borrow().clone();
+                    if let Some(d) = d {
+                        d(sim, created, measured, attempt + 1);
+                    }
+                });
+                return;
+            }
+        }
+        if measured {
+            self.tally.borrow_mut().exhausted += 1;
+            self.counters.borrow_mut().2 += 1;
+        }
+    }
 }
 
 /// Maps the serving resource's utilization onto the two power-model
@@ -622,6 +894,96 @@ mod tests {
             let violations = crate::conformance::check_metrics(&m);
             assert!(violations.is_empty(), "{w} on {p}: {violations:?}");
         }
+    }
+
+    fn faulted_cfg(
+        workload: Workload,
+        platform: ExecutionPlatform,
+        rate: f64,
+        events: Vec<snicbench_sim::fault::FaultEvent>,
+    ) -> RunConfig {
+        let mut cfg = RunConfig::new(workload, platform, OfferedLoad::OpsPerSec(rate));
+        cfg.duration = SimDuration::from_millis(90);
+        cfg.warmup = SimDuration::from_millis(10);
+        cfg.faults = FaultPlan { events };
+        cfg.resilience = crate::resilience::ResiliencePolicy::standard();
+        cfg
+    }
+
+    #[test]
+    fn disabled_policy_tally_matches_legacy_drops() {
+        // Healthy overloaded run, no policy: every queue rejection is a
+        // final drop, so the tally reduces to the legacy accounting.
+        let m = quick(
+            Workload::MicroUdp(PacketSize::Large),
+            ExecutionPlatform::HostCpu,
+            OfferedLoad::OpsPerSec(10_000_000.0),
+        );
+        assert!(m.dropped > 0);
+        assert_eq!(m.faults.queue_rejections, m.dropped);
+        assert_eq!(m.faults.exhausted, m.dropped);
+        assert_eq!(m.faults.retries, 0);
+        assert_eq!(m.faults.injected_losses, 0);
+        assert_eq!(m.faults.failovers, 0);
+        assert!(m.faults.conserved());
+    }
+
+    #[test]
+    fn link_flap_loses_packets_and_retries() {
+        use snicbench_sim::fault::{FaultEvent, FaultKind};
+        let cfg = faulted_cfg(
+            Workload::Crypto(CryptoAlgo::Sha1),
+            ExecutionPlatform::SnicAccelerator,
+            50_000.0,
+            vec![FaultEvent {
+                kind: FaultKind::LinkFlap,
+                start: SimTime::from_nanos(20_000_000),
+                duration: SimDuration::from_millis(20),
+            }],
+        );
+        let m = run(&cfg);
+        assert!(m.faults.injected_losses > 0, "{:?}", m.faults);
+        assert!(m.faults.retries > 0, "{:?}", m.faults);
+        assert!(m.faults.conserved(), "{:?}", m.faults);
+        assert_eq!(m.faults.windows_begun, 1);
+        assert_eq!(m.faults.windows_ended, 1);
+        assert!(m.completed > 0);
+    }
+
+    #[test]
+    fn accelerator_failure_fails_over_to_a_lower_rung() {
+        use snicbench_sim::fault::{FaultEvent, FaultKind};
+        let cfg = faulted_cfg(
+            Workload::Crypto(CryptoAlgo::Aes),
+            ExecutionPlatform::SnicAccelerator,
+            50_000.0,
+            vec![FaultEvent {
+                kind: FaultKind::AcceleratorFailure,
+                start: SimTime::from_nanos(20_000_000),
+                duration: SimDuration::from_millis(30),
+            }],
+        );
+        let m = run(&cfg);
+        assert!(m.faults.failovers > 0, "{:?}", m.faults);
+        assert!(m.completed > 0);
+        assert!(m.faults.conserved(), "{:?}", m.faults);
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        let build = || {
+            let mut cfg = faulted_cfg(
+                Workload::Crypto(CryptoAlgo::Sha1),
+                ExecutionPlatform::SnicAccelerator,
+                80_000.0,
+                FaultPlan::generate(0xDEED, 1.5, SimDuration::from_millis(90)).events,
+            );
+            cfg.seed = 7;
+            cfg
+        };
+        let a = run(&build());
+        let b = run(&build());
+        assert_eq!(a, b);
     }
 
     #[test]

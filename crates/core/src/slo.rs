@@ -149,6 +149,7 @@ mod tests {
             service_util: 0.5,
             host_cpu_util: 0.1,
             snic_util: 0.1,
+            faults: crate::resilience::FaultTally::default(),
         }
     }
 

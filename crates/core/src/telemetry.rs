@@ -34,7 +34,10 @@ use crate::runner::RunMetrics;
 
 /// Version tag of the `RunReport` JSON schema. Bump on any breaking shape
 /// change; the golden-file test pins the key structure.
-pub const RUN_REPORT_SCHEMA: &str = "snicbench.run-report.v1";
+///
+/// v2: metrics carry a `faults` section, trace counts carry fault/retry/
+/// failover counters, and the report roots a `failed_jobs` array.
+pub const RUN_REPORT_SCHEMA: &str = "snicbench.run-report.v2";
 
 /// Raw trace records kept per run (most recent events win).
 pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
@@ -43,9 +46,20 @@ pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
 /// `duration / TIMELINE_BUCKETS`, floored at 1 µs).
 pub const TIMELINE_BUCKETS: u64 = 200;
 
+/// A job the executor isolated after it panicked: the scope label it
+/// would have reported under and the panic message it died with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedJob {
+    /// The scope label of the job.
+    pub label: String,
+    /// The panic payload, rendered as text.
+    pub payload: String,
+}
+
 #[derive(Debug, Default)]
 struct Hub {
     runs: Mutex<Vec<RunTelemetry>>,
+    failed: Mutex<Vec<FailedJob>>,
 }
 
 impl Hub {
@@ -63,6 +77,10 @@ impl Hub {
         if let Some(existing) = runs.iter_mut().find(|r| r.label == label) {
             existing.power = Some(power);
         }
+    }
+
+    fn record_failed(&self, job: FailedJob) {
+        self.failed.lock().expect("telemetry hub poisoned").push(job);
     }
 }
 
@@ -112,6 +130,31 @@ impl RunContext {
                     std::mem::take(&mut *hub.runs.lock().expect("telemetry hub poisoned"));
                 runs.sort_by(|a, b| a.label.cmp(&b.label));
                 runs
+            }
+        }
+    }
+
+    /// Records a job the executor isolated after a panic, so the report
+    /// still accounts for it (no-op when disabled).
+    pub fn record_failed_job(&self, label: impl Into<String>, payload: impl Into<String>) {
+        if let Some(hub) = &self.hub {
+            hub.record_failed(FailedJob {
+                label: label.into(),
+                payload: payload.into(),
+            });
+        }
+    }
+
+    /// Drains the failed-job records, sorted by label so the result is
+    /// identical at any `--jobs` count.
+    pub fn drain_failed_jobs(&self) -> Vec<FailedJob> {
+        match &self.hub {
+            None => Vec::new(),
+            Some(hub) => {
+                let mut failed =
+                    std::mem::take(&mut *hub.failed.lock().expect("telemetry hub poisoned"));
+                failed.sort_by(|a, b| a.label.cmp(&b.label));
+                failed
             }
         }
     }
@@ -326,6 +369,10 @@ fn counts_json(c: &TraceCounts) -> Json {
         ("service_ends", Json::U64(c.service_ends)),
         ("drops", Json::U64(c.drops)),
         ("power_samples", Json::U64(c.power_samples)),
+        ("fault_begins", Json::U64(c.fault_begins)),
+        ("fault_ends", Json::U64(c.fault_ends)),
+        ("retries", Json::U64(c.retries)),
+        ("failovers", Json::U64(c.failovers)),
     ])
 }
 
@@ -350,6 +397,18 @@ fn metrics_json(m: &RunMetrics) -> Json {
         ("service_util", Json::Num(m.service_util)),
         ("host_cpu_util", Json::Num(m.host_cpu_util)),
         ("snic_util", Json::Num(m.snic_util)),
+        (
+            "faults",
+            Json::obj([
+                ("injected_losses", Json::U64(m.faults.injected_losses)),
+                ("queue_rejections", Json::U64(m.faults.queue_rejections)),
+                ("retries", Json::U64(m.faults.retries)),
+                ("failovers", Json::U64(m.faults.failovers)),
+                ("exhausted", Json::U64(m.faults.exhausted)),
+                ("windows_begun", Json::U64(m.faults.windows_begun)),
+                ("windows_ended", Json::U64(m.faults.windows_ended)),
+            ]),
+        ),
     ])
 }
 
@@ -431,11 +490,34 @@ fn run_json(run: &RunTelemetry) -> Json {
 ///
 /// `tool` names the bin, `results` carries the tool-specific result rows
 /// (each bin encodes its own table), and `runs` is the drained telemetry.
+/// Same as [`run_report_with_failures`] with no failed jobs.
 pub fn run_report(tool: &str, results: Json, runs: &[RunTelemetry]) -> Json {
+    run_report_with_failures(tool, results, runs, &[])
+}
+
+/// [`run_report`] plus the executor's isolated panics: each failed job
+/// appears in a root-level `failed_jobs` array with its scope label and
+/// panic message, so a wave with one poisoned scenario still reports the
+/// other results *and* the casualty.
+pub fn run_report_with_failures(
+    tool: &str,
+    results: Json,
+    runs: &[RunTelemetry],
+    failed: &[FailedJob],
+) -> Json {
     Json::obj([
         ("schema", Json::str(RUN_REPORT_SCHEMA)),
         ("tool", Json::str(tool)),
         ("results", results),
+        (
+            "failed_jobs",
+            Json::arr(failed.iter().map(|f| {
+                Json::obj([
+                    ("label", Json::str(f.label.clone())),
+                    ("panic", Json::str(f.payload.clone())),
+                ])
+            })),
+        ),
         ("runs", Json::arr(runs.iter().map(run_json))),
     ])
 }
@@ -515,16 +597,60 @@ pub fn chrome_trace_json(runs: &[RunTelemetry]) -> Json {
             }
         }
         for record in &run.records {
-            if let TraceKind::Drop { depth } = record.kind {
-                let tid = record.station.0 as usize + 1;
-                events.push(trace_event(
-                    pid,
-                    tid,
-                    "i",
-                    "drop",
-                    record.at.as_secs_f64() * 1e6,
-                    Json::obj([("depth", Json::U64(depth as u64))]),
-                ));
+            let tid = record.station.0 as usize + 1;
+            let ts = record.at.as_secs_f64() * 1e6;
+            match record.kind {
+                TraceKind::Drop { depth } => {
+                    events.push(trace_event(
+                        pid,
+                        tid,
+                        "i",
+                        "drop",
+                        ts,
+                        Json::obj([("depth", Json::U64(depth as u64))]),
+                    ));
+                }
+                TraceKind::FaultBegin { fault } => {
+                    events.push(trace_event(
+                        pid,
+                        tid,
+                        "i",
+                        "fault-begin",
+                        ts,
+                        Json::obj([("fault", Json::str(fault.label()))]),
+                    ));
+                }
+                TraceKind::FaultEnd { fault } => {
+                    events.push(trace_event(
+                        pid,
+                        tid,
+                        "i",
+                        "fault-end",
+                        ts,
+                        Json::obj([("fault", Json::str(fault.label()))]),
+                    ));
+                }
+                TraceKind::Retry { attempt } => {
+                    events.push(trace_event(
+                        pid,
+                        tid,
+                        "i",
+                        "retry",
+                        ts,
+                        Json::obj([("attempt", Json::U64(u64::from(attempt)))]),
+                    ));
+                }
+                TraceKind::Failover { rung } => {
+                    events.push(trace_event(
+                        pid,
+                        tid,
+                        "i",
+                        "failover",
+                        ts,
+                        Json::obj([("rung", Json::U64(u64::from(rung)))]),
+                    ));
+                }
+                _ => {}
             }
         }
         if let Some(power) = &run.power {
@@ -588,6 +714,7 @@ mod tests {
             service_util: 0.8,
             host_cpu_util: 0.4,
             snic_util: 0.1,
+            faults: crate::resilience::FaultTally::default(),
         }
     }
 
@@ -690,6 +817,32 @@ mod tests {
                 .and_then(Json::as_bool),
             Some(true)
         );
+    }
+
+    #[test]
+    fn failed_jobs_are_recorded_sorted_and_reported() {
+        let ctx = RunContext::collecting();
+        ctx.record_failed_job("z", "panicked hard");
+        ctx.record_failed_job("a", "also bad");
+        let failed = ctx.drain_failed_jobs();
+        assert_eq!(failed.len(), 2);
+        assert_eq!(failed[0].label, "a", "drain sorts by label");
+        assert!(ctx.drain_failed_jobs().is_empty(), "drain empties the hub");
+        let report = run_report_with_failures("resilience", Json::arr([]), &[], &failed);
+        let parsed = Json::parse(&report.to_compact()).expect("report parses back");
+        let jobs = parsed
+            .get("failed_jobs")
+            .and_then(Json::as_arr)
+            .expect("failed_jobs array");
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(
+            jobs[1].get("panic").and_then(Json::as_str),
+            Some("panicked hard")
+        );
+        // A disabled context swallows the record.
+        let off = RunContext::disabled();
+        off.record_failed_job("x", "y");
+        assert!(off.drain_failed_jobs().is_empty());
     }
 
     #[test]

@@ -93,6 +93,23 @@ impl AcceleratorSpec {
     pub fn accepts(&self, bytes: u64) -> bool {
         bytes <= self.max_task_bytes
     }
+
+    /// This engine running `slowdown`× slower than nominal — the fault
+    /// model's accelerator-stall window (clock gating, internal retries).
+    /// Internal rate divides and per-task overhead multiplies by the
+    /// factor; a `slowdown` ≤ 1 returns the spec unchanged.
+    pub fn stalled(&self, slowdown: f64) -> AcceleratorSpec {
+        if slowdown <= 1.0 {
+            return *self;
+        }
+        AcceleratorSpec {
+            max_throughput_gbps: self.max_throughput_gbps / slowdown,
+            task_overhead: SimDuration::from_secs_f64(
+                self.task_overhead.as_secs_f64() * slowdown,
+            ),
+            ..*self
+        }
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +155,20 @@ mod tests {
         let comp = specs::compression_accelerator();
         assert!(comp.accepts(64 * 1024));
         assert!(!comp.accepts(u64::MAX));
+    }
+
+    #[test]
+    fn stalled_engine_is_proportionally_slower() {
+        let rem = specs::rem_accelerator();
+        let stalled = rem.stalled(4.0);
+        let ratio = rem.max_gbps(1500) / stalled.max_gbps(1500);
+        assert!(
+            (3.9..4.1).contains(&ratio),
+            "4x stall should quarter MTU throughput, got {ratio}"
+        );
+        // A non-slowdown leaves the spec untouched.
+        assert_eq!(rem.stalled(1.0), rem);
+        assert_eq!(rem.stalled(0.5), rem);
     }
 
     #[test]

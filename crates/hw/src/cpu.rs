@@ -89,6 +89,17 @@ impl CpuSpec {
         let speed_ref = reference.freq_ghz * reference.perf_per_cycle;
         self.cores as f64 * speed_self / speed_ref
     }
+
+    /// Mean-service-time multiplier when `offline` of this CPU's cores are
+    /// unavailable (fault injection: thermal throttling parks cores, a
+    /// firmware hang takes Arm cores out of the poll loop). At least one
+    /// core always remains, so the factor is finite: with half the cores
+    /// gone the survivors carry twice the work.
+    pub fn offline_slowdown(&self, offline: u32) -> f64 {
+        let total = self.cores as u32;
+        let remaining = total.saturating_sub(offline).max(1);
+        total as f64 / remaining as f64
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +141,16 @@ mod tests {
         let host = specs::host_cpu();
         let cap = host.total_capability(&host);
         assert_eq!(cap, host.cores as f64);
+    }
+
+    #[test]
+    fn offline_slowdown_is_bounded_and_monotone() {
+        let arm = specs::snic_cpu(); // 8 cores
+        assert_eq!(arm.offline_slowdown(0), 1.0);
+        assert_eq!(arm.offline_slowdown(4), 2.0);
+        // Taking every core offline still leaves one: the factor saturates.
+        assert_eq!(arm.offline_slowdown(100), arm.cores as f64);
+        assert!(arm.offline_slowdown(7) > arm.offline_slowdown(6));
     }
 
     #[test]

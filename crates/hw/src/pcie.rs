@@ -19,6 +19,12 @@ pub struct PcieLink {
 }
 
 impl PcieLink {
+    /// The BlueField-2 uplink: PCIe Gen4 ×16.
+    pub const BLUEFIELD2: PcieLink = PcieLink {
+        generation: 4,
+        lanes: 16,
+    };
+
     /// Per-lane raw rate in giga-transfers per second for this generation.
     fn gt_per_lane(&self) -> f64 {
         match self.generation {
@@ -52,6 +58,18 @@ impl PcieLink {
     /// completion: round trip plus serialization.
     pub fn dma_time(&self, bytes: u64) -> SimDuration {
         self.round_trip_latency() + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps())
+    }
+
+    /// Extra serialization time added to a `bytes` transfer when the link
+    /// only delivers `bandwidth_factor` of its nominal bandwidth (fault
+    /// injection: retrain to a lower width/speed, congested root complex).
+    /// Zero when the factor is ≥ 1 (healthy) or non-positive (degenerate).
+    pub fn degraded_dma_penalty(&self, bytes: u64, bandwidth_factor: f64) -> SimDuration {
+        if bandwidth_factor >= 1.0 || bandwidth_factor <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let nominal = bytes as f64 / self.bandwidth_bps();
+        SimDuration::from_secs_f64(nominal * (1.0 / bandwidth_factor - 1.0))
     }
 }
 
@@ -95,6 +113,26 @@ mod tests {
         };
         let ratio = GEN4_X16.bandwidth_bps() / g3.bandwidth_bps();
         assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degraded_penalty_matches_slowdown() {
+        let link = PcieLink::BLUEFIELD2;
+        let bytes = 1u64 << 20;
+        // Half bandwidth doubles the serialization time: penalty == nominal.
+        let nominal = SimDuration::from_secs_f64(bytes as f64 / link.bandwidth_bps());
+        let penalty = link.degraded_dma_penalty(bytes, 0.5);
+        let diff = (penalty.as_secs_f64() - nominal.as_secs_f64()).abs();
+        assert!(diff < 1e-12, "penalty {penalty:?} vs nominal {nominal:?}");
+        // Healthy or degenerate factors cost nothing.
+        assert_eq!(link.degraded_dma_penalty(bytes, 1.0), SimDuration::ZERO);
+        assert_eq!(link.degraded_dma_penalty(bytes, 1.5), SimDuration::ZERO);
+        assert_eq!(link.degraded_dma_penalty(bytes, 0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn bluefield2_const_is_gen4_x16() {
+        assert_eq!(PcieLink::BLUEFIELD2, GEN4_X16);
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! deterministic per-seed packet loss, corruption, and extra latency
 //! jitter that experiments can inject between the client and the server.
 
+use snicbench_sim::fault::{FaultKind, FaultPlan};
 use snicbench_sim::rng::Rng;
-use snicbench_sim::SimDuration;
+use snicbench_sim::{SimDuration, SimTime};
 
 use crate::packet::Packet;
 
@@ -53,6 +54,8 @@ pub struct ImpairedLink {
     loss: f64,
     corruption: f64,
     max_jitter: SimDuration,
+    outages: Vec<(SimTime, SimDuration)>,
+    bursts: Vec<(SimTime, SimDuration, f64)>,
     rng: Rng,
     stats: LinkStats,
 }
@@ -64,6 +67,8 @@ impl ImpairedLink {
             loss: 0.0,
             corruption: 0.0,
             max_jitter: SimDuration::ZERO,
+            outages: Vec::new(),
+            bursts: Vec::new(),
             rng: Rng::new(seed ^ 0x11_4B),
             stats: LinkStats::default(),
         }
@@ -99,6 +104,73 @@ impl ImpairedLink {
     pub fn with_jitter(mut self, max_jitter: SimDuration) -> Self {
         self.max_jitter = max_jitter;
         self
+    }
+
+    /// Schedules an outage window: every packet offered through
+    /// [`ImpairedLink::transmit_at`] inside `[start, start + duration)` is
+    /// lost without consuming link randomness, so the surviving traffic
+    /// sees exactly the stream it would have seen on a flap-free link.
+    pub fn with_outage(mut self, start: SimTime, duration: SimDuration) -> Self {
+        self.outages.push((start, duration));
+        self
+    }
+
+    /// Schedules a loss burst: packets offered inside the window are
+    /// additionally lost with probability `p` before the steady-state
+    /// impairments apply.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn with_loss_burst(mut self, start: SimTime, duration: SimDuration, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "burst loss probability out of range");
+        self.bursts.push((start, duration, p));
+        self
+    }
+
+    /// Adopts the link-class windows of a fault plan: [`FaultKind::LinkFlap`]
+    /// events become outages and [`FaultKind::PacketLossBurst`] events
+    /// become loss bursts. Other fault classes are not link impairments
+    /// and are ignored.
+    pub fn with_fault_plan(mut self, plan: &FaultPlan) -> Self {
+        for ev in &plan.events {
+            match ev.kind {
+                FaultKind::LinkFlap => self.outages.push((ev.start, ev.duration)),
+                FaultKind::PacketLossBurst { loss } => {
+                    self.bursts.push((ev.start, ev.duration, loss))
+                }
+                _ => {}
+            }
+        }
+        self
+    }
+
+    /// Passes one packet across the link at simulated time `at`,
+    /// honouring any scheduled outage and loss-burst windows before the
+    /// steady-state impairments of [`ImpairedLink::transmit`].
+    pub fn transmit_at(&mut self, packet: &Packet, at: SimTime) -> LinkOutcome {
+        if self
+            .outages
+            .iter()
+            .any(|&(start, dur)| start <= at && at < start + dur)
+        {
+            self.stats.offered += 1;
+            self.stats.lost += 1;
+            return LinkOutcome::Lost;
+        }
+        let burst = self
+            .bursts
+            .iter()
+            .find(|&&(start, dur, _)| start <= at && at < start + dur)
+            .map(|&(_, _, p)| p);
+        if let Some(p) = burst {
+            if p > 0.0 && self.rng.chance(p) {
+                self.stats.offered += 1;
+                self.stats.lost += 1;
+                return LinkOutcome::Lost;
+            }
+        }
+        self.transmit(packet)
     }
 
     /// Passes one packet across the link.
@@ -222,5 +294,103 @@ mod tests {
     #[should_panic(expected = "loss probability")]
     fn bad_loss_probability_rejected() {
         let _ = ImpairedLink::clean(1).with_loss(1.5);
+    }
+
+    #[test]
+    fn outage_window_loses_everything_inside_it() {
+        let start = SimTime::from_nanos(1_000);
+        let mut link = ImpairedLink::clean(5).with_outage(start, SimDuration::from_nanos(500));
+        let p = packets(1).pop().unwrap();
+        assert_eq!(
+            link.transmit_at(&p, SimTime::from_nanos(999)),
+            LinkOutcome::Delivered {
+                extra_delay: SimDuration::ZERO
+            }
+        );
+        assert_eq!(link.transmit_at(&p, SimTime::from_nanos(1_000)), LinkOutcome::Lost);
+        assert_eq!(link.transmit_at(&p, SimTime::from_nanos(1_499)), LinkOutcome::Lost);
+        assert_eq!(
+            link.transmit_at(&p, SimTime::from_nanos(1_500)),
+            LinkOutcome::Delivered {
+                extra_delay: SimDuration::ZERO
+            }
+        );
+        assert_eq!(link.stats().lost, 2);
+    }
+
+    #[test]
+    fn outage_drops_leave_the_random_stream_untouched() {
+        // Same seed, one link with an outage: packets transmitted outside
+        // the window see the identical loss pattern on both links.
+        let window = SimDuration::from_nanos(100);
+        let run = |outage: bool| {
+            let mut link = ImpairedLink::clean(6).with_loss(0.3);
+            if outage {
+                link = link.with_outage(SimTime::from_nanos(50), window);
+            }
+            packets(200)
+                .iter()
+                .map(|p| matches!(link.transmit_at(p, SimTime::from_nanos(10_000)), LinkOutcome::Lost))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn loss_burst_converges_inside_the_window_only() {
+        let start = SimTime::ZERO;
+        let mut link =
+            ImpairedLink::clean(7).with_loss_burst(start, SimDuration::from_millis(1), 0.5);
+        let inside = SimTime::from_nanos(10);
+        let outside = SimTime::from_nanos(2_000_000);
+        let mut lost_inside = 0u32;
+        for p in packets(4_000) {
+            if matches!(link.transmit_at(&p, inside), LinkOutcome::Lost) {
+                lost_inside += 1;
+            }
+        }
+        let frac = f64::from(lost_inside) / 4_000.0;
+        assert!((frac - 0.5).abs() < 0.05, "burst loss {frac}");
+        for p in packets(100) {
+            assert!(matches!(
+                link.transmit_at(&p, outside),
+                LinkOutcome::Delivered { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn fault_plan_adopts_only_link_class_events() {
+        use snicbench_sim::fault::{FaultEvent, FaultKind, FaultPlan};
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    kind: FaultKind::LinkFlap,
+                    start: SimTime::from_nanos(100),
+                    duration: SimDuration::from_nanos(50),
+                },
+                FaultEvent {
+                    kind: FaultKind::AcceleratorFailure,
+                    start: SimTime::from_nanos(100),
+                    duration: SimDuration::from_nanos(50),
+                },
+                FaultEvent {
+                    kind: FaultKind::PacketLossBurst { loss: 1.0 },
+                    start: SimTime::from_nanos(300),
+                    duration: SimDuration::from_nanos(50),
+                },
+            ],
+        };
+        let mut link = ImpairedLink::clean(8).with_fault_plan(&plan);
+        let p = packets(1).pop().unwrap();
+        // Accelerator failure is not a link fault: time 100 is an outage
+        // because of the flap, time 300 is lost via the burst, time 200
+        // (covered by no link-class window) is clean.
+        assert_eq!(link.transmit_at(&p, SimTime::from_nanos(120)), LinkOutcome::Lost);
+        assert_eq!(link.transmit_at(&p, SimTime::from_nanos(320)), LinkOutcome::Lost);
+        assert!(matches!(
+            link.transmit_at(&p, SimTime::from_nanos(200)),
+            LinkOutcome::Delivered { .. }
+        ));
     }
 }

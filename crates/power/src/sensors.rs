@@ -118,6 +118,7 @@ impl Rail {
 pub struct YoctoWatt {
     rail: Rail,
     rng: Rng,
+    dropout: f64,
 }
 
 impl YoctoWatt {
@@ -131,7 +132,21 @@ impl YoctoWatt {
         YoctoWatt {
             rail,
             rng: Rng::new(seed ^ 0x70C7_0CAFE ^ rail.power_share().to_bits()),
+            dropout: 0.0,
         }
+    }
+
+    /// Failure injection, mirroring [`BmcSensor::with_dropout`]: each
+    /// reading is independently lost with probability `dropout` and
+    /// filled by last-observation-carry-forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dropout` is in `[0, 1)`.
+    pub fn with_dropout(mut self, dropout: f64) -> Self {
+        assert!((0.0..1.0).contains(&dropout), "dropout must be in [0,1)");
+        self.dropout = dropout;
+        self
     }
 
     /// The rail this sensor taps.
@@ -149,11 +164,20 @@ impl YoctoWatt {
     ) -> TimeSeries {
         let mut ts = TimeSeries::new(start, Self::INTERVAL);
         let n = duration.as_nanos() / Self::INTERVAL.as_nanos();
+        let mut last_good: Option<f64> = None;
         for i in 0..n {
             let midpoint = start + Self::INTERVAL * i + Self::INTERVAL / 2;
             let truth = device_watts(midpoint) * self.rail.power_share();
             let noisy = truth + self.rng.range_f64(-Self::ACCURACY_W, Self::ACCURACY_W);
-            ts.push(noisy.max(0.0));
+            let reading = noisy.max(0.0);
+            let dropped = self.dropout > 0.0 && self.rng.chance(self.dropout);
+            let value = if dropped {
+                last_good.unwrap_or(reading)
+            } else {
+                last_good = Some(reading);
+                reading
+            };
+            ts.push(value);
         }
         ts
     }
@@ -239,6 +263,28 @@ mod tests {
     #[should_panic(expected = "dropout")]
     fn full_dropout_rejected() {
         let _ = BmcSensor::new(1).with_dropout(1.0);
+    }
+
+    #[test]
+    fn yocto_dropout_fills_with_locf_and_stays_on_rail_share() {
+        let mut lossy = YoctoWatt::new(Rail::V12, 11).with_dropout(0.4);
+        let ts = lossy.sample(SimTime::ZERO, SimDuration::from_secs(60), |_| 29.0);
+        assert_eq!(ts.len(), 600, "holes are filled, not skipped");
+        let expected = 29.0 * Rail::V12.power_share();
+        assert!((ts.mean() - expected).abs() < 0.01, "mean {}", ts.mean());
+        // Zero dropout consumes the same noise stream as a sensor built
+        // before dropout existed.
+        let a = YoctoWatt::new(Rail::V3_3, 12).sample(SimTime::ZERO, SimDuration::from_secs(5), |_| 20.0);
+        let b = YoctoWatt::new(Rail::V3_3, 12)
+            .with_dropout(0.0)
+            .sample(SimTime::ZERO, SimDuration::from_secs(5), |_| 20.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout")]
+    fn yocto_full_dropout_rejected() {
+        let _ = YoctoWatt::new(Rail::V12, 1).with_dropout(1.0);
     }
 
     #[test]

@@ -16,12 +16,18 @@
 //! * [`event`] — a stable-ordered pending-event set.
 //! * [`engine`] — the event loop: schedule closures at absolute times and run
 //!   until quiescence or a deadline.
+//! * [`fault`] — deterministic fault injection: a seeded [`fault::FaultPlan`]
+//!   of timed degradation windows (accelerator stall/failure, Arm cores
+//!   offline, PCIe degradation, link flap, loss burst, sensor dropout)
+//!   scheduled on simulated time, consulted by components through a shared
+//!   [`fault::FaultState`].
 //! * [`queue`] — bounded FIFO queues with drop accounting.
 //! * [`station`] — multi-server service stations (the queueing abstraction
 //!   used for CPU cores, accelerators, and links).
 //! * [`trace`] — opt-in deterministic event tracing: a [`trace::TraceSink`]
 //!   attached to the engine records typed events (enqueue/dequeue/
-//!   service-start/service-end/drop/power-sample) into a bounded ring and
+//!   service-start/service-end/drop/power-sample/fault/retry/failover)
+//!   into a bounded ring and
 //!   folds them into exact per-station timelines; the inert variant makes
 //!   every hook free.
 //!
@@ -45,6 +51,7 @@
 pub mod dist;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod station;

@@ -3,7 +3,8 @@
 //! The paper's analyses hinge on *which* station saturates first and
 //! *when* its queue builds — end-of-run aggregates cannot explain a p99
 //! knee. This module records typed simulation events (enqueue / dequeue /
-//! service-start / service-end / drop / power-sample) into a bounded ring
+//! service-start / service-end / drop / power-sample, plus the resilience
+//! kinds fault-begin / fault-end / retry / failover) into a bounded ring
 //! as the run executes, and simultaneously folds them into fixed-width
 //! per-station time buckets (busy-time integral, queue-depth peak, drop
 //! and completion counts) so utilization and queue-depth timelines stay
@@ -21,6 +22,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use crate::fault::FaultClass;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies a station registered with a [`TraceSink`].
@@ -76,6 +78,26 @@ pub enum TraceKind {
         /// The reading, in watts.
         watts: f64,
     },
+    /// An injected fault window opened (see [`crate::fault`]).
+    FaultBegin {
+        /// Which degradation began.
+        fault: FaultClass,
+    },
+    /// An injected fault window closed.
+    FaultEnd {
+        /// Which degradation ended.
+        fault: FaultClass,
+    },
+    /// A lost or rejected request was resubmitted after backoff.
+    Retry {
+        /// Which retry attempt this is (1 = first resubmission).
+        attempt: u32,
+    },
+    /// A request was rerouted to a fallback platform rung.
+    Failover {
+        /// Ladder rung the request landed on (1 = first fallback).
+        rung: u32,
+    },
 }
 
 impl TraceKind {
@@ -88,6 +110,10 @@ impl TraceKind {
             TraceKind::ServiceEnd { .. } => "service-end",
             TraceKind::Drop { .. } => "drop",
             TraceKind::PowerSample { .. } => "power-sample",
+            TraceKind::FaultBegin { .. } => "fault-begin",
+            TraceKind::FaultEnd { .. } => "fault-end",
+            TraceKind::Retry { .. } => "retry",
+            TraceKind::Failover { .. } => "failover",
         }
     }
 }
@@ -135,6 +161,14 @@ pub struct TraceCounts {
     pub drops: u64,
     /// `PowerSample` events.
     pub power_samples: u64,
+    /// `FaultBegin` events.
+    pub fault_begins: u64,
+    /// `FaultEnd` events.
+    pub fault_ends: u64,
+    /// `Retry` events.
+    pub retries: u64,
+    /// `Failover` events.
+    pub failovers: u64,
 }
 
 impl TraceCounts {
@@ -146,6 +180,10 @@ impl TraceCounts {
             + self.service_ends
             + self.drops
             + self.power_samples
+            + self.fault_begins
+            + self.fault_ends
+            + self.retries
+            + self.failovers
     }
 
     /// The event-stream conservation law: every dequeued job was first
@@ -171,8 +209,9 @@ pub struct StationTrack {
 }
 
 /// Everything drained out of a trace ring after a run: the surviving raw
-/// records (most recent `capacity`), the exact per-station tracks, and the
-/// ring's own accounting.
+/// records (the most recent `capacity` of each record class — bulk queue
+/// flow, fault windows, retry/failover marks — merged in time order), the
+/// exact per-station tracks, and the ring's own accounting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceData {
     /// Surviving raw records, oldest first.
@@ -233,14 +272,38 @@ impl LiveTrack {
 }
 
 /// The bounded event ring plus the exact bucketed aggregation.
+///
+/// Raw records live in three independently bounded rings of the same
+/// capacity: bulk queue-flow events (enqueue / dequeue / service / drop /
+/// power), fault-window markers, and retry/failover marks. A sustained
+/// flood of per-op events therefore cannot evict the handful of rare
+/// records that explain it — a faulted run's `FaultBegin`/`FaultEnd` and
+/// `Failover` records survive to the drained trace even when millions of
+/// queue events rolled through the bulk ring.
 #[derive(Debug)]
 pub struct TraceRing {
     capacity: usize,
     bucket_ns: u64,
     records: VecDeque<TraceRecord>,
+    windows: VecDeque<TraceRecord>,
+    marks: VecDeque<TraceRecord>,
     tracks: Vec<LiveTrack>,
     total: u64,
     evicted: u64,
+}
+
+/// Pushes into one bounded ring, evicting the oldest record when full.
+fn push_bounded(
+    ring: &mut VecDeque<TraceRecord>,
+    capacity: usize,
+    record: TraceRecord,
+    evicted: &mut u64,
+) {
+    if ring.len() == capacity {
+        ring.pop_front();
+        *evicted += 1;
+    }
+    ring.push_back(record);
 }
 
 impl TraceRing {
@@ -249,6 +312,8 @@ impl TraceRing {
             capacity: capacity.max(1),
             bucket_ns: bucket.as_nanos().max(1),
             records: VecDeque::with_capacity(capacity.clamp(1, 1 << 16)),
+            windows: VecDeque::new(),
+            marks: VecDeque::new(),
             tracks: Vec::new(),
             total: 0,
             evicted: 0,
@@ -310,12 +375,30 @@ impl TraceRing {
                 b.power_sum += watts;
                 b.power_samples += 1;
             }
+            TraceKind::FaultBegin { .. } => {
+                track.counts.fault_begins += 1;
+                track.ensure_bucket(idx);
+            }
+            TraceKind::FaultEnd { .. } => {
+                track.counts.fault_ends += 1;
+                track.ensure_bucket(idx);
+            }
+            TraceKind::Retry { .. } => {
+                track.counts.retries += 1;
+                track.ensure_bucket(idx);
+            }
+            TraceKind::Failover { .. } => {
+                track.counts.failovers += 1;
+                track.ensure_bucket(idx);
+            }
         }
-        if self.records.len() == self.capacity {
-            self.records.pop_front();
-            self.evicted += 1;
-        }
-        self.records.push_back(TraceRecord { at, station, kind });
+        let record = TraceRecord { at, station, kind };
+        let ring = match kind {
+            TraceKind::FaultBegin { .. } | TraceKind::FaultEnd { .. } => &mut self.windows,
+            TraceKind::Retry { .. } | TraceKind::Failover { .. } => &mut self.marks,
+            _ => &mut self.records,
+        };
+        push_bounded(ring, self.capacity, record, &mut self.evicted);
         self.total += 1;
     }
 
@@ -329,8 +412,20 @@ impl TraceRing {
     }
 
     fn drain(&mut self) -> TraceData {
+        // Merge the three rings back into one time-ordered stream. Each
+        // ring is already time-sorted (simulation time is monotonic), so a
+        // stable sort over the concatenation is a deterministic merge;
+        // within a timestamp, window markers sort before the bulk events
+        // they cause, and retry/failover marks after.
+        let mut records: Vec<TraceRecord> = Vec::with_capacity(
+            self.windows.len() + self.records.len() + self.marks.len(),
+        );
+        records.extend(self.windows.drain(..));
+        records.extend(self.records.drain(..));
+        records.extend(self.marks.drain(..));
+        records.sort_by_key(|r| r.at);
         TraceData {
-            records: self.records.drain(..).collect(),
+            records,
             tracks: self
                 .tracks
                 .drain(..)
@@ -388,8 +483,10 @@ impl TraceSink {
     }
 
     /// A sink recording into a fresh ring that keeps the most recent
-    /// `capacity` raw records and aggregates exact per-station timelines
-    /// at `bucket` resolution.
+    /// `capacity` raw records per record class (bulk queue flow, fault
+    /// windows, retry/failover marks — so a flood of per-op events cannot
+    /// evict the rare fault records) and aggregates exact per-station
+    /// timelines at `bucket` resolution.
     pub fn bounded(capacity: usize, bucket: SimDuration) -> Self {
         TraceSink::Ring(Rc::new(RefCell::new(TraceRing::new(capacity, bucket))))
     }
@@ -501,6 +598,46 @@ mod tests {
         // The survivors are the most recent four, oldest first.
         assert_eq!(d.records[0].at, SimTime::from_nanos(60));
         assert_eq!(d.records[3].at, SimTime::from_nanos(90));
+    }
+
+    #[test]
+    fn bulk_floods_cannot_evict_fault_and_failover_records() {
+        // A tiny ring flooded with queue-flow events: the early fault
+        // window and retry/failover marks must survive eviction, merged
+        // back in time order.
+        let s = TraceSink::bounded(4, SimDuration::from_micros(1));
+        let id = s.register("q", 1);
+        s.record(
+            SimTime::from_nanos(5),
+            id,
+            TraceKind::FaultBegin { fault: FaultClass::LinkFlap },
+        );
+        s.record(SimTime::from_nanos(10), id, TraceKind::Retry { attempt: 1 });
+        s.record(SimTime::from_nanos(15), id, TraceKind::Failover { rung: 1 });
+        s.record(
+            SimTime::from_nanos(20),
+            id,
+            TraceKind::FaultEnd { fault: FaultClass::LinkFlap },
+        );
+        for i in 0..100u64 {
+            s.record(
+                SimTime::from_nanos(100 + i),
+                id,
+                TraceKind::Enqueue { depth: i as u32 },
+            );
+        }
+        let d = s.take().expect("finished sink holds drained data");
+        assert_eq!(d.total, 104);
+        assert_eq!(d.evicted, 96); // only bulk records were evicted
+        assert_eq!(d.records.len(), 8);
+        let labels: Vec<_> = d.records.iter().map(|r| r.kind.label()).collect();
+        assert_eq!(
+            &labels[..4],
+            &["fault-begin", "retry", "failover", "fault-end"]
+        );
+        assert!(labels[4..].iter().all(|&l| l == "enqueue"));
+        // Time order holds across the merged stream.
+        assert!(d.records.windows(2).all(|w| w[0].at <= w[1].at));
     }
 
     #[test]

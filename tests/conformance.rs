@@ -9,8 +9,10 @@ use proptest::prelude::*;
 
 use snicbench::core::benchmark::Workload;
 use snicbench::core::conformance::{self, probe, ProbeCase, ServiceLaw};
+use snicbench::core::resilience::ResiliencePolicy;
 use snicbench::core::runner::{run, OfferedLoad, RunConfig};
 use snicbench::core::sweep::{knee_gbps, SweepPoint};
+use snicbench::sim::fault::FaultPlan;
 use snicbench::sim::SimDuration;
 
 proptest! {
@@ -49,6 +51,42 @@ proptest! {
             violations.is_empty(),
             "{workload} on {platform}: {violations:?}"
         );
+    }
+
+    /// With a seeded fault plan injected and the standard resilience
+    /// policy armed, the fault-aware conservation law holds for any
+    /// (workload, platform, intensity, seed): every injected loss and
+    /// queue rejection is accounted as either a retry or an exhausted
+    /// budget, final drops equal exhausted budgets, and no fault window
+    /// closes more often than it opened.
+    #[test]
+    fn faulted_runs_keep_conservation(
+        widx in 0usize..64,
+        pidx in 0usize..4,
+        rate in 10_000.0f64..500_000.0,
+        intensity_pct in 50u64..250,
+        seed in 0u64..1_000_000,
+    ) {
+        let set = Workload::figure4_set();
+        let workload = set[widx % set.len()];
+        let platforms = workload.platforms();
+        let platform = platforms[pidx % platforms.len()];
+        let mut cfg = RunConfig::new(workload, platform, OfferedLoad::OpsPerSec(rate));
+        cfg.duration = SimDuration::from_millis(6);
+        cfg.warmup = SimDuration::from_millis(1);
+        cfg.seed = seed;
+        cfg.faults = FaultPlan::generate(
+            seed ^ 0xFA_0175,
+            intensity_pct as f64 / 100.0,
+            cfg.duration,
+        );
+        cfg.resilience = ResiliencePolicy::standard();
+        let m = run(&cfg);
+        prop_assert!(m.faults.conserved(), "{workload} on {platform}: {:?}", m.faults);
+        prop_assert_eq!(m.dropped, m.faults.exhausted);
+        prop_assert!(m.faults.windows_ended <= m.faults.windows_begun);
+        let violations = conformance::check_metrics(&m);
+        prop_assert!(violations.is_empty(), "{workload} on {platform}: {violations:?}");
     }
 
     /// A dedicated M/M/c probe lands near the analytic utilization for any

@@ -2,7 +2,7 @@
 //! the whole stack — the property that makes the simulation a measurement
 //! instrument rather than a noise source.
 
-use snicbench::core::benchmark::Workload;
+use snicbench::core::benchmark::{CryptoAlgo, Workload};
 use snicbench::core::executor::Executor;
 use snicbench::core::experiment::{find_operating_point_with, SearchBudget};
 use snicbench::core::experiment::Scenario;
@@ -79,6 +79,38 @@ fn parallel_search_equals_serial_search() {
         let parallel = find_operating_point_with(w, p, budget, &Executor::new(4));
         assert_eq!(serial, parallel, "{w} on {p}: jobs=4 diverged from jobs=1");
     }
+}
+
+#[test]
+fn fault_plans_replay_per_seed() {
+    use snicbench::sim::fault::FaultPlan;
+    let horizon = SimDuration::from_millis(100);
+    let a = FaultPlan::generate(42, 1.0, horizon);
+    let b = FaultPlan::generate(42, 1.0, horizon);
+    assert_eq!(a.events, b.events, "same seed must yield the same schedule");
+    assert!(!a.is_empty(), "intensity 1.0 over 100 ms should schedule windows");
+    let c = FaultPlan::generate(43, 1.0, horizon);
+    assert_ne!(a.events, c.events, "different seeds must yield different schedules");
+}
+
+#[test]
+fn faulted_resilience_report_is_byte_identical_across_job_counts() {
+    use snicbench::core::json::Json;
+    use snicbench::core::telemetry::run_report_with_failures;
+    // The full --json artifact of a faulted sweep — per-run telemetry,
+    // failed-job array, and fault tallies included — must not depend on
+    // the worker count, only on the seeds.
+    let render = |jobs| {
+        let ctx = RunContext::collecting();
+        let rows = Scenario::resilience(Workload::Crypto(CryptoAlgo::Sha1))
+            .quick()
+            .run_with(&ctx, &Executor::new(jobs));
+        let runs = ctx.drain();
+        let failed = ctx.drain_failed_jobs();
+        let results = Json::Num(rows.len() as f64);
+        run_report_with_failures("resilience", results, &runs, &failed).to_pretty()
+    };
+    assert_eq!(render(1), render(4), "jobs=4 report diverged from jobs=1");
 }
 
 #[test]

@@ -80,6 +80,7 @@ fn fixture_corpus_exercises_every_rule() {
         "bare-unwrap-in-lib",
         "handrolled-cli",
         "float-cast-in-time",
+        "unseeded-jitter",
         "malformed-suppression",
         "unused-suppression",
     ] {

@@ -1,0 +1,34 @@
+// snicbench-fixture: crates/core/src/jitter_demo.rs
+//! Fixture: `unseeded-jitter` — ambient-entropy randomness in library
+//! code fires; the simulation's seeded `Rng` and test code do not.
+
+/// FIRES: thread-local entropy makes the backoff jitter unreplayable.
+pub fn bad_backoff_jitter(base_ns: u64) -> u64 {
+    let mut rng = rand::thread_rng();
+    base_ns + rng.gen_range(0..base_ns / 4)
+}
+
+/// FIRES: `from_entropy` reseeds from the OS on every construction.
+pub fn bad_fault_schedule() -> SmallRng {
+    SmallRng::from_entropy()
+}
+
+/// FIRES twice: `RandomState` at the import would randomize hash order,
+/// and `rand::random` draws ambient entropy inline.
+pub fn bad_inline_jitter(cap: f64) -> f64 {
+    use std::collections::hash_map::RandomState;
+    cap * rand::random::<f64>()
+}
+
+/// Clean: jitter forked from the run's seeded stream replays exactly.
+pub fn good_backoff_jitter(rng: &mut Rng, base_ns: u64) -> u64 {
+    base_ns + rng.below(base_ns / 4 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = rand::random::<u8>();
+    }
+}

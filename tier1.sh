@@ -5,13 +5,17 @@
 # golden diagnostics), the simulator conformance harness (closed-form
 # queueing theory cross-check + per-run invariant audit of every Fig. 4
 # cell), the executor's determinism contract (fig4 --quick must be
-# byte-identical on stdout at --jobs 1 and --jobs 4), and an
-# observability smoke: the --trace / --json exports must be well-formed
-# JSON with the expected schema while auditing stays clean.
+# byte-identical on stdout at --jobs 1 and --jobs 4), an observability
+# smoke (the --trace / --json exports must be well-formed JSON with the
+# expected schema while auditing stays clean), and a resilience smoke:
+# a faulted sweep with conservation auditing armed must exit 0 with a
+# byte-identical RunReport at any job width.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-cargo build --release
+# --workspace: the root package doesn't depend on snicbench-bench, so a
+# bare `cargo build` would leave the ./target/release binaries below stale.
+cargo build --release --workspace
 cargo test -q
 cargo clippy --workspace -- -D warnings
 
@@ -58,9 +62,28 @@ echo "OK: byte-identical across job counts"
 
 jq -e '.traceEvents | length > 0' "$trace" > /dev/null \
   || { echo "FAIL: --trace output is not a Chrome trace" >&2; exit 1; }
-jq -e '.schema == "snicbench.run-report.v1" and (.runs | length > 0)' \
+jq -e '.schema == "snicbench.run-report.v2" and (.runs | length > 0)' \
   "$report" > /dev/null \
-  || { echo "FAIL: --json output is not a v1 RunReport" >&2; exit 1; }
+  || { echo "FAIL: --json output is not a v2 RunReport" >&2; exit 1; }
 jq -e '[.runs[].conformance.clean] | all' "$report" > /dev/null \
   || { echo "FAIL: RunReport records a conformance violation" >&2; exit 1; }
-echo "OK: trace + RunReport parse, schema v1, audit clean"
+echo "OK: trace + RunReport parse, schema v2, audit clean"
+
+echo "==== resilience smoke: faults on, audit on, deterministic ===="
+# A faulted sweep with conservation auditing armed must finish cleanly,
+# and its full JSON artifact must be byte-identical at any job width.
+res1=$(mktemp)
+res4=$(mktemp)
+trap 'rm -f "$out1" "$out4" "$trace" "$report" "$res1" "$res4"' EXIT
+./target/release/resilience --quick --audit --jobs 1 --json "$res1" > /dev/null 2>&1
+./target/release/resilience --quick --audit --jobs 4 --json "$res4" > /dev/null 2>&1
+if ! diff -u "$res1" "$res4"; then
+  echo "FAIL: resilience RunReport differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+jq -e '.schema == "snicbench.run-report.v2" and (.failed_jobs | length == 0)' \
+  "$res1" > /dev/null \
+  || { echo "FAIL: resilience RunReport malformed or has failed jobs" >&2; exit 1; }
+jq -e '[.results[] | select(.intensity > 0)] | length > 0' "$res1" > /dev/null \
+  || { echo "FAIL: resilience report has no faulted cells" >&2; exit 1; }
+echo "OK: resilience smoke clean, byte-identical across job counts"
