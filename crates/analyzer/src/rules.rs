@@ -14,6 +14,7 @@
 //! | `handrolled-cli` | CLI uniformity | `bench` outside `bench::cli` |
 //! | `float-cast-in-time` | overflow/precision in timing bins | `sim::time`, `metrics::histogram` |
 //! | `unseeded-jitter` | replayable fault/backoff randomness | `sim`, `core`, `functions`, `net`, `power`, `hw` |
+//! | `alloc-in-hot-path` | the engine's allocation-free dispatch invariant | `sim::{engine,event,station}` |
 
 use crate::lexer::{Tok, TokKind};
 
@@ -52,7 +53,7 @@ pub fn all() -> &'static [Rule] {
     &RULES
 }
 
-/// The lint names `allow` directives may reference (the six rules; the
+/// The lint names `allow` directives may reference (the seven rules; the
 /// two engine-level lints cannot be suppressed).
 pub fn known_lints() -> Vec<&'static str> {
     RULES.iter().map(|r| r.name).collect()
@@ -76,7 +77,7 @@ fn under_any(path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| path.starts_with(p))
 }
 
-static RULES: [Rule; 6] = [
+static RULES: [Rule; 7] = [
     Rule {
         name: "wall-clock-in-sim",
         brief: "forbid Instant::now / SystemTime: simulated time must come from SimTime",
@@ -135,6 +136,21 @@ static RULES: [Rule; 6] = [
         skip_test_code: true,
         applies: |p| under_any(p, LIB_CRATES),
         check: check_unseeded,
+    },
+    Rule {
+        name: "alloc-in-hot-path",
+        brief: "forbid Box::new / vec! / .to_string() in the engine dispatch and station service paths",
+        suggestion: "keep the per-event path allocation-free: use typed events \
+                     (schedule_event_at / submit_tagged) or the arena; genuinely cold setup \
+                     code may annotate with `// snicbench: allow(alloc-in-hot-path, \"...\")`",
+        scope: "crates/sim/src/{engine,event,station}.rs",
+        skip_test_code: true,
+        applies: |p| {
+            p == "crates/sim/src/engine.rs"
+                || p == "crates/sim/src/event.rs"
+                || p == "crates/sim/src/station.rs"
+        },
+        check: check_alloc_hot_path,
     },
 ];
 
@@ -273,6 +289,45 @@ fn check_unseeded(toks: &[Tok]) -> Vec<RawFinding> {
     out
 }
 
+/// Allocation in the engine's per-event path: `Box :: new` chains,
+/// `vec !` invocations, and `. to_string ( )` calls.
+fn check_alloc_hot_path(toks: &[Tok]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("Box")
+            && matches!(toks.get(i + 1), Some(c) if c.is_punct(':'))
+            && matches!(toks.get(i + 2), Some(c) if c.is_punct(':'))
+            && matches!(toks.get(i + 3), Some(n) if n.is_ident("new"))
+        {
+            out.push(RawFinding {
+                line: t.line,
+                col: t.col,
+                message: "Box::new allocates per event in the engine hot path".into(),
+            });
+        }
+        if t.is_ident("vec") && matches!(toks.get(i + 1), Some(b) if b.is_punct('!')) {
+            out.push(RawFinding {
+                line: t.line,
+                col: t.col,
+                message: "vec! allocates per event in the engine hot path".into(),
+            });
+        }
+        if t.is_punct('.')
+            && matches!(toks.get(i + 1), Some(m) if m.is_ident("to_string"))
+            && matches!(toks.get(i + 2), Some(p) if p.is_punct('('))
+            && matches!(toks.get(i + 3), Some(p) if p.is_punct(')'))
+        {
+            let m = &toks[i + 1];
+            out.push(RawFinding {
+                line: m.line,
+                col: m.col,
+                message: ".to_string() allocates per event in the engine hot path".into(),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,6 +379,26 @@ mod tests {
         assert_eq!(check_unseeded(&lex("let j: f64 = rand::random();")).len(), 1);
         assert!(check_unseeded(&lex("let mut rng = Rng::new(seed ^ 0xFA17);")).is_empty());
         assert!(check_unseeded(&lex("let rand = 3; rand.random")).is_empty());
+    }
+
+    #[test]
+    fn alloc_matches_the_three_allocators() {
+        assert_eq!(check_alloc_hot_path(&lex("Box::new(|| {})")).len(), 1);
+        assert_eq!(check_alloc_hot_path(&lex("let v = vec![1, 2];")).len(), 1);
+        assert_eq!(check_alloc_hot_path(&lex("name.to_string()")).len(), 1);
+        assert!(check_alloc_hot_path(&lex("Vec::new()")).is_empty());
+        assert!(check_alloc_hot_path(&lex("x.to_string_lossy()")).is_empty());
+        assert!(check_alloc_hot_path(&lex("let boxed = 3; boxed.new")).is_empty());
+    }
+
+    #[test]
+    fn alloc_scope_is_the_engine_triplet() {
+        let r = RULES.iter().find(|r| r.name == "alloc-in-hot-path").expect("rule exists");
+        assert!((r.applies)("crates/sim/src/engine.rs"));
+        assert!((r.applies)("crates/sim/src/event.rs"));
+        assert!((r.applies)("crates/sim/src/station.rs"));
+        assert!(!(r.applies)("crates/sim/src/dist.rs"));
+        assert!(!(r.applies)("crates/core/src/runner.rs"));
     }
 
     #[test]

@@ -3,12 +3,16 @@
 //! how much simulated traffic the framework can push per wall-clock
 //! second (the practical limit on experiment sizes).
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use snicbench_core::benchmark::Workload;
 use snicbench_core::runner::{run, OfferedLoad, RunConfig};
 use snicbench_hw::ExecutionPlatform;
 use snicbench_net::PacketSize;
-use snicbench_sim::station::StationHandle;
+use snicbench_sim::engine::{EventHandler, EventToken};
+use snicbench_sim::station::{Completion, CompletionHandler, StationHandle};
 use snicbench_sim::{SimDuration, Simulator};
 
 fn bench_event_loop(c: &mut Criterion) {
@@ -27,6 +31,33 @@ fn bench_event_loop(c: &mut Criterion) {
                 }
             }
             sim.schedule_in(SimDuration::ZERO, move |sim| tick(sim, EVENTS));
+            sim.run();
+            sim.events_executed()
+        })
+    });
+    // The same chain through the allocation-free typed path: the token
+    // carries the countdown and the handler reschedules itself via a
+    // weak self-reference, so steady state allocates nothing per event.
+    group.bench_function("schedule-execute-chain-typed", |b| {
+        struct Tick {
+            me: std::cell::RefCell<std::rc::Weak<Tick>>,
+        }
+        impl EventHandler for Tick {
+            fn on_event(&self, sim: &mut Simulator, token: EventToken) {
+                if token.a > 0 {
+                    let next = EventToken { a: token.a - 1, b: 0 };
+                    let me = self.me.borrow().upgrade().expect("handler outlives the run");
+                    sim.schedule_event_in(SimDuration::from_nanos(10), me, next);
+                }
+            }
+        }
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            let tick = Rc::new(Tick {
+                me: std::cell::RefCell::new(std::rc::Weak::new()),
+            });
+            *tick.me.borrow_mut() = Rc::downgrade(&tick);
+            sim.schedule_event_in(SimDuration::ZERO, tick, EventToken { a: EVENTS, b: 0 });
             sim.run();
             sim.events_executed()
         })
@@ -54,6 +85,41 @@ fn bench_station(c: &mut Criterion) {
             }
             sim.run();
             station.stats().completions
+        })
+    });
+    // The same M/M/8 through tagged submission: jobs carry two token
+    // words instead of a boxed continuation, and one shared handler
+    // observes every completion.
+    group.bench_function("8-server-mm8-tagged", |b| {
+        struct Count(Cell<u64>);
+        impl CompletionHandler for Count {
+            fn on_complete(&self, _sim: &mut Simulator, _done: Completion, _a: u64, _b: u64) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        struct Feeder {
+            station: StationHandle,
+        }
+        impl EventHandler for Feeder {
+            fn on_event(&self, sim: &mut Simulator, token: EventToken) {
+                self.station
+                    .submit_tagged(sim, SimDuration::from_nanos(800), token.a, 0);
+            }
+        }
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            let station = StationHandle::new("cpu", 8, Some(4096));
+            let count = Rc::new(Count(Cell::new(0)));
+            station.set_completion_handler(count.clone());
+            let feeder: Rc<dyn EventHandler> = Rc::new(Feeder {
+                station: station.clone(),
+            });
+            for i in 0..JOBS {
+                let at = snicbench_sim::SimTime::from_nanos(i * 120);
+                sim.schedule_event_at(at, feeder.clone(), EventToken { a: i, b: 0 });
+            }
+            sim.run();
+            count.0.get()
         })
     });
     group.finish();

@@ -1,0 +1,350 @@
+//! Engine throughput benchmark: events/sec on an M/M/c churn workload
+//! plus the Fig. 4 quick pipeline, written to `BENCH_engine.json`.
+//!
+//! ```text
+//! cargo run --release -p snicbench-bench --bin bench_engine -- --label after
+//! cargo run --release -p snicbench-bench --bin bench_engine -- --quick
+//! ```
+//!
+//! The churn workload drives one c-server station with Poisson arrivals,
+//! exponential service, and a per-job timeout timer that completions
+//! cancel — so every job exercises schedule, dispatch, *and* O(1) cancel.
+//! Full mode appends a labelled measurement to the `trajectory` array of
+//! any existing `BENCH_engine.json`, preserving the committed
+//! before/after history of the engine rewrite. `--quick` is the tier-1
+//! smoke: it validates the committed file's schema and fails (exit 1)
+//! when the measured events/sec regresses more than 20% against the
+//! committed baseline.
+
+use std::cell::{Cell, RefCell};
+use std::rc::{Rc, Weak};
+use std::time::Instant;
+
+use snicbench_bench::cli::Cli;
+use snicbench_core::executor::Executor;
+use snicbench_core::experiment::Scenario;
+use snicbench_core::json::Json;
+use snicbench_core::telemetry::RunContext;
+use snicbench_sim::dist::{Distribution, Exponential};
+use snicbench_sim::engine::{EventHandler, EventToken, Simulator};
+use snicbench_sim::event::EventId;
+use snicbench_sim::rng::{DrawStream, Rng};
+use snicbench_sim::station::{Completion, CompletionHandler, StationHandle};
+use snicbench_sim::SimDuration;
+
+/// Servers in the churn station (M/M/c with c = 8).
+const CHURN_SERVERS: usize = 8;
+/// Queue bound of the churn station.
+const CHURN_QUEUE: usize = 64;
+/// Mean service demand, nanoseconds.
+const CHURN_SERVICE_NS: f64 = 6_400.0;
+/// Mean arrival gap, nanoseconds (utilization ~0.9 at c = 8).
+const CHURN_GAP_NS: f64 = 900.0;
+/// Per-job timeout armed at dispatch and cancelled at completion.
+const CHURN_TIMEOUT: SimDuration = SimDuration::from_micros(500);
+
+/// One churn measurement.
+struct Churn {
+    arrivals: u64,
+    completions: u64,
+    events: u64,
+    cancels: u64,
+    wall_ms: f64,
+    events_per_sec: f64,
+}
+
+/// The timeout target: armed per job, cancelled by the completion. A
+/// fired timer is a no-op — the benchmark measures schedule/cancel
+/// churn, not timeout policy.
+struct TimeoutSink;
+
+impl EventHandler for TimeoutSink {
+    fn on_event(&self, _sim: &mut Simulator, _token: EventToken) {}
+}
+
+/// The churn driver: one typed handler is both the arrival process
+/// (via [`EventHandler`]) and the station's completion callback (via
+/// [`CompletionHandler`]). Steady state allocates nothing per job —
+/// arrivals, timers, departures, and completions all ride typed events
+/// and tagged jobs; the armed timer's [`EventId`] travels packed in the
+/// job's first token word.
+struct ChurnDriver {
+    me: RefCell<Weak<ChurnDriver>>,
+    station: StationHandle,
+    service: Exponential,
+    gap: Exponential,
+    rng: RefCell<DrawStream>,
+    timeout_sink: Rc<TimeoutSink>,
+    completions: Cell<u64>,
+    cancels: Cell<u64>,
+    left: Cell<u64>,
+}
+
+impl EventHandler for ChurnDriver {
+    fn on_event(&self, sim: &mut Simulator, _token: EventToken) {
+        if self.left.get() == 0 {
+            return;
+        }
+        self.left.set(self.left.get() - 1);
+        let (demand, gap) = {
+            let mut rng = self.rng.borrow_mut();
+            (
+                SimDuration::from_nanos(self.service.sample_stream(&mut rng).round() as u64),
+                SimDuration::from_nanos(self.gap.sample_stream(&mut rng).round() as u64)
+                    .max(SimDuration::from_nanos(1)),
+            )
+        };
+        // Arm a timeout that the completion cancels: every job exercises
+        // the queue's cancel path as well as push/pop.
+        let timer = sim.schedule_event_in(CHURN_TIMEOUT, self.timeout_sink.clone(), EventToken::ZERO);
+        self.station.submit_tagged(sim, demand, timer.to_bits(), 0);
+        let me = self.me.borrow().upgrade().expect("driver outlives the run");
+        sim.schedule_event_in(gap, me, EventToken::ZERO);
+    }
+}
+
+impl CompletionHandler for ChurnDriver {
+    fn on_complete(&self, sim: &mut Simulator, _done: Completion, a: u64, _b: u64) {
+        self.completions.set(self.completions.get() + 1);
+        if sim.cancel(EventId::from_bits(a)) {
+            self.cancels.set(self.cancels.get() + 1);
+        }
+    }
+}
+
+/// Drives `arrivals` jobs through the M/M/c churn station and reports
+/// engine throughput as executed-events per wall-clock second.
+fn run_churn(seed: u64, arrivals: u64) -> Churn {
+    let started = Instant::now(); // snicbench: allow(wall-clock-in-sim, "this bin measures the engine's real events/sec, not simulated time")
+    let mut sim = Simulator::new();
+    let station = StationHandle::new("churn", CHURN_SERVERS, Some(CHURN_QUEUE));
+    let driver = Rc::new(ChurnDriver {
+        me: RefCell::new(Weak::new()),
+        station: station.clone(),
+        service: Exponential::with_mean(CHURN_SERVICE_NS),
+        gap: Exponential::with_mean(CHURN_GAP_NS),
+        rng: RefCell::new(DrawStream::new(Rng::new(seed))),
+        timeout_sink: Rc::new(TimeoutSink),
+        completions: Cell::new(0),
+        cancels: Cell::new(0),
+        left: Cell::new(arrivals),
+    });
+    *driver.me.borrow_mut() = Rc::downgrade(&driver);
+    station.set_completion_handler(driver.clone());
+    sim.schedule_event_in(SimDuration::ZERO, driver.clone(), EventToken::ZERO);
+    sim.run();
+
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let events = sim.events_executed();
+    Churn {
+        arrivals,
+        completions: driver.completions.get(),
+        events,
+        cancels: driver.cancels.get(),
+        wall_ms,
+        events_per_sec: events as f64 / (wall_ms / 1e3).max(1e-9),
+    }
+}
+
+/// Wall-clock of the Fig. 4 quick matrix on the serial executor.
+fn run_fig4_quick() -> f64 {
+    let t = Instant::now(); // snicbench: allow(wall-clock-in-sim, "this bin measures the engine's real events/sec, not simulated time")
+    let _rows = Scenario::fig4()
+        .quick()
+        .run_with(&RunContext::disabled(), &Executor::serial());
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Pulls `trajectory` entries (minus any with `label`) out of a
+/// previously committed `BENCH_engine.json`.
+fn prior_trajectory(path: &str, label: &str) -> Vec<Json> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = Json::parse(&text) else {
+        eprintln!("# bench_engine: ignoring unparseable {path}");
+        return Vec::new();
+    };
+    match doc.get("trajectory") {
+        Some(Json::Arr(entries)) => entries
+            .iter()
+            .filter(|e| match e.get("label") {
+                Some(Json::Str(l)) => l != label,
+                _ => true,
+            })
+            .cloned()
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// The committed events/sec baseline: the last trajectory entry.
+fn committed_events_per_sec(path: &str) -> Option<f64> {
+    let doc = Json::parse(&std::fs::read_to_string(path).ok()?).ok()?;
+    let entries = match doc.get("trajectory") {
+        Some(Json::Arr(entries)) => entries.clone(),
+        _ => return None,
+    };
+    match entries.last()?.get("churn_events_per_sec") {
+        Some(Json::Num(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args = Cli::new(
+        "bench_engine",
+        "Measures engine throughput (events/sec) on an M/M/c churn workload plus\n\
+         the Fig. 4 quick pipeline, maintaining the committed BENCH_engine.json\n\
+         trajectory. --quick is the tier-1 smoke: schema check plus a >20%\n\
+         regression gate against the committed baseline.",
+    )
+    .opt("--label", "NAME", "trajectory label for this measurement (default: current)")
+    .opt("--out", "PATH", "where to write the benchmark JSON (default: BENCH_engine.json)")
+    .opt(
+        "--baseline",
+        "PATH",
+        "committed file for the trajectory and the --quick regression gate (default: --out)",
+    )
+    .parse();
+    if args.list {
+        println!(
+            "bench_engine workloads:\n  \
+             1. mmc_churn   (M/M/{CHURN_SERVERS} station, Poisson arrivals, per-job timeout cancel)\n  \
+             2. fig4_quick  (the Fig. 4 quick matrix, serial executor)\n\
+             Full mode appends to the BENCH_engine.json trajectory; --quick\n\
+             validates the schema and gates on >20% events/sec regression."
+        );
+        return;
+    }
+    let label = args.opt("--label").unwrap_or("current").to_string();
+    let out = args.opt("--out").unwrap_or("BENCH_engine.json").to_string();
+    let baseline = args.opt("--baseline").unwrap_or(&out).to_string();
+    let ctx = args.context();
+
+    if args.quick {
+        // Tier-1 smoke: schema-check the committed file, then gate on a
+        // cheap churn measurement (best of 5 to shrug off CI noise;
+        // short runs under-read throughput, so the run is long enough
+        // for the slab and wheel to warm up).
+        let text = match std::fs::read_to_string(&baseline) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench_engine: reading {baseline}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("bench_engine: {baseline} is not valid JSON: {e:?}");
+                std::process::exit(1);
+            }
+        };
+        let mut bad = Vec::new();
+        for key in ["schema", "host_parallelism", "churn", "fig4_quick_wall_ms", "trajectory"] {
+            if doc.get(key).is_none() {
+                bad.push(key);
+            }
+        }
+        if !matches!(doc.get("schema"), Some(Json::Str(s)) if s == "snicbench.bench_engine.v1") {
+            bad.push("schema-version");
+        }
+        if !bad.is_empty() {
+            eprintln!("bench_engine: {baseline} fails schema check: missing/invalid {bad:?}");
+            std::process::exit(1);
+        }
+        let committed = match committed_events_per_sec(&baseline) {
+            Some(n) if n > 0.0 => n,
+            _ => {
+                eprintln!("bench_engine: {baseline} has no committed churn_events_per_sec");
+                std::process::exit(1);
+            }
+        };
+        let best = (0..5)
+            .map(|round| run_churn(0xC0FFEE + round, 200_000).events_per_sec)
+            .fold(0.0f64, f64::max);
+        let ratio = best / committed;
+        println!(
+            "bench_engine --quick: measured {best:.0} events/sec vs committed {committed:.0} (ratio {ratio:.2})"
+        );
+        if ratio < 0.8 {
+            eprintln!(
+                "bench_engine: events/sec regressed >20% vs the committed baseline ({ratio:.2}x)"
+            );
+            std::process::exit(1);
+        }
+        args.write_outputs(
+            "bench_engine",
+            Json::obj([
+                ("mode", Json::Str("quick".into())),
+                ("measured_events_per_sec", Json::Num(best)),
+                ("committed_events_per_sec", Json::Num(committed)),
+                ("ratio", Json::Num(ratio)),
+            ]),
+            &ctx,
+        );
+        return;
+    }
+
+    eprintln!("# bench_engine: churn (M/M/{CHURN_SERVERS}, 1M arrivals, best of 3)...");
+    // Best of three: wall-clock benchmarks on shared hosts measure the
+    // engine plus whatever else the machine is doing; the fastest run is
+    // the closest estimate of the engine itself.
+    let churn = (0..3)
+        .map(|round| run_churn(0xC0FFEE + round, 1_000_000))
+        .max_by(|a, b| {
+            a.events_per_sec
+                .partial_cmp(&b.events_per_sec)
+                .expect("events/sec is finite")
+        })
+        .expect("three rounds ran");
+    eprintln!("# bench_engine: fig4 quick (serial)...");
+    let fig4_ms = run_fig4_quick();
+
+    let entry = Json::obj([
+        ("label", Json::Str(label.clone())),
+        ("churn_events_per_sec", Json::Num(churn.events_per_sec)),
+        ("churn_wall_ms", Json::Num(churn.wall_ms)),
+        ("fig4_quick_wall_ms", Json::Num(fig4_ms)),
+    ]);
+    let mut trajectory = prior_trajectory(&baseline, &label);
+    trajectory.push(entry);
+
+    let doc = Json::obj([
+        ("schema", Json::Str("snicbench.bench_engine.v1".into())),
+        (
+            "host_parallelism",
+            Json::Num(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as f64),
+        ),
+        (
+            "churn",
+            Json::obj([
+                ("servers", Json::Num(CHURN_SERVERS as f64)),
+                ("arrivals", Json::Num(churn.arrivals as f64)),
+                ("completions", Json::Num(churn.completions as f64)),
+                ("events", Json::Num(churn.events as f64)),
+                ("timer_cancels", Json::Num(churn.cancels as f64)),
+                ("wall_ms", Json::Num(churn.wall_ms)),
+                ("events_per_sec", Json::Num(churn.events_per_sec)),
+            ]),
+        ),
+        ("fig4_quick_wall_ms", Json::Num(fig4_ms)),
+        ("trajectory", Json::Arr(trajectory)),
+    ]);
+    let text = doc.to_pretty();
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("bench_engine: writing {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("{text}");
+    args.write_outputs(
+        "bench_engine",
+        Json::obj([
+            ("label", Json::Str(label)),
+            ("churn_events_per_sec", Json::Num(churn.events_per_sec)),
+            ("fig4_quick_wall_ms", Json::Num(fig4_ms)),
+        ]),
+        &ctx,
+    );
+}

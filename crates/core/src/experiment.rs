@@ -637,12 +637,14 @@ impl<S: ExperimentSpec> Scenario<S> {
     }
 }
 
-/// Spec for the full Fig. 4 matrix (29 workload configurations). Cells
-/// fan out over the executor; each cell runs its searches serially inside
-/// its worker (the matrix has far more cells than cores, so cell-level
-/// fan-out already saturates the pool without nesting thread scopes). Row
-/// order — and every number in every row — is identical to the serial
-/// path.
+/// Spec for the full Fig. 4 matrix (29 workload configurations). The
+/// matrix is flattened into one work unit per **operating-point search**
+/// — `(workload, host)` and `(workload, snic-side)` fan out separately —
+/// so the pool stays balanced at high job counts: the straggler that
+/// ends a wave is one search, not a whole row's pair of searches. Each
+/// search runs serially inside its worker; the cheap power measurements
+/// reassemble rows after the barrier. Row order — and every number in
+/// every row — is identical to the serial path.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig4Spec;
 
@@ -650,9 +652,38 @@ impl ExperimentSpec for Fig4Spec {
     type Output = Vec<ComparisonRow>;
 
     fn execute(&self, budget: SearchBudget, executor: &Executor, ctx: &RunContext) -> Self::Output {
-        executor.map(Workload::figure4_set(), |w| {
-            compare_in(w, budget, &Executor::serial(), ctx)
-        })
+        let workloads = Workload::figure4_set();
+        let units: Vec<(Workload, ExecutionPlatform)> = workloads
+            .iter()
+            .flat_map(|&w| [(w, ExecutionPlatform::HostCpu), (w, snic_side(w))])
+            .collect();
+        let mut points = executor
+            .map(units, |(w, p)| {
+                find_operating_point_in(w, p, budget, &Executor::serial(), ctx)
+            })
+            .into_iter();
+        workloads
+            .into_iter()
+            .map(|workload| {
+                let host = points.next().expect("two points per workload");
+                let snic = points.next().expect("two points per workload");
+                let snic_platform = snic.platform;
+                let window = SimDuration::from_secs(60);
+                let host_scope = ctx.scope(scope_label(workload, ExecutionPlatform::HostCpu));
+                let snic_scope = ctx.scope(scope_label(workload, snic_platform));
+                let host_power = measure_power_in(&host, window, budget.seed, &host_scope);
+                let snic_power =
+                    measure_power_in(&snic, window, budget.seed.wrapping_add(7), &snic_scope);
+                ComparisonRow {
+                    workload,
+                    snic_platform,
+                    host,
+                    snic,
+                    host_power,
+                    snic_power,
+                }
+            })
+            .collect()
     }
 }
 

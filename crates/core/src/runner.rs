@@ -29,8 +29,8 @@ use snicbench_net::trace::RateTrace;
 use snicbench_net::traffic::{ArrivalKind, OpenLoop, SizeSource};
 use snicbench_sim::dist::{Distribution, LogNormal};
 use snicbench_sim::fault::{self, FaultPlan};
-use snicbench_sim::rng::Rng;
-use snicbench_sim::station::{Admission, StationHandle};
+use snicbench_sim::rng::{DrawStream, Rng};
+use snicbench_sim::station::{Admission, Completion, CompletionHandler, StationHandle};
 use snicbench_sim::trace::{StationId, TraceKind};
 use snicbench_sim::{SimDuration, SimTime, Simulator};
 
@@ -224,12 +224,21 @@ pub fn run_in(config: &RunConfig, scope: &RunScope) -> RunMetrics {
     let histogram = Rc::new(RefCell::new(LatencyHistogram::new()));
     let counters = Rc::new(RefCell::new((0u64, 0u64, 0u64))); // sent, completed, dropped
     let tally = Rc::new(RefCell::new(FaultTally::default()));
-    let service_rng = Rc::new(RefCell::new(Rng::new(config.seed ^ 0x5E41)));
+    let service_rng = Rc::new(RefCell::new(DrawStream::new(Rng::new(config.seed ^ 0x5E41))));
     // Fault-path randomness (loss coins, backoff jitter) draws from its own
     // stream: a healthy run never touches it, so fault support leaves every
     // existing seed's results untouched.
     let fault_rng = Rc::new(RefCell::new(Rng::new(config.seed ^ 0xFA17)));
     let warmup_at = SimTime::ZERO + config.warmup;
+
+    let completion = Rc::new(PathCompletion {
+        histogram: histogram.clone(),
+        counters: counters.clone(),
+        breakers: breakers.clone(),
+    });
+    for path in paths.iter() {
+        path.station.set_completion_handler(completion.clone());
+    }
 
     let dispatch_cell: DispatchCell = Rc::new(RefCell::new(None));
     let retry_ctx = Rc::new(RetryCtx {
@@ -247,8 +256,6 @@ pub fn run_in(config: &RunConfig, scope: &RunScope) -> RunMetrics {
         let tally = tally.clone();
         let fault_rng = fault_rng.clone();
         let service_rng = service_rng.clone();
-        let counters = counters.clone();
-        let histogram = histogram.clone();
         let retry_ctx = retry_ctx.clone();
         let dispatch: Rc<DispatchFn> = Rc::new(move |sim, created, measured, attempt| {
             let now = sim.now();
@@ -312,7 +319,7 @@ pub fn run_in(config: &RunConfig, scope: &RunScope) -> RunMetrics {
             };
             let demand = {
                 let mut rng = service_rng.borrow_mut();
-                SimDuration::from_secs_f64(path.dist.sample(&mut rng).max(1.0) * 1e-9 * slowdown)
+                SimDuration::from_secs_f64(path.dist.sample_stream(&mut rng).max(1.0) * 1e-9 * slowdown)
             };
             // A degraded PCIe link stretches the accelerator's staging DMA
             // in both directions.
@@ -323,24 +330,18 @@ pub fn run_in(config: &RunConfig, scope: &RunScope) -> RunMetrics {
                 SimDuration::ZERO
             };
             let fixed_rt = path.fixed_rt + pcie_extra;
-            let histogram = histogram.clone();
-            let completion_counters = counters.clone();
-            let completion_breakers = breakers.clone();
             // Completions are attributed to the measurement window by
             // *arrival* time: a request arriving during warmup never counts,
             // even if it finishes after the boundary, so
-            // `completed + dropped <= sent` holds by construction.
-            let admission = path.station.submit(sim, demand, move |_, completion| {
-                let rtt = completion.finished.duration_since(created) + fixed_rt;
-                if let Some(b) = &completion_breakers {
-                    b[idx].borrow_mut().record_success();
-                }
-                if measured {
-                    let mut c = completion_counters.borrow_mut();
-                    c.1 += 1;
-                    histogram.borrow_mut().record(rtt.as_nanos());
-                }
-            });
+            // `completed + dropped <= sent` holds by construction. The
+            // completion context rides in the tagged-submit token; the
+            // stations share one PathCompletion handler per run.
+            debug_assert!(idx < 8, "token packs the rung index in 3 bits");
+            debug_assert!(fixed_rt.as_nanos() < (1 << 60), "fixed_rt fits in 60 bits");
+            let token_b = (fixed_rt.as_nanos() << 4) | ((idx as u64) << 1) | u64::from(measured);
+            let admission = path
+                .station
+                .submit_tagged(sim, demand, created.as_nanos(), token_b);
             if admission == Admission::Dropped {
                 if measured {
                     tally.borrow_mut().queue_rejections += 1;
@@ -575,6 +576,37 @@ fn build_path(
 /// the run to break the self-reference.
 type DispatchFn = dyn Fn(&mut Simulator, SimTime, bool, u32);
 type DispatchCell = Rc<RefCell<Option<Rc<DispatchFn>>>>;
+
+/// The shared completion callback for every rung's station: one instance
+/// per run, installed via [`StationHandle::set_completion_handler`], so a
+/// request in flight is 16 bytes of token in the station arena instead of
+/// a boxed closure.
+///
+/// Token layout: `a` is the request's creation instant in nanoseconds;
+/// `b` packs `fixed_rt_ns << 4 | rung_idx << 1 | measured`.
+struct PathCompletion {
+    histogram: Rc<RefCell<LatencyHistogram>>,
+    counters: Rc<RefCell<(u64, u64, u64)>>,
+    breakers: Option<Rc<Vec<RefCell<CircuitBreaker>>>>,
+}
+
+impl CompletionHandler for PathCompletion {
+    fn on_complete(&self, _sim: &mut Simulator, done: Completion, a: u64, b: u64) {
+        let created = SimTime::from_nanos(a);
+        let fixed_rt = SimDuration::from_nanos(b >> 4);
+        let idx = ((b >> 1) & 0x7) as usize;
+        let measured = (b & 1) == 1;
+        let rtt = done.finished.duration_since(created) + fixed_rt;
+        if let Some(breakers) = &self.breakers {
+            breakers[idx].borrow_mut().record_success();
+        }
+        if measured {
+            let mut c = self.counters.borrow_mut();
+            c.1 += 1;
+            self.histogram.borrow_mut().record(rtt.as_nanos());
+        }
+    }
+}
 
 /// Everything the shared give-up-or-retry tail of the dispatcher needs.
 struct RetryCtx {

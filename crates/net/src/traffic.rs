@@ -9,11 +9,11 @@
 //! from a [`SizeSource`], and hands each packet to a sink callback.
 
 use std::cell::RefCell;
-use std::rc::Rc;
+use std::rc::{Rc, Weak};
 
 use snicbench_sim::dist::{Distribution, Empirical};
-use snicbench_sim::engine::Simulator;
-use snicbench_sim::rng::Rng;
+use snicbench_sim::engine::{EventHandler, EventToken, Simulator};
+use snicbench_sim::rng::{DrawStream, Rng};
 use snicbench_sim::{SimDuration, SimTime};
 
 use crate::packet::{Packet, PacketFactory};
@@ -39,10 +39,10 @@ pub enum SizeSource {
 }
 
 impl SizeSource {
-    fn sample(&self, rng: &mut Rng) -> u64 {
+    fn sample(&self, stream: &mut DrawStream) -> u64 {
         match self {
             SizeSource::Fixed(b) => *b,
-            SizeSource::Mix(dist) => dist.sample(rng).round().max(64.0) as u64,
+            SizeSource::Mix(dist) => dist.sample_stream(stream).round().max(64.0) as u64,
         }
     }
 
@@ -117,16 +117,20 @@ impl OpenLoop {
         F: FnMut(&mut Simulator, Packet) + 'static,
     {
         let stats = Rc::new(RefCell::new(GenStats::default()));
-        let state = Rc::new(RefCell::new(GenState {
-            config: self.clone(),
-            factory: PacketFactory::new(self.seed, self.flows),
-            rng: Rng::new(self.seed),
-            rate_pps: Box::new(rate_pps),
-            sink: Box::new(sink),
-            stats: stats.clone(),
-        }));
+        let handler = Rc::new(GenHandler {
+            me: RefCell::new(Weak::new()),
+            state: RefCell::new(GenState {
+                config: self.clone(),
+                factory: PacketFactory::new(self.seed, self.flows),
+                rng: DrawStream::new(Rng::new(self.seed)),
+                rate_pps: Box::new(rate_pps),
+                sink: Box::new(sink),
+                stats: stats.clone(),
+            }),
+        });
+        *handler.me.borrow_mut() = Rc::downgrade(&handler);
         let start = self.start;
-        schedule_next(sim, state, start);
+        handler.schedule(sim, start);
         stats
     }
 }
@@ -203,62 +207,77 @@ type PacketSink = Box<dyn FnMut(&mut Simulator, Packet)>;
 struct GenState {
     config: OpenLoop,
     factory: PacketFactory,
-    rng: Rng,
+    rng: DrawStream,
     rate_pps: Box<dyn Fn(SimTime) -> f64>,
     sink: PacketSink,
     stats: Rc<RefCell<GenStats>>,
 }
 
-fn schedule_next(sim: &mut Simulator, state: Rc<RefCell<GenState>>, at: SimTime) {
-    if at >= state.borrow().config.stop {
-        return;
-    }
-    sim.schedule_at(at, move |sim| emit(sim, state));
+/// The generator as a typed event handler: each departure is a
+/// [`Simulator::schedule_event_at`] notification (an `Rc` clone), so the
+/// steady-state emit loop never boxes a closure.
+struct GenHandler {
+    /// Weak self-reference so `on_event` can reschedule itself.
+    me: RefCell<Weak<GenHandler>>,
+    state: RefCell<GenState>,
 }
 
-fn emit(sim: &mut Simulator, state: Rc<RefCell<GenState>>) {
-    let now = sim.now();
-    let next_at = {
-        let mut st = state.borrow_mut();
-        let rate = (st.rate_pps)(now);
-        if rate <= 0.0 {
-            // Paused: poll again in a millisecond without emitting.
-            Some(now + SimDuration::from_millis(1))
-        } else {
-            let size = {
-                let size_src = st.config.size.clone();
-                size_src.sample(&mut st.rng)
-            };
-            let packet = st.factory.create(size, now);
-            {
-                let mut s = st.stats.borrow_mut();
-                s.sent += 1;
-                s.bytes += packet.size_bytes;
-            }
-            let gap = match st.config.arrival {
-                ArrivalKind::Paced => SimDuration::from_secs_f64(1.0 / rate),
-                ArrivalKind::Poisson => {
-                    let mean = 1.0 / rate;
-                    SimDuration::from_secs_f64(-mean * (1.0 - st.rng.next_f64()).ln())
-                }
-            };
-            // Deliver outside the borrow.
-            drop(st);
-            let packet_to_send = packet;
-            let mut sink_guard = state.borrow_mut();
-            // Temporarily move the sink out to call it with &mut Simulator.
-            let mut sink = std::mem::replace(
-                &mut sink_guard.sink,
-                Box::new(|_: &mut Simulator, _: Packet| {}),
-            );
-            drop(sink_guard);
-            sink(sim, packet_to_send);
-            state.borrow_mut().sink = sink;
-            Some(now + gap.max(SimDuration::from_nanos(1)))
+impl GenHandler {
+    fn schedule(&self, sim: &mut Simulator, at: SimTime) {
+        if at >= self.state.borrow().config.stop {
+            return;
         }
-    };
-    if let Some(at) = next_at {
-        schedule_next(sim, state, at);
+        let me = self.me.borrow().upgrade().expect("generator is alive");
+        sim.schedule_event_at(at, me, EventToken::ZERO);
+    }
+}
+
+impl EventHandler for GenHandler {
+    fn on_event(&self, sim: &mut Simulator, _token: EventToken) {
+        let now = sim.now();
+        let next_at = {
+            let mut st = self.state.borrow_mut();
+            let rate = (st.rate_pps)(now);
+            if rate <= 0.0 {
+                // Paused: poll again in a millisecond without emitting.
+                Some(now + SimDuration::from_millis(1))
+            } else {
+                let size = {
+                    let size_src = st.config.size.clone();
+                    size_src.sample(&mut st.rng)
+                };
+                let packet = st.factory.create(size, now);
+                {
+                    let mut s = st.stats.borrow_mut();
+                    s.sent += 1;
+                    s.bytes += packet.size_bytes;
+                }
+                let gap = match st.config.arrival {
+                    ArrivalKind::Paced => SimDuration::from_secs_f64(1.0 / rate),
+                    ArrivalKind::Poisson => {
+                        let mean = 1.0 / rate;
+                        SimDuration::from_secs_f64(-mean * (1.0 - st.rng.next_f64()).ln())
+                    }
+                };
+                // Deliver outside the borrow: temporarily move the sink out
+                // to call it with `&mut Simulator`. The stand-in closure is
+                // zero-sized, so the swap does not allocate.
+                drop(st);
+                let packet_to_send = packet;
+                let mut sink_guard = self.state.borrow_mut();
+                let mut sink = std::mem::replace(
+                    &mut sink_guard.sink,
+                    Box::new(|_: &mut Simulator, _: Packet| {}),
+                );
+                drop(sink_guard);
+                sink(sim, packet_to_send);
+                self.state.borrow_mut().sink = sink;
+                Some(now + gap.max(SimDuration::from_nanos(1)))
+            }
+        };
+        if let Some(at) = next_at {
+            self.schedule(sim, at);
+        }
     }
 }
 

@@ -6,7 +6,7 @@
 //! models add lognormal jitter around calibrated means. Everything samples
 //! from the deterministic [`crate::rng::Rng`].
 
-use crate::rng::Rng;
+use crate::rng::{DrawStream, Rng};
 
 /// A distribution over non-negative `f64` values.
 ///
@@ -15,6 +15,14 @@ use crate::rng::Rng;
 pub trait Distribution: std::fmt::Debug {
     /// Draws one sample.
     fn sample(&self, rng: &mut Rng) -> f64;
+
+    /// Draws one sample from a batched [`DrawStream`].
+    ///
+    /// Implementations must consume the stream's raw `u64` draws in the
+    /// exact order and count that [`Distribution::sample`] would consume
+    /// them from a bare `Rng`, so a stream wrapping a generator yields
+    /// the byte-identical sample sequence.
+    fn sample_stream(&self, stream: &mut DrawStream) -> f64;
 
     /// The analytic mean of the distribution, if finite and known.
     fn mean(&self) -> Option<f64>;
@@ -43,6 +51,9 @@ impl Constant {
 
 impl Distribution for Constant {
     fn sample(&self, _rng: &mut Rng) -> f64 {
+        self.value
+    }
+    fn sample_stream(&self, _stream: &mut DrawStream) -> f64 {
         self.value
     }
     fn mean(&self) -> Option<f64> {
@@ -86,6 +97,9 @@ impl Distribution for Exponential {
     fn sample(&self, rng: &mut Rng) -> f64 {
         // Inverse CDF; 1 - U avoids ln(0).
         -self.mean * (1.0 - rng.next_f64()).ln()
+    }
+    fn sample_stream(&self, stream: &mut DrawStream) -> f64 {
+        -self.mean * (1.0 - stream.next_f64()).ln()
     }
     fn mean(&self) -> Option<f64> {
         Some(self.mean)
@@ -131,6 +145,13 @@ impl Distribution for LogNormal {
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         (self.mu + self.sigma * z).exp()
     }
+    fn sample_stream(&self, stream: &mut DrawStream) -> f64 {
+        // Box–Muller, same two-draw order as `sample`.
+        let u1 = 1.0 - stream.next_f64();
+        let u2 = stream.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
     fn mean(&self) -> Option<f64> {
         Some(self.mean)
     }
@@ -162,6 +183,9 @@ impl Pareto {
 impl Distribution for Pareto {
     fn sample(&self, rng: &mut Rng) -> f64 {
         self.scale / (1.0 - rng.next_f64()).powf(1.0 / self.shape)
+    }
+    fn sample_stream(&self, stream: &mut DrawStream) -> f64 {
+        self.scale / (1.0 - stream.next_f64()).powf(1.0 / self.shape)
     }
     fn mean(&self) -> Option<f64> {
         if self.shape > 1.0 {
@@ -220,6 +244,14 @@ impl Empirical {
 impl Distribution for Empirical {
     fn sample(&self, rng: &mut Rng) -> f64 {
         let u = rng.next_f64();
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.values.len() - 1);
+        self.values[idx]
+    }
+    fn sample_stream(&self, stream: &mut DrawStream) -> f64 {
+        let u = stream.next_f64();
         let idx = self
             .cumulative
             .partition_point(|&c| c <= u)
@@ -429,6 +461,31 @@ mod tests {
         let mut rng = Rng::new(12);
         for _ in 0..100 {
             assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn sample_stream_is_byte_identical_to_sample() {
+        let dists: Vec<Box<dyn Distribution>> = vec![
+            Box::new(Constant::new(3.5)),
+            Box::new(Exponential::with_mean(2.0)),
+            Box::new(LogNormal::with_mean_cv(10.0, 0.5)),
+            Box::new(Pareto::new(2.0, 3.0)),
+            Box::new(Empirical::new(&[(64.0, 1.0), (1500.0, 3.0)])),
+        ];
+        for (i, d) in dists.iter().enumerate() {
+            let mut rng = Rng::new(1000 + i as u64);
+            let mut stream = DrawStream::new(Rng::new(1000 + i as u64));
+            // Enough draws to cross the stream's refill boundary even
+            // for the zero-draw Constant case.
+            for k in 0..200 {
+                let a = d.sample(&mut rng);
+                let b = d.sample_stream(&mut stream);
+                assert!(
+                    a.to_bits() == b.to_bits(),
+                    "dist {i} draw {k}: {a} vs {b}"
+                );
+            }
         }
     }
 }

@@ -1,17 +1,75 @@
 //! The discrete-event simulation loop.
 //!
-//! [`Simulator`] owns the clock and the pending-event set. Model components
-//! schedule boxed closures at absolute or relative times; each closure
-//! receives `&mut Simulator` so it can schedule follow-on events. Shared
-//! model state lives in `Rc<RefCell<..>>` captured by the closures — the
-//! engine is deliberately single-threaded so runs stay deterministic.
+//! [`Simulator`] owns the clock and the pending-event set. The run loop
+//! pops [`Event`]s off the calendar queue and dispatches them through a
+//! single `match` (a jump table): typed variants for the hot paths —
+//! station departures, fault-window edges, recurring [`EventHandler`]
+//! notifications (traffic arrivals, timers) — plus a boxed-closure
+//! escape hatch ([`Event::Call`]) for cold setup paths. Typed events
+//! carry `Rc` handles and plain words, so scheduling one allocates
+//! nothing once the queue's slab is warm; only `Event::Call` boxes.
+//!
+//! Shared model state lives in `Rc<RefCell<..>>` captured by handlers —
+//! the engine is deliberately single-threaded so runs stay deterministic.
+
+use std::rc::Rc;
 
 use crate::event::{EventId, EventQueue};
+use crate::fault::{FaultKind, FaultState};
+use crate::station::StationHandle;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::TraceSink;
+use crate::trace::{StationId, TraceSink};
 
-/// A scheduled action.
-type Action = Box<dyn FnOnce(&mut Simulator)>;
+/// A recurring typed event's payload: two plain words whose meaning is
+/// private to the scheduling component (an index, a packed flag set, a
+/// nanosecond stamp, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventToken {
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+impl EventToken {
+    /// The all-zero token, for handlers that need no payload.
+    pub const ZERO: EventToken = EventToken { a: 0, b: 0 };
+}
+
+/// A component that receives typed events from the run loop.
+///
+/// Handlers are shared via `Rc`, so scheduling a recurring event clones
+/// a pointer instead of boxing a fresh closure — the allocation-free
+/// alternative to [`Simulator::schedule_at`] for hot paths.
+pub trait EventHandler {
+    /// Called by the run loop when a scheduled event fires.
+    fn on_event(&self, sim: &mut Simulator, token: EventToken);
+}
+
+/// A scheduled event, dispatched by the run loop's jump table.
+pub enum Event {
+    /// Boxed-closure escape hatch for cold setup paths (experiment
+    /// wiring, one-shot probes). Costs one allocation per event.
+    Call(Box<dyn FnOnce(&mut Simulator)>),
+    /// A typed notification to a shared handler (traffic arrivals,
+    /// timers, retry backoffs). Allocation-free.
+    Notify(Rc<dyn EventHandler>, EventToken),
+    /// A job finishing service at a station; the word is the station's
+    /// arena index for the job. Allocation-free.
+    Departure(StationHandle, u32),
+    /// A fault window opening (`begin`) or closing at a station-less
+    /// injector track. Allocation-free.
+    Fault {
+        /// The shared state the transition mutates.
+        state: Rc<std::cell::RefCell<FaultState>>,
+        /// Which fault the window carries.
+        kind: FaultKind,
+        /// The injector's trace track.
+        track: StationId,
+        /// Opening or closing edge.
+        begin: bool,
+    },
+}
 
 /// The reason a call to [`Simulator::run_until`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +109,7 @@ pub enum StopReason {
 /// ```
 pub struct Simulator {
     now: SimTime,
-    events: EventQueue<Action>,
+    events: EventQueue<Event>,
     executed: u64,
     stop_requested: bool,
     trace: TraceSink,
@@ -104,6 +162,10 @@ impl Simulator {
 
     /// Schedules `action` to run at the absolute instant `at`.
     ///
+    /// This is the boxed-closure escape hatch: it allocates, so hot
+    /// paths should use [`Simulator::schedule_event_at`] with a shared
+    /// [`EventHandler`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if `at` is in the past (before [`Simulator::now`]).
@@ -112,16 +174,54 @@ impl Simulator {
         F: FnOnce(&mut Simulator) + 'static,
     {
         assert!(at >= self.now, "cannot schedule into the past");
-        self.events.push(at, Box::new(action))
+        // snicbench: allow(alloc-in-hot-path, "the documented cold-path escape hatch: one-shot setup closures box by design")
+        self.events.push(at, Event::Call(Box::new(action)))
     }
 
-    /// Schedules `action` to run `after` from now.
+    /// Schedules `action` to run `after` from now (boxed-closure escape
+    /// hatch, like [`Simulator::schedule_at`]).
     pub fn schedule_in<F>(&mut self, after: SimDuration, action: F) -> EventId
     where
         F: FnOnce(&mut Simulator) + 'static,
     {
         let at = self.now.saturating_add(after);
-        self.events.push(at, Box::new(action))
+        // snicbench: allow(alloc-in-hot-path, "the documented cold-path escape hatch: one-shot setup closures box by design")
+        self.events.push(at, Event::Call(Box::new(action)))
+    }
+
+    /// Schedules a typed notification to `handler` at the absolute
+    /// instant `at` — the allocation-free hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before [`Simulator::now`]).
+    pub fn schedule_event_at(
+        &mut self,
+        at: SimTime,
+        handler: Rc<dyn EventHandler>,
+        token: EventToken,
+    ) -> EventId {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.events.push(at, Event::Notify(handler, token))
+    }
+
+    /// Schedules a typed notification to `handler` after `after` from
+    /// now — the allocation-free hot path.
+    pub fn schedule_event_in(
+        &mut self,
+        after: SimDuration,
+        handler: Rc<dyn EventHandler>,
+        token: EventToken,
+    ) -> EventId {
+        let at = self.now.saturating_add(after);
+        self.events.push(at, Event::Notify(handler, token))
+    }
+
+    /// Schedules a pre-built [`Event`] (station departures, fault edges).
+    /// Internal: models construct typed variants through their own APIs.
+    pub(crate) fn schedule_raw(&mut self, at: SimTime, event: Event) -> EventId {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        self.events.push(at, event)
     }
 
     /// Cancels a pending event. Returns `true` if it had not yet fired.
@@ -132,6 +232,24 @@ impl Simulator {
     /// Asks the run loop to stop after the current handler returns.
     pub fn request_stop(&mut self) {
         self.stop_requested = true;
+    }
+
+    /// The jump table: one indirect call per event, no allocation.
+    #[inline]
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Call(action) => action(self),
+            Event::Notify(handler, token) => handler.on_event(self, token),
+            Event::Departure(station, job) => {
+                crate::station::fire_departure(self, &station, job)
+            }
+            Event::Fault {
+                state,
+                kind,
+                track,
+                begin,
+            } => crate::fault::fire_edge(self, &state, kind, track, begin),
+        }
     }
 
     /// Runs until no events remain. Returns the stop reason
@@ -166,11 +284,11 @@ impl Simulator {
                     return StopReason::Deadline;
                 }
                 Some(_) => {
-                    let (time, action) = self.events.pop().expect("peeked");
+                    let (time, event) = self.events.pop().expect("peeked");
                     debug_assert!(time >= self.now, "time went backwards");
                     self.now = time;
                     self.executed += 1;
-                    action(self);
+                    self.dispatch(event);
                 }
             }
         }
@@ -295,5 +413,75 @@ mod tests {
         sim.run_for(SimDuration::from_nanos(60));
         assert_eq!(sim.now(), SimTime::from_nanos(110));
         assert_eq!(sim.events_executed(), 1);
+    }
+
+    #[test]
+    fn typed_handler_events_fire_and_interleave_with_closures() {
+        use std::rc::Weak;
+        // The recurring-component idiom: the handler holds a weak
+        // self-reference, upgrading it to reschedule without allocating.
+        struct Ticker {
+            log: Rc<RefCell<Vec<(u64, u64)>>>,
+            me: RefCell<Weak<Ticker>>,
+        }
+        impl EventHandler for Ticker {
+            fn on_event(&self, sim: &mut Simulator, token: EventToken) {
+                self.log.borrow_mut().push((sim.now().as_nanos(), token.a));
+                if token.a < 3 {
+                    let me = self.me.borrow().upgrade().expect("ticker alive");
+                    sim.schedule_event_in(
+                        SimDuration::from_nanos(10),
+                        me,
+                        EventToken {
+                            a: token.a + 1,
+                            b: token.b,
+                        },
+                    );
+                }
+            }
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let ticker = Rc::new(Ticker {
+            log: log.clone(),
+            me: RefCell::new(Weak::new()),
+        });
+        *ticker.me.borrow_mut() = Rc::downgrade(&ticker);
+        let mut sim = Simulator::new();
+        sim.schedule_event_at(
+            SimTime::from_nanos(5),
+            ticker.clone(),
+            EventToken { a: 0, b: 9 },
+        );
+        let log2 = log.clone();
+        sim.schedule_at(SimTime::from_nanos(15), move |_| {
+            log2.borrow_mut().push((15, 99));
+        });
+        sim.run();
+        assert_eq!(
+            *log.borrow(),
+            vec![(5, 0), (15, 99), (15, 1), (25, 2), (35, 3)],
+            "handler events interleave with closures in (time, seq) order"
+        );
+    }
+
+    #[test]
+    fn handler_events_are_cancellable() {
+        struct Once {
+            hit: Rc<RefCell<bool>>,
+        }
+        impl EventHandler for Once {
+            fn on_event(&self, _sim: &mut Simulator, _token: EventToken) {
+                *self.hit.borrow_mut() = true;
+            }
+        }
+        let hit = Rc::new(RefCell::new(false));
+        let h = Rc::new(Once { hit: hit.clone() });
+        let mut sim = Simulator::new();
+        let id = sim.schedule_event_at(SimTime::from_nanos(5), h, EventToken::ZERO);
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double-cancel reports false");
+        sim.run();
+        assert!(!*hit.borrow());
+        assert!(!sim.cancel(id), "cancel after the run still reports false");
     }
 }

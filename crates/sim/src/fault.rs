@@ -19,10 +19,10 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use crate::engine::Simulator;
+use crate::engine::{Event, Simulator};
 use crate::rng::Rng;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::TraceKind;
+use crate::trace::{StationId, TraceKind};
 
 /// The failure modes the injector knows how to schedule.
 ///
@@ -429,25 +429,53 @@ pub fn inject(sim: &mut Simulator, plan: &FaultPlan) -> SharedFaultState {
     let track = sim.trace().register("fault-injector", 1);
     for ev in &plan.events {
         let kind = ev.kind;
-        let begin_state = state.clone();
-        sim.schedule_at(ev.start, move |sim| {
-            begin_state.borrow_mut().apply(kind);
-            sim.trace().record(
-                sim.now(),
+        sim.schedule_raw(
+            ev.start,
+            Event::Fault {
+                state: state.clone(),
+                kind,
                 track,
-                TraceKind::FaultBegin {
-                    fault: kind.class(),
-                },
-            );
-        });
-        let end_state = state.clone();
-        sim.schedule_at(ev.end(), move |sim| {
-            end_state.borrow_mut().clear(kind);
-            sim.trace()
-                .record(sim.now(), track, TraceKind::FaultEnd { fault: kind.class() });
-        });
+                begin: true,
+            },
+        );
+        sim.schedule_raw(
+            ev.end(),
+            Event::Fault {
+                state: state.clone(),
+                kind,
+                track,
+                begin: false,
+            },
+        );
     }
     state
+}
+
+/// Fires one edge of a fault window: applies or clears the effect on the
+/// shared state and emits the matching trace record.
+///
+/// This is the engine's jump-table target for [`Event::Fault`].
+pub(crate) fn fire_edge(
+    sim: &mut Simulator,
+    state: &SharedFaultState,
+    kind: FaultKind,
+    track: StationId,
+    begin: bool,
+) {
+    if begin {
+        state.borrow_mut().apply(kind);
+        sim.trace().record(
+            sim.now(),
+            track,
+            TraceKind::FaultBegin {
+                fault: kind.class(),
+            },
+        );
+    } else {
+        state.borrow_mut().clear(kind);
+        sim.trace()
+            .record(sim.now(), track, TraceKind::FaultEnd { fault: kind.class() });
+    }
 }
 
 #[cfg(test)]

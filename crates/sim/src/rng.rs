@@ -179,6 +179,65 @@ impl Rng {
     }
 }
 
+/// Number of raw draws a [`DrawStream`] buffers per refill.
+const DRAW_BATCH: usize = 32;
+
+/// A batching wrapper around [`Rng`] for hot sampling loops.
+///
+/// Refills an internal buffer with [`DRAW_BATCH`] sequential
+/// [`Rng::next_u64`] outputs at a time, so per-sample cost is a bounds
+/// check and an index bump instead of a full xoshiro256++ step plus the
+/// surrounding call. Because the buffer is filled by the *same*
+/// sequential draws the wrapped generator would have produced, a
+/// `DrawStream` yields the byte-identical `u64` (and therefore `f64`)
+/// sequence as calling the underlying `Rng` directly — batching is an
+/// amortisation detail, never a semantic one.
+#[derive(Debug, Clone)]
+pub struct DrawStream {
+    rng: Rng,
+    buf: [u64; DRAW_BATCH],
+    /// Next unread index into `buf`; `DRAW_BATCH` means empty.
+    pos: usize,
+}
+
+impl DrawStream {
+    /// Wraps `rng`, taking over its draw sequence. The buffer starts
+    /// empty; no draws are consumed until the first sample.
+    pub fn new(rng: Rng) -> Self {
+        Self {
+            rng,
+            buf: [0; DRAW_BATCH],
+            pos: DRAW_BATCH,
+        }
+    }
+
+    #[inline(never)]
+    fn refill(&mut self) {
+        for slot in &mut self.buf {
+            *slot = self.rng.next_u64();
+        }
+        self.pos = 0;
+    }
+
+    /// Returns the next raw draw, refilling the batch when exhausted.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        if self.pos == DRAW_BATCH {
+            self.refill();
+        }
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    /// Returns a uniform float in `[0, 1)` with 53 bits of precision,
+    /// using the exact mapping of [`Rng::next_f64`].
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +355,27 @@ mod tests {
         let items = [10, 20, 30];
         for _ in 0..100 {
             assert!(items.contains(rng.choose(&items)));
+        }
+    }
+
+    #[test]
+    fn draw_stream_matches_unbatched_rng() {
+        let mut direct = Rng::new(42);
+        let mut stream = DrawStream::new(Rng::new(42));
+        // Span several refills to exercise the buffer boundary.
+        for i in 0..(DRAW_BATCH * 3 + 7) {
+            assert_eq!(direct.next_u64(), stream.next_u64(), "draw {i}");
+        }
+    }
+
+    #[test]
+    fn draw_stream_f64_matches_unbatched_rng() {
+        let mut direct = Rng::new(1234);
+        let mut stream = DrawStream::new(Rng::new(1234));
+        for i in 0..(DRAW_BATCH * 2 + 5) {
+            let a = direct.next_f64();
+            let b = stream.next_f64();
+            assert!(a.to_bits() == b.to_bits(), "draw {i}: {a} vs {b}");
         }
     }
 }

@@ -15,7 +15,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use crate::engine::Simulator;
+use crate::engine::{Event, Simulator};
 use crate::queue::{BoundedFifo, EnqueueOutcome, FifoStats};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{StationId, TraceKind, TraceSink};
@@ -80,10 +80,32 @@ impl StationStats {
 
 type Continuation = Box<dyn FnOnce(&mut Simulator, Completion)>;
 
-struct Waiting {
-    demand: SimDuration,
+/// What runs when a job completes: a boxed one-shot closure (the legacy
+/// compatibility path) or two plain words handed to the station's shared
+/// [`CompletionHandler`] (the allocation-free hot path).
+enum JobK {
+    Closure(Continuation),
+    Tagged(u64, u64),
+}
+
+/// A job record in the station's arena: flat data, no per-job boxes on
+/// the tagged path.
+struct Job {
     arrived: SimTime,
-    k: Continuation,
+    started: SimTime,
+    demand: SimDuration,
+    k: JobK,
+}
+
+/// The station-level completion callback for [`StationHandle::submit_tagged`].
+///
+/// Installed once per station via [`StationHandle::set_completion_handler`];
+/// each completing tagged job calls it with the job's two token words, so
+/// the per-request continuation state that used to be captured in a boxed
+/// closure is reduced to 16 bytes in the job arena.
+pub trait CompletionHandler {
+    /// Called when a tagged job finishes service.
+    fn on_complete(&self, sim: &mut Simulator, done: Completion, a: u64, b: u64);
 }
 
 /// Internal station state; use through [`StationHandle`].
@@ -91,7 +113,14 @@ struct Station {
     name: String,
     servers: usize,
     busy: usize,
-    waiting: BoundedFifo<Waiting>,
+    /// Waiters by arena id; job data lives in `jobs`.
+    waiting: BoundedFifo<u32>,
+    /// The job arena: in-service and waiting jobs, slab-allocated so a
+    /// warmed station admits jobs without touching the allocator.
+    jobs: Vec<Option<Job>>,
+    free_jobs: Vec<u32>,
+    /// Shared completion callback for tagged jobs.
+    on_complete: Option<Rc<dyn CompletionHandler>>,
     stats: StationStats,
     last_busy_change: SimTime,
     /// Cached trace binding, established lazily on the first submit so
@@ -121,6 +150,28 @@ impl Station {
         if let Some((sink, id)) = &self.trace {
             sink.record(at, *id, kind);
         }
+    }
+
+    /// Places `job` in the arena, reusing a free slot when one exists.
+    fn alloc_job(&mut self, job: Job) -> u32 {
+        match self.free_jobs.pop() {
+            Some(id) => {
+                self.jobs[id as usize] = Some(job);
+                id
+            }
+            None => {
+                let id = self.jobs.len() as u32;
+                self.jobs.push(Some(job));
+                id
+            }
+        }
+    }
+
+    /// Removes a job from the arena, returning its record.
+    fn free_job(&mut self, id: u32) -> Job {
+        let job = self.jobs[id as usize].take().expect("arena id is live");
+        self.free_jobs.push(id);
+        job
     }
 }
 
@@ -170,11 +221,21 @@ impl StationHandle {
                 servers,
                 busy: 0,
                 waiting,
+                jobs: Vec::new(),
+                free_jobs: Vec::new(),
+                on_complete: None,
                 stats: StationStats::default(),
                 last_busy_change: SimTime::ZERO,
                 trace: None,
             })),
         }
+    }
+
+    /// Installs the shared completion callback for [`submit_tagged`] jobs.
+    ///
+    /// [`submit_tagged`]: StationHandle::submit_tagged
+    pub fn set_completion_handler(&self, handler: Rc<dyn CompletionHandler>) {
+        self.inner.borrow_mut().on_complete = Some(handler);
     }
 
     /// Submits a job with the given service demand; `k` runs at completion.
@@ -185,6 +246,32 @@ impl StationHandle {
     where
         F: FnOnce(&mut Simulator, Completion) + 'static,
     {
+        // snicbench: allow(alloc-in-hot-path, "the compatibility path: per-job continuations box by design; use submit_tagged on hot paths")
+        self.submit_inner(sim, demand, JobK::Closure(Box::new(k)))
+    }
+
+    /// Submits a job whose completion is handled by the station's shared
+    /// [`CompletionHandler`], passing the two token words through verbatim.
+    ///
+    /// This is the allocation-free counterpart of [`submit`]: the per-job
+    /// record lives in the station's arena, so a warmed station admits,
+    /// serves, and completes jobs without touching the allocator.
+    ///
+    /// Returns how the job was admitted. If the job is dropped, the handler
+    /// is never called.
+    ///
+    /// # Panics
+    ///
+    /// The eventual completion panics if no handler was installed via
+    /// [`set_completion_handler`].
+    ///
+    /// [`submit`]: StationHandle::submit
+    /// [`set_completion_handler`]: StationHandle::set_completion_handler
+    pub fn submit_tagged(&self, sim: &mut Simulator, demand: SimDuration, a: u64, b: u64) -> Admission {
+        self.submit_inner(sim, demand, JobK::Tagged(a, b))
+    }
+
+    fn submit_inner(&self, sim: &mut Simulator, demand: SimDuration, k: JobK) -> Admission {
         let now = sim.now();
         let mut st = self.inner.borrow_mut();
         st.bind_trace(sim);
@@ -193,16 +280,23 @@ impl StationHandle {
             st.accumulate_busy(now);
             st.busy += 1;
             st.emit(now, TraceKind::ServiceStart { busy: st.busy as u32 });
+            let job = st.alloc_job(Job {
+                arrived: now,
+                started: now,
+                demand,
+                k,
+            });
             drop(st);
-            self.schedule_completion(sim, now, now, demand, Box::new(k));
+            sim.schedule_raw(now + demand, Event::Departure(self.clone(), job));
             Admission::Started
         } else {
-            let outcome = st.waiting.enqueue(Waiting {
-                demand,
+            let job = st.alloc_job(Job {
                 arrived: now,
-                k: Box::new(k),
+                started: now,
+                demand,
+                k,
             });
-            match outcome {
+            match st.waiting.enqueue(job) {
                 EnqueueOutcome::Accepted => {
                     st.emit(
                         now,
@@ -213,6 +307,7 @@ impl StationHandle {
                     Admission::Queued
                 }
                 EnqueueOutcome::Dropped => {
+                    st.free_job(job);
                     st.stats.dropped += 1;
                     st.emit(
                         now,
@@ -224,60 +319,6 @@ impl StationHandle {
                 }
             }
         }
-    }
-
-    fn schedule_completion(
-        &self,
-        sim: &mut Simulator,
-        arrived: SimTime,
-        started: SimTime,
-        demand: SimDuration,
-        k: Continuation,
-    ) {
-        let handle = self.clone();
-        sim.schedule_at(started + demand, move |sim| {
-            let finished = sim.now();
-            {
-                let mut st = handle.inner.borrow_mut();
-                st.accumulate_busy(finished);
-                st.busy -= 1;
-                st.stats.completions += 1;
-                st.emit(finished, TraceKind::ServiceEnd { busy: st.busy as u32 });
-            }
-            k(
-                sim,
-                Completion {
-                    arrived,
-                    started,
-                    finished,
-                },
-            );
-            // Pull the next waiter, if any.
-            let next = {
-                let mut st = handle.inner.borrow_mut();
-                if st.busy < st.servers {
-                    if let Some(w) = st.waiting.dequeue() {
-                        st.accumulate_busy(finished);
-                        st.busy += 1;
-                        st.emit(
-                            finished,
-                            TraceKind::Dequeue {
-                                depth: st.waiting.len() as u32,
-                            },
-                        );
-                        st.emit(finished, TraceKind::ServiceStart { busy: st.busy as u32 });
-                        Some(w)
-                    } else {
-                        None
-                    }
-                } else {
-                    None
-                }
-            };
-            if let Some(w) = next {
-                handle.schedule_completion(sim, w.arrived, finished, w.demand, w.k);
-            }
-        });
     }
 
     /// Number of servers currently busy.
@@ -330,6 +371,62 @@ impl StationHandle {
     /// enqueue/dequeue/drop events against exactly these counters.
     pub fn fifo_stats(&self) -> FifoStats {
         self.inner.borrow().waiting.stats()
+    }
+}
+
+/// Fires a departure event: completes the arena job `id`, runs its
+/// continuation, then pulls the next waiter into service.
+///
+/// This is the engine's jump-table target for [`Event::Departure`]; the
+/// effect order (busy accounting, trace emission, continuation, dequeue)
+/// matches the historical boxed-closure completion path exactly.
+pub(crate) fn fire_departure(sim: &mut Simulator, handle: &StationHandle, id: u32) {
+    let finished = sim.now();
+    let (job, on_complete) = {
+        let mut st = handle.inner.borrow_mut();
+        st.accumulate_busy(finished);
+        st.busy -= 1;
+        st.stats.completions += 1;
+        st.emit(finished, TraceKind::ServiceEnd { busy: st.busy as u32 });
+        (st.free_job(id), st.on_complete.clone())
+    };
+    let done = Completion {
+        arrived: job.arrived,
+        started: job.started,
+        finished,
+    };
+    match job.k {
+        JobK::Closure(k) => k(sim, done),
+        JobK::Tagged(a, b) => on_complete
+            .expect("submit_tagged requires set_completion_handler")
+            .on_complete(sim, done, a, b),
+    }
+    // Pull the next waiter, if any.
+    let next = {
+        let mut st = handle.inner.borrow_mut();
+        if st.busy < st.servers {
+            if let Some(id) = st.waiting.dequeue() {
+                st.accumulate_busy(finished);
+                st.busy += 1;
+                st.emit(
+                    finished,
+                    TraceKind::Dequeue {
+                        depth: st.waiting.len() as u32,
+                    },
+                );
+                st.emit(finished, TraceKind::ServiceStart { busy: st.busy as u32 });
+                let job = st.jobs[id as usize].as_mut().expect("waiter id is live");
+                job.started = finished;
+                Some((id, job.demand))
+            } else {
+                None
+            }
+        } else {
+            None
+        }
+    };
+    if let Some((id, demand)) = next {
+        sim.schedule_raw(finished + demand, Event::Departure(handle.clone(), id));
     }
 }
 

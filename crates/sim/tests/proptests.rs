@@ -173,4 +173,75 @@ proptest! {
             prop_assert!(rng.below(bound) < bound);
         }
     }
+
+    /// The calendar queue agrees with a reference ordered-set model under
+    /// arbitrary interleavings of push, pop, and cancel — including
+    /// cancels of already-fired and already-cancelled ids, same-instant
+    /// pushes (which must pop in insertion order), and pushes far beyond
+    /// the wheel horizon (which overflow to the far heap and must be
+    /// promoted back as the wheel rotates).
+    #[test]
+    fn event_queue_matches_reference_model(
+        ops in proptest::collection::vec(
+            (0u8..10, 0u64..3_000_000, any::<u64>()),
+            0..300,
+        )
+    ) {
+        use std::collections::BTreeSet;
+        use snicbench_sim::event::EventId;
+
+        let mut q = EventQueue::new();
+        // The model: the live set ordered by (time, seq). `issued` keeps
+        // every id ever returned so cancels can target fired/cancelled
+        // events as easily as live ones.
+        let mut model: BTreeSet<(SimTime, u64)> = BTreeSet::new();
+        let mut issued: Vec<(EventId, SimTime, u64)> = Vec::new();
+        let mut next_payload = 0u64;
+
+        for (kind, raw_time, sel) in ops {
+            match kind {
+                // Push. kind 4 collapses times onto a tiny set of instants
+                // to force same-instant FIFO ties; other kinds span well
+                // past the wheel horizon (~1 ms) to exercise far-heap
+                // overflow and promotion.
+                0..=4 => {
+                    let t = if kind == 4 {
+                        SimTime::from_nanos(raw_time % 64)
+                    } else {
+                        SimTime::from_nanos(raw_time)
+                    };
+                    let payload = next_payload;
+                    next_payload += 1;
+                    let id = q.push(t, payload);
+                    model.insert((t, payload));
+                    issued.push((id, t, payload));
+                }
+                // Pop: must yield the model's minimum (time, seq).
+                5..=7 => {
+                    let expect = model.pop_first();
+                    let got = q.pop();
+                    prop_assert_eq!(got, expect.map(|(t, p)| (t, p)));
+                }
+                // Cancel a previously issued id (live, fired, or already
+                // cancelled): the return value must agree with whether the
+                // model still holds it, and a dead id must change nothing.
+                _ => {
+                    if issued.is_empty() {
+                        continue;
+                    }
+                    let (id, t, payload) = issued[(sel % issued.len() as u64) as usize];
+                    let expect = model.remove(&(t, payload));
+                    prop_assert_eq!(q.cancel(id), expect);
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
+
+        // Drain: the full remaining order must match the model exactly.
+        while let Some(expect) = model.pop_first() {
+            prop_assert_eq!(q.pop(), Some(expect));
+        }
+        prop_assert_eq!(q.pop(), None);
+        prop_assert!(q.is_empty());
+    }
 }

@@ -9,4 +9,8 @@ for b in rem_engine compression crypto kvs simulator multipattern; do
   cargo bench -p snicbench-bench --bench "$b" >> bench_output.txt 2>&1
   echo "---- $b wall-clock: $((SECONDS - bench_start))s ----" >> bench_output.txt
 done
+echo "==== bench_engine (events/sec trajectory smoke) ====" >> bench_output.txt
+bench_start=$SECONDS
+cargo run --release -p snicbench-bench --bin bench_engine -- --quick >> bench_output.txt 2>&1
+echo "---- bench_engine wall-clock: $((SECONDS - bench_start))s ----" >> bench_output.txt
 echo "==== bench suite complete (total $((SECONDS - suite_start))s) ====" >> bench_output.txt

@@ -1,0 +1,29 @@
+// snicbench-fixture: crates/sim/src/engine.rs
+//! Fixture: `alloc-in-hot-path` — per-event allocation in the engine
+//! dispatch / station service paths fires; annotated cold-path
+//! escape hatches and non-allocating constructors do not.
+
+/// FIRES: boxing a closure per event defeats the typed-event path.
+pub fn bad_boxed_event(run: &mut Vec<Box<dyn FnOnce()>>) {
+    run.push(Box::new(|| {}));
+}
+
+/// FIRES: a vec! literal allocates on every dispatch.
+pub fn bad_scratch() -> Vec<u64> {
+    vec![0, 0, 0]
+}
+
+/// FIRES: formatting a label per event allocates a String.
+pub fn bad_label(name: &str) -> String {
+    name.to_string()
+}
+
+/// Clean: the documented cold-path escape hatch carries an allow.
+pub fn setup_hook(run: &mut Vec<Box<dyn FnOnce()>>) {
+    run.push(Box::new(|| {})); // snicbench: allow(alloc-in-hot-path, "fixture: one-shot setup wiring, not per-event")
+}
+
+/// Clean: capacity-zero constructors do not allocate.
+pub fn scratch() -> Vec<u64> {
+    Vec::new()
+}

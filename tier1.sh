@@ -7,8 +7,11 @@
 # cell), the executor's determinism contract (fig4 --quick must be
 # byte-identical on stdout at --jobs 1 and --jobs 4), an observability
 # smoke (the --trace / --json exports must be well-formed JSON with the
-# expected schema while auditing stays clean), and a resilience smoke:
-# a faulted sweep with conservation auditing armed must exit 0 with a
+# expected schema while auditing stays clean), an engine-throughput
+# smoke (bench_engine --quick: the committed BENCH_engine.json must
+# pass its schema check and the measured events/sec must stay within
+# 20% of the committed trajectory), and a resilience smoke: a faulted
+# sweep with conservation auditing armed must exit 0 with a
 # byte-identical RunReport at any job width.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -68,6 +71,13 @@ jq -e '.schema == "snicbench.run-report.v2" and (.runs | length > 0)' \
 jq -e '[.runs[].conformance.clean] | all' "$report" > /dev/null \
   || { echo "FAIL: RunReport records a conformance violation" >&2; exit 1; }
 echo "OK: trace + RunReport parse, schema v2, audit clean"
+
+echo "==== engine throughput smoke: bench_engine --quick ===="
+# Validates the committed BENCH_engine.json schema and fails when the
+# measured events/sec regresses more than 20% against the committed
+# trajectory's last entry.
+./target/release/bench_engine --quick
+echo "OK: engine events/sec within 20% of the committed baseline"
 
 echo "==== resilience smoke: faults on, audit on, deterministic ===="
 # A faulted sweep with conservation auditing armed must finish cleanly,
