@@ -1,0 +1,242 @@
+//! Fleet-scale SLO/TCO sweep: N servers × M SmartNICs behind flow-hash
+//! sharding.
+//!
+//! The paper evaluates one server and one BlueField-2; the deployment
+//! question is fleet-shaped: *how many of a rack's servers should carry a
+//! SmartNIC, and at what load does that composition pay?* This tool runs
+//! the consistent-hash fleet simulation
+//! ([`snicbench_core::loadbalancer::fleet`]) over a small matrix of rack
+//! compositions and per-server loads, and scores each cell twice: per
+//! shard against the fleet SLO, and SNIC shards vs host-only shards
+//! against the 5-year TCO break-even ratio.
+//!
+//! ```text
+//! cargo run --release -p snicbench-bench --bin fleet [-- --quick | --list] [--servers N] [--snics M] [--gbps G] [--jobs N] [--json PATH] [--trace PATH]
+//! ```
+//!
+//! Output is one row per (SNIC count, per-server load) cell. The JSON
+//! report is RunReport v3: each cell's run carries a `shards` array with
+//! the per-shard roll-ups. Deterministic at any `--jobs` width: each cell
+//! is one single-threaded simulation seeded by its coordinates, and the
+//! executor only parallelizes across cells.
+
+use snicbench_bench::cli::Cli;
+use snicbench_core::benchmark::Workload;
+use snicbench_core::json::Json;
+use snicbench_core::loadbalancer::fleet::{simulate_in, FleetConfig, FleetReport};
+use snicbench_core::report::TextTable;
+use snicbench_core::telemetry::RunContext;
+use snicbench_functions::rem::RemRuleset;
+use snicbench_hw::server::RackSpec;
+use snicbench_sim::SimDuration;
+
+/// One cell of the sweep.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    servers: u32,
+    snics: u32,
+    gbps: f64,
+}
+
+impl Cell {
+    fn label(&self) -> String {
+        format!("fleet/m{:02}/g{:03}", self.snics, self.gbps as u32)
+    }
+}
+
+/// The sweep matrix: every SNIC count × per-server load, with any axis
+/// pinned by its CLI flag.
+fn cells(servers: u32, snics: Option<u32>, gbps: Option<f64>, quick: bool) -> Vec<Cell> {
+    let snic_axis: Vec<u32> = match snics {
+        Some(m) => vec![m],
+        None if quick => vec![8, 32],
+        None => vec![8, 16, 32],
+    };
+    let gbps_axis: Vec<f64> = match gbps {
+        Some(g) => vec![g],
+        None if quick => vec![30.0, 45.0],
+        None => vec![30.0, 45.0, 60.0],
+    };
+    let mut out = Vec::new();
+    for &m in &snic_axis {
+        for &g in &gbps_axis {
+            out.push(Cell {
+                servers,
+                snics: m,
+                gbps: g,
+            });
+        }
+    }
+    out
+}
+
+fn config_for(cell: Cell, quick: bool) -> FleetConfig {
+    let mut cfg = FleetConfig::new(
+        Workload::RemMtu(RemRuleset::FileExecutable),
+        RackSpec::new(cell.servers, cell.snics),
+        cell.gbps,
+    );
+    if quick {
+        cfg.duration = SimDuration::from_millis(3);
+        cfg.warmup = SimDuration::from_millis(1);
+    }
+    // Seed by cell coordinates so results never depend on sweep order.
+    cfg.seed ^= (u64::from(cell.snics) << 32) | cell.gbps as u64;
+    cfg
+}
+
+fn results_json(rows: &[(Cell, FleetReport)]) -> Json {
+    Json::arr(rows.iter().map(|(cell, r)| {
+        let tco = match &r.tco {
+            None => Json::Null,
+            Some(t) => Json::obj([
+                ("snic_shard_gbps", Json::Num(t.snic_shard_gbps)),
+                ("host_shard_gbps", Json::Num(t.host_shard_gbps)),
+                ("capacity_ratio", Json::Num(t.capacity_ratio)),
+                ("break_even_ratio", Json::Num(t.break_even_ratio)),
+                ("pays_off", Json::Bool(t.pays_off)),
+                ("savings", Json::Num(t.savings)),
+                ("nic_servers", Json::U64(u64::from(t.nic_servers))),
+            ]),
+        };
+        Json::obj([
+            ("label", Json::str(cell.label())),
+            ("servers", Json::U64(u64::from(cell.servers))),
+            ("snics", Json::U64(u64::from(cell.snics))),
+            ("per_server_gbps", Json::Num(cell.gbps)),
+            ("offered_gbps", Json::Num(r.cluster.offered_gbps)),
+            ("achieved_gbps", Json::Num(r.cluster.achieved_gbps)),
+            ("loss_rate", Json::Num(r.cluster.loss_rate)),
+            ("p99_us", Json::Num(r.cluster.p99_us)),
+            ("snic_share", Json::Num(r.cluster.snic_share)),
+            ("spills", Json::U64(r.cluster.spills)),
+            (
+                "shards_meeting_slo",
+                Json::U64(u64::from(r.cluster.shards_meeting_slo)),
+            ),
+            ("tco", tco),
+        ])
+    }))
+}
+
+fn parse_or_die<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("fleet: invalid value '{value}' for {flag}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args = Cli::new(
+        "fleet",
+        "N-server x M-SNIC fleet sweep behind consistent-hash sharding:\n\
+         per-shard SLO roll-ups and the SNIC's TCO break-even per cell.",
+    )
+    .opt("--servers", "N", "rack size (default 64)")
+    .opt("--snics", "M", "pin the SNIC-count axis to one value")
+    .opt("--gbps", "G", "pin the per-server-load axis to one value, Gb/s")
+    .parse();
+
+    let servers: u32 = args
+        .opt("--servers")
+        .map_or(64, |v| parse_or_die(v, "--servers"));
+    let snics: Option<u32> = args.opt("--snics").map(|v| parse_or_die(v, "--snics"));
+    let gbps: Option<f64> = args.opt("--gbps").map(|v| parse_or_die(v, "--gbps"));
+    if let Some(m) = snics {
+        if m > servers {
+            eprintln!("fleet: --snics {m} exceeds --servers {servers}");
+            std::process::exit(2);
+        }
+    }
+    let matrix = cells(servers, snics, gbps, args.quick);
+
+    if args.list {
+        println!("Fleet sweep — {servers} servers, REM (MTU) workload:");
+        let mut t = TextTable::new(vec!["cell", "snics", "per-server", "aggregate"]);
+        for c in &matrix {
+            t.row(vec![
+                c.label(),
+                c.snics.to_string(),
+                format!("{:.0}G", c.gbps),
+                format!("{:.0}G", c.gbps * c.servers as f64),
+            ]);
+        }
+        println!("{t}");
+        println!("Each cell: flow-hash ring over all shards, accel/host rung per SNIC");
+        println!("shard, one-hop spill between shards, per-shard SLO + fleet TCO.");
+        return;
+    }
+
+    let executor = args.executor();
+    let ctx = args.context();
+    eprintln!(
+        "# sweeping {} fleet cells on {servers} servers (jobs={})...",
+        matrix.len(),
+        executor.jobs()
+    );
+    let quick = args.quick;
+    let rows: Vec<(Cell, FleetReport)> = executor.map(matrix, |cell| {
+        let report = run_cell(cell, quick, &ctx);
+        (cell, report)
+    });
+
+    println!("Fleet — REM (MTU) on {servers} servers: SLO and TCO per composition");
+    println!("(SLO per shard: p99 <= 400us, loss <= 1%; TCO: paper REM-row powers)\n");
+    let mut t = TextTable::new(vec![
+        "cell",
+        "offered",
+        "achieved",
+        "loss",
+        "p99(us)",
+        "snic share",
+        "spills",
+        "SLO shards",
+        "cap ratio",
+        "break-even",
+        "TCO",
+    ]);
+    for (cell, r) in &rows {
+        let (ratio, be, verdict) = match &r.tco {
+            None => ("-".to_string(), "-".to_string(), "-".to_string()),
+            Some(tco) => (
+                format!("{:.2}x", tco.capacity_ratio),
+                format!("{:.2}x", tco.break_even_ratio),
+                format!(
+                    "{}{:.1}%",
+                    if tco.savings >= 0.0 { "+" } else { "" },
+                    tco.savings * 100.0
+                ),
+            ),
+        };
+        t.row(vec![
+            cell.label(),
+            format!("{:.0}G", r.cluster.offered_gbps),
+            format!("{:.0}G", r.cluster.achieved_gbps),
+            format!("{:.2}%", r.cluster.loss_rate * 100.0),
+            format!("{:.1}", r.cluster.p99_us),
+            format!("{:.0}%", r.cluster.snic_share * 100.0),
+            r.cluster.spills.to_string(),
+            format!("{}/{}", r.cluster.shards_meeting_slo, cell.servers),
+            ratio,
+            be,
+            verdict,
+        ]);
+    }
+    println!("{t}");
+
+    let paying = rows
+        .iter()
+        .filter(|(_, r)| r.tco.as_ref().is_some_and(|t| t.pays_off))
+        .count();
+    println!(
+        "TCO verdict: the SNIC composition clears break-even in {paying}/{} cells.",
+        rows.len()
+    );
+
+    args.write_outputs("fleet", results_json(&rows), &ctx);
+}
+
+fn run_cell(cell: Cell, quick: bool, ctx: &RunContext) -> FleetReport {
+    let cfg = config_for(cell, quick);
+    simulate_in(&cfg, &ctx.scope(cell.label()))
+}

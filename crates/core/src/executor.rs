@@ -71,18 +71,25 @@ impl Executor {
 
     /// Parses `--jobs N` / `--jobs=N` from CLI args, falling back to the
     /// `SNICBENCH_JOBS` env override, then to available parallelism.
+    ///
+    /// The **first** occurrence of the flag binds: a malformed or missing
+    /// value there falls back to the env/host default explicitly rather
+    /// than silently scanning on to a later `--jobs` the caller may not
+    /// have intended to win.
     pub fn from_args(args: &[String]) -> Self {
         let mut it = args.iter();
         while let Some(a) = it.next() {
-            if a == "--jobs" || a == "-j" {
-                if let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) {
-                    return Executor::new(n);
-                }
+            let value = if a == "--jobs" || a == "-j" {
+                it.next().map(String::as_str)
             } else if let Some(v) = a.strip_prefix("--jobs=") {
-                if let Ok(n) = v.parse::<usize>() {
-                    return Executor::new(n);
-                }
-            }
+                Some(v)
+            } else {
+                continue;
+            };
+            return match value.and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => Executor::new(n),
+                None => Executor::from_env(),
+            };
         }
         Executor::from_env()
     }
@@ -260,6 +267,24 @@ mod tests {
         assert_eq!(Executor::from_args(&args(&["-j", "2"])).jobs(), 2);
         // Absent flag falls back to env/host default — just ensure ≥ 1.
         assert!(Executor::from_args(&args(&["--quick"])).jobs() >= 1);
+        // The first occurrence binds: a malformed value there falls back
+        // to the env/host default instead of letting a later flag win.
+        let fallback = Executor::from_env().jobs();
+        assert_eq!(
+            Executor::from_args(&args(&["--jobs", "bogus", "--jobs", "3"])).jobs(),
+            fallback
+        );
+        assert_eq!(
+            Executor::from_args(&args(&["--jobs=x", "-j", "9"])).jobs(),
+            fallback
+        );
+        // A trailing flag with no value is a fallback, not a panic.
+        assert_eq!(Executor::from_args(&args(&["-j"])).jobs(), fallback);
+        // Well-formed repeats still bind to the first.
+        assert_eq!(
+            Executor::from_args(&args(&["--jobs=6", "--jobs", "2"])).jobs(),
+            6
+        );
     }
 
     #[test]

@@ -1,0 +1,771 @@
+//! The N-server × M-SNIC fleet simulation (the `fleet` binary's engine).
+//!
+//! The single-pair balancer answers "should *this* packet go to the SNIC
+//! or the host?"; the fleet model scales the question out to a rack: a
+//! flow-hash sharding front end (a consistent-hash [`ring`](super::ring))
+//! spreads millions of flows over N servers, the first M of which carry a
+//! BlueField-2. Each shard is a two-rung station pair — the SNIC
+//! accelerator while its backlog stays below a threshold, the host CPU
+//! pool otherwise — and overloaded shards spill whole flows to their ring
+//! successor (bounded work stealing: one hop, only to a strictly lighter
+//! shard, so the spill can never cascade).
+//!
+//! Measurement follows the corrected single-pair semantics exactly (see
+//! the [module docs](super)): window membership by packet *arrival* time,
+//! rates over `stop − warmup`, never over the drained clock. Per-shard
+//! books therefore balance (`sent == completed + dropped`) and cluster
+//! roll-ups are plain sums.
+//!
+//! The run is single-simulator and event-ordered, so results are
+//! deterministic and byte-identical at any `--jobs`; the executor
+//! parallelizes across *cells* (fleet configurations), never within one.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use snicbench_hw::cpu::Arch;
+use snicbench_hw::server::{RackSpec, Testbed};
+use snicbench_hw::ExecutionPlatform;
+use snicbench_metrics::LatencyHistogram;
+use snicbench_net::stack::StackModel;
+use snicbench_net::traffic::{ArrivalKind, OpenLoop, SizeSource};
+use snicbench_sim::dist::{Distribution, LogNormal};
+use snicbench_sim::queue::FifoStats;
+use snicbench_sim::rng::Rng;
+use snicbench_sim::station::{Admission, Completion, CompletionHandler, StationHandle};
+use snicbench_sim::{SimDuration, SimTime, Simulator};
+
+use crate::benchmark::Workload;
+use crate::calibration::{self, ServiceModel};
+use crate::runner::{LatencyStats, RunMetrics};
+use crate::slo::Slo;
+use crate::tco::{self, TcoInputs, TcoScenario};
+use crate::telemetry::{RunScope, RunTelemetry, ShardRollup};
+
+use super::ring::{HashRing, DEFAULT_VNODES};
+use super::MONITOR_TAX_NS;
+
+/// Per-server power draw with a SmartNIC, W (the paper's REM row —
+/// the workload family the fleet simulates).
+pub const SNIC_SERVER_POWER_W: f64 = 255.0;
+
+/// Per-server power draw with a standard NIC, W (paper REM row).
+pub const NIC_SERVER_POWER_W: f64 = 268.0;
+
+/// Configuration of a fleet simulation (one cell of the `fleet` binary).
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The workload (needs host + accelerator calibrations, e.g. REM).
+    pub workload: Workload,
+    /// The rack topology: N servers, the first M with SNICs.
+    pub rack: RackSpec,
+    /// Offered load per server, Gb/s (aggregate = N × this).
+    pub per_server_gbps: f64,
+    /// Flow-id space of the generator (millions: the sharding front end
+    /// hashes flows, not packets).
+    pub flows: u64,
+    /// Simulated time, including warmup.
+    pub duration: SimDuration,
+    /// Warmup excluded from statistics.
+    pub warmup: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+    /// SNIC-rung backlog threshold: packets ride the accelerator while
+    /// its queue is shorter than this, else the shard's host pool.
+    pub accel_backlog: usize,
+    /// Host-pool load (in service + waiting) at which a shard spills new
+    /// flows to its ring successor.
+    pub spill_threshold: usize,
+    /// Virtual nodes per shard on the consistent-hash ring.
+    pub vnodes: u32,
+    /// The per-shard SLO the roll-up scores against.
+    pub slo: Slo,
+}
+
+impl FleetConfig {
+    /// Defaults: 12 ms simulated (2 ms warmup), 2 Mi flows, accel backlog
+    /// 64, spill threshold 256, [`DEFAULT_VNODES`] vnodes, and an SLO of
+    /// p99 ≤ 400 µs with ≤ 1% loss.
+    pub fn new(workload: Workload, rack: RackSpec, per_server_gbps: f64) -> Self {
+        FleetConfig {
+            workload,
+            rack,
+            per_server_gbps,
+            flows: 1 << 21,
+            duration: SimDuration::from_millis(12),
+            warmup: SimDuration::from_millis(2),
+            seed: 0xF1EE7,
+            accel_backlog: 64,
+            spill_threshold: 256,
+            vnodes: DEFAULT_VNODES,
+            slo: Slo {
+                p99_us: 400.0,
+                min_gbps: 0.0,
+                max_loss: 0.01,
+            },
+        }
+    }
+}
+
+/// Cluster-wide roll-up: the sums and merged latency of every shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterMetrics {
+    /// Aggregate offered load, Gb/s.
+    pub offered_gbps: f64,
+    /// Aggregate goodput over the measurement window, Gb/s.
+    pub achieved_gbps: f64,
+    /// Cluster loss rate (dropped / sent).
+    pub loss_rate: f64,
+    /// Mean round-trip latency, µs (merged across shards).
+    pub mean_us: f64,
+    /// p99 round-trip latency, µs (merged across shards).
+    pub p99_us: f64,
+    /// Fraction of completions served on a SNIC accelerator rung.
+    pub snic_share: f64,
+    /// Measured arrivals across the cluster.
+    pub sent: u64,
+    /// Measured completions across the cluster.
+    pub completed: u64,
+    /// Measured admission drops across the cluster.
+    pub dropped: u64,
+    /// Measured requests that spilled to a neighbour shard.
+    pub spills: u64,
+    /// Shards whose operating point met the fleet SLO.
+    pub shards_meeting_slo: u32,
+}
+
+/// The fleet's TCO verdict, from *measured* per-shard capacities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTco {
+    /// Mean goodput of a SNIC-equipped shard, Gb/s.
+    pub snic_shard_gbps: f64,
+    /// Mean goodput of a host-only shard, Gb/s.
+    pub host_shard_gbps: f64,
+    /// Measured capacity ratio (SNIC shard ÷ host-only shard).
+    pub capacity_ratio: f64,
+    /// The cost-crossover ratio from the 5-year model
+    /// ([`tco::break_even_capacity_ratio`]).
+    pub break_even_ratio: f64,
+    /// True when the measured ratio clears the break-even ratio.
+    pub pays_off: bool,
+    /// Fleet TCO savings at the measured capacities (negative = the SNIC
+    /// fleet costs more, like the paper's REM row).
+    pub savings: f64,
+    /// NIC servers needed to match 10 SNIC servers' aggregate goodput.
+    pub nic_servers: u32,
+}
+
+/// Results of one fleet simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Per-shard roll-ups, indexed by shard id.
+    pub shards: Vec<ShardRollup>,
+    /// Cluster-wide sums and merged latency.
+    pub cluster: ClusterMetrics,
+    /// Break-even analysis — `None` unless the rack has both SNIC and
+    /// host-only shards with nonzero goodput to compare.
+    pub tco: Option<FleetTco>,
+}
+
+/// One shard's serving stations: the host CPU pool, plus the accelerator
+/// rung on SNIC-equipped servers.
+struct ShardStations {
+    host: StationHandle,
+    accel: Option<StationHandle>,
+}
+
+/// Flat per-shard counters updated on the hot path.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardCounters {
+    sent: u64,
+    completed: u64,
+    dropped: u64,
+    snic_completed: u64,
+    spill_in: u64,
+    spill_out: u64,
+}
+
+/// Mutable tallies shared between the packet sink and the completion
+/// handler (single-threaded within one simulation).
+struct Tallies {
+    counters: Vec<ShardCounters>,
+    hists: Vec<LatencyHistogram>,
+}
+
+const SNIC_BIT: u64 = 1 << 32;
+const MEASURED_BIT: u64 = 1 << 33;
+const SHARD_MASK: u64 = (1 << 32) - 1;
+
+/// The shared completion callback every fleet station uses: token `a`
+/// packs (shard id, SNIC rung, measured) and token `b` the arrival
+/// nanos, so completion costs no allocation at fleet packet rates.
+struct FleetHandler {
+    tallies: Rc<RefCell<Tallies>>,
+    host_fixed: SimDuration,
+    accel_fixed: SimDuration,
+}
+
+impl CompletionHandler for FleetHandler {
+    fn on_complete(&self, _sim: &mut Simulator, done: Completion, a: u64, b: u64) {
+        if a & MEASURED_BIT == 0 {
+            return;
+        }
+        let shard = (a & SHARD_MASK) as usize;
+        let on_snic = a & SNIC_BIT != 0;
+        let fixed = if on_snic {
+            self.accel_fixed
+        } else {
+            self.host_fixed
+        };
+        let rtt = done.finished.duration_since(SimTime::from_nanos(b)) + fixed;
+        let mut t = self.tallies.borrow_mut();
+        let c = &mut t.counters[shard];
+        c.completed += 1;
+        if on_snic {
+            c.snic_completed += 1;
+        }
+        t.hists[shard].record(rtt.as_nanos());
+    }
+}
+
+/// Runs the fleet simulation without telemetry collection.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate_in`].
+pub fn simulate(config: &FleetConfig) -> FleetReport {
+    simulate_in(config, &RunScope::disabled())
+}
+
+/// Runs the fleet simulation, collecting telemetry into `scope` when
+/// enabled: per-station timelines for every shard station plus the
+/// per-shard roll-ups in the RunReport v3 `shards` array.
+///
+/// # Panics
+///
+/// Panics if the workload lacks a host or accelerator calibration, if the
+/// warmup does not leave a measurement window, or if the offered load or
+/// flow count is non-positive.
+pub fn simulate_in(config: &FleetConfig, scope: &RunScope) -> FleetReport {
+    assert!(
+        config.warmup < config.duration,
+        "warmup must leave a non-empty measurement window"
+    );
+    assert!(config.per_server_gbps > 0.0, "offered load must be positive");
+    assert!(config.flows > 0, "need at least one flow");
+    let w = config.workload;
+    let bytes = w.request_bytes();
+    let host_cal =
+        calibration::lookup(w, ExecutionPlatform::HostCpu).expect("host calibration required");
+    let accel_cal = calibration::lookup(w, ExecutionPlatform::SnicAccelerator)
+        .expect("accelerator calibration required");
+    let ServiceModel::Cpu(host_cpu) = host_cal.service else {
+        panic!("host side must be CPU-served");
+    };
+    let ServiceModel::Accelerator {
+        op_ns, staging_us, ..
+    } = accel_cal.service
+    else {
+        panic!("SNIC side must be accelerator-served");
+    };
+    let stack = StackModel::for_stack(w.stack());
+    let testbed = Testbed::new();
+
+    // Service distributions. The shard's accel/host rung is adaptive by
+    // construction (it watches the backlog), so the SNIC path always pays
+    // the monitoring tax.
+    let host_mean_ns = stack.cpu_time(Arch::X86_64, bytes).as_secs_f64() * 1e9 + host_cpu.app_ns;
+    let host_dist = LogNormal::with_mean_cv(host_mean_ns, host_cpu.cv.max(0.01));
+    let accel_dist = LogNormal::with_mean_cv(op_ns + MONITOR_TAX_NS, 0.05);
+
+    // Fixed path latencies (identical for every shard: the rack is
+    // homogeneous Table 2 machines).
+    let serialization_rt = SimDuration::from_secs_f64(2.0 * bytes as f64 * 8.0 / 100e9);
+    let host_fixed = testbed.round_trip_fixed_latency(ExecutionPlatform::HostCpu)
+        + stack.added_latency(Arch::X86_64)
+        + serialization_rt;
+    let accel_fixed = testbed.round_trip_fixed_latency(ExecutionPlatform::SnicCpu)
+        + stack.added_latency(Arch::Aarch64)
+        + SimDuration::from_secs_f64(staging_us * 1e-6)
+        + serialization_rt;
+
+    let shard_count = config.rack.servers as usize;
+    let mut sim = Simulator::new();
+    sim.set_trace(scope.sink(config.duration));
+
+    let tallies = Rc::new(RefCell::new(Tallies {
+        counters: vec![ShardCounters::default(); shard_count],
+        hists: (0..shard_count).map(|_| LatencyHistogram::new()).collect(),
+    }));
+    let handler: Rc<dyn CompletionHandler> = Rc::new(FleetHandler {
+        tallies: tallies.clone(),
+        host_fixed,
+        accel_fixed,
+    });
+    let stations: Rc<Vec<ShardStations>> = Rc::new(
+        (0..config.rack.servers)
+            .map(|shard| {
+                let host =
+                    StationHandle::new(format!("s{shard:02}.host"), host_cpu.cores, Some(2048));
+                host.set_completion_handler(handler.clone());
+                let accel = config.rack.has_snic(shard).then(|| {
+                    let a = StationHandle::new(format!("s{shard:02}.accel"), 1, Some(1024));
+                    a.set_completion_handler(handler.clone());
+                    a
+                });
+                ShardStations { host, accel }
+            })
+            .collect(),
+    );
+    let ring = Rc::new(HashRing::new(0..config.rack.servers, config.vnodes));
+    let rng = Rc::new(RefCell::new(Rng::new(config.seed ^ 0xF1EE)));
+
+    let warmup_at = SimTime::ZERO + config.warmup;
+    let stop = SimTime::ZERO + config.duration;
+    let aggregate_gbps = config.per_server_gbps * config.rack.servers as f64;
+    let pps = aggregate_gbps * 1e9 / 8.0 / bytes as f64;
+
+    let gen = OpenLoop {
+        arrival: ArrivalKind::Poisson,
+        size: SizeSource::Fixed(bytes),
+        flows: config.flows,
+        seed: config.seed,
+        start: SimTime::ZERO,
+        stop,
+    };
+    {
+        let stations = stations.clone();
+        let ring = ring.clone();
+        let tallies = tallies.clone();
+        let rng = rng.clone();
+        let accel_backlog = config.accel_backlog;
+        let spill_threshold = config.spill_threshold;
+        gen.launch(
+            &mut sim,
+            move |_| pps,
+            move |sim, packet| {
+                let measured = packet.created >= warmup_at;
+                let key = packet.flow_hash();
+                let home = ring.route(key) as usize;
+                // Bounded work stealing: an overloaded home shard spills
+                // the flow one ring hop clockwise, but only onto a
+                // strictly lighter shard (no cascades, no ping-pong).
+                let mut shard = home;
+                let home_load = stations[home].host.load();
+                if home_load >= spill_threshold {
+                    if let Some(next) = ring.route_excluding(key, home as u32) {
+                        if stations[next as usize].host.load() < home_load {
+                            shard = next as usize;
+                        }
+                    }
+                }
+                let st = &stations[shard];
+                // The within-shard rung: accelerator while its backlog is
+                // short, host pool otherwise (host-only shards have no
+                // accelerator to consider).
+                let to_snic = st
+                    .accel
+                    .as_ref()
+                    .is_some_and(|a| a.queue_len() < accel_backlog);
+                if measured {
+                    let mut t = tallies.borrow_mut();
+                    t.counters[shard].sent += 1;
+                    if shard != home {
+                        t.counters[home].spill_out += 1;
+                        t.counters[shard].spill_in += 1;
+                    }
+                }
+                let (station, dist): (&StationHandle, &LogNormal) = match (to_snic, &st.accel) {
+                    (true, Some(a)) => (a, &accel_dist),
+                    _ => (&st.host, &host_dist),
+                };
+                let demand = {
+                    let mut r = rng.borrow_mut();
+                    SimDuration::from_secs_f64(dist.sample(&mut r).max(1.0) * 1e-9)
+                };
+                let token = shard as u64
+                    | if to_snic { SNIC_BIT } else { 0 }
+                    | if measured { MEASURED_BIT } else { 0 };
+                let admission =
+                    station.submit_tagged(sim, demand, token, packet.created.as_nanos());
+                if admission == Admission::Dropped && measured {
+                    tallies.borrow_mut().counters[shard].dropped += 1;
+                }
+            },
+        );
+    }
+    sim.run();
+    let now = sim.now();
+
+    // Roll up. The rate window is generator-stop minus warmup (drain
+    // time excluded), and after the full drain every measured admission
+    // is either a completion or a drop.
+    let window = stop.duration_since(warmup_at).as_secs_f64();
+    let t = tallies.borrow();
+    let mut violations = Vec::new();
+    let shards: Vec<ShardRollup> = (0..shard_count)
+        .map(|i| {
+            let c = t.counters[i];
+            debug_assert_eq!(
+                c.sent,
+                c.completed + c.dropped,
+                "shard {i} books must balance after the drain"
+            );
+            let st = &stations[i];
+            if !st.host.conservation_holds() {
+                violations.push(format!("shard {i} host station violates conservation"));
+            }
+            let host_stats = st.host.finalize_stats(now);
+            let accel_util = st
+                .accel
+                .as_ref()
+                .map_or(0.0, |a| a.finalize_stats(now).utilization(1, now));
+            let achieved_gbps = if window > 0.0 {
+                c.completed as f64 / window * bytes as f64 * 8.0 / 1e9
+            } else {
+                0.0
+            };
+            let p99_us = t.hists[i].p99() as f64 / 1e3;
+            let loss = if c.sent > 0 {
+                c.dropped as f64 / c.sent as f64
+            } else {
+                0.0
+            };
+            ShardRollup {
+                shard: i as u32,
+                has_snic: config.rack.has_snic(i as u32),
+                sent: c.sent,
+                completed: c.completed,
+                dropped: c.dropped,
+                snic_completed: c.snic_completed,
+                spill_in: c.spill_in,
+                spill_out: c.spill_out,
+                achieved_gbps,
+                p99_us,
+                host_util: host_stats.utilization(host_cpu.cores, now),
+                accel_util,
+                slo_met: config.slo.check_point(p99_us, achieved_gbps, loss).met(),
+            }
+        })
+        .collect();
+
+    let sent: u64 = shards.iter().map(|s| s.sent).sum();
+    let completed: u64 = shards.iter().map(|s| s.completed).sum();
+    let dropped: u64 = shards.iter().map(|s| s.dropped).sum();
+    let snic_completed: u64 = shards.iter().map(|s| s.snic_completed).sum();
+    let spills: u64 = shards.iter().map(|s| s.spill_out).sum();
+    let mut cluster_hist = LatencyHistogram::new();
+    for h in &t.hists {
+        cluster_hist.merge(h);
+    }
+    let cluster = ClusterMetrics {
+        offered_gbps: aggregate_gbps,
+        achieved_gbps: shards.iter().map(|s| s.achieved_gbps).sum(),
+        loss_rate: if sent > 0 {
+            dropped as f64 / sent as f64
+        } else {
+            0.0
+        },
+        mean_us: cluster_hist.mean() / 1e3,
+        p99_us: cluster_hist.p99() as f64 / 1e3,
+        snic_share: if completed > 0 {
+            snic_completed as f64 / completed as f64
+        } else {
+            0.0
+        },
+        sent,
+        completed,
+        dropped,
+        spills,
+        shards_meeting_slo: shards.iter().filter(|s| s.slo_met).count() as u32,
+    };
+    let tco = fleet_tco(&shards);
+
+    if scope.enabled() {
+        sim.trace().finish(now);
+        if let Some(data) = sim.trace().take() {
+            let host_util = mean(shards.iter().map(|s| s.host_util));
+            let snic_util = mean(shards.iter().filter(|s| s.has_snic).map(|s| s.accel_util));
+            let metrics = RunMetrics {
+                offered_ops: pps,
+                sent,
+                completed,
+                dropped,
+                achieved_ops: if window > 0.0 {
+                    completed as f64 / window
+                } else {
+                    0.0
+                },
+                achieved_gbps: cluster.achieved_gbps,
+                latency: LatencyStats {
+                    mean_us: cluster.mean_us,
+                    p50_us: cluster_hist.percentile(50.0) as f64 / 1e3,
+                    p99_us: cluster.p99_us,
+                    max_us: cluster_hist.max() as f64 / 1e3,
+                },
+                service_util: host_util,
+                host_cpu_util: host_util,
+                snic_util,
+                faults: crate::resilience::FaultTally {
+                    queue_rejections: dropped,
+                    exhausted: dropped,
+                    ..Default::default()
+                },
+            };
+            let mut fifo = FifoStats::default();
+            for st in stations.iter() {
+                for s in std::iter::once(&st.host).chain(st.accel.as_ref()) {
+                    let f = s.fifo_stats();
+                    fifo.offered += f.offered;
+                    fifo.accepted += f.accepted;
+                    fifo.dropped += f.dropped;
+                    fifo.dequeued += f.dequeued;
+                    fifo.max_depth = fifo.max_depth.max(f.max_depth);
+                }
+            }
+            let mut telemetry = RunTelemetry::from_trace(
+                scope.label(),
+                w.name(),
+                format!("fleet-{}x{}", config.rack.servers, config.rack.snic_servers),
+                config.seed,
+                metrics,
+                fifo,
+                data,
+                now,
+                violations,
+            );
+            telemetry.shards = shards.clone();
+            scope.submit(telemetry);
+        }
+    }
+
+    FleetReport {
+        shards,
+        cluster,
+        tco,
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u32);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / f64::from(n)
+    }
+}
+
+/// Scores the measured fleet against the 5-year TCO model: mean SNIC-shard
+/// goodput vs mean host-only-shard goodput, using the paper's REM-row
+/// power draws. `None` when the rack lacks either shard kind or a group
+/// measured zero goodput (nothing to compare).
+fn fleet_tco(shards: &[ShardRollup]) -> Option<FleetTco> {
+    let snic_shard_gbps = mean(
+        shards
+            .iter()
+            .filter(|s| s.has_snic)
+            .map(|s| s.achieved_gbps),
+    );
+    let host_shard_gbps = mean(
+        shards
+            .iter()
+            .filter(|s| !s.has_snic)
+            .map(|s| s.achieved_gbps),
+    );
+    if snic_shard_gbps <= 0.0 || host_shard_gbps <= 0.0 {
+        return None;
+    }
+    let inputs = TcoInputs::paper_default();
+    let break_even_ratio =
+        tco::break_even_capacity_ratio(&inputs, SNIC_SERVER_POWER_W, NIC_SERVER_POWER_W);
+    let row = tco::analyze(
+        &TcoScenario {
+            name: "fleet".into(),
+            snic_capacity: snic_shard_gbps,
+            nic_capacity: host_shard_gbps,
+            snic_power_w: SNIC_SERVER_POWER_W,
+            nic_power_w: NIC_SERVER_POWER_W,
+        },
+        &inputs,
+    );
+    let capacity_ratio = snic_shard_gbps / host_shard_gbps;
+    Some(FleetTco {
+        snic_shard_gbps,
+        host_shard_gbps,
+        capacity_ratio,
+        break_even_ratio,
+        pays_off: capacity_ratio > break_even_ratio,
+        savings: row.savings(),
+        nic_servers: row.nic_servers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snicbench_functions::rem::RemRuleset;
+
+    fn rem() -> Workload {
+        Workload::RemMtu(RemRuleset::FileExecutable)
+    }
+
+    fn small_config(servers: u32, snics: u32, gbps: f64) -> FleetConfig {
+        let mut cfg = FleetConfig::new(rem(), RackSpec::new(servers, snics), gbps);
+        cfg.duration = SimDuration::from_millis(4);
+        cfg.warmup = SimDuration::from_millis(1);
+        cfg
+    }
+
+    #[test]
+    fn fleet_books_balance_per_shard_and_in_aggregate() {
+        let report = simulate(&small_config(6, 2, 40.0));
+        assert_eq!(report.shards.len(), 6);
+        let mut total_sent = 0;
+        for s in &report.shards {
+            assert_eq!(
+                s.sent,
+                s.completed + s.dropped,
+                "shard {} books must balance",
+                s.shard
+            );
+            assert!(s.sent > 0, "flow hashing must reach shard {}", s.shard);
+            total_sent += s.sent;
+        }
+        assert_eq!(report.cluster.sent, total_sent);
+        assert_eq!(
+            report.cluster.sent,
+            report.cluster.completed + report.cluster.dropped
+        );
+        assert!(report.cluster.loss_rate >= 0.0);
+        // Spill conservation: every spill-out lands as someone's spill-in.
+        let out: u64 = report.shards.iter().map(|s| s.spill_out).sum();
+        let inn: u64 = report.shards.iter().map(|s| s.spill_in).sum();
+        assert_eq!(out, inn);
+        assert_eq!(report.cluster.spills, out);
+    }
+
+    #[test]
+    fn fleet_is_deterministic() {
+        let cfg = small_config(5, 2, 35.0);
+        let a = simulate(&cfg);
+        let b = simulate(&cfg);
+        assert_eq!(a, b, "same config + seed must reproduce exactly");
+    }
+
+    #[test]
+    fn snic_shards_offload_and_only_snic_shards() {
+        let report = simulate(&small_config(6, 2, 40.0));
+        for s in &report.shards {
+            if s.has_snic {
+                assert!(
+                    s.snic_completed > 0,
+                    "SNIC shard {} should use its accelerator",
+                    s.shard
+                );
+                assert!(s.accel_util > 0.0);
+            } else {
+                assert_eq!(s.snic_completed, 0);
+                assert_eq!(s.accel_util, 0.0);
+            }
+        }
+        assert!(report.cluster.snic_share > 0.0);
+        assert!(report.cluster.snic_share < 1.0);
+    }
+
+    #[test]
+    fn rate_window_excludes_the_drain() {
+        // Same invariant as the single-pair regression: shard goodput must
+        // divide by the 3 ms measurement window, not the drained clock.
+        let report = simulate(&small_config(4, 1, 70.0));
+        let bytes = rem().request_bytes() as f64;
+        for s in &report.shards {
+            if s.completed == 0 {
+                continue;
+            }
+            let implied = s.completed as f64 * bytes * 8.0 / 1e9 / s.achieved_gbps;
+            assert!(
+                (implied - 0.003).abs() < 1e-9,
+                "shard {} implied window {implied}s != 3ms",
+                s.shard
+            );
+        }
+    }
+
+    #[test]
+    fn overload_spills_between_shards() {
+        // A tiny spill threshold at a saturating load forces cross-shard
+        // work stealing.
+        let mut cfg = small_config(4, 0, 80.0);
+        cfg.spill_threshold = 8;
+        let report = simulate(&cfg);
+        assert!(
+            report.cluster.spills > 0,
+            "saturated shards should spill to neighbours"
+        );
+    }
+
+    #[test]
+    fn tco_requires_both_shard_kinds() {
+        let mixed = simulate(&small_config(4, 2, 30.0));
+        let tco = mixed.tco.expect("mixed rack has both kinds");
+        assert!(tco.capacity_ratio > 0.0);
+        assert!(
+            (1.0..1.1).contains(&tco.break_even_ratio),
+            "{}",
+            tco.break_even_ratio
+        );
+        assert_eq!(tco.pays_off, tco.capacity_ratio > tco.break_even_ratio);
+        let all_snic = simulate(&small_config(3, 3, 30.0));
+        assert!(all_snic.tco.is_none());
+        let no_snic = simulate(&small_config(3, 0, 30.0));
+        assert!(no_snic.tco.is_none());
+    }
+
+    #[test]
+    fn snic_shards_carry_overload_that_breaks_host_only_shards() {
+        // Above the host knee (~75 G) the accelerator rung absorbs what a
+        // host-only shard must drop: the SNIC group's goodput advantage is
+        // the fleet-scale version of Strategy 3's payoff.
+        let report = simulate(&small_config(6, 3, 85.0));
+        let tco = report.tco.expect("mixed rack");
+        assert!(
+            tco.capacity_ratio > 1.05,
+            "SNIC shards should out-carry host-only shards at overload: ratio {}",
+            tco.capacity_ratio
+        );
+        assert!(tco.pays_off, "the overload regime is where the SNIC pays");
+    }
+
+    #[test]
+    fn telemetry_scope_collects_shard_rollups() {
+        let ctx = crate::telemetry::RunContext::collecting();
+        let cfg = small_config(4, 2, 30.0);
+        let report = simulate_in(&cfg, &ctx.scope("fleet/test"));
+        let runs = ctx.drain();
+        assert_eq!(runs.len(), 1);
+        let run = &runs[0];
+        assert_eq!(run.label, "fleet/test");
+        assert_eq!(run.shards, report.shards);
+        // Stations bind to the trace lazily on first submit, so exactly
+        // the *serving* stations appear: the accelerator rung on SNIC
+        // shards (the host pool idles at this light load), the host pool
+        // on host-only shards.
+        let names: Vec<String> = run.stations.iter().map(|s| s.name.clone()).collect();
+        for expect in ["s00.accel", "s01.accel", "s02.host", "s03.host"] {
+            assert!(names.iter().any(|n| n == expect), "missing {expect} in {names:?}");
+        }
+        assert!(run.violations.is_empty(), "{:?}", run.violations);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty measurement window")]
+    fn fleet_warmup_must_leave_a_window() {
+        let mut cfg = small_config(2, 1, 10.0);
+        cfg.warmup = cfg.duration;
+        let _ = simulate(&cfg);
+    }
+}

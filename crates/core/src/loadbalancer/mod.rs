@@ -1,4 +1,4 @@
-//! SNIC/host load balancing (Strategy 3).
+//! SNIC/host load balancing (Strategy 3) and its fleet-scale extension.
 //!
 //! The paper's third strategy: since the accelerators cap below line rate
 //! (KO3) and the winner is input-dependent (KO4), a balancer should steer
@@ -11,6 +11,24 @@
 //! pool) under a routing [`Policy`]. Adaptive policies pay a per-packet
 //! monitoring tax on the SNIC path and react only at their control period,
 //! reproducing both the benefit and the caveat.
+//!
+//! The same corrected measurement accounting then scales out: [`ring`]
+//! provides the consistent-hash sharding front end and [`fleet`] the
+//! N-server × M-SNIC cluster simulation with per-shard roll-ups (the
+//! `fleet` binary).
+//!
+//! # Measurement semantics
+//!
+//! Both the single-pair and fleet simulations share the runner's window
+//! rules (DESIGN.md §5): the throughput window runs from the end of warmup
+//! to the *generator stop* — never to the drained `sim.now()`, which would
+//! charge the backlog drain time against the rate — and completions/drops
+//! are attributed to the window by packet **arrival** time, so a
+//! pre-warmup straggler completing after the boundary can never push
+//! `loss_rate` negative.
+
+pub mod fleet;
+pub mod ring;
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -34,6 +52,11 @@ use crate::calibration::{self, ServiceModel};
 /// the staging path).
 pub const MONITOR_TAX_NS: f64 = 60.0;
 
+/// Flow count of the single-pair balancer's generator. The
+/// [`Policy::StaticSplit`] flow-hash denominator derives from this same
+/// value, so the steered fraction tracks the generator exactly.
+pub const BALANCER_FLOWS: u64 = 256;
+
 /// A routing policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Policy {
@@ -43,7 +66,8 @@ pub enum Policy {
     AllHost,
     /// Flow-hash split: this fraction of flows go to the SNIC.
     StaticSplit {
-        /// Fraction of traffic steered to the SNIC, in `[0, 1]`.
+        /// Fraction of traffic steered to the SNIC, in `[0, 1]` (values
+        /// outside are clamped; NaN is rejected when routing).
         snic_fraction: f64,
     },
     /// Queue-occupancy threshold: packets go to the SNIC while its backlog
@@ -59,6 +83,27 @@ impl Policy {
     /// True if the policy requires per-packet monitoring on the SNIC CPU.
     pub fn is_adaptive(&self) -> bool {
         matches!(self, Policy::QueueThreshold { .. })
+    }
+
+    /// Routes one packet given its flow id, the generator's flow count,
+    /// and the SNIC station's current backlog: `true` = SNIC path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Policy::StaticSplit`] fraction is NaN.
+    pub fn routes_to_snic(&self, flow_id: u64, flows: u64, snic_backlog: usize) -> bool {
+        match *self {
+            Policy::AllSnic => true,
+            Policy::AllHost => false,
+            Policy::StaticSplit { snic_fraction } => {
+                assert!(!snic_fraction.is_nan(), "snic_fraction must not be NaN");
+                // Flow-hash: stable per flow. The denominator is the
+                // generator's actual flow count, not a hard-coded copy.
+                let fraction = snic_fraction.clamp(0.0, 1.0);
+                (flow_id as f64 / flows.max(1) as f64) < fraction
+            }
+            Policy::QueueThreshold { max_backlog } => snic_backlog < max_backlog,
+        }
     }
 }
 
@@ -81,7 +126,8 @@ pub struct BalancerConfig {
 }
 
 impl BalancerConfig {
-    /// Defaults: 150 ms runs with 15 ms warmup.
+    /// Defaults: 165 ms simulated — a 15 ms warmup followed by a 150 ms
+    /// measurement window.
     pub fn new(workload: Workload, policy: Policy, offered_gbps: f64) -> Self {
         BalancerConfig {
             workload,
@@ -105,14 +151,26 @@ pub struct BalancerMetrics {
     pub snic_share: f64,
     /// Loss rate across both paths.
     pub loss_rate: f64,
+    /// Packets that arrived inside the measurement window.
+    pub sent: u64,
+    /// Window arrivals that completed (attributed by arrival time).
+    pub completed: u64,
+    /// Window arrivals dropped at admission.
+    pub dropped: u64,
 }
 
 /// Runs the balancer simulation.
 ///
 /// # Panics
 ///
-/// Panics if the workload lacks a host or accelerator calibration.
+/// Panics if the workload lacks a host or accelerator calibration, if the
+/// warmup is not shorter than the duration, or if a
+/// [`Policy::StaticSplit`] fraction is NaN.
 pub fn simulate(config: &BalancerConfig) -> BalancerMetrics {
+    assert!(
+        config.warmup < config.duration,
+        "warmup must leave a non-empty measurement window"
+    );
     let w = config.workload;
     let bytes = w.request_bytes();
     let host_cal =
@@ -159,16 +217,17 @@ pub fn simulate(config: &BalancerConfig) -> BalancerMetrics {
     let counters = Rc::new(RefCell::new((0u64, 0u64, 0u64, 0u64)));
     let rng = Rc::new(RefCell::new(Rng::new(config.seed ^ 0xB4A)));
     let warmup_at = SimTime::ZERO + config.warmup;
+    let stop = SimTime::ZERO + config.duration;
     let pps = config.offered_gbps * 1e9 / 8.0 / bytes as f64;
     let policy = config.policy;
 
     let gen = OpenLoop {
         arrival: ArrivalKind::Poisson,
         size: SizeSource::Fixed(bytes),
-        flows: 256,
+        flows: BALANCER_FLOWS,
         seed: config.seed,
         start: SimTime::ZERO,
-        stop: SimTime::ZERO + config.duration,
+        stop,
     };
     {
         let host_station = host_station.clone();
@@ -180,22 +239,18 @@ pub fn simulate(config: &BalancerConfig) -> BalancerMetrics {
             &mut sim,
             move |_| pps,
             move |sim, packet| {
-                let measured = sim.now() >= warmup_at;
+                // Window membership is decided by *arrival* time and
+                // carried into the completion closure: a straggler created
+                // before warmup never counts, however late it finishes.
+                let measured = packet.created >= warmup_at;
                 if measured {
                     counters.borrow_mut().0 += 1;
                 }
-                // Route.
-                let to_snic = match policy {
-                    Policy::AllSnic => true,
-                    Policy::AllHost => false,
-                    Policy::StaticSplit { snic_fraction } => {
-                        // Flow-hash: stable per flow.
-                        (packet.flow_id as f64 / 256.0) < snic_fraction
-                    }
-                    Policy::QueueThreshold { max_backlog } => {
-                        accel_station.queue_len() < max_backlog
-                    }
-                };
+                let to_snic = policy.routes_to_snic(
+                    packet.flow_id,
+                    BALANCER_FLOWS,
+                    accel_station.queue_len(),
+                );
                 let (station, dist, fixed): (&StationHandle, &LogNormal, SimDuration) = if to_snic {
                     (&accel_station, &accel_dist, accel_fixed)
                 } else {
@@ -208,8 +263,8 @@ pub fn simulate(config: &BalancerConfig) -> BalancerMetrics {
                 let histogram = histogram.clone();
                 let counters2 = counters.clone();
                 let created = packet.created;
-                let admission = station.submit(sim, demand, move |sim2, completion| {
-                    if sim2.now() >= warmup_at {
+                let admission = station.submit(sim, demand, move |_, completion| {
+                    if measured {
                         let rtt = completion.finished.duration_since(created) + fixed;
                         let mut c = counters2.borrow_mut();
                         c.1 += 1;
@@ -227,9 +282,11 @@ pub fn simulate(config: &BalancerConfig) -> BalancerMetrics {
     }
     sim.run();
 
-    let now = sim.now();
-    let window = now.saturating_duration_since(warmup_at).as_secs_f64();
-    let (sent, completed, _dropped, snic_completed) = *counters.borrow();
+    // The rate window is generator-stop minus warmup. `sim.now()` at this
+    // point includes the backlog drain, which would deflate the rate at
+    // exactly the loss-inducing loads Strategy 3 operates at.
+    let window = stop.duration_since(warmup_at).as_secs_f64();
+    let (sent, completed, dropped, snic_completed) = *counters.borrow();
     let hist = histogram.borrow();
     BalancerMetrics {
         achieved_gbps: if window > 0.0 {
@@ -248,6 +305,9 @@ pub fn simulate(config: &BalancerConfig) -> BalancerMetrics {
         } else {
             0.0
         },
+        sent,
+        completed,
+        dropped,
     }
 }
 
@@ -327,5 +387,88 @@ mod tests {
         assert!(Policy::QueueThreshold { max_backlog: 1 }.is_adaptive());
         assert!(!Policy::AllSnic.is_adaptive());
         assert!(!Policy::StaticSplit { snic_fraction: 0.5 }.is_adaptive());
+    }
+
+    #[test]
+    fn rate_window_is_independent_of_the_drain() {
+        // Regression (PR 2's runner fix, ported here): at a loss-inducing
+        // load the stations carry a full backlog at generator stop, and
+        // draining it pushes `sim.now()` past the stop. The reported rate
+        // must divide by the configured window `stop - warmup` only — so
+        // the window implied by (completed, achieved_gbps) recovers it
+        // exactly.
+        let m = run_policy(Policy::AllSnic, 80.0);
+        assert!(m.loss_rate > 0.1, "needs a loss-inducing load to regress");
+        let bytes = rem().request_bytes() as f64;
+        let implied_window = m.completed as f64 * bytes * 8.0 / 1e9 / m.achieved_gbps;
+        assert!(
+            (implied_window - 0.050).abs() < 1e-9,
+            "implied window {implied_window}s != 50ms measurement window"
+        );
+    }
+
+    #[test]
+    fn warmup_stragglers_cannot_make_loss_negative() {
+        // Regression: jobs created before the warmup boundary complete
+        // after it. Counting completions by finish time inflated
+        // `completed` past `sent` and drove `loss_rate` negative; with
+        // arrival-time attribution the books balance exactly.
+        for gbps in [20.0, 40.0, 60.0, 80.0] {
+            let mut cfg = BalancerConfig::new(rem(), Policy::AllHost, gbps);
+            // A warmup barely shorter than the run maximizes the straggler
+            // fraction relative to the window.
+            cfg.duration = SimDuration::from_millis(22);
+            cfg.warmup = SimDuration::from_millis(15);
+            let m = simulate(&cfg);
+            assert!(
+                m.loss_rate >= 0.0,
+                "negative loss {} at {gbps}G",
+                m.loss_rate
+            );
+            assert_eq!(
+                m.sent,
+                m.completed + m.dropped,
+                "every window arrival is a completion or a drop at {gbps}G"
+            );
+        }
+    }
+
+    #[test]
+    fn static_split_fraction_is_clamped_and_tracks_the_flow_count() {
+        // Out-of-range fractions behave as their clamped endpoints...
+        let all = run_policy(Policy::StaticSplit { snic_fraction: 7.5 }, 30.0);
+        assert_eq!(all.snic_share, 1.0, "fraction > 1 clamps to all-SNIC");
+        let none = run_policy(
+            Policy::StaticSplit {
+                snic_fraction: -0.5,
+            },
+            30.0,
+        );
+        assert_eq!(none.snic_share, 0.0, "fraction < 0 clamps to all-host");
+        // ...and the routing denominator is the generator's flow count,
+        // not a hard-coded 256: the split lands on the half-way flow id
+        // whatever the count.
+        let split = Policy::StaticSplit { snic_fraction: 0.5 };
+        assert!(split.routes_to_snic(BALANCER_FLOWS / 2 - 1, BALANCER_FLOWS, 0));
+        assert!(!split.routes_to_snic(BALANCER_FLOWS / 2, BALANCER_FLOWS, 0));
+        assert!(split.routes_to_snic(499, 1000, 0));
+        assert!(!split.routes_to_snic(500, 1000, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_fraction_is_rejected() {
+        let _ = Policy::StaticSplit {
+            snic_fraction: f64::NAN,
+        }
+        .routes_to_snic(0, BALANCER_FLOWS, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty measurement window")]
+    fn warmup_must_leave_a_window() {
+        let mut cfg = BalancerConfig::new(rem(), Policy::AllHost, 10.0);
+        cfg.warmup = cfg.duration;
+        let _ = simulate(&cfg);
     }
 }

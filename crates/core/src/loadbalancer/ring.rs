@@ -1,0 +1,303 @@
+//! Consistent-hash sharding for the fleet front end.
+//!
+//! The fleet simulation spreads millions of flows over N server shards.
+//! A plain `hash % N` front end would remap almost every flow whenever a
+//! shard joins or leaves; [`HashRing`] is the classic consistent-hash
+//! alternative — each shard owns `vnodes` pseudo-random points on a 64-bit
+//! ring, and a key routes to the owner of the first point at or clockwise
+//! of its hash. Adding or removing one shard then only remaps the keys in
+//! the arcs that shard gains or loses (≈ `1/N` of the keyspace), and more
+//! vnodes tighten the per-shard load balance.
+//!
+//! Everything is deterministic: ring points and key placement are pure
+//! functions of the shard ids, the vnode count, and the key.
+
+/// Number of virtual nodes per shard when callers have no opinion. At 64
+/// vnodes the heaviest shard of a 64-shard ring stays within ~1.35× of
+/// fair share (the property test pins a 1.6× bound with margin).
+pub const DEFAULT_VNODES: u32 = 64;
+
+/// The 64-bit finalizer from splitmix64 — a full-avalanche mix so that
+/// consecutive shard ids and vnode indices land all over the ring.
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring over shard ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    /// Sorted `(point, shard)` pairs — the ring itself.
+    points: Vec<(u64, u32)>,
+    /// Member shard ids, sorted, no duplicates.
+    shards: Vec<u32>,
+    vnodes: u32,
+}
+
+impl HashRing {
+    /// Builds a ring over the given shard ids with `vnodes` points each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vnodes` is zero or a shard id repeats.
+    pub fn new(shards: impl IntoIterator<Item = u32>, vnodes: u32) -> Self {
+        assert!(vnodes > 0, "a shard needs at least one ring point");
+        let mut ring = HashRing {
+            points: Vec::new(),
+            shards: Vec::new(),
+            vnodes,
+        };
+        for shard in shards {
+            ring.add_shard(shard);
+        }
+        ring
+    }
+
+    /// A ring over shards `0..count` with [`DEFAULT_VNODES`] points each.
+    pub fn over(count: u32) -> Self {
+        Self::new(0..count, DEFAULT_VNODES)
+    }
+
+    /// The point on the ring for one (shard, vnode) pair.
+    fn point(shard: u32, vnode: u32) -> u64 {
+        mix64((u64::from(shard) << 32) | u64::from(vnode))
+    }
+
+    /// Adds a shard's vnodes to the ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is already a member.
+    pub fn add_shard(&mut self, shard: u32) {
+        let slot = self
+            .shards
+            .binary_search(&shard)
+            .expect_err("shard already on the ring");
+        self.shards.insert(slot, shard);
+        for vnode in 0..self.vnodes {
+            let point = Self::point(shard, vnode);
+            let at = self.points.partition_point(|&(p, s)| (p, s) < (point, shard));
+            self.points.insert(at, (point, shard));
+        }
+    }
+
+    /// Removes a shard's vnodes from the ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is not a member.
+    pub fn remove_shard(&mut self, shard: u32) {
+        let slot = self
+            .shards
+            .binary_search(&shard)
+            .expect("shard is not on the ring");
+        self.shards.remove(slot);
+        self.points.retain(|&(_, s)| s != shard);
+    }
+
+    /// Member shard ids, sorted.
+    pub fn shards(&self) -> &[u32] {
+        &self.shards
+    }
+
+    /// Number of member shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when no shard is on the ring.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Index of the first ring point at or clockwise of `key`'s hash.
+    fn successor(&self, key: u64) -> usize {
+        let h = mix64(key);
+        let at = self.points.partition_point(|&(p, _)| p < h);
+        // Past the last point the ring wraps to the first.
+        if at == self.points.len() {
+            0
+        } else {
+            at
+        }
+    }
+
+    /// The shard owning `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty.
+    pub fn route(&self, key: u64) -> u32 {
+        assert!(!self.points.is_empty(), "routing on an empty ring");
+        self.points[self.successor(key)].1
+    }
+
+    /// The first shard clockwise of `key` that is **not** `excluded` —
+    /// the spill target when `key`'s home shard is overloaded. Returns
+    /// `None` when `excluded` is the only member.
+    pub fn route_excluding(&self, key: u64, excluded: u32) -> Option<u32> {
+        if self.points.is_empty() || (self.shards.len() == 1 && self.shards[0] == excluded) {
+            return None;
+        }
+        let start = self.successor(key);
+        let n = self.points.len();
+        for step in 0..n {
+            let shard = self.points[(start + step) % n].1;
+            if shard != excluded {
+                return Some(shard);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn routes_are_stable_and_members_only() {
+        let ring = HashRing::over(8);
+        for key in 0..10_000u64 {
+            let shard = ring.route(key);
+            assert!(shard < 8);
+            assert_eq!(shard, ring.route(key), "routing must be a pure function");
+        }
+    }
+
+    #[test]
+    fn every_shard_owns_keys() {
+        let ring = HashRing::over(64);
+        let mut owners = std::collections::BTreeSet::new();
+        for key in 0..100_000u64 {
+            owners.insert(ring.route(key));
+        }
+        assert_eq!(owners.len(), 64, "each of 64 shards owns some keys");
+    }
+
+    #[test]
+    fn spill_target_differs_from_home() {
+        let ring = HashRing::over(8);
+        for key in 0..1_000u64 {
+            let home = ring.route(key);
+            let spill = ring.route_excluding(key, home).expect("7 other shards");
+            assert_ne!(spill, home);
+            assert!(spill < 8);
+        }
+        let lone = HashRing::over(1);
+        assert_eq!(lone.route_excluding(1, 0), None);
+    }
+
+    #[test]
+    fn spill_is_deterministic_and_usually_the_successor() {
+        let ring = HashRing::over(16);
+        for key in 0..1_000u64 {
+            let home = ring.route(key);
+            let a = ring.route_excluding(key, home);
+            let b = ring.route_excluding(key, home);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ring")]
+    fn empty_ring_rejects_routing() {
+        let _ = HashRing::new([], 4).route(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already on the ring")]
+    fn duplicate_shard_rejected() {
+        let _ = HashRing::new([3, 3], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not on the ring")]
+    fn removing_a_stranger_rejected() {
+        HashRing::over(2).remove_shard(7);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Balance bound: with DEFAULT_VNODES points per shard, no shard's
+        /// observed key share exceeds 1.6x fair share, and none starves
+        /// below 0.4x.
+        #[test]
+        fn load_stays_within_the_balance_bound(shards in 4u32..96, salt in 0u64..1_000) {
+            let ring = HashRing::over(shards);
+            let keys = 40_000u64;
+            let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
+            for k in 0..keys {
+                *counts.entry(ring.route(k.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt)).or_default() += 1;
+            }
+            let fair = keys as f64 / shards as f64;
+            for (&shard, &n) in &counts {
+                let share = n as f64 / fair;
+                prop_assert!(share < 1.6, "shard {shard} carries {share:.2}x fair share");
+            }
+            let min = counts.values().copied().min().unwrap_or(0);
+            prop_assert!(min as f64 / fair > 0.4, "starved shard at {:.2}x", min as f64 / fair);
+        }
+
+        /// Minimal remapping on shard ADD: every key either keeps its old
+        /// shard or moves to the new one, and the moved fraction is near
+        /// the ideal 1/(N+1).
+        #[test]
+        fn adding_a_shard_only_moves_keys_to_it(shards in 3u32..48, salt in 0u64..1_000) {
+            let before = HashRing::over(shards);
+            let mut after = before.clone();
+            after.add_shard(shards);
+            let keys = 20_000u64;
+            let mut moved = 0u64;
+            for k in 0..keys {
+                let key = k.wrapping_mul(0xD134_2543_DE82_EF95) ^ salt;
+                let old = before.route(key);
+                let new = after.route(key);
+                if new != old {
+                    prop_assert_eq!(new, shards, "a moved key must land on the new shard");
+                    moved += 1;
+                }
+            }
+            let ideal = keys as f64 / f64::from(shards + 1);
+            prop_assert!(
+                (moved as f64) < 2.0 * ideal,
+                "moved {moved} keys, ideal {ideal:.0}"
+            );
+        }
+
+        /// Minimal remapping on shard REMOVE: only the removed shard's keys
+        /// move, everyone else's stay put.
+        #[test]
+        fn removing_a_shard_only_moves_its_own_keys(shards in 3u32..48, victim_ix in 0u32..48, salt in 0u64..1_000) {
+            let victim = victim_ix % shards;
+            let before = HashRing::over(shards);
+            let mut after = before.clone();
+            after.remove_shard(victim);
+            for k in 0..20_000u64 {
+                let key = k.wrapping_mul(0xA076_1D64_78BD_642F) ^ salt;
+                let old = before.route(key);
+                let new = after.route(key);
+                if old != victim {
+                    prop_assert_eq!(new, old, "an unaffected key moved");
+                } else {
+                    prop_assert_ne!(new, victim);
+                }
+            }
+        }
+
+        /// Add-then-remove restores the exact original ring.
+        #[test]
+        fn add_remove_round_trips(shards in 2u32..32) {
+            let before = HashRing::over(shards);
+            let mut ring = before.clone();
+            ring.add_shard(shards + 7);
+            ring.remove_shard(shards + 7);
+            prop_assert_eq!(ring, before);
+        }
+    }
+}

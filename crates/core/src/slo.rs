@@ -45,22 +45,33 @@ impl Slo {
 
     /// The outcome of checking one run.
     pub fn check(&self, metrics: &RunMetrics) -> SloOutcome {
+        self.check_point(
+            metrics.latency.p99_us,
+            metrics.achieved_gbps,
+            metrics.loss_rate(),
+        )
+    }
+
+    /// Checks a bare (p99, throughput, loss) operating point — what the
+    /// fleet simulation evaluates per shard, where there is no full
+    /// [`RunMetrics`] record.
+    pub fn check_point(&self, p99_us: f64, achieved_gbps: f64, loss_rate: f64) -> SloOutcome {
         let mut violations = Vec::new();
-        if metrics.latency.p99_us > self.p99_us {
+        if p99_us > self.p99_us {
             violations.push(SloViolation::P99 {
-                measured_us: metrics.latency.p99_us,
+                measured_us: p99_us,
                 bound_us: self.p99_us,
             });
         }
-        if metrics.achieved_gbps < self.min_gbps {
+        if achieved_gbps < self.min_gbps {
             violations.push(SloViolation::Throughput {
-                measured_gbps: metrics.achieved_gbps,
+                measured_gbps: achieved_gbps,
                 floor_gbps: self.min_gbps,
             });
         }
-        if metrics.loss_rate() > self.max_loss {
+        if loss_rate > self.max_loss {
             violations.push(SloViolation::Loss {
-                measured: metrics.loss_rate(),
+                measured: loss_rate,
                 bound: self.max_loss,
             });
         }
@@ -189,6 +200,23 @@ mod tests {
         let slo = Slo::relative_to_host(5.07, 2.0);
         assert!(slo.check(&metrics(5.07, 0.76, 0.0)).met());
         assert!(!slo.check(&metrics(17.43, 0.76, 0.0)).met());
+    }
+
+    #[test]
+    fn check_and_check_point_agree() {
+        let slo = Slo {
+            p99_us: 100.0,
+            min_gbps: 10.0,
+            max_loss: 0.01,
+        };
+        for (p99, gbps, loss) in [(80.0, 20.0, 0.0), (150.0, 5.0, 0.05)] {
+            let m = metrics(p99, gbps, loss);
+            assert_eq!(
+                slo.check(&m),
+                slo.check_point(p99, gbps, m.loss_rate()),
+                "check must delegate to check_point"
+            );
+        }
     }
 
     #[test]

@@ -136,6 +136,26 @@ pub fn analyze(scenario: &TcoScenario, inputs: &TcoInputs) -> TcoRow {
     }
 }
 
+/// The per-server capacity ratio (SNIC server ÷ NIC server) at which the
+/// two fleets cost the same over the lifetime — the closed form of
+/// [`analyze`]'s comparison with the integer fleet-size ceiling removed.
+/// A SNIC-equipped server must deliver at least this multiple of a
+/// host-only server's throughput before the SmartNIC pays for itself; the
+/// fleet simulation compares its *measured* per-shard capacity ratio
+/// against it.
+pub fn break_even_capacity_ratio(
+    inputs: &TcoInputs,
+    snic_power_w: f64,
+    nic_power_w: f64,
+) -> f64 {
+    let hours = inputs.lifetime_hours();
+    let snic_lifetime =
+        inputs.server_base_cost + inputs.snic_cost + snic_power_w * hours / 1_000.0 * inputs.electricity_per_kwh;
+    let nic_lifetime =
+        inputs.server_base_cost + inputs.nic_cost + nic_power_w * hours / 1_000.0 * inputs.electricity_per_kwh;
+    snic_lifetime / nic_lifetime
+}
+
 /// The paper's four Table 5 scenarios with its reported per-server powers
 /// and capacity relationships. (The `table5` binary regenerates these from
 /// simulation instead; this constant set reproduces the paper's arithmetic
@@ -264,6 +284,38 @@ mod tests {
         let r = rows();
         assert!(r[2].snic_power_w < r[2].nic_power_w);
         assert!(r[2].savings() < 0.0);
+    }
+
+    #[test]
+    fn break_even_ratio_is_the_fleet_cost_crossover() {
+        let inputs = TcoInputs::paper_default();
+        // REM-like powers: the ratio sits a few percent above 1 because
+        // the SNIC's capex premium outweighs its power saving.
+        let ratio = break_even_capacity_ratio(&inputs, 255.0, 268.0);
+        assert!((1.0..1.1).contains(&ratio), "ratio {ratio}");
+        // At exactly the break-even capacity ratio, analyze() (sans the
+        // integer ceiling) reports ~zero savings: nudge capacities around
+        // it and watch the sign flip.
+        let row_at = |cap: f64| {
+            analyze(
+                &TcoScenario {
+                    name: "x".into(),
+                    snic_capacity: cap * 1_000.0,
+                    nic_capacity: 1_000.0,
+                    snic_power_w: 255.0,
+                    nic_power_w: 268.0,
+                },
+                &inputs,
+            )
+            .savings()
+        };
+        assert!(row_at(ratio * 1.05) > 0.0);
+        assert!(row_at(ratio * 0.95) < 0.0);
+        // Equal power and hardware cost → break-even at parity.
+        let mut flat = inputs;
+        flat.snic_cost = flat.nic_cost;
+        let parity = break_even_capacity_ratio(&flat, 250.0, 250.0);
+        assert!((parity - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -37,7 +37,10 @@ use crate::runner::RunMetrics;
 ///
 /// v2: metrics carry a `faults` section, trace counts carry fault/retry/
 /// failover counters, and the report roots a `failed_jobs` array.
-pub const RUN_REPORT_SCHEMA: &str = "snicbench.run-report.v2";
+///
+/// v3: every run carries a `shards` array (empty for single-pair runs);
+/// fleet runs fill it with per-shard roll-ups ([`ShardRollup`]).
+pub const RUN_REPORT_SCHEMA: &str = "snicbench.run-report.v3";
 
 /// Raw trace records kept per run (most recent events win).
 pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
@@ -250,6 +253,39 @@ pub struct PowerTelemetry {
     pub samples: u64,
 }
 
+/// One shard's (server's) roll-up inside a fleet run — the per-shard
+/// section of RunReport v3. Single-pair runs leave the `shards` array
+/// empty; the fleet simulation fills one entry per server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardRollup {
+    /// Shard id (server index in the rack).
+    pub shard: u32,
+    /// True when this server carries a SmartNIC.
+    pub has_snic: bool,
+    /// Measured requests routed to this shard (home or spilled in).
+    pub sent: u64,
+    /// Measured requests this shard completed.
+    pub completed: u64,
+    /// Measured requests this shard dropped at an admission queue.
+    pub dropped: u64,
+    /// Completions served on the SNIC accelerator rung.
+    pub snic_completed: u64,
+    /// Measured requests spilled *to* this shard from overloaded homes.
+    pub spill_in: u64,
+    /// Measured requests this shard spilled *away* while overloaded.
+    pub spill_out: u64,
+    /// Goodput over the measurement window, Gb/s.
+    pub achieved_gbps: f64,
+    /// p99 round-trip latency, µs.
+    pub p99_us: f64,
+    /// Host-station utilization over the whole run.
+    pub host_util: f64,
+    /// Accelerator-station utilization (0 for host-only shards).
+    pub accel_util: f64,
+    /// Whether the shard met the fleet SLO.
+    pub slo_met: bool,
+}
+
 /// Everything collected from one measurement run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunTelemetry {
@@ -281,6 +317,8 @@ pub struct RunTelemetry {
     pub violations: Vec<String>,
     /// Power timelines, when the experiment measured power at this point.
     pub power: Option<PowerTelemetry>,
+    /// Per-shard roll-ups (empty for single-pair runs; see [`ShardRollup`]).
+    pub shards: Vec<ShardRollup>,
 }
 
 impl RunTelemetry {
@@ -336,6 +374,7 @@ impl RunTelemetry {
             sim_end,
             violations,
             power: None,
+            shards: Vec::new(),
         }
     }
 
@@ -455,6 +494,26 @@ fn run_json(run: &RunTelemetry) -> Json {
                     ("peak_utilization", Json::Num(s.peak_utilization)),
                     ("utilization", series_json(&s.utilization)),
                     ("queue_depth", series_json(&s.queue_depth)),
+                ])
+            })),
+        ),
+        (
+            "shards",
+            Json::arr(run.shards.iter().map(|s| {
+                Json::obj([
+                    ("shard", Json::U64(u64::from(s.shard))),
+                    ("has_snic", Json::Bool(s.has_snic)),
+                    ("sent", Json::U64(s.sent)),
+                    ("completed", Json::U64(s.completed)),
+                    ("dropped", Json::U64(s.dropped)),
+                    ("snic_completed", Json::U64(s.snic_completed)),
+                    ("spill_in", Json::U64(s.spill_in)),
+                    ("spill_out", Json::U64(s.spill_out)),
+                    ("achieved_gbps", Json::Num(s.achieved_gbps)),
+                    ("p99_us", Json::Num(s.p99_us)),
+                    ("host_util", Json::Num(s.host_util)),
+                    ("accel_util", Json::Num(s.accel_util)),
+                    ("slo_met", Json::Bool(s.slo_met)),
                 ])
             })),
         ),

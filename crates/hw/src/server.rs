@@ -46,6 +46,47 @@ impl HostServer {
     }
 }
 
+/// A rack of Table 2 servers, the first `snic_servers` of which carry a
+/// BlueField-2 — the fleet topology the `fleet` binary simulates. Shard
+/// ids are server indices, so `has_snic` doubles as the per-shard
+/// platform question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RackSpec {
+    /// Total servers in the rack (one shard each).
+    pub servers: u32,
+    /// How many of them carry a SmartNIC (shards `0..snic_servers`).
+    pub snic_servers: u32,
+}
+
+impl RackSpec {
+    /// A rack of `servers` machines, `snic_servers` of them SNIC-equipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rack is empty or has more SNICs than servers.
+    pub fn new(servers: u32, snic_servers: u32) -> Self {
+        assert!(servers > 0, "a rack needs at least one server");
+        assert!(
+            snic_servers <= servers,
+            "cannot equip {snic_servers} of {servers} servers with SNICs"
+        );
+        RackSpec {
+            servers,
+            snic_servers,
+        }
+    }
+
+    /// True when shard `shard` is served by a SNIC-equipped machine.
+    pub fn has_snic(&self, shard: u32) -> bool {
+        shard < self.snic_servers
+    }
+
+    /// Number of host-only servers.
+    pub fn host_only(&self) -> u32 {
+        self.servers - self.snic_servers
+    }
+}
+
 /// The full evaluation testbed: server + SNIC + client link (Fig. 3).
 #[derive(Debug, Clone)]
 pub struct Testbed {
@@ -141,6 +182,28 @@ mod tests {
         for p in ExecutionPlatform::ALL {
             assert_eq!(tb.round_trip_fixed_latency(p), tb.ingress_latency(p) * 2);
         }
+    }
+
+    #[test]
+    fn rack_spec_partitions_shards() {
+        let rack = RackSpec::new(64, 8);
+        assert_eq!(rack.host_only(), 56);
+        assert!(rack.has_snic(0) && rack.has_snic(7));
+        assert!(!rack.has_snic(8) && !rack.has_snic(63));
+        let all = RackSpec::new(4, 4);
+        assert_eq!(all.host_only(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot equip")]
+    fn rack_rejects_too_many_snics() {
+        let _ = RackSpec::new(4, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn rack_rejects_zero_servers() {
+        let _ = RackSpec::new(0, 0);
     }
 
     #[test]

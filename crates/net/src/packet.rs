@@ -70,6 +70,16 @@ impl Packet {
         self.size_bytes.saturating_sub(Self::HEADER_BYTES)
     }
 
+    /// A full-avalanche 64-bit hash of the flow identity (the splitmix64
+    /// finalizer), for consistent-hash sharding: small consecutive flow
+    /// ids spread uniformly over the whole 64-bit keyspace.
+    pub fn flow_hash(&self) -> u64 {
+        let mut z = self.flow_id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
     /// Deterministically reproduces the packet's payload.
     ///
     /// The same packet always yields the same bytes, so functional
@@ -219,6 +229,19 @@ mod tests {
             .filter(|&&b| b == b' ' || b.is_ascii_lowercase())
             .count();
         assert!(texty * 2 > payload.len(), "payload should be mostly text");
+    }
+
+    #[test]
+    fn flow_hash_spreads_small_ids() {
+        let mut f = PacketFactory::new(1, 1 << 20);
+        let mut hi_bits = std::collections::HashSet::new();
+        for _ in 0..256 {
+            let p = f.create(64, SimTime::ZERO);
+            assert_eq!(p.flow_hash(), p.flow_hash(), "hash is pure");
+            hi_bits.insert(p.flow_hash() >> 56);
+        }
+        // Dense low flow ids must reach many high bytes of the keyspace.
+        assert!(hi_bits.len() > 100, "only {} high bytes", hi_bits.len());
     }
 
     #[test]

@@ -331,6 +331,13 @@ impl StationHandle {
         self.inner.borrow().waiting.len()
     }
 
+    /// Jobs currently in the station: in service plus waiting. The fleet
+    /// balancer uses this as its shard-overload signal.
+    pub fn load(&self) -> usize {
+        let st = self.inner.borrow();
+        st.busy + st.waiting.len()
+    }
+
     /// The station's name.
     pub fn name(&self) -> String {
         self.inner.borrow().name.clone()

@@ -1,0 +1,122 @@
+//! The fleet simulation end to end: RunReport v3 shard sections, byte
+//! identity of the exported report and trace across `--jobs` widths, and
+//! cluster-level conservation across a sweep of rack compositions.
+
+use snicbench::core::benchmark::Workload;
+use snicbench::core::executor::Executor;
+use snicbench::core::json::Json;
+use snicbench::core::loadbalancer::fleet::{simulate_in, FleetConfig, FleetReport};
+use snicbench::core::telemetry::{chrome_trace_json, run_report, RunContext, RUN_REPORT_SCHEMA};
+use snicbench::functions::rem::RemRuleset;
+use snicbench::hw::server::RackSpec;
+use snicbench::sim::SimDuration;
+
+fn cell_config(snics: u32, gbps: f64) -> FleetConfig {
+    let mut cfg = FleetConfig::new(
+        Workload::RemMtu(RemRuleset::FileExecutable),
+        RackSpec::new(8, snics),
+        gbps,
+    );
+    cfg.duration = SimDuration::from_millis(3);
+    cfg.warmup = SimDuration::from_millis(1);
+    cfg.seed ^= u64::from(snics) << 32 | gbps as u64;
+    cfg
+}
+
+/// The fleet binary's shape in miniature: a matrix of cells fanned over
+/// the executor, each collecting telemetry under its own label.
+fn sweep(jobs: usize) -> (String, String, Vec<FleetReport>) {
+    let cells: Vec<(u32, f64)> = vec![(2, 30.0), (2, 45.0), (4, 30.0), (4, 45.0)];
+    let ctx = RunContext::collecting();
+    let reports = Executor::new(jobs).map(cells, |(snics, gbps)| {
+        let cfg = cell_config(snics, gbps);
+        simulate_in(&cfg, &ctx.scope(format!("fleet/m{snics:02}/g{gbps:03.0}")))
+    });
+    let runs = ctx.drain();
+    assert_eq!(runs.len(), 4, "one telemetry run per cell");
+    (
+        run_report("fleet", Json::Null, &runs).to_pretty(),
+        chrome_trace_json(&runs).to_pretty(),
+        reports,
+    )
+}
+
+#[test]
+fn fleet_report_is_identical_at_any_job_count() {
+    let (report1, trace1, results1) = sweep(1);
+    let (report4, trace4, results4) = sweep(4);
+    assert_eq!(report1, report4, "RunReport diverged across job counts");
+    assert_eq!(trace1, trace4, "Chrome trace diverged across job counts");
+    assert_eq!(results1, results4, "fleet results diverged across job counts");
+}
+
+#[test]
+fn v3_report_carries_populated_shard_sections() {
+    let ctx = RunContext::collecting();
+    let cfg = cell_config(2, 40.0);
+    let report = simulate_in(&cfg, &ctx.scope("fleet/one"));
+    let runs = ctx.drain();
+    let doc = run_report("fleet", Json::Null, &runs);
+    assert_eq!(
+        doc.get("schema").and_then(|s| s.as_str()),
+        Some(RUN_REPORT_SCHEMA)
+    );
+    assert!(RUN_REPORT_SCHEMA.ends_with(".v3"), "fleet sections are a v3 feature");
+    let shards = doc
+        .get("runs")
+        .and_then(|r| r.as_arr())
+        .and_then(|r| r.first())
+        .and_then(|r| r.get("shards"))
+        .and_then(|s| s.as_arr())
+        .expect("runs[0].shards array");
+    assert_eq!(shards.len(), 8, "one entry per server");
+    for (i, (shard, rollup)) in shards.iter().zip(&report.shards).enumerate() {
+        assert_eq!(
+            shard.get("shard").and_then(Json::as_u64),
+            Some(i as u64),
+            "shards are indexed in server order"
+        );
+        assert_eq!(
+            shard.get("has_snic").and_then(Json::as_bool),
+            Some(i < 2)
+        );
+        assert_eq!(
+            shard.get("sent").and_then(Json::as_u64),
+            Some(rollup.sent),
+            "JSON mirrors the in-memory roll-up"
+        );
+        assert_eq!(
+            shard.get("completed").and_then(Json::as_u64).unwrap_or(0)
+                + shard.get("dropped").and_then(Json::as_u64).unwrap_or(0),
+            rollup.sent,
+            "shard books balance in the exported document"
+        );
+    }
+}
+
+#[test]
+fn cluster_rollup_is_the_sum_of_its_shards() {
+    for (snics, gbps) in [(0u32, 35.0), (4, 35.0), (8, 70.0)] {
+        let report = simulate_in(&cell_config(snics, gbps), &RunContext::disabled().scope("x"));
+        let sent: u64 = report.shards.iter().map(|s| s.sent).sum();
+        let completed: u64 = report.shards.iter().map(|s| s.completed).sum();
+        let dropped: u64 = report.shards.iter().map(|s| s.dropped).sum();
+        assert_eq!(report.cluster.sent, sent);
+        assert_eq!(report.cluster.completed, completed);
+        assert_eq!(report.cluster.dropped, dropped);
+        assert_eq!(sent, completed + dropped, "cluster books balance");
+        let gbps_sum: f64 = report.shards.iter().map(|s| s.achieved_gbps).sum();
+        assert!(
+            (report.cluster.achieved_gbps - gbps_sum).abs() < 1e-9,
+            "cluster goodput is the shard sum"
+        );
+        assert!(report.cluster.loss_rate >= 0.0);
+        let snic_completed: u64 = report.shards.iter().map(|s| s.snic_completed).sum();
+        if snics == 0 {
+            assert_eq!(snic_completed, 0);
+            assert_eq!(report.cluster.snic_share, 0.0);
+        } else {
+            assert!(snic_completed > 0, "SNIC shards must offload");
+        }
+    }
+}

@@ -10,9 +10,11 @@
 # expected schema while auditing stays clean), an engine-throughput
 # smoke (bench_engine --quick: the committed BENCH_engine.json must
 # pass its schema check and the measured events/sec must stay within
-# 20% of the committed trajectory), and a resilience smoke: a faulted
+# 20% of the committed trajectory), a resilience smoke (a faulted
 # sweep with conservation auditing armed must exit 0 with a
-# byte-identical RunReport at any job width.
+# byte-identical RunReport at any job width), and a fleet smoke: the
+# 64-server sharded-fleet sweep must be byte-identical at any job width
+# and its v3 RunReport must carry balanced per-shard roll-ups.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -65,12 +67,12 @@ echo "OK: byte-identical across job counts"
 
 jq -e '.traceEvents | length > 0' "$trace" > /dev/null \
   || { echo "FAIL: --trace output is not a Chrome trace" >&2; exit 1; }
-jq -e '.schema == "snicbench.run-report.v2" and (.runs | length > 0)' \
+jq -e '.schema == "snicbench.run-report.v3" and (.runs | length > 0)' \
   "$report" > /dev/null \
-  || { echo "FAIL: --json output is not a v2 RunReport" >&2; exit 1; }
+  || { echo "FAIL: --json output is not a v3 RunReport" >&2; exit 1; }
 jq -e '[.runs[].conformance.clean] | all' "$report" > /dev/null \
   || { echo "FAIL: RunReport records a conformance violation" >&2; exit 1; }
-echo "OK: trace + RunReport parse, schema v2, audit clean"
+echo "OK: trace + RunReport parse, schema v3, audit clean"
 
 echo "==== engine throughput smoke: bench_engine --quick ===="
 # Validates the committed BENCH_engine.json schema and fails when the
@@ -91,9 +93,38 @@ if ! diff -u "$res1" "$res4"; then
   echo "FAIL: resilience RunReport differs between --jobs 1 and --jobs 4" >&2
   exit 1
 fi
-jq -e '.schema == "snicbench.run-report.v2" and (.failed_jobs | length == 0)' \
+jq -e '.schema == "snicbench.run-report.v3" and (.failed_jobs | length == 0)' \
   "$res1" > /dev/null \
   || { echo "FAIL: resilience RunReport malformed or has failed jobs" >&2; exit 1; }
 jq -e '[.results[] | select(.intensity > 0)] | length > 0' "$res1" > /dev/null \
   || { echo "FAIL: resilience report has no faulted cells" >&2; exit 1; }
 echo "OK: resilience smoke clean, byte-identical across job counts"
+
+echo "==== fleet smoke: N x M sharded fleet, deterministic v3 shards ===="
+# The fleet sweep must be byte-identical at any job width — stdout and
+# the full JSON artifact — and every run in the v3 report must carry a
+# populated per-shard section (64 servers in the default rack).
+fleet1=$(mktemp)
+fleet4=$(mktemp)
+fleetj1=$(mktemp)
+fleetj4=$(mktemp)
+trap 'rm -f "$out1" "$out4" "$trace" "$report" "$res1" "$res4" "$fleet1" "$fleet4" "$fleetj1" "$fleetj4"' EXIT
+./target/release/fleet --quick --jobs 1 --json "$fleetj1" > "$fleet1" 2>/dev/null
+./target/release/fleet --quick --jobs 4 --json "$fleetj4" > "$fleet4" 2>/dev/null
+if ! diff -u "$fleet1" "$fleet4"; then
+  echo "FAIL: fleet --quick output differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+if ! diff -u "$fleetj1" "$fleetj4"; then
+  echo "FAIL: fleet RunReport differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+jq -e '.schema == "snicbench.run-report.v3"' "$fleetj1" > /dev/null \
+  || { echo "FAIL: fleet report is not a v3 RunReport" >&2; exit 1; }
+jq -e '(.runs | length > 0) and ([.runs[].shards | length == 64] | all)' \
+  "$fleetj1" > /dev/null \
+  || { echo "FAIL: fleet runs must carry 64 per-shard roll-ups each" >&2; exit 1; }
+jq -e '[.runs[].shards[] | .sent == .completed + .dropped] | all' \
+  "$fleetj1" > /dev/null \
+  || { echo "FAIL: a fleet shard's books do not balance" >&2; exit 1; }
+echo "OK: fleet smoke clean, byte-identical, v3 shard sections populated"
