@@ -119,29 +119,20 @@ fn results_json(rows: &[(Cell, FleetReport)]) -> Json {
     }))
 }
 
-fn parse_or_die<T: std::str::FromStr>(value: &str, flag: &str) -> T {
-    value.parse().unwrap_or_else(|_| {
-        eprintln!("fleet: invalid value '{value}' for {flag}");
-        std::process::exit(2);
-    })
-}
-
 fn main() {
     let args = Cli::new(
         "fleet",
         "N-server x M-SNIC fleet sweep behind consistent-hash sharding:\n\
          per-shard SLO roll-ups and the SNIC's TCO break-even per cell.",
     )
-    .opt("--servers", "N", "rack size (default 64)")
-    .opt("--snics", "M", "pin the SNIC-count axis to one value")
-    .opt("--gbps", "G", "pin the per-server-load axis to one value, Gb/s")
+    .servers_axis("rack size (default 64)")
+    .snics_axis("pin the SNIC-count axis to one value")
+    .gbps_axis("pin the per-server-load axis to one value, Gb/s")
     .parse();
 
-    let servers: u32 = args
-        .opt("--servers")
-        .map_or(64, |v| parse_or_die(v, "--servers"));
-    let snics: Option<u32> = args.opt("--snics").map(|v| parse_or_die(v, "--snics"));
-    let gbps: Option<f64> = args.opt("--gbps").map(|v| parse_or_die(v, "--gbps"));
+    let servers: u32 = args.value_or("--servers", 64);
+    let snics: Option<u32> = args.value_of("--snics");
+    let gbps: Option<f64> = args.value_of("--gbps");
     if let Some(m) = snics {
         if m > servers {
             eprintln!("fleet: --snics {m} exceeds --servers {servers}");

@@ -70,25 +70,10 @@ fn main() {
         "Degraded-mode resilience sweep: p99, goodput, and SLO-violation fraction\n\
          under seeded fault plans of increasing intensity, against the healthy baseline.",
     )
-    .opt(
-        "--workload",
-        "NAME",
-        "workload to degrade: crypto (default), compression, udp, redis",
-    )
+    .workload_axis("workload to degrade: crypto (default), compression, udp, redis")
     .parse();
 
-    let name = args.opt("--workload").unwrap_or("crypto").to_string();
-    let Some((_, workload)) = catalog().into_iter().find(|(n, _)| *n == name) else {
-        eprintln!(
-            "resilience: unknown workload '{name}' (choose from: {})",
-            catalog()
-                .iter()
-                .map(|(n, _)| *n)
-                .collect::<Vec<_>>()
-                .join(", ")
-        );
-        std::process::exit(2);
-    };
+    let workload = args.choice_or("--workload", "crypto", &catalog());
 
     let spec = ResilienceSpec::new(workload);
     if args.list {

@@ -48,6 +48,7 @@ pub struct Args {
     pub json: Option<String>,
     /// Where to write the Chrome-trace JSON, if anywhere.
     pub trace: Option<String>,
+    bin: String,
     jobs: Option<usize>,
     extras: Vec<String>,
     opt_values: Vec<(String, String)>,
@@ -97,6 +98,40 @@ impl Cli {
     ) -> Self {
         self.opts.push((name, value_name, help));
         self
+    }
+
+    // Shared sweep axes. Every tool that exposes one of these spells the
+    // flag, the value placeholder, and (via [`Args::value_of`] /
+    // [`Args::choice_or`]) the error message identically, so the 12+ bins
+    // stay interchangeable on the command line.
+
+    /// Registers the shared `--seed S` axis.
+    pub fn seed_axis(self) -> Self {
+        self.opt(
+            "--seed",
+            "S",
+            "override the base RNG seed (cells still derive per-cell seeds)",
+        )
+    }
+
+    /// Registers the shared `--gbps G` axis.
+    pub fn gbps_axis(self, help: &'static str) -> Self {
+        self.opt("--gbps", "G", help)
+    }
+
+    /// Registers the shared `--servers N` axis.
+    pub fn servers_axis(self, help: &'static str) -> Self {
+        self.opt("--servers", "N", help)
+    }
+
+    /// Registers the shared `--snics M` axis.
+    pub fn snics_axis(self, help: &'static str) -> Self {
+        self.opt("--snics", "M", help)
+    }
+
+    /// Registers the shared `--workload NAME` axis.
+    pub fn workload_axis(self, help: &'static str) -> Self {
+        self.opt("--workload", "NAME", help)
     }
 
     /// The usage block printed by `--help` and on errors.
@@ -173,7 +208,10 @@ impl Cli {
     /// The pure parser: no process exit, no global effects (tests use
     /// this directly).
     pub fn parse_from(&self, argv: &[String]) -> Result<Parsed, CliError> {
-        let mut args = Args::default();
+        let mut args = Args {
+            bin: self.bin.to_string(),
+            ..Args::default()
+        };
         let mut it = argv.iter();
         while let Some(a) = it.next() {
             let mut value_of = |flag: &str| -> Result<String, CliError> {
@@ -240,6 +278,71 @@ impl Args {
             .rev()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// The typed value of a bin-specific option, if it was given. On a
+    /// value that fails to parse as `T`, prints the uniform
+    /// `tool: invalid value '<v>' for <flag>` line and exits 2 — the one
+    /// error shape every bin shares ([`Args::try_value_of`] is the pure
+    /// variant for tests).
+    pub fn value_of<T: std::str::FromStr>(&self, flag: &str) -> Option<T> {
+        self.try_value_of(flag).unwrap_or_else(|e| {
+            eprintln!("{}: {}", self.bin, e.message);
+            std::process::exit(2);
+        })
+    }
+
+    /// The typed value of a bin-specific option, or `default` when the
+    /// flag was not given. Exits 2 on an unparseable value, like
+    /// [`Args::value_of`].
+    pub fn value_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> T {
+        self.value_of(flag).unwrap_or(default)
+    }
+
+    /// Pure variant of [`Args::value_of`]: no process exit.
+    pub fn try_value_of<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+    ) -> Result<Option<T>, CliError> {
+        match self.opt(flag) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| CliError {
+                message: format!("invalid value '{v}' for {flag}"),
+            }),
+        }
+    }
+
+    /// Resolves a named-choice option (e.g. the shared `--workload` axis)
+    /// against a catalog of `(name, value)` pairs, falling back to
+    /// `default` when the flag was not given. On an unknown name, prints
+    /// the uniform `tool: invalid value '<v>' for <flag> (choose from:
+    /// ...)` line and exits 2 ([`Args::try_choice_or`] is the pure
+    /// variant for tests).
+    pub fn choice_or<T: Clone>(&self, flag: &str, default: &str, catalog: &[(&str, T)]) -> T {
+        self.try_choice_or(flag, default, catalog).unwrap_or_else(|e| {
+            eprintln!("{}: {}", self.bin, e.message);
+            std::process::exit(2);
+        })
+    }
+
+    /// Pure variant of [`Args::choice_or`]: no process exit.
+    pub fn try_choice_or<T: Clone>(
+        &self,
+        flag: &str,
+        default: &str,
+        catalog: &[(&str, T)],
+    ) -> Result<T, CliError> {
+        let name = self.opt(flag).unwrap_or(default);
+        catalog
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| CliError {
+                message: format!(
+                    "invalid value '{name}' for {flag} (choose from: {})",
+                    catalog.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+                ),
+            })
     }
 
     /// The search budget selected by `--quick`.
@@ -368,6 +471,57 @@ mod tests {
         assert!(args_of(&cli, &["--root"]).is_err());
         assert!(args_of(&Cli::new("fig4", "t"), &["--root", "x"]).is_err());
         assert!(cli.usage().contains("--root PATH"));
+    }
+
+    #[test]
+    fn typed_values_parse_and_fall_back() {
+        let cli = Cli::new("fleet", "test tool")
+            .servers_axis("rack size")
+            .gbps_axis("per-server load")
+            .seed_axis();
+        let a = args_of(&cli, &["--servers", "32", "--gbps=47.5"]).unwrap();
+        assert_eq!(a.try_value_of::<u32>("--servers").unwrap(), Some(32));
+        assert_eq!(a.try_value_of::<f64>("--gbps").unwrap(), Some(47.5));
+        assert_eq!(a.try_value_of::<u64>("--seed").unwrap(), None);
+        // The uniform error shape, shared by every bin.
+        let a = args_of(&cli, &["--servers", "lots"]).unwrap();
+        let err = a.try_value_of::<u32>("--servers").unwrap_err();
+        assert_eq!(err.message, "invalid value 'lots' for --servers");
+    }
+
+    #[test]
+    fn choices_resolve_against_a_catalog() {
+        let cli = Cli::new("resilience", "test tool").workload_axis("workload to degrade");
+        let catalog = [("crypto", 1u8), ("udp", 2)];
+        let a = args_of(&cli, &[]).unwrap();
+        assert_eq!(a.try_choice_or("--workload", "crypto", &catalog).unwrap(), 1);
+        let a = args_of(&cli, &["--workload", "udp"]).unwrap();
+        assert_eq!(a.try_choice_or("--workload", "crypto", &catalog).unwrap(), 2);
+        let a = args_of(&cli, &["--workload=tls"]).unwrap();
+        let err = a.try_choice_or("--workload", "crypto", &catalog).unwrap_err();
+        assert_eq!(
+            err.message,
+            "invalid value 'tls' for --workload (choose from: crypto, udp)"
+        );
+    }
+
+    #[test]
+    fn shared_axes_register_uniform_usage_lines() {
+        let cli = Cli::new("diurnal", "test tool")
+            .seed_axis()
+            .gbps_axis("mean per-server load")
+            .servers_axis("rack size")
+            .snics_axis("SNIC count")
+            .workload_axis("workload under test");
+        for needle in [
+            "--seed S",
+            "--gbps G",
+            "--servers N",
+            "--snics M",
+            "--workload NAME",
+        ] {
+            assert!(cli.usage().contains(needle), "usage lacks {needle}");
+        }
     }
 
     #[test]

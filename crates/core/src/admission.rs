@@ -1,0 +1,305 @@
+//! Client-side adaptive admission: an AIMD concurrency limit.
+//!
+//! The paper's open-loop client offers load at a configured rate no matter
+//! what the server does; real datacenter clients adapt. This module adds
+//! the standard congestion-avoidance shape (additive-increase /
+//! multiplicative-decrease, the TCP/`squeeze` family) over *observed*
+//! latency and loss samples from the event loop: every admitted request
+//! holds one concurrency slot until its completion (or drop) releases it,
+//! successes under load grow the limit by one, and an overload signal — a
+//! queue drop, or a round trip past the latency threshold — cuts the
+//! limit multiplicatively.
+//!
+//! The limiter is deliberately deterministic state-machine simple: no
+//! wall-clock, no RNG, every transition driven by simulation events, so
+//! an adaptive run replays byte-identically at any `--jobs` width. The
+//! [`crate::diurnal`] experiment drives it against the static-rate client
+//! over a simulated 24 h traffic curve.
+
+use snicbench_sim::SimDuration;
+
+/// Which client admission policy a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionMode {
+    /// The paper's open-loop client: every generated request is offered
+    /// to the serving station, whatever the observed latency.
+    Static,
+    /// The AIMD concurrency limit: requests beyond the current window are
+    /// rejected at the client instead of queued at the server.
+    Adaptive,
+}
+
+impl AdmissionMode {
+    /// Short machine-readable code (`static` / `adaptive`).
+    pub fn code(self) -> &'static str {
+        match self {
+            AdmissionMode::Static => "static",
+            AdmissionMode::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// Tuning of an [`AimdLimiter`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AimdSettings {
+    /// Concurrency window at start.
+    pub initial: usize,
+    /// Floor the window never shrinks below.
+    pub min: usize,
+    /// Ceiling the window never grows past.
+    pub max: usize,
+    /// Additive increase per utilized success.
+    pub increase: usize,
+    /// Multiplicative decrease factor on overload, in `(0, 1)`.
+    pub decrease: f64,
+    /// Round trips at or above this are overload signals, µs.
+    pub latency_threshold_us: f64,
+}
+
+impl AimdSettings {
+    /// The standard tuning against an SLO target: start at 256 slots in
+    /// `[16, 8192]`, grow by 1, cut to 70%, and treat half the SLO's p99
+    /// budget as the overload threshold (react *before* the SLO burns).
+    pub fn standard(slo_p99_us: f64) -> Self {
+        AimdSettings {
+            initial: 256,
+            min: 16,
+            max: 8192,
+            increase: 1,
+            decrease: 0.7,
+            latency_threshold_us: slo_p99_us * 0.5,
+        }
+    }
+}
+
+/// What a completed request looked like to the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Finished under the latency threshold.
+    Success,
+    /// Dropped, or finished over the latency threshold.
+    Overload,
+}
+
+/// The AIMD concurrency limiter.
+///
+/// ```
+/// use snicbench_core::admission::{AimdLimiter, AimdSettings, Outcome};
+///
+/// let mut limiter = AimdLimiter::new(AimdSettings::standard(400.0));
+/// assert!(limiter.try_acquire());
+/// limiter.release(Outcome::Success);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AimdLimiter {
+    settings: AimdSettings,
+    limit: usize,
+    in_flight: usize,
+    /// High-water mark of the window over the limiter's lifetime.
+    peak_limit: usize,
+    /// Number of multiplicative cuts taken.
+    cuts: u64,
+}
+
+impl AimdLimiter {
+    /// Creates a limiter at `settings.initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= min <= initial <= max` and `decrease` is in
+    /// `(0, 1)`.
+    pub fn new(settings: AimdSettings) -> Self {
+        assert!(settings.min >= 1, "window floor must be at least 1");
+        assert!(
+            settings.min <= settings.initial && settings.initial <= settings.max,
+            "need min <= initial <= max"
+        );
+        assert!(
+            settings.decrease > 0.0 && settings.decrease < 1.0,
+            "decrease factor must be in (0,1)"
+        );
+        AimdLimiter {
+            limit: settings.initial,
+            peak_limit: settings.initial,
+            in_flight: 0,
+            cuts: 0,
+            settings,
+        }
+    }
+
+    /// Tries to take a concurrency slot. `false` means the client should
+    /// reject the request (it never reaches a server queue).
+    pub fn try_acquire(&mut self) -> bool {
+        if self.in_flight < self.limit {
+            self.in_flight += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns a slot and applies the AIMD update: a success while the
+    /// window was at least half full grows the limit additively (an
+    /// under-utilized window carries no congestion signal, so it stays
+    /// put); an overload cuts it multiplicatively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with no request in flight.
+    pub fn release(&mut self, outcome: Outcome) {
+        assert!(self.in_flight > 0, "release without acquire");
+        let utilized = self.in_flight * 2 >= self.limit;
+        self.in_flight -= 1;
+        match outcome {
+            Outcome::Success => {
+                if utilized {
+                    self.limit = (self.limit + self.settings.increase).min(self.settings.max);
+                    self.peak_limit = self.peak_limit.max(self.limit);
+                }
+            }
+            Outcome::Overload => {
+                let cut = (self.limit as f64 * self.settings.decrease) as usize;
+                self.limit = cut.max(self.settings.min);
+                self.cuts += 1;
+            }
+        }
+    }
+
+    /// Classifies a finished request for [`AimdLimiter::release`]:
+    /// dropped requests and round trips at or past the latency threshold
+    /// are overload signals.
+    pub fn classify(&self, rtt: SimDuration, dropped: bool) -> Outcome {
+        if dropped || rtt.as_micros_f64() >= self.settings.latency_threshold_us {
+            Outcome::Overload
+        } else {
+            Outcome::Success
+        }
+    }
+
+    /// The current concurrency window.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Requests currently holding a slot.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// The largest window the limiter ever reached.
+    pub fn peak_limit(&self) -> usize {
+        self.peak_limit
+    }
+
+    /// How many multiplicative cuts the limiter has taken.
+    pub fn cuts(&self) -> u64 {
+        self.cuts
+    }
+
+    /// The tuning this limiter runs with.
+    pub fn settings(&self) -> &AimdSettings {
+        &self.settings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> AimdSettings {
+        AimdSettings {
+            initial: 4,
+            min: 2,
+            max: 8,
+            increase: 1,
+            decrease: 0.5,
+            latency_threshold_us: 100.0,
+        }
+    }
+
+    #[test]
+    fn acquire_gates_at_the_limit() {
+        let mut l = AimdLimiter::new(tiny());
+        for _ in 0..4 {
+            assert!(l.try_acquire());
+        }
+        assert!(!l.try_acquire(), "fifth slot must be rejected");
+        assert_eq!(l.in_flight(), 4);
+        l.release(Outcome::Success);
+        assert!(l.try_acquire(), "a released slot is reusable");
+    }
+
+    #[test]
+    fn utilized_successes_grow_additively_to_the_cap() {
+        let mut l = AimdLimiter::new(tiny());
+        for round in 0..10 {
+            // Fill the window completely, then succeed it all back: every
+            // release is utilized, so each round grows the limit.
+            let before = l.limit();
+            while l.try_acquire() {}
+            for _ in 0..before {
+                l.release(Outcome::Success);
+            }
+            assert!(
+                l.limit() > before || l.limit() == 8,
+                "round {round}: window must grow until the cap"
+            );
+        }
+        assert_eq!(l.limit(), 8, "growth is additive and capped at max");
+        assert_eq!(l.peak_limit(), 8);
+    }
+
+    #[test]
+    fn idle_successes_do_not_grow_the_window() {
+        let mut l = AimdLimiter::new(AimdSettings {
+            initial: 8,
+            ..tiny()
+        });
+        // One request in an 8-slot window is not a congestion signal.
+        assert!(l.try_acquire());
+        l.release(Outcome::Success);
+        assert_eq!(l.limit(), 8);
+    }
+
+    #[test]
+    fn overload_cuts_multiplicatively_to_the_floor() {
+        let mut l = AimdLimiter::new(AimdSettings {
+            initial: 8,
+            ..tiny()
+        });
+        assert!(l.try_acquire());
+        l.release(Outcome::Overload);
+        assert_eq!(l.limit(), 4, "8 × 0.5");
+        assert!(l.try_acquire());
+        l.release(Outcome::Overload);
+        assert!(l.try_acquire());
+        l.release(Outcome::Overload);
+        assert_eq!(l.limit(), 2, "the floor holds");
+        assert_eq!(l.cuts(), 3);
+    }
+
+    #[test]
+    fn classify_uses_threshold_and_drop() {
+        let l = AimdLimiter::new(tiny());
+        let fast = SimDuration::from_micros(50);
+        let slow = SimDuration::from_micros(150);
+        assert_eq!(l.classify(fast, false), Outcome::Success);
+        assert_eq!(l.classify(slow, false), Outcome::Overload);
+        assert_eq!(l.classify(fast, true), Outcome::Overload);
+    }
+
+    #[test]
+    fn standard_settings_derive_from_the_slo() {
+        let s = AimdSettings::standard(400.0);
+        assert_eq!(s.latency_threshold_us, 200.0);
+        let l = AimdLimiter::new(s);
+        assert_eq!(l.limit(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without acquire")]
+    fn release_requires_acquire() {
+        let mut l = AimdLimiter::new(tiny());
+        l.release(Outcome::Success);
+    }
+}

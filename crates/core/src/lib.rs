@@ -37,13 +37,21 @@
 //! * [`advisor`] — Strategy 2: predict the best platform for a workload
 //!   under an SLO.
 //! * [`loadbalancer`] — Strategy 3: SNIC/host load-splitting policies.
+//! * [`admission`] — client-side adaptive admission: the AIMD concurrency
+//!   window driven by observed latency/loss samples.
+//! * [`diurnal`] — the production-traffic experiment: a multi-tenant
+//!   diurnal mix over a compressed 24 h clock, served by host / SNIC /
+//!   fleet platforms under static vs adaptive admission, scored per
+//!   simulated hour against the SLO.
 //! * [`observations`] — programmatic validation of Key Observations 1–5.
 //! * [`whatif`] — Strategy 1 projection: how much of the SNIC CPU's
 //!   kernel-stack gap a hardware TCP/UDP offload would close.
 //! * [`report`] — text rendering of the paper's tables and figures.
 
+pub mod admission;
 pub mod advisor;
 pub mod benchmark;
+pub mod diurnal;
 pub mod calibration;
 pub mod conformance;
 pub mod executor;

@@ -28,7 +28,7 @@ use snicbench_hw::server::{RackSpec, Testbed};
 use snicbench_hw::ExecutionPlatform;
 use snicbench_metrics::LatencyHistogram;
 use snicbench_net::stack::StackModel;
-use snicbench_net::traffic::{ArrivalKind, OpenLoop, SizeSource};
+use snicbench_net::traffic::{Poisson, TrafficSpec};
 use snicbench_sim::dist::{Distribution, LogNormal};
 use snicbench_sim::queue::FifoStats;
 use snicbench_sim::rng::Rng;
@@ -325,14 +325,11 @@ pub fn simulate_in(config: &FleetConfig, scope: &RunScope) -> FleetReport {
     let aggregate_gbps = config.per_server_gbps * config.rack.servers as f64;
     let pps = aggregate_gbps * 1e9 / 8.0 / bytes as f64;
 
-    let gen = OpenLoop {
-        arrival: ArrivalKind::Poisson,
-        size: SizeSource::Fixed(bytes),
-        flows: config.flows,
-        seed: config.seed,
-        start: SimTime::ZERO,
-        stop,
-    };
+    let gen = TrafficSpec::new(Poisson::at_pps(pps))
+        .fixed_size(bytes)
+        .flows(config.flows)
+        .seed(config.seed)
+        .window(SimTime::ZERO, stop);
     {
         let stations = stations.clone();
         let ring = ring.clone();
@@ -342,7 +339,6 @@ pub fn simulate_in(config: &FleetConfig, scope: &RunScope) -> FleetReport {
         let spill_threshold = config.spill_threshold;
         gen.launch(
             &mut sim,
-            move |_| pps,
             move |sim, packet| {
                 let measured = packet.created >= warmup_at;
                 let key = packet.flow_hash();

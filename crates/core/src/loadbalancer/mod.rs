@@ -38,7 +38,7 @@ use snicbench_hw::server::Testbed;
 use snicbench_hw::ExecutionPlatform;
 use snicbench_metrics::LatencyHistogram;
 use snicbench_net::stack::StackModel;
-use snicbench_net::traffic::{ArrivalKind, OpenLoop, SizeSource};
+use snicbench_net::traffic::{Poisson, TrafficSpec};
 use snicbench_sim::dist::{Distribution, LogNormal};
 use snicbench_sim::rng::Rng;
 use snicbench_sim::station::{Admission, StationHandle};
@@ -221,14 +221,11 @@ pub fn simulate(config: &BalancerConfig) -> BalancerMetrics {
     let pps = config.offered_gbps * 1e9 / 8.0 / bytes as f64;
     let policy = config.policy;
 
-    let gen = OpenLoop {
-        arrival: ArrivalKind::Poisson,
-        size: SizeSource::Fixed(bytes),
-        flows: BALANCER_FLOWS,
-        seed: config.seed,
-        start: SimTime::ZERO,
-        stop,
-    };
+    let gen = TrafficSpec::new(Poisson::at_pps(pps))
+        .fixed_size(bytes)
+        .flows(BALANCER_FLOWS)
+        .seed(config.seed)
+        .window(SimTime::ZERO, stop);
     {
         let host_station = host_station.clone();
         let accel_station = accel_station.clone();
@@ -237,7 +234,6 @@ pub fn simulate(config: &BalancerConfig) -> BalancerMetrics {
         let rng = rng.clone();
         gen.launch(
             &mut sim,
-            move |_| pps,
             move |sim, packet| {
                 // Window membership is decided by *arrival* time and
                 // carried into the completion closure: a straggler created

@@ -26,7 +26,7 @@ use snicbench_hw::ExecutionPlatform;
 use snicbench_metrics::LatencyHistogram;
 use snicbench_net::stack::StackModel;
 use snicbench_net::trace::RateTrace;
-use snicbench_net::traffic::{ArrivalKind, OpenLoop, SizeSource};
+use snicbench_net::traffic::{ArrivalKind, RateDriven, TrafficSpec};
 use snicbench_sim::dist::{Distribution, LogNormal};
 use snicbench_sim::fault::{self, FaultPlan};
 use snicbench_sim::rng::{DrawStream, Rng};
@@ -355,18 +355,15 @@ pub fn run_in(config: &RunConfig, scope: &RunScope) -> RunMetrics {
         *dispatch_cell.borrow_mut() = Some(dispatch);
     }
 
-    let gen = OpenLoop {
-        arrival: ArrivalKind::Poisson,
-        size: SizeSource::Fixed(bytes),
-        flows: 64,
-        seed: config.seed,
-        start: SimTime::ZERO,
-        stop: SimTime::ZERO + config.duration,
-    };
+    let gen = TrafficSpec::new(RateDriven::new(ArrivalKind::Poisson, rate_fn))
+        .fixed_size(bytes)
+        .flows(64)
+        .seed(config.seed)
+        .window(SimTime::ZERO, SimTime::ZERO + config.duration);
     {
         let counters = counters.clone();
         let cell = dispatch_cell.clone();
-        gen.launch(&mut sim, rate_fn, move |sim, packet| {
+        gen.launch(&mut sim, move |sim, packet| {
             let measured = sim.now() >= warmup_at;
             if measured {
                 counters.borrow_mut().0 += 1;

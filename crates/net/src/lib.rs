@@ -9,8 +9,9 @@
 //!   Key Observation 1 lives here: kernel stacks burn so many cycles that
 //!   the SNIC's wimpy cores drown in them, while RDMA offloads the stack to
 //!   NIC hardware and inverts the comparison.
-//! * [`traffic`] — open-loop traffic generators (paced, Poisson, on-off
-//!   bursts) driving packets into the simulation.
+//! * [`traffic`] — open-loop traffic generation behind the
+//!   [`traffic::ArrivalProcess`] trait: paced, Poisson, on-off bursts,
+//!   diurnal curves, and multi-tenant Zipf mixes with flow churn.
 //! * [`pktgen`] — a DPDK-Pktgen-style client: line-rate-fraction pacing,
 //!   fixed or mixed packet sizes, trace replay.
 //! * [`trace`] — rate-over-time traces: the synthetic hyperscaler trace of

@@ -14,7 +14,7 @@ use snicbench_sim::SimTime;
 
 use crate::packet::Packet;
 use crate::trace::RateTrace;
-use crate::traffic::{ArrivalKind, GenStats, OpenLoop, SizeSource};
+use crate::traffic::{ArrivalKind, GenStats, RateDriven, SizeSource, TrafficSpec};
 
 /// What drives the offered rate.
 #[derive(Debug, Clone)]
@@ -105,28 +105,22 @@ impl Pktgen {
         F: FnMut(&mut Simulator, Packet) + 'static,
     {
         let mean_bytes = self.size.mean_bytes();
-        let gen = OpenLoop {
-            arrival: self.arrival,
-            size: self.size.clone(),
-            flows: 64,
-            seed: self.seed,
-            start,
-            stop,
-        };
         let rate = self.rate.clone();
         let line = self.line_rate_gbps;
-        gen.launch(
-            sim,
-            move |t| {
-                let gbps = match &rate {
-                    RateMode::LineRateFraction(f) => f * line,
-                    RateMode::FixedGbps(g) => *g,
-                    RateMode::Trace(trace) => trace.rate_gbps(t),
-                };
-                gbps * 1e9 / 8.0 / mean_bytes
-            },
-            sink,
-        )
+        let process = RateDriven::new(self.arrival, move |t| {
+            let gbps = match &rate {
+                RateMode::LineRateFraction(f) => f * line,
+                RateMode::FixedGbps(g) => *g,
+                RateMode::Trace(trace) => trace.rate_gbps(t),
+            };
+            gbps * 1e9 / 8.0 / mean_bytes
+        });
+        TrafficSpec::new(process)
+            .size(self.size.clone())
+            .flows(64)
+            .seed(self.seed)
+            .window(start, stop)
+            .launch(sim, sink)
     }
 }
 

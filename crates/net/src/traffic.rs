@@ -1,24 +1,45 @@
-//! Open-loop traffic generation.
+//! Open-loop traffic generation behind the unified [`ArrivalProcess`] API.
 //!
 //! The paper's latency methodology is open-loop: the client offers packets
 //! at a configured rate regardless of whether the server keeps up, the
 //! experiment finds the *maximum sustainable throughput* (highest offered
 //! rate the server still absorbs), and p99 latency is measured at that
-//! operating point. [`OpenLoop`] implements that client: it schedules
-//! packet departures by an arrival process (paced or Poisson), sizes them
-//! from a [`SizeSource`], and hands each packet to a sink callback.
+//! operating point. [`TrafficSpec`] implements that client: an
+//! [`ArrivalProcess`] shapes the offered rate over simulated time and draws
+//! the inter-departure gaps, a [`SizeSource`] sizes each packet, and every
+//! packet is handed to a sink callback at its departure instant.
+//!
+//! Arrival processes come in production-shaped flavours beyond the paper's
+//! lab load:
+//!
+//! * [`Paced`] / [`Poisson`] — the classic fixed-rate clients.
+//! * [`RateDriven`] — an arbitrary rate-over-time function (trace replay,
+//!   line-rate caps) with paced or Poisson gaps.
+//! * [`OnOffModulator`] — heavy-tailed microbursts.
+//! * [`DiurnalCurve`] — a sinusoidal day/night load curve over a
+//!   compressed 24 h clock.
+//! * [`TenantMix`] — the multi-tenant composition: Zipf-distributed
+//!   tenant shares, per-tenant diurnal phase and amplitude, heavy-tailed
+//!   per-tenant payload mixes, and seeded flow churn with exact books
+//!   ([`FlowChurn`]).
+//!
+//! The legacy [`OpenLoop`] client survives as a thin shim over
+//! [`TrafficSpec`]; its `paced`/`poisson` constructors are deprecated.
+//! Every process draws from the batched [`DrawStream`] in a fixed order
+//! (packet size first, then the gap), so results are byte-identical to the
+//! pre-trait generator and independent of `--jobs`.
 
 use std::cell::RefCell;
 use std::rc::{Rc, Weak};
 
-use snicbench_sim::dist::{Distribution, Empirical};
+use snicbench_sim::dist::{Distribution, Empirical, Zipf};
 use snicbench_sim::engine::{EventHandler, EventToken, Simulator};
 use snicbench_sim::rng::{DrawStream, Rng};
 use snicbench_sim::{SimDuration, SimTime};
 
 use crate::packet::{Packet, PacketFactory};
 
-/// The inter-departure process of the generator.
+/// The inter-departure gap family of a generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ArrivalKind {
     /// Deterministic pacing at exactly the configured rate (DPDK-Pktgen's
@@ -27,6 +48,159 @@ pub enum ArrivalKind {
     /// Poisson arrivals with the configured mean rate (open-loop service
     /// benchmarks).
     Poisson,
+}
+
+impl ArrivalKind {
+    /// Draws the gap to the next departure at the instantaneous `rate_pps`.
+    ///
+    /// Paced gaps consume no draws; Poisson gaps consume exactly one.
+    fn gap(self, rate_pps: f64, stream: &mut DrawStream) -> SimDuration {
+        match self {
+            ArrivalKind::Paced => SimDuration::from_secs_f64(1.0 / rate_pps),
+            ArrivalKind::Poisson => {
+                let mean = 1.0 / rate_pps;
+                SimDuration::from_secs_f64(-mean * (1.0 - stream.next_f64()).ln())
+            }
+        }
+    }
+}
+
+/// A departure process: the offered rate as a function of simulated time
+/// plus the gap law between consecutive departures.
+///
+/// The trait is object-safe so [`TrafficSpec`] can hold any process —
+/// fixed-rate, trace-driven, bursty, or diurnal — behind one launch path.
+/// Implementations must draw from the [`DrawStream`] in a deterministic
+/// order and count for a given rate, never from ambient state, so the
+/// generator's packet sequence replays exactly per seed.
+pub trait ArrivalProcess: std::fmt::Debug {
+    /// The offered packet rate at instant `t`, in packets per second.
+    /// A non-positive rate pauses the generator (it re-polls every
+    /// millisecond without emitting).
+    fn rate_at(&self, t: SimTime) -> f64;
+
+    /// Draws the gap to the next departure, given the instantaneous
+    /// `rate_pps` returned by [`ArrivalProcess::rate_at`] (always
+    /// positive here).
+    fn next_gap(&self, rate_pps: f64, stream: &mut DrawStream) -> SimDuration;
+
+    /// The long-run mean rate in packets per second, for sizing and
+    /// reporting.
+    fn mean_rate(&self) -> f64;
+}
+
+/// Deterministic pacing at a fixed rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Paced {
+    rate_pps: f64,
+}
+
+impl Paced {
+    /// A paced process at `rate_pps` packets per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_pps` is negative or non-finite.
+    pub fn at_pps(rate_pps: f64) -> Self {
+        assert!(rate_pps.is_finite() && rate_pps >= 0.0, "invalid rate");
+        Paced { rate_pps }
+    }
+}
+
+impl ArrivalProcess for Paced {
+    fn rate_at(&self, _t: SimTime) -> f64 {
+        self.rate_pps
+    }
+    fn next_gap(&self, rate_pps: f64, stream: &mut DrawStream) -> SimDuration {
+        ArrivalKind::Paced.gap(rate_pps, stream)
+    }
+    fn mean_rate(&self) -> f64 {
+        self.rate_pps
+    }
+}
+
+/// Poisson arrivals at a fixed mean rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    rate_pps: f64,
+}
+
+impl Poisson {
+    /// A Poisson process with mean rate `rate_pps` packets per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_pps` is negative or non-finite.
+    pub fn at_pps(rate_pps: f64) -> Self {
+        assert!(rate_pps.is_finite() && rate_pps >= 0.0, "invalid rate");
+        Poisson { rate_pps }
+    }
+}
+
+impl ArrivalProcess for Poisson {
+    fn rate_at(&self, _t: SimTime) -> f64 {
+        self.rate_pps
+    }
+    fn next_gap(&self, rate_pps: f64, stream: &mut DrawStream) -> SimDuration {
+        ArrivalKind::Poisson.gap(rate_pps, stream)
+    }
+    fn mean_rate(&self) -> f64 {
+        self.rate_pps
+    }
+}
+
+/// An arrival process whose rate is an arbitrary function of simulated
+/// time — trace replay, line-rate-capped offered load, or any other
+/// shape the caller computes — with paced or Poisson gaps.
+pub struct RateDriven {
+    kind: ArrivalKind,
+    rate: Box<dyn Fn(SimTime) -> f64>,
+    mean_pps: Option<f64>,
+}
+
+impl RateDriven {
+    /// Wraps `rate` (packets per second as a function of the instant)
+    /// with the given gap law.
+    pub fn new<R>(kind: ArrivalKind, rate: R) -> Self
+    where
+        R: Fn(SimTime) -> f64 + 'static,
+    {
+        RateDriven {
+            kind,
+            rate: Box::new(rate),
+            mean_pps: None,
+        }
+    }
+
+    /// Declares the long-run mean rate (otherwise [`mean_rate`] reports
+    /// the rate at `t = 0`).
+    ///
+    /// [`mean_rate`]: ArrivalProcess::mean_rate
+    pub fn with_mean(mut self, mean_pps: f64) -> Self {
+        self.mean_pps = Some(mean_pps);
+        self
+    }
+}
+
+impl std::fmt::Debug for RateDriven {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RateDriven")
+            .field("kind", &self.kind)
+            .field("mean_pps", &self.mean_pps)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ArrivalProcess for RateDriven {
+    fn rate_at(&self, t: SimTime) -> f64 {
+        (self.rate)(t)
+    }
+    fn next_gap(&self, rate_pps: f64, stream: &mut DrawStream) -> SimDuration {
+        self.kind.gap(rate_pps, stream)
+    }
+    fn mean_rate(&self) -> f64 {
+        self.mean_pps.unwrap_or_else(|| (self.rate)(SimTime::ZERO))
+    }
 }
 
 /// How packet sizes are chosen.
@@ -64,7 +238,114 @@ pub struct GenStats {
     pub bytes: u64,
 }
 
-/// An open-loop packet generator.
+/// The unified open-loop client: an [`ArrivalProcess`], a size law, a
+/// flow space, a seed, and an emission window, launched into a simulator
+/// with a per-packet sink.
+///
+/// ```
+/// use snicbench_net::traffic::{Poisson, TrafficSpec};
+/// use snicbench_sim::engine::Simulator;
+/// use snicbench_sim::{SimDuration, SimTime};
+///
+/// let mut sim = Simulator::new();
+/// let stats = TrafficSpec::new(Poisson::at_pps(10_000.0))
+///     .fixed_size(1024)
+///     .seed(7)
+///     .window(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(100))
+///     .launch(&mut sim, |_, _| {});
+/// sim.run();
+/// assert!(stats.borrow().sent > 0);
+/// ```
+#[derive(Debug)]
+pub struct TrafficSpec {
+    arrival: Box<dyn ArrivalProcess>,
+    size: SizeSource,
+    flows: u64,
+    seed: u64,
+    start: SimTime,
+    stop: SimTime,
+}
+
+impl TrafficSpec {
+    /// A spec with the given arrival process and the defaults the paper's
+    /// experiments use: fixed 64 B packets over 64 flows, seed `0xC11E47`,
+    /// and an empty window (set one with [`TrafficSpec::window`]).
+    pub fn new(arrival: impl ArrivalProcess + 'static) -> Self {
+        TrafficSpec {
+            arrival: Box::new(arrival),
+            size: SizeSource::Fixed(64),
+            flows: 64,
+            seed: 0xC11E47,
+            start: SimTime::ZERO,
+            stop: SimTime::ZERO,
+        }
+    }
+
+    /// Sets a fixed wire size in bytes.
+    pub fn fixed_size(mut self, bytes: u64) -> Self {
+        self.size = SizeSource::Fixed(bytes);
+        self
+    }
+
+    /// Sets an arbitrary [`SizeSource`].
+    pub fn size(mut self, size: SizeSource) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// Sets the number of distinct flows packets spread over.
+    pub fn flows(mut self, flows: u64) -> Self {
+        self.flows = flows;
+        self
+    }
+
+    /// Sets the RNG seed (departure jitter and payload seeds derive from
+    /// it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the emission window: first departure at `start`, none at or
+    /// after `stop`.
+    pub fn window(mut self, start: SimTime, stop: SimTime) -> Self {
+        self.start = start;
+        self.stop = stop;
+        self
+    }
+
+    /// The long-run mean rate of the arrival process, packets per second.
+    pub fn mean_rate(&self) -> f64 {
+        self.arrival.mean_rate()
+    }
+
+    /// Launches the generator into `sim`; `sink` receives each packet at
+    /// its departure time. Returns a handle to live counters.
+    pub fn launch<F>(self, sim: &mut Simulator, sink: F) -> Rc<RefCell<GenStats>>
+    where
+        F: FnMut(&mut Simulator, Packet) + 'static,
+    {
+        let stats = Rc::new(RefCell::new(GenStats::default()));
+        let handler = Rc::new(GenHandler {
+            me: RefCell::new(Weak::new()),
+            state: RefCell::new(GenState {
+                factory: PacketFactory::new(self.seed, self.flows),
+                rng: DrawStream::new(Rng::new(self.seed)),
+                arrival: self.arrival,
+                size: self.size,
+                stop: self.stop,
+                sink: Box::new(sink),
+                stats: stats.clone(),
+            }),
+        });
+        *handler.me.borrow_mut() = Rc::downgrade(&handler);
+        handler.schedule(sim, self.start);
+        stats
+    }
+}
+
+/// The legacy open-loop client, kept as a shim over [`TrafficSpec`] for
+/// code that still carries the pre-0.6 shape around.
 #[derive(Debug, Clone)]
 pub struct OpenLoop {
     /// Departure process.
@@ -82,8 +363,11 @@ pub struct OpenLoop {
 }
 
 impl OpenLoop {
-    /// A paced generator of fixed-size packets over 64 flows — the common
-    /// case in the paper's experiments.
+    /// A paced generator of fixed-size packets over 64 flows.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use TrafficSpec::new(Paced::at_pps(..)) or RateDriven"
+    )]
     pub fn paced(size_bytes: u64, start: SimTime, stop: SimTime) -> Self {
         OpenLoop {
             arrival: ArrivalKind::Paced,
@@ -96,49 +380,43 @@ impl OpenLoop {
     }
 
     /// A Poisson generator of fixed-size packets over 64 flows.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use TrafficSpec::new(Poisson::at_pps(..)) or RateDriven"
+    )]
     pub fn poisson(size_bytes: u64, start: SimTime, stop: SimTime) -> Self {
         OpenLoop {
             arrival: ArrivalKind::Poisson,
-            ..Self::paced(size_bytes, start, stop)
+            size: SizeSource::Fixed(size_bytes),
+            flows: 64,
+            seed: 0xC11E47,
+            start,
+            stop,
         }
     }
 
-    /// Launches the generator into `sim`.
-    ///
-    /// * `rate_pps` maps the current instant to the offered packet rate —
-    ///   a constant for fixed-rate runs, a trace lookup for replay. A zero
-    ///   rate pauses the generator (it re-checks every millisecond).
-    /// * `sink` receives each packet at its departure time.
-    ///
-    /// Returns a handle to live counters.
+    /// Launches the generator into `sim` by delegating to
+    /// [`TrafficSpec::launch`] with a [`RateDriven`] process wrapping
+    /// `rate_pps`. Byte-identical to the pre-trait generator.
     pub fn launch<R, F>(self, sim: &mut Simulator, rate_pps: R, sink: F) -> Rc<RefCell<GenStats>>
     where
         R: Fn(SimTime) -> f64 + 'static,
         F: FnMut(&mut Simulator, Packet) + 'static,
     {
-        let stats = Rc::new(RefCell::new(GenStats::default()));
-        let handler = Rc::new(GenHandler {
-            me: RefCell::new(Weak::new()),
-            state: RefCell::new(GenState {
-                config: self.clone(),
-                factory: PacketFactory::new(self.seed, self.flows),
-                rng: DrawStream::new(Rng::new(self.seed)),
-                rate_pps: Box::new(rate_pps),
-                sink: Box::new(sink),
-                stats: stats.clone(),
-            }),
-        });
-        *handler.me.borrow_mut() = Rc::downgrade(&handler);
-        let start = self.start;
-        handler.schedule(sim, start);
-        stats
+        TrafficSpec::new(RateDriven::new(self.arrival, rate_pps))
+            .size(self.size)
+            .flows(self.flows)
+            .seed(self.seed)
+            .window(self.start, self.stop)
+            .launch(sim, sink)
     }
 }
 
-/// An on-off (burst/idle) rate modulator with Pareto-distributed burst
-/// lengths — the heavy-tailed traffic microbursts datacenter measurement
-/// studies report (e.g. the paper's reference on microbursts, Zhang et
-/// al., IMC'17). Compose it with [`OpenLoop::launch`]'s rate function.
+/// An on-off (burst/idle) rate modulator with deterministic per-period
+/// duty jitter — the heavy-tailed traffic microbursts datacenter
+/// measurement studies report (e.g. the paper's reference on microbursts,
+/// Zhang et al., IMC'17). Usable directly as an [`ArrivalProcess`] (paced
+/// gaps at the modulated rate) or composed into a [`RateDriven`] process.
 ///
 /// The modulator is *stateless in simulated time*: the on/off schedule is
 /// derived deterministically from the instant, so it can be queried out of
@@ -201,14 +479,349 @@ impl OnOffModulator {
     }
 }
 
+impl ArrivalProcess for OnOffModulator {
+    fn rate_at(&self, t: SimTime) -> f64 {
+        OnOffModulator::rate_at(self, t)
+    }
+    fn next_gap(&self, rate_pps: f64, stream: &mut DrawStream) -> SimDuration {
+        ArrivalKind::Paced.gap(rate_pps, stream)
+    }
+    fn mean_rate(&self) -> f64 {
+        OnOffModulator::mean_rate(self)
+    }
+}
+
+/// A sinusoidal day/night load curve over a compressed 24 h clock, with
+/// Poisson gaps at the instantaneous rate.
+///
+/// The rate at fraction `x` of the day is
+/// `mean × (1 + amplitude × sin(2π(x + phase)))`, which integrates to
+/// exactly `mean` over any whole day, peaks at `mean × (1 + amplitude)`,
+/// and bottoms out at `mean × (1 − amplitude)`. With the default phase of
+/// `0.75` the day starts at the trough, so hour 0 of a simulation is the
+/// quiet overnight valley and the peak lands mid-day.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalCurve {
+    mean_pps: f64,
+    amplitude: f64,
+    day: SimDuration,
+    phase: f64,
+}
+
+impl DiurnalCurve {
+    /// A curve with mean rate `mean_pps`, relative swing `amplitude` in
+    /// `[0, 1)`, one simulated day of `day`, and the trough-at-midnight
+    /// phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_pps` is negative, `amplitude` outside `[0, 1)`, or
+    /// `day` zero.
+    pub fn new(mean_pps: f64, amplitude: f64, day: SimDuration) -> Self {
+        assert!(mean_pps.is_finite() && mean_pps >= 0.0, "invalid mean rate");
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0,1)"
+        );
+        assert!(!day.is_zero(), "day must be positive");
+        DiurnalCurve {
+            mean_pps,
+            amplitude,
+            day,
+            phase: 0.75,
+        }
+    }
+
+    /// Shifts the curve by `phase` day-fractions (wrapped into `[0, 1)`).
+    pub fn with_phase(mut self, phase: f64) -> Self {
+        assert!(phase.is_finite(), "invalid phase");
+        self.phase = (0.75 + phase).rem_euclid(1.0);
+        self
+    }
+
+    /// The fraction of the day elapsed at instant `t` (wraps past one
+    /// day).
+    pub fn day_fraction(&self, t: SimTime) -> f64 {
+        (t.as_nanos() % self.day.as_nanos()) as f64 / self.day.as_nanos() as f64
+    }
+
+    /// The length of the simulated day.
+    pub fn day(&self) -> SimDuration {
+        self.day
+    }
+}
+
+impl ArrivalProcess for DiurnalCurve {
+    fn rate_at(&self, t: SimTime) -> f64 {
+        let x = self.day_fraction(t);
+        self.mean_pps * (1.0 + self.amplitude * (std::f64::consts::TAU * (x + self.phase)).sin())
+    }
+    fn next_gap(&self, rate_pps: f64, stream: &mut DrawStream) -> SimDuration {
+        ArrivalKind::Poisson.gap(rate_pps, stream)
+    }
+    fn mean_rate(&self) -> f64 {
+        self.mean_pps
+    }
+}
+
+/// Seeded flow arrival/churn with exact books.
+///
+/// A fixed-size working set of live flows serves packets; on each
+/// assignment a seeded coin retires one live flow and opens a fresh one
+/// (connection churn), and the serving flow is picked by a Zipf draw over
+/// the working set, so a few hot flows carry most packets (key
+/// popularity). The books are exact by construction and audited by
+/// [`ChurnBooks::balanced`]: `opened == closed + live`, and a closed flow
+/// id is never reused.
+#[derive(Debug, Clone)]
+pub struct FlowChurn {
+    rng: Rng,
+    zipf: Zipf,
+    live: Vec<u64>,
+    next_id: u64,
+    opened: u64,
+    closed: u64,
+    churn: f64,
+}
+
+/// The conservation ledger of a [`FlowChurn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnBooks {
+    /// Flows ever opened (includes the initial working set).
+    pub opened: u64,
+    /// Flows retired.
+    pub closed: u64,
+    /// Flows currently live.
+    pub live: u64,
+}
+
+impl ChurnBooks {
+    /// The churn conservation law: every opened flow is either closed or
+    /// still live.
+    pub fn balanced(&self) -> bool {
+        self.opened == self.closed + self.live
+    }
+}
+
+impl FlowChurn {
+    /// A churn book-keeper with `working_set` live flows, per-packet
+    /// churn probability `churn`, Zipf key skew `theta`, and flow ids
+    /// starting at `id_base` (keeps tenants' flow spaces disjoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `working_set` is zero, `churn` outside `[0, 1]`, or
+    /// `theta` outside `[0, 1)`.
+    pub fn new(working_set: u64, churn: f64, theta: f64, id_base: u64, seed: u64) -> Self {
+        assert!(working_set > 0, "need at least one live flow");
+        assert!((0.0..=1.0).contains(&churn), "churn must be in [0,1]");
+        FlowChurn {
+            rng: Rng::new(seed),
+            zipf: Zipf::new(working_set, theta),
+            live: (0..working_set).map(|i| id_base + i).collect(),
+            next_id: id_base + working_set,
+            opened: working_set,
+            closed: 0,
+            churn,
+        }
+    }
+
+    /// Assigns the next packet to a live flow, churning the working set
+    /// by the seeded coin first.
+    pub fn assign(&mut self) -> u64 {
+        if self.churn > 0.0 && self.rng.chance(self.churn) {
+            let idx = self.rng.below(self.live.len() as u64) as usize;
+            self.live[idx] = self.next_id;
+            self.next_id += 1;
+            self.opened += 1;
+            self.closed += 1;
+        }
+        let rank = self.zipf.sample(&mut self.rng) as usize;
+        self.live[rank % self.live.len()]
+    }
+
+    /// The current conservation ledger.
+    pub fn books(&self) -> ChurnBooks {
+        ChurnBooks {
+            opened: self.opened,
+            closed: self.closed,
+            live: self.live.len() as u64,
+        }
+    }
+}
+
+/// One tenant of a [`TenantMix`]: its Zipf share of the aggregate load,
+/// its phase-shifted diurnal curve, its payload mix, and its seeds.
+#[derive(Debug, Clone)]
+pub struct Tenant {
+    /// Tenant index (0 = most popular).
+    pub id: u32,
+    /// This tenant's fraction of the aggregate mean load (Zipf share).
+    pub share: f64,
+    /// The tenant's diurnal rate curve (already scaled by `share`).
+    pub curve: DiurnalCurve,
+    /// The tenant's heavy-tailed payload mix.
+    pub size: SizeSource,
+    /// Seed of the tenant's generator and churn streams.
+    pub seed: u64,
+}
+
+/// Live handles of one launched tenant generator.
+#[derive(Debug)]
+pub struct TenantHandle {
+    /// The tenant's emission counters.
+    pub stats: Rc<RefCell<GenStats>>,
+    /// The tenant's flow-churn books.
+    pub churn: Rc<RefCell<FlowChurn>>,
+}
+
+/// The multi-tenant production traffic mix: `n` tenants whose shares of
+/// the aggregate mean load follow a Zipf law (`share_k ∝ 1/(k+1)^theta`),
+/// each with its own diurnal phase/amplitude jitter, heavy-tailed payload
+/// mix, and seeded flow churn.
+///
+/// All per-tenant parameters derive deterministically from the mix seed
+/// via [`Rng::fork`], so the same `(n, theta, rate, day, seed)` tuple
+/// always builds byte-identical tenants.
+#[derive(Debug, Clone)]
+pub struct TenantMix {
+    /// The derived tenants, index 0 the most popular.
+    pub tenants: Vec<Tenant>,
+    /// The shared compressed 24 h clock.
+    pub day: SimDuration,
+}
+
+/// The wire sizes tenant payload mixes draw from: the paper's small/large
+/// datacenter packets, the MTU, and two storage-ish block sizes for the
+/// heavy tail.
+const TENANT_SIZES: [f64; 5] = [64.0, 256.0, 1024.0, 1500.0, 4096.0];
+
+impl TenantMix {
+    /// Builds `n` tenants with Zipf skew `theta` over an aggregate mean
+    /// offered load of `total_pps` packets per second and a simulated day
+    /// of `day`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, `theta` outside `[0, 1)`, or `total_pps`
+    /// non-positive.
+    pub fn new(n: u32, theta: f64, total_pps: f64, day: SimDuration, seed: u64) -> Self {
+        assert!(n > 0, "need at least one tenant");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        assert!(
+            total_pps.is_finite() && total_pps > 0.0,
+            "aggregate rate must be positive"
+        );
+        let root = Rng::new(seed);
+        let weight = |k: u32| 1.0 / f64::from(k + 1).powf(theta);
+        let total_weight: f64 = (0..n).map(weight).sum();
+        let tenants = (0..n)
+            .map(|k| {
+                let mut fork = root.fork(u64::from(k));
+                let share = weight(k) / total_weight;
+                // Per-tenant diurnal shape: phases cluster around the
+                // common peak (offices wake together) with a ±1.2 h
+                // jitter; amplitudes spread in [0.45, 0.75].
+                let phase = (fork.next_f64() - 0.5) * 0.1;
+                let amplitude = 0.45 + 0.3 * fork.next_f64();
+                // Heavy-tailed payload mix: geometric-ish weights over
+                // the size ladder, jittered per tenant so no two tenants
+                // offer the same byte profile.
+                let mix: Vec<(f64, f64)> = TENANT_SIZES
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &bytes)| {
+                        let base = 0.5f64.powi(i as i32);
+                        (bytes, base * (0.5 + fork.next_f64()))
+                    })
+                    .collect();
+                let size = SizeSource::Mix(Empirical::new(&mix));
+                let mean_bytes = size.mean_bytes();
+                let mean_pps = share * total_pps;
+                // Keep per-tenant packet rate consistent with its byte
+                // share: the share splits *packets*; bytes follow the mix.
+                let _ = mean_bytes;
+                Tenant {
+                    id: k,
+                    share,
+                    curve: DiurnalCurve::new(mean_pps, amplitude, day).with_phase(phase),
+                    size,
+                    seed: seed ^ (u64::from(k) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                }
+            })
+            .collect();
+        TenantMix { tenants, day }
+    }
+
+    /// The aggregate mean packet rate across tenants.
+    pub fn mean_rate(&self) -> f64 {
+        self.tenants.iter().map(|t| t.curve.mean_rate()).sum()
+    }
+
+    /// The aggregate mean offered byte rate in Gb/s.
+    pub fn mean_gbps(&self) -> f64 {
+        self.tenants
+            .iter()
+            .map(|t| t.curve.mean_rate() * t.size.mean_bytes() * 8.0 / 1e9)
+            .sum()
+    }
+
+    /// Launches one generator per tenant into `sim` over `[start, stop)`.
+    /// `sink` receives `(tenant id, packet)` at each departure; packet
+    /// flow ids are reassigned by the tenant's [`FlowChurn`], so flows
+    /// churn and their popularity is Zipf-skewed.
+    ///
+    /// Returns one [`TenantHandle`] per tenant, in tenant order.
+    pub fn launch<F>(
+        &self,
+        sim: &mut Simulator,
+        start: SimTime,
+        stop: SimTime,
+        sink: F,
+    ) -> Vec<TenantHandle>
+    where
+        F: FnMut(&mut Simulator, u32, Packet) + 'static,
+    {
+        let sink = Rc::new(RefCell::new(sink));
+        self.tenants
+            .iter()
+            .map(|tenant| {
+                // Working set and churn rate scale gently with share so
+                // popular tenants hold more concurrent flows.
+                let working_set = 16 + (tenant.share * 512.0) as u64;
+                let churn = Rc::new(RefCell::new(FlowChurn::new(
+                    working_set,
+                    0.05,
+                    0.9,
+                    (u64::from(tenant.id) + 1) << 40,
+                    tenant.seed ^ 0xF10_C41,
+                )));
+                let sink = sink.clone();
+                let books = churn.clone();
+                let id = tenant.id;
+                let stats = TrafficSpec::new(tenant.curve)
+                    .size(tenant.size.clone())
+                    .seed(tenant.seed)
+                    .window(start, stop)
+                    .launch(sim, move |sim, mut packet| {
+                        packet.flow_id = books.borrow_mut().assign();
+                        (sink.borrow_mut())(sim, id, packet);
+                    });
+                TenantHandle { stats, churn }
+            })
+            .collect()
+    }
+}
+
 /// The per-packet delivery callback.
 type PacketSink = Box<dyn FnMut(&mut Simulator, Packet)>;
 
 struct GenState {
-    config: OpenLoop,
     factory: PacketFactory,
     rng: DrawStream,
-    rate_pps: Box<dyn Fn(SimTime) -> f64>,
+    arrival: Box<dyn ArrivalProcess>,
+    size: SizeSource,
+    stop: SimTime,
     sink: PacketSink,
     stats: Rc<RefCell<GenStats>>,
 }
@@ -224,7 +837,7 @@ struct GenHandler {
 
 impl GenHandler {
     fn schedule(&self, sim: &mut Simulator, at: SimTime) {
-        if at >= self.state.borrow().config.stop {
+        if at >= self.state.borrow().stop {
             return;
         }
         let me = self.me.borrow().upgrade().expect("generator is alive");
@@ -237,14 +850,14 @@ impl EventHandler for GenHandler {
         let now = sim.now();
         let next_at = {
             let mut st = self.state.borrow_mut();
-            let rate = (st.rate_pps)(now);
+            let rate = st.arrival.rate_at(now);
             if rate <= 0.0 {
                 // Paused: poll again in a millisecond without emitting.
                 Some(now + SimDuration::from_millis(1))
             } else {
                 let size = {
-                    let size_src = st.config.size.clone();
-                    size_src.sample(&mut st.rng)
+                    let GenState { size, rng, .. } = &mut *st;
+                    size.sample(rng)
                 };
                 let packet = st.factory.create(size, now);
                 {
@@ -252,12 +865,9 @@ impl EventHandler for GenHandler {
                     s.sent += 1;
                     s.bytes += packet.size_bytes;
                 }
-                let gap = match st.config.arrival {
-                    ArrivalKind::Paced => SimDuration::from_secs_f64(1.0 / rate),
-                    ArrivalKind::Poisson => {
-                        let mean = 1.0 / rate;
-                        SimDuration::from_secs_f64(-mean * (1.0 - st.rng.next_f64()).ln())
-                    }
+                let gap = {
+                    let GenState { arrival, rng, .. } = &mut *st;
+                    arrival.next_gap(rate, rng)
                 };
                 // Deliver outside the borrow: temporarily move the sink out
                 // to call it with `&mut Simulator`. The stand-in closure is
@@ -289,9 +899,9 @@ mod tests {
     fn on_off_modulator_alternates_and_hits_mean() {
         let m = OnOffModulator::new(1_000_000.0, 10_000.0, SimDuration::from_millis(10), 0.3, 7);
         let mut sim = Simulator::new();
-        let gen = OpenLoop::paced(64, SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(1));
-        let m2 = m.clone();
-        let stats = gen.launch(&mut sim, move |t| m2.rate_at(t), |_, _| {});
+        let stats = TrafficSpec::new(m.clone())
+            .window(SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(1))
+            .launch(&mut sim, |_, _| {});
         sim.run();
         let sent = stats.borrow().sent as f64;
         let expected = m.mean_rate();
@@ -318,8 +928,12 @@ mod tests {
 
     fn run_gen(arrival: ArrivalKind, rate: f64, secs: u64) -> (u64, u64) {
         let mut sim = Simulator::new();
-        let gen = OpenLoop {
-            arrival,
+        let process: Box<dyn ArrivalProcess> = match arrival {
+            ArrivalKind::Paced => Box::new(Paced::at_pps(rate)),
+            ArrivalKind::Poisson => Box::new(Poisson::at_pps(rate)),
+        };
+        let spec = TrafficSpec {
+            arrival: process,
             size: SizeSource::Fixed(1024),
             flows: 16,
             seed: 42,
@@ -328,13 +942,9 @@ mod tests {
         };
         let received = Rc::new(RefCell::new(0u64));
         let r = received.clone();
-        let stats = gen.launch(
-            &mut sim,
-            move |_| rate,
-            move |_, _| {
-                *r.borrow_mut() += 1;
-            },
-        );
+        let stats = spec.launch(&mut sim, move |_, _| {
+            *r.borrow_mut() += 1;
+        });
         sim.run();
         let s = *stats.borrow();
         assert_eq!(s.sent, *received.borrow());
@@ -363,12 +973,9 @@ mod tests {
     #[test]
     fn zero_rate_pauses_without_emitting() {
         let mut sim = Simulator::new();
-        let gen = OpenLoop::paced(
-            64,
-            SimTime::ZERO,
-            SimTime::ZERO + SimDuration::from_millis(10),
-        );
-        let stats = gen.launch(&mut sim, |_| 0.0, |_, _| {});
+        let stats = TrafficSpec::new(Paced::at_pps(0.0))
+            .window(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(10))
+            .launch(&mut sim, |_, _| {});
         sim.run();
         assert_eq!(stats.borrow().sent, 0);
     }
@@ -376,19 +983,17 @@ mod tests {
     #[test]
     fn rate_function_can_vary_over_time() {
         let mut sim = Simulator::new();
-        let gen = OpenLoop::paced(64, SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(2));
         // 1 kpps in the first second, 10 kpps in the second.
-        let stats = gen.launch(
-            &mut sim,
-            |now| {
-                if now < SimTime::ZERO + SimDuration::from_secs(1) {
-                    1_000.0
-                } else {
-                    10_000.0
-                }
-            },
-            |_, _| {},
-        );
+        let process = RateDriven::new(ArrivalKind::Paced, |now| {
+            if now < SimTime::ZERO + SimDuration::from_secs(1) {
+                1_000.0
+            } else {
+                10_000.0
+            }
+        });
+        let stats = TrafficSpec::new(process)
+            .window(SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(2))
+            .launch(&mut sim, |_, _| {});
         sim.run();
         let sent = stats.borrow().sent;
         assert!((10_500..11_500).contains(&sent), "sent {sent}");
@@ -398,23 +1003,16 @@ mod tests {
     fn size_mix_spreads_sizes() {
         let mut sim = Simulator::new();
         let mix = Empirical::new(&[(64.0, 0.5), (1500.0, 0.5)]);
-        let gen = OpenLoop {
-            arrival: ArrivalKind::Paced,
-            size: SizeSource::Mix(mix),
-            flows: 4,
-            seed: 7,
-            start: SimTime::ZERO,
-            stop: SimTime::ZERO + SimDuration::from_millis(100),
-        };
         let sizes = Rc::new(RefCell::new(std::collections::HashSet::new()));
         let s = sizes.clone();
-        gen.launch(
-            &mut sim,
-            |_| 10_000.0,
-            move |_, p| {
+        TrafficSpec::new(Paced::at_pps(10_000.0))
+            .size(SizeSource::Mix(mix))
+            .flows(4)
+            .seed(7)
+            .window(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(100))
+            .launch(&mut sim, move |_, p| {
                 s.borrow_mut().insert(p.size_bytes);
-            },
-        );
+            });
         sim.run();
         assert_eq!(sizes.borrow().len(), 2);
     }
@@ -422,19 +1020,178 @@ mod tests {
     #[test]
     fn packets_carry_departure_timestamps() {
         let mut sim = Simulator::new();
-        let gen = OpenLoop::paced(64, SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(1));
         let ok = Rc::new(RefCell::new(true));
         let okc = ok.clone();
-        gen.launch(
-            &mut sim,
-            |_| 100.0,
-            move |sim, p| {
+        TrafficSpec::new(Paced::at_pps(100.0))
+            .window(SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(1))
+            .launch(&mut sim, move |sim, p| {
                 if p.created != sim.now() {
                     *okc.borrow_mut() = false;
                 }
-            },
-        );
+            });
         sim.run();
         assert!(*ok.borrow());
+    }
+
+    /// The shim contract: the deprecated constructors must reproduce the
+    /// trait-based path byte for byte (same seed, same packet stream).
+    #[test]
+    #[allow(deprecated)]
+    fn openloop_shims_match_trafficspec_exactly() {
+        let window = (SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(50));
+        let collect_shim = |kind: ArrivalKind| {
+            let mut sim = Simulator::new();
+            let gen = match kind {
+                ArrivalKind::Paced => OpenLoop::paced(1024, window.0, window.1),
+                ArrivalKind::Poisson => OpenLoop::poisson(1024, window.0, window.1),
+            };
+            let seen = Rc::new(RefCell::new(Vec::new()));
+            let s = seen.clone();
+            gen.launch(
+                &mut sim,
+                |_| 100_000.0,
+                move |sim, p| s.borrow_mut().push((sim.now(), p.id, p.flow_id)),
+            );
+            sim.run();
+            Rc::try_unwrap(seen).expect("sim done").into_inner()
+        };
+        let collect_spec = |kind: ArrivalKind| {
+            let mut sim = Simulator::new();
+            let process: Box<dyn ArrivalProcess> = match kind {
+                ArrivalKind::Paced => Box::new(Paced::at_pps(100_000.0)),
+                ArrivalKind::Poisson => Box::new(Poisson::at_pps(100_000.0)),
+            };
+            let spec = TrafficSpec {
+                arrival: process,
+                size: SizeSource::Fixed(1024),
+                flows: 64,
+                seed: 0xC11E47,
+                start: window.0,
+                stop: window.1,
+            };
+            let seen = Rc::new(RefCell::new(Vec::new()));
+            let s = seen.clone();
+            spec.launch(&mut sim, move |sim, p| {
+                s.borrow_mut().push((sim.now(), p.id, p.flow_id));
+            });
+            sim.run();
+            Rc::try_unwrap(seen).expect("sim done").into_inner()
+        };
+        for kind in [ArrivalKind::Paced, ArrivalKind::Poisson] {
+            let shim = collect_shim(kind);
+            assert!(!shim.is_empty());
+            assert_eq!(shim, collect_spec(kind), "{kind:?} shim diverged");
+        }
+    }
+
+    #[test]
+    fn diurnal_curve_peaks_and_troughs_where_documented() {
+        let day = SimDuration::from_millis(24);
+        let c = DiurnalCurve::new(1_000_000.0, 0.6, day);
+        // Trough at the start of the day, peak half a day in.
+        let at = |frac: f64| {
+            c.rate_at(SimTime::from_nanos((day.as_nanos() as f64 * frac) as u64))
+        };
+        assert!((at(0.0) - 400_000.0).abs() < 1e-3, "trough {}", at(0.0));
+        assert!((at(0.5) - 1_600_000.0).abs() < 1e-3, "peak {}", at(0.5));
+        // And it wraps: the next day repeats.
+        assert!((at(0.0) - c.rate_at(SimTime::ZERO + day)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diurnal_generator_tracks_the_curve() {
+        let day = SimDuration::from_millis(20);
+        let mut sim = Simulator::new();
+        let curve = DiurnalCurve::new(2_000_000.0, 0.7, day);
+        let halves = Rc::new(RefCell::new((0u64, 0u64)));
+        let h = halves.clone();
+        // The trough is at t = 0 and the peak mid-day, so the busy period
+        // is the middle half of the day and the night wraps around it.
+        let midday = (
+            SimTime::ZERO + SimDuration::from_millis(5),
+            SimTime::ZERO + SimDuration::from_millis(15),
+        );
+        TrafficSpec::new(curve)
+            .seed(11)
+            .window(SimTime::ZERO, SimTime::ZERO + day)
+            .launch(&mut sim, move |sim, _| {
+                let mut x = h.borrow_mut();
+                if sim.now() >= midday.0 && sim.now() < midday.1 {
+                    x.1 += 1;
+                } else {
+                    x.0 += 1;
+                }
+            });
+        sim.run();
+        let (night, dayside) = *halves.borrow();
+        assert!(
+            dayside as f64 > 2.0 * night as f64,
+            "diurnal skew missing: night {night}, day {dayside}"
+        );
+        let total = night + dayside;
+        let expected = 2_000_000.0 * day.as_secs_f64();
+        assert!(
+            (total as f64 - expected).abs() / expected < 0.1,
+            "day total {total} vs mean {expected}"
+        );
+    }
+
+    #[test]
+    fn flow_churn_books_stay_exact() {
+        let mut churn = FlowChurn::new(32, 0.2, 0.9, 1 << 40, 99);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            seen.insert(churn.assign());
+        }
+        let books = churn.books();
+        assert!(books.balanced(), "{books:?}");
+        assert_eq!(books.live, 32);
+        assert!(books.closed > 0, "churn coin never fired");
+        // Popularity is skewed: far fewer distinct flows than assignments.
+        assert!(seen.len() < 5_000, "distinct {}", seen.len());
+    }
+
+    #[test]
+    fn tenant_mix_shares_follow_zipf_and_sum_to_one() {
+        let mix = TenantMix::new(6, 0.9, 1_000_000.0, SimDuration::from_millis(24), 5);
+        let total: f64 = mix.tenants.iter().map(|t| t.share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for pair in mix.tenants.windows(2) {
+            assert!(
+                pair[0].share > pair[1].share,
+                "tenant shares must decay with rank"
+            );
+        }
+        assert!((mix.mean_rate() - 1_000_000.0).abs() / 1_000_000.0 < 1e-9);
+        assert!(mix.mean_gbps() > 0.0);
+    }
+
+    #[test]
+    fn tenant_mix_launch_is_deterministic_and_conserving() {
+        let day = SimDuration::from_millis(10);
+        let run = || {
+            let mix = TenantMix::new(4, 0.9, 3_000_000.0, day, 77);
+            let mut sim = Simulator::new();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let l = log.clone();
+            let handles = mix.launch(&mut sim, SimTime::ZERO, SimTime::ZERO + day, {
+                move |sim, tenant, p| {
+                    l.borrow_mut().push((sim.now(), tenant, p.flow_id, p.size_bytes));
+                }
+            });
+            sim.run();
+            let per_tenant: Vec<GenStats> = handles.iter().map(|h| *h.stats.borrow()).collect();
+            for h in &handles {
+                assert!(h.churn.borrow().books().balanced());
+            }
+            let log = Rc::try_unwrap(log).expect("sim done").into_inner();
+            let delivered = log.len() as u64;
+            let sent: u64 = per_tenant.iter().map(|s| s.sent).sum();
+            assert_eq!(sent, delivered, "every emitted packet reaches the sink");
+            (per_tenant, log)
+        };
+        let a = run();
+        assert!(a.0.iter().all(|s| s.sent > 0), "every tenant emits");
+        assert_eq!(a, run(), "tenant mix must replay exactly");
     }
 }

@@ -328,6 +328,21 @@ impl Zipf {
         rank.min(self.n - 1)
     }
 
+    /// Draws one rank in `0..n` from a batched [`DrawStream`], consuming
+    /// exactly the one draw [`Zipf::sample`] would take from a bare `Rng`.
+    pub fn sample_stream(&self, stream: &mut DrawStream) -> u64 {
+        let u = stream.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1.min(self.n - 1);
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
     /// The number of distinct ranks.
     pub fn population(&self) -> u64 {
         self.n
@@ -461,6 +476,22 @@ mod tests {
         let mut rng = Rng::new(12);
         for _ in 0..100 {
             assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zipf_sample_stream_is_byte_identical_to_sample() {
+        for &(n, theta) in &[(1u64, 0.0f64), (10, 0.5), (1000, 0.99), (1 << 20, 0.9)] {
+            let z = Zipf::new(n, theta);
+            let mut rng = Rng::new(2000 ^ n);
+            let mut stream = DrawStream::new(Rng::new(2000 ^ n));
+            for k in 0..200 {
+                assert_eq!(
+                    z.sample(&mut rng),
+                    z.sample_stream(&mut stream),
+                    "zipf({n},{theta}) draw {k}"
+                );
+            }
         }
     }
 

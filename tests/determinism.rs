@@ -14,7 +14,7 @@ use snicbench::functions::kvs::ycsb::{YcsbGenerator, YcsbWorkload};
 use snicbench::functions::rem::RemRuleset;
 use snicbench::hw::ExecutionPlatform;
 use snicbench::net::trace::hyperscaler_trace;
-use snicbench::net::traffic::OpenLoop;
+use snicbench::net::traffic::{Poisson, TrafficSpec};
 use snicbench::sim::{SimDuration, SimTime, Simulator};
 
 #[test]
@@ -45,12 +45,11 @@ fn identical_runs_are_bit_identical() {
 fn traffic_generators_replay_exactly() {
     let run_once = || {
         let mut sim = Simulator::new();
-        let gen = OpenLoop::poisson(
-            1024,
+        let gen = TrafficSpec::new(Poisson::at_pps(100_000.0)).fixed_size(1024).window(
             SimTime::ZERO,
             SimTime::ZERO + SimDuration::from_millis(50),
         );
-        let stats = gen.launch(&mut sim, |_| 100_000.0, |_, _| {});
+        let stats = gen.launch(&mut sim, |_, _| {});
         sim.run();
         let s = *stats.borrow();
         (s.sent, s.bytes)

@@ -1,0 +1,165 @@
+//! The diurnal experiment end to end: byte identity of the exported
+//! report and trace across `--jobs` widths, per-tenant admission
+//! conservation, and the adaptive-vs-static SLO payoff in the v3
+//! document.
+
+use snicbench::core::admission::AdmissionMode;
+use snicbench::core::benchmark::Workload;
+use snicbench::core::diurnal::{simulate_in, DiurnalConfig, DiurnalPlatform, DiurnalReport, HOURS};
+use snicbench::core::executor::Executor;
+use snicbench::core::json::Json;
+use snicbench::core::telemetry::{chrome_trace_json, run_report, RunContext, RUN_REPORT_SCHEMA};
+use snicbench::functions::rem::RemRuleset;
+use snicbench::sim::SimDuration;
+
+fn cell_config(platform: DiurnalPlatform, admission: AdmissionMode) -> DiurnalConfig {
+    let mut cfg = DiurnalConfig::new(
+        Workload::RemMtu(RemRuleset::FileExecutable),
+        platform,
+        admission,
+    );
+    cfg.day = SimDuration::from_millis(6);
+    cfg
+}
+
+/// The diurnal binary's shape in miniature: platform × admission cells
+/// fanned over the executor, each collecting telemetry under its label.
+fn sweep(jobs: usize) -> (String, String, Vec<DiurnalReport>) {
+    let cells = vec![
+        (DiurnalPlatform::Host, AdmissionMode::Static),
+        (DiurnalPlatform::Host, AdmissionMode::Adaptive),
+        (DiurnalPlatform::Snic, AdmissionMode::Static),
+        (DiurnalPlatform::Fleet, AdmissionMode::Adaptive),
+    ];
+    let ctx = RunContext::collecting();
+    let reports = Executor::new(jobs).map(cells, |(platform, admission)| {
+        let cfg = cell_config(platform, admission);
+        let label = format!("diurnal/{}/{}", platform.code(), admission.code());
+        simulate_in(&cfg, &ctx.scope(label))
+    });
+    let runs = ctx.drain();
+    assert_eq!(runs.len(), 4, "one telemetry run per cell");
+    (
+        run_report("diurnal", Json::Null, &runs).to_pretty(),
+        chrome_trace_json(&runs).to_pretty(),
+        reports,
+    )
+}
+
+#[test]
+fn diurnal_report_is_identical_at_any_job_count() {
+    let (report1, trace1, results1) = sweep(1);
+    let (report4, trace4, results4) = sweep(4);
+    assert_eq!(report1, report4, "RunReport diverged across job counts");
+    assert_eq!(trace1, trace4, "Chrome trace diverged across job counts");
+    assert_eq!(results1, results4, "diurnal results diverged across job counts");
+}
+
+#[test]
+fn admission_conservation_is_audited_per_tenant() {
+    for admission in [AdmissionMode::Static, AdmissionMode::Adaptive] {
+        for platform in [
+            DiurnalPlatform::Host,
+            DiurnalPlatform::Snic,
+            DiurnalPlatform::Fleet,
+        ] {
+            let cfg = cell_config(platform, admission);
+            let report = simulate_in(&cfg, &RunContext::disabled().scope("x"));
+            let mut offered = 0u64;
+            for b in &report.tenants {
+                assert_eq!(
+                    b.offered,
+                    b.admitted + b.rejected,
+                    "{}/{} tenant {}: the admission gate conserves",
+                    platform.code(),
+                    admission.code(),
+                    b.tenant
+                );
+                assert_eq!(
+                    b.admitted,
+                    b.completed + b.dropped,
+                    "{}/{} tenant {}: service books balance after the drain",
+                    platform.code(),
+                    admission.code(),
+                    b.tenant
+                );
+                assert!(b.churn.balanced(), "churn books balance");
+                offered += b.offered;
+            }
+            let hour_offered: u64 = report.hours.iter().map(|h| h.offered).sum();
+            assert_eq!(
+                offered, hour_offered,
+                "hourly buckets partition the tenant totals"
+            );
+            assert_eq!(report.hours.len(), HOURS as usize);
+            if admission == AdmissionMode::Static {
+                assert_eq!(report.rejected_share, 0.0, "static rejects nothing");
+            }
+        }
+    }
+}
+
+#[test]
+fn v3_report_carries_diurnal_runs_with_shard_sections() {
+    let ctx = RunContext::collecting();
+    let cfg = cell_config(DiurnalPlatform::Fleet, AdmissionMode::Adaptive);
+    let report = simulate_in(&cfg, &ctx.scope("diurnal/fleet/adaptive"));
+    let runs = ctx.drain();
+    let doc = run_report("diurnal", Json::Null, &runs);
+    assert_eq!(
+        doc.get("schema").and_then(|s| s.as_str()),
+        Some(RUN_REPORT_SCHEMA)
+    );
+    assert!(RUN_REPORT_SCHEMA.ends_with(".v3"));
+    let run = doc
+        .get("runs")
+        .and_then(|r| r.as_arr())
+        .and_then(|r| r.first())
+        .expect("one run");
+    assert_eq!(
+        run.get("platform").and_then(|p| p.as_str()),
+        Some("diurnal-fleet-adaptive")
+    );
+    let shards = run
+        .get("shards")
+        .and_then(|s| s.as_arr())
+        .expect("runs[0].shards array");
+    assert_eq!(shards.len(), 4, "one entry per fleet shard");
+    for (shard, rollup) in shards.iter().zip(&report.shards) {
+        assert_eq!(
+            shard.get("sent").and_then(Json::as_u64),
+            Some(rollup.sent),
+            "JSON mirrors the in-memory roll-up"
+        );
+        assert_eq!(
+            shard.get("completed").and_then(Json::as_u64).unwrap_or(0)
+                + shard.get("dropped").and_then(Json::as_u64).unwrap_or(0),
+            rollup.sent,
+            "shard books balance in the exported document"
+        );
+    }
+}
+
+#[test]
+fn adaptive_admission_reduces_slo_violations_on_the_host() {
+    let scope = RunContext::disabled();
+    let static_run = simulate_in(
+        &cell_config(DiurnalPlatform::Host, AdmissionMode::Static),
+        &scope.scope("s"),
+    );
+    let adaptive_run = simulate_in(
+        &cell_config(DiurnalPlatform::Host, AdmissionMode::Adaptive),
+        &scope.scope("a"),
+    );
+    assert!(
+        static_run.violation_fraction > 0.0,
+        "the static client must violate at the diurnal peak"
+    );
+    assert!(
+        adaptive_run.violation_fraction < static_run.violation_fraction,
+        "AIMD must reduce the violation fraction: {} vs {}",
+        adaptive_run.violation_fraction,
+        static_run.violation_fraction
+    );
+    assert!(adaptive_run.rejected_share > 0.0, "the window must shed load");
+}

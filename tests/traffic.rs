@@ -1,0 +1,136 @@
+//! Seeded property tests for the production-traffic subsystem: Zipf
+//! frequencies track the configured exponent, diurnal curves integrate
+//! back to their mean rate, and flow-churn books are exact.
+
+use snicbench::net::traffic::{ArrivalProcess, DiurnalCurve, FlowChurn, TenantMix};
+use snicbench::sim::dist::Zipf;
+use snicbench::sim::rng::Rng;
+use snicbench::sim::{SimDuration, SimTime};
+
+/// Fits the Zipf exponent of observed rank frequencies by least-squares
+/// regression of `log(freq)` on `log(rank + 1)` over the given ranks.
+fn fitted_theta(counts: &[u64], ranks: usize) -> f64 {
+    let points: Vec<(f64, f64)> = counts
+        .iter()
+        .take(ranks)
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(k, &c)| (((k + 1) as f64).ln(), (c as f64).ln()))
+        .collect();
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    -slope
+}
+
+#[test]
+fn zipf_frequencies_match_the_exponent() {
+    for &(theta, seed) in &[(0.6, 11u64), (0.8, 12), (0.95, 13)] {
+        let zipf = Zipf::new(100, theta);
+        let mut rng = Rng::new(seed);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..200_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        assert!(
+            counts.windows(2).take(8).all(|w| w[0] > w[1] / 2),
+            "head ranks must dominate at theta={theta}"
+        );
+        let fitted = fitted_theta(&counts, 20);
+        assert!(
+            (fitted - theta).abs() < 0.15,
+            "fitted exponent {fitted:.3} should track theta={theta}"
+        );
+    }
+}
+
+#[test]
+fn zipf_at_zero_theta_is_uniform() {
+    let zipf = Zipf::new(50, 0.0);
+    let mut rng = Rng::new(99);
+    let mut counts = vec![0u64; 50];
+    for _ in 0..100_000 {
+        counts[zipf.sample(&mut rng) as usize] += 1;
+    }
+    let fitted = fitted_theta(&counts, 50);
+    assert!(
+        fitted.abs() < 0.1,
+        "theta=0 must fit flat, got {fitted:.3}"
+    );
+}
+
+#[test]
+fn diurnal_rate_integrates_to_the_mean() {
+    let day = SimDuration::from_millis(10);
+    for &(mean_pps, amplitude, phase) in &[(1e6, 0.6, 0.0), (3e5, 0.45, 0.3), (2e6, 0.9, -0.2)] {
+        let curve = DiurnalCurve::new(mean_pps, amplitude, day).with_phase(phase);
+        let steps = 20_000u64;
+        let dt = day.as_secs_f64() / steps as f64;
+        let integral: f64 = (0..steps)
+            .map(|i| {
+                // Midpoint rule over one full day.
+                let t = SimTime::ZERO + SimDuration::from_secs_f64((i as f64 + 0.5) * dt);
+                curve.rate_at(t) * dt
+            })
+            .sum();
+        let mean = integral / day.as_secs_f64();
+        assert!(
+            (mean - mean_pps).abs() / mean_pps < 0.005,
+            "day integral {mean:.0} must recover the mean {mean_pps:.0} \
+             (amplitude {amplitude}, phase {phase})"
+        );
+        assert!(
+            (curve.mean_rate() - mean_pps).abs() < 1e-9,
+            "the declared mean is exact"
+        );
+    }
+}
+
+#[test]
+fn churn_books_are_exact_under_heavy_assignment() {
+    let working_set = 64;
+    let id_base = 1 << 20;
+    let mut churn = FlowChurn::new(working_set, 0.2, 0.9, id_base, 7);
+    for round in 0..50_000u64 {
+        let id = churn.assign();
+        assert!(
+            id >= id_base && id < id_base + churn.books().opened,
+            "round {round}: assigned id {id} must come from an opened flow"
+        );
+        let books = churn.books();
+        assert!(books.balanced(), "round {round}: books must balance");
+        assert_eq!(books.live, working_set, "the working set is constant");
+        assert_eq!(
+            books.opened,
+            working_set + books.closed,
+            "every flow past the initial set replaced a closed one"
+        );
+    }
+    let books = churn.books();
+    assert!(
+        books.closed > 5_000,
+        "a 20% churn rate must retire flows: {books:?}"
+    );
+}
+
+#[test]
+fn tenant_mixes_are_zipf_shared_and_rate_exact() {
+    let day = SimDuration::from_millis(10);
+    let mix = TenantMix::new(8, 0.9, 2e6, day, 42);
+    let share_sum: f64 = mix.tenants.iter().map(|t| t.share).sum();
+    assert!((share_sum - 1.0).abs() < 1e-12, "shares partition the load");
+    for pair in mix.tenants.windows(2) {
+        let expect = ((pair[1].id + 1) as f64 / (pair[0].id + 1) as f64).powf(0.9);
+        let actual = pair[0].share / pair[1].share;
+        assert!(
+            (actual - expect).abs() < 1e-9,
+            "adjacent shares follow the Zipf law: {actual} vs {expect}"
+        );
+    }
+    let rate_sum: f64 = mix.tenants.iter().map(|t| t.curve.mean_rate()).sum();
+    assert!((rate_sum - 2e6).abs() / 2e6 < 1e-9, "tenant means sum to the total");
+    assert!(mix.mean_gbps() > 0.0);
+}

@@ -12,9 +12,13 @@
 # pass its schema check and the measured events/sec must stay within
 # 20% of the committed trajectory), a resilience smoke (a faulted
 # sweep with conservation auditing armed must exit 0 with a
-# byte-identical RunReport at any job width), and a fleet smoke: the
+# byte-identical RunReport at any job width), a fleet smoke: the
 # 64-server sharded-fleet sweep must be byte-identical at any job width
-# and its v3 RunReport must carry balanced per-shard roll-ups.
+# and its v3 RunReport must carry balanced per-shard roll-ups, and a
+# diurnal smoke: the 24 h multi-tenant sweep must be byte-identical at
+# any job width, export a v3 RunReport, keep its admission books
+# conserved per cell, and show AIMD admission beating the static client
+# on SLO-violation fraction on at least the host platform.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -128,3 +132,40 @@ jq -e '[.runs[].shards[] | .sent == .completed + .dropped] | all' \
   "$fleetj1" > /dev/null \
   || { echo "FAIL: a fleet shard's books do not balance" >&2; exit 1; }
 echo "OK: fleet smoke clean, byte-identical, v3 shard sections populated"
+
+echo "==== diurnal smoke: 24h multi-tenant day, AIMD vs static ===="
+# The diurnal sweep must be byte-identical at any job width, its JSON a
+# v3 RunReport whose cells keep admission books conserved, and adaptive
+# admission must beat the static client at the peak on the host platform.
+di1=$(mktemp)
+di4=$(mktemp)
+dij1=$(mktemp)
+dij4=$(mktemp)
+trap 'rm -f "$out1" "$out4" "$trace" "$report" "$res1" "$res4" "$fleet1" "$fleet4" "$fleetj1" "$fleetj4" "$di1" "$di4" "$dij1" "$dij4"' EXIT
+./target/release/diurnal --quick --jobs 1 --json "$dij1" > "$di1" 2>/dev/null
+./target/release/diurnal --quick --jobs 4 --json "$dij4" > "$di4" 2>/dev/null
+if ! diff -u "$di1" "$di4"; then
+  echo "FAIL: diurnal --quick output differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+if ! diff -u "$dij1" "$dij4"; then
+  echo "FAIL: diurnal RunReport differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+jq -e '.schema == "snicbench.run-report.v3" and (.runs | length == 6)' \
+  "$dij1" > /dev/null \
+  || { echo "FAIL: diurnal report is not a v3 RunReport with 6 cells" >&2; exit 1; }
+jq -e '[.results.cells[] | .hours[] | .offered == .admitted + .rejected
+        and .admitted == .completed + .dropped] | all' "$dij1" > /dev/null \
+  || { echo "FAIL: a diurnal cell's admission books do not conserve" >&2; exit 1; }
+jq -e '[.results.cells[].tenants[] |
+        .offered == .admitted + .rejected] | all' "$dij1" > /dev/null \
+  || { echo "FAIL: a tenant's admission gate does not conserve" >&2; exit 1; }
+jq -e '
+  ([.results.cells[] | select(.platform == "host" and .admission == "static")
+     | .violation_fraction] | first) as $static |
+  ([.results.cells[] | select(.platform == "host" and .admission == "adaptive")
+     | .violation_fraction] | first) as $adaptive |
+  ($static > 0) and ($adaptive < $static)' "$dij1" > /dev/null \
+  || { echo "FAIL: AIMD admission must beat the static client at the peak" >&2; exit 1; }
+echo "OK: diurnal smoke clean, byte-identical, books conserved, AIMD pays"
