@@ -1,0 +1,403 @@
+//! The incremental analysis cache: per-file [`FileAnalysis`] keyed by
+//! content hash.
+//!
+//! Phase 1 of the engine (lex → parse → per-fn facts) is the expensive
+//! part of a lint run and depends only on one file's bytes, so its
+//! result is cached across runs: a JSON file (schema
+//! `snicbench.lint-cache.v1`) mapping report path → `(content hash,
+//! serialized FileAnalysis)`. The hash is FNV-1a 64 over the report
+//! path, scope path, and source text; the cache file additionally
+//! carries a *rules fingerprint* (hash of every rule's name, scope,
+//! and suggestion plus a manual version bump), so editing the analyzer
+//! invalidates every entry at once.
+//!
+//! The cache can only ever change *speed*, never *output*: a corrupt
+//! or stale entry deserializes to a miss and the file is re-analyzed.
+//! Writes are atomic (temp file + rename) so a crashed run cannot
+//! leave a truncated cache behind.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use snicbench_core::json::Json;
+
+use crate::callgraph::{CallSite, CalleeRef};
+use crate::engine::FileAnalysis;
+use crate::rules::{self, RawFinding};
+use crate::suppress::{Directive, Malformed};
+use crate::symbols::{FileIr, FnInfo};
+use crate::taint::{FnFacts, SinkSite, SourceKind, SourceSite};
+
+/// Cache file schema identifier.
+const SCHEMA: &str = "snicbench.lint-cache.v1";
+
+/// Bump to invalidate all caches when analysis *behavior* changes in a
+/// way the rule table does not capture (new source kinds, resolution
+/// policy changes, ...).
+const ANALYSIS_VERSION: &str = "pr9-ir-1";
+
+/// FNV-1a 64-bit.
+fn fnv1a(init: u64, bytes: &[u8]) -> u64 {
+    let mut h = init;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The cache key for one input file.
+pub fn content_hash(report_path: &str, scope_path: &str, src: &str) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, report_path.as_bytes());
+    h = fnv1a(h, &[0]);
+    h = fnv1a(h, scope_path.as_bytes());
+    h = fnv1a(h, &[0]);
+    fnv1a(h, src.as_bytes())
+}
+
+/// Hash of everything about the rule set that affects per-file
+/// analysis; a mismatch drops the whole cache.
+pub fn fingerprint() -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, ANALYSIS_VERSION.as_bytes());
+    for r in rules::all() {
+        for part in [r.name, r.brief, r.scope, r.suggestion] {
+            h = fnv1a(h, part.as_bytes());
+            h = fnv1a(h, &[0]);
+        }
+        h = fnv1a(h, &[u8::from(r.skip_test_code)]);
+    }
+    h
+}
+
+/// Loads the cache at `path`. Any problem — missing file, parse
+/// error, schema or fingerprint mismatch, malformed entry — yields an
+/// empty (or partial) map: misses, never errors.
+pub fn load(path: &Path) -> BTreeMap<String, (u64, FileAnalysis)> {
+    let mut out = BTreeMap::new();
+    let Ok(text) = fs::read_to_string(path) else {
+        return out;
+    };
+    let Ok(j) = Json::parse(&text) else {
+        return out;
+    };
+    if j.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return out;
+    }
+    if j.get("fingerprint").and_then(Json::as_str) != Some(format!("{:016x}", fingerprint())).as_deref()
+    {
+        return out;
+    }
+    let Some(files) = j.get("files").and_then(Json::entries) else {
+        return out;
+    };
+    for (rel, entry) in files {
+        let Some(hash) = entry
+            .get("hash")
+            .and_then(Json::as_str)
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+        else {
+            continue;
+        };
+        if let Some(mut analysis) = entry.get("analysis").and_then(analysis_from_json) {
+            analysis.ir.report_path = rel.clone();
+            out.insert(rel.clone(), (hash, analysis));
+        }
+    }
+    out
+}
+
+/// Atomically writes the cache: every `(hash, analysis)` entry under
+/// its report path, plus schema and fingerprint.
+pub fn save(path: &Path, entries: &[(u64, FileAnalysis)]) -> std::io::Result<()> {
+    let files = Json::obj(entries.iter().map(|(hash, a)| {
+        (
+            a.ir.report_path.clone(),
+            Json::obj([
+                ("hash", Json::str(format!("{hash:016x}"))),
+                ("analysis", analysis_to_json(a)),
+            ]),
+        )
+    }));
+    let j = Json::obj([
+        ("schema", Json::str(SCHEMA)),
+        ("fingerprint", Json::str(format!("{:016x}", fingerprint()))),
+        ("files", files),
+    ]);
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, j.to_compact())?;
+    fs::rename(&tmp, path)
+}
+
+fn pos_json(line: u32, col: u32) -> Vec<(&'static str, Json)> {
+    vec![
+        ("line", Json::U64(u64::from(line))),
+        ("col", Json::U64(u64::from(col))),
+    ]
+}
+
+fn get_u32(j: &Json, key: &str) -> Option<u32> {
+    j.get(key).and_then(Json::as_u64).and_then(|n| u32::try_from(n).ok())
+}
+
+fn get_str(j: &Json, key: &str) -> Option<String> {
+    j.get(key).and_then(Json::as_str).map(str::to_string)
+}
+
+fn analysis_to_json(a: &FileAnalysis) -> Json {
+    Json::obj([
+        ("scopePath", Json::str(&a.ir.scope_path)),
+        ("fns", Json::arr(a.ir.fns.iter().map(fn_to_json))),
+        (
+            "tokenFindings",
+            Json::arr(a.token_findings.iter().map(|(lint, f)| {
+                let mut o = pos_json(f.line, f.col);
+                o.push(("lint", Json::str(lint)));
+                o.push(("message", Json::str(&f.message)));
+                Json::obj(o)
+            })),
+        ),
+        (
+            "directives",
+            Json::arr(a.directives.iter().map(|d| {
+                let mut o = pos_json(d.line, d.col);
+                o.push(("appliesLine", Json::U64(u64::from(d.applies_line))));
+                o.push(("lint", Json::str(&d.lint)));
+                o.push(("reason", Json::str(&d.reason)));
+                Json::obj(o)
+            })),
+        ),
+        (
+            "malformed",
+            Json::arr(a.malformed.iter().map(|m| {
+                let mut o = pos_json(m.line, m.col);
+                o.push(("why", Json::str(&m.why)));
+                Json::obj(o)
+            })),
+        ),
+    ])
+}
+
+fn fn_to_json(f: &FnInfo) -> Json {
+    let mut o = pos_json(f.line, f.col);
+    o.push(("name", Json::str(&f.name)));
+    o.push((
+        "owner",
+        f.owner.as_deref().map_or(Json::Null, Json::str),
+    ));
+    o.push(("isTest", Json::Bool(f.is_test)));
+    o.push((
+        "calls",
+        Json::arr(f.calls.iter().map(|c| {
+            let mut co = pos_json(c.line, c.col);
+            match &c.callee {
+                CalleeRef::Bare(n) => co.push(("bare", Json::str(n))),
+                CalleeRef::Qual(owner, n) => {
+                    co.push(("qual", Json::str(format!("{owner}::{n}"))));
+                }
+                CalleeRef::Method(n) => co.push(("method", Json::str(n))),
+            }
+            Json::obj(co)
+        })),
+    ));
+    o.push((
+        "sources",
+        Json::arr(f.facts.sources.iter().map(|s| {
+            let mut so = pos_json(s.line, s.col);
+            so.push(("kind", Json::str(s.kind.as_str())));
+            so.push(("what", Json::str(&s.what)));
+            Json::obj(so)
+        })),
+    ));
+    o.push((
+        "sinks",
+        Json::arr(f.facts.sinks.iter().map(|s| {
+            let mut so = pos_json(s.line, s.col);
+            so.push(("what", Json::str(&s.what)));
+            Json::obj(so)
+        })),
+    ));
+    o.push(("sanitizesOrder", Json::Bool(f.facts.sanitizes_order)));
+    o.push((
+        "allocs",
+        Json::arr(f.facts.allocs.iter().map(|a| {
+            let mut ao = pos_json(a.line, a.col);
+            ao.push(("message", Json::str(&a.message)));
+            Json::obj(ao)
+        })),
+    ));
+    Json::obj(o)
+}
+
+fn analysis_from_json(j: &Json) -> Option<FileAnalysis> {
+    let scope_path = get_str(j, "scopePath")?;
+    let mut fns = Vec::new();
+    for f in j.get("fns").and_then(Json::as_arr)? {
+        fns.push(fn_from_json(f)?);
+    }
+    let mut token_findings = Vec::new();
+    for f in j.get("tokenFindings").and_then(Json::as_arr)? {
+        token_findings.push((
+            get_str(f, "lint")?,
+            RawFinding {
+                line: get_u32(f, "line")?,
+                col: get_u32(f, "col")?,
+                message: get_str(f, "message")?,
+            },
+        ));
+    }
+    let mut directives = Vec::new();
+    for d in j.get("directives").and_then(Json::as_arr)? {
+        directives.push(Directive {
+            line: get_u32(d, "line")?,
+            col: get_u32(d, "col")?,
+            applies_line: get_u32(d, "appliesLine")?,
+            lint: get_str(d, "lint")?,
+            reason: get_str(d, "reason")?,
+        });
+    }
+    let mut malformed = Vec::new();
+    for m in j.get("malformed").and_then(Json::as_arr)? {
+        malformed.push(Malformed {
+            line: get_u32(m, "line")?,
+            col: get_u32(m, "col")?,
+            why: get_str(m, "why")?,
+        });
+    }
+    Some(FileAnalysis {
+        ir: FileIr {
+            report_path: String::new(), // filled by the caller's key
+            scope_path,
+            fns,
+        },
+        token_findings,
+        directives,
+        malformed,
+    })
+}
+
+fn fn_from_json(j: &Json) -> Option<FnInfo> {
+    let mut calls = Vec::new();
+    for c in j.get("calls").and_then(Json::as_arr)? {
+        let callee = if let Some(n) = get_str(c, "bare") {
+            CalleeRef::Bare(n)
+        } else if let Some(q) = get_str(c, "qual") {
+            let (owner, name) = q.rsplit_once("::")?;
+            CalleeRef::Qual(owner.to_string(), name.to_string())
+        } else {
+            CalleeRef::Method(get_str(c, "method")?)
+        };
+        calls.push(CallSite {
+            callee,
+            line: get_u32(c, "line")?,
+            col: get_u32(c, "col")?,
+        });
+    }
+    let mut sources = Vec::new();
+    for s in j.get("sources").and_then(Json::as_arr)? {
+        sources.push(SourceSite {
+            kind: SourceKind::parse(&get_str(s, "kind")?)?,
+            line: get_u32(s, "line")?,
+            col: get_u32(s, "col")?,
+            what: get_str(s, "what")?,
+        });
+    }
+    let mut sinks = Vec::new();
+    for s in j.get("sinks").and_then(Json::as_arr)? {
+        sinks.push(SinkSite {
+            line: get_u32(s, "line")?,
+            col: get_u32(s, "col")?,
+            what: get_str(s, "what")?,
+        });
+    }
+    let mut allocs = Vec::new();
+    for a in j.get("allocs").and_then(Json::as_arr)? {
+        allocs.push(RawFinding {
+            line: get_u32(a, "line")?,
+            col: get_u32(a, "col")?,
+            message: get_str(a, "message")?,
+        });
+    }
+    Some(FnInfo {
+        name: get_str(j, "name")?,
+        owner: match j.get("owner") {
+            Some(Json::Null) | None => None,
+            Some(o) => Some(o.as_str()?.to_string()),
+        },
+        line: get_u32(j, "line")?,
+        col: get_u32(j, "col")?,
+        is_test: j.get("isTest").and_then(Json::as_bool)?,
+        calls,
+        facts: FnFacts {
+            sources,
+            sinks,
+            sanitizes_order: j.get("sanitizesOrder").and_then(Json::as_bool)?,
+            allocs,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::analyze_file;
+
+    fn sample() -> FileAnalysis {
+        let src = "\
+// snicbench: allow(unordered-iteration, \"lookup-only\")\n\
+use std::collections::HashMap;\n\
+struct T;\n\
+impl T {\n\
+    fn emit(&self, m: &HashMap<u8, u8>) {\n\
+        for (k, v) in m.iter() { println!(\"{k}{v}\"); }\n\
+        helper();\n\
+    }\n\
+}\n\
+fn helper() { let t = std::time::SystemTime::now(); }\n";
+        analyze_file("crates/core/src/demo.rs", "crates/core/src/demo.rs", src)
+    }
+
+    #[test]
+    fn analysis_round_trips_through_json() {
+        let a = sample();
+        let text = analysis_to_json(&a).to_compact();
+        let parsed = Json::parse(&text).expect("cache JSON parses");
+        let mut back = analysis_from_json(&parsed).expect("deserializes");
+        back.ir.report_path = a.ir.report_path.clone();
+        assert_eq!(a, back);
+        assert!(!a.ir.fns.is_empty());
+        assert!(!a.directives.is_empty());
+    }
+
+    #[test]
+    fn save_load_round_trips_and_rejects_stale_hash() {
+        let dir = std::env::temp_dir().join(format!(
+            "snicbench-lint-cache-test-{}",
+            std::process::id()
+        ));
+        let path = dir.join("lint-cache.json");
+        let a = sample();
+        let hash = content_hash(&a.ir.report_path, &a.ir.scope_path, "whatever");
+        save(&path, &[(hash, a.clone())]).expect("save");
+        let loaded = load(&path);
+        let (h, got) = loaded.get("crates/core/src/demo.rs").expect("entry");
+        assert_eq!(*h, hash);
+        let mut got = got.clone();
+        got.ir.report_path = a.ir.report_path.clone();
+        assert_eq!(got, a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hashes_separate_content_and_paths() {
+        let h1 = content_hash("a.rs", "a.rs", "fn f() {}");
+        assert_ne!(h1, content_hash("a.rs", "a.rs", "fn g() {}"));
+        assert_ne!(h1, content_hash("b.rs", "b.rs", "fn f() {}"));
+        assert_ne!(h1, content_hash("a.rs", "crates/sim/src/a.rs", "fn f() {}"));
+    }
+}

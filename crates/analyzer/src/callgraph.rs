@@ -1,0 +1,300 @@
+//! Call-site extraction and the resolved workspace call graph.
+//!
+//! Extraction is a token-pattern pass over one function body: it
+//! classifies each candidate call as bare (`helper(…)`), qualified
+//! (`Type::method(…)` / `module::free_fn(…)`, with `Self` rewritten to
+//! the enclosing impl type), or a method call (`recv.method(…)`), and
+//! records its position so diagnostics can show the exact hop. Macro
+//! invocations (`name!(…)`) are *not* call edges — the taint pass
+//! treats the exporting ones (`println!` et al.) as sinks directly.
+//!
+//! Resolution (which [`CalleeRef`] maps to which workspace fn) is the
+//! symbol table's job; the graph here just materializes both adjacency
+//! directions with sorted, deduplicated edge lists so every traversal
+//! is deterministic.
+
+use crate::lexer::{Tok, TokKind};
+use crate::symbols::{FileIr, FnId, SymbolTable};
+
+/// What a call site names, before resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CalleeRef {
+    /// `helper(…)`.
+    Bare(String),
+    /// `Owner::name(…)` — `Owner` is an impl type or a module segment
+    /// (`Self` is already rewritten to the impl type).
+    Qual(String, String),
+    /// `recv.name(…)`.
+    Method(String),
+}
+
+impl CalleeRef {
+    /// The callee text as written, for hop labels.
+    pub fn display(&self) -> String {
+        match self {
+            CalleeRef::Bare(n) => n.clone(),
+            CalleeRef::Qual(o, n) => format!("{o}::{n}"),
+            CalleeRef::Method(n) => format!(".{n}"),
+        }
+    }
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// What is being called.
+    pub callee: CalleeRef,
+    /// 1-based line of the callee name token.
+    pub line: u32,
+    /// 1-based column of the callee name token.
+    pub col: u32,
+}
+
+/// Keywords that look like bare calls when followed by `(`.
+fn is_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "while" | "for" | "match" | "return" | "loop" | "let" | "fn" | "in" | "as"
+            | "move" | "mut" | "ref" | "else" | "break" | "continue" | "unsafe" | "where"
+            | "impl" | "use" | "pub" | "struct" | "enum" | "trait" | "mod" | "type" | "const"
+            | "static" | "crate" | "super" | "self" | "dyn" | "box" | "await" | "async"
+            | "yield"
+    )
+}
+
+/// Extracts call sites from the body token range `(open, close)` of
+/// one fn, skipping `skip` ranges (nested fn bodies — those calls
+/// belong to the nested fn). `self_ty` rewrites `Self::…` paths.
+pub fn extract_calls(
+    code: &[Tok],
+    body: (usize, usize),
+    skip: &[(usize, usize)],
+    self_ty: Option<&str>,
+) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let mut i = body.0 + 1;
+    while i < body.1 {
+        if let Some(&(_, end)) = skip.iter().find(|(s, e)| *s <= i && i <= *e) {
+            i = end + 1;
+            continue;
+        }
+        let t = &code[i];
+        // `recv.name(…)`: a `.` followed by an ident followed by `(`.
+        if t.is_punct('.') {
+            if let (Some(name), Some(paren)) = (code.get(i + 1), code.get(i + 2)) {
+                if name.kind == TokKind::Ident && paren.is_punct('(') && !is_keyword(&name.text)
+                {
+                    out.push(CallSite {
+                        callee: CalleeRef::Method(name.text.clone()),
+                        line: name.line,
+                        col: name.col,
+                    });
+                    i += 2; // continue at `(` so nested args are scanned
+                    continue;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // `crate::` / `self::` / `super::` legitimately start a path
+        // even though the first segment is a keyword; the last-two-
+        // segments rule below drops the prefix anyway.
+        let is_path_prefix = matches!(t.text.as_str(), "crate" | "self" | "super")
+            && code.get(i + 1).is_some_and(|c| c.is_punct(':'));
+        if t.kind != TokKind::Ident || (is_keyword(&t.text) && !is_path_prefix) {
+            i += 1;
+            continue;
+        }
+        // Don't start a path mid-way: the previous token must not be
+        // `.` (method, handled above) or `:` (inside a longer path),
+        // and `fn name(` / `struct Name(` are declarations, not calls.
+        if i > body.0 + 1 {
+            let prev = &code[i - 1];
+            if prev.is_punct('.')
+                || prev.is_punct(':')
+                || prev.is_ident("fn")
+                || prev.is_ident("struct")
+            {
+                i += 1;
+                continue;
+            }
+        }
+        // Collect the `a::b::c` path starting here.
+        let mut segs: Vec<&Tok> = vec![t];
+        let mut j = i;
+        while code.get(j + 1).is_some_and(|c| c.is_punct(':'))
+            && code.get(j + 2).is_some_and(|c| c.is_punct(':'))
+            && code.get(j + 3).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            segs.push(&code[j + 3]);
+            j += 3;
+        }
+        // A call needs `(` right after the path; `name!(…)` is a macro.
+        let next = code.get(j + 1);
+        let is_macro = next.is_some_and(|n| n.is_punct('!'));
+        let is_call = next.is_some_and(|n| n.is_punct('('));
+        if is_call && !is_macro {
+            if segs.len() == 1 {
+                out.push(CallSite {
+                    callee: CalleeRef::Bare(t.text.clone()),
+                    line: t.line,
+                    col: t.col,
+                });
+            } else {
+                let name = segs[segs.len() - 1];
+                let owner = &segs[segs.len() - 2].text;
+                let owner = if owner == "Self" {
+                    self_ty.map(str::to_string)
+                } else {
+                    Some(owner.clone())
+                };
+                if let Some(owner) = owner {
+                    out.push(CallSite {
+                        callee: CalleeRef::Qual(owner, name.text.clone()),
+                        line: name.line,
+                        col: name.col,
+                    });
+                }
+            }
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// One resolved edge, annotated with the call site's position (in the
+/// *caller*) so chains can cite the hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    /// The fn on the other end of the edge.
+    pub to: FnId,
+    /// 1-based line of the call site in the caller.
+    pub line: u32,
+    /// 1-based column of the call site in the caller.
+    pub col: u32,
+}
+
+/// The resolved call graph: both adjacency directions, edge lists
+/// sorted and deduplicated for deterministic traversal.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `callees[f]` — fns `f` calls, with the call site in `f`.
+    pub callees: Vec<Vec<Edge>>,
+    /// `callers[f]` — fns calling `f`, with the call site in *them*.
+    pub callers: Vec<Vec<Edge>>,
+}
+
+impl CallGraph {
+    /// Resolves every call site in the corpus against `table`.
+    pub fn build(files: &[FileIr], table: &SymbolTable) -> CallGraph {
+        let n = table.fns.len();
+        let mut g = CallGraph {
+            callees: vec![Vec::new(); n],
+            callers: vec![Vec::new(); n],
+        };
+        for (caller, fref) in table.fns.iter().enumerate() {
+            let info = &files[fref.file].fns[fref.idx];
+            for call in &info.calls {
+                if let Some(callee) = table.resolve(files, caller, &call.callee) {
+                    if callee == caller {
+                        continue; // self-recursion adds nothing to chains
+                    }
+                    g.callees[caller].push(Edge {
+                        to: callee,
+                        line: call.line,
+                        col: call.col,
+                    });
+                    g.callers[callee].push(Edge {
+                        to: caller,
+                        line: call.line,
+                        col: call.col,
+                    });
+                }
+            }
+        }
+        for list in g.callees.iter_mut().chain(g.callers.iter_mut()) {
+            list.sort();
+            list.dedup_by_key(|e| e.to);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_items;
+
+    fn calls(src: &str) -> Vec<CalleeRef> {
+        let code: Vec<Tok> = lex(src).into_iter().filter(|t| !t.is_comment()).collect();
+        let items = parse_items(&code);
+        let f = &items.fns[0];
+        let body = f.body.expect("fn has a body");
+        let skip: Vec<(usize, usize)> = items.fns[1..]
+            .iter()
+            .filter_map(|o| o.body)
+            .filter(|o| o.0 > body.0 && o.1 < body.1)
+            .collect();
+        extract_calls(&code, body, &skip, f.owner.as_deref())
+            .into_iter()
+            .map(|c| c.callee)
+            .collect()
+    }
+
+    #[test]
+    fn classifies_the_three_call_shapes() {
+        let got = calls("fn f() { helper(); Json::obj(x); table.render(); }");
+        assert_eq!(
+            got,
+            vec![
+                CalleeRef::Bare("helper".into()),
+                CalleeRef::Qual("Json".into(), "obj".into()),
+                CalleeRef::Method("render".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn long_paths_keep_the_last_two_segments() {
+        let got = calls("fn f() { std::env::var(\"X\"); crate::suppress::extract(t); }");
+        assert_eq!(
+            got,
+            vec![
+                CalleeRef::Qual("env".into(), "var".into()),
+                CalleeRef::Qual("suppress".into(), "extract".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn self_rewrites_to_the_impl_type() {
+        let got = calls("impl Engine { fn f(&self) { Self::tick(); } }");
+        assert_eq!(got, vec![CalleeRef::Qual("Engine".into(), "tick".into())]);
+    }
+
+    #[test]
+    fn macros_keywords_and_plain_idents_are_not_calls() {
+        let got = calls("fn f(x: u32) { println!(\"{x}\"); if (x) > 1 {} let y = x; }");
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_skipped() {
+        let got = calls("fn outer() { fn inner() { hidden(); } inner(); }");
+        assert_eq!(got, vec![CalleeRef::Bare("inner".into())]);
+    }
+
+    #[test]
+    fn calls_inside_arguments_are_found() {
+        let got = calls("fn f() { outer_call(inner_call(), v.method_arg()); }");
+        assert_eq!(
+            got,
+            vec![
+                CalleeRef::Bare("outer_call".into()),
+                CalleeRef::Bare("inner_call".into()),
+                CalleeRef::Method("method_arg".into()),
+            ]
+        );
+    }
+}

@@ -2,12 +2,41 @@
 //!
 //! Every rule violation, malformed suppression, and stale suppression
 //! becomes a [`Diagnostic`]: `file:line:col`, the lint name, a one-line
-//! message, and a concrete suggestion. The text rendering is what
-//! `lint` prints (and what the fixture goldens pin down); the JSON
-//! rendering nests into the workspace's existing report tooling via
+//! message, and a concrete suggestion. Interprocedural findings
+//! additionally carry a [`Hop`] chain — the full source→call→sink path
+//! — which renders as indented `note:` lines and nests into the v2
+//! report schema. The text rendering is what `lint` prints (and what
+//! the fixture goldens pin down); the JSON rendering nests into the
+//! workspace's existing report tooling via
 //! [`snicbench_core::json::Json`].
 
 use snicbench_core::json::Json;
+
+/// One step of an interprocedural chain: where something happened and
+/// what it was (source, a call hop, the sink).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// Workspace-relative path of the hop.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What this hop is (`source: …`, `calls Engine::run`, `sink: …`).
+    pub label: String,
+}
+
+impl Hop {
+    /// The JSON object form used inside v2 reports.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("file", Json::str(&self.file)),
+            ("line", Json::U64(u64::from(self.line))),
+            ("col", Json::U64(u64::from(self.col))),
+            ("label", Json::str(&self.label)),
+        ])
+    }
+}
 
 /// One finding, anchored to a source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,11 +53,15 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix it (shown under `--fix-hints`).
     pub suggestion: String,
+    /// Interprocedural source→call→sink path; empty for the token
+    /// rules and for findings local to one function.
+    pub chain: Vec<Hop>,
 }
 
 impl Diagnostic {
     /// The canonical single-line rendering:
-    /// `path:line:col: [lint] message`.
+    /// `path:line:col: [lint] message`. Chain hops render as separate
+    /// indented lines via [`Diagnostic::render_chain`].
     pub fn render(&self) -> String {
         format!(
             "{}:{}:{}: [{}] {}",
@@ -36,7 +69,17 @@ impl Diagnostic {
         )
     }
 
-    /// The JSON object form used inside lint reports.
+    /// The chain rendering appended under the main line: one
+    /// `    note: path:line:col: label` per hop.
+    pub fn render_chain(&self) -> Vec<String> {
+        self.chain
+            .iter()
+            .map(|h| format!("    note: {}:{}:{}: {}", h.file, h.line, h.col, h.label))
+            .collect()
+    }
+
+    /// The JSON object form used inside lint reports (v2: includes the
+    /// `chain` array, empty for intraprocedural findings).
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("file", Json::str(&self.file)),
@@ -45,6 +88,10 @@ impl Diagnostic {
             ("lint", Json::str(&self.lint)),
             ("message", Json::str(&self.message)),
             ("suggestion", Json::str(&self.suggestion)),
+            (
+                "chain",
+                Json::Arr(self.chain.iter().map(Hop::to_json).collect()),
+            ),
         ])
     }
 
@@ -67,6 +114,7 @@ mod tests {
             lint: "wall-clock-in-sim".into(),
             message: "wall-clock read in simulation code".into(),
             suggestion: "use SimTime".into(),
+            chain: Vec::new(),
         }
     }
 
@@ -85,6 +133,29 @@ mod tests {
         assert_eq!(
             j.get("lint").and_then(Json::as_str),
             Some("wall-clock-in-sim")
+        );
+        assert!(j.get("chain").and_then(Json::as_arr).is_some_and(<[Json]>::is_empty));
+    }
+
+    #[test]
+    fn chains_render_as_notes_and_json() {
+        let mut d = diag();
+        d.chain.push(Hop {
+            file: "crates/sim/src/event.rs".into(),
+            line: 3,
+            col: 5,
+            label: "sink: println!".into(),
+        });
+        assert_eq!(
+            d.render_chain(),
+            vec!["    note: crates/sim/src/event.rs:3:5: sink: println!"]
+        );
+        let j = d.to_json();
+        let chain = j.get("chain").and_then(Json::as_arr).expect("chain array");
+        assert_eq!(chain.len(), 1);
+        assert_eq!(
+            chain[0].get("label").and_then(Json::as_str),
+            Some("sink: println!")
         );
     }
 }

@@ -1,26 +1,47 @@
 //! The analysis engine: files in, sorted [`Diagnostic`]s out.
 //!
-//! Per file the engine lexes the source, finds `#[cfg(test)]` /
-//! `#[test]` regions (token-level brace matching — no full parse
-//! needed), extracts suppression directives, runs every rule whose
-//! scope covers the file, and reconciles the three: findings in test
-//! regions are dropped for rules that exempt test code, suppressed
-//! findings consume their directive, and directives that silenced
-//! nothing come back as `unused-suppression` findings. Fixture files
-//! may carry a `// snicbench-fixture: <path>` header that sets the
-//! *virtual* path rules are scoped by, so the corpus can exercise
-//! per-rule module scoping while diagnostics still point at the real
-//! file on disk.
+//! Analysis runs in three phases:
+//!
+//! 1. **Per file** ([`analyze_file`], parallel over `core::executor`
+//!    and fed by the incremental cache): lex, find `#[cfg(test)]` /
+//!    `#[test]` regions (token-level brace matching — no full parse
+//!    needed), extract suppression directives, run every *token* rule
+//!    whose scope covers the file, and build the file's IR — each fn
+//!    with its call sites and taint facts. The result
+//!    ([`FileAnalysis`]) is plain data: no tokens, so it serializes
+//!    into the cache.
+//! 2. **Corpus-wide**: build the symbol table and call graph over all
+//!    files' IR and run the interprocedural rules (`determinism-taint`,
+//!    `alloc-in-hot-path`) over them.
+//! 3. **Reconcile per file**: findings in test regions are dropped for
+//!    rules that exempt test code (token rules drop them in phase 1;
+//!    interprocedural rules never see test fns because the symbol
+//!    table excludes them), suppressed findings consume their
+//!    directive, and directives that silenced nothing come back as
+//!    `unused-suppression` findings.
+//!
+//! Fixture files may carry a `// snicbench-fixture: <path>` header that
+//! sets the *virtual* path rules are scoped by, so the corpus can
+//! exercise per-rule module scoping while diagnostics still point at
+//! the real file on disk. The fixture corpus is analyzed as **one**
+//! corpus: taint chains across fixture helpers resolve exactly like
+//! real code.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use snicbench_core::executor::Executor;
 use snicbench_core::json::Json;
 
+use crate::cache;
+use crate::callgraph::{self, CallGraph};
 use crate::diag::Diagnostic;
 use crate::lexer::{lex, Tok, TokKind};
-use crate::rules;
+use crate::parse;
+use crate::rules::{self, Check, RawFinding};
 use crate::suppress;
+use crate::symbols::{FileIr, FnInfo, SymbolTable};
+use crate::taint;
 
 /// The outcome of analyzing a set of files.
 #[derive(Debug, Default)]
@@ -42,13 +63,18 @@ impl Report {
     }
 
     /// Renders the findings one per line (the `lint` binary's stdout);
-    /// with `hints`, each diagnostic is followed by an indented
-    /// `hint:` line carrying the suggestion.
+    /// interprocedural findings are followed by their chain as
+    /// indented `note:` lines; with `hints`, each diagnostic is
+    /// followed by an indented `hint:` line carrying the suggestion.
     pub fn render(&self, hints: bool) -> String {
         let mut out = String::new();
         for d in &self.findings {
             out.push_str(&d.render());
             out.push('\n');
+            for note in d.render_chain() {
+                out.push_str(&note);
+                out.push('\n');
+            }
             if hints && !d.suggestion.is_empty() {
                 out.push_str(&format!("    hint: {}\n", d.suggestion));
             }
@@ -57,10 +83,10 @@ impl Report {
     }
 
     /// The machine-readable report (`lint --json`), schema
-    /// `snicbench.lint-report.v1`.
+    /// `snicbench.lint-report.v2` (v2 added the per-finding `chain`).
     pub fn to_json(&self) -> Json {
         Json::obj([
-            ("schema", Json::str("snicbench.lint-report.v1")),
+            ("schema", Json::str("snicbench.lint-report.v2")),
             ("filesScanned", Json::U64(self.files_scanned as u64)),
             (
                 "suppressionsUsed",
@@ -92,15 +118,45 @@ impl Report {
     }
 }
 
-/// Analyzes one source text as if it lived at `path` (used for both
-/// real files and in-memory tests).
-pub fn analyze_source(path: &str, src: &str) -> Report {
-    analyze_source_scoped(path, path, src)
+/// Everything phase 1 learns about one file: its IR plus the token
+/// findings and suppressions awaiting reconciliation. Plain data —
+/// this is the unit the incremental cache persists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileAnalysis {
+    /// The file's functions, call sites, and taint facts.
+    pub ir: FileIr,
+    /// Token-rule findings (lint name + raw finding), already filtered
+    /// for test regions but not yet for suppressions.
+    pub token_findings: Vec<(String, RawFinding)>,
+    /// Well-formed suppression directives.
+    pub directives: Vec<suppress::Directive>,
+    /// Malformed suppression comments.
+    pub malformed: Vec<suppress::Malformed>,
 }
 
-/// Analyzes `src`, scoping rules by `scope_path` but reporting
-/// diagnostics against `report_path` (fixture mode).
-pub fn analyze_source_scoped(report_path: &str, scope_path: &str, src: &str) -> Report {
+/// Tuning knobs for a corpus analysis.
+#[derive(Debug, Default)]
+pub struct Options {
+    /// Runs phase 1 (`jobs == 1` by `Default`); diagnostics are
+    /// byte-identical at any width because results merge in input
+    /// order and every cross-file pass is deterministic.
+    pub executor: Executor,
+    /// Incremental cache file; `None` disables caching.
+    pub cache: Option<PathBuf>,
+}
+
+/// Cache effectiveness counters (reported on stderr only — never in
+/// the diagnostics themselves, which must not vary run-to-run).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CacheStats {
+    /// Files served from the cache.
+    pub hits: usize,
+    /// Files analyzed from scratch.
+    pub misses: usize,
+}
+
+/// Phase 1 for one file: everything that needs the tokens.
+pub fn analyze_file(report_path: &str, scope_path: &str, src: &str) -> FileAnalysis {
     let toks = lex(src);
     let code: Vec<Tok> = toks.iter().filter(|t| !t.is_comment()).cloned().collect();
     let regions = test_regions(&code);
@@ -108,104 +164,275 @@ pub fn analyze_source_scoped(report_path: &str, scope_path: &str, src: &str) -> 
     let sup = suppress::extract(&toks, &known);
     let file_is_test = is_test_path(scope_path);
 
-    let mut used = vec![false; sup.directives.len()];
-    let mut report = Report {
-        files_scanned: 1,
-        suppressions_total: sup.directives.len(),
-        ..Report::default()
-    };
-
+    let mut token_findings = Vec::new();
     for rule in rules::all() {
+        let Check::Tokens(check) = rule.check else {
+            continue;
+        };
         if !(rule.applies)(scope_path) {
             continue;
         }
         if rule.skip_test_code && file_is_test {
             continue;
         }
-        for f in (rule.check)(&code) {
+        for f in check(&code) {
             if rule.skip_test_code && in_regions(&regions, f.line) {
                 continue;
             }
-            if let Some(i) = sup
-                .directives
+            token_findings.push((rule.name.to_string(), f));
+        }
+    }
+
+    let items = parse::parse_items(&code);
+    let mut fns = Vec::new();
+    for f in &items.fns {
+        let Some(body) = f.body else {
+            continue; // bodyless trait methods carry no facts or calls
+        };
+        let skip: Vec<(usize, usize)> = items
+            .fns
+            .iter()
+            .filter_map(|o| o.body)
+            .filter(|o| o.0 > body.0 && o.1 < body.1)
+            .collect();
+        let calls = callgraph::extract_calls(&code, body, &skip, f.owner.as_deref());
+        let sig = &code[f.item_start..body.0];
+        let body_toks: Vec<Tok> = (body.0..=body.1)
+            .filter(|i| !skip.iter().any(|(s, e)| s <= i && i <= e))
+            .map(|i| code[i].clone())
+            .collect();
+        fns.push(FnInfo {
+            name: f.name.clone(),
+            owner: f.owner.clone(),
+            line: f.line,
+            col: f.col,
+            is_test: file_is_test || in_regions(&regions, f.line),
+            calls,
+            facts: taint::scan_fn(sig, &body_toks),
+        });
+    }
+    FileAnalysis {
+        ir: FileIr {
+            report_path: report_path.to_string(),
+            scope_path: scope_path.to_string(),
+            fns,
+        },
+        token_findings,
+        directives: sup.directives,
+        malformed: sup.malformed,
+    }
+}
+
+/// One corpus input: `(report path, scope path, source text)`.
+pub type CorpusFile = (String, String, String);
+
+/// Analyzes a corpus end to end: phase 1 per file (parallel, cached),
+/// the interprocedural passes over the joint IR, and per-file
+/// suppression reconciliation. Output order is independent of
+/// `opts.executor` width and cache state.
+pub fn analyze_corpus(inputs: &[CorpusFile], opts: &Options) -> (Report, CacheStats) {
+    let cached = opts.cache.as_deref().map(cache::load).unwrap_or_default();
+    let mut stats = CacheStats::default();
+    let mut slots: Vec<Option<(u64, FileAnalysis)>> = Vec::with_capacity(inputs.len());
+    let mut misses: Vec<usize> = Vec::new();
+    for (i, (report_path, scope_path, src)) in inputs.iter().enumerate() {
+        let hash = cache::content_hash(report_path, scope_path, src);
+        match cached.get(report_path).filter(|(h, _)| *h == hash) {
+            Some((_, analysis)) => {
+                stats.hits += 1;
+                slots.push(Some((hash, analysis.clone())));
+            }
+            None => {
+                stats.misses += 1;
+                misses.push(i);
+                slots.push(Some((hash, FileAnalysis {
+                    ir: FileIr {
+                        report_path: String::new(),
+                        scope_path: String::new(),
+                        fns: Vec::new(),
+                    },
+                    token_findings: Vec::new(),
+                    directives: Vec::new(),
+                    malformed: Vec::new(),
+                })));
+            }
+        }
+    }
+    let fresh = opts.executor.map(misses.clone(), |i| {
+        let (report_path, scope_path, src) = &inputs[i];
+        analyze_file(report_path, scope_path, src)
+    });
+    for (i, analysis) in misses.into_iter().zip(fresh) {
+        if let Some(slot) = slots.get_mut(i).and_then(Option::as_mut) {
+            slot.1 = analysis;
+        }
+    }
+    let analyses: Vec<(u64, FileAnalysis)> = slots.into_iter().flatten().collect();
+    if let Some(path) = opts.cache.as_deref() {
+        // Best-effort: a read-only tree still lints, just without a
+        // warm cache next run.
+        let _ = cache::save(path, &analyses);
+    }
+
+    // Phase 2: the corpus-wide passes over the joint IR.
+    let mut irs: Vec<FileIr> = Vec::with_capacity(analyses.len());
+    let mut metas = Vec::with_capacity(analyses.len());
+    for (_, a) in analyses {
+        irs.push(a.ir);
+        metas.push((a.token_findings, a.directives, a.malformed));
+    }
+    let table = SymbolTable::build(&irs);
+    let graph = CallGraph::build(&irs, &table);
+    let mut inter: Vec<Vec<Diagnostic>> = vec![Vec::new(); irs.len()];
+    for rule in rules::all() {
+        if !matches!(rule.check, Check::Interprocedural) {
+            continue;
+        }
+        let found = match rule.name {
+            "determinism-taint" => taint::run_taint(&irs, &table, &graph, rule),
+            "alloc-in-hot-path" => taint::run_alloc(&irs, &table, &graph, rule),
+            other => unreachable!("unwired interprocedural rule {other}"),
+        };
+        for (fi, d) in found {
+            inter[fi].push(d);
+        }
+    }
+
+    // Phase 3: per-file suppression reconciliation and the merge.
+    let rule_by_name: std::collections::BTreeMap<&str, &rules::Rule> =
+        rules::all().iter().map(|r| (r.name, r)).collect();
+    let mut report = Report {
+        files_scanned: irs.len(),
+        ..Report::default()
+    };
+    for (fi, (token_findings, directives, malformed)) in metas.into_iter().enumerate() {
+        let report_path = &irs[fi].report_path;
+        let mut used = vec![false; directives.len()];
+        let mut pending: Vec<Diagnostic> = token_findings
+            .into_iter()
+            .map(|(lint, f)| Diagnostic {
+                file: report_path.clone(),
+                line: f.line,
+                col: f.col,
+                suggestion: rule_by_name
+                    .get(lint.as_str())
+                    .map(|r| r.suggestion.to_string())
+                    .unwrap_or_default(),
+                lint,
+                message: f.message,
+                chain: Vec::new(),
+            })
+            .collect();
+        pending.append(&mut inter[fi]);
+        for d in pending {
+            if let Some(i) = directives
                 .iter()
-                .position(|d| d.lint == rule.name && d.applies_line == f.line)
+                .position(|s| s.lint == d.lint && s.applies_line == d.line)
             {
                 used[i] = true;
                 continue;
             }
+            report.findings.push(d);
+        }
+        for m in &malformed {
             report.findings.push(Diagnostic {
-                file: report_path.to_string(),
-                line: f.line,
-                col: f.col,
-                lint: rule.name.to_string(),
-                message: f.message,
-                suggestion: rule.suggestion.to_string(),
+                file: report_path.clone(),
+                line: m.line,
+                col: m.col,
+                lint: rules::MALFORMED_SUPPRESSION.to_string(),
+                message: m.why.clone(),
+                suggestion:
+                    "write `// snicbench: allow(<lint>, \"<reason>\")` with a non-empty reason"
+                        .to_string(),
+                chain: Vec::new(),
             });
         }
-    }
-
-    for m in &sup.malformed {
-        report.findings.push(Diagnostic {
-            file: report_path.to_string(),
-            line: m.line,
-            col: m.col,
-            lint: rules::MALFORMED_SUPPRESSION.to_string(),
-            message: m.why.clone(),
-            suggestion: "write `// snicbench: allow(<lint>, \"<reason>\")` with a non-empty reason"
-                .to_string(),
-        });
-    }
-    for (d, used) in sup.directives.iter().zip(&used) {
-        if !used {
-            report.findings.push(Diagnostic {
-                file: report_path.to_string(),
-                line: d.line,
-                col: d.col,
-                lint: rules::UNUSED_SUPPRESSION.to_string(),
-                message: format!("allow({}) silences nothing", d.lint),
-                suggestion: "remove the stale directive (or move it next to the finding it \
-                             is meant to silence)"
-                    .to_string(),
-            });
+        for (d, was_used) in directives.iter().zip(&used) {
+            if !was_used {
+                report.findings.push(Diagnostic {
+                    file: report_path.clone(),
+                    line: d.line,
+                    col: d.col,
+                    lint: rules::UNUSED_SUPPRESSION.to_string(),
+                    message: format!("allow({}) silences nothing", d.lint),
+                    suggestion: "remove the stale directive (or move it next to the finding it \
+                                 is meant to silence)"
+                        .to_string(),
+                    chain: Vec::new(),
+                });
+            }
         }
+        report.suppressions_used += used.iter().filter(|u| **u).count();
+        report.suppressions_total += directives.len();
     }
-    report.suppressions_used = used.iter().filter(|u| **u).count();
     report.sort();
-    report
+    (report, stats)
 }
 
-/// Scans every workspace source file under `root` and merges the
-/// per-file reports.
+/// Analyzes one source text as if it lived at `path` (used for both
+/// real files and in-memory tests). Single-file corpus: the
+/// interprocedural rules still run, over that file alone.
+pub fn analyze_source(path: &str, src: &str) -> Report {
+    analyze_source_scoped(path, path, src)
+}
+
+/// Analyzes `src`, scoping rules by `scope_path` but reporting
+/// diagnostics against `report_path` (fixture mode).
+pub fn analyze_source_scoped(report_path: &str, scope_path: &str, src: &str) -> Report {
+    let inputs = vec![(
+        report_path.to_string(),
+        scope_path.to_string(),
+        src.to_string(),
+    )];
+    analyze_corpus(&inputs, &Options::default()).0
+}
+
+/// Scans every workspace source file under `root` as one corpus.
 pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
-    let mut report = Report::default();
+    analyze_workspace_opts(root, &Options::default()).map(|(r, _)| r)
+}
+
+/// [`analyze_workspace`] with explicit executor/cache options.
+pub fn analyze_workspace_opts(
+    root: &Path,
+    opts: &Options,
+) -> std::io::Result<(Report, CacheStats)> {
+    let mut inputs = Vec::new();
     for (rel, abs) in workspace_files(root)? {
         let src = fs::read_to_string(&abs)?;
-        merge(&mut report, analyze_source(&rel, &src));
+        inputs.push((rel.clone(), rel, src));
     }
-    report.sort();
-    Ok(report)
+    Ok(analyze_corpus(&inputs, opts))
 }
 
-/// Scans the fixture corpus in `dir` (flat `*.rs` files). Each fixture
-/// must start with a `// snicbench-fixture: <virtual path>` header that
+/// Scans the fixture corpus in `dir` (flat `*.rs` files) as one
+/// corpus, so cross-fixture call chains resolve. Each fixture must
+/// start with a `// snicbench-fixture: <virtual path>` header that
 /// sets the path rules are scoped by; diagnostics report the real
 /// workspace-relative fixture path.
 pub fn analyze_fixtures(root: &Path, dir: &Path) -> std::io::Result<Report> {
+    analyze_fixtures_opts(root, dir, &Options::default()).map(|(r, _)| r)
+}
+
+/// [`analyze_fixtures`] with explicit executor/cache options.
+pub fn analyze_fixtures_opts(
+    root: &Path,
+    dir: &Path,
+    opts: &Options,
+) -> std::io::Result<(Report, CacheStats)> {
     let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| p.extension().is_some_and(|x| x == "rs"))
         .collect();
     entries.sort();
-    let mut report = Report::default();
+    let mut inputs = Vec::new();
     for abs in entries {
         let src = fs::read_to_string(&abs)?;
         let rel = rel_path(root, &abs);
         let scope = fixture_scope(&src).unwrap_or_else(|| rel.clone());
-        merge(&mut report, analyze_source_scoped(&rel, &scope, &src));
+        inputs.push((rel, scope, src));
     }
-    report.sort();
-    Ok(report)
+    Ok(analyze_corpus(&inputs, opts))
 }
 
 /// The `// snicbench-fixture: <path>` header, if present.
@@ -217,13 +444,6 @@ fn fixture_scope(src: &str) -> Option<String> {
             .and_then(|l| l.strip_prefix("snicbench-fixture:"))
             .map(|p| p.trim().to_string())
     })
-}
-
-fn merge(into: &mut Report, one: Report) {
-    into.findings.extend(one.findings);
-    into.files_scanned += one.files_scanned;
-    into.suppressions_used += one.suppressions_used;
-    into.suppressions_total += one.suppressions_total;
 }
 
 /// Workspace-relative `.rs` files to self-lint, sorted: everything
@@ -487,11 +707,117 @@ pub fn f() {}\n";
         let j = r.to_json();
         assert_eq!(
             j.get("schema").and_then(Json::as_str),
-            Some("snicbench.lint-report.v1")
+            Some("snicbench.lint-report.v2")
         );
         assert_eq!(
             j.get("findings").and_then(Json::as_arr).map(<[Json]>::len),
             Some(1)
         );
+        let f = &j.get("findings").and_then(Json::as_arr).expect("findings")[0];
+        assert!(f.get("chain").and_then(Json::as_arr).is_some(), "v2 findings carry a chain");
+    }
+
+    #[test]
+    fn taint_fires_through_a_helper_chain() {
+        let src = "\
+fn jobs_hint() -> String {\n\
+    std::env::var(\"JOBS\").unwrap_or_default()\n\
+}\n\
+fn banner() -> String {\n\
+    jobs_hint()\n\
+}\n\
+pub fn main() {\n\
+    println!(\"jobs={}\", banner());\n\
+}\n";
+        let r = analyze_source("crates/bench/src/bin/demo.rs", src);
+        let taint: Vec<&Diagnostic> = r
+            .findings
+            .iter()
+            .filter(|d| d.lint == "determinism-taint")
+            .collect();
+        assert_eq!(taint.len(), 1, "{:?}", r.findings);
+        let d = taint[0];
+        assert_eq!(d.line, 2, "anchored at the env::var source");
+        assert!(
+            d.message.contains("jobs_hint -> banner -> main")
+                || d.message.contains("jobs_hint") && d.message.contains("main"),
+            "{}",
+            d.message
+        );
+        assert!(d.chain.len() >= 3, "source + hops + sink: {:?}", d.chain);
+        assert!(d.chain[0].label.starts_with("source:"));
+        assert!(d.chain.last().expect("non-empty").label.starts_with("sink:"));
+    }
+
+    #[test]
+    fn sort_before_emit_blocks_hash_order_taint() {
+        let src = "\
+fn collect(counts: &std::collections::HashMap<String, u32>) -> Vec<String> {\n\
+    let mut rows: Vec<String> = counts.keys().cloned().collect();\n\
+    rows.sort();\n\
+    rows\n\
+}\n\
+pub fn main() {\n\
+    let m = std::collections::HashMap::new();\n\
+    for row in collect(&m) { println!(\"{row}\"); }\n\
+}\n";
+        let r = analyze_source("crates/bench/src/bin/demo.rs", src);
+        assert!(
+            !r.findings.iter().any(|d| d.lint == "determinism-taint"),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn alloc_reachability_extends_past_the_triplet() {
+        // Helper in another sim file allocates; the engine's dispatch
+        // calls it, so the alloc fires there with a reach chain.
+        let engine = "pub fn dispatch() { burst_label(7); }\n";
+        let helper = "pub fn burst_label(n: u64) -> String { n.to_string() }\n\
+                      pub fn cold_label(n: u64) -> String { format!(\"{n}\") }\n";
+        let inputs = vec![
+            (
+                "crates/sim/src/engine.rs".to_string(),
+                "crates/sim/src/engine.rs".to_string(),
+                engine.to_string(),
+            ),
+            (
+                "crates/sim/src/labels.rs".to_string(),
+                "crates/sim/src/labels.rs".to_string(),
+                helper.to_string(),
+            ),
+        ];
+        let (r, _) = analyze_corpus(&inputs, &Options::default());
+        let allocs: Vec<&Diagnostic> = r
+            .findings
+            .iter()
+            .filter(|d| d.lint == "alloc-in-hot-path")
+            .collect();
+        assert_eq!(allocs.len(), 1, "{:?}", r.findings);
+        assert_eq!(allocs[0].file, "crates/sim/src/labels.rs");
+        assert!(allocs[0].message.contains("reachable from the engine hot path"));
+        assert!(allocs[0].message.contains("dispatch"));
+    }
+
+    #[test]
+    fn corpus_output_is_identical_across_jobs_widths() {
+        let mk = |p: &str, s: &str| (p.to_string(), p.to_string(), s.to_string());
+        let inputs = vec![
+            mk("crates/sim/src/engine.rs", "pub fn dispatch() { helper(); }\n"),
+            mk("crates/sim/src/a.rs", "pub fn helper() { let v = vec![1]; }\n"),
+            mk("crates/core/src/b.rs", "pub fn f(x: Option<u8>) { x.unwrap(); }\n"),
+        ];
+        let serial = analyze_corpus(&inputs, &Options::default()).0;
+        let wide = analyze_corpus(
+            &inputs,
+            &Options {
+                executor: Executor::new(4),
+                cache: None,
+            },
+        )
+        .0;
+        assert_eq!(serial.render(true), wide.render(true));
+        assert_eq!(serial.to_json().to_pretty(), wide.to_json().to_pretty());
     }
 }

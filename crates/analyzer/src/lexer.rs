@@ -130,6 +130,8 @@ impl<'a> Lexer<'a> {
                 self.block_comment(line, col);
             } else if self.raw_string_ahead() {
                 self.raw_string(line, col);
+            } else if self.raw_ident_ahead() {
+                self.raw_ident(line, col);
             } else if c == 'b' && matches!(self.peek(1), Some('"') | Some('\'')) {
                 let b = self.bump().expect("peeked byte-literal prefix");
                 let quote = self.peek(0).expect("peeked byte-literal quote");
@@ -154,17 +156,35 @@ impl<'a> Lexer<'a> {
         self.toks
     }
 
-    /// True when the cursor sits on `r"`, `r#`, `br"` or `br#`.
+    /// True when the cursor sits on a raw string opener: `r` (or `br`)
+    /// followed by any number of `#`s and then a `"`. Requiring the
+    /// quote keeps raw *identifiers* (`r#fn`, `r#match`) out — those
+    /// lex as identifiers, not strings.
     fn raw_string_ahead(&self) -> bool {
-        let raw_at = |i: usize| {
-            self.peek(i) == Some('r')
-                && matches!(self.peek(i + 1), Some('"') | Some('#'))
+        let raw_at = |mut i: usize| {
+            if self.peek(i) != Some('r') {
+                return false;
+            }
+            i += 1;
+            while self.peek(i) == Some('#') {
+                i += 1;
+            }
+            self.peek(i) == Some('"')
         };
         match self.peek(0) {
             Some('r') => raw_at(0),
             Some('b') => raw_at(1),
             _ => false,
         }
+    }
+
+    /// True when the cursor sits on a raw identifier (`r#name`).
+    fn raw_ident_ahead(&self) -> bool {
+        self.peek(0) == Some('r')
+            && self.peek(1) == Some('#')
+            && self
+                .peek(2)
+                .is_some_and(|c| c.is_alphabetic() || c == '_')
     }
 
     fn line_comment(&mut self, line: u32, col: u32) {
@@ -297,28 +317,38 @@ impl<'a> Lexer<'a> {
         let mut text = String::new();
         // Integer part (also covers 0x/0b/0o bodies and `e` exponents,
         // since those continue with alphanumerics consumed below).
-        while let Some(c) = self.peek(0) {
-            if c.is_alphanumeric() || c == '_' {
-                text.push(self.bump().expect("peeked number char"));
-            } else {
-                break;
-            }
-        }
+        self.number_run(&mut text);
         // Fractional part: a dot counts only when followed by a digit,
         // so `0..n` and `1.max(2)` stop at the integer.
         if self.peek(0) == Some('.')
             && self.peek(1).is_some_and(|c| c.is_ascii_digit())
         {
             text.push(self.bump().expect("peeked dot"));
-            while let Some(c) = self.peek(0) {
-                if c.is_alphanumeric() || c == '_' {
-                    text.push(self.bump().expect("peeked fraction char"));
-                } else {
-                    break;
-                }
-            }
+            self.number_run(&mut text);
         }
         self.emit(TokKind::Num, text, line, col);
+    }
+
+    /// Consumes one alphanumeric run of a numeric literal, including a
+    /// signed exponent: after a trailing `e`/`E` a `+`/`-` followed by
+    /// a digit continues the literal, so `1e-9` and `2.5E+10` stay one
+    /// token. Hex literals (`0xAE`) never take a sign — their `e` is a
+    /// digit.
+    fn number_run(&mut self, text: &mut String) {
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(self.bump().expect("peeked number char"));
+            } else if (c == '+' || c == '-')
+                && text.ends_with(['e', 'E'])
+                && !text.starts_with("0x")
+                && !text.starts_with("0X")
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                text.push(self.bump().expect("peeked exponent sign"));
+            } else {
+                break;
+            }
+        }
     }
 
     fn ident(&mut self, line: u32, col: u32) {
@@ -326,6 +356,22 @@ impl<'a> Lexer<'a> {
         while let Some(c) = self.peek(0) {
             if c.is_alphanumeric() || c == '_' {
                 text.push(self.bump().expect("peeked ident char"));
+            } else {
+                break;
+            }
+        }
+        self.emit(TokKind::Ident, text, line, col);
+    }
+
+    /// Lexes a raw identifier (`r#fn`). The token keeps its `r#` prefix
+    /// so `r#fn` never matches the keyword `fn` in rule patterns.
+    fn raw_ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        text.push(self.bump().expect("peeked r prefix"));
+        text.push(self.bump().expect("peeked #"));
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(self.bump().expect("peeked raw ident char"));
             } else {
                 break;
             }
@@ -417,6 +463,82 @@ mod tests {
             .map(|t| t.text.as_str())
             .collect();
         assert_eq!(nums, vec!["0", "1", "2", "1.5e9f64", "0xFFu8"]);
+    }
+
+    #[test]
+    fn raw_strings_do_not_desync_following_tokens() {
+        // A raw string holding what looks like a close-quote + code:
+        // everything up to `"#` is one Str, then real tokens resume.
+        let toks = lex(r###"let s = r##"a "# b"## ; Instant::now()"###);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert!(toks.iter().any(|t| t.is_ident("Instant")));
+        assert!(!toks.iter().any(|t| t.is_ident("b")));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let toks = lex("fn r#match(r#type: u32) { r#type }");
+        assert!(
+            toks.iter().all(|t| t.kind != TokKind::Str),
+            "r#ident must not open a raw string: {toks:?}"
+        );
+        // The raw prefix stays in the text, so `r#match` is not the
+        // keyword `match` to any rule pattern.
+        assert!(toks.iter().any(|t| t.is_ident("r#match")));
+        assert!(!toks.iter().any(|t| t.is_ident("match")));
+    }
+
+    #[test]
+    fn nested_block_comments_keep_spans_in_sync() {
+        let toks = lex("/* a /* b /* c */ */ still comment */ x\ny");
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert!(toks[1].is_ident("x"));
+        assert_eq!((toks[2].line, toks[2].col), (2, 1), "y starts line 2");
+    }
+
+    #[test]
+    fn char_literal_holding_a_quote_does_not_open_a_string() {
+        let toks = lex(r#"m.insert('"', len); "real string""#);
+        assert_eq!(toks[0].kind, TokKind::Ident);
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, vec!["'\"'"]);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert!(toks.iter().any(|t| t.is_ident("len")));
+    }
+
+    #[test]
+    fn char_literal_holding_a_slash_does_not_open_a_comment() {
+        let toks = lex("split('/') // real comment");
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, vec!["'/'"]);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokKind::LineComment)
+                .count(),
+            1
+        );
+        assert!(toks.iter().any(|t| t.is_punct(')')), "code after the char");
+    }
+
+    #[test]
+    fn signed_exponents_stay_one_number() {
+        let toks = lex("1e-9 2.5E+10 1e9 7-2 0xAE-1");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1e-9", "2.5E+10", "1e9", "7", "2", "0xAE", "1"]);
+        // `7-2` and `0xAE-1` keep their minus as punctuation.
+        assert_eq!(toks.iter().filter(|t| t.is_punct('-')).count(), 2);
     }
 
     #[test]

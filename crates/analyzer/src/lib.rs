@@ -14,6 +14,20 @@
 //! registry access), the analyzer is built from scratch on `std`
 //! alone, like [`snicbench_core::json`] before it.
 //!
+//! On top of the token rules sits a workspace-level IR: an item parser
+//! ([`parse`]) recovers every fn with its impl owner and body span, a
+//! symbol table ([`symbols`]) and call graph ([`callgraph`]) resolve
+//! calls conservatively across all crates, and the interprocedural
+//! passes ([`taint`]) propagate determinism taint — wall clock,
+//! hash-order iteration, ambient entropy, environment reads, host
+//! identity — from where a value is born to where bytes leave the
+//! process, reporting the full source→call-chain→sink path. The same
+//! IR scopes `alloc-in-hot-path` by *reachability from the engine
+//! dispatch triplet* instead of by file path. Per-file analysis is
+//! embarrassingly parallel (`core::executor`) and cached by content
+//! hash ([`cache`]); reports export as JSON (schema
+//! `snicbench.lint-report.v2`) or SARIF 2.1.0 ([`sarif`]).
+//!
 //! Violations that are provably sound are silenced in place:
 //!
 //! ```text
@@ -40,11 +54,17 @@
 //! assert_eq!(report.findings[0].lint, "wall-clock-in-sim");
 //! ```
 
+pub mod cache;
+pub mod callgraph;
 pub mod diag;
 pub mod engine;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod sarif;
 pub mod suppress;
+pub mod symbols;
+pub mod taint;
 
 pub use diag::Diagnostic;
 pub use engine::{analyze_fixtures, analyze_source, analyze_workspace, discover_root, Report};

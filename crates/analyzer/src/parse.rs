@@ -1,0 +1,406 @@
+//! A lightweight item parser on top of the lexer: `fn` / `impl` /
+//! `use` / `struct` items with spans.
+//!
+//! The interprocedural passes (call graph, determinism taint, alloc
+//! reachability) need to know *which function* a token belongs to and
+//! what that function's qualified name is — but nothing more: no
+//! expressions, no types, no generics. This module recovers exactly
+//! that from the comment-free token stream by brace matching:
+//!
+//! * every `fn` item, with its name, the `impl` self-type that owns it
+//!   (so `Engine::run` and `Station::run` stay distinct symbols), the
+//!   token range of its body, and its line span;
+//! * every `impl` block's self type (handling `impl<T> Trait for Ty`);
+//! * every `use` declaration's path text (the IR keeps them for
+//!   diagnostics and tests; call resolution keys off item names);
+//! * every `struct` / `enum` / `trait` name with its span.
+//!
+//! The parser is infallible like the lexer: malformed input degrades to
+//! fewer recognized items, never to an error, because lint input may be
+//! mid-edit.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Inclusive 1-based line range of an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ItemSpan {
+    /// First line of the item.
+    pub start_line: u32,
+    /// Last line of the item (its closing brace or `;`).
+    pub end_line: u32,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// The function's bare name (`run`, `to_json`, ...).
+    pub name: String,
+    /// The `impl` self type owning this method, if any (`Engine` for
+    /// `impl Engine { fn run … }`), so symbols can be `Type::name`.
+    pub owner: Option<String>,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// 1-based column of the name token.
+    pub col: u32,
+    /// Token index range `[open `{`, close `}`]` of the body in the
+    /// comment-free stream; `None` for bodyless trait declarations.
+    pub body: Option<(usize, usize)>,
+    /// Token index of the `fn` keyword — `item_start..body.0` is the
+    /// signature range (the taint pass scans it for hash-typed params).
+    pub item_start: usize,
+    /// The item's line span (signature through closing brace).
+    pub span: ItemSpan,
+}
+
+impl FnItem {
+    /// `Type::name` when owned by an impl, else the bare name.
+    pub fn qualified(&self) -> String {
+        match &self.owner {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One `use` declaration, kept as its normalized path text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseItem {
+    /// The path text with whitespace normalized away
+    /// (`std::time::Instant`, `crate::json::{Json,parse}`).
+    pub path: String,
+    /// Line span of the declaration.
+    pub span: ItemSpan,
+}
+
+/// One `struct` / `enum` / `trait` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeItem {
+    /// The declared name.
+    pub name: String,
+    /// Which keyword introduced it (`struct`, `enum`, `trait`).
+    pub kind: &'static str,
+    /// Line span of the item.
+    pub span: ItemSpan,
+}
+
+/// Everything the item parser recovers from one file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Items {
+    /// All `fn` items, in source order (nested fns included).
+    pub fns: Vec<FnItem>,
+    /// All `use` declarations, in source order.
+    pub uses: Vec<UseItem>,
+    /// All `struct`/`enum`/`trait` items, in source order.
+    pub types: Vec<TypeItem>,
+}
+
+/// Parses the comment-free token stream into items.
+pub fn parse_items(code: &[Tok]) -> Items {
+    let mut items = Items::default();
+    // Innermost-last stack of `(self type, close token index)` for the
+    // impl blocks the cursor is inside.
+    let mut impls: Vec<(Option<String>, usize)> = Vec::new();
+    // Close indices of fn bodies the cursor is inside (for nesting).
+    let mut fn_bodies: Vec<usize> = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        while matches!(impls.last(), Some((_, end)) if i > *end) {
+            impls.pop();
+        }
+        while matches!(fn_bodies.last(), Some(end) if i > *end) {
+            fn_bodies.pop();
+        }
+        let t = &code[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "impl" => {
+                if let Some((self_ty, open)) = impl_header(code, i) {
+                    let close = match_brace(code, open).unwrap_or(code.len() - 1);
+                    impls.push((self_ty, close));
+                    i = open + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            "fn" => {
+                // `fn` in a function-pointer type (`fn(&[Tok]) -> …`)
+                // has `(` where an item has its name.
+                let Some(name_tok) = code.get(i + 1).filter(|n| n.kind == TokKind::Ident)
+                else {
+                    i += 1;
+                    continue;
+                };
+                let (body, end_line, next) = fn_body(code, i + 2);
+                // A fn nested inside another fn's body is a free item,
+                // not a method of the enclosing impl.
+                let owner = if fn_bodies.is_empty() {
+                    impls.last().and_then(|(ty, _)| ty.clone())
+                } else {
+                    None
+                };
+                items.fns.push(FnItem {
+                    name: name_tok.text.clone(),
+                    owner,
+                    line: name_tok.line,
+                    col: name_tok.col,
+                    body,
+                    item_start: i,
+                    span: ItemSpan {
+                        start_line: t.line,
+                        end_line,
+                    },
+                });
+                if let Some((open, close)) = body {
+                    fn_bodies.push(close);
+                    i = open + 1; // descend: nested items are parsed too
+                } else {
+                    i = next;
+                }
+            }
+            "use" => {
+                let mut j = i + 1;
+                let mut path = String::new();
+                while j < code.len() && !code[j].is_punct(';') {
+                    path.push_str(&code[j].text);
+                    j += 1;
+                }
+                let end_line = code.get(j).map_or(t.line, |t| t.line);
+                items.uses.push(UseItem {
+                    path,
+                    span: ItemSpan {
+                        start_line: t.line,
+                        end_line,
+                    },
+                });
+                i = j + 1;
+            }
+            kw @ ("struct" | "enum" | "trait") => {
+                let Some(name_tok) = code.get(i + 1).filter(|n| n.kind == TokKind::Ident)
+                else {
+                    i += 1;
+                    continue;
+                };
+                let (end_line, next) = type_item_end(code, i + 2);
+                items.types.push(TypeItem {
+                    name: name_tok.text.clone(),
+                    kind: match kw {
+                        "struct" => "struct",
+                        "enum" => "enum",
+                        _ => "trait",
+                    },
+                    span: ItemSpan {
+                        start_line: t.line,
+                        end_line,
+                    },
+                });
+                // Descend into trait bodies so default methods are found.
+                i = if kw == "trait" { i + 2 } else { next };
+            }
+            _ => i += 1,
+        }
+    }
+    items
+}
+
+/// Parses an `impl` header starting at `at` (the `impl` token):
+/// returns `(self type, index of the opening brace)`. The self type is
+/// the last path segment of the implemented-on type, i.e. the path
+/// after `for` when present (`impl Trait for Ty`), else the first path
+/// after the optional generic parameter list.
+fn impl_header(code: &[Tok], at: usize) -> Option<(Option<String>, usize)> {
+    let mut j = at + 1;
+    // Skip `<…>` generic parameters (angle depth; `>>` lexes as two `>`).
+    if code.get(j).is_some_and(|t| t.is_punct('<')) {
+        let mut depth = 0i32;
+        while j < code.len() {
+            if code[j].is_punct('<') {
+                depth += 1;
+            } else if code[j].is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    // Collect the last ident of the current path; reset at `for`.
+    let mut self_ty: Option<String> = None;
+    let mut angle = 0i32;
+    while j < code.len() {
+        let t = &code[j];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if angle == 0 {
+            if t.is_punct('{') {
+                return Some((self_ty, j));
+            }
+            if t.is_punct(';') {
+                return None; // `impl Trait for Ty;` — nothing to own
+            }
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "for" => self_ty = None, // the real self type follows
+                    "where" => {
+                        // Skip the where clause to the brace.
+                        let brace = (j..code.len()).find(|k| code[*k].is_punct('{'))?;
+                        return Some((self_ty, brace));
+                    }
+                    _ => {
+                        // Track the path: keep overwriting so the last
+                        // segment before `<`/`{` wins (`fmt::Display`).
+                        self_ty = Some(t.text.clone());
+                    }
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// From just past a fn's name, finds its body `{…}` or terminating
+/// `;`: returns `(body token range, end line, index past the item)`.
+fn fn_body(code: &[Tok], from: usize) -> (Option<(usize, usize)>, u32, usize) {
+    let mut depth = 0i32; // (), [] and <> all nest inside a signature
+    let mut j = from;
+    while j < code.len() {
+        match code[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('<') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('>') => depth -= 1,
+            TokKind::Punct(';') if depth <= 0 => {
+                return (None, code[j].line, j + 1);
+            }
+            TokKind::Punct('{') if depth <= 0 => {
+                let close = match_brace(code, j).unwrap_or(code.len() - 1);
+                return (Some((j, close)), code[close].line, close + 1);
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let last = code.len().saturating_sub(1);
+    (None, code.get(last).map_or(0, |t| t.line), code.len())
+}
+
+/// From just past a struct/enum/trait name: `(end line, index past)`.
+fn type_item_end(code: &[Tok], from: usize) -> (u32, usize) {
+    let mut depth = 0i32;
+    let mut j = from;
+    while j < code.len() {
+        match code[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('<') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('>') => depth -= 1,
+            TokKind::Punct(';') if depth <= 0 => return (code[j].line, j + 1),
+            TokKind::Punct('{') if depth <= 0 => {
+                let close = match_brace(code, j).unwrap_or(code.len() - 1);
+                return (code[close].line, close + 1);
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let last = code.len().saturating_sub(1);
+    (code.get(last).map_or(0, |t| t.line), code.len())
+}
+
+/// Index of the `}` matching the `{` at `open` (which must be a `{`).
+pub fn match_brace(code: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn code(src: &str) -> Vec<Tok> {
+        lex(src).into_iter().filter(|t| !t.is_comment()).collect()
+    }
+
+    #[test]
+    fn free_fns_and_spans() {
+        let items = parse_items(&code("fn a() { 1 }\n\nfn b(x: u32) -> u32 {\n    x\n}\n"));
+        assert_eq!(items.fns.len(), 2);
+        assert_eq!(items.fns[0].name, "a");
+        assert_eq!(items.fns[0].owner, None);
+        assert_eq!(items.fns[1].span, ItemSpan { start_line: 3, end_line: 5 });
+    }
+
+    #[test]
+    fn impl_methods_are_qualified() {
+        let src = "struct Engine;\nimpl Engine {\n    pub fn run(&mut self) {}\n}\n\
+                   impl std::fmt::Display for Engine {\n    fn fmt(&self) {}\n}\n";
+        let items = parse_items(&code(src));
+        let quals: Vec<String> = items.fns.iter().map(FnItem::qualified).collect();
+        assert_eq!(quals, vec!["Engine::run", "Engine::fmt"]);
+        assert_eq!(items.types[0].name, "Engine");
+    }
+
+    #[test]
+    fn generic_impls_and_trait_impls() {
+        let src = "impl<T: Clone> Wrapper<T> {\n    fn get(&self) -> T { self.0.clone() }\n}\n\
+                   impl<'a> Iterator for Cursor<'a> {\n    fn next(&mut self) -> Option<u8> { None }\n}\n";
+        let items = parse_items(&code(src));
+        let quals: Vec<String> = items.fns.iter().map(FnItem::qualified).collect();
+        assert_eq!(quals, vec!["Wrapper::get", "Cursor::next"]);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "pub struct Rule { pub check: fn(&[u8]) -> u32 }\nfn real() {}\n";
+        let items = parse_items(&code(src));
+        assert_eq!(items.fns.len(), 1);
+        assert_eq!(items.fns[0].name, "real");
+    }
+
+    #[test]
+    fn nested_fns_are_free_items() {
+        let src = "impl Engine {\n    fn outer(&self) {\n        fn helper() {}\n        helper();\n    }\n}\n";
+        let items = parse_items(&code(src));
+        let quals: Vec<String> = items.fns.iter().map(FnItem::qualified).collect();
+        assert_eq!(quals, vec!["Engine::outer", "helper"]);
+    }
+
+    #[test]
+    fn bodyless_trait_methods_and_defaults() {
+        let src = "trait Sink {\n    fn flush(&mut self);\n    fn name(&self) -> u8 { 0 }\n}\n";
+        let items = parse_items(&code(src));
+        assert_eq!(items.fns.len(), 2);
+        assert_eq!(items.fns[0].body, None);
+        assert!(items.fns[1].body.is_some());
+        assert_eq!(items.types[0].kind, "trait");
+    }
+
+    #[test]
+    fn where_clauses_and_return_generics() {
+        let src = "fn collect_sorted<T>(xs: Vec<T>) -> Vec<T>\nwhere\n    T: Ord,\n{ xs }\n";
+        let items = parse_items(&code(src));
+        assert_eq!(items.fns.len(), 1);
+        assert_eq!(items.fns[0].span.end_line, 4);
+    }
+
+    #[test]
+    fn use_paths_are_normalized() {
+        let items = parse_items(&code("use std::time::Instant;\nuse crate::json::{Json, parse};\n"));
+        assert_eq!(items.uses[0].path, "std::time::Instant");
+        assert_eq!(items.uses[1].path, "crate::json::{Json,parse}");
+    }
+}

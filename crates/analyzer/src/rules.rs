@@ -1,10 +1,14 @@
-//! The rule set: each rule is a token-pattern matcher plus a path scope.
+//! The rule set: token-pattern rules plus the interprocedural passes,
+//! each with a path scope.
 //!
-//! Rules deliberately match *tokens*, not strings, so occurrences inside
-//! comments, doc examples, and literals never fire, and they are scoped
-//! by workspace-relative path so e.g. the shared CLI module may scan
-//! `std::env::args` while the bins may not. Everything else — test-code
-//! regions, suppressions — is the engine's job.
+//! Token rules deliberately match *tokens*, not strings, so occurrences
+//! inside comments, doc examples, and literals never fire, and they are
+//! scoped by workspace-relative path so e.g. the shared CLI module may
+//! scan `std::env::args` while the bins may not. Interprocedural rules
+//! ([`Check::Interprocedural`]) run over the whole-workspace IR — the
+//! symbol table and call graph — instead of one file's tokens; their
+//! scope predicate selects which files' *sources* may fire. Everything
+//! else — test-code regions, suppressions — is the engine's job.
 //!
 //! | Lint | Defends | Scope |
 //! |---|---|---|
@@ -14,12 +18,13 @@
 //! | `handrolled-cli` | CLI uniformity | `bench` outside `bench::cli` |
 //! | `float-cast-in-time` | overflow/precision in timing bins | `sim::time`, `metrics::histogram` |
 //! | `unseeded-jitter` | replayable fault/backoff randomness | `sim`, `core`, `functions`, `net`, `power`, `hw` |
-//! | `alloc-in-hot-path` | the engine's allocation-free dispatch invariant | `sim::{engine,event,station}` |
+//! | `alloc-in-hot-path` | the engine's allocation-free dispatch invariant | `crates/sim/src`, rooted at the engine triplet via the call graph |
+//! | `determinism-taint` | no nondeterministic value reaches exported bytes | all crates except the shims and the wall-clock bins |
 
 use crate::lexer::{Tok, TokKind};
 
 /// A finding before it is joined with file context.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RawFinding {
     /// 1-based line.
     pub line: u32,
@@ -27,6 +32,15 @@ pub struct RawFinding {
     pub col: u32,
     /// Message for the diagnostic.
     pub message: String,
+}
+
+/// How a rule finds violations.
+pub enum Check {
+    /// Token matcher over one file's comment-free token stream.
+    Tokens(fn(&[Tok]) -> Vec<RawFinding>),
+    /// Whole-workspace pass over the IR (symbol table + call graph);
+    /// the engine dispatches these by name after phase A.
+    Interprocedural,
 }
 
 /// One lint rule.
@@ -42,10 +56,12 @@ pub struct Rule {
     /// Whether findings inside `#[cfg(test)]` regions (and `tests/`,
     /// `benches/`, `examples/` trees) are exempt.
     pub skip_test_code: bool,
-    /// Path predicate: does this rule apply to `rel_path`?
+    /// Path predicate: does this rule apply to `rel_path`? For
+    /// interprocedural rules this scopes where findings may *anchor*
+    /// (the source/alloc file); chains may pass through any file.
     pub applies: fn(&str) -> bool,
-    /// Token matcher over the comment-free token stream.
-    pub check: fn(&[Tok]) -> Vec<RawFinding>,
+    /// The matcher.
+    pub check: Check,
 }
 
 /// Every rule, in reporting order.
@@ -53,8 +69,8 @@ pub fn all() -> &'static [Rule] {
     &RULES
 }
 
-/// The lint names `allow` directives may reference (the seven rules; the
-/// two engine-level lints cannot be suppressed).
+/// The lint names `allow` directives may reference (the eight rules;
+/// the two engine-level lints cannot be suppressed).
 pub fn known_lints() -> Vec<&'static str> {
     RULES.iter().map(|r| r.name).collect()
 }
@@ -77,7 +93,7 @@ fn under_any(path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| path.starts_with(p))
 }
 
-static RULES: [Rule; 7] = [
+static RULES: [Rule; 8] = [
     Rule {
         name: "wall-clock-in-sim",
         brief: "forbid Instant::now / SystemTime: simulated time must come from SimTime",
@@ -86,7 +102,7 @@ static RULES: [Rule; 7] = [
         scope: "all crates except criterion-shim (whose purpose is wall-clock measurement)",
         skip_test_code: true,
         applies: |p| p.starts_with("crates/") && !p.starts_with("crates/criterion-shim/"),
-        check: check_wall_clock,
+        check: Check::Tokens(check_wall_clock),
     },
     Rule {
         name: "unordered-iteration",
@@ -96,7 +112,7 @@ static RULES: [Rule; 7] = [
         scope: "sim, core, functions, net, power, hw library code",
         skip_test_code: true,
         applies: |p| under_any(p, LIB_CRATES),
-        check: check_unordered,
+        check: Check::Tokens(check_unordered),
     },
     Rule {
         name: "bare-unwrap-in-lib",
@@ -105,7 +121,7 @@ static RULES: [Rule; 7] = [
         scope: "library crates (sim, core, functions, net, power, hw, metrics), non-test code",
         skip_test_code: true,
         applies: |p| under_any(p, LIB_CRATES) || p.starts_with("crates/metrics/src/"),
-        check: check_unwrap,
+        check: Check::Tokens(check_unwrap),
     },
     Rule {
         name: "handrolled-cli",
@@ -114,7 +130,7 @@ static RULES: [Rule; 7] = [
         scope: "crates/bench except src/cli.rs",
         skip_test_code: true,
         applies: |p| p.starts_with("crates/bench/src/") && p != "crates/bench/src/cli.rs",
-        check: check_cli,
+        check: Check::Tokens(check_cli),
     },
     Rule {
         name: "float-cast-in-time",
@@ -124,7 +140,7 @@ static RULES: [Rule; 7] = [
         scope: "crates/sim/src/time.rs and crates/metrics/src/histogram.rs",
         skip_test_code: true,
         applies: |p| p == "crates/sim/src/time.rs" || p == "crates/metrics/src/histogram.rs",
-        check: check_float_cast,
+        check: Check::Tokens(check_float_cast),
     },
     Rule {
         name: "unseeded-jitter",
@@ -135,22 +151,39 @@ static RULES: [Rule; 7] = [
         scope: "sim, core, functions, net, power, hw library code",
         skip_test_code: true,
         applies: |p| under_any(p, LIB_CRATES),
-        check: check_unseeded,
+        check: Check::Tokens(check_unseeded),
     },
     Rule {
         name: "alloc-in-hot-path",
-        brief: "forbid Box::new / vec! / .to_string() in the engine dispatch and station service paths",
+        brief: "forbid Box::new / vec! / .to_string() in sim code the engine dispatch path reaches",
         suggestion: "keep the per-event path allocation-free: use typed events \
                      (schedule_event_at / submit_tagged) or the arena; genuinely cold setup \
                      code may annotate with `// snicbench: allow(alloc-in-hot-path, \"...\")`",
-        scope: "crates/sim/src/{engine,event,station}.rs",
+        scope: "crates/sim/src, rooted at {engine,event,station}.rs via the call graph",
+        skip_test_code: true,
+        applies: |p| p.starts_with("crates/sim/src/"),
+        check: Check::Interprocedural,
+    },
+    Rule {
+        name: "determinism-taint",
+        brief: "forbid nondeterministic values (clock/hash-order/entropy/env/identity) reaching exported bytes",
+        suggestion: "cut the chain at its cheapest link: take time from SimTime, sort before \
+                     emitting (or use BTreeMap/BTreeSet), seed randomness from the run \
+                     config, and plumb host facts through Config instead of ambient reads; \
+                     an audited `// snicbench: allow(determinism-taint, \"...\")` on the \
+                     source line is acceptable only when the value provably cannot vary a \
+                     report byte",
+        scope: "all crates except the shims and the wall-clock bins \
+                (bench_engine, pipeline_timing)",
         skip_test_code: true,
         applies: |p| {
-            p == "crates/sim/src/engine.rs"
-                || p == "crates/sim/src/event.rs"
-                || p == "crates/sim/src/station.rs"
+            p.starts_with("crates/")
+                && !p.starts_with("crates/criterion-shim/")
+                && !p.starts_with("crates/proptest-shim/")
+                && p != "crates/bench/src/bin/bench_engine.rs"
+                && p != "crates/bench/src/bin/pipeline_timing.rs"
         },
-        check: check_alloc_hot_path,
+        check: Check::Interprocedural,
     },
 ];
 
@@ -290,8 +323,9 @@ fn check_unseeded(toks: &[Tok]) -> Vec<RawFinding> {
 }
 
 /// Allocation in the engine's per-event path: `Box :: new` chains,
-/// `vec !` invocations, and `. to_string ( )` calls.
-fn check_alloc_hot_path(toks: &[Tok]) -> Vec<RawFinding> {
+/// `vec !` invocations, and `. to_string ( )` calls. Public because
+/// the taint pass collects alloc sites per fn during phase A.
+pub fn check_alloc_hot_path(toks: &[Tok]) -> Vec<RawFinding> {
     let mut out = Vec::new();
     for (i, t) in toks.iter().enumerate() {
         if t.is_ident("Box")
@@ -392,13 +426,36 @@ mod tests {
     }
 
     #[test]
-    fn alloc_scope_is_the_engine_triplet() {
+    fn alloc_scope_is_the_sim_crate() {
+        // Anchoring is sim-wide (the call graph decides reachability);
+        // other crates can never carry an alloc finding.
         let r = RULES.iter().find(|r| r.name == "alloc-in-hot-path").expect("rule exists");
         assert!((r.applies)("crates/sim/src/engine.rs"));
-        assert!((r.applies)("crates/sim/src/event.rs"));
-        assert!((r.applies)("crates/sim/src/station.rs"));
-        assert!(!(r.applies)("crates/sim/src/dist.rs"));
+        assert!((r.applies)("crates/sim/src/dist.rs"));
         assert!(!(r.applies)("crates/core/src/runner.rs"));
+        assert!(matches!(r.check, Check::Interprocedural));
+    }
+
+    #[test]
+    fn taint_scope_exempts_shims_and_wall_clock_bins() {
+        let r = RULES.iter().find(|r| r.name == "determinism-taint").expect("rule exists");
+        assert!((r.applies)("crates/sim/src/engine.rs"));
+        assert!((r.applies)("crates/bench/src/bin/fig4.rs"));
+        assert!(!(r.applies)("crates/criterion-shim/src/lib.rs"));
+        assert!(!(r.applies)("crates/proptest-shim/src/lib.rs"));
+        assert!(!(r.applies)("crates/bench/src/bin/bench_engine.rs"));
+        assert!(!(r.applies)("crates/bench/src/bin/pipeline_timing.rs"));
+    }
+
+    #[test]
+    fn every_rule_has_a_fix_hint() {
+        // `--fix-hints` must have something to say for every rule,
+        // including the interprocedural ones.
+        for r in all() {
+            assert!(!r.suggestion.trim().is_empty(), "{} has no hint", r.name);
+        }
+        assert_eq!(known_lints().len(), 8);
+        assert!(known_lints().contains(&"determinism-taint"));
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! SARIF 2.1.0 export (`lint --sarif`), for CI annotation tooling.
+//!
+//! One run, one driver (`snicbench-lint`), one result per finding.
+//! Ordering is fully deterministic: rules render in registration order
+//! (the two engine-level lints last), results in the report's sorted
+//! finding order, and every object's keys are emitted in a fixed
+//! sequence — two runs over the same tree produce byte-identical
+//! SARIF, which tier1 gates on.
+
+use snicbench_core::json::Json;
+
+use crate::diag::Diagnostic;
+use crate::engine::Report;
+use crate::rules;
+
+/// The SARIF version emitted.
+const SARIF_VERSION: &str = "2.1.0";
+
+/// Renders a report as a SARIF 2.1.0 log.
+pub fn to_sarif(report: &Report) -> Json {
+    let mut rule_objs: Vec<Json> = rules::all()
+        .iter()
+        .map(|r| rule_obj(r.name, r.brief, r.suggestion))
+        .collect();
+    rule_objs.push(rule_obj(
+        rules::MALFORMED_SUPPRESSION,
+        "a suppression comment that does not parse",
+        "write `// snicbench: allow(<lint>, \"<reason>\")` with a non-empty reason",
+    ));
+    rule_objs.push(rule_obj(
+        rules::UNUSED_SUPPRESSION,
+        "a suppression that silences nothing",
+        "remove the stale directive",
+    ));
+    Json::obj([
+        (
+            "$schema",
+            Json::str("https://json.schemastore.org/sarif-2.1.0.json"),
+        ),
+        ("version", Json::str(SARIF_VERSION)),
+        (
+            "runs",
+            Json::arr([Json::obj([
+                (
+                    "tool",
+                    Json::obj([(
+                        "driver",
+                        Json::obj([
+                            ("name", Json::str("snicbench-lint")),
+                            ("informationUri", Json::str("DESIGN.md")),
+                            ("rules", Json::Arr(rule_objs)),
+                        ]),
+                    )]),
+                ),
+                (
+                    "results",
+                    Json::arr(report.findings.iter().map(result_obj)),
+                ),
+            ])]),
+        ),
+    ])
+}
+
+fn rule_obj(id: &str, brief: &str, help: &str) -> Json {
+    Json::obj([
+        ("id", Json::str(id)),
+        (
+            "shortDescription",
+            Json::obj([("text", Json::str(brief))]),
+        ),
+        ("help", Json::obj([("text", Json::str(help))])),
+    ])
+}
+
+fn location_obj(file: &str, line: u32, col: u32, message: Option<&str>) -> Json {
+    let physical = (
+        "physicalLocation",
+        Json::obj([
+            (
+                "artifactLocation",
+                Json::obj([("uri", Json::str(file))]),
+            ),
+            (
+                "region",
+                Json::obj([
+                    ("startLine", Json::U64(u64::from(line))),
+                    ("startColumn", Json::U64(u64::from(col))),
+                ]),
+            ),
+        ]),
+    );
+    match message {
+        Some(m) => Json::obj([
+            physical,
+            ("message", Json::obj([("text", Json::str(m))])),
+        ]),
+        None => Json::obj([physical]),
+    }
+}
+
+fn result_obj(d: &Diagnostic) -> Json {
+    let mut o = vec![
+        ("ruleId", Json::str(&d.lint)),
+        ("level", Json::str("error")),
+        ("message", Json::obj([("text", Json::str(&d.message))])),
+        (
+            "locations",
+            Json::arr([location_obj(&d.file, d.line, d.col, None)]),
+        ),
+    ];
+    if !d.chain.is_empty() {
+        o.push((
+            "relatedLocations",
+            Json::arr(
+                d.chain
+                    .iter()
+                    .map(|h| location_obj(&h.file, h.line, h.col, Some(&h.label))),
+            ),
+        ));
+    }
+    Json::obj(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::analyze_source;
+
+    #[test]
+    fn sarif_shape_and_determinism() {
+        let src = "\
+fn jobs_hint() -> String { std::env::var(\"J\").unwrap_or_default() }\n\
+pub fn main() { println!(\"{}\", jobs_hint()); }\n";
+        let r = analyze_source("crates/bench/src/bin/demo.rs", src);
+        assert!(!r.findings.is_empty());
+        let a = to_sarif(&r).to_pretty();
+        let b = to_sarif(&r).to_pretty();
+        assert_eq!(a, b, "SARIF export is deterministic");
+        let j = Json::parse(&a).expect("valid JSON");
+        assert_eq!(j.get("version").and_then(Json::as_str), Some("2.1.0"));
+        let runs = j.get("runs").and_then(Json::as_arr).expect("runs");
+        let results = runs[0].get("results").and_then(Json::as_arr).expect("results");
+        assert_eq!(results.len(), r.findings.len());
+        let taint = results
+            .iter()
+            .find(|x| x.get("ruleId").and_then(Json::as_str) == Some("determinism-taint"))
+            .expect("taint result present");
+        assert!(
+            taint
+                .get("relatedLocations")
+                .and_then(Json::as_arr)
+                .is_some_and(|l| l.len() >= 2),
+            "chain exported as relatedLocations"
+        );
+    }
+}

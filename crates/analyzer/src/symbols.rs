@@ -1,0 +1,412 @@
+//! The workspace symbol table: every function the item parser found,
+//! addressable by simple and qualified name, with a deterministic
+//! resolution policy for call sites.
+//!
+//! Resolution is deliberately conservative: an edge the analyzer is not
+//! sure about is an edge it does not add. A wrong edge would let the
+//! taint pass hallucinate source→sink paths through unrelated code (or
+//! drag every `Vec::push` site into the alloc pass), so:
+//!
+//! * qualified calls (`Type::method`, `Self::method` with `Self`
+//!   rewritten to the impl type at extraction) resolve through the
+//!   qualified index, preferring a same-file candidate;
+//! * module-qualified calls to free functions (`suppress::extract`)
+//!   fall back to the simple index, but only when the candidate's file
+//!   matches the module segment or is workspace-unique;
+//! * bare calls prefer a same-file free function, then a
+//!   workspace-unique one;
+//! * `.method(` calls resolve only when the name is not a common std
+//!   method (see [`STD_METHODS`]) and a unique owner-qualified
+//!   candidate exists (the caller's own impl type wins first).
+//!
+//! Ties beyond these rules stay unresolved: the taint pass prefers a
+//! missed edge (a suppressible false negative) over an invented one.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::{CallSite, CalleeRef};
+use crate::taint::FnFacts;
+
+/// Index of a function in the corpus-wide table (dense, file-ordered).
+pub type FnId = usize;
+
+/// One function in the IR: identity plus everything the global passes
+/// need (call sites, taint facts), but no tokens — this is what the
+/// incremental cache persists per file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnInfo {
+    /// Bare name.
+    pub name: String,
+    /// Owning impl self type, if the fn is a method.
+    pub owner: Option<String>,
+    /// 1-based line of the name token (chain hops point here).
+    pub line: u32,
+    /// 1-based column of the name token.
+    pub col: u32,
+    /// True when the fn lives in test context (test file or
+    /// `#[cfg(test)]` / `#[test]` region); test fns never join the
+    /// call graph.
+    pub is_test: bool,
+    /// Unresolved call sites in the body, in token order.
+    pub calls: Vec<CallSite>,
+    /// Taint facts: sources, sinks, sanitizers, alloc sites.
+    pub facts: FnFacts,
+}
+
+impl FnInfo {
+    /// `Type::name` for methods, the bare name otherwise.
+    pub fn qualified(&self) -> String {
+        match &self.owner {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One file's functions, as the global passes see them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileIr {
+    /// Path diagnostics report against.
+    pub report_path: String,
+    /// Path rules are scoped by (differs under `snicbench-fixture:`).
+    pub scope_path: String,
+    /// The file's functions, in source order.
+    pub fns: Vec<FnInfo>,
+}
+
+/// A function's corpus-wide address: which file, which fn within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FnRef {
+    /// Index into the corpus file list.
+    pub file: usize,
+    /// Index into that file's `fns`.
+    pub idx: usize,
+}
+
+/// The corpus-wide symbol table.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Flat fn list; [`FnId`]s index into it. File-major order, so ids
+    /// are deterministic for a sorted corpus.
+    pub fns: Vec<FnRef>,
+    /// Free functions by simple name.
+    by_free: BTreeMap<String, Vec<FnId>>,
+    /// Methods by `Owner::name`.
+    by_qual: BTreeMap<String, Vec<FnId>>,
+    /// Methods by simple name (for `.method(` resolution).
+    by_method: BTreeMap<String, Vec<FnId>>,
+}
+
+impl SymbolTable {
+    /// Builds the table over the corpus. Test fns are excluded — they
+    /// neither resolve as callees nor appear in any chain.
+    pub fn build(files: &[FileIr]) -> SymbolTable {
+        let mut t = SymbolTable::default();
+        for (fi, file) in files.iter().enumerate() {
+            for (idx, f) in file.fns.iter().enumerate() {
+                if f.is_test {
+                    continue;
+                }
+                let id = t.fns.len();
+                t.fns.push(FnRef { file: fi, idx });
+                match &f.owner {
+                    Some(owner) => {
+                        t.by_qual
+                            .entry(format!("{owner}::{}", f.name))
+                            .or_default()
+                            .push(id);
+                        t.by_method.entry(f.name.clone()).or_default().push(id);
+                    }
+                    None => t.by_free.entry(f.name.clone()).or_default().push(id),
+                }
+            }
+        }
+        t
+    }
+
+    /// The [`FnInfo`] behind an id.
+    pub fn info<'a>(&self, files: &'a [FileIr], id: FnId) -> &'a FnInfo {
+        let r = self.fns[id];
+        &files[r.file].fns[r.idx]
+    }
+
+    /// Resolves one call site made from `caller` (used for same-file
+    /// and same-impl preference). Returns `None` when unsure.
+    pub fn resolve(&self, files: &[FileIr], caller: FnId, call: &CalleeRef) -> Option<FnId> {
+        let caller_ref = self.fns[caller];
+        let caller_file = caller_ref.file;
+        let caller_owner = files[caller_file].fns[caller_ref.idx].owner.clone();
+        match call {
+            CalleeRef::Bare(name) => {
+                if is_bare_blocklisted(name) {
+                    return None;
+                }
+                self.pick(files, self.by_free.get(name)?, caller_file, None)
+            }
+            CalleeRef::Qual(owner, name) => {
+                // `self::helper` / `crate::helper`: a free fn named
+                // through a path prefix, not a typed owner.
+                if owner == "self" || owner == "crate" {
+                    if is_bare_blocklisted(name) {
+                        return None;
+                    }
+                    return self.pick(files, self.by_free.get(name)?, caller_file, None);
+                }
+                if let Some(ids) = self.by_qual.get(&format!("{owner}::{name}")) {
+                    return self.pick(files, ids, caller_file, None);
+                }
+                // `module::free_fn`: lowercase first segment, resolved
+                // through the free index when the defining file matches
+                // the module name (or the name is workspace-unique).
+                if owner.chars().next().is_some_and(char::is_lowercase) {
+                    let ids = self.by_free.get(name)?;
+                    let in_module: Vec<FnId> = ids
+                        .iter()
+                        .copied()
+                        .filter(|id| file_matches_module(&files[self.fns[*id].file].scope_path, owner))
+                        .collect();
+                    if !in_module.is_empty() {
+                        return self.pick(files, &in_module, caller_file, None);
+                    }
+                    if ids.len() == 1 && !is_bare_blocklisted(name) {
+                        return Some(ids[0]);
+                    }
+                }
+                None
+            }
+            CalleeRef::Method(name) => {
+                if STD_METHODS.contains(&name.as_str()) {
+                    return None;
+                }
+                let ids = self.by_method.get(name)?;
+                self.pick(files, ids, caller_file, caller_owner.as_deref())
+            }
+        }
+    }
+
+    /// Preference order: same impl type (methods only), then same file
+    /// (if unique there), then workspace-unique. Ambiguity → `None`.
+    fn pick(
+        &self,
+        files: &[FileIr],
+        ids: &[FnId],
+        caller_file: usize,
+        caller_owner: Option<&str>,
+    ) -> Option<FnId> {
+        if let Some(own) = caller_owner {
+            let same_impl: Vec<FnId> = ids
+                .iter()
+                .copied()
+                .filter(|id| {
+                    let r = self.fns[*id];
+                    r.file == caller_file
+                        && files[r.file].fns[r.idx].owner.as_deref() == Some(own)
+                })
+                .collect();
+            if same_impl.len() == 1 {
+                return Some(same_impl[0]);
+            }
+        }
+        let same_file: Vec<FnId> = ids
+            .iter()
+            .copied()
+            .filter(|id| self.fns[*id].file == caller_file)
+            .collect();
+        if same_file.len() == 1 {
+            return Some(same_file[0]);
+        }
+        if same_file.is_empty() && ids.len() == 1 {
+            return Some(ids[0]);
+        }
+        None
+    }
+}
+
+/// True when `path`'s file stem or parent directory equals `module`
+/// (`crates/analyzer/src/suppress.rs` matches `suppress`).
+fn file_matches_module(path: &str, module: &str) -> bool {
+    let file = path.rsplit('/').next().unwrap_or(path);
+    if file.strip_suffix(".rs") == Some(module) {
+        return true;
+    }
+    path.rsplit('/').nth(1) == Some(module)
+}
+
+/// Bare names that are std free functions or keywords-in-disguise; a
+/// workspace fn shadowing these would be resolved wrongly more often
+/// than rightly.
+fn is_bare_blocklisted(name: &str) -> bool {
+    matches!(
+        name,
+        "drop" | "format" | "from" | "into" | "default" | "min" | "max" | "new" | "get"
+    )
+}
+
+/// Method names so common in std that `.name(` says nothing about the
+/// callee; they never resolve into the workspace call graph.
+pub const STD_METHODS: &[&str] = &[
+    "abs", "all", "and_then", "any", "as_bytes", "as_deref", "as_mut", "as_ref", "as_str",
+    "borrow", "borrow_mut", "bytes", "ceil", "chain", "chars", "checked_add", "checked_mul",
+    "checked_sub", "chunks", "clamp", "clear", "clone", "cloned", "cmp", "collect", "contains",
+    "contains_key", "copied", "count", "dedup", "drain", "entry", "enumerate", "eq", "expect",
+    "extend", "field", "file_name", "filter", "filter_map", "find", "first", "flat_map",
+    "flatten", "floor", "flush", "fold", "for_each", "fract", "get", "get_mut", "hash",
+    "insert", "into", "into_iter", "is_empty", "is_err", "is_file", "is_none", "is_ok",
+    "is_some", "iter", "iter_mut", "join", "keys", "last", "len", "lines", "lock", "map",
+    "map_err", "max", "max_by", "min", "min_by", "ne", "next", "nth", "ok", "ok_or",
+    "ok_or_else", "or_default", "or_else", "or_insert", "or_insert_with", "parse",
+    "partial_cmp", "position", "pop", "pop_back", "pop_front", "powf", "powi", "push",
+    "push_back", "push_front", "push_str", "read", "recv", "rem_euclid", "remove", "replace",
+    "reserve", "resize", "retain", "rev", "round", "saturating_add", "saturating_mul",
+    "saturating_sub", "send", "skip", "sort", "sort_by", "sort_by_key", "sort_unstable",
+    "sort_unstable_by", "sort_unstable_by_key", "split", "splitn", "sqrt", "starts_with",
+    "step_by", "strip_prefix", "strip_suffix", "sum", "take", "to_owned", "to_string",
+    "to_string_lossy", "to_vec", "trim", "trim_end", "trim_start", "truncate", "try_into",
+    "unwrap", "unwrap_or", "unwrap_or_default", "unwrap_or_else", "values", "values_mut",
+    "windows", "with_capacity", "wrapping_add", "wrapping_mul", "write", "write_str", "zip",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::extract_calls;
+    use crate::lexer::lex;
+    use crate::parse::parse_items;
+    use crate::taint::FnFacts;
+
+    /// Builds a one-file IR from source, treating no fns as tests.
+    fn file_ir(path: &str, src: &str) -> FileIr {
+        let code: Vec<_> = lex(src).into_iter().filter(|t| !t.is_comment()).collect();
+        let items = parse_items(&code);
+        let fns = items
+            .fns
+            .iter()
+            .map(|f| {
+                let calls = f
+                    .body
+                    .map(|b| {
+                        let skip: Vec<(usize, usize)> = items
+                            .fns
+                            .iter()
+                            .filter_map(|o| o.body)
+                            .filter(|o| o.0 > b.0 && o.1 < b.1)
+                            .collect();
+                        extract_calls(&code, b, &skip, f.owner.as_deref())
+                    })
+                    .unwrap_or_default();
+                FnInfo {
+                    name: f.name.clone(),
+                    owner: f.owner.clone(),
+                    line: f.line,
+                    col: f.col,
+                    is_test: false,
+                    calls,
+                    facts: FnFacts::default(),
+                }
+            })
+            .collect();
+        FileIr {
+            report_path: path.to_string(),
+            scope_path: path.to_string(),
+            fns,
+        }
+    }
+
+    fn resolve_name<'a>(
+        files: &'a [FileIr],
+        table: &SymbolTable,
+        caller: FnId,
+        call: &CalleeRef,
+    ) -> Option<String> {
+        table
+            .resolve(files, caller, call)
+            .map(|id| table.info(files, id).qualified())
+    }
+
+    #[test]
+    fn bare_calls_prefer_same_file() {
+        let files = vec![
+            file_ir("crates/a/src/lib.rs", "fn helper() {}\nfn go() { helper(); }\n"),
+            file_ir("crates/b/src/lib.rs", "fn helper() {}\n"),
+        ];
+        let table = SymbolTable::build(&files);
+        let go = files[0].fns.iter().position(|f| f.name == "go").expect("go exists");
+        let call = files[0].fns[go].calls[0].callee.clone();
+        // caller id: file 0 fns are ids 0..; go is id 1.
+        assert_eq!(resolve_name(&files, &table, 1, &call), Some("helper".into()));
+        let id = table.resolve(&files, 1, &call).expect("resolves");
+        assert_eq!(table.fns[id].file, 0, "same-file candidate wins");
+    }
+
+    #[test]
+    fn ambiguous_bare_calls_stay_unresolved() {
+        let files = vec![
+            file_ir("crates/a/src/lib.rs", "fn go() { helper(); }\n"),
+            file_ir("crates/b/src/lib.rs", "fn helper() {}\n"),
+            file_ir("crates/c/src/lib.rs", "fn helper() {}\n"),
+        ];
+        let table = SymbolTable::build(&files);
+        let call = files[0].fns[0].calls[0].callee.clone();
+        assert_eq!(table.resolve(&files, 0, &call), None);
+    }
+
+    #[test]
+    fn qualified_and_self_calls_resolve_to_methods() {
+        let src = "struct Engine;\nimpl Engine {\n    fn tick(&self) {}\n    fn run(&self) { Self::tick_all(); self.tick(); }\n    fn tick_all() {}\n}\n";
+        let files = vec![file_ir("crates/sim/src/engine.rs", src)];
+        let table = SymbolTable::build(&files);
+        let run = 1; // tick=0, run=1, tick_all=2
+        let names: Vec<Option<String>> = files[0].fns[run]
+            .calls
+            .iter()
+            .map(|c| resolve_name(&files, &table, run, &c.callee))
+            .collect();
+        assert_eq!(
+            names,
+            vec![Some("Engine::tick_all".into()), Some("Engine::tick".into())]
+        );
+    }
+
+    #[test]
+    fn module_qualified_free_fns_resolve_by_file_stem() {
+        let files = vec![
+            file_ir("crates/analyzer/src/engine.rs", "fn go() { suppress::extract(); }\n"),
+            file_ir("crates/analyzer/src/suppress.rs", "pub fn extract() {}\n"),
+            file_ir("crates/other/src/misc.rs", "pub fn extract() {}\n"),
+        ];
+        let table = SymbolTable::build(&files);
+        let call = files[0].fns[0].calls[0].callee.clone();
+        let id = table.resolve(&files, 0, &call).expect("module match resolves");
+        assert_eq!(table.fns[id].file, 1);
+    }
+
+    #[test]
+    fn std_method_names_never_resolve() {
+        let src = "struct S;\nimpl S {\n    fn push(&self) {}\n}\nfn go(s: &S) { s.push(); }\n";
+        let files = vec![file_ir("crates/a/src/lib.rs", src)];
+        let table = SymbolTable::build(&files);
+        let go = 1;
+        let call = files[0].fns[go].calls[0].callee.clone();
+        assert_eq!(table.resolve(&files, go, &call), None, "push is blocklisted");
+    }
+
+    #[test]
+    fn distinct_method_names_resolve_uniquely() {
+        let src = "struct S;\nimpl S {\n    fn snapshot_rows(&self) {}\n}\nfn go(s: &S) { s.snapshot_rows(); }\n";
+        let files = vec![file_ir("crates/a/src/lib.rs", src)];
+        let table = SymbolTable::build(&files);
+        let call = files[0].fns[1].calls[0].callee.clone();
+        assert_eq!(
+            resolve_name(&files, &table, 1, &call),
+            Some("S::snapshot_rows".into())
+        );
+    }
+
+    #[test]
+    fn test_fns_are_not_symbols() {
+        let mut f = file_ir("crates/a/src/lib.rs", "fn helper() {}\n");
+        f.fns[0].is_test = true;
+        let table = SymbolTable::build(&[f]);
+        assert!(table.fns.is_empty());
+    }
+}

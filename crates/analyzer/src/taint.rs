@@ -1,0 +1,768 @@
+//! The interprocedural passes: determinism taint and hot-path alloc
+//! reachability.
+//!
+//! **Determinism taint.** Every headline number the workspace produces
+//! rests on byte-identical replay, and the classic way that breaks is a
+//! nondeterministic value laundered through one helper call before it
+//! reaches an export. Per function, [`scan_fn`] records *facts*:
+//!
+//! * sources — wall-clock reads (`Instant::now`, `SystemTime`),
+//!   hash-order iteration (a `HashMap`/`HashSet`-bound name being
+//!   iterated), ambient entropy (`thread_rng`, `from_entropy`,
+//!   `RandomState`, `rand::random`), environment reads (`env::var`),
+//!   and host identity (`process::id`, `thread::current`,
+//!   `available_parallelism`);
+//! * sinks — anything that makes bytes leave the process toward a
+//!   report: `print!`/`println!`/`write!`/`writeln!`, `fs::write`,
+//!   `Json::…` construction, and `.to_json()`/`.to_pretty()`/
+//!   `.to_compact()` renders;
+//! * order sanitizers — `.sort*()` calls and `BTreeMap`/`BTreeSet`
+//!   collection, which neutralize *hash-order* taint (but not value
+//!   sources: sorting a list of timestamps does not make them
+//!   deterministic).
+//!
+//! Propagation is summary-based over the call graph, in both
+//! directions a value travels: a source's value can *return* upward to
+//! callers, and can be *passed* downward into callees that sink. So a
+//! finding fires for a source in `f` when the nearest function `g` in
+//! `f`'s caller closure (including `f`) can reach a sink through its
+//! callee closure; the diagnostic cites the full chain
+//! `f → … → g → … → sink`. This is deliberately flow-insensitive and
+//! over-approximate — the audited `allow(determinism-taint, …)`
+//! machinery exists precisely for the sites a human proves sound.
+//!
+//! **Alloc reachability.** The `alloc-in-hot-path` rule used to be
+//! scoped to the engine triplet by *path*; here it is scoped by the
+//! call graph instead: allocation sites fire in any non-test sim-crate
+//! function reachable from a triplet function, which catches helpers
+//! the dispatch path calls while ignoring sim code only cold paths
+//! touch.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::CallGraph;
+use crate::diag::{Diagnostic, Hop};
+use crate::lexer::{Tok, TokKind};
+use crate::rules::{self, RawFinding, Rule};
+use crate::symbols::{FileIr, FnId, SymbolTable};
+
+/// What kind of nondeterminism a source injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// `Instant::now` / `SystemTime`.
+    WallClock,
+    /// Iteration over a `HashMap`/`HashSet`-bound name.
+    HashOrder,
+    /// `thread_rng` / `from_entropy` / `RandomState` / `rand::random`.
+    Entropy,
+    /// `env::var` / `env::vars` / `env::var_os`.
+    EnvRead,
+    /// `process::id` / `thread::current` / `available_parallelism`.
+    Identity,
+}
+
+impl SourceKind {
+    /// Stable string form (cache serialization, SARIF properties).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SourceKind::WallClock => "wall-clock",
+            SourceKind::HashOrder => "hash-order",
+            SourceKind::Entropy => "entropy",
+            SourceKind::EnvRead => "env-read",
+            SourceKind::Identity => "identity",
+        }
+    }
+
+    /// Parses [`SourceKind::as_str`] output.
+    pub fn parse(s: &str) -> Option<SourceKind> {
+        Some(match s {
+            "wall-clock" => SourceKind::WallClock,
+            "hash-order" => SourceKind::HashOrder,
+            "entropy" => SourceKind::Entropy,
+            "env-read" => SourceKind::EnvRead,
+            "identity" => SourceKind::Identity,
+            _ => return None,
+        })
+    }
+}
+
+/// One taint source occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceSite {
+    /// What kind of nondeterminism.
+    pub kind: SourceKind,
+    /// 1-based line (diagnostics anchor here, so suppressions attach
+    /// to the source line).
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Short text of what was matched (`env::var`, a container name).
+    pub what: String,
+}
+
+/// One sink occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkSite {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Short text of the sink (`println!`, `Json::obj`, `fs::write`).
+    pub what: String,
+}
+
+/// Per-function facts the global passes consume. This is everything
+/// the incremental cache persists about a function body.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FnFacts {
+    /// Taint sources, in token order.
+    pub sources: Vec<SourceSite>,
+    /// Taint sinks, in token order.
+    pub sinks: Vec<SinkSite>,
+    /// True when the body sorts or collects into an ordered container,
+    /// neutralizing hash-order taint that passes through it.
+    pub sanitizes_order: bool,
+    /// `alloc-in-hot-path` token matches in the body (whether they
+    /// become findings depends on reachability, decided globally).
+    pub allocs: Vec<RawFinding>,
+}
+
+/// Methods that iterate a container.
+const ITER_METHODS: &[&str] = &[
+    "iter", "iter_mut", "into_iter", "keys", "into_keys", "values", "values_mut",
+    "into_values", "drain", "retain",
+];
+
+/// Methods that impose a total order.
+const SORT_METHODS: &[&str] = &[
+    "sort", "sort_by", "sort_by_key", "sort_unstable", "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+/// Scans one fn: `sig` is the signature token range (from the `fn`
+/// keyword to the body brace), `body` the filtered body tokens (nested
+/// fn bodies already removed).
+pub fn scan_fn(sig: &[Tok], body: &[Tok]) -> FnFacts {
+    let mut facts = FnFacts {
+        allocs: rules::check_alloc_hot_path(body),
+        ..FnFacts::default()
+    };
+    let hash_bound = hash_bound_names(sig, body);
+
+    for (i, t) in body.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let chain2 = |a: &str, b: &str| {
+            t.is_ident(a)
+                && body.get(i + 1).is_some_and(|c| c.is_punct(':'))
+                && body.get(i + 2).is_some_and(|c| c.is_punct(':'))
+                && body.get(i + 3).is_some_and(|n| n.is_ident(b))
+        };
+        // --- value sources ---
+        if chain2("Instant", "now") {
+            facts.push_source(SourceKind::WallClock, t, "Instant::now");
+        }
+        if t.is_ident("SystemTime") {
+            facts.push_source(SourceKind::WallClock, t, "SystemTime");
+        }
+        if t.is_ident("thread_rng") || t.is_ident("from_entropy") || t.is_ident("RandomState") {
+            facts.push_source(SourceKind::Entropy, t, &t.text.clone());
+        }
+        if chain2("rand", "random") {
+            facts.push_source(SourceKind::Entropy, t, "rand::random");
+        }
+        if t.is_ident("env")
+            && body.get(i + 1).is_some_and(|c| c.is_punct(':'))
+            && body.get(i + 2).is_some_and(|c| c.is_punct(':'))
+            && body
+                .get(i + 3)
+                .is_some_and(|n| n.is_ident("var") || n.is_ident("vars") || n.is_ident("var_os"))
+        {
+            let what = format!("env::{}", body[i + 3].text);
+            facts.push_source(SourceKind::EnvRead, t, &what);
+        }
+        if chain2("process", "id") {
+            facts.push_source(SourceKind::Identity, t, "process::id");
+        }
+        if chain2("thread", "current") {
+            facts.push_source(SourceKind::Identity, t, "thread::current");
+        }
+        if t.is_ident("available_parallelism") {
+            facts.push_source(SourceKind::Identity, t, "available_parallelism");
+        }
+        // --- hash-order iteration sources ---
+        if hash_bound.contains(&t.text)
+            && body.get(i + 1).is_some_and(|c| c.is_punct('.'))
+            && body
+                .get(i + 2)
+                .is_some_and(|m| m.kind == TokKind::Ident && ITER_METHODS.contains(&m.text.as_str()))
+            && body.get(i + 3).is_some_and(|p| p.is_punct('('))
+        {
+            facts.push_source(SourceKind::HashOrder, t, &t.text.clone());
+        }
+        if t.is_ident("in") {
+            let mut j = i + 1;
+            while body
+                .get(j)
+                .is_some_and(|x| x.is_punct('&') || x.is_ident("mut"))
+            {
+                j += 1;
+            }
+            if let Some(name) = body.get(j) {
+                if hash_bound.contains(&name.text)
+                    && body.get(j + 1).is_some_and(|b| b.is_punct('{'))
+                {
+                    facts.push_source(SourceKind::HashOrder, name, &name.text.clone());
+                }
+            }
+        }
+        // --- sinks ---
+        if matches!(t.text.as_str(), "println" | "print" | "writeln" | "write")
+            && body.get(i + 1).is_some_and(|b| b.is_punct('!'))
+        {
+            facts.push_sink(t, &format!("{}!", t.text));
+        }
+        if t.is_ident("Json")
+            && body.get(i + 1).is_some_and(|c| c.is_punct(':'))
+            && body.get(i + 2).is_some_and(|c| c.is_punct(':'))
+            && body.get(i + 3).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            let what = format!("Json::{}", body[i + 3].text);
+            facts.push_sink(t, &what);
+        }
+        if chain2("fs", "write") {
+            facts.push_sink(t, "fs::write");
+        }
+        // --- sanitizers ---
+        if t.is_ident("BTreeMap") || t.is_ident("BTreeSet") {
+            facts.sanitizes_order = true;
+        }
+    }
+    for (i, t) in body.iter().enumerate() {
+        if t.is_punct('.') {
+            if let Some(m) = body.get(i + 1) {
+                if m.kind == TokKind::Ident
+                    && body.get(i + 2).is_some_and(|p| p.is_punct('('))
+                {
+                    if SORT_METHODS.contains(&m.text.as_str()) {
+                        facts.sanitizes_order = true;
+                    }
+                    if matches!(m.text.as_str(), "to_json" | "to_pretty" | "to_compact") {
+                        facts.push_sink(m, &format!(".{}()", m.text));
+                    }
+                }
+            }
+        }
+    }
+    facts.sinks.sort_by_key(|s| (s.line, s.col));
+    facts
+}
+
+impl FnFacts {
+    fn push_source(&mut self, kind: SourceKind, at: &Tok, what: &str) {
+        self.sources.push(SourceSite {
+            kind,
+            line: at.line,
+            col: at.col,
+            what: what.to_string(),
+        });
+    }
+
+    fn push_sink(&mut self, at: &Tok, what: &str) {
+        self.sinks.push(SinkSite {
+            line: at.line,
+            col: at.col,
+            what: what.to_string(),
+        });
+    }
+}
+
+/// Names bound to a `HashMap`/`HashSet` in the signature (`name: …
+/// HashMap<…>`) or by a `let` statement in the body.
+fn hash_bound_names(sig: &[Tok], body: &[Tok]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, t) in sig.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back to the `name :` introducing this parameter's type.
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            if sig[j].is_punct(':') && j > 0 && sig[j - 1].kind == TokKind::Ident {
+                // Skip path separators (`std::collections::HashMap`).
+                if j >= 2 && sig[j - 1].is_punct(':') {
+                    continue;
+                }
+                if sig.get(j + 1).is_some_and(|n| n.is_punct(':')) {
+                    continue; // `::`, not a binding
+                }
+                names.insert(sig[j - 1].text.clone());
+                break;
+            }
+        }
+    }
+    let mut i = 0;
+    while i < body.len() {
+        if body[i].is_ident("let") {
+            let mut j = i + 1;
+            if body.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(name) = body.get(j).filter(|t| t.kind == TokKind::Ident) {
+                // Scan the statement (to `;` at brace depth 0) for a
+                // hash type mention.
+                let mut depth = 0i32;
+                let mut k = j + 1;
+                let mut is_hash = false;
+                while k < body.len() {
+                    let t = &body[k];
+                    if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                        depth -= 1;
+                    } else if t.is_punct(';') && depth <= 0 {
+                        break;
+                    } else if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                        is_hash = true;
+                    }
+                    k += 1;
+                }
+                if is_hash {
+                    names.insert(name.text.clone());
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    names
+}
+
+/// How a sinking fn reaches its nearest sink.
+#[derive(Debug, Clone, Copy)]
+enum SinkPath {
+    /// The fn contains a sink itself (index into its `facts.sinks`).
+    Own(usize),
+    /// The fn calls a sinking callee at `(line, col)`.
+    Via(FnId, u32, u32),
+}
+
+/// For every fn, the nearest way to a sink through its callee closure
+/// (deterministic multi-source BFS: level order, ids ascending).
+fn sink_paths(files: &[FileIr], table: &SymbolTable, graph: &CallGraph) -> Vec<Option<SinkPath>> {
+    let n = table.fns.len();
+    let mut paths: Vec<Option<SinkPath>> = vec![None; n];
+    let mut level: Vec<FnId> = Vec::new();
+    for (id, p) in paths.iter_mut().enumerate() {
+        if !table.info(files, id).facts.sinks.is_empty() {
+            *p = Some(SinkPath::Own(0));
+            level.push(id);
+        }
+    }
+    while !level.is_empty() {
+        let mut next = Vec::new();
+        for &f in &level {
+            for e in &graph.callers[f] {
+                if paths[e.to].is_none() {
+                    paths[e.to] = Some(SinkPath::Via(f, e.line, e.col));
+                    next.push(e.to);
+                }
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        level = next;
+    }
+    paths
+}
+
+/// The nearest fn in `from`'s caller closure (including itself) that
+/// can reach a sink, with the ascent path. For hash-order taint,
+/// sanitizing callers block the ascent. Returns
+/// `(ascent: from → … → found, found)`.
+fn ascend_to_sink(
+    from: FnId,
+    order_taint: bool,
+    files: &[FileIr],
+    table: &SymbolTable,
+    graph: &CallGraph,
+    paths: &[Option<SinkPath>],
+) -> Option<Vec<(FnId, u32, u32)>> {
+    // parent[child] = (node it was discovered from, call line/col in child)
+    let mut parent: BTreeMap<FnId, (FnId, u32, u32)> = BTreeMap::new();
+    let mut level = vec![from];
+    let mut seen = BTreeSet::new();
+    seen.insert(from);
+    loop {
+        for &g in &level {
+            if paths[g].is_some() {
+                // Rebuild ascent from `from` to `g`.
+                let mut chain = vec![(g, 0, 0)];
+                let mut cur = g;
+                while cur != from {
+                    let (prev, line, col) = parent[&cur];
+                    if let Some(last) = chain.last_mut() {
+                        last.1 = line;
+                        last.2 = col;
+                    }
+                    chain.push((prev, 0, 0));
+                    cur = prev;
+                }
+                chain.reverse();
+                return Some(chain);
+            }
+        }
+        let mut next = Vec::new();
+        for &g in &level {
+            for e in &graph.callers[g] {
+                if seen.contains(&e.to) {
+                    continue;
+                }
+                if order_taint && table.info(files, e.to).facts.sanitizes_order {
+                    continue; // the caller sorts before anything escapes
+                }
+                seen.insert(e.to);
+                parent.insert(e.to, (g, e.line, e.col));
+                next.push(e.to);
+            }
+        }
+        if next.is_empty() {
+            return None;
+        }
+        next.sort_unstable();
+        level = next;
+    }
+}
+
+/// Runs the determinism-taint pass. Returns `(file index, diagnostic)`
+/// pairs; the engine merges and reconciles them with suppressions.
+pub fn run_taint(
+    files: &[FileIr],
+    table: &SymbolTable,
+    graph: &CallGraph,
+    rule: &Rule,
+) -> Vec<(usize, Diagnostic)> {
+    let paths = sink_paths(files, table, graph);
+    let mut out = Vec::new();
+    // Map (file, idx) → FnId for source enumeration in file order.
+    let mut ids: BTreeMap<(usize, usize), FnId> = BTreeMap::new();
+    for (id, r) in table.fns.iter().enumerate() {
+        ids.insert((r.file, r.idx), id);
+    }
+    for (fi, file) in files.iter().enumerate() {
+        if !(rule.applies)(&file.scope_path) {
+            continue;
+        }
+        for (idx, f) in file.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let Some(&id) = ids.get(&(fi, idx)) else {
+                continue;
+            };
+            for src in &f.facts.sources {
+                let order_taint = src.kind == SourceKind::HashOrder;
+                if order_taint && f.facts.sanitizes_order {
+                    continue; // sorted in place before it can escape
+                }
+                let Some(ascent) =
+                    ascend_to_sink(id, order_taint, files, table, graph, &paths)
+                else {
+                    continue;
+                };
+                if let Some(d) =
+                    build_taint_diag(files, table, &paths, rule, fi, src, &ascent, order_taint)
+                {
+                    out.push((fi, d));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Assembles the chain diagnostic for one source: ascent hops up to
+/// the sinking fn, then descent hops down its witness path to the
+/// concrete sink. Returns `None` when hash-order taint meets a
+/// sanitizing fn on the descent.
+#[allow(clippy::too_many_arguments)]
+fn build_taint_diag(
+    files: &[FileIr],
+    table: &SymbolTable,
+    paths: &[Option<SinkPath>],
+    rule: &Rule,
+    src_file: usize,
+    src: &SourceSite,
+    ascent: &[(FnId, u32, u32)],
+    order_taint: bool,
+) -> Option<Diagnostic> {
+    let file_of = |id: FnId| files[table.fns[id].file].report_path.clone();
+    let mut chain_names: Vec<String> = Vec::new();
+    let mut hops: Vec<Hop> = Vec::new();
+    hops.push(Hop {
+        file: files[src_file].report_path.clone(),
+        line: src.line,
+        col: src.col,
+        label: format!("source: {}", describe_source(src)),
+    });
+    for (step, &(id, _, _)) in ascent.iter().enumerate() {
+        let info = table.info(files, id);
+        chain_names.push(info.qualified());
+        if step + 1 < ascent.len() {
+            // The next entry up holds the call site *in the caller*
+            // where it calls this fn.
+            let (caller, line, col) = ascent[step + 1];
+            hops.push(Hop {
+                file: file_of(caller),
+                line,
+                col,
+                label: format!("called from {}", table.info(files, caller).qualified()),
+            });
+        }
+    }
+    // Descent from the sinking fn to the concrete sink.
+    let mut cur = ascent.last().expect("ascent is non-empty").0;
+    loop {
+        let info = table.info(files, cur);
+        if order_taint && info.facts.sanitizes_order && chain_names.len() > 1 {
+            return None; // a sorting hop neutralizes hash-order taint
+        }
+        match paths[cur].expect("descent follows sink-reaching fns") {
+            SinkPath::Own(i) => {
+                let sink = &info.facts.sinks[i];
+                hops.push(Hop {
+                    file: file_of(cur),
+                    line: sink.line,
+                    col: sink.col,
+                    label: format!("sink: {}", sink.what),
+                });
+                let msg = format!(
+                    "{} can reach exported bytes: {}; sink {} at {}:{}",
+                    describe_source(src),
+                    chain_names.join(" -> "),
+                    sink.what,
+                    file_of(cur),
+                    sink.line,
+                );
+                return Some(Diagnostic {
+                    file: files[src_file].report_path.clone(),
+                    line: src.line,
+                    col: src.col,
+                    lint: rule.name.to_string(),
+                    message: msg,
+                    suggestion: rule.suggestion.to_string(),
+                    chain: hops,
+                });
+            }
+            SinkPath::Via(callee, line, col) => {
+                let callee_info = table.info(files, callee);
+                chain_names.push(callee_info.qualified());
+                hops.push(Hop {
+                    file: file_of(cur),
+                    line,
+                    col,
+                    label: format!("calls {}", callee_info.qualified()),
+                });
+                cur = callee;
+            }
+        }
+    }
+}
+
+/// Human text for a source site.
+fn describe_source(src: &SourceSite) -> String {
+    match src.kind {
+        SourceKind::WallClock => format!("wall-clock value ({})", src.what),
+        SourceKind::HashOrder => format!("hash-order iteration over `{}`", src.what),
+        SourceKind::Entropy => format!("ambient entropy ({})", src.what),
+        SourceKind::EnvRead => format!("environment read ({})", src.what),
+        SourceKind::Identity => format!("host identity ({})", src.what),
+    }
+}
+
+/// The engine dispatch triplet: roots of the alloc reachability pass.
+fn in_triplet(scope_path: &str) -> bool {
+    matches!(
+        scope_path,
+        "crates/sim/src/engine.rs" | "crates/sim/src/event.rs" | "crates/sim/src/station.rs"
+    )
+}
+
+/// Runs the alloc-reachability pass: allocation sites fire in any
+/// non-test fn in `crates/sim/src/` reachable (via the call graph)
+/// from a triplet fn, triplet fns included.
+pub fn run_alloc(
+    files: &[FileIr],
+    table: &SymbolTable,
+    graph: &CallGraph,
+    rule: &Rule,
+) -> Vec<(usize, Diagnostic)> {
+    let n = table.fns.len();
+    // Forward BFS from triplet fns, restricted to the sim crate.
+    let mut reached_from: Vec<Option<FnId>> = vec![None; n];
+    let mut level: Vec<FnId> = Vec::new();
+    let mut roots: BTreeSet<FnId> = BTreeSet::new();
+    for (id, r) in table.fns.iter().enumerate() {
+        if in_triplet(&files[r.file].scope_path) {
+            roots.insert(id);
+            level.push(id);
+        }
+    }
+    while !level.is_empty() {
+        let mut next = Vec::new();
+        for &f in &level {
+            for e in &graph.callees[f] {
+                let callee_file = &files[table.fns[e.to].file].scope_path;
+                if !callee_file.starts_with("crates/sim/src/") {
+                    continue;
+                }
+                if roots.contains(&e.to) || reached_from[e.to].is_some() {
+                    continue;
+                }
+                reached_from[e.to] = Some(f);
+                next.push(e.to);
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        level = next;
+    }
+    let mut out = Vec::new();
+    for id in 0..n {
+        let is_root = roots.contains(&id);
+        if !is_root && reached_from[id].is_none() {
+            continue;
+        }
+        let r = table.fns[id];
+        if !(rule.applies)(&files[r.file].scope_path) {
+            continue;
+        }
+        let info = &files[r.file].fns[r.idx];
+        for a in &info.facts.allocs {
+            let (message, chain) = if is_root {
+                (a.message.clone(), Vec::new())
+            } else {
+                // Cite how the hot path reaches this helper.
+                let mut names = vec![info.qualified()];
+                let mut cur = id;
+                let mut hops = vec![Hop {
+                    file: files[r.file].report_path.clone(),
+                    line: info.line,
+                    col: info.col,
+                    label: format!("allocates in {}", info.qualified()),
+                }];
+                while let Some(from) = reached_from[cur] {
+                    names.push(table.info(files, from).qualified());
+                    let fr = table.fns[from];
+                    hops.push(Hop {
+                        file: files[fr.file].report_path.clone(),
+                        line: files[fr.file].fns[fr.idx].line,
+                        col: files[fr.file].fns[fr.idx].col,
+                        label: format!("reached from {}", table.info(files, from).qualified()),
+                    });
+                    cur = from;
+                }
+                names.reverse();
+                (
+                    format!(
+                        "{} (reachable from the engine hot path: {})",
+                        a.message,
+                        names.join(" -> ")
+                    ),
+                    hops,
+                )
+            };
+            out.push((
+                r.file,
+                Diagnostic {
+                    file: files[r.file].report_path.clone(),
+                    line: a.line,
+                    col: a.col,
+                    lint: rule.name.to_string(),
+                    message,
+                    suggestion: rule.suggestion.to_string(),
+                    chain,
+                },
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn facts(src: &str) -> FnFacts {
+        let toks: Vec<Tok> = lex(src).into_iter().filter(|t| !t.is_comment()).collect();
+        // Treat the whole text as one body with an empty signature.
+        scan_fn(&[], &toks)
+    }
+
+    #[test]
+    fn value_sources_are_found() {
+        let f = facts("let t = Instant::now(); let v = std::env::var(\"X\"); let r = rand::random::<f64>();");
+        let kinds: Vec<SourceKind> = f.sources.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![SourceKind::WallClock, SourceKind::EnvRead, SourceKind::Entropy]
+        );
+    }
+
+    #[test]
+    fn hash_iteration_needs_a_hash_bound_name() {
+        let f = facts("let mut m = HashMap::new(); for (k, v) in &m { use_it(k, v); }");
+        assert_eq!(f.sources.len(), 1);
+        assert_eq!(f.sources[0].kind, SourceKind::HashOrder);
+        assert_eq!(f.sources[0].what, "m");
+        // A Vec iterated the same way is not a source.
+        let f = facts("let mut m = Vec::new(); for v in &m { use_it(v); }");
+        assert!(f.sources.is_empty());
+        // Building a map without iterating it is not a source.
+        let f = facts("let mut m = HashMap::new(); m.insert(1, 2);");
+        assert!(f.sources.is_empty());
+    }
+
+    #[test]
+    fn hash_param_iteration_is_a_source() {
+        let sig: Vec<Tok> = lex("fn f(counts: &HashMap<String, u32>)")
+            .into_iter()
+            .filter(|t| !t.is_comment())
+            .collect();
+        let body: Vec<Tok> = lex("{ for (k, v) in counts.iter() { go(k, v); } }")
+            .into_iter()
+            .filter(|t| !t.is_comment())
+            .collect();
+        let f = scan_fn(&sig, &body);
+        assert_eq!(f.sources.len(), 1);
+        assert_eq!(f.sources[0].what, "counts");
+    }
+
+    #[test]
+    fn sinks_and_sanitizers() {
+        let f = facts("println!(\"x\"); let j = Json::obj([]); fs::write(p, s); r.to_json();");
+        let whats: Vec<&str> = f.sinks.iter().map(|s| s.what.as_str()).collect();
+        assert_eq!(whats, vec!["println!", "Json::obj", "fs::write", ".to_json()"]);
+        assert!(!f.sanitizes_order);
+        assert!(facts("rows.sort();").sanitizes_order);
+        assert!(facts("let m: BTreeMap<u8, u8> = x.collect();").sanitizes_order);
+    }
+
+    #[test]
+    fn eprintln_is_not_a_sink() {
+        // stderr is diagnostics, not exported bytes — byte-identity
+        // gates compare stdout and report files only.
+        let f = facts("eprintln!(\"progress\");");
+        assert!(f.sinks.is_empty());
+    }
+
+    #[test]
+    fn alloc_sites_are_collected_per_fn() {
+        let f = facts("run.push(Box::new(|| {}));");
+        assert_eq!(f.allocs.len(), 1);
+    }
+}

@@ -8,17 +8,26 @@
 //! crates/sim/src/engine.rs:12:9: [wall-clock-in-sim] wall-clock read ...
 //! ```
 //!
-//! Exits 0 when the tree is clean and 1 when anything fired, so
+//! Interprocedural findings (determinism taint, alloc reachability)
+//! append indented `note:` lines tracing the source→call-chain→sink
+//! path. Exits 0 when the tree is clean and 1 when anything fired, so
 //! `tier1.sh` can gate on it. `--list` prints the rule table, `--json
-//! PATH` writes a `snicbench.lint-report.v1` document, `--fix-hints`
-//! appends a concrete suggestion under each diagnostic, and `--root
-//! PATH` overrides the workspace root discovered by walking up from
-//! the current directory.
+//! PATH` writes a `snicbench.lint-report.v2` document, `--sarif PATH`
+//! writes the same findings as SARIF 2.1.0, `--fix-hints` appends a
+//! concrete suggestion under each diagnostic, and `--root PATH`
+//! overrides the workspace root discovered by walking up from the
+//! current directory.
+//!
+//! Per-file analysis runs on the shared executor (`--jobs N` /
+//! `SNICBENCH_JOBS`) and is cached by content hash in
+//! `target/lint-cache.json` (`--no-cache` disables). Diagnostics are
+//! byte-identical at any jobs width and with the cache hot or cold;
+//! cache statistics go to stderr only.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use snicbench_analyzer::{engine, rules};
+use snicbench_analyzer::{engine, rules, sarif};
 use snicbench_bench::cli::Cli;
 
 fn main() -> ExitCode {
@@ -31,11 +40,13 @@ fn main() -> ExitCode {
         "--fixtures",
         "scan the fixture corpus (tests/lint_fixtures) instead of the workspace",
     )
+    .flag("--no-cache", "re-analyze every file, ignoring target/lint-cache.json")
     .opt(
         "--root",
         "PATH",
         "workspace root (default: discovered from the current directory)",
-    );
+    )
+    .opt("--sarif", "PATH", "write the findings as a SARIF 2.1.0 document");
     let args = cli.parse();
 
     if args.list {
@@ -68,13 +79,21 @@ fn main() -> ExitCode {
         }
     };
 
-    let scanned = if args.has("--fixtures") {
-        engine::analyze_fixtures(&root, &root.join("tests").join("lint_fixtures"))
-    } else {
-        engine::analyze_workspace(&root)
+    let opts = engine::Options {
+        executor: args.executor(),
+        cache: if args.has("--no-cache") {
+            None
+        } else {
+            Some(root.join("target").join("lint-cache.json"))
+        },
     };
-    let report = match scanned {
-        Ok(report) => report,
+    let scanned = if args.has("--fixtures") {
+        engine::analyze_fixtures_opts(&root, &root.join("tests").join("lint_fixtures"), &opts)
+    } else {
+        engine::analyze_workspace_opts(&root, &opts)
+    };
+    let (report, stats) = match scanned {
+        Ok(scanned) => scanned,
         Err(e) => {
             eprintln!("lint: scanning {}: {e}", root.display());
             return ExitCode::from(2);
@@ -89,12 +108,21 @@ fn main() -> ExitCode {
         }
         eprintln!("# lint: wrote report to {path}");
     }
+    if let Some(path) = args.opt("--sarif") {
+        if let Err(e) = std::fs::write(path, sarif::to_sarif(&report).to_pretty()) {
+            eprintln!("lint: writing SARIF to {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("# lint: wrote SARIF to {path}");
+    }
     eprintln!(
-        "# lint: {} finding(s) across {} file(s), {} of {} suppression(s) in use",
+        "# lint: {} finding(s) across {} file(s), {} of {} suppression(s) in use, cache {} hit(s) / {} miss(es)",
         report.findings.len(),
         report.files_scanned,
         report.suppressions_used,
         report.suppressions_total,
+        stats.hits,
+        stats.misses,
     );
     if report.is_clean() {
         ExitCode::SUCCESS

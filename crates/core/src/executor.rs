@@ -52,6 +52,7 @@ impl Executor {
     /// The default job count: `SNICBENCH_JOBS` if set to a positive
     /// integer, otherwise the host's available parallelism.
     pub fn default_jobs() -> usize {
+        // snicbench: allow(determinism-taint, "jobs width tunes scheduling only; result bytes are jobs-invariant and the 1-vs-4 identity tests enforce it")
         if let Ok(v) = std::env::var(JOBS_ENV) {
             if let Ok(n) = v.trim().parse::<usize>() {
                 if n >= 1 {
@@ -59,6 +60,7 @@ impl Executor {
                 }
             }
         }
+        // snicbench: allow(determinism-taint, "host parallelism sizes the worker pool, never the simulated results; byte-identity across widths is tested")
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)

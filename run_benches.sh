@@ -13,4 +13,8 @@ echo "==== bench_engine (events/sec trajectory smoke) ====" >> bench_output.txt
 bench_start=$SECONDS
 cargo run --release -p snicbench-bench --bin bench_engine -- --quick >> bench_output.txt 2>&1
 echo "---- bench_engine wall-clock: $((SECONDS - bench_start))s ----" >> bench_output.txt
+echo "==== lint (workspace static-analysis wall-clock, cold cache) ====" >> bench_output.txt
+bench_start=$SECONDS
+cargo run --release -p snicbench-bench --bin lint -- --no-cache >> bench_output.txt 2>&1
+echo "---- lint wall-clock: $((SECONDS - bench_start))s ----" >> bench_output.txt
 echo "==== bench suite complete (total $((SECONDS - suite_start))s) ====" >> bench_output.txt

@@ -74,22 +74,49 @@ fn fixture_corpus_exercises_every_rule() {
         .iter()
         .map(|d| d.lint.as_str())
         .collect();
-    for lint in [
-        "wall-clock-in-sim",
-        "unordered-iteration",
-        "bare-unwrap-in-lib",
-        "handrolled-cli",
-        "float-cast-in-time",
-        "unseeded-jitter",
-        "alloc-in-hot-path",
-        "malformed-suppression",
-        "unused-suppression",
-    ] {
+    // Every registered rule, plus the two suppression meta-lints: the
+    // corpus must keep tripping all of them or coverage has rotted.
+    for lint in snicbench_analyzer::rules::known_lints() {
+        assert!(fired.contains(&*lint), "no fixture triggers `{lint}`");
+    }
+    for lint in ["malformed-suppression", "unused-suppression"] {
         assert!(fired.contains(lint), "no fixture triggers `{lint}`");
     }
     // Positive suppression coverage: the corpus also proves directives
-    // *silence* findings (4 live allows) and that one stale allow is
-    // reported rather than ignored.
-    assert_eq!(report.suppressions_total, 5);
-    assert_eq!(report.suppressions_used, 4);
+    // *silence* findings (5 live allows, including an audited
+    // determinism-taint source) and that one stale allow is reported
+    // rather than ignored.
+    assert_eq!(report.suppressions_total, 6);
+    assert_eq!(report.suppressions_used, 5);
+}
+
+#[test]
+fn taint_findings_carry_the_full_chain() {
+    let report = analyze_fixtures(root(), &root().join("tests").join("lint_fixtures"))
+        .expect("fixture corpus is readable");
+    let taint: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|d| d.lint == "determinism-taint")
+        .collect();
+    assert!(!taint.is_empty(), "fixtures must trip determinism-taint");
+    for d in &taint {
+        let labels: Vec<&str> = d.chain.iter().map(|h| h.label.as_str()).collect();
+        assert!(
+            labels.first().is_some_and(|l| l.starts_with("source:")),
+            "chain starts at the source: {labels:?}"
+        );
+        assert!(
+            labels.last().is_some_and(|l| l.starts_with("sink:")),
+            "chain ends at the sink: {labels:?}"
+        );
+    }
+    // The 2-deep helper chain (snapshot -> render -> main) proves the
+    // pass is interprocedural, not a per-function pattern match.
+    assert!(
+        taint
+            .iter()
+            .any(|d| d.chain.len() >= 4 && d.message.contains("->")),
+        "expected a multi-hop chain among {taint:?}"
+    );
 }

@@ -1,0 +1,42 @@
+// snicbench-fixture: crates/bench/src/bin/taint_demo.rs
+//! Fixture: `determinism-taint` — nondeterminism buried in helpers
+//! fires when a call chain carries it to exported bytes; the
+//! diagnostic cites the full source→call-chain→sink path.
+
+use std::collections::HashMap;
+
+/// FIRES (1-deep): the env read returns into `main`, which prints it.
+fn jobs_hint() -> String {
+    std::env::var("SNICBENCH_JOBS").unwrap_or_default()
+}
+
+/// A tiny exporter whose snapshot leaks hash order into its rendering.
+pub struct Exporter {
+    counts: HashMap<String, u64>,
+}
+
+impl Exporter {
+    /// FIRES (2-deep): hash-order iteration surfaces through `render`
+    /// in `main`, with no sort anywhere on the way out.
+    fn snapshot(&self) -> Vec<String> {
+        let counts: &HashMap<String, u64> = &self.counts;
+        let mut rows = Vec::new();
+        for (k, v) in counts.iter() {
+            rows.push(format!("{k}={v}"));
+        }
+        rows
+    }
+
+    /// Chain hop only: no source and no sink of its own.
+    fn render(&self) -> String {
+        self.snapshot().join("\n")
+    }
+}
+
+fn main() {
+    let exporter = Exporter {
+        counts: HashMap::new(),
+    };
+    println!("jobs hint: {}", jobs_hint());
+    println!("{}", exporter.render());
+}

@@ -1,8 +1,10 @@
 #!/bin/bash
 # Tier-1 gate: release build, full test suite, a warning-free clippy pass,
 # the workspace's own static-analysis gate (the tree must self-lint
-# clean and the deliberately-dirty fixture corpus must keep matching its
-# golden diagnostics), the simulator conformance harness (closed-form
+# clean, the deliberately-dirty fixture corpus must keep matching its
+# golden diagnostics, diagnostics must be byte-identical at --jobs 1
+# and --jobs 4, and the SARIF export must parse with run-to-run stable
+# ordering), the simulator conformance harness (closed-form
 # queueing theory cross-check + per-run invariant audit of every Fig. 4
 # cell), the executor's determinism contract (fig4 --quick must be
 # byte-identical on stdout at --jobs 1 and --jobs 4), an observability
@@ -46,6 +48,42 @@ if ! diff -u tests/golden/lint_fixtures.txt "$fixture_out"; then
 fi
 rm -f "$fixture_out"
 echo "OK: workspace lint-clean, fixture diagnostics match golden"
+
+# The analyzer itself must honor the executor's determinism contract:
+# fixture diagnostics byte-identical at --jobs 1 and --jobs 4 (cache
+# off, so both runs exercise the parallel phase-1 path for real).
+lint_j1=$(mktemp)
+lint_j4=$(mktemp)
+./target/release/lint --fixtures --no-cache --jobs 1 > "$lint_j1" 2>/dev/null || true
+./target/release/lint --fixtures --no-cache --jobs 4 > "$lint_j4" 2>/dev/null || true
+if ! diff -u "$lint_j1" "$lint_j4"; then
+  echo "FAIL: lint diagnostics differ between --jobs 1 and --jobs 4" >&2
+  rm -f "$lint_j1" "$lint_j4"
+  exit 1
+fi
+rm -f "$lint_j1" "$lint_j4"
+echo "OK: lint byte-identical across job counts"
+
+# SARIF export: well-formed JSON, stable across runs (ordering must not
+# depend on traversal or cache state — the second run is cache-warm on
+# purpose).
+sarif1=$(mktemp)
+sarif2=$(mktemp)
+./target/release/lint --fixtures --no-cache --sarif "$sarif1" > /dev/null 2>&1 || true
+./target/release/lint --fixtures --sarif "$sarif2" > /dev/null 2>&1 || true
+if ! jq -e '.version == "2.1.0" and (.runs | length == 1)
+       and (.runs[0].results | length > 0)' "$sarif1" > /dev/null; then
+  echo "FAIL: --sarif output is not a SARIF 2.1.0 document" >&2
+  rm -f "$sarif1" "$sarif2"
+  exit 1
+fi
+if ! diff -u "$sarif1" "$sarif2"; then
+  echo "FAIL: SARIF output is not stable across runs" >&2
+  rm -f "$sarif1" "$sarif2"
+  exit 1
+fi
+rm -f "$sarif1" "$sarif2"
+echo "OK: SARIF parses, ordering stable run-to-run"
 
 echo "==== conformance: simulator vs queueing theory + invariant audit ===="
 # Exits non-zero if any probe case leaves the tolerance band or any run
