@@ -11,15 +11,20 @@
 //! budget.
 //!
 //! ```text
-//! cargo run --release -p snicbench-bench --bin diurnal [-- --quick | --list] [--workload NAME] [--gbps G] [--seed S] [--jobs N] [--json PATH] [--trace PATH]
+//! cargo run --release -p snicbench-bench --bin diurnal [-- --quick | --list] [--workload NAME] [--gbps G] [--seed S] [--chaos PLAN] [--jobs N] [--json PATH] [--trace PATH]
 //! ```
 //!
 //! Output is one row per (platform, admission) cell, an adaptive-vs-
 //! static verdict per platform, and the SNIC-vs-host TCO break-even per
-//! admission mode. The JSON report is RunReport v3 (per-shard roll-ups
+//! admission mode. The JSON report is RunReport v4 (per-shard roll-ups
 //! in each run's `shards` array) plus the 24 hourly buckets per cell.
 //! Deterministic at any `--jobs` width: each cell is one single-threaded
 //! simulation seeded by its coordinates.
+//!
+//! `--chaos PLAN` fences node-down windows into the day: arrivals to a
+//! down shard are booked as drops and fed to the AIMD limiter as
+//! overload, so the adaptive cells show admission riding through the
+//! fault while the static cells burn SLO hours.
 
 use snicbench_bench::cli::Cli;
 use snicbench_core::admission::AdmissionMode;
@@ -30,6 +35,7 @@ use snicbench_core::diurnal::{
 use snicbench_core::json::Json;
 use snicbench_core::report::TextTable;
 use snicbench_functions::rem::RemRuleset;
+use snicbench_sim::fault::ChaosSpec;
 use snicbench_sim::SimDuration;
 
 /// The workloads with both host and accelerator calibrations, by CLI
@@ -80,6 +86,7 @@ fn config_for(
     workload: Workload,
     gbps: Option<f64>,
     seed: Option<u64>,
+    chaos: Option<ChaosSpec>,
     quick: bool,
 ) -> DiurnalConfig {
     let mut cfg = DiurnalConfig::new(workload, cell.platform, cell.admission);
@@ -92,6 +99,7 @@ fn config_for(
     if let Some(s) = seed {
         cfg.seed = s;
     }
+    cfg.chaos = chaos;
     // Seed by cell coordinates so results never depend on sweep order.
     let p = match cell.platform {
         DiurnalPlatform::Host => 1u64,
@@ -175,11 +183,13 @@ fn main() {
     .workload_axis("workload to serve: rem (default), crypto, compression")
     .gbps_axis("mean offered load per shard, Gb/s (default 55)")
     .seed_axis()
+    .chaos_axis()
     .parse();
 
     let workload = args.choice_or("--workload", "rem", &catalog());
     let gbps: Option<f64> = args.value_of("--gbps");
     let seed: Option<u64> = args.value_of("--seed");
+    let chaos = args.chaos();
     let matrix = cells();
 
     if args.list {
@@ -213,13 +223,17 @@ fn main() {
     );
     let quick = args.quick;
     let rows: Vec<(Cell, DiurnalReport)> = executor.map(matrix, |cell| {
-        let cfg = config_for(cell, workload, gbps, seed, quick);
+        let cfg = config_for(cell, workload, gbps, seed, chaos, quick);
         let report = simulate_in(&cfg, &ctx.scope(cell.label()));
         (cell, report)
     });
 
     println!("Diurnal — {workload}: 24 h multi-tenant day, static vs AIMD admission");
-    println!("(SLO per simulated hour: p99 <= 400us, server loss <= 1%)\n");
+    println!("(SLO per simulated hour: p99 <= 400us, server loss <= 1%)");
+    if let Some(spec) = chaos {
+        println!("(chaos {spec}: node-down windows blackhole their shard and feed AIMD)");
+    }
+    println!();
     let mut t = TextTable::new(vec![
         "cell",
         "offered",
@@ -249,6 +263,18 @@ fn main() {
         ]);
     }
     println!("{t}");
+
+    if chaos.is_some() {
+        for (cell, r) in &rows {
+            let down: u64 = r.shards.iter().map(|s| s.down_windows).sum();
+            let dropped: u64 = r.shards.iter().map(|s| s.dropped).sum();
+            println!(
+                "{}: {down} node-down window(s), {dropped} packets dropped shard-side.",
+                cell.label()
+            );
+        }
+        println!();
+    }
 
     let find = |platform: DiurnalPlatform, admission: AdmissionMode| {
         rows.iter()

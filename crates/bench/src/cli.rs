@@ -24,6 +24,7 @@ use snicbench_core::executor::Executor;
 use snicbench_core::experiment::SearchBudget;
 use snicbench_core::json::Json;
 use snicbench_core::telemetry::{chrome_trace_json, run_report_with_failures, RunContext};
+use snicbench_sim::fault::ChaosSpec;
 
 /// Declares a binary's command line: its name, a one-line description,
 /// and any bin-specific boolean flags on top of the shared grammar.
@@ -132,6 +133,15 @@ impl Cli {
     /// Registers the shared `--workload NAME` axis.
     pub fn workload_axis(self, help: &'static str) -> Self {
         self.opt("--workload", "NAME", help)
+    }
+
+    /// Registers the shared `--chaos PLAN` axis.
+    pub fn chaos_axis(self) -> Self {
+        self.opt(
+            "--chaos",
+            "PLAN",
+            "inject node faults: 'mixed' or crashN+snicN+blackoutN (windows cover a third of the run)",
+        )
     }
 
     /// The usage block printed by `--help` and on errors.
@@ -343,6 +353,21 @@ impl Args {
                     catalog.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
                 ),
             })
+    }
+
+    /// The fault plan selected by the shared `--chaos` axis, if given.
+    /// On a malformed plan, prints the uniform `tool: invalid value` line
+    /// and exits 2.
+    pub fn chaos(&self) -> Option<ChaosSpec> {
+        self.opt("--chaos").map(|v| {
+            ChaosSpec::parse(v).unwrap_or_else(|| {
+                eprintln!(
+                    "{}: invalid value '{v}' for --chaos (use 'mixed' or crashN+snicN+blackoutN)",
+                    self.bin
+                );
+                std::process::exit(2);
+            })
+        })
     }
 
     /// The search budget selected by `--quick`.

@@ -32,6 +32,7 @@ use snicbench_metrics::LatencyHistogram;
 use snicbench_net::stack::StackModel;
 use snicbench_net::traffic::{ChurnBooks, TenantMix};
 use snicbench_sim::dist::{Distribution, LogNormal};
+use snicbench_sim::fault::{self, ChaosSpec};
 use snicbench_sim::queue::FifoStats;
 use snicbench_sim::rng::Rng;
 use snicbench_sim::station::{Admission, Completion, CompletionHandler, StationHandle};
@@ -120,6 +121,11 @@ pub struct DiurnalConfig {
     pub fleet_shards: u32,
     /// SNIC-equipped shards of the fleet layout.
     pub fleet_snics: u32,
+    /// Node-fault injection: shards inside a fault window drop at
+    /// submission (booked drops, so every ledger still balances), which
+    /// is exactly the overload signal the AIMD client cuts on. `None`
+    /// (the default) is byte-identical to a build without chaos.
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl DiurnalConfig {
@@ -148,6 +154,7 @@ impl DiurnalConfig {
             vnodes: DEFAULT_VNODES,
             fleet_shards: 4,
             fleet_snics: 2,
+            chaos: None,
         }
     }
 }
@@ -221,7 +228,7 @@ pub struct DiurnalReport {
     pub hours: Vec<HourBucket>,
     /// Per-tenant audited ledgers.
     pub tenants: Vec<TenantBooks>,
-    /// Per-shard roll-ups over the whole day (RunReport v3 `shards`).
+    /// Per-shard roll-ups over the whole day (RunReport v4 `shards`).
     pub shards: Vec<ShardRollup>,
     /// Fraction of the 24 hours that violated the SLO — the headline.
     pub violation_fraction: f64,
@@ -521,6 +528,13 @@ pub fn simulate_in(config: &DiurnalConfig, scope: &RunScope) -> DiurnalReport {
     let ring = Rc::new(HashRing::new(0..shard_count, config.vnodes));
     let rng = Rc::new(RefCell::new(Rng::new(config.seed ^ 0xD1A7)));
 
+    // Chaos: shards inside a node-fault window refuse service (booked
+    // drops). `None` injects nothing — the healthy path is untouched.
+    let chaos_state = config.chaos.map(|spec| {
+        let plan = fault::chaos_plan(config.seed, spec, shard_count, config.day);
+        fault::inject(&mut sim, &plan)
+    });
+
     let stop = SimTime::ZERO + config.day;
     let day_nanos = config.day.as_nanos();
     let size_unit = bytes as f64;
@@ -531,6 +545,7 @@ pub fn simulate_in(config: &DiurnalConfig, scope: &RunScope) -> DiurnalReport {
         let tallies = tallies.clone();
         let limiter = limiter.clone();
         let rng = rng.clone();
+        let chaos = chaos_state.clone();
         let accel_backlog = config.accel_backlog;
         let spill_threshold = config.spill_threshold;
         mix.launch(&mut sim, SimTime::ZERO, stop, move |sim, tenant, packet| {
@@ -566,6 +581,27 @@ pub fn simulate_in(config: &DiurnalConfig, scope: &RunScope) -> DiurnalReport {
                             shard = next as usize;
                         }
                     }
+                }
+            }
+            if let Some(state) = &chaos {
+                if state.borrow().node_down(shard as u32) {
+                    // The shard is inside a fault window: the request was
+                    // admitted, reached a dead node, and died there. The
+                    // drop is booked (ledgers still balance) and — unlike
+                    // a silent blackhole — it is exactly the overload
+                    // signal the AIMD window cuts on.
+                    let mut t = tallies.borrow_mut();
+                    t.hours[hour].admitted += 1;
+                    t.tenants[tenant as usize].admitted += 1;
+                    t.hours[hour].dropped += 1;
+                    t.tenants[tenant as usize].dropped += 1;
+                    t.shards[shard].sent += 1;
+                    t.shards[shard].dropped += 1;
+                    drop(t);
+                    if let Some(limiter) = &limiter {
+                        limiter.borrow_mut().release(Outcome::Overload);
+                    }
+                    return;
                 }
             }
             {
@@ -744,6 +780,13 @@ pub fn simulate_in(config: &DiurnalConfig, scope: &RunScope) -> DiurnalReport {
                 host_util: host_stats.utilization(host_cpu.cores, now),
                 accel_util,
                 slo_met: config.slo.check_point(p99_us, achieved_gbps, loss).met(),
+                down_windows: chaos_state
+                    .as_ref()
+                    .map_or(0, |s| s.borrow().down_windows(i as u32)),
+                remapped: 0,
+                remapped_in_flight: 0,
+                hedged: 0,
+                hedge_wins: 0,
             }
         })
         .collect();

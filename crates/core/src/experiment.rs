@@ -26,8 +26,6 @@
 //! assert!(!rows.is_empty());
 //! ```
 //!
-//! The older per-figure free functions ([`figure4`], [`figure4_with`])
-//! remain as thin deprecated wrappers for one release.
 
 use snicbench_hw::ExecutionPlatform;
 use snicbench_power::energy::EnergyEfficiency;
@@ -561,24 +559,6 @@ pub fn compare_in(
         host_power,
         snic_power,
     }
-}
-
-/// Measures every Fig. 4 cell (29 workload configurations) serially.
-#[deprecated(since = "0.3.0", note = "use `Scenario::fig4().budget(b).run(&ctx)`")]
-pub fn figure4(budget: SearchBudget) -> Vec<ComparisonRow> {
-    Scenario::fig4().budget(budget).run(&RunContext::disabled())
-}
-
-/// Measures every Fig. 4 cell, fanning the independent cells out over the
-/// executor.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `Scenario::fig4().budget(b).run_with(&ctx, &executor)`"
-)]
-pub fn figure4_with(budget: SearchBudget, executor: &Executor) -> Vec<ComparisonRow> {
-    Scenario::fig4()
-        .budget(budget)
-        .run_with(&RunContext::disabled(), executor)
 }
 
 /// One runnable experiment: what to measure, given a budget, an executor,

@@ -13,15 +13,18 @@
 //! Measurement follows the corrected single-pair semantics exactly (see
 //! the [module docs](super)): window membership by packet *arrival* time,
 //! rates over `stop − warmup`, never over the drained clock. Per-shard
-//! books therefore balance (`sent == completed + dropped`) and cluster
-//! roll-ups are plain sums.
+//! books therefore balance (`sent == completed + dropped` on a healthy
+//! run; under [`ChaosConfig`] the law extends to `sent == completed +
+//! dropped + remapped_in_flight`, since a drained in-flight job leaves
+//! its home's books and re-enters the successor's) and cluster roll-ups
+//! are plain sums.
 //!
 //! The run is single-simulator and event-ordered, so results are
 //! deterministic and byte-identical at any `--jobs`; the executor
 //! parallelizes across *cells* (fleet configurations), never within one.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::cell::{Cell, RefCell};
+use std::rc::{Rc, Weak};
 
 use snicbench_hw::cpu::Arch;
 use snicbench_hw::server::{RackSpec, Testbed};
@@ -30,6 +33,8 @@ use snicbench_metrics::LatencyHistogram;
 use snicbench_net::stack::StackModel;
 use snicbench_net::traffic::{Poisson, TrafficSpec};
 use snicbench_sim::dist::{Distribution, LogNormal};
+use snicbench_sim::engine::{EventHandler, EventToken};
+use snicbench_sim::fault::{self, ChaosSpec, SharedFaultState};
 use snicbench_sim::queue::FifoStats;
 use snicbench_sim::rng::Rng;
 use snicbench_sim::station::{Admission, Completion, CompletionHandler, StationHandle};
@@ -37,6 +42,7 @@ use snicbench_sim::{SimDuration, SimTime, Simulator};
 
 use crate::benchmark::Workload;
 use crate::calibration::{self, ServiceModel};
+use crate::resilience::{HealthChecker, HealthEvent, HealthSettings};
 use crate::runner::{LatencyStats, RunMetrics};
 use crate::slo::Slo;
 use crate::tco::{self, TcoInputs, TcoScenario};
@@ -80,6 +86,50 @@ pub struct FleetConfig {
     pub vnodes: u32,
     /// The per-shard SLO the roll-up scores against.
     pub slo: Slo,
+    /// Failure-domain injection. `None` (the default) runs the healthy
+    /// path byte-identically to a build without chaos support.
+    pub chaos: Option<ChaosConfig>,
+}
+
+/// Chaos-mode knobs: which node faults to inject and which mitigations
+/// to arm. The three mitigation stages — blackholing only (`rebalance`
+/// and `hedging` off), health-checked ring rebalancing, and rebalancing
+/// plus hedged requests — are what the `fleet --chaos` variants compare.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Node-fault mix (server crashes / SNIC crashes / shard blackouts),
+    /// realized by [`fault::chaos_plan`] with windows a third of the run.
+    pub spec: ChaosSpec,
+    /// Probe shards, eject the dead from the ring, drain and re-home
+    /// their in-flight work, reintegrate after recovery. Off = the
+    /// no-rebalancing baseline: a down shard blackholes its whole arc.
+    pub rebalance: bool,
+    /// Duplicate slow measured requests to the ring successor after
+    /// [`ChaosConfig::hedge_delay`]; first completion wins.
+    pub hedging: bool,
+    /// Probe cadence and K-of-N ejection thresholds.
+    pub health: HealthSettings,
+    /// Cold-start hedge delay: how long a request may run before its
+    /// duplicate is issued (plus up to 25% seeded jitter so hedges never
+    /// synchronize). Once enough completions have been observed the
+    /// delay adapts to the observed cluster residence p95, so hedges
+    /// chase the actual tail; this value only seeds the warmup. The
+    /// default tracks the fleet SLO: half the 400 µs p99 budget.
+    pub hedge_delay: SimDuration,
+}
+
+impl ChaosConfig {
+    /// Chaos with every mitigation armed: rebalancing on, hedging on,
+    /// standard health-check cadence, 200 µs hedge delay.
+    pub fn new(spec: ChaosSpec) -> Self {
+        ChaosConfig {
+            spec,
+            rebalance: true,
+            hedging: true,
+            health: HealthSettings::standard(),
+            hedge_delay: SimDuration::from_micros(200),
+        }
+    }
 }
 
 impl FleetConfig {
@@ -103,6 +153,7 @@ impl FleetConfig {
                 min_gbps: 0.0,
                 max_loss: 0.01,
             },
+            chaos: None,
         }
     }
 }
@@ -132,6 +183,20 @@ pub struct ClusterMetrics {
     pub spills: u64,
     /// Shards whose operating point met the fleet SLO.
     pub shards_meeting_slo: u32,
+    /// Node-fault windows opened across the cluster (0 when healthy).
+    pub down_windows: u64,
+    /// Measured requests diverted off an ejected shard (arrivals plus
+    /// drained in-flight work).
+    pub remapped: u64,
+    /// Measured in-flight requests drained off a crashed shard — the
+    /// extra term of the degraded conservation law
+    /// `sent == completed + dropped + remapped_in_flight`.
+    pub remapped_in_flight: u64,
+    /// Hedge duplicates issued (never double-counted in `sent`).
+    pub hedged: u64,
+    /// Races the duplicate won (the completion is attributed once, to
+    /// the primary's shard).
+    pub hedge_wins: u64,
 }
 
 /// The fleet's TCO verdict, from *measured* per-shard capacities.
@@ -183,6 +248,18 @@ struct ShardCounters {
     snic_completed: u64,
     spill_in: u64,
     spill_out: u64,
+    /// Measured requests this shard lost to rebalancing while ejected:
+    /// diverted arrivals plus drained in-flight work.
+    remapped: u64,
+    /// The drained-in-flight subset of `remapped` — the jobs that were
+    /// already `sent` here and finish (or drop) on the successor, so the
+    /// shard's law extends to `sent == completed + dropped +
+    /// remapped_in_flight`.
+    remapped_in_flight: u64,
+    /// Hedge duplicates issued on behalf of this shard's requests.
+    hedged: u64,
+    /// Hedge races the duplicate won.
+    hedge_wins: u64,
 }
 
 /// Mutable tallies shared between the packet sink and the completion
@@ -195,20 +272,104 @@ struct Tallies {
 const SNIC_BIT: u64 = 1 << 32;
 const MEASURED_BIT: u64 = 1 << 33;
 const SHARD_MASK: u64 = (1 << 32) - 1;
+/// Token bit: this job holds a hedge slot (chaos mode only).
+const HEDGED_BIT: u64 = 1 << 34;
+/// Token bit: this job *is* the hedge duplicate, not the primary.
+const HEDGE_DUP_BIT: u64 = 1 << 35;
+/// Bits 36.. of token `a` carry the hedge-slot index.
+const HEDGE_SLOT_SHIFT: u32 = 36;
+
+/// One in-flight hedge race: the primary request, and after the hedge
+/// delay possibly a duplicate on the ring successor.
+#[derive(Debug, Clone, Copy)]
+struct HedgeSlot {
+    /// The primary's accounting shard (where `sent` was counted and
+    /// where the winning completion lands).
+    shard: u32,
+    /// The primary's arrival nanos (token `b`), reused by the duplicate
+    /// so the winner's RTT spans the true request lifetime.
+    b: u64,
+    /// A completion (either contender) has been recorded.
+    completed: bool,
+    /// The hedge timer has fired — no event references the slot anymore.
+    fired: bool,
+    /// Contenders still in flight.
+    outstanding: u8,
+}
+
+/// Slab of hedge slots with a free list, so steady-state hedging stops
+/// allocating once the high-water mark is reached.
+#[derive(Debug, Default)]
+struct HedgeArena {
+    slots: Vec<HedgeSlot>,
+    free: Vec<u32>,
+}
+
+impl HedgeArena {
+    fn alloc(&mut self, shard: u32, b: u64) -> u32 {
+        let slot = HedgeSlot {
+            shard,
+            b,
+            completed: false,
+            fired: false,
+            outstanding: 1,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = slot;
+            idx
+        } else {
+            self.slots.push(slot);
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    fn release(&mut self, idx: u32) {
+        self.free.push(idx);
+    }
+}
 
 /// The shared completion callback every fleet station uses: token `a`
-/// packs (shard id, SNIC rung, measured) and token `b` the arrival
-/// nanos, so completion costs no allocation at fleet packet rates.
+/// packs (shard id, SNIC rung, measured, hedge bits) and token `b` the
+/// arrival nanos, so completion costs no allocation at fleet packet
+/// rates.
 struct FleetHandler {
     tallies: Rc<RefCell<Tallies>>,
     host_fixed: SimDuration,
     accel_fixed: SimDuration,
+    /// Hedge-slot arena, present only in chaos mode with hedging on.
+    hedges: Option<Rc<RefCell<HedgeArena>>>,
+    /// Running cluster-wide latency histogram feeding the adaptive
+    /// hedge delay, present only in chaos mode with hedging on.
+    lat: Option<Rc<RefCell<LatencyHistogram>>>,
 }
 
 impl CompletionHandler for FleetHandler {
     fn on_complete(&self, _sim: &mut Simulator, done: Completion, a: u64, b: u64) {
         if a & MEASURED_BIT == 0 {
             return;
+        }
+        if a & HEDGED_BIT != 0 {
+            // First completion wins the race; the loser's completion is
+            // invisible to the books (the request completed exactly once).
+            let hedges = self
+                .hedges
+                .as_ref()
+                .expect("hedged token requires the hedge arena");
+            let idx = (a >> HEDGE_SLOT_SHIFT) as u32;
+            let mut hs = hedges.borrow_mut();
+            let slot = &mut hs.slots[idx as usize];
+            let winner = !slot.completed;
+            slot.completed = true;
+            slot.outstanding -= 1;
+            if slot.fired && slot.outstanding == 0 {
+                hs.release(idx);
+            }
+            if !winner {
+                return;
+            }
+            if a & HEDGE_DUP_BIT != 0 {
+                self.tallies.borrow_mut().counters[(a & SHARD_MASK) as usize].hedge_wins += 1;
+            }
         }
         let shard = (a & SHARD_MASK) as usize;
         let on_snic = a & SNIC_BIT != 0;
@@ -217,7 +378,8 @@ impl CompletionHandler for FleetHandler {
         } else {
             self.host_fixed
         };
-        let rtt = done.finished.duration_since(SimTime::from_nanos(b)) + fixed;
+        let residence = done.finished.duration_since(SimTime::from_nanos(b));
+        let rtt = residence + fixed;
         let mut t = self.tallies.borrow_mut();
         let c = &mut t.counters[shard];
         c.completed += 1;
@@ -225,6 +387,347 @@ impl CompletionHandler for FleetHandler {
             c.snic_completed += 1;
         }
         t.hists[shard].record(rtt.as_nanos());
+        if let Some(lat) = &self.lat {
+            // The hedge delay races queueing, not the wire: it adapts to
+            // the *residence* tail, which excludes the fixed path
+            // latency a duplicate must pay all over again.
+            lat.borrow_mut().record(residence.as_nanos());
+        }
+    }
+}
+
+/// Chaos-mode runtime shared by the packet sink, the prober, and the
+/// hedger. Everything is interior-mutable `RefCell` state inside one
+/// single-threaded simulation, so borrows never overlap across events.
+struct ChaosRt {
+    cfg: ChaosConfig,
+    /// What is down *right now*, per the injected fault plan.
+    state: SharedFaultState,
+    /// The ejection/reintegration state machine.
+    health: RefCell<HealthChecker>,
+    /// Sorted ejected-shard set — the ring's exclusion set.
+    down: RefCell<Vec<u32>>,
+    /// Hedge races in flight.
+    hedges: Rc<RefCell<HedgeArena>>,
+    /// Observed completion latencies, for the p99-based hedge delay.
+    lat: Rc<RefCell<LatencyHistogram>>,
+    /// Cached `(sample count at refresh, delay)` so the p99 walk runs
+    /// once per [`HEDGE_REFRESH`] completions, not per arrival.
+    hedge_delay_cache: Cell<(u64, SimDuration)>,
+    /// Measured primaries seen by the hedging front end.
+    hedge_seen: Cell<u64>,
+    /// Duplicates actually issued, capped at [`HEDGE_BUDGET`]⁻¹ of
+    /// `hedge_seen` so hedging can never melt a congested fleet down
+    /// (the classic hedged-request feedback spiral).
+    hedge_issued: Cell<u64>,
+    /// Chaos-only RNG stream (hedge jitter, re-homed demand redraws);
+    /// forked off the config seed so the healthy generator stream is
+    /// untouched.
+    rng: RefCell<Rng>,
+    stations: Rc<Vec<ShardStations>>,
+    ring: Rc<HashRing>,
+    tallies: Rc<RefCell<Tallies>>,
+    host_dist: LogNormal,
+    accel_dist: LogNormal,
+    accel_backlog: usize,
+    /// Generator stop — probing past it only delays the drain.
+    stop: SimTime,
+}
+
+/// Samples the adaptive hedge delay needs before it trusts the observed
+/// tail over the configured cold-start delay.
+const HEDGE_WARMUP_SAMPLES: u64 = 512;
+/// Completions between refreshes of the cached p99 estimate.
+const HEDGE_REFRESH: u64 = 1024;
+/// At most one duplicate per this many measured primaries: hedging adds
+/// tail-cutting capacity, never a second copy of the offered load.
+const HEDGE_BUDGET: u64 = 20;
+/// A duplicate is only issued while the successor rung's queue is this
+/// short: a hedge that would itself queue can't beat the straggler it
+/// is racing, it can only congest the fleet further.
+const HEDGE_TARGET_MAX_QUEUE: usize = 8;
+
+impl ChaosRt {
+    /// The p99-based hedge delay: the *observed* cluster residence p95
+    /// once the histogram has warmed up, falling back to
+    /// [`ChaosConfig::hedge_delay`] during cold start. The delay must
+    /// sit exactly at the tail boundary: longer and the hedged fraction
+    /// drops under 1% (which cannot move a p99 at all), shorter and the
+    /// [`HEDGE_BUDGET`] is spent on ordinary requests before the real
+    /// stragglers arrive. At p95 the hedged ~5% are precisely the
+    /// stragglers spanning the defended p99. The estimate refreshes
+    /// every [`HEDGE_REFRESH`] completions — deterministic, since
+    /// completions are ordered within the single-threaded simulation.
+    fn hedge_delay(&self) -> SimDuration {
+        let n = self.lat.borrow().count();
+        if n < HEDGE_WARMUP_SAMPLES {
+            return self.cfg.hedge_delay;
+        }
+        let (at, cached) = self.hedge_delay_cache.get();
+        if at != 0 && n - at < HEDGE_REFRESH {
+            return cached;
+        }
+        let delay = SimDuration::from_nanos(self.lat.borrow().percentile(95.0).max(1));
+        self.hedge_delay_cache.set((n, delay));
+        delay
+    }
+
+    /// The serving rung for new work on `shard`: the accelerator while
+    /// it is alive and its backlog short, else the host pool.
+    fn rung(&self, shard: u32) -> (StationHandle, bool) {
+        let st = &self.stations[shard as usize];
+        let to_snic = st
+            .accel
+            .as_ref()
+            .is_some_and(|a| a.queue_len() < self.accel_backlog)
+            && !self.state.borrow().snic_down(shard);
+        match (&st.accel, to_snic) {
+            (Some(a), true) => (a.clone(), true),
+            _ => (st.host.clone(), false),
+        }
+    }
+
+    /// Ejects `shard` from the ring; a crashed *server* additionally has
+    /// its waiting work drained and re-homed on the ring successor (a
+    /// blacked-out shard keeps serving what it already holds — it is
+    /// only unreachable for new flows).
+    fn eject(&self, sim: &mut Simulator, shard: u32) {
+        {
+            let mut down = self.down.borrow_mut();
+            if let Err(at) = down.binary_search(&shard) {
+                down.insert(at, shard);
+            }
+        }
+        if !self.state.borrow().server_down(shard) {
+            return;
+        }
+        let st = &self.stations[shard as usize];
+        let mut drained = Vec::new();
+        st.host.evict_waiting(sim, &mut drained);
+        if let Some(a) = &st.accel {
+            a.evict_waiting(sim, &mut drained);
+        }
+        for (demand, a, b) in drained {
+            self.rehome(sim, shard, demand, a, b);
+        }
+    }
+
+    /// Returns `shard` to service: new arrivals route home again.
+    fn reintegrate(&self, shard: u32) {
+        let mut down = self.down.borrow_mut();
+        if let Ok(at) = down.binary_search(&shard) {
+            down.remove(at);
+        }
+    }
+
+    /// Re-homes one job drained off crashed `from` onto its ring
+    /// successor, moving the accounting with it: the old home books
+    /// `remapped_in_flight`, the successor books a fresh `sent`, and the
+    /// job's token is restamped so completion lands on the successor.
+    fn rehome(&self, sim: &mut Simulator, from: u32, demand: SimDuration, mut a: u64, b: u64) {
+        if a & HEDGE_DUP_BIT != 0 {
+            // A displaced duplicate is abandoned — duplicates are never
+            // on the books and the primary is still racing.
+            let idx = (a >> HEDGE_SLOT_SHIFT) as u32;
+            let mut hs = self.hedges.borrow_mut();
+            let slot = &mut hs.slots[idx as usize];
+            slot.outstanding -= 1;
+            if slot.fired && slot.outstanding == 0 {
+                hs.release(idx);
+            }
+            return;
+        }
+        if a & HEDGED_BIT != 0 {
+            // A displaced primary leaves its hedge race before moving
+            // shards — the slot's shard would otherwise go stale and a
+            // later duplicate win would land on the wrong ledger.
+            if self.retire_hedged_primary(a) {
+                // The duplicate already won and was counted: the evicted
+                // primary is a ghost with nothing left to re-home.
+                return;
+            }
+            a &= SHARD_MASK | SNIC_BIT | MEASURED_BIT;
+        }
+        let measured = a & MEASURED_BIT != 0;
+        let home = (a & SHARD_MASK) as u32;
+        let target = {
+            let down = self.down.borrow();
+            self.ring.successor_shard(from, &down)
+        };
+        let Some(target) = target else {
+            // Nowhere left to drain to: the job dies with its shard.
+            if measured {
+                self.tallies.borrow_mut().counters[home as usize].dropped += 1;
+            }
+            return;
+        };
+        let (station, to_snic) = self.rung(target);
+        let new_a = (a & !(SHARD_MASK | SNIC_BIT))
+            | u64::from(target)
+            | if to_snic { SNIC_BIT } else { 0 };
+        if measured {
+            let mut t = self.tallies.borrow_mut();
+            t.counters[home as usize].remapped += 1;
+            t.counters[home as usize].remapped_in_flight += 1;
+            t.counters[target as usize].sent += 1;
+        }
+        if station.submit_tagged(sim, demand, new_a, b) == Admission::Dropped && measured {
+            self.tallies.borrow_mut().counters[target as usize].dropped += 1;
+        }
+    }
+
+    /// Pulls a hedged primary out of its race: any duplicate still in
+    /// flight becomes a loser, and a pending timer will retire without
+    /// hedging. Returns `true` when the race was *already* settled (the
+    /// duplicate won and was counted), i.e. the caller holds a ghost.
+    fn retire_hedged_primary(&self, a: u64) -> bool {
+        let idx = (a >> HEDGE_SLOT_SHIFT) as u32;
+        let mut hs = self.hedges.borrow_mut();
+        let slot = &mut hs.slots[idx as usize];
+        let settled = slot.completed;
+        slot.completed = true;
+        slot.outstanding -= 1;
+        if slot.fired && slot.outstanding == 0 {
+            hs.release(idx);
+        }
+        settled
+    }
+
+    /// Moves `shard`'s queued accelerator work onto its own host pool
+    /// when the SNIC dies under it (the host redraws the service demand;
+    /// the accounting shard does not change, so no remap is booked).
+    fn fail_accel_to_host(&self, sim: &mut Simulator, shard: u32) {
+        let st = &self.stations[shard as usize];
+        let Some(accel) = &st.accel else { return };
+        let mut drained = Vec::new();
+        accel.evict_waiting(sim, &mut drained);
+        for (_, mut a, b) in drained {
+            if a & HEDGE_DUP_BIT != 0 {
+                let idx = (a >> HEDGE_SLOT_SHIFT) as u32;
+                let mut hs = self.hedges.borrow_mut();
+                let slot = &mut hs.slots[idx as usize];
+                slot.outstanding -= 1;
+                if slot.fired && slot.outstanding == 0 {
+                    hs.release(idx);
+                }
+                continue;
+            }
+            if a & HEDGED_BIT != 0 {
+                if self.retire_hedged_primary(a) {
+                    // The duplicate already answered: nothing to fail over.
+                    continue;
+                }
+                a &= SHARD_MASK | SNIC_BIT | MEASURED_BIT;
+            }
+            let demand = {
+                let mut r = self.rng.borrow_mut();
+                SimDuration::from_secs_f64(self.host_dist.sample(&mut r).max(1.0) * 1e-9)
+            };
+            let new_a = a & !SNIC_BIT;
+            let measured = a & MEASURED_BIT != 0;
+            if st.host.submit_tagged(sim, demand, new_a, b) == Admission::Dropped && measured {
+                self.tallies.borrow_mut().counters[(a & SHARD_MASK) as usize].dropped += 1;
+            }
+        }
+    }
+}
+
+/// The health-check loop: one self-rescheduling event probes every shard
+/// each probe interval, feeds the K-of-N detector, and applies ejection
+/// / reintegration plus SNIC-rung failover on the detected edges.
+struct Prober {
+    me: RefCell<Weak<Prober>>,
+    rt: Rc<ChaosRt>,
+    /// Last observed SNIC-down state per shard, to catch the edge.
+    snic_was_down: RefCell<Vec<bool>>,
+}
+
+impl EventHandler for Prober {
+    fn on_event(&self, sim: &mut Simulator, _token: EventToken) {
+        let now = sim.now();
+        let rt = &self.rt;
+        let shards = rt.stations.len() as u32;
+        for shard in 0..shards {
+            let ok = !rt.state.borrow().node_down(shard);
+            let event = rt.health.borrow_mut().observe(shard, now, ok);
+            match event {
+                HealthEvent::Ejected => rt.eject(sim, shard),
+                HealthEvent::Reintegrated => rt.reintegrate(shard),
+                HealthEvent::None => {}
+            }
+            let snic_down = rt.state.borrow().snic_down(shard);
+            let was = std::mem::replace(
+                &mut self.snic_was_down.borrow_mut()[shard as usize],
+                snic_down,
+            );
+            if snic_down && !was {
+                rt.fail_accel_to_host(sim, shard);
+            }
+        }
+        let next = now + rt.cfg.health.probe_interval;
+        if next < rt.stop {
+            let me = self.me.borrow().upgrade().expect("prober outlives the run");
+            sim.schedule_event_at(next, me, EventToken::ZERO);
+        }
+    }
+}
+
+/// The hedge timer: fires once per hedged primary. If the primary is
+/// still in flight, a duplicate is issued to the ring successor; the
+/// completion handler settles the race first-completion-wins.
+struct Hedger {
+    rt: Rc<ChaosRt>,
+}
+
+impl EventHandler for Hedger {
+    fn on_event(&self, sim: &mut Simulator, token: EventToken) {
+        let rt = &self.rt;
+        let idx = token.a as u32;
+        let (shard, b) = {
+            let mut hs = rt.hedges.borrow_mut();
+            let slot = &mut hs.slots[idx as usize];
+            if slot.completed {
+                // The primary answered (or died at admission) before the
+                // delay: no duplicate, slot retires.
+                hs.release(idx);
+                return;
+            }
+            slot.fired = true;
+            (slot.shard, slot.b)
+        };
+        if rt.hedge_issued.get().saturating_mul(HEDGE_BUDGET) >= rt.hedge_seen.get() {
+            // Budget spent: the primary runs unhedged. The slot stays
+            // live so its completion settles and releases it.
+            return;
+        }
+        let target = {
+            let down = rt.down.borrow();
+            rt.ring.successor_shard(shard, &down)
+        };
+        let Some(target) = target else { return };
+        let (station, to_snic) = rt.rung(target);
+        if station.queue_len() >= HEDGE_TARGET_MAX_QUEUE {
+            // The race is already lost at submission: a queued duplicate
+            // only adds load. The primary runs unhedged.
+            return;
+        }
+        let demand = {
+            let mut r = rt.rng.borrow_mut();
+            let dist = if to_snic { &rt.accel_dist } else { &rt.host_dist };
+            SimDuration::from_secs_f64(dist.sample(&mut r).max(1.0) * 1e-9)
+        };
+        let a = u64::from(shard)
+            | if to_snic { SNIC_BIT } else { 0 }
+            | MEASURED_BIT
+            | HEDGED_BIT
+            | HEDGE_DUP_BIT
+            | (u64::from(idx) << HEDGE_SLOT_SHIFT);
+        if station.submit_tagged(sim, demand, a, b) != Admission::Dropped {
+            let mut hs = rt.hedges.borrow_mut();
+            hs.slots[idx as usize].outstanding += 1;
+            rt.hedge_issued.set(rt.hedge_issued.get() + 1);
+            rt.tallies.borrow_mut().counters[shard as usize].hedged += 1;
+        }
     }
 }
 
@@ -239,7 +742,7 @@ pub fn simulate(config: &FleetConfig) -> FleetReport {
 
 /// Runs the fleet simulation, collecting telemetry into `scope` when
 /// enabled: per-station timelines for every shard station plus the
-/// per-shard roll-ups in the RunReport v3 `shards` array.
+/// per-shard roll-ups in the RunReport v4 `shards` array.
 ///
 /// # Panics
 ///
@@ -297,10 +800,20 @@ pub fn simulate_in(config: &FleetConfig, scope: &RunScope) -> FleetReport {
         counters: vec![ShardCounters::default(); shard_count],
         hists: (0..shard_count).map(|_| LatencyHistogram::new()).collect(),
     }));
+    let hedges: Option<Rc<RefCell<HedgeArena>>> = config
+        .chaos
+        .as_ref()
+        .filter(|c| c.hedging)
+        .map(|_| Rc::new(RefCell::new(HedgeArena::default())));
+    let lat: Option<Rc<RefCell<LatencyHistogram>>> = hedges
+        .as_ref()
+        .map(|_| Rc::new(RefCell::new(LatencyHistogram::new())));
     let handler: Rc<dyn CompletionHandler> = Rc::new(FleetHandler {
         tallies: tallies.clone(),
         host_fixed,
         accel_fixed,
+        hedges: hedges.clone(),
+        lat: lat.clone(),
     });
     let stations: Rc<Vec<ShardStations>> = Rc::new(
         (0..config.rack.servers)
@@ -325,6 +838,57 @@ pub fn simulate_in(config: &FleetConfig, scope: &RunScope) -> FleetReport {
     let aggregate_gbps = config.per_server_gbps * config.rack.servers as f64;
     let pps = aggregate_gbps * 1e9 / 8.0 / bytes as f64;
 
+    // Chaos mode: inject the node-fault plan and arm the mitigations.
+    // `None` schedules nothing and draws nothing — the healthy path is
+    // byte-identical to a build without chaos support.
+    let chaos_rt: Option<Rc<ChaosRt>> = config.chaos.as_ref().map(|chaos| {
+        let plan = fault::chaos_plan(
+            config.seed,
+            chaos.spec,
+            config.rack.servers,
+            config.duration,
+        );
+        let state = fault::inject(&mut sim, &plan);
+        Rc::new(ChaosRt {
+            cfg: chaos.clone(),
+            state,
+            health: RefCell::new(HealthChecker::new(chaos.health, config.rack.servers)),
+            down: RefCell::new(Vec::new()),
+            hedges: hedges.clone().unwrap_or_default(),
+            lat: lat
+                .clone()
+                .unwrap_or_else(|| Rc::new(RefCell::new(LatencyHistogram::new()))),
+            hedge_delay_cache: Cell::new((0, SimDuration::ZERO)),
+            hedge_seen: Cell::new(0),
+            hedge_issued: Cell::new(0),
+            rng: RefCell::new(Rng::new(config.seed ^ 0xC4A0_55ED)),
+            stations: stations.clone(),
+            ring: ring.clone(),
+            tallies: tallies.clone(),
+            host_dist,
+            accel_dist,
+            accel_backlog: config.accel_backlog,
+            stop,
+        })
+    });
+    let hedger: Option<Rc<Hedger>> = chaos_rt
+        .as_ref()
+        .filter(|rt| rt.cfg.hedging)
+        .map(|rt| Rc::new(Hedger { rt: rt.clone() }));
+    if let Some(rt) = chaos_rt.as_ref().filter(|rt| rt.cfg.rebalance) {
+        let prober = Rc::new(Prober {
+            me: RefCell::new(Weak::new()),
+            rt: rt.clone(),
+            snic_was_down: RefCell::new(vec![false; shard_count]),
+        });
+        *prober.me.borrow_mut() = Rc::downgrade(&prober);
+        sim.schedule_event_at(
+            SimTime::ZERO + rt.cfg.health.probe_interval,
+            prober,
+            EventToken::ZERO,
+        );
+    }
+
     let gen = TrafficSpec::new(Poisson::at_pps(pps))
         .fixed_size(bytes)
         .flows(config.flows)
@@ -335,6 +899,8 @@ pub fn simulate_in(config: &FleetConfig, scope: &RunScope) -> FleetReport {
         let ring = ring.clone();
         let tallies = tallies.clone();
         let rng = rng.clone();
+        let chaos = chaos_rt.clone();
+        let hedger = hedger.clone();
         let accel_backlog = config.accel_backlog;
         let spill_threshold = config.spill_threshold;
         gen.launch(
@@ -342,14 +908,62 @@ pub fn simulate_in(config: &FleetConfig, scope: &RunScope) -> FleetReport {
             move |sim, packet| {
                 let measured = packet.created >= warmup_at;
                 let key = packet.flow_hash();
-                let home = ring.route(key) as usize;
+                let mut home = ring.route(key) as usize;
+                if let Some(rt) = &chaos {
+                    let down = rt.down.borrow();
+                    if down.binary_search(&(home as u32)).is_ok() {
+                        // The home shard is ejected: the ring rebalances
+                        // this arrival onto the successor arc.
+                        match ring.route_excluding_any(key, &down) {
+                            Some(next) => {
+                                if measured {
+                                    tallies.borrow_mut().counters[home].remapped += 1;
+                                }
+                                home = next as usize;
+                            }
+                            None => {
+                                // Every shard is out: nothing can serve.
+                                if measured {
+                                    let mut t = tallies.borrow_mut();
+                                    t.counters[home].sent += 1;
+                                    t.counters[home].dropped += 1;
+                                }
+                                return;
+                            }
+                        }
+                    } else if rt.state.borrow().node_down(home as u32) {
+                        // Down but not (yet) ejected — the request times
+                        // out against a dead node and is blackholed. The
+                        // no-rebalancing baseline spends whole fault
+                        // windows in this branch.
+                        if measured {
+                            let mut t = tallies.borrow_mut();
+                            t.counters[home].sent += 1;
+                            t.counters[home].dropped += 1;
+                        }
+                        return;
+                    }
+                }
                 // Bounded work stealing: an overloaded home shard spills
                 // the flow one ring hop clockwise, but only onto a
                 // strictly lighter shard (no cascades, no ping-pong).
                 let mut shard = home;
                 let home_load = stations[home].host.load();
                 if home_load >= spill_threshold {
-                    if let Some(next) = ring.route_excluding(key, home as u32) {
+                    let spill = match &chaos {
+                        None => ring.route_excluding(key, home as u32),
+                        Some(rt) => {
+                            // Never spill onto an ejected or dead shard.
+                            let down = rt.down.borrow();
+                            let mut excluded = down.clone();
+                            if let Err(at) = excluded.binary_search(&(home as u32)) {
+                                excluded.insert(at, home as u32);
+                            }
+                            ring.route_excluding_any(key, &excluded)
+                                .filter(|&next| !rt.state.borrow().node_down(next))
+                        }
+                    };
+                    if let Some(next) = spill {
                         if stations[next as usize].host.load() < home_load {
                             shard = next as usize;
                         }
@@ -358,11 +972,15 @@ pub fn simulate_in(config: &FleetConfig, scope: &RunScope) -> FleetReport {
                 let st = &stations[shard];
                 // The within-shard rung: accelerator while its backlog is
                 // short, host pool otherwise (host-only shards have no
-                // accelerator to consider).
+                // accelerator to consider; a crashed SNIC takes its rung
+                // out of the running).
                 let to_snic = st
                     .accel
                     .as_ref()
-                    .is_some_and(|a| a.queue_len() < accel_backlog);
+                    .is_some_and(|a| a.queue_len() < accel_backlog)
+                    && chaos
+                        .as_ref()
+                        .is_none_or(|rt| !rt.state.borrow().snic_down(shard as u32));
                 if measured {
                     let mut t = tallies.borrow_mut();
                     t.counters[shard].sent += 1;
@@ -379,13 +997,52 @@ pub fn simulate_in(config: &FleetConfig, scope: &RunScope) -> FleetReport {
                     let mut r = rng.borrow_mut();
                     SimDuration::from_secs_f64(dist.sample(&mut r).max(1.0) * 1e-9)
                 };
-                let token = shard as u64
+                let mut token = shard as u64
                     | if to_snic { SNIC_BIT } else { 0 }
                     | if measured { MEASURED_BIT } else { 0 };
+                // Hedging: measured primaries get a slot and a timer; if
+                // still unanswered at the timer, a duplicate races on the
+                // ring successor.
+                let mut hedge_slot = None;
+                if let (Some(rt), Some(hedger)) = (&chaos, &hedger) {
+                    if measured {
+                        rt.hedge_seen.set(rt.hedge_seen.get() + 1);
+                        let idx = rt
+                            .hedges
+                            .borrow_mut()
+                            .alloc(shard as u32, packet.created.as_nanos());
+                        token |= HEDGED_BIT | (u64::from(idx) << HEDGE_SLOT_SHIFT);
+                        let delay = rt.hedge_delay();
+                        let jitter = {
+                            let mut r = rt.rng.borrow_mut();
+                            r.below(delay.as_nanos() / 4 + 1)
+                        };
+                        let at = packet.created + delay + SimDuration::from_nanos(jitter);
+                        sim.schedule_event_at(
+                            at,
+                            hedger.clone(),
+                            EventToken {
+                                a: u64::from(idx),
+                                b: 0,
+                            },
+                        );
+                        hedge_slot = Some(idx);
+                    }
+                }
                 let admission =
                     station.submit_tagged(sim, demand, token, packet.created.as_nanos());
-                if admission == Admission::Dropped && measured {
-                    tallies.borrow_mut().counters[shard].dropped += 1;
+                if admission == Admission::Dropped {
+                    if measured {
+                        tallies.borrow_mut().counters[shard].dropped += 1;
+                    }
+                    if let (Some(rt), Some(idx)) = (&chaos, hedge_slot) {
+                        // The primary never entered service: settle the
+                        // slot so the timer cannot hedge a booked drop.
+                        let mut hs = rt.hedges.borrow_mut();
+                        let slot = &mut hs.slots[idx as usize];
+                        slot.completed = true;
+                        slot.outstanding -= 1;
+                    }
                 }
             },
         );
@@ -404,8 +1061,9 @@ pub fn simulate_in(config: &FleetConfig, scope: &RunScope) -> FleetReport {
             let c = t.counters[i];
             debug_assert_eq!(
                 c.sent,
-                c.completed + c.dropped,
-                "shard {i} books must balance after the drain"
+                c.completed + c.dropped + c.remapped_in_flight,
+                "shard {i} books must balance after the drain \
+                 (sent == completed + dropped + remapped_in_flight)"
             );
             let st = &stations[i];
             if !st.host.conservation_holds() {
@@ -436,6 +1094,13 @@ pub fn simulate_in(config: &FleetConfig, scope: &RunScope) -> FleetReport {
                 snic_completed: c.snic_completed,
                 spill_in: c.spill_in,
                 spill_out: c.spill_out,
+                down_windows: chaos_rt
+                    .as_ref()
+                    .map_or(0, |rt| rt.state.borrow().down_windows(i as u32)),
+                remapped: c.remapped,
+                remapped_in_flight: c.remapped_in_flight,
+                hedged: c.hedged,
+                hedge_wins: c.hedge_wins,
                 achieved_gbps,
                 p99_us,
                 host_util: host_stats.utilization(host_cpu.cores, now),
@@ -474,6 +1139,11 @@ pub fn simulate_in(config: &FleetConfig, scope: &RunScope) -> FleetReport {
         dropped,
         spills,
         shards_meeting_slo: shards.iter().filter(|s| s.slo_met).count() as u32,
+        down_windows: shards.iter().map(|s| s.down_windows).sum(),
+        remapped: shards.iter().map(|s| s.remapped).sum(),
+        remapped_in_flight: shards.iter().map(|s| s.remapped_in_flight).sum(),
+        hedged: shards.iter().map(|s| s.hedged).sum(),
+        hedge_wins: shards.iter().map(|s| s.hedge_wins).sum(),
     };
     let tco = fleet_tco(&shards);
 
@@ -763,5 +1433,115 @@ mod tests {
         let mut cfg = small_config(2, 1, 10.0);
         cfg.warmup = cfg.duration;
         let _ = simulate(&cfg);
+    }
+
+    fn chaos_config(servers: u32, snics: u32, gbps: f64, spec: ChaosSpec) -> FleetConfig {
+        let mut cfg = small_config(servers, snics, gbps);
+        cfg.chaos = Some(ChaosConfig::new(spec));
+        cfg
+    }
+
+    #[test]
+    fn chaos_extends_the_conservation_law_and_remaps_onto_survivors() {
+        let spec = ChaosSpec {
+            server_crashes: 2,
+            snic_crashes: 0,
+            blackouts: 0,
+        };
+        let report = simulate(&chaos_config(8, 3, 40.0, spec));
+        let mut dead = 0;
+        for s in &report.shards {
+            assert_eq!(
+                s.sent,
+                s.completed + s.dropped + s.remapped_in_flight,
+                "extended law must hold on shard {}",
+                s.shard
+            );
+            assert!(s.hedge_wins <= s.hedged, "shard {} wins exceed hedges", s.shard);
+            if s.down_windows > 0 {
+                dead += 1;
+            }
+        }
+        assert_eq!(dead, 2, "exactly the crashed servers log down windows");
+        assert_eq!(
+            report.cluster.sent,
+            report.cluster.completed + report.cluster.dropped + report.cluster.remapped_in_flight,
+            "extended law must hold cluster-wide"
+        );
+        assert!(
+            report.cluster.remapped > 0,
+            "draining dead shards must re-home in-flight work"
+        );
+        assert_eq!(
+            report.cluster.down_windows,
+            report.shards.iter().map(|s| s.down_windows).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let cfg = chaos_config(6, 2, 45.0, ChaosSpec::mixed());
+        let a = simulate(&cfg);
+        let b = simulate(&cfg);
+        assert_eq!(a, b, "chaos must replay exactly from the seed");
+    }
+
+    #[test]
+    fn rebalancing_beats_the_blackhole_baseline() {
+        let spec = ChaosSpec {
+            server_crashes: 2,
+            snic_crashes: 0,
+            blackouts: 1,
+        };
+        let mut baseline = chaos_config(8, 3, 40.0, spec);
+        let chaos = baseline.chaos.as_mut().unwrap();
+        chaos.rebalance = false;
+        chaos.hedging = false;
+        let blackhole = simulate(&baseline);
+        let rebalanced = simulate(&chaos_config(8, 3, 40.0, spec));
+        assert!(
+            rebalanced.cluster.loss_rate < blackhole.cluster.loss_rate,
+            "rebalancing must shrink the SLO-violation fraction: {} vs {}",
+            rebalanced.cluster.loss_rate,
+            blackhole.cluster.loss_rate
+        );
+        assert_eq!(blackhole.cluster.remapped, 0, "no rebalancing, no remaps");
+        assert_eq!(blackhole.cluster.hedged, 0, "no hedging, no duplicates");
+    }
+
+    #[test]
+    fn hedges_fire_under_chaos_and_never_double_count() {
+        // Saturating load keeps the tail fat enough for the 200 µs hedge
+        // delay to trip; dead nodes make the successor path interesting.
+        let spec = ChaosSpec {
+            server_crashes: 1,
+            snic_crashes: 1,
+            blackouts: 0,
+        };
+        let report = simulate(&chaos_config(6, 2, 80.0, spec));
+        assert!(report.cluster.hedged > 0, "overload tail should trip hedges");
+        assert!(report.cluster.hedge_wins <= report.cluster.hedged);
+        assert_eq!(
+            report.cluster.sent,
+            report.cluster.completed + report.cluster.dropped + report.cluster.remapped_in_flight,
+            "hedge duplicates must stay off the books"
+        );
+    }
+
+    #[test]
+    fn healthy_chaos_config_with_empty_spec_changes_nothing() {
+        let empty = ChaosSpec {
+            server_crashes: 0,
+            snic_crashes: 0,
+            blackouts: 0,
+        };
+        let mut cfg = chaos_config(5, 2, 35.0, empty);
+        cfg.chaos.as_mut().unwrap().hedging = false;
+        let with_plan = simulate(&cfg);
+        let healthy = simulate(&small_config(5, 2, 35.0));
+        assert_eq!(
+            with_plan.shards, healthy.shards,
+            "an empty fault plan must not perturb the healthy books"
+        );
     }
 }

@@ -138,15 +138,49 @@ impl HashRing {
     /// the spill target when `key`'s home shard is overloaded. Returns
     /// `None` when `excluded` is the only member.
     pub fn route_excluding(&self, key: u64, excluded: u32) -> Option<u32> {
-        if self.points.is_empty() || (self.shards.len() == 1 && self.shards[0] == excluded) {
+        self.route_excluding_any(key, &[excluded])
+    }
+
+    /// The first shard clockwise of `key` that is not in `excluded` — the
+    /// rebalancing target when `key`'s home shard (and possibly others)
+    /// have been ejected from service. `excluded` must be sorted so
+    /// membership is a binary search (the hot path allocates nothing).
+    /// Returns `None` when every member shard is excluded.
+    pub fn route_excluding_any(&self, key: u64, excluded: &[u32]) -> Option<u32> {
+        debug_assert!(
+            excluded.windows(2).all(|w| w[0] < w[1]),
+            "exclusion set must be sorted and duplicate-free"
+        );
+        if self.points.is_empty() {
             return None;
         }
         let start = self.successor(key);
         let n = self.points.len();
         for step in 0..n {
             let shard = self.points[(start + step) % n].1;
-            if shard != excluded {
+            if excluded.binary_search(&shard).is_err() {
                 return Some(shard);
+            }
+        }
+        None
+    }
+
+    /// The ring successor of a *shard*: the first other shard clockwise
+    /// of `shard`'s lowest ring point that is not in `excluded` (sorted).
+    /// This is where a dead shard's in-flight work drains to and where a
+    /// hedged request sends its duplicate. Returns `None` when `shard`
+    /// has no points or every other shard is excluded.
+    pub fn successor_shard(&self, shard: u32, excluded: &[u32]) -> Option<u32> {
+        debug_assert!(
+            excluded.windows(2).all(|w| w[0] < w[1]),
+            "exclusion set must be sorted and duplicate-free"
+        );
+        let start = self.points.iter().position(|&(_, s)| s == shard)?;
+        let n = self.points.len();
+        for step in 1..=n {
+            let s = self.points[(start + step) % n].1;
+            if s != shard && excluded.binary_search(&s).is_err() {
+                return Some(s);
             }
         }
         None
@@ -201,6 +235,32 @@ mod tests {
             let b = ring.route_excluding(key, home);
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn shard_successor_skips_the_dead_and_the_self() {
+        let ring = HashRing::over(8);
+        for shard in 0..8 {
+            let succ = ring.successor_shard(shard, &[]).expect("7 candidates");
+            assert_ne!(succ, shard);
+            assert_eq!(
+                ring.successor_shard(shard, &[]),
+                Some(succ),
+                "successor is a pure function"
+            );
+            // Excluding the successor walks further clockwise, never back
+            // to the dead shard itself.
+            let mut excluded = vec![succ];
+            excluded.sort_unstable();
+            let next = ring.successor_shard(shard, &excluded).expect("6 left");
+            assert_ne!(next, shard);
+            assert_ne!(next, succ);
+        }
+        // Every other shard excluded: nowhere to drain.
+        let all_but_3: Vec<u32> = (0..8).filter(|&s| s != 3).collect();
+        assert_eq!(ring.successor_shard(3, &all_but_3), None);
+        // A shard with no ring points has no successor.
+        assert_eq!(ring.successor_shard(99, &[]), None);
     }
 
     #[test]
@@ -298,6 +358,78 @@ mod tests {
             ring.add_shard(shards + 7);
             ring.remove_shard(shards + 7);
             prop_assert_eq!(ring, before);
+        }
+
+        /// Exclusion-set routing survives a near-total blackout: with all
+        /// but one shard excluded every key resolves to the lone survivor,
+        /// and with every shard excluded routing returns `None`.
+        #[test]
+        fn exclusion_set_routes_to_the_lone_survivor(
+            shards in 2u32..32,
+            survivor_ix in 0u32..32,
+            salt in 0u64..1_000,
+        ) {
+            let survivor = survivor_ix % shards;
+            let ring = HashRing::over(shards);
+            let down: Vec<u32> = (0..shards).filter(|&s| s != survivor).collect();
+            let all: Vec<u32> = (0..shards).collect();
+            for k in 0..500u64 {
+                let key = k.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ salt;
+                prop_assert_eq!(ring.route_excluding_any(key, &down), Some(survivor));
+                prop_assert_eq!(ring.route_excluding_any(key, &all), None);
+            }
+        }
+
+        /// Minimal remapping under ejection: a key whose home shard is in
+        /// the exclusion set lands exactly where a ring *without* those
+        /// shards would route it (its ring successor among the survivors),
+        /// and a key whose home is healthy does not move at all.
+        #[test]
+        fn ejection_remaps_only_onto_ring_successors(
+            shards in 3u32..48,
+            down_a in 0u32..48,
+            down_b in 0u32..48,
+            salt in 0u64..1_000,
+        ) {
+            let ring = HashRing::over(shards);
+            let mut down = vec![down_a % shards, down_b % shards];
+            down.sort_unstable();
+            down.dedup();
+            let mut survivors = ring.clone();
+            for &s in &down {
+                survivors.remove_shard(s);
+            }
+            for k in 0..2_000u64 {
+                let key = k.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+                let home = ring.route(key);
+                let routed = ring.route_excluding_any(key, &down).expect("survivors exist");
+                prop_assert_eq!(
+                    routed,
+                    survivors.route(key),
+                    "exclusion routing must match the shrunken ring"
+                );
+                if down.binary_search(&home).is_err() {
+                    prop_assert_eq!(routed, home, "healthy keys must not move");
+                }
+            }
+        }
+
+        /// The single-shard wrapper is exactly the one-element set.
+        #[test]
+        fn single_exclusion_wrapper_matches_the_set_form(
+            shards in 2u32..32,
+            excluded_ix in 0u32..32,
+            salt in 0u64..1_000,
+        ) {
+            let excluded = excluded_ix % shards;
+            let ring = HashRing::over(shards);
+            for k in 0..500u64 {
+                let key = k.wrapping_mul(0xD134_2543_DE82_EF95) ^ salt;
+                prop_assert_eq!(
+                    ring.route_excluding(key, excluded),
+                    ring.route_excluding_any(key, &[excluded])
+                );
+            }
         }
     }
 }

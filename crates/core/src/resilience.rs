@@ -16,6 +16,10 @@
 //! * **Graceful-degradation failover** along the paper's own platform
 //!   ladder ([`failover_ladder`]): accelerator → SNIC Arm cores → host
 //!   Xeon, skipping rungs Table 3 never calibrated.
+//! * **Fleet-scale health checking** ([`HealthChecker`]) — a per-shard
+//!   probe window with K-of-N failure detection ejects dead shards from
+//!   the consistent-hash ring, and half-open probation (the breaker's
+//!   cooldown rule) reintegrates them once they answer probes again.
 //!
 //! [`ResilienceSpec`] packages the "Fig. 4 under failure" experiment: for
 //! each platform of a workload it finds the healthy operating point, then
@@ -169,6 +173,196 @@ impl CircuitBreaker {
     /// The current state.
     pub fn state(&self) -> BreakerState {
         self.state
+    }
+}
+
+/// Health-check cadence and detection thresholds for fleet-scale ejection.
+///
+/// The checker probes every shard each `probe_interval`; a shard whose
+/// last `window` probes contain at least `threshold` failures is ejected
+/// from the consistent-hash ring (K-of-N detection, so a single flapping
+/// probe cannot eject). After `cooldown` the shard enters probation —
+/// the [`CircuitBreaker`] half-open rule — and one probe decides between
+/// reintegration and another full cooldown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthSettings {
+    /// Gap between probe rounds (every shard is probed each round).
+    pub probe_interval: SimDuration,
+    /// Probe outcomes considered for detection (N of K-of-N), in `1..=63`.
+    pub window: u32,
+    /// Failures within the window that eject (K of K-of-N).
+    pub threshold: u32,
+    /// How long an ejected shard sits out before its probation probe.
+    pub cooldown: SimDuration,
+}
+
+impl HealthSettings {
+    /// The deployment default: probe every 50 µs, eject on 3 failures out
+    /// of the last 8 probes, probation after a 200 µs cooldown (the same
+    /// cooldown as [`BreakerSettings::standard`]).
+    pub fn standard() -> Self {
+        HealthSettings {
+            probe_interval: SimDuration::from_micros(50),
+            window: 8,
+            threshold: 3,
+            cooldown: SimDuration::from_micros(200),
+        }
+    }
+}
+
+/// Where a shard stands with the health checker. The states mirror the
+/// [`BreakerState`] triple: `Healthy` ↔ closed, `Ejected` ↔ open,
+/// `Probation` ↔ half-open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// In the ring; probes feed the K-of-N window.
+    Healthy,
+    /// Out of the ring; probes are ignored until the cooldown elapses.
+    Ejected,
+    /// Cooldown elapsed; the next probe decides reintegration.
+    Probation,
+}
+
+/// What a probe observation changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthEvent {
+    /// No state transition.
+    None,
+    /// The shard crossed the K-of-N threshold and left the ring.
+    Ejected,
+    /// A probation probe succeeded and the shard rejoined the ring.
+    Reintegrated,
+}
+
+/// Per-shard probe bookkeeping.
+#[derive(Debug, Clone)]
+struct ShardHealth {
+    state: HealthState,
+    /// Failure bits of the last `window` probes, LSB newest.
+    mask: u64,
+    ejected_at: SimTime,
+    ejections: u64,
+    reintegrations: u64,
+}
+
+/// Deterministic ejection/reintegration state machine over a fixed shard
+/// fleet. Pure state — the caller owns probe scheduling (on simulated
+/// time) and ring membership; the checker only decides transitions, so
+/// the same probe sequence always yields the same ejection history.
+#[derive(Debug, Clone)]
+pub struct HealthChecker {
+    settings: HealthSettings,
+    shards: Vec<ShardHealth>,
+}
+
+impl HealthChecker {
+    /// A checker over `shards` shards, all healthy.
+    pub fn new(settings: HealthSettings, shards: u32) -> Self {
+        assert!(
+            (1..=63).contains(&settings.window),
+            "window must be in 1..=63"
+        );
+        assert!(
+            settings.threshold >= 1 && settings.threshold <= settings.window,
+            "threshold must be in 1..=window"
+        );
+        HealthChecker {
+            settings,
+            shards: vec![
+                ShardHealth {
+                    state: HealthState::Healthy,
+                    mask: 0,
+                    ejected_at: SimTime::ZERO,
+                    ejections: 0,
+                    reintegrations: 0,
+                };
+                shards as usize
+            ],
+        }
+    }
+
+    /// The settings this checker runs with.
+    pub fn settings(&self) -> HealthSettings {
+        self.settings
+    }
+
+    /// Feed one probe outcome for `shard` observed at `now`; returns the
+    /// transition it caused, if any. An ejected shard ignores probes until
+    /// its cooldown elapses; the first probe after that is the probation
+    /// probe — success reintegrates, failure re-arms the full cooldown.
+    pub fn observe(&mut self, shard: u32, now: SimTime, ok: bool) -> HealthEvent {
+        let window = self.settings.window;
+        let threshold = self.settings.threshold;
+        let cooldown = self.settings.cooldown;
+        let s = &mut self.shards[shard as usize];
+        match s.state {
+            HealthState::Healthy | HealthState::Probation => {
+                s.mask = ((s.mask << 1) | u64::from(!ok)) & ((1u64 << window) - 1);
+                if s.mask.count_ones() >= threshold {
+                    s.state = HealthState::Ejected;
+                    s.ejected_at = now;
+                    s.ejections += 1;
+                    s.mask = 0;
+                    HealthEvent::Ejected
+                } else {
+                    HealthEvent::None
+                }
+            }
+            HealthState::Ejected => {
+                if now < s.ejected_at + cooldown {
+                    return HealthEvent::None;
+                }
+                if ok {
+                    s.state = HealthState::Healthy;
+                    s.reintegrations += 1;
+                    s.mask = 0;
+                    HealthEvent::Reintegrated
+                } else {
+                    s.ejected_at = now;
+                    HealthEvent::None
+                }
+            }
+        }
+    }
+
+    /// The stored state, surfacing `Probation` once `now` passes the
+    /// ejection cooldown (mirrors [`CircuitBreaker::allows`] auto
+    /// half-opening without mutating on a read).
+    pub fn state_at(&self, shard: u32, now: SimTime) -> HealthState {
+        let s = &self.shards[shard as usize];
+        match s.state {
+            HealthState::Ejected if now >= s.ejected_at + self.settings.cooldown => {
+                HealthState::Probation
+            }
+            other => other,
+        }
+    }
+
+    /// Whether `shard` is currently out of the ring (ejected or awaiting
+    /// its probation probe).
+    pub fn is_ejected(&self, shard: u32) -> bool {
+        self.shards[shard as usize].state == HealthState::Ejected
+    }
+
+    /// The sorted exclusion set for
+    /// [`ConsistentRing::route_excluding_any`].
+    ///
+    /// [`ConsistentRing::route_excluding_any`]:
+    ///     crate::loadbalancer::ring::ConsistentRing::route_excluding_any
+    pub fn ejected_set(&self) -> Vec<u32> {
+        (0..self.shards.len() as u32)
+            .filter(|&s| self.is_ejected(s))
+            .collect()
+    }
+
+    /// Lifetime ejections of `shard`.
+    pub fn ejections(&self, shard: u32) -> u64 {
+        self.shards[shard as usize].ejections
+    }
+
+    /// Lifetime reintegrations of `shard`.
+    pub fn reintegrations(&self, shard: u32) -> u64 {
+        self.shards[shard as usize].reintegrations
     }
 }
 
@@ -576,6 +770,66 @@ mod tests {
         assert!(b.allows(t2));
         b.record_success();
         assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn health_checker_ejects_on_k_of_n_not_consecutive() {
+        let settings = HealthSettings {
+            probe_interval: SimDuration::from_micros(50),
+            window: 8,
+            threshold: 3,
+            cooldown: SimDuration::from_micros(200),
+        };
+        let mut hc = HealthChecker::new(settings, 4);
+        let mut now = SimTime::ZERO;
+        let tick = settings.probe_interval;
+        // Interleaved failures: F ok F ok F — 3 failures inside an
+        // 8-probe window eject even though none are consecutive.
+        let seq = [false, true, false, true];
+        for &ok in &seq {
+            assert_eq!(hc.observe(1, now, ok), HealthEvent::None);
+            now = now + tick;
+        }
+        assert_eq!(hc.observe(1, now, false), HealthEvent::Ejected);
+        assert!(hc.is_ejected(1));
+        assert_eq!(hc.ejected_set(), vec![1]);
+        assert_eq!(hc.ejections(1), 1);
+        // Other shards are untouched.
+        assert_eq!(hc.state_at(0, now), HealthState::Healthy);
+    }
+
+    #[test]
+    fn health_checker_probation_probe_decides_reintegration() {
+        let mut hc = HealthChecker::new(HealthSettings::standard(), 2);
+        let cooldown = hc.settings().cooldown;
+        let t0 = SimTime::ZERO;
+        // Eject shard 0 with 3 straight failures.
+        for _ in 0..3 {
+            hc.observe(0, t0, false);
+        }
+        assert!(hc.is_ejected(0));
+        // Probes during the cooldown are ignored — even successes.
+        let early = t0 + SimDuration::from_micros(50);
+        assert_eq!(hc.observe(0, early, true), HealthEvent::None);
+        assert!(hc.is_ejected(0));
+        // Cooldown elapses: the state reads probation without mutation.
+        let t1 = t0 + cooldown;
+        assert_eq!(hc.state_at(0, t1), HealthState::Probation);
+        // A failed probation probe re-arms the full cooldown.
+        assert_eq!(hc.observe(0, t1, false), HealthEvent::None);
+        assert!(hc.is_ejected(0));
+        assert_eq!(hc.state_at(0, t1 + cooldown - SimDuration::from_nanos(1)), HealthState::Ejected);
+        // A successful probe after the re-armed cooldown reintegrates.
+        let t2 = t1 + cooldown;
+        assert_eq!(hc.observe(0, t2, true), HealthEvent::Reintegrated);
+        assert_eq!(hc.state_at(0, t2), HealthState::Healthy);
+        assert!(hc.ejected_set().is_empty());
+        assert_eq!(hc.ejections(0), 1);
+        assert_eq!(hc.reintegrations(0), 1);
+        // The detection window restarted clean: two failures do not eject.
+        hc.observe(0, t2, false);
+        assert_eq!(hc.observe(0, t2, false), HealthEvent::None);
+        assert_eq!(hc.observe(0, t2, false), HealthEvent::Ejected);
     }
 
     #[test]

@@ -2,9 +2,9 @@
 //!
 //! Fig. 5 plots throughput and p99 latency of REM against the offered
 //! packet rate for the host CPU (1 and 8 cores) and the SNIC accelerator,
-//! with MTU packets. [`rate_sweep`] reproduces the procedure for any
-//! workload/platform: run at each offered rate, record achieved rate and
-//! p99, and flag the points past the knee (where the server no longer
+//! with MTU packets. [`Scenario::sweep`] reproduces the procedure for
+//! any workload/platform: run at each offered rate, record achieved rate
+//! and p99, and flag the points past the knee (where the server no longer
 //! absorbs the offered load — the dotted line segments in the paper's
 //! figure).
 
@@ -57,22 +57,6 @@ impl SweepConfig {
             seed: 0xF1605,
         }
     }
-}
-
-/// Runs the sweep serially.
-#[deprecated(since = "0.3.0", note = "use `Scenario::sweep(config).run(&ctx)`")]
-pub fn rate_sweep(config: &SweepConfig) -> Vec<SweepPoint> {
-    Scenario::sweep(config.clone()).run(&RunContext::disabled())
-}
-
-/// Runs the sweep, fanning the independent rate points out over the
-/// executor.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `Scenario::sweep(config).run_with(&ctx, &executor)`"
-)]
-pub fn rate_sweep_with(config: &SweepConfig, executor: &Executor) -> Vec<SweepPoint> {
-    Scenario::sweep(config.clone()).run_with(&RunContext::disabled(), executor)
 }
 
 /// The run config of one sweep point.

@@ -40,7 +40,11 @@ use crate::runner::RunMetrics;
 ///
 /// v3: every run carries a `shards` array (empty for single-pair runs);
 /// fleet runs fill it with per-shard roll-ups ([`ShardRollup`]).
-pub const RUN_REPORT_SCHEMA: &str = "snicbench.run-report.v3";
+///
+/// v4: each shard roll-up grows degraded-fleet accounting —
+/// `down_windows`, `remapped`, `remapped_in_flight`, `hedged`,
+/// `hedge_wins` — all zero on healthy runs, populated under `--chaos`.
+pub const RUN_REPORT_SCHEMA: &str = "snicbench.run-report.v4";
 
 /// Raw trace records kept per run (most recent events win).
 pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
@@ -274,6 +278,19 @@ pub struct ShardRollup {
     pub spill_in: u64,
     /// Measured requests this shard spilled *away* while overloaded.
     pub spill_out: u64,
+    /// Node-fault windows (server crash / SNIC crash / blackout) that
+    /// opened on this shard. Zero on healthy runs.
+    pub down_windows: u64,
+    /// Measured requests rebalanced off this shard while it was ejected
+    /// (diverted arrivals plus drained in-flight work).
+    pub remapped: u64,
+    /// Drained in-flight requests that finish elsewhere — the extra term
+    /// in `sent == completed + dropped + remapped_in_flight`.
+    pub remapped_in_flight: u64,
+    /// Hedge duplicates issued for this shard's requests.
+    pub hedged: u64,
+    /// Hedge races the duplicate won.
+    pub hedge_wins: u64,
     /// Goodput over the measurement window, Gb/s.
     pub achieved_gbps: f64,
     /// p99 round-trip latency, µs.
@@ -509,6 +526,11 @@ fn run_json(run: &RunTelemetry) -> Json {
                     ("snic_completed", Json::U64(s.snic_completed)),
                     ("spill_in", Json::U64(s.spill_in)),
                     ("spill_out", Json::U64(s.spill_out)),
+                    ("down_windows", Json::U64(s.down_windows)),
+                    ("remapped", Json::U64(s.remapped)),
+                    ("remapped_in_flight", Json::U64(s.remapped_in_flight)),
+                    ("hedged", Json::U64(s.hedged)),
+                    ("hedge_wins", Json::U64(s.hedge_wins)),
                     ("achieved_gbps", Json::Num(s.achieved_gbps)),
                     ("p99_us", Json::Num(s.p99_us)),
                     ("host_util", Json::Num(s.host_util)),

@@ -23,8 +23,6 @@
 //!   per-tenant payload mixes, and seeded flow churn with exact books
 //!   ([`FlowChurn`]).
 //!
-//! The legacy [`OpenLoop`] client survives as a thin shim over
-//! [`TrafficSpec`]; its `paced`/`poisson` constructors are deprecated.
 //! Every process draws from the batched [`DrawStream`] in a fixed order
 //! (packet size first, then the gap), so results are byte-identical to the
 //! pre-trait generator and independent of `--jobs`.
@@ -341,74 +339,6 @@ impl TrafficSpec {
         *handler.me.borrow_mut() = Rc::downgrade(&handler);
         handler.schedule(sim, self.start);
         stats
-    }
-}
-
-/// The legacy open-loop client, kept as a shim over [`TrafficSpec`] for
-/// code that still carries the pre-0.6 shape around.
-#[derive(Debug, Clone)]
-pub struct OpenLoop {
-    /// Departure process.
-    pub arrival: ArrivalKind,
-    /// Packet sizing.
-    pub size: SizeSource,
-    /// Number of distinct flows to spread packets over.
-    pub flows: u64,
-    /// RNG seed (departure jitter and payload seeds derive from it).
-    pub seed: u64,
-    /// First departure instant.
-    pub start: SimTime,
-    /// No departures at or after this instant.
-    pub stop: SimTime,
-}
-
-impl OpenLoop {
-    /// A paced generator of fixed-size packets over 64 flows.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use TrafficSpec::new(Paced::at_pps(..)) or RateDriven"
-    )]
-    pub fn paced(size_bytes: u64, start: SimTime, stop: SimTime) -> Self {
-        OpenLoop {
-            arrival: ArrivalKind::Paced,
-            size: SizeSource::Fixed(size_bytes),
-            flows: 64,
-            seed: 0xC11E47,
-            start,
-            stop,
-        }
-    }
-
-    /// A Poisson generator of fixed-size packets over 64 flows.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use TrafficSpec::new(Poisson::at_pps(..)) or RateDriven"
-    )]
-    pub fn poisson(size_bytes: u64, start: SimTime, stop: SimTime) -> Self {
-        OpenLoop {
-            arrival: ArrivalKind::Poisson,
-            size: SizeSource::Fixed(size_bytes),
-            flows: 64,
-            seed: 0xC11E47,
-            start,
-            stop,
-        }
-    }
-
-    /// Launches the generator into `sim` by delegating to
-    /// [`TrafficSpec::launch`] with a [`RateDriven`] process wrapping
-    /// `rate_pps`. Byte-identical to the pre-trait generator.
-    pub fn launch<R, F>(self, sim: &mut Simulator, rate_pps: R, sink: F) -> Rc<RefCell<GenStats>>
-    where
-        R: Fn(SimTime) -> f64 + 'static,
-        F: FnMut(&mut Simulator, Packet) + 'static,
-    {
-        TrafficSpec::new(RateDriven::new(self.arrival, rate_pps))
-            .size(self.size)
-            .flows(self.flows)
-            .seed(self.seed)
-            .window(self.start, self.stop)
-            .launch(sim, sink)
     }
 }
 
@@ -1031,57 +961,6 @@ mod tests {
             });
         sim.run();
         assert!(*ok.borrow());
-    }
-
-    /// The shim contract: the deprecated constructors must reproduce the
-    /// trait-based path byte for byte (same seed, same packet stream).
-    #[test]
-    #[allow(deprecated)]
-    fn openloop_shims_match_trafficspec_exactly() {
-        let window = (SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(50));
-        let collect_shim = |kind: ArrivalKind| {
-            let mut sim = Simulator::new();
-            let gen = match kind {
-                ArrivalKind::Paced => OpenLoop::paced(1024, window.0, window.1),
-                ArrivalKind::Poisson => OpenLoop::poisson(1024, window.0, window.1),
-            };
-            let seen = Rc::new(RefCell::new(Vec::new()));
-            let s = seen.clone();
-            gen.launch(
-                &mut sim,
-                |_| 100_000.0,
-                move |sim, p| s.borrow_mut().push((sim.now(), p.id, p.flow_id)),
-            );
-            sim.run();
-            Rc::try_unwrap(seen).expect("sim done").into_inner()
-        };
-        let collect_spec = |kind: ArrivalKind| {
-            let mut sim = Simulator::new();
-            let process: Box<dyn ArrivalProcess> = match kind {
-                ArrivalKind::Paced => Box::new(Paced::at_pps(100_000.0)),
-                ArrivalKind::Poisson => Box::new(Poisson::at_pps(100_000.0)),
-            };
-            let spec = TrafficSpec {
-                arrival: process,
-                size: SizeSource::Fixed(1024),
-                flows: 64,
-                seed: 0xC11E47,
-                start: window.0,
-                stop: window.1,
-            };
-            let seen = Rc::new(RefCell::new(Vec::new()));
-            let s = seen.clone();
-            spec.launch(&mut sim, move |sim, p| {
-                s.borrow_mut().push((sim.now(), p.id, p.flow_id));
-            });
-            sim.run();
-            Rc::try_unwrap(seen).expect("sim done").into_inner()
-        };
-        for kind in [ArrivalKind::Paced, ArrivalKind::Poisson] {
-            let shim = collect_shim(kind);
-            assert!(!shim.is_empty());
-            assert_eq!(shim, collect_spec(kind), "{kind:?} shim diverged");
-        }
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! records, so a Chrome trace shows exactly when the run degraded.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use crate::engine::{Event, Simulator};
@@ -48,11 +49,20 @@ pub enum FaultClass {
     PacketLossBurst,
     /// The power sensor stops reporting samples.
     SensorDropout,
+    /// A whole server node crashes: its host pool (and accelerator, if
+    /// any) serve nothing until the node recovers.
+    ServerCrash,
+    /// One shard's SmartNIC dies while its host pool keeps serving: the
+    /// accelerator rung disappears for the window.
+    SnicCrash,
+    /// A shard becomes unreachable (ToR port down, management-plane
+    /// fence): its stations are fine but no traffic can reach them.
+    ShardBlackout,
 }
 
 impl FaultClass {
-    /// Every class, in a stable order (used by plan generation and docs).
-    pub const ALL: [FaultClass; 7] = [
+    /// Every class, in a stable order (used by docs and reports).
+    pub const ALL: [FaultClass; 10] = [
         FaultClass::AcceleratorStall,
         FaultClass::AcceleratorFailure,
         FaultClass::ArmCoreOffline,
@@ -60,6 +70,32 @@ impl FaultClass {
         FaultClass::LinkFlap,
         FaultClass::PacketLossBurst,
         FaultClass::SensorDropout,
+        FaultClass::ServerCrash,
+        FaultClass::SnicCrash,
+        FaultClass::ShardBlackout,
+    ];
+
+    /// The station-scoped classes — the original seven that degrade one
+    /// server+SNIC pair from the inside. [`FaultPlan::generate`] draws
+    /// from exactly this set (in this order), so adding node-level
+    /// classes never perturbs an existing plan's RNG streams.
+    pub const STATION: [FaultClass; 7] = [
+        FaultClass::AcceleratorStall,
+        FaultClass::AcceleratorFailure,
+        FaultClass::ArmCoreOffline,
+        FaultClass::PcieDegraded,
+        FaultClass::LinkFlap,
+        FaultClass::PacketLossBurst,
+        FaultClass::SensorDropout,
+    ];
+
+    /// The node-scoped classes: whole rungs of a fleet shard die at once.
+    /// Scheduled only through [`chaos_plan`], never by
+    /// [`FaultPlan::generate`].
+    pub const NODE: [FaultClass; 3] = [
+        FaultClass::ServerCrash,
+        FaultClass::SnicCrash,
+        FaultClass::ShardBlackout,
     ];
 
     /// A stable short name for traces and reports.
@@ -72,6 +108,9 @@ impl FaultClass {
             FaultClass::LinkFlap => "link-flap",
             FaultClass::PacketLossBurst => "loss-burst",
             FaultClass::SensorDropout => "sensor-dropout",
+            FaultClass::ServerCrash => "server-crash",
+            FaultClass::SnicCrash => "snic-crash",
+            FaultClass::ShardBlackout => "shard-blackout",
         }
     }
 }
@@ -105,6 +144,21 @@ pub enum FaultKind {
     },
     /// Power samples are suppressed inside the window.
     SensorDropout,
+    /// Fleet shard `shard`'s whole server node is down.
+    ServerCrash {
+        /// The crashed shard.
+        shard: u32,
+    },
+    /// Fleet shard `shard`'s SmartNIC is down (host pool keeps serving).
+    SnicCrash {
+        /// The shard whose SNIC died.
+        shard: u32,
+    },
+    /// Fleet shard `shard` is unreachable.
+    ShardBlackout {
+        /// The fenced shard.
+        shard: u32,
+    },
 }
 
 impl FaultKind {
@@ -118,6 +172,20 @@ impl FaultKind {
             FaultKind::LinkFlap => FaultClass::LinkFlap,
             FaultKind::PacketLossBurst { .. } => FaultClass::PacketLossBurst,
             FaultKind::SensorDropout => FaultClass::SensorDropout,
+            FaultKind::ServerCrash { .. } => FaultClass::ServerCrash,
+            FaultKind::SnicCrash { .. } => FaultClass::SnicCrash,
+            FaultKind::ShardBlackout { .. } => FaultClass::ShardBlackout,
+        }
+    }
+
+    /// The fleet shard a node-scoped fault targets (`None` for the
+    /// station-scoped classes).
+    pub fn shard(&self) -> Option<u32> {
+        match self {
+            FaultKind::ServerCrash { shard }
+            | FaultKind::SnicCrash { shard }
+            | FaultKind::ShardBlackout { shard } => Some(*shard),
+            _ => None,
         }
     }
 }
@@ -181,7 +249,7 @@ impl FaultPlan {
             return FaultPlan { events };
         }
         let root = Rng::new(seed);
-        for (stream, class) in FaultClass::ALL.iter().enumerate() {
+        for (stream, class) in FaultClass::STATION.iter().enumerate() {
             let mut rng = root.fork(stream as u64 + 1);
             let whole = intensity.floor();
             let count = whole + if rng.chance(intensity - whole) { 1.0 } else { 0.0 };
@@ -215,6 +283,7 @@ impl FaultPlan {
                         loss: rng.range_f64(0.05, 0.5),
                     },
                     FaultClass::SensorDropout => FaultKind::SensorDropout,
+                    _ => unreachable!("STATION holds no node-scoped class"),
                 };
                 events.push(FaultEvent {
                     kind,
@@ -255,6 +324,143 @@ impl FaultPlan {
     }
 }
 
+/// How many node-level failures a chaos run schedules, per class. Parsed
+/// from the `--chaos <plan>` CLI spec (see [`ChaosSpec::parse`]) and
+/// expanded into timed windows by [`chaos_plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosSpec {
+    /// Whole server nodes that crash (host pool + accelerator both die).
+    pub server_crashes: u32,
+    /// SmartNICs that die while their host pool keeps serving.
+    pub snic_crashes: u32,
+    /// Shards fenced off the network (stations healthy, unreachable).
+    pub blackouts: u32,
+}
+
+impl ChaosSpec {
+    /// The canned `mixed` plan: two server crashes, one SNIC crash, one
+    /// blackout.
+    pub fn mixed() -> Self {
+        ChaosSpec {
+            server_crashes: 2,
+            snic_crashes: 1,
+            blackouts: 1,
+        }
+    }
+
+    /// Parses a CLI chaos spec: `+`-separated terms of `crashN`, `snicN`,
+    /// and `blackoutN` (e.g. `crash4`, `crash2+snic1`), or the literal
+    /// `mixed`. Returns `None` on anything else or an all-zero spec.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s == "mixed" {
+            return Some(Self::mixed());
+        }
+        let mut spec = ChaosSpec::default();
+        for term in s.split('+') {
+            let (field, digits): (&mut u32, &str) = if let Some(n) = term.strip_prefix("crash") {
+                (&mut spec.server_crashes, n)
+            } else if let Some(n) = term.strip_prefix("snic") {
+                (&mut spec.snic_crashes, n)
+            } else if let Some(n) = term.strip_prefix("blackout") {
+                (&mut spec.blackouts, n)
+            } else {
+                return None;
+            };
+            *field = digits.parse().ok()?;
+        }
+        if spec.total() == 0 {
+            None
+        } else {
+            Some(spec)
+        }
+    }
+
+    /// Total node failures the spec schedules.
+    pub fn total(&self) -> u32 {
+        self.server_crashes + self.snic_crashes + self.blackouts
+    }
+}
+
+impl std::fmt::Display for ChaosSpec {
+    /// Renders the spec in the `--chaos` grammar it parses from, zero
+    /// terms omitted (an all-zero spec renders as `crash0`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.total() == 0 {
+            return write!(f, "crash0");
+        }
+        let mut sep = "";
+        for (name, n) in [
+            ("crash", self.server_crashes),
+            ("snic", self.snic_crashes),
+            ("blackout", self.blackouts),
+        ] {
+            if n > 0 {
+                write!(f, "{sep}{name}{n}")?;
+                sep = "+";
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Expands a [`ChaosSpec`] into a seeded [`FaultPlan`] of node-level
+/// windows over a fleet of `shards` shards.
+///
+/// Per class, `count` *distinct* victim shards are drawn from a seeded
+/// per-class fork (streams disjoint from [`FaultPlan::generate`]'s, so a
+/// chaos plan can be concatenated with a station plan without perturbing
+/// either). Each victim goes down for one window of a third of `horizon`,
+/// with a seeded staggered start placed so the node both dies and
+/// *recovers* well inside the run — the recovery window is part of the
+/// schedule, not an afterthought.
+///
+/// # Panics
+///
+/// Panics if any class's count exceeds `shards`.
+pub fn chaos_plan(seed: u64, spec: ChaosSpec, shards: u32, horizon: SimDuration) -> FaultPlan {
+    let mut events = Vec::new();
+    if horizon == SimDuration::ZERO {
+        return FaultPlan { events };
+    }
+    type NodeFault = fn(u32) -> FaultKind;
+    let root = Rng::new(seed ^ 0x000C_4A05);
+    let classes: [(u32, NodeFault); 3] = [
+        (spec.server_crashes, |shard| FaultKind::ServerCrash { shard }),
+        (spec.snic_crashes, |shard| FaultKind::SnicCrash { shard }),
+        (spec.blackouts, |shard| FaultKind::ShardBlackout { shard }),
+    ];
+    let down_ns = (horizon.as_nanos() / 3).max(1);
+    for (stream, (count, kind)) in classes.iter().enumerate() {
+        if *count == 0 {
+            continue;
+        }
+        assert!(
+            *count <= shards,
+            "chaos spec kills {count} shards of a {shards}-shard fleet"
+        );
+        let mut rng = root.fork(stream as u64 + 101);
+        // Partial Fisher-Yates: the first `count` slots are a uniform
+        // draw of distinct victims.
+        let mut victims: Vec<u32> = (0..shards).collect();
+        for i in 0..*count as usize {
+            let j = i + rng.below((shards as u64) - i as u64) as usize;
+            victims.swap(i, j);
+        }
+        for &shard in &victims[..*count as usize] {
+            // Stagger starts over the middle of the run: the window opens
+            // no earlier than 1/8 in and closes by 7/8, so every node is
+            // up at the start and recovered before the drain.
+            let start_ns = horizon.as_nanos() / 8 + rng.below(horizon.as_nanos() * 5 / 12 + 1);
+            events.push(FaultEvent {
+                kind: kind(shard),
+                start: SimTime::from_nanos(start_ns),
+                duration: SimDuration::from_nanos(down_ns),
+            });
+        }
+    }
+    FaultPlan { events }
+}
+
 /// What is degraded *right now*, consulted by components on their hot
 /// paths. Interior counts tolerate overlapping windows of one class
 /// (the effect clears when the last window closes).
@@ -271,6 +477,14 @@ pub struct FaultState {
     loss_active: u32,
     loss_burst: f64,
     sensor_active: u32,
+    /// Active window counts per shard, by node-fault flavour. `BTreeMap`
+    /// keeps iteration deterministic; absent key means healthy.
+    server_crash: BTreeMap<u32, u32>,
+    snic_crash: BTreeMap<u32, u32>,
+    blackout: BTreeMap<u32, u32>,
+    /// Node-fault windows *opened* per shard over the run (never
+    /// decremented — the per-shard `down_windows` roll-up).
+    down_windows: BTreeMap<u32, u64>,
     begun: u64,
     ended: u64,
 }
@@ -290,6 +504,10 @@ impl FaultState {
             loss_active: 0,
             loss_burst: 0.0,
             sensor_active: 0,
+            server_crash: BTreeMap::new(),
+            snic_crash: BTreeMap::new(),
+            blackout: BTreeMap::new(),
+            down_windows: BTreeMap::new(),
             begun: 0,
             ended: 0,
         }
@@ -346,6 +564,32 @@ impl FaultState {
         self.sensor_active > 0
     }
 
+    /// True while shard `shard`'s server node is crashed.
+    pub fn server_down(&self, shard: u32) -> bool {
+        self.server_crash.get(&shard).copied().unwrap_or(0) > 0
+    }
+
+    /// True while shard `shard`'s SmartNIC is down.
+    pub fn snic_down(&self, shard: u32) -> bool {
+        self.snic_crash.get(&shard).copied().unwrap_or(0) > 0
+    }
+
+    /// True while shard `shard` is fenced off the network.
+    pub fn blackout(&self, shard: u32) -> bool {
+        self.blackout.get(&shard).copied().unwrap_or(0) > 0
+    }
+
+    /// True while shard `shard` cannot serve traffic at all — crashed or
+    /// unreachable (a dead SNIC alone leaves the host rung serving).
+    pub fn node_down(&self, shard: u32) -> bool {
+        self.server_down(shard) || self.blackout(shard)
+    }
+
+    /// Node-fault windows opened against shard `shard` over the run.
+    pub fn down_windows(&self, shard: u32) -> u64 {
+        self.down_windows.get(&shard).copied().unwrap_or(0)
+    }
+
     /// Fault windows opened so far.
     pub fn begun(&self) -> u64 {
         self.begun
@@ -384,6 +628,18 @@ impl FaultState {
                 self.loss_burst = loss;
             }
             FaultKind::SensorDropout => self.sensor_active += 1,
+            FaultKind::ServerCrash { shard } => {
+                *self.server_crash.entry(shard).or_default() += 1;
+                *self.down_windows.entry(shard).or_default() += 1;
+            }
+            FaultKind::SnicCrash { shard } => {
+                *self.snic_crash.entry(shard).or_default() += 1;
+                *self.down_windows.entry(shard).or_default() += 1;
+            }
+            FaultKind::ShardBlackout { shard } => {
+                *self.blackout.entry(shard).or_default() += 1;
+                *self.down_windows.entry(shard).or_default() += 1;
+            }
         }
     }
 
@@ -405,6 +661,26 @@ impl FaultState {
                 self.loss_active = self.loss_active.saturating_sub(1)
             }
             FaultKind::SensorDropout => self.sensor_active = self.sensor_active.saturating_sub(1),
+            FaultKind::ServerCrash { shard } => {
+                Self::clear_shard(&mut self.server_crash, shard);
+            }
+            FaultKind::SnicCrash { shard } => {
+                Self::clear_shard(&mut self.snic_crash, shard);
+            }
+            FaultKind::ShardBlackout { shard } => {
+                Self::clear_shard(&mut self.blackout, shard);
+            }
+        }
+    }
+
+    /// Decrements one shard's active-window count, dropping the entry at
+    /// zero so a recovered state compares equal to a never-faulted one.
+    fn clear_shard(map: &mut BTreeMap<u32, u32>, shard: u32) {
+        if let Some(n) = map.get_mut(&shard) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                map.remove(&shard);
+            }
         }
     }
 }
@@ -589,6 +865,95 @@ mod tests {
         assert!(s.link_down());
         s.clear(FaultKind::LinkFlap);
         assert!(!s.link_down());
+    }
+
+    #[test]
+    fn station_plans_ignore_node_classes() {
+        // The generator draws from STATION only: growing ALL with the
+        // node classes must leave existing plans byte-identical and
+        // node-free.
+        let plan = FaultPlan::generate(42, 4.0, horizon());
+        for class in FaultClass::NODE {
+            assert!(plan.windows(class).is_empty(), "{class:?} leaked");
+        }
+        assert_eq!(FaultClass::STATION.len() + FaultClass::NODE.len(), FaultClass::ALL.len());
+    }
+
+    #[test]
+    fn chaos_spec_parses_terms_and_mixed() {
+        assert_eq!(
+            ChaosSpec::parse("crash4"),
+            Some(ChaosSpec {
+                server_crashes: 4,
+                snic_crashes: 0,
+                blackouts: 0
+            })
+        );
+        assert_eq!(
+            ChaosSpec::parse("crash2+snic1+blackout3"),
+            Some(ChaosSpec {
+                server_crashes: 2,
+                snic_crashes: 1,
+                blackouts: 3
+            })
+        );
+        assert_eq!(ChaosSpec::parse("mixed"), Some(ChaosSpec::mixed()));
+        assert_eq!(ChaosSpec::parse("crash0"), None, "an empty spec is an error");
+        assert_eq!(ChaosSpec::parse("meteor7"), None);
+        assert_eq!(ChaosSpec::parse("crashx"), None);
+    }
+
+    #[test]
+    fn chaos_plan_is_seeded_and_victims_are_distinct() {
+        let spec = ChaosSpec {
+            server_crashes: 4,
+            snic_crashes: 2,
+            blackouts: 1,
+        };
+        let a = chaos_plan(7, spec, 64, horizon());
+        let b = chaos_plan(7, spec, 64, horizon());
+        assert_eq!(a, b, "same seed must reproduce the plan");
+        assert_ne!(a, chaos_plan(8, spec, 64, horizon()));
+        assert_eq!(a.events.len(), 7);
+        let mut crashed: Vec<u32> = a
+            .events
+            .iter()
+            .filter(|e| e.kind.class() == FaultClass::ServerCrash)
+            .map(|e| e.kind.shard().expect("node faults carry a shard"))
+            .collect();
+        crashed.sort_unstable();
+        crashed.dedup();
+        assert_eq!(crashed.len(), 4, "server-crash victims must be distinct");
+        // Every window covers a third of the run and recovers inside it.
+        let h = horizon().as_nanos();
+        for ev in &a.events {
+            assert_eq!(ev.duration.as_nanos(), h / 3);
+            assert!(ev.start.as_nanos() >= h / 8);
+            assert!(ev.end().as_nanos() <= h * 7 / 8);
+        }
+    }
+
+    #[test]
+    fn node_faults_toggle_per_shard_state() {
+        let mut s = FaultState::healthy();
+        assert!(!s.node_down(3));
+        s.apply(FaultKind::ServerCrash { shard: 3 });
+        s.apply(FaultKind::SnicCrash { shard: 5 });
+        s.apply(FaultKind::ShardBlackout { shard: 7 });
+        assert!(s.server_down(3) && s.node_down(3));
+        assert!(s.snic_down(5) && !s.node_down(5), "a dead SNIC leaves the host serving");
+        assert!(s.blackout(7) && s.node_down(7));
+        assert!(!s.node_down(4));
+        s.clear(FaultKind::ServerCrash { shard: 3 });
+        s.clear(FaultKind::SnicCrash { shard: 5 });
+        s.clear(FaultKind::ShardBlackout { shard: 7 });
+        assert!(!s.node_down(3) && !s.snic_down(5) && !s.node_down(7));
+        assert_eq!(s.down_windows(3), 1, "down windows tally survives recovery");
+        assert_eq!(s.down_windows(5), 1);
+        assert_eq!(s.down_windows(4), 0);
+        // A recovered state equals a never-faulted one except the ledgers.
+        assert_eq!(s.begun(), 3);
+        assert_eq!(s.ended(), 3);
     }
 
     #[test]

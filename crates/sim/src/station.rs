@@ -379,6 +379,46 @@ impl StationHandle {
     pub fn fifo_stats(&self) -> FifoStats {
         self.inner.borrow().waiting.stats()
     }
+
+    /// Drains every *waiting* job out of the station, appending each
+    /// job's `(demand, a, b)` — the intact service demand plus the two
+    /// tagged token words — to `out` in FIFO order so the caller can
+    /// re-home them on another station. In-service jobs are untouched
+    /// (their servers finish what they started).
+    ///
+    /// On the station's own books an evicted waiter counts as a drop —
+    /// the caller re-homes it under its *own* ledgers — so
+    /// [`conservation_holds`] stays true at every instant, and the wait
+    /// queue's `accepted == dequeued + len` law is preserved by going
+    /// through the ordinary dequeue path (each eviction emits a
+    /// [`TraceKind::Dequeue`] record).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a waiting job was submitted through the boxed-closure
+    /// [`submit`] path: eviction is a facility of the tagged (fleet) hot
+    /// path, where tokens make a job re-submittable elsewhere.
+    ///
+    /// [`submit`]: StationHandle::submit
+    /// [`conservation_holds`]: StationHandle::conservation_holds
+    pub fn evict_waiting(&self, sim: &Simulator, out: &mut Vec<(SimDuration, u64, u64)>) {
+        let now = sim.now();
+        let mut st = self.inner.borrow_mut();
+        while let Some(id) = st.waiting.dequeue() {
+            st.stats.dropped += 1;
+            st.emit(
+                now,
+                TraceKind::Dequeue {
+                    depth: st.waiting.len() as u32,
+                },
+            );
+            let job = st.free_job(id);
+            match job.k {
+                JobK::Tagged(a, b) => out.push((job.demand, a, b)),
+                JobK::Closure(_) => panic!("evict_waiting supports tagged jobs only"),
+            }
+        }
+    }
 }
 
 /// Fires a departure event: completes the arena job `id`, runs its
@@ -601,6 +641,44 @@ mod tests {
         sim.run();
         assert!(sim.trace().take().is_none());
         assert_eq!(s.stats().completions, 1);
+    }
+
+    #[test]
+    fn evicting_waiters_returns_tokens_and_keeps_the_books() {
+        struct Count(RefCell<u64>);
+        impl CompletionHandler for Count {
+            fn on_complete(&self, _sim: &mut Simulator, _done: Completion, _a: u64, _b: u64) {
+                *self.0.borrow_mut() += 1;
+            }
+        }
+        let mut sim = Simulator::new();
+        let s = StationHandle::new("s", 1, Some(8));
+        let completions = Rc::new(Count(RefCell::new(0)));
+        s.set_completion_handler(completions.clone());
+        // One job starts; four wait behind it.
+        for i in 0..5u64 {
+            let demand = SimDuration::from_micros(10 + i);
+            assert_ne!(
+                s.submit_tagged(&mut sim, demand, 100 + i, 200 + i),
+                Admission::Dropped
+            );
+        }
+        let mut evicted = Vec::new();
+        s.evict_waiting(&sim, &mut evicted);
+        // FIFO order, tokens and demands intact; the in-service job stays.
+        let tokens: Vec<(u64, u64)> = evicted.iter().map(|&(_, a, b)| (a, b)).collect();
+        assert_eq!(tokens, vec![(101, 201), (102, 202), (103, 203), (104, 204)]);
+        assert_eq!(evicted[0].0, SimDuration::from_micros(11));
+        assert_eq!(s.queue_len(), 0);
+        assert!(s.conservation_holds(), "law must hold right after eviction");
+        sim.run();
+        let stats = s.stats();
+        assert_eq!(stats.arrivals, 5);
+        assert_eq!(stats.completions, 1, "only the in-service job finishes");
+        assert_eq!(stats.dropped, 4, "evicted waiters count as drops here");
+        assert_eq!(*completions.0.borrow(), 1);
+        let fifo = s.fifo_stats();
+        assert_eq!(fifo.accepted, fifo.dequeued, "queue fully drained");
     }
 
     #[test]

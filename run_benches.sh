@@ -17,4 +17,8 @@ echo "==== lint (workspace static-analysis wall-clock, cold cache) ====" >> benc
 bench_start=$SECONDS
 cargo run --release -p snicbench-bench --bin lint -- --no-cache >> bench_output.txt 2>&1
 echo "---- lint wall-clock: $((SECONDS - bench_start))s ----" >> bench_output.txt
+echo "==== fleet --chaos (degraded-fleet smoke: crash4 on 64 servers) ====" >> bench_output.txt
+bench_start=$SECONDS
+cargo run --release -p snicbench-bench --bin fleet -- --quick --servers 64 --snics 16 --gbps 65 --chaos crash4 >> bench_output.txt 2>&1
+echo "---- fleet --chaos wall-clock: $((SECONDS - bench_start))s ----" >> bench_output.txt
 echo "==== bench suite complete (total $((SECONDS - suite_start))s) ====" >> bench_output.txt

@@ -1,6 +1,6 @@
 //! The diurnal experiment end to end: byte identity of the exported
 //! report and trace across `--jobs` widths, per-tenant admission
-//! conservation, and the adaptive-vs-static SLO payoff in the v3
+//! conservation, and the adaptive-vs-static SLO payoff in the v4
 //! document.
 
 use snicbench::core::admission::AdmissionMode;
@@ -100,7 +100,7 @@ fn admission_conservation_is_audited_per_tenant() {
 }
 
 #[test]
-fn v3_report_carries_diurnal_runs_with_shard_sections() {
+fn v4_report_carries_diurnal_runs_with_shard_sections() {
     let ctx = RunContext::collecting();
     let cfg = cell_config(DiurnalPlatform::Fleet, AdmissionMode::Adaptive);
     let report = simulate_in(&cfg, &ctx.scope("diurnal/fleet/adaptive"));
@@ -110,7 +110,7 @@ fn v3_report_carries_diurnal_runs_with_shard_sections() {
         doc.get("schema").and_then(|s| s.as_str()),
         Some(RUN_REPORT_SCHEMA)
     );
-    assert!(RUN_REPORT_SCHEMA.ends_with(".v3"));
+    assert!(RUN_REPORT_SCHEMA.ends_with(".v4"));
     let run = doc
         .get("runs")
         .and_then(|r| r.as_arr())

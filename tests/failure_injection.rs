@@ -106,3 +106,72 @@ fn accelerator_overload_drops_rather_than_stalling() {
     // Latency reflects the full (bounded) queue, not infinity.
     assert!(m.latency.p99_us.is_finite());
 }
+
+/// A shard blackout seen through the adaptive client: the AIMD window
+/// must cut while the fenced shard blackholes its arc (server-side drops
+/// are the overload signal) and climb back once the shard returns, all
+/// without giving up determinism across executor widths.
+#[test]
+fn aimd_cuts_under_shard_blackout_and_recovers() {
+    use snicbench::core::admission::AdmissionMode;
+    use snicbench::core::diurnal::{simulate_in, DiurnalConfig, DiurnalPlatform};
+    use snicbench::core::executor::Executor;
+    use snicbench::core::telemetry::RunContext;
+    use snicbench::functions::rem::RemRuleset;
+    use snicbench::sim::fault::ChaosSpec;
+
+    let config = |chaos: Option<ChaosSpec>| {
+        let mut cfg = DiurnalConfig::new(
+            Workload::RemMtu(RemRuleset::FileExecutable),
+            DiurnalPlatform::Fleet,
+            AdmissionMode::Adaptive,
+        );
+        cfg.day = SimDuration::from_millis(6);
+        cfg.chaos = chaos;
+        cfg
+    };
+    let blackout = ChaosSpec {
+        server_crashes: 0,
+        snic_crashes: 0,
+        blackouts: 1,
+    };
+
+    let healthy = simulate_in(&config(None), &RunContext::disabled().scope("h"));
+    let faulted = simulate_in(&config(Some(blackout)), &RunContext::disabled().scope("f"));
+
+    let fenced: u64 = faulted.shards.iter().map(|s| s.down_windows).sum();
+    assert!(fenced > 0, "the blackout plan must fence at least one window");
+    let h = healthy.limiter.expect("adaptive runs summarize the limiter");
+    let f = faulted.limiter.expect("adaptive runs summarize the limiter");
+    assert!(
+        f.cuts > h.cuts,
+        "blackhole drops must cut the AIMD window (faulted {} vs healthy {})",
+        f.cuts,
+        h.cuts
+    );
+    // Recovery: by day end the window has climbed back to the healthy
+    // run's operating point (within 10%), so the cut was a dent, not a
+    // collapse.
+    let rel = (f.final_limit as f64 - h.final_limit as f64).abs() / h.final_limit as f64;
+    assert!(
+        rel <= 0.10,
+        "day-end limit {} should sit within 10% of the healthy {}",
+        f.final_limit,
+        h.final_limit
+    );
+
+    // The chaos path stays deterministic across executor widths.
+    let sweep = |jobs: usize| {
+        let ctx = RunContext::collecting();
+        let reports = Executor::new(jobs).map(vec![0u64, 1], |cell| {
+            let mut cfg = config(Some(blackout));
+            cfg.seed ^= cell;
+            simulate_in(&cfg, &ctx.scope(format!("cell{cell}")))
+        });
+        (reports, ctx.drain().len())
+    };
+    let (r1, n1) = sweep(1);
+    let (r4, n4) = sweep(4);
+    assert_eq!(n1, n4);
+    assert_eq!(r1, r4, "chaos diurnal diverged across job counts");
+}

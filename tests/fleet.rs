@@ -1,4 +1,4 @@
-//! The fleet simulation end to end: RunReport v3 shard sections, byte
+//! The fleet simulation end to end: RunReport v4 shard sections, byte
 //! identity of the exported report and trace across `--jobs` widths, and
 //! cluster-level conservation across a sweep of rack compositions.
 
@@ -51,7 +51,7 @@ fn fleet_report_is_identical_at_any_job_count() {
 }
 
 #[test]
-fn v3_report_carries_populated_shard_sections() {
+fn v4_report_carries_populated_shard_sections() {
     let ctx = RunContext::collecting();
     let cfg = cell_config(2, 40.0);
     let report = simulate_in(&cfg, &ctx.scope("fleet/one"));
@@ -61,7 +61,7 @@ fn v3_report_carries_populated_shard_sections() {
         doc.get("schema").and_then(|s| s.as_str()),
         Some(RUN_REPORT_SCHEMA)
     );
-    assert!(RUN_REPORT_SCHEMA.ends_with(".v3"), "fleet sections are a v3 feature");
+    assert!(RUN_REPORT_SCHEMA.ends_with(".v4"), "degraded-fleet roll-ups are a v4 feature");
     let shards = doc
         .get("runs")
         .and_then(|r| r.as_arr())

@@ -16,11 +16,17 @@
 # sweep with conservation auditing armed must exit 0 with a
 # byte-identical RunReport at any job width), a fleet smoke: the
 # 64-server sharded-fleet sweep must be byte-identical at any job width
-# and its v3 RunReport must carry balanced per-shard roll-ups, and a
+# and its v4 RunReport must carry balanced per-shard roll-ups, a
 # diurnal smoke: the 24 h multi-tenant sweep must be byte-identical at
-# any job width, export a v3 RunReport, keep its admission books
+# any job width, export a v4 RunReport, keep its admission books
 # conserved per cell, and show AIMD admission beating the static client
-# on SLO-violation fraction on at least the host platform.
+# on SLO-violation fraction on at least the host platform, and a chaos
+# smoke: a seeded fleet run with 4 of 64 servers crashed for a third of
+# the run must exit 0, stay byte-identical at any job width, keep the
+# extended conservation law (sent == completed + dropped +
+# remapped_in_flight) exact on every shard of every variant while nodes
+# die mid-run, beat the no-rebalancing baseline on SLO-violating
+# shards, and improve p99 via hedging on at least one cell.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -109,12 +115,12 @@ echo "OK: byte-identical across job counts"
 
 jq -e '.traceEvents | length > 0' "$trace" > /dev/null \
   || { echo "FAIL: --trace output is not a Chrome trace" >&2; exit 1; }
-jq -e '.schema == "snicbench.run-report.v3" and (.runs | length > 0)' \
+jq -e '.schema == "snicbench.run-report.v4" and (.runs | length > 0)' \
   "$report" > /dev/null \
-  || { echo "FAIL: --json output is not a v3 RunReport" >&2; exit 1; }
+  || { echo "FAIL: --json output is not a v4 RunReport" >&2; exit 1; }
 jq -e '[.runs[].conformance.clean] | all' "$report" > /dev/null \
   || { echo "FAIL: RunReport records a conformance violation" >&2; exit 1; }
-echo "OK: trace + RunReport parse, schema v3, audit clean"
+echo "OK: trace + RunReport parse, schema v4, audit clean"
 
 echo "==== engine throughput smoke: bench_engine --quick ===="
 # Validates the committed BENCH_engine.json schema and fails when the
@@ -135,16 +141,16 @@ if ! diff -u "$res1" "$res4"; then
   echo "FAIL: resilience RunReport differs between --jobs 1 and --jobs 4" >&2
   exit 1
 fi
-jq -e '.schema == "snicbench.run-report.v3" and (.failed_jobs | length == 0)' \
+jq -e '.schema == "snicbench.run-report.v4" and (.failed_jobs | length == 0)' \
   "$res1" > /dev/null \
   || { echo "FAIL: resilience RunReport malformed or has failed jobs" >&2; exit 1; }
 jq -e '[.results[] | select(.intensity > 0)] | length > 0' "$res1" > /dev/null \
   || { echo "FAIL: resilience report has no faulted cells" >&2; exit 1; }
 echo "OK: resilience smoke clean, byte-identical across job counts"
 
-echo "==== fleet smoke: N x M sharded fleet, deterministic v3 shards ===="
+echo "==== fleet smoke: N x M sharded fleet, deterministic v4 shards ===="
 # The fleet sweep must be byte-identical at any job width — stdout and
-# the full JSON artifact — and every run in the v3 report must carry a
+# the full JSON artifact — and every run in the v4 report must carry a
 # populated per-shard section (64 servers in the default rack).
 fleet1=$(mktemp)
 fleet4=$(mktemp)
@@ -161,19 +167,19 @@ if ! diff -u "$fleetj1" "$fleetj4"; then
   echo "FAIL: fleet RunReport differs between --jobs 1 and --jobs 4" >&2
   exit 1
 fi
-jq -e '.schema == "snicbench.run-report.v3"' "$fleetj1" > /dev/null \
-  || { echo "FAIL: fleet report is not a v3 RunReport" >&2; exit 1; }
+jq -e '.schema == "snicbench.run-report.v4"' "$fleetj1" > /dev/null \
+  || { echo "FAIL: fleet report is not a v4 RunReport" >&2; exit 1; }
 jq -e '(.runs | length > 0) and ([.runs[].shards | length == 64] | all)' \
   "$fleetj1" > /dev/null \
   || { echo "FAIL: fleet runs must carry 64 per-shard roll-ups each" >&2; exit 1; }
-jq -e '[.runs[].shards[] | .sent == .completed + .dropped] | all' \
+jq -e '[.runs[].shards[] | .sent == .completed + .dropped + .remapped_in_flight] | all' \
   "$fleetj1" > /dev/null \
   || { echo "FAIL: a fleet shard's books do not balance" >&2; exit 1; }
-echo "OK: fleet smoke clean, byte-identical, v3 shard sections populated"
+echo "OK: fleet smoke clean, byte-identical, v4 shard sections populated"
 
 echo "==== diurnal smoke: 24h multi-tenant day, AIMD vs static ===="
 # The diurnal sweep must be byte-identical at any job width, its JSON a
-# v3 RunReport whose cells keep admission books conserved, and adaptive
+# v4 RunReport whose cells keep admission books conserved, and adaptive
 # admission must beat the static client at the peak on the host platform.
 di1=$(mktemp)
 di4=$(mktemp)
@@ -190,9 +196,9 @@ if ! diff -u "$dij1" "$dij4"; then
   echo "FAIL: diurnal RunReport differs between --jobs 1 and --jobs 4" >&2
   exit 1
 fi
-jq -e '.schema == "snicbench.run-report.v3" and (.runs | length == 6)' \
+jq -e '.schema == "snicbench.run-report.v4" and (.runs | length == 6)' \
   "$dij1" > /dev/null \
-  || { echo "FAIL: diurnal report is not a v3 RunReport with 6 cells" >&2; exit 1; }
+  || { echo "FAIL: diurnal report is not a v4 RunReport with 6 cells" >&2; exit 1; }
 jq -e '[.results.cells[] | .hours[] | .offered == .admitted + .rejected
         and .admitted == .completed + .dropped] | all' "$dij1" > /dev/null \
   || { echo "FAIL: a diurnal cell's admission books do not conserve" >&2; exit 1; }
@@ -207,3 +213,54 @@ jq -e '
   ($static > 0) and ($adaptive < $static)' "$dij1" > /dev/null \
   || { echo "FAIL: AIMD admission must beat the static client at the peak" >&2; exit 1; }
 echo "OK: diurnal smoke clean, byte-identical, books conserved, AIMD pays"
+
+echo "==== chaos smoke: 4 of 64 servers crash mid-run, mitigations staged ===="
+# One seeded cell (64 servers, 16 SNICs, 65 Gb/s per server) with four
+# servers crashed for a third of the run. The run must exit 0 and stay
+# byte-identical at any job width; every shard of every variant must
+# keep the extended conservation law exact while nodes die mid-run;
+# rebalancing must strictly beat the blackholing baseline on
+# SLO-violating shards; and hedging must cut cluster p99 below
+# rebalancing alone on at least one cell.
+ch1=$(mktemp)
+ch4=$(mktemp)
+chj1=$(mktemp)
+chj4=$(mktemp)
+trap 'rm -f "$out1" "$out4" "$trace" "$report" "$res1" "$res4" "$fleet1" "$fleet4" "$fleetj1" "$fleetj4" "$di1" "$di4" "$dij1" "$dij4" "$ch1" "$ch4" "$chj1" "$chj4"' EXIT
+./target/release/fleet --quick --servers 64 --snics 16 --gbps 65 \
+  --chaos crash4 --jobs 1 --json "$chj1" > "$ch1" 2>/dev/null
+./target/release/fleet --quick --servers 64 --snics 16 --gbps 65 \
+  --chaos crash4 --jobs 4 --json "$chj4" > "$ch4" 2>/dev/null
+if ! diff -u "$ch1" "$ch4"; then
+  echo "FAIL: fleet --chaos output differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+if ! diff -u "$chj1" "$chj4"; then
+  echo "FAIL: fleet --chaos RunReport differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+jq -e '.schema == "snicbench.run-report.v4" and (.results | length == 4)' \
+  "$chj1" > /dev/null \
+  || { echo "FAIL: chaos report is not a v4 RunReport with 4 variants" >&2; exit 1; }
+jq -e '[.runs[].shards[] | .sent == .completed + .dropped + .remapped_in_flight] | all' \
+  "$chj1" > /dev/null \
+  || { echo "FAIL: the extended conservation law broke under chaos" >&2; exit 1; }
+jq -e '[.results[] | select(.variant != "healthy") | .down_windows == 4] | all' \
+  "$chj1" > /dev/null \
+  || { echo "FAIL: chaos variants must see all 4 crash windows" >&2; exit 1; }
+jq -e '
+  ([.results[] | select(.variant == "chaos-base")  | .shards_meeting_slo] | first) as $base |
+  ([.results[] | select(.variant == "chaos-rebal") | .shards_meeting_slo] | first) as $rebal |
+  ($rebal > $base)' "$chj1" > /dev/null \
+  || { echo "FAIL: rebalancing must cut the SLO-violation fraction vs blackholing" >&2; exit 1; }
+jq -e '
+  ([.results[] | select(.variant == "chaos-rebal") | .remapped] | first) as $remapped |
+  ($remapped > 0)' "$chj1" > /dev/null \
+  || { echo "FAIL: rebalancing must re-home flows off the crashed shards" >&2; exit 1; }
+jq -e '
+  ([.results[] | select(.variant == "chaos-hedge") | .hedge_wins] | first) as $wins |
+  ([.results[] | select(.variant == "chaos-hedge") | .p99_us] | first) as $hp99 |
+  ([.results[] | select(.variant == "chaos-rebal") | .p99_us] | first) as $rp99 |
+  ($wins > 0) and ($hp99 < $rp99)' "$chj1" > /dev/null \
+  || { echo "FAIL: hedging must win races and cut p99 below rebalancing alone" >&2; exit 1; }
+echo "OK: chaos smoke clean — law extended, rebalancing pays, hedging cuts p99"
